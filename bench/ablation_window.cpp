@@ -1,0 +1,32 @@
+/// \file ablation_window.cpp
+/// Collection-window sweep (DESIGN.md §6.2): longer windows group more
+/// requests per forward list (more client-to-client satisfactions) but
+/// delay the first grant. The early-close rule bounds the damage when the
+/// recalls finish before the window does.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtdb;
+  const bool quick = bench::quick_mode(argc, argv);
+  const std::size_t clients = quick ? 40 : 100;
+
+  std::printf(
+      "=== Collection window sweep (%zu clients, 20%% updates) ===\n\n",
+      clients);
+  std::printf("%12s %9s %9s %12s %12s\n", "window (s)", "success", "fwd_sat",
+              "EL resp (s)", "SL resp (s)");
+  for (const double window : {0.05, 0.2, 0.5, 1.0, 2.0, 5.0}) {
+    auto cfg = bench::experiment_config(clients, 20.0, quick);
+    cfg.ls = core::LsOptions::all();
+    cfg.ls.collection_window = window;
+    auto m = core::run_once(core::SystemKind::kLoadSharing, cfg);
+    std::printf("%12.2f %8.2f%% %9llu %12.3f %12.3f\n", window,
+                m.success_percent(),
+                static_cast<unsigned long long>(m.forward_list_satisfactions),
+                m.object_response_exclusive.mean(),
+                m.object_response_shared.mean());
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared plumbing for the table/figure harnesses: paper-default configs,
+/// client-count sweeps, and result-row printing. Every binary regenerates
+/// one table or figure of the paper (see DESIGN.md §4) and prints the same
+/// rows/series the paper reports.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+
+namespace rtdb::bench {
+
+/// Client counts of the paper's x-axis (Figs 3-5) — trimmed when --quick.
+inline std::vector<std::size_t> client_counts(bool quick) {
+  if (quick) return {10, 40, 100};
+  return {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+}
+
+/// True if the harness was invoked with --quick (smoke-test mode).
+inline bool quick_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  return std::getenv("RTDB_BENCH_QUICK") != nullptr;
+}
+
+/// Paper-default config for one experiment point.
+inline core::SystemConfig experiment_config(std::size_t clients,
+                                            double update_pct,
+                                            bool quick = false) {
+  core::SystemConfig cfg = core::SystemConfig::paper_defaults(update_pct);
+  cfg.num_clients = clients;
+  cfg.warmup = quick ? 100 : 300;
+  cfg.duration = quick ? 500 : 2000;
+  cfg.drain = 300;
+  cfg.seed = 42;
+  return cfg;
+}
+
+/// Replications per point: single-seed curves wobble by ~±2 %, which reads
+/// as spurious crossovers; three seeds match the paper's repeated-run
+/// methodology. --quick keeps one.
+inline std::size_t replications(bool quick) { return quick ? 1 : 3; }
+
+/// Runs the success-percentage sweep of one figure (Figs 3-5).
+inline void run_deadline_figure(const char* title, double update_pct,
+                                bool quick) {
+  std::printf("%s\n", title);
+  std::printf(
+      "Percentage of transactions completed within their deadlines\n");
+  std::printf("(Localized-RW, %.0f%% updates, %zu seed(s)%s)\n\n", update_pct,
+              replications(quick), quick ? ", --quick" : "");
+  std::printf("%8s %12s %12s %14s\n", "clients", "CE-RTDBS", "CS-RTDBS",
+              "LS-CS-RTDBS");
+  for (const std::size_t n : client_counts(quick)) {
+    const auto cfg = experiment_config(n, update_pct, quick);
+    const auto reps = replications(quick);
+    const auto ce =
+        core::run_replicated(core::SystemKind::kCentralized, cfg, reps);
+    const auto cs =
+        core::run_replicated(core::SystemKind::kClientServer, cfg, reps);
+    const auto ls =
+        core::run_replicated(core::SystemKind::kLoadSharing, cfg, reps);
+    std::printf("%8zu %11.2f%% %11.2f%% %13.2f%%\n", n,
+                ce.mean_success_percent(), cs.mean_success_percent(),
+                ls.mean_success_percent());
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+}
+
+}  // namespace rtdb::bench

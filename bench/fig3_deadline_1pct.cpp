@@ -1,0 +1,14 @@
+/// \file fig3_deadline_1pct.cpp
+/// Regenerates the paper's Figure 3: percentage of transactions completed
+/// within their deadlines vs number of clients, 1 % updates, for all three
+/// prototypes. Expected shape: CE best below ~40 clients then degrading
+/// rapidly; CS/LS nearly flat; LS above CS throughout.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const bool quick = rtdb::bench::quick_mode(argc, argv);
+  rtdb::bench::run_deadline_figure(
+      "=== Figure 3 (ICDCS'99 reproduction) ===", 1.0, quick);
+  return 0;
+}

@@ -1,0 +1,41 @@
+/// \file table3_object_response.cpp
+/// Regenerates the paper's Table 3: average object response times (seconds)
+/// for shared and exclusive requests at 1 % updates. Paper values:
+///
+///   clients |   CS-RTDBS       |   LS-CS-RTDBS
+///           |  SL      EL      |  SL      EL
+///      20   | 0.024   0.487    | 0.027   0.433
+///      60   | 0.063   0.538    | 0.052   0.509
+///     100   | 0.069   0.850    | 0.058   0.628
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtdb;
+  const bool quick = bench::quick_mode(argc, argv);
+  const std::vector<std::size_t> clients =
+      quick ? std::vector<std::size_t>{20, 100}
+            : std::vector<std::size_t>{20, 60, 100};
+
+  std::printf("=== Table 3 (ICDCS'99 reproduction) ===\n");
+  std::printf(
+      "Average object response times in seconds (1%% updates)\n\n");
+  std::printf("%8s | %10s %10s | %10s %10s\n", "clients", "CS SL", "CS EL",
+              "LS SL", "LS EL");
+  for (const std::size_t n : clients) {
+    const auto cfg = bench::experiment_config(n, 1.0, quick);
+    const auto reps = bench::replications(quick);
+    const auto cs =
+        core::run_replicated(core::SystemKind::kClientServer, cfg, reps);
+    const auto ls =
+        core::run_replicated(core::SystemKind::kLoadSharing, cfg, reps);
+    std::printf("%8zu | %10.3f %10.3f | %10.3f %10.3f\n", n,
+                cs.mean_object_response_shared(),
+                cs.mean_object_response_exclusive(),
+                ls.mean_object_response_shared(),
+                ls.mean_object_response_exclusive());
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  return 0;
+}

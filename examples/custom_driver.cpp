@@ -1,0 +1,79 @@
+/// \file custom_driver.cpp
+/// Tutorial: driving the cluster manually instead of through the workload
+/// generator. Shows the manual-driving API (bootstrap + simulator), the
+/// structured trace, and the consistency auditor — the three tools for
+/// building and debugging custom scenarios on top of the library.
+///
+/// The scenario is the paper's §3.4 example, scaled up: one writer holds a
+/// hot object while several clients pile up requests for it, so a forward
+/// list forms and circulates. The trace of the whole episode is printed.
+///
+///   $ ./custom_driver
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/client_server.hpp"
+
+int main() {
+  using namespace rtdb;
+
+  // A quiet five-client cluster: no background arrivals, cold caches, the
+  // paper's LS techniques on.
+  core::SystemConfig cfg;
+  cfg.num_clients = 5;
+  cfg.warm_start = false;
+  cfg.workload.db_size = 100;
+  cfg.workload.region_size = 5;
+  cfg.ls = core::LsOptions::all();
+  cfg.ls.enable_h1 = false;   // keep our hand-placed transactions in place
+  cfg.ls.enable_h2 = false;
+  cfg.ls.enable_decomposition = false;
+
+  core::ClientServerSystem sys(cfg);
+  sys.trace().enable(sim::TraceCategory::kLock);
+  sys.trace().enable(sim::TraceCategory::kWindow);
+  sys.trace().enable(sim::TraceCategory::kTxn);
+  sys.bootstrap();
+
+  const auto make_txn = [](TxnId id, SiteId origin, sim::SimTime now,
+                           ObjectId obj, bool write, double length) {
+    txn::Transaction t;
+    t.id = id;
+    t.origin = origin;
+    t.arrival = now;
+    t.length = length;
+    t.deadline = now + length + 60;
+    t.ops = {{obj, write}};
+    return t;
+  };
+
+  // t=0: client 1 takes a long write lease on object 42.
+  sys.client(1).on_new_transaction(make_txn(1, 1, 0, 42, true, 8.0));
+  sys.simulator().run_until(1);
+
+  // t=1..2: two more writers and two readers pile up within the
+  // collection window — the makings of a forward list.
+  sys.client(2).on_new_transaction(make_txn(2, 2, 1, 42, true, 0.5));
+  sys.client(3).on_new_transaction(make_txn(3, 3, 1, 42, true, 0.5));
+  sys.client(4).on_new_transaction(make_txn(4, 4, 2, 42, false, 0.5));
+  sys.client(5).on_new_transaction(make_txn(5, 5, 2, 42, false, 0.5));
+
+  sys.simulator().run_until(60);
+
+  std::printf("scenario finished at t=%.1f\n\n", sys.simulator().now());
+  std::printf("forward-list satisfactions: %llu\n",
+              static_cast<unsigned long long>(
+                  sys.live_metrics().forward_list_satisfactions));
+  std::printf("consistency violations:     %zu\n",
+              sys.auditor().violations().size());
+  std::printf("object 42 committed version: %llu (3 writers ran)\n\n",
+              static_cast<unsigned long long>(
+                  sys.auditor().committed_version(42)));
+
+  std::printf("--- protocol trace ---\n");
+  std::ostringstream os;
+  sys.trace().dump(os);
+  std::fputs(os.str().c_str(), stdout);
+  return 0;
+}

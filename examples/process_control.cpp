@@ -1,0 +1,91 @@
+/// \file process_control.cpp
+/// Process-control scenario (another of the paper's motivating domains):
+/// controller stations supervising a plant. Transactions are short —
+/// read a group of sensor points, write back a few setpoints — but the
+/// update percentage is high, which is exactly where the paper found
+/// client-server caching to suffer and load sharing to pay off.
+///
+/// The example demonstrates the LsOptions ablation API: it measures which
+/// of the paper's techniques carries the improvement for this workload.
+///
+///   $ ./process_control [num_controllers]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/runner.hpp"
+
+namespace {
+
+rtdb::core::SystemConfig plant_config(std::size_t controllers) {
+  rtdb::core::SystemConfig cfg;
+  cfg.num_clients = controllers;
+  cfg.warmup = 200;
+  cfg.duration = 1200;
+  cfg.seed = 99;
+  // 2,000 points; a control scan touches ~8 of them and must settle fast.
+  cfg.workload.db_size = 2000;
+  cfg.workload.mean_ops = 8;
+  cfg.workload.mean_length = 1.5;
+  cfg.workload.mean_slack = 2.0;
+  cfg.workload.mean_interarrival = 2.0;
+  cfg.workload.update_fraction = 0.30;  // setpoint writes
+  cfg.workload.locality = 0.8;          // each controller owns a unit
+  cfg.workload.region_size = 120;
+  cfg.workload.zipf_theta = 0.8;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rtdb;
+
+  const std::size_t controllers =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 40;
+  const auto cfg = plant_config(controllers);
+
+  std::printf("Process control: %zu controllers, 2,000 points, 30%% "
+              "setpoint writes\n\n", controllers);
+  std::printf("%-26s %9s %10s %10s\n", "variant", "success", "EL p50",
+              "deadlocks");
+
+  struct Variant {
+    const char* name;
+    core::SystemKind kind;
+    core::LsOptions ls;
+  };
+  core::LsOptions default_window = core::LsOptions::all();
+  core::LsOptions tuned_window = core::LsOptions::all();
+  // Scan deadlines leave ~2 s of slack; a 0.5 s collection window is a
+  // quarter of the budget. Scale it to the deadline, as an operator would.
+  tuned_window.collection_window = 0.05;
+  core::LsOptions no_fwd = core::LsOptions::all();
+  no_fwd.enable_forward_lists = false;
+  const Variant variants[] = {
+      {"basic client-server", core::SystemKind::kClientServer,
+       core::LsOptions::none()},
+      {"LS, 0.5s window (default)", core::SystemKind::kLoadSharing,
+       default_window},
+      {"LS, 50ms window (tuned)", core::SystemKind::kLoadSharing,
+       tuned_window},
+      {"LS, no forward lists", core::SystemKind::kLoadSharing, no_fwd},
+  };
+
+  for (const auto& v : variants) {
+    auto c = cfg;
+    c.ls = v.ls;
+    core::RunMetrics m = core::run_once(v.kind, c);
+    std::printf("%-26s %8.2f%% %10.3f %10llu\n", v.name,
+                m.success_percent(),
+                m.object_response_exclusive.quantile(0.5),
+                static_cast<unsigned long long>(m.deadlock_refusals));
+  }
+
+  std::printf(
+      "\nReading: lock grouping must be tuned to the deadline scale. With\n"
+      "~2s of slack, the default 0.5s collection window parks setpoint\n"
+      "hand-offs for a quarter of the budget; shrinking the window (or\n"
+      "disabling grouping) restores the load-sharing advantage.\n");
+  return 0;
+}

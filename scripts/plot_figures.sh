@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Regenerates the paper's Figures 3-5 as CSV (via rtdbctl) and, when
+# gnuplot is available, as PNG plots under ./plots/.
+#
+# Usage: scripts/plot_figures.sh [build-dir]
+set -euo pipefail
+
+BUILD="${1:-build}"
+CTL="$BUILD/tools/rtdbctl"
+OUT="plots"
+mkdir -p "$OUT"
+
+SWEEP="10,20,30,40,50,60,70,80,90,100"
+
+for upd in 1 5 20; do
+  csv="$OUT/fig_${upd}pct.csv"
+  echo "generating $csv ..."
+  "$CTL" --system all --sweep "$SWEEP" --updates "$upd" --seeds 3 --csv \
+    > "$csv"
+done
+
+if ! command -v gnuplot >/dev/null 2>&1; then
+  echo "gnuplot not found — CSVs are in $OUT/, plot them with your tool"
+  exit 0
+fi
+
+for upd in 1 5 20; do
+  csv="$OUT/fig_${upd}pct.csv"
+  png="$OUT/fig_${upd}pct.png"
+  gnuplot <<EOF
+set datafile separator ','
+set terminal pngcairo size 900,600
+set output '$png'
+set title "Transactions completed within deadline — ${upd}% updates"
+set xlabel "clients"
+set ylabel "success %"
+set yrange [0:100]
+set key bottom left
+plot '$csv' using 2:(strcol(1) eq "CE-RTDBS" ? \$5 : 1/0) \
+       with linespoints title "CE-RTDBS", \
+     '$csv' using 2:(strcol(1) eq "CS-RTDBS" ? \$5 : 1/0) \
+       with linespoints title "CS-RTDBS", \
+     '$csv' using 2:(strcol(1) eq "LS-CS-RTDBS" ? \$5 : 1/0) \
+       with linespoints title "LS-CS-RTDBS", \
+     '$csv' using 2:(strcol(1) eq "OCC-CS-RTDBS" ? \$5 : 1/0) \
+       with linespoints title "OCC-CS-RTDBS (ext)"
+EOF
+  echo "wrote $png"
+done

@@ -1,0 +1,25 @@
+#include "core/auditor.hpp"
+
+#include <sstream>
+
+namespace rtdb::core {
+
+std::string ConsistencyAuditor::describe(const Violation& v) {
+  std::ostringstream os;
+  switch (v.kind) {
+    case Violation::Kind::kLostUpdate:
+      os << "lost update";
+      break;
+    case Violation::Kind::kStaleRead:
+      os << "stale read";
+      break;
+    case Violation::Kind::kDivergentCopy:
+      os << "divergent copy";
+      break;
+  }
+  os << " on object " << v.object << " at site " << v.site << " (expected v"
+     << v.expected << ", got v" << v.got << ", t=" << v.when << ")";
+  return os.str();
+}
+
+}  // namespace rtdb::core

@@ -1,0 +1,1203 @@
+#include "core/client_node.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/client_server.hpp"
+#include "txn/decompose.hpp"
+
+namespace rtdb::core {
+
+using lock::LockMode;
+
+ClientNode::ClientNode(ClientServerSystem& sys, SiteId site, std::size_t index)
+    : sys_(sys),
+      site_(site),
+      index_(index),
+      cache_(sys.sim(), sys.cfg().client_cache),
+      cpu_(sys.sim()) {
+  cache_.set_eviction_hook(
+      [this](ObjectId obj, bool dirty) { on_cache_eviction(obj, dirty); });
+}
+
+ClientNode::Live* ClientNode::find(TxnId id) {
+  auto it = live_.find(id);
+  return it == live_.end() ? nullptr : it->second.get();
+}
+
+lock::LockMode ClientNode::cached_server_mode(ObjectId obj) const {
+  auto it = server_mode_.find(obj);
+  return it == server_mode_.end() ? LockMode::kNone : it->second;
+}
+
+LoadInfo ClientNode::current_load() const {
+  LoadInfo info;
+  info.live_txns = live_count();
+  info.atl = atl_.count() ? atl_.mean() : sys_.cfg().workload.mean_length;
+  info.valid = true;
+  return info;
+}
+
+void ClientNode::reset_stats() {
+  cache_.reset_stats();
+  cpu_.reset_stats();
+}
+
+void ClientNode::update_atl(const txn::Transaction& t,
+                            sim::SimTime commit_time) {
+  atl_.add(commit_time - t.arrival);
+}
+
+// ---------------------------------------------------------------------------
+// Arrival and placement decisions
+// ---------------------------------------------------------------------------
+
+void ClientNode::on_new_transaction(txn::Transaction t) {
+  begin(std::move(t), site_, /*remote=*/false, /*ships=*/0);
+}
+
+void ClientNode::warm_insert(ObjectId obj) {
+  cache_.insert(obj, /*dirty=*/false);
+  server_mode_[obj] = LockMode::kShared;
+  version_[obj] = 0;
+}
+
+void ClientNode::begin(txn::Transaction t, SiteId origin, bool remote,
+                       std::uint32_t ships, bool is_subtask, TxnId parent,
+                       std::uint32_t subtask_index) {
+  const TxnId id = t.id;
+  auto live = std::make_unique<Live>();
+  live->t = std::move(t);
+  live->origin = origin;
+  live->remote = remote;
+  live->ships = ships;
+  live->is_subtask = is_subtask;
+  live->parent = parent;
+  live->subtask_index = subtask_index;
+  live->needs = live->t.lock_needs();
+  Live& ref = *live;
+  live_.emplace(id, std::move(live));
+
+  if (ref.t.missed(sys_.sim().now())) {
+    finish(id, txn::TxnState::kMissed);
+    return;
+  }
+  ref.deadline_timer =
+      sys_.sim().at(ref.t.deadline, [this, id] { handle_deadline(id); });
+
+  const LsOptions& ls = sys_.ls();
+
+  // H1 admission at the originating client. When it fails, a decomposable
+  // transaction first tries request disassembly (parallel sub-tasks at the
+  // data sites can still meet a deadline the loaded origin cannot); other
+  // transactions look for a better site (H2 over the location reply).
+  // Note: the paper decomposes every decomposable transaction; we found
+  // always-decomposing strictly hurts under the symmetric ~100% offered
+  // load of Table 1 (sub-tasks multiply queue entries), so decomposition
+  // here is the overload-rescue path — see DESIGN.md §6.
+  const bool overloaded = !remote && !is_subtask && ls.enable_h1 &&
+                          ships < ls.max_ships && !h1_admits(ref.t);
+  if (overloaded) {
+    ++sys_.live_metrics().h1_rejections;
+    if (ls.enable_decomposition && ref.t.decomposable &&
+        ref.needs.size() >= 2) {
+      query_locations(ref, QueryPurpose::kDecompose);
+    } else {
+      query_locations(ref, QueryPurpose::kPlacement);
+    }
+    return;
+  }
+
+  admit_local(id);
+}
+
+bool ClientNode::h1_admits(const txn::Transaction& t) const {
+  // H1: with n transactions ahead of T in the priority queue, T stands a
+  // reasonable chance iff now + n * ATL <= deadline. With a
+  // multiprogramming level of m, the first m-1 of those do not queue T —
+  // only the excess beyond the executor slots makes it wait.
+  std::size_t n = 0;
+  for (const auto& [id, live] : live_) {
+    (void)id;
+    if (live->t.id != t.id && txn::is_live(live->t.state) &&
+        live->t.deadline <= t.deadline) {
+      ++n;
+    }
+  }
+  const std::size_t slots = std::max<std::size_t>(
+      1, sys_.cfg().client_executor_slots);
+  const std::size_t ahead = n >= slots ? n - slots + 1 : 0;
+  const double atl =
+      atl_.count() ? atl_.mean() : sys_.cfg().workload.mean_length;
+  return sys_.sim().now() + static_cast<double>(ahead) * atl <= t.deadline;
+}
+
+void ClientNode::query_locations(Live& live, QueryPurpose purpose) {
+  live.pending_query = purpose;
+  LocationQuery q;
+  q.txn = live.t.id;
+  q.client = site_;
+  q.deadline = live.t.deadline;
+  q.needs.reserve(live.needs.size());
+  for (const auto& [obj, mode] : live.needs) {
+    q.needs.push_back({obj, mode, cache_.contains(obj)});
+  }
+  q.load = current_load();
+  sys_.net().send(site_, kServerSite, net::MessageKind::kLocationQuery,
+                  [this, q = std::move(q)] {
+                    sys_.server().on_location_query(q);
+                  });
+}
+
+void ClientNode::on_location_reply(LocationReply reply) {
+  cpu_.submit(sys_.cfg().client_msg_overhead, [this, reply = std::move(reply)] {
+    Live* live = find(reply.txn);
+    if (!live || !txn::is_live(live->t.state)) return;
+    const QueryPurpose purpose = live->pending_query;
+    live->pending_query = QueryPurpose::kNone;
+    switch (purpose) {
+      case QueryPurpose::kDecompose:
+        start_decomposition(*live, reply);
+        break;
+      case QueryPurpose::kPlacement:
+      case QueryPurpose::kConflict:
+        decide_placement(*live, reply);
+        break;
+      case QueryPurpose::kNone:
+        break;  // stale reply (e.g. the txn was shipped meanwhile)
+    }
+  });
+}
+
+void ClientNode::decide_placement(Live& live, const LocationReply& reply) {
+  const bool h2 = sys_.ls().enable_h2;
+  const bool conflict_phase = live.t.state == txn::TxnState::kAcquiring;
+
+  // Self's standing, taken from the server's own assessment when present
+  // (it knows the global lock table), freshened with the local live count.
+  std::size_t self_conflicts = 0;
+  std::size_t self_held = 0;
+  for (const auto& c : reply.candidates) {
+    if (c.site == site_) {
+      self_conflicts = c.conflict_count;
+      self_held = c.objects_held;
+    }
+  }
+  const std::size_t self_load = live_count();
+
+  // Pick the best *other* candidate. The paper's site-selection heuristics
+  // "combine the availability of data and the current processing load":
+  // fewest conflicting locks (H2) first, then the most of the
+  // transaction's objects already cached there (shipping toward the data
+  // keeps cluster-wide hit rates up), then the lightest load.
+  const LocationReply::Candidate* best = nullptr;
+  const auto rank = [&](const LocationReply::Candidate& c) {
+    return std::make_tuple(h2 ? c.conflict_count : 0,
+                           -static_cast<long>(c.objects_held),
+                           c.live_txns, c.site);
+  };
+  for (const auto& c : reply.candidates) {
+    if (c.site == kServerSite || c.site == site_) continue;
+    if (!best || rank(c) < rank(*best)) best = &c;
+  }
+
+  bool ship = false;
+  if (best && live.ships < sys_.ls().max_ships) {
+    if (conflict_phase) {
+      // H2: ship only into a site where the transaction would wait on *no*
+      // conflicting lock at all ("immediate access to the required data").
+      // Waiting out a single callback locally is usually cheaper than
+      // abandoning the origin's cached working set, so a merely-smaller
+      // conflict count does not justify the move.
+      ship = h2 && best->conflict_count == 0 && self_conflicts >= 1 &&
+             best->objects_held >= self_held;
+    } else {
+      // H1 placement: this client is overloaded. Ship only where the
+      // shipped transaction would itself pass H1 — "a shipped transaction
+      // will have at least as much chance of successful completion at that
+      // site as at its originating site" must actually hold, or the ship
+      // just moves the miss (and pollutes the destination's cache).
+      const double dest_eta =
+          sys_.sim().now() +
+          static_cast<double>(best->live_txns) *
+              (best->atl > 0 ? best->atl : sys_.cfg().workload.mean_length);
+      // Data affinity: with overlapping regions, region-sharers hold much
+      // of this transaction's working set — prefer not to strand the
+      // transaction on a site that caches (almost) none of it.
+      ship = best->live_txns + 2 <= self_load &&
+             (!h2 || best->conflict_count <= self_conflicts) &&
+             best->objects_held * 2 >= self_held &&
+             dest_eta + live.t.length <= live.t.deadline;
+    }
+  }
+
+  if (ship) {
+    if (conflict_phase && sys_.ls().enable_speculation &&
+        !live.is_subtask && !live.remote) {
+      // Speculation extension: run the race instead of choosing. The
+      // local contender proceeds (parked batch resumed) while a copy
+      // ships to the better site; first to the commit point wins.
+      ProceedDecision d{live.t.id, site_, /*proceed=*/true, current_load()};
+      sys_.net().send(site_, kServerSite, net::MessageKind::kControl,
+                      [this, d] { sys_.server().on_proceed_decision(d); });
+      launch_speculation(live, best->site);
+      return;
+    }
+    if (conflict_phase) {
+      ++sys_.live_metrics().h2_ships;
+    } else {
+      ++sys_.live_metrics().h1_ships;
+    }
+    if (conflict_phase) {
+      // Withdraw the parked batch before leaving.
+      ProceedDecision d{live.t.id, site_, /*proceed=*/false, current_load()};
+      sys_.net().send(site_, kServerSite, net::MessageKind::kControl,
+                      [this, d] { sys_.server().on_proceed_decision(d); });
+    }
+    ship_txn(live.t.id, best->site);
+    return;
+  }
+
+  // Staying here. A parked conflict batch resumes with one control message;
+  // a fresh (H1-placement) transaction enters the normal local pipeline.
+  if (conflict_phase) {
+    ProceedDecision d{live.t.id, site_, /*proceed=*/true, current_load()};
+    sys_.net().send(site_, kServerSite, net::MessageKind::kControl,
+                    [this, d] { sys_.server().on_proceed_decision(d); });
+  } else {
+    admit_local(live.t.id);
+  }
+}
+
+void ClientNode::ship_txn(TxnId id, SiteId to) {
+  Live* live = find(id);
+  assert(live && !live->remote);
+  if (sys_.trace().enabled(sim::TraceCategory::kShip)) {
+    sys_.trace().emitf(sys_.sim().now(), sim::TraceCategory::kShip, site_,
+                       "ship txn=%llu -> site %d",
+                       static_cast<unsigned long long>(id), to);
+  }
+  ++sys_.live_metrics().shipped_txns;
+
+  ShippedTxn msg;
+  msg.t = live->t;
+  msg.t.state = txn::TxnState::kPending;
+  msg.origin = site_;
+  msg.ships = live->ships + 1;
+
+  // Undo any local acquisition state; the origin only tracks the outcome.
+  sys_.sim().cancel(live->deadline_timer);
+  llm_.release_all(id);
+  live_.erase(id);
+
+  Shipped rec;
+  rec.t = msg.t;
+  rec.deadline_timer = sys_.sim().at(rec.t.deadline, [this, id] {
+    auto it = shipped_.find(id);
+    if (it == shipped_.end()) return;
+    sys_.note_miss(it->second.t);
+    shipped_.erase(it);
+  });
+  shipped_.emplace(id, std::move(rec));
+
+  sys_.net().send(site_, to, net::MessageKind::kTxnShip,
+                  [this, to, msg = std::move(msg)] {
+                    sys_.client(to).on_shipped_txn(msg);
+                  });
+}
+
+void ClientNode::on_shipped_txn(ShippedTxn shipped) {
+  cpu_.submit(sys_.cfg().client_msg_overhead,
+              [this, shipped = std::move(shipped)] {
+                begin(shipped.t, shipped.origin, /*remote=*/true,
+                      shipped.ships);
+                if (shipped.spec_of != kInvalidTxn) {
+                  if (Live* l = find(shipped.t.id)) {
+                    l->spec_parent = shipped.spec_of;
+                  }
+                }
+              });
+}
+
+// ---------------------------------------------------------------------------
+// Speculation (extension)
+// ---------------------------------------------------------------------------
+
+void ClientNode::net_send_spec_request(SiteId origin, TxnId orig,
+                                       TxnId copy_id) {
+  sys_.net().send(site_, origin, net::MessageKind::kControl,
+                  [this, origin, orig, copy_id] {
+                    sys_.client(origin).on_spec_commit_request(orig, site_,
+                                                               copy_id);
+                  });
+}
+
+void ClientNode::launch_speculation(Live& live, SiteId to) {
+  const TxnId orig = live.t.id;
+  // One copy at a time: a restarted contender keeps racing the copy it
+  // already shipped instead of spawning more.
+  if (spec_.count(orig) != 0) return;
+  ++sys_.live_metrics().spec_launched;
+  live.spec_parent = orig;  // the origin-side contender races too
+
+  Spec rec;
+  rec.t = live.t;
+  rec.deadline_timer = sys_.sim().at(
+      rec.t.deadline, [this, orig] { handle_spec_deadline(orig); });
+  spec_.emplace(orig, std::move(rec));
+
+  ShippedTxn msg;
+  msg.t = live.t;
+  msg.t.id = sys_.fresh_txn_id();  // distinct identity at the other site
+  msg.t.state = txn::TxnState::kPending;
+  msg.origin = site_;
+  msg.ships = sys_.ls().max_ships;  // the copy must not ship onward
+  msg.spec_of = orig;
+  sys_.net().send(site_, to, net::MessageKind::kTxnShip,
+                  [this, to, msg = std::move(msg)] {
+                    sys_.client(to).on_shipped_txn(msg);
+                  });
+}
+
+bool ClientNode::spec_claim(TxnId orig, bool local) {
+  auto it = spec_.find(orig);
+  if (it == spec_.end()) return false;  // race already resolved
+  Spec& s = it->second;
+  const auto side = local ? Spec::Winner::kLocal : Spec::Winner::kRemote;
+  const bool claimed =
+      s.winner == Spec::Winner::kOpen ? (s.winner = side, true)
+                                      : s.winner == side;
+  if (sys_.trace().enabled(sim::TraceCategory::kSpec)) {
+    sys_.trace().emitf(sys_.sim().now(), sim::TraceCategory::kSpec, site_,
+                       "spec claim txn=%llu by %s -> %s",
+                       static_cast<unsigned long long>(orig),
+                       local ? "local" : "remote",
+                       claimed ? "granted" : "denied");
+  }
+  return claimed;
+}
+
+void ClientNode::spec_report(TxnId orig, bool local, bool success) {
+  auto it = spec_.find(orig);
+  if (it == spec_.end()) return;  // already resolved
+  Spec& s = it->second;
+  if (success) {
+    sys_.sim().cancel(s.deadline_timer);
+    if (sys_.sim().now() <= s.t.deadline) {
+      sys_.note_commit(s.t, sys_.sim().now());
+      if (local) {
+        // The contender's own commit already fed the ATL estimator.
+        ++sys_.live_metrics().spec_local_wins;
+      } else {
+        ++sys_.live_metrics().spec_remote_wins;
+        update_atl(s.t, sys_.sim().now());
+      }
+    } else {
+      // The winning copy's confirmation crossed the deadline in flight.
+      sys_.note_miss(s.t);
+    }
+    spec_.erase(it);
+    spec_kill_contender(orig);
+    return;
+  }
+  (local ? s.local_failed : s.remote_failed) = true;
+  // A claimant that subsequently failed reopens the race for the other.
+  const auto side = local ? Spec::Winner::kLocal : Spec::Winner::kRemote;
+  if (s.winner == side) s.winner = Spec::Winner::kOpen;
+  if (s.local_failed && s.remote_failed) {
+    sys_.sim().cancel(s.deadline_timer);
+    sys_.note_miss(s.t);
+    spec_.erase(it);
+  }
+}
+
+void ClientNode::spec_kill_contender(TxnId orig) {
+  // The race is over: a still-running local contender would be wasted work
+  // — and a restarted one could re-launch speculation for a transaction
+  // whose outcome is already recorded.
+  Live* l = find(orig);
+  if (l && txn::is_live(l->t.state)) {
+    finish(orig, txn::TxnState::kAborted);
+  }
+}
+
+void ClientNode::handle_spec_deadline(TxnId orig) {
+  auto it = spec_.find(orig);
+  if (it == spec_.end()) return;
+  Spec& s = it->second;
+  // A remote claimant may have committed just before the deadline with its
+  // confirmation still in flight; let the report settle the outcome.
+  if (s.winner == Spec::Winner::kRemote && !s.remote_failed) return;
+  sys_.note_miss(s.t);
+  spec_.erase(it);
+  spec_kill_contender(orig);
+}
+
+void ClientNode::on_spec_commit_request(TxnId orig, SiteId from,
+                                        TxnId copy_id) {
+  cpu_.submit(sys_.cfg().client_msg_overhead, [this, orig, from, copy_id] {
+    const bool granted = spec_claim(orig, /*local=*/false);
+    sys_.net().send(site_, from, net::MessageKind::kControl,
+                    [this, from, copy_id, granted] {
+                      sys_.client(from).on_spec_commit_reply(copy_id,
+                                                             granted);
+                    });
+  });
+}
+
+void ClientNode::on_spec_commit_reply(TxnId copy_id, bool granted) {
+  cpu_.submit(sys_.cfg().client_msg_overhead, [this, copy_id, granted] {
+    Live* live = find(copy_id);
+    if (!live || !txn::is_live(live->t.state)) return;
+    live->commit_arbitration_pending = false;
+    if (!granted) {
+      finish(copy_id, txn::TxnState::kAborted);
+      return;
+    }
+    live->commit_granted = true;
+    commit(copy_id);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Decomposition
+// ---------------------------------------------------------------------------
+
+void ClientNode::start_decomposition(Live& live, const LocationReply& reply) {
+  std::unordered_map<ObjectId, SiteId> where;
+  for (const auto& c : reply.conflicts) where[c.object] = c.location;
+  const auto locate = [&](ObjectId obj) {
+    auto it = where.find(obj);
+    const SiteId loc = it == where.end() ? kServerSite : it->second;
+    // Server-resident objects materialize at the originating client.
+    return loc == kServerSite ? site_ : loc;
+  };
+
+  auto subtasks = txn::decompose(live.t, locate);
+  if (subtasks.size() < 2) {
+    // Nothing to split: continue with the ordinary pipeline (H1 next).
+    const LsOptions& ls = sys_.ls();
+    if (ls.enable_h1 && live.ships < ls.max_ships && !h1_admits(live.t)) {
+      ++sys_.live_metrics().h1_rejections;
+      query_locations(live, QueryPurpose::kPlacement);
+    } else {
+      admit_local(live.t.id);
+    }
+    return;
+  }
+
+  ++sys_.live_metrics().decomposed_txns;
+  sys_.live_metrics().subtasks_spawned += subtasks.size();
+
+  const TxnId parent_id = live.t.id;
+  Parent parent;
+  parent.t = live.t;
+  parent.remaining = subtasks.size();
+  parent.deadline_timer = sys_.sim().at(parent.t.deadline, [this, parent_id] {
+    auto it = parents_.find(parent_id);
+    if (it == parents_.end()) return;
+    sys_.note_miss(it->second.t);
+    parents_.erase(it);
+  });
+
+  // The original's Live entry dissolves into sub-tasks; its outcome is
+  // tracked through parents_.
+  sys_.sim().cancel(live.deadline_timer);
+  live_.erase(parent_id);
+  parents_.emplace(parent_id, std::move(parent));
+
+  for (const auto& st : subtasks) {
+    txn::Transaction work;
+    work.id = sys_.fresh_txn_id();
+    work.origin = site_;
+    work.arrival = sys_.sim().now();
+    work.deadline = st.deadline;
+    work.length = st.length;
+    work.ops = st.ops;
+    work.decomposable = false;
+
+    if (st.site == site_) {
+      begin(std::move(work), site_, /*remote=*/false, sys_.ls().max_ships,
+            /*is_subtask=*/true, parent_id, st.index);
+    } else {
+      ShippedSubtask msg;
+      msg.parent = parent_id;
+      msg.index = st.index;
+      msg.origin = site_;
+      msg.work = std::move(work);
+      sys_.net().send(site_, st.site, net::MessageKind::kSubtaskShip,
+                      [this, to = st.site, msg = std::move(msg)] {
+                        sys_.client(to).on_shipped_subtask(msg);
+                      });
+    }
+  }
+}
+
+void ClientNode::on_shipped_subtask(ShippedSubtask shipped) {
+  cpu_.submit(sys_.cfg().client_msg_overhead,
+              [this, shipped = std::move(shipped)] {
+                begin(shipped.work, shipped.origin, /*remote=*/true,
+                      sys_.ls().max_ships, /*is_subtask=*/true,
+                      shipped.parent, shipped.index);
+              });
+}
+
+void ClientNode::on_remote_result(RemoteResult result) {
+  cpu_.submit(sys_.cfg().client_msg_overhead, [this, result] {
+    if (result.spec) {
+      spec_report(result.id, /*local=*/false, result.success);
+      return;
+    }
+    if (result.is_subtask) {
+      auto it = parents_.find(result.id);
+      if (it == parents_.end()) return;  // already resolved (miss/failure)
+      Parent& parent = it->second;
+      if (!result.success) {
+        // "The failure of any subtask to meet the transaction deadline
+        // implies the failure of the entire transaction."
+        sys_.sim().cancel(parent.deadline_timer);
+        sys_.note_miss(parent.t);
+        parents_.erase(it);
+        return;
+      }
+      if (--parent.remaining == 0) {
+        // Answer synthesis at the originating client.
+        sys_.sim().cancel(parent.deadline_timer);
+        sys_.note_commit(parent.t, sys_.sim().now());
+        update_atl(parent.t, sys_.sim().now());
+        parents_.erase(it);
+      }
+      return;
+    }
+
+    auto it = shipped_.find(result.id);
+    if (it == shipped_.end()) return;  // deadline timer got there first
+    Shipped& rec = it->second;
+    sys_.sim().cancel(rec.deadline_timer);
+    if (result.success && sys_.sim().now() <= rec.t.deadline) {
+      sys_.note_commit(rec.t, sys_.sim().now());
+    } else {
+      sys_.note_miss(rec.t);
+    }
+    shipped_.erase(it);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Local pipeline: locks -> objects -> executor -> commit
+// ---------------------------------------------------------------------------
+
+void ClientNode::admit_local(TxnId id) {
+  Live* live = find(id);
+  if (!live || !txn::is_live(live->t.state)) return;
+  live->t.state = txn::TxnState::kAcquiring;
+
+  live->local_locks_pending = live->needs.size();
+  const sim::SimTime deadline = live->t.deadline;
+  const std::uint32_t epoch = live->epoch;
+  for (const auto& [obj, mode] : live->needs) {
+    const auto outcome =
+        llm_.acquire(id, obj, mode, deadline, [this, id, epoch](bool granted) {
+          Live* l = find(id);
+          if (!l || l->epoch != epoch || !txn::is_live(l->t.state)) return;
+          if (!granted) {
+            // Late deadlock: a more urgent local request closed a cycle
+            // through this waiter. Same recovery as an admission refusal.
+            ++sys_.live_metrics().deadlock_refusals;
+            restart_after_deadlock(id);
+            return;
+          }
+          if (--l->local_locks_pending == 0) on_local_locks(id);
+        });
+    switch (outcome) {
+      case lock::LocalLockManager::Outcome::kGranted:
+        --live->local_locks_pending;
+        break;
+      case lock::LocalLockManager::Outcome::kQueued:
+        break;
+      case lock::LocalLockManager::Outcome::kDeadlock:
+        ++sys_.live_metrics().deadlock_refusals;
+        restart_after_deadlock(id);
+        return;
+    }
+  }
+  if (live->local_locks_pending == 0) on_local_locks(id);
+}
+
+void ClientNode::restart_after_deadlock(TxnId id) {
+  Live* live = find(id);
+  if (!live || !txn::is_live(live->t.state)) return;
+  const auto& cfg = sys_.cfg();
+  const sim::Duration backoff =
+      cfg.deadlock_backoff * static_cast<double>(live->restarts + 1);
+  if (live->restarts >= cfg.deadlock_retries ||
+      sys_.sim().now() + backoff >= live->t.deadline) {
+    finish(id, txn::TxnState::kAborted);
+    return;
+  }
+  ++live->restarts;
+  ++live->epoch;  // stale lock/cache callbacks from this attempt drop out
+  const std::uint32_t epoch = live->epoch;
+  llm_.release_all(id);
+  live->t.state = txn::TxnState::kPending;
+  live->awaiting.clear();
+  live->cache_ios = 0;
+  live->local_locks_pending = 0;
+  live->pending_query = QueryPurpose::kNone;
+  sys_.sim().after(backoff, [this, id, epoch] {
+    Live* l = find(id);
+    if (!l || l->epoch != epoch || !txn::is_live(l->t.state)) return;
+    admit_local(id);
+  });
+}
+
+void ClientNode::on_local_locks(TxnId id) {
+  Live* live = find(id);
+  if (!live || live->t.state != txn::TxnState::kAcquiring) return;
+  evaluate_objects(id);
+}
+
+void ClientNode::evaluate_objects(TxnId id) {
+  Live* live = find(id);
+  assert(live);
+  std::vector<ObjectNeed> missing;
+
+  const std::uint32_t epoch = live->epoch;
+  for (const auto& [obj, mode] : live->needs) {
+    const LockMode smode = cached_server_mode(obj);
+    const bool lock_ok = lock::covers(smode, mode);
+    // Data touch: counts the paper's cache hit/miss and pays the local
+    // memory/disk time when the object is cached.
+    ++live->cache_ios;
+    const bool data_local =
+        cache_.access(obj, /*write=*/false, [this, id, epoch] {
+          Live* l = find(id);
+          if (!l || l->epoch != epoch || !txn::is_live(l->t.state)) return;
+          --l->cache_ios;
+          maybe_ready(id);
+        });
+    if (!data_local) --live->cache_ios;  // miss: no local I/O happens
+
+    if (!lock_ok || !data_local) {
+      live->awaiting.insert(obj);
+      missing.push_back({obj, mode, data_local});
+    }
+  }
+
+  if (!missing.empty()) {
+    const LsOptions& ls = sys_.ls();
+    // Client-side prefilter for the H2 detour: when this client already
+    // caches most of the transaction's data, no other site can come out
+    // ahead on data availability, so the ship-or-stay answer is known to
+    // be "stay" — skip the location round trip and let the server queue
+    // conflicts directly. (A "missing" need with have_copy set is a lock
+    // upgrade: the data is here.)
+    std::size_t data_absent = 0;
+    for (const auto& need : missing) {
+      if (!need.have_copy) ++data_absent;
+    }
+    const bool mostly_local =
+        2 * (live->needs.size() - data_absent) >= live->needs.size();
+    const bool want_locations = ls.enable_h2 && !live->remote &&
+                                !live->is_subtask &&
+                                live->ships < ls.max_ships && !mostly_local;
+    send_batch(*live, missing, /*auto_proceed=*/!want_locations);
+    // A conflict reply (if the server cannot grant everything) will be
+    // dispatched to decide_placement via this marker.
+    if (want_locations) live->pending_query = QueryPurpose::kConflict;
+  }
+  maybe_ready(id);
+}
+
+void ClientNode::send_batch(Live& live, const std::vector<ObjectNeed>& missing,
+                            bool auto_proceed) {
+  ObjectRequestBatch batch;
+  batch.txn = live.t.id;
+  batch.client = site_;
+  batch.deadline = live.t.deadline;
+  batch.needs = missing;
+  batch.auto_proceed = auto_proceed;
+  batch.load = current_load();
+
+  const sim::SimTime now = sys_.sim().now();
+  for (const auto& need : missing) {
+    // Table 3: measure from the first request for this object.
+    live.request_marks.emplace(need.object,
+                               Live::RequestMark{now, need.mode});
+  }
+  sys_.net().send_batch(site_, kServerSite, net::MessageKind::kObjectRequest,
+                        missing.size(), [this, batch = std::move(batch)] {
+                          sys_.server().on_request_batch(batch);
+                        });
+}
+
+void ClientNode::need_satisfied(TxnId id, ObjectId obj) {
+  Live* live = find(id);
+  if (!live) return;
+  live->awaiting.erase(obj);
+  maybe_ready(id);
+}
+
+void ClientNode::maybe_ready(TxnId id) {
+  Live* live = find(id);
+  if (!live || live->t.state != txn::TxnState::kAcquiring) return;
+  // A pending kConflict location reply never blocks readiness: the reply
+  // only ever arrives when some need is still awaiting.
+  if (live->local_locks_pending > 0 || !live->awaiting.empty() ||
+      live->cache_ios > 0) {
+    return;
+  }
+  live->t.state = txn::TxnState::kReady;
+  ready_.push(id, live->t.deadline);
+  pump_executor();
+}
+
+void ClientNode::pump_executor() {
+  while (busy_slots_ < sys_.cfg().client_executor_slots) {
+    auto next = ready_.pop();
+    if (!next) return;
+    Live* live = find(*next);
+    if (!live || live->t.state != txn::TxnState::kReady) continue;
+    live->t.state = txn::TxnState::kExecuting;
+    ++busy_slots_;
+    const TxnId id = *next;
+    sys_.sim().after(live->t.length, [this, id] {
+      Live* l = find(id);
+      if (!l || l->t.state != txn::TxnState::kExecuting) return;
+      commit(id);
+    });
+  }
+}
+
+void ClientNode::commit(TxnId id) {
+  Live* live = find(id);
+  assert(live && live->t.state == txn::TxnState::kExecuting);
+
+  // Speculation arbitration precedes the commit (extension): exactly one
+  // of the two racing copies may apply its effects.
+  if (live->spec_parent != kInvalidTxn) {
+    if (!live->remote) {
+      // Origin-side contender: synchronous claim.
+      if (!spec_claim(live->spec_parent, /*local=*/true)) {
+        finish(id, txn::TxnState::kAborted);
+        return;
+      }
+    } else if (!live->commit_granted) {
+      // Shipped copy: ask the origin; the executor slot stays occupied for
+      // the short round trip, the reply re-enters through commit().
+      if (live->commit_arbitration_pending) return;
+      live->commit_arbitration_pending = true;
+      const TxnId orig = live->spec_parent;
+      const SiteId origin = live->origin;
+      net_send_spec_request(origin, orig, id);
+      return;
+    }
+  }
+
+  // Updates dirty the cached copies (write-back happens on recall, forward,
+  // or eviction — inter-transaction caching keeps them here). Every access
+  // reports the version it used to the consistency auditor.
+  const sim::SimTime now = sys_.sim().now();
+  for (const auto& [obj, mode] : live->needs) {
+    auto duty = duties_.find(obj);
+    const bool via_duty = duty != duties_.end() && duty->second.bound == id;
+    if (mode == LockMode::kExclusive) {
+      if (via_duty) {
+        duty->second.dirty = true;
+        ++duty->second.version;
+        sys_.auditor().on_write_commit(obj, site_, duty->second.version, now);
+      } else {
+        cache_.mark_dirty(obj);
+        const std::uint64_t v = ++version_[obj];
+        sys_.auditor().on_write_commit(obj, site_, v, now);
+      }
+    } else {
+      const std::uint64_t v =
+          via_duty ? duty->second.version : version_of(obj);
+      sys_.auditor().on_read_commit(obj, site_, v, now);
+    }
+  }
+  update_atl(live->t, sys_.sim().now());
+  if (sys_.trace().enabled(sim::TraceCategory::kTxn)) {
+    sys_.trace().emitf(sys_.sim().now(), sim::TraceCategory::kTxn, site_,
+                       "commit txn=%llu slack=%.3f",
+                       static_cast<unsigned long long>(id),
+                       live->t.deadline - sys_.sim().now());
+  }
+  finish(id, txn::TxnState::kCommitted);
+}
+
+void ClientNode::handle_deadline(TxnId id) {
+  Live* live = find(id);
+  if (!live || !txn::is_live(live->t.state)) return;
+  if (sys_.trace().enabled(sim::TraceCategory::kTxn)) {
+    sys_.trace().emitf(sys_.sim().now(), sim::TraceCategory::kTxn, site_,
+                       "miss txn=%llu (state %s)",
+                       static_cast<unsigned long long>(id),
+                       std::string(txn::to_string(live->t.state)).c_str());
+  }
+  finish(id, txn::TxnState::kMissed);
+}
+
+void ClientNode::finish(TxnId id, txn::TxnState final_state) {
+  Live* live = find(id);
+  assert(live);
+  const bool was_executing = live->t.state == txn::TxnState::kExecuting;
+  live->t.state = final_state;
+  sys_.sim().cancel(live->deadline_timer);
+
+  // Outcome reporting: the origin owns the accounting.
+  const bool success = final_state == txn::TxnState::kCommitted;
+  if (live->spec_parent != kInvalidTxn) {
+    // Speculation contender/copy: the arbitration record at the origin
+    // owns the original's outcome.
+    if (!live->remote) {
+      spec_report(live->spec_parent, /*local=*/true, success);
+    } else {
+      RemoteResult result;
+      result.id = live->spec_parent;
+      result.success = success;
+      result.spec = true;
+      sys_.net().send(site_, live->origin, net::MessageKind::kTxnResult,
+                      [this, origin = live->origin, result] {
+                        sys_.client(origin).on_remote_result(result);
+                      });
+    }
+  } else if (live->is_subtask) {
+    RemoteResult result;
+    result.id = live->parent;
+    result.subtask_index = live->subtask_index;
+    result.is_subtask = true;
+    result.success = success;
+    if (live->origin == site_) {
+      on_remote_result(result);
+    } else {
+      sys_.net().send(site_, live->origin, net::MessageKind::kSubtaskResult,
+                      [this, origin = live->origin, result] {
+                        sys_.client(origin).on_remote_result(result);
+                      });
+    }
+  } else if (live->remote) {
+    RemoteResult result;
+    result.id = live->t.id;
+    result.success = success;
+    sys_.net().send(site_, live->origin, net::MessageKind::kTxnResult,
+                    [this, origin = live->origin, result] {
+                      sys_.client(origin).on_remote_result(result);
+                    });
+  } else {
+    switch (final_state) {
+      case txn::TxnState::kCommitted:
+        sys_.note_commit(live->t, sys_.sim().now());
+        break;
+      case txn::TxnState::kMissed:
+        sys_.note_miss(live->t);
+        break;
+      case txn::TxnState::kAborted:
+        sys_.note_abort(live->t);
+        break;
+      default:
+        assert(false && "finish() with a live state");
+    }
+  }
+
+  // Release local locks; remember the lock set to re-check deferred recalls
+  // once the lock manager has granted any local waiters.
+  const auto held = llm_.objects_held(id);
+  llm_.release_all(id);
+  check_deferred_recalls(held);
+
+  // Circulating objects bound to this transaction move along now.
+  const auto circ = live->circulating_used;  // copy: fulfil mutates duties_
+  for (ObjectId obj : circ) {
+    auto duty = duties_.find(obj);
+    if (duty != duties_.end() && duty->second.bound == id) {
+      fulfil_forward_duty(obj);
+    }
+  }
+
+  if (was_executing && busy_slots_ > 0) --busy_slots_;
+  live_.erase(id);
+  pump_executor();
+}
+
+// ---------------------------------------------------------------------------
+// Grants, forwards, recalls, evictions
+// ---------------------------------------------------------------------------
+
+void ClientNode::on_grant(Grant g) {
+  cpu_.submit(sys_.cfg().client_msg_overhead, [this, g = std::move(g)] {
+    handle_incoming_object(g, /*via_forward=*/false);
+  });
+}
+
+void ClientNode::on_forwarded_object(Grant g) {
+  cpu_.submit(sys_.cfg().client_msg_overhead, [this, g = std::move(g)] {
+    handle_incoming_object(g, /*via_forward=*/true);
+  });
+}
+
+void ClientNode::handle_incoming_object(Grant g, bool via_forward) {
+  if (via_forward) ++sys_.live_metrics().forward_list_satisfactions;
+  Live* live = find(g.txn);
+
+  if (g.circulating && g.mode == LockMode::kShared) {
+    // Shared fan-out hop: the copy is ours to keep (the server registered
+    // our SL when the list shipped) and the remainder of the list is
+    // served immediately — readers overlap instead of serializing.
+    cache_.insert(g.object, /*dirty=*/false);
+    server_mode_[g.object] =
+        lock::stronger(cached_server_mode(g.object), LockMode::kShared);
+    version_[g.object] = g.version;
+    if (live && txn::is_live(live->t.state) &&
+        live->awaiting.count(g.object)) {
+      auto mark = live->request_marks.find(g.object);
+      if (mark != live->request_marks.end() && sys_.measured(live->t)) {
+        sys_.live_metrics().object_response_shared.add(
+            sys_.sim().now() - mark->second.sent_at);
+      }
+      need_satisfied(g.txn, g.object);
+    }
+    // Pass the copy along right away (duty not bound to any transaction).
+    ForwardDuty duty;
+    duty.rest = std::move(g.forward_list);
+    duty.dirty = g.dirty;
+    duty.bound = kInvalidTxn;
+    duty.version = g.version;
+    duties_[g.object] = std::move(duty);
+    fulfil_forward_duty(g.object);
+    return;
+  }
+
+  if (g.circulating) {
+    // Exclusive hop: the object is on loan, bound to the requesting
+    // transaction; when that transaction ends it travels to the next
+    // entry (or home). A previously retained copy/SL (this hop serving our
+    // upgrade) is superseded by the travelling one — the server dropped
+    // our registration when it built the list, so keeping it would leave
+    // a stale reader.
+    cache_.drop(g.object);
+    server_mode_.erase(g.object);
+    version_.erase(g.object);
+    ForwardDuty duty;
+    duty.rest = std::move(g.forward_list);
+    duty.dirty = g.dirty;
+    duty.bound = g.txn;
+    duty.version = g.version;
+    duties_[g.object] = std::move(duty);
+
+    if (live && txn::is_live(live->t.state) &&
+        live->awaiting.count(g.object)) {
+      auto mark = live->request_marks.find(g.object);
+      if (mark != live->request_marks.end() && sys_.measured(live->t)) {
+        auto& series = mark->second.mode == LockMode::kExclusive
+                           ? sys_.live_metrics().object_response_exclusive
+                           : sys_.live_metrics().object_response_shared;
+        series.add(sys_.sim().now() - mark->second.sent_at);
+      }
+      live->circulating_used.push_back(g.object);
+      need_satisfied(g.txn, g.object);
+    } else {
+      // The requester is already dead: pass the object straight along.
+      fulfil_forward_duty(g.object);
+    }
+    return;
+  }
+
+  // Ordinary grant: the lock (and possibly data) now belongs to this client.
+  if (!g.with_data && !cache_.contains(g.object)) {
+    // Benign race: our copy was evicted while the lock-only grant was in
+    // flight. Keep the lock and fetch the data explicitly.
+    server_mode_[g.object] =
+        lock::stronger(cached_server_mode(g.object), g.mode);
+    if (live && txn::is_live(live->t.state) &&
+        live->awaiting.count(g.object)) {
+      LockMode need_mode = g.mode;
+      for (const auto& [obj, mode] : live->needs) {
+        if (obj == g.object) need_mode = mode;
+      }
+      std::vector<ObjectNeed> refetch{{g.object, need_mode, false}};
+      send_batch(*live, refetch, /*auto_proceed=*/true);
+    }
+    return;
+  }
+
+  if (g.with_data) {
+    cache_.insert(g.object, /*dirty=*/false);
+    version_[g.object] = g.version;
+  }
+  server_mode_[g.object] =
+      lock::stronger(cached_server_mode(g.object), g.mode);
+
+  if (live && txn::is_live(live->t.state) && live->awaiting.count(g.object)) {
+    auto mark = live->request_marks.find(g.object);
+    if (mark != live->request_marks.end() && sys_.measured(live->t)) {
+      auto& series = mark->second.mode == LockMode::kExclusive
+                         ? sys_.live_metrics().object_response_exclusive
+                         : sys_.live_metrics().object_response_shared;
+      series.add(sys_.sim().now() - mark->second.sent_at);
+    }
+    need_satisfied(g.txn, g.object);
+  }
+}
+
+void ClientNode::fulfil_forward_duty(ObjectId obj) {
+  auto it = duties_.find(obj);
+  if (it == duties_.end()) return;
+  ForwardDuty duty = std::move(it->second);
+  duties_.erase(it);
+
+  // Skip exclusive entries whose transactions already missed — there is
+  // nothing to execute there. Shared entries are delivered regardless:
+  // the server registered their SL holds when the list shipped, so the
+  // copy must land (it simply becomes cached data).
+  std::size_t next_idx = 0;
+  const sim::SimTime now = sys_.sim().now();
+  while (next_idx < duty.rest.size() &&
+         duty.rest[next_idx].mode == lock::LockMode::kExclusive &&
+         duty.rest[next_idx].expires < now) {
+    ++sys_.live_metrics().expired_requests_skipped;
+    ++next_idx;
+  }
+
+  if (next_idx >= duty.rest.size()) {
+    // End of the list: the object goes home.
+    ObjectReturn ret;
+    ret.client = site_;
+    ret.object = obj;
+    ret.dirty = duty.dirty;
+    ret.version = duty.version;
+    ret.from_circulation = true;
+    ret.load = current_load();
+    sys_.net().send(site_, kServerSite, net::MessageKind::kObjectReturn,
+                    [this, ret] { sys_.server().on_object_return(ret); });
+    return;
+  }
+
+  const lock::ForwardEntry next = duty.rest[next_idx];
+  Grant g;
+  g.txn = next.txn;
+  g.object = obj;
+  g.mode = next.mode;
+  g.with_data = true;
+  g.circulating = true;
+  g.dirty = duty.dirty;
+  g.version = duty.version;
+  g.forward_list.assign(duty.rest.begin() + next_idx + 1, duty.rest.end());
+  sys_.net().send(site_, next.site, net::MessageKind::kObjectForward,
+                  [this, to = next.site, g = std::move(g)] {
+                    sys_.client(to).on_forwarded_object(g);
+                  });
+}
+
+void ClientNode::on_recall(Recall r) {
+  cpu_.submit(sys_.cfg().client_msg_overhead,
+              [this, r] { process_recall(r.object, r.wanted); });
+}
+
+void ClientNode::process_recall(ObjectId obj, LockMode wanted) {
+  const LockMode held = cached_server_mode(obj);
+  if (held == LockMode::kNone) {
+    // The lock was already returned voluntarily (eviction) — tell the
+    // server so it can clear the callback and move on.
+    ObjectReturn ret;
+    ret.client = site_;
+    ret.object = obj;
+    ret.was_held = false;
+    ret.load = current_load();
+    sys_.net().send(site_, kServerSite, net::MessageKind::kObjectReturn,
+                    [this, ret] { sys_.server().on_object_return(ret); });
+    return;
+  }
+
+  // Deferral: local transactions using the object keep it until they
+  // release ("once these locks have been released, the server grants...").
+  bool blocked = false;
+  for (TxnId holder : llm_.holders(obj)) {
+    const LockMode local = llm_.held_mode(holder, obj);
+    if (wanted == LockMode::kExclusive ||
+        local == LockMode::kExclusive) {
+      blocked = true;
+      break;
+    }
+  }
+  if (blocked) {
+    auto [it, inserted] = deferred_recalls_.emplace(obj, wanted);
+    if (!inserted) it->second = lock::stronger(it->second, wanted);
+    return;
+  }
+
+  ObjectReturn ret;
+  ret.client = site_;
+  ret.object = obj;
+  ret.version = version_of(obj);
+  ret.load = current_load();
+
+  if (wanted == LockMode::kShared && held == LockMode::kShared) {
+    // Raced with our own downgrade: nothing conflicts any more; just let
+    // the server clear the callback.
+    ret.downgraded = true;
+  } else if (wanted == LockMode::kShared && held == LockMode::kExclusive) {
+    // The paper's modified callback: return the (updated) object but only
+    // downgrade to a SL — both clients then share read access.
+    ret.dirty = cache_.is_dirty(obj);
+    ret.downgraded = true;
+    server_mode_[obj] = LockMode::kShared;
+    cache_.mark_clean(obj);
+  } else {
+    ret.dirty = cache_.is_dirty(obj);
+    ret.downgraded = false;
+    server_mode_.erase(obj);
+    version_.erase(obj);
+    cache_.drop(obj);
+  }
+  sys_.net().send(site_, kServerSite, net::MessageKind::kObjectReturn,
+                  [this, ret] { sys_.server().on_object_return(ret); });
+}
+
+void ClientNode::check_deferred_recalls(const std::vector<ObjectId>& objs) {
+  for (ObjectId obj : objs) {
+    auto it = deferred_recalls_.find(obj);
+    if (it == deferred_recalls_.end()) continue;
+    const LockMode wanted = it->second;
+    // Still blocked by another local transaction?
+    bool blocked = false;
+    for (TxnId holder : llm_.holders(obj)) {
+      const LockMode local = llm_.held_mode(holder, obj);
+      if (wanted == LockMode::kExclusive || local == LockMode::kExclusive) {
+        blocked = true;
+        break;
+      }
+    }
+    if (blocked) continue;
+    deferred_recalls_.erase(it);
+    process_recall(obj, wanted);
+  }
+}
+
+void ClientNode::on_cache_eviction(ObjectId obj, bool dirty) {
+  // The object fell out of both cache tiers: the client cannot claim the
+  // lock any longer — return it (with the update when dirty).
+  if (cached_server_mode(obj) == LockMode::kNone) return;
+  server_mode_.erase(obj);
+  ObjectReturn ret;
+  ret.client = site_;
+  ret.object = obj;
+  ret.dirty = dirty;
+  ret.version = version_of(obj);
+  version_.erase(obj);
+  ret.load = current_load();
+  sys_.net().send(site_, kServerSite, net::MessageKind::kObjectReturn,
+                  [this, ret] { sys_.server().on_object_return(ret); });
+}
+
+void ClientNode::on_denied(TxnId txn) {
+  cpu_.submit(sys_.cfg().client_msg_overhead, [this, txn] {
+    Live* live = find(txn);
+    if (!live || !txn::is_live(live->t.state)) return;
+    // Server-side wait-for-graph refusal: classic deadlock-victim restart.
+    restart_after_deadlock(txn);
+  });
+}
+
+}  // namespace rtdb::core

@@ -1,0 +1,235 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/protocol.hpp"
+#include "lock/local_lock_manager.hpp"
+#include "sim/resource.hpp"
+#include "sim/stats.hpp"
+#include "storage/client_cache.hpp"
+#include "txn/edf_queue.hpp"
+#include "txn/transaction.hpp"
+
+/// \file client_node.hpp
+/// A client workstation of the CS-RTDBS / LS-CS-RTDBS: local ED scheduler,
+/// local lock manager, two-tier object cache with cached server locks, the
+/// callback/downgrade protocol, and — in the LS configuration — the H1/H2
+/// site-selection logic, transaction shipping, decomposition, and
+/// forward-list duties.
+
+namespace rtdb::core {
+
+class ClientServerSystem;
+
+/// Client-side protocol engine and transaction pipeline.
+class ClientNode {
+ public:
+  ClientNode(ClientServerSystem& sys, SiteId site, std::size_t index);
+
+  ClientNode(const ClientNode&) = delete;
+  ClientNode& operator=(const ClientNode&) = delete;
+
+  /// A user transaction submitted at this client (origin here).
+  void on_new_transaction(txn::Transaction t);
+
+  /// Warm-start install: the object is cached (clean) and the server has
+  /// already registered our SL. No timing, no messages; call before the
+  /// simulation starts.
+  void warm_insert(ObjectId obj);
+
+  // --- network entry points -------------------------------------------------
+  void on_grant(Grant g);              ///< from the server (kObjectShip/kLockGrant)
+  void on_forwarded_object(Grant g);   ///< from a peer (kObjectForward)
+  void on_recall(Recall r);
+  void on_location_reply(LocationReply reply);
+  void on_shipped_txn(ShippedTxn shipped);
+  /// Speculation arbitration traffic (kControl messages).
+  void on_spec_commit_request(TxnId orig, SiteId from, TxnId copy_id);
+  void on_spec_commit_reply(TxnId copy_id, bool granted);
+  void on_shipped_subtask(ShippedSubtask shipped);
+  void on_remote_result(RemoteResult result);
+  void on_denied(TxnId txn);           ///< server deadlock refusal
+
+  // --- observability ------------------------------------------------------
+  [[nodiscard]] const storage::ClientCache& cache() const { return cache_; }
+  [[nodiscard]] const lock::LocalLockManager& lock_manager() const {
+    return llm_;
+  }
+  [[nodiscard]] LoadInfo current_load() const;
+  [[nodiscard]] SiteId site() const { return site_; }
+  [[nodiscard]] std::size_t live_count() const {
+    return live_.size() + shipped_.size() + parents_.size();
+  }
+  [[nodiscard]] lock::LockMode cached_server_mode(ObjectId obj) const;
+
+  void reset_stats();
+
+ private:
+  /// Why this client is waiting for a LocationReply for a transaction.
+  enum class QueryPurpose : std::uint8_t {
+    kNone,
+    kDecompose,   ///< split a decomposable transaction by object location
+    kPlacement,   ///< H1 failed: find a better site before admitting
+    kConflict,    ///< server reported conflicts: H2 ship-or-stay decision
+  };
+
+  /// A transaction (or sub-task) living at this client.
+  struct Live {
+    txn::Transaction t;
+    SiteId origin = kInvalidSite;  ///< where the user submitted it
+    bool remote = false;           ///< executing on another site's behalf
+    bool is_subtask = false;
+    std::uint32_t subtask_index = 0;
+    TxnId parent = kInvalidTxn;
+    std::uint32_t ships = 0;       ///< times shipped so far
+
+    std::vector<std::pair<ObjectId, lock::LockMode>> needs;
+    std::size_t local_locks_pending = 0;
+    std::unordered_set<ObjectId> awaiting;  ///< waiting on the server
+    std::size_t cache_ios = 0;              ///< local disk-tier promotions
+
+    struct RequestMark {
+      sim::SimTime sent_at = 0;
+      lock::LockMode mode = lock::LockMode::kShared;
+    };
+    std::unordered_map<ObjectId, RequestMark> request_marks;  ///< Table 3
+
+    std::vector<ObjectId> circulating_used;  ///< forward-duty objects bound
+    QueryPurpose pending_query = QueryPurpose::kNone;
+    sim::EventId deadline_timer = sim::kNoEvent;
+
+    /// Restart bookkeeping (deadlock-refusal recovery): stale callbacks
+    /// from a previous attempt carry an older epoch and are dropped.
+    std::uint32_t epoch = 0;
+    std::uint32_t restarts = 0;
+
+    /// Speculation extension: the original transaction this copy contends
+    /// for (set on both the origin-side contender and the shipped copy).
+    TxnId spec_parent = kInvalidTxn;
+    /// Remote copies only: the origin granted this copy the commit.
+    bool commit_granted = false;
+    bool commit_arbitration_pending = false;
+  };
+
+  /// A decomposed original awaiting its sub-tasks.
+  struct Parent {
+    txn::Transaction t;
+    std::size_t remaining = 0;
+    sim::EventId deadline_timer = sim::kNoEvent;
+  };
+
+  /// A transaction shipped away, awaiting its result.
+  struct Shipped {
+    txn::Transaction t;
+    sim::EventId deadline_timer = sim::kNoEvent;
+  };
+
+  /// Speculation arbitration record (origin side): two copies race to the
+  /// commit point; exactly one outcome is recorded for the original.
+  struct Spec {
+    txn::Transaction t;
+    enum class Winner : std::uint8_t { kOpen, kLocal, kRemote };
+    Winner winner = Winner::kOpen;
+    bool local_failed = false;
+    bool remote_failed = false;
+    sim::EventId deadline_timer = sim::kNoEvent;
+  };
+
+  /// A forward list travelling with an object currently held here.
+  struct ForwardDuty {
+    std::vector<lock::ForwardEntry> rest;  ///< entries still to serve
+    bool dirty = false;                    ///< object updated on this hop
+    TxnId bound = kInvalidTxn;             ///< local txn using the object
+    std::uint64_t version = 0;             ///< version of the carried copy
+  };
+
+  // --- pipeline ---------------------------------------------------------
+  void begin(txn::Transaction t, SiteId origin, bool remote,
+             std::uint32_t ships, bool is_subtask = false,
+             TxnId parent = kInvalidTxn, std::uint32_t subtask_index = 0);
+  void admit_local(TxnId id);
+  void on_local_locks(TxnId id);
+  void evaluate_objects(TxnId id);
+  void send_batch(Live& live, const std::vector<ObjectNeed>& missing,
+                  bool auto_proceed);
+  void need_satisfied(TxnId id, ObjectId obj);
+  void maybe_ready(TxnId id);
+  void pump_executor();
+  void commit(TxnId id);
+  void handle_deadline(TxnId id);
+  /// Tears down a live transaction; records the outcome when this client
+  /// is its origin (and notifies the origin when it is not).
+  void finish(TxnId id, txn::TxnState final_state);
+  /// Deadlock-refusal recovery: release everything and re-run the local
+  /// pipeline after a backoff. Falls back to finish(kAborted) when the
+  /// retry budget or the deadline is spent.
+  void restart_after_deadlock(TxnId id);
+
+  // --- decisions (LS) -----------------------------------------------------
+  [[nodiscard]] bool h1_admits(const txn::Transaction& t) const;
+  void query_locations(Live& live, QueryPurpose purpose);
+  void decide_placement(Live& live, const LocationReply& reply);
+  void start_decomposition(Live& live, const LocationReply& reply);
+  void ship_txn(TxnId id, SiteId to);
+
+  // --- callbacks / duties -----------------------------------------------
+  // --- speculation (extension) --------------------------------------------
+  /// Launches the dual-site race: keeps the local contender and ships a
+  /// speculative copy to `to`.
+  void launch_speculation(Live& live, SiteId to);
+  /// Arbitration: may `local`/remote commit the original? First claimant
+  /// wins; idempotent for the holder.
+  bool spec_claim(TxnId orig, bool local);
+  /// Terminal report from one side; records the original's outcome when
+  /// the race resolves.
+  void spec_report(TxnId orig, bool local, bool success);
+  void handle_spec_deadline(TxnId orig);
+  /// Aborts a still-live local contender once the race has resolved.
+  void spec_kill_contender(TxnId orig);
+  void net_send_spec_request(SiteId origin, TxnId orig, TxnId copy_id);
+
+  void process_recall(ObjectId obj, lock::LockMode wanted);
+  void check_deferred_recalls(const std::vector<ObjectId>& objs);
+  void fulfil_forward_duty(ObjectId obj);
+  void handle_incoming_object(Grant g, bool via_forward);
+  void on_cache_eviction(ObjectId obj, bool dirty);
+
+  Live* find(TxnId id);
+  void update_atl(const txn::Transaction& t, sim::SimTime commit_time);
+
+  ClientServerSystem& sys_;
+  SiteId site_;
+  std::size_t index_;
+  storage::ClientCache cache_;
+  lock::LocalLockManager llm_;
+  sim::SerialResource cpu_;
+
+  /// Lock mode this client caches per object, mirroring the server's
+  /// global lock table ("clients cache the locks for objects as well").
+  std::unordered_map<ObjectId, lock::LockMode> server_mode_;
+
+  /// Version of each cached copy (consistency auditing; see auditor.hpp).
+  std::unordered_map<ObjectId, std::uint64_t> version_;
+
+  [[nodiscard]] std::uint64_t version_of(ObjectId obj) const {
+    const auto it = version_.find(obj);
+    return it == version_.end() ? 0 : it->second;
+  }
+
+  std::unordered_map<TxnId, std::unique_ptr<Live>> live_;
+  std::unordered_map<TxnId, Parent> parents_;
+  std::unordered_map<TxnId, Shipped> shipped_;
+  std::unordered_map<TxnId, Spec> spec_;
+  std::unordered_map<ObjectId, ForwardDuty> duties_;
+  std::unordered_map<ObjectId, lock::LockMode> deferred_recalls_;
+
+  txn::EdfQueue<TxnId> ready_;
+  std::size_t busy_slots_ = 0;
+
+  /// Observed average transaction latency (H1's ATL_A).
+  sim::MeanAccumulator atl_;
+};
+
+}  // namespace rtdb::core

@@ -1,0 +1,76 @@
+#include "core/client_server.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "workload/access_pattern.hpp"
+
+namespace rtdb::core {
+
+ClientServerSystem::ClientServerSystem(SystemConfig config)
+    : System(std::move(config)) {}
+
+ClientServerSystem::~ClientServerSystem() = default;
+
+ClientNode& ClientServerSystem::client(SiteId site) {
+  const auto index = static_cast<std::size_t>(site - kFirstClientSite);
+  assert(index < clients_.size());
+  return *clients_[index];
+}
+
+void ClientServerSystem::start() {
+  server_ = std::make_unique<ServerNode>(*this);
+  clients_.reserve(config_.num_clients);
+  for (std::size_t i = 0; i < config_.num_clients; ++i) {
+    clients_.push_back(std::make_unique<ClientNode>(
+        *this, static_cast<SiteId>(kFirstClientSite + i), i));
+  }
+  if (!config_.warm_start) return;
+  // Steady-state start: each client caches its region under SLs (capped by
+  // its cache capacity), mirrored in the server's global lock table; the
+  // server buffer holds the hottest objects.
+  const auto* pattern = dynamic_cast<const workload::LocalizedRwPattern*>(
+      &suite_.pattern());
+  const std::size_t cache_cap = config_.client_cache.memory_capacity +
+                                config_.client_cache.disk_capacity;
+  if (pattern) {
+    for (std::size_t i = 0; i < config_.num_clients; ++i) {
+      const SiteId site = static_cast<SiteId>(kFirstClientSite + i);
+      const ObjectId first = pattern->region_first(i);
+      const std::size_t span =
+          std::min(pattern->region_size(), cache_cap);
+      for (ObjectId obj = first; obj < first + span; ++obj) {
+        clients_[i]->warm_insert(obj);
+        server_->warm_register(obj, site);
+      }
+    }
+  }
+  for (ObjectId obj = 0;
+       obj < static_cast<ObjectId>(config_.cs_server_buffer_capacity) &&
+       obj < static_cast<ObjectId>(config_.workload.db_size);
+       ++obj) {
+    server_->warm_preload(obj);
+  }
+}
+
+void ClientServerSystem::on_arrival(std::size_t client_index,
+                                    txn::Transaction txn) {
+  clients_[client_index]->on_new_transaction(std::move(txn));
+}
+
+void ClientServerSystem::on_measurement_start() {
+  System::on_measurement_start();
+  server_->reset_stats();
+  for (auto& c : clients_) c->reset_stats();
+}
+
+void ClientServerSystem::finalize(RunMetrics& m) {
+  for (const auto& c : clients_) {
+    m.cache_hits += c->cache().hits();
+    m.cache_misses += c->cache().misses();
+  }
+  m.server_cpu_utilization = server_->cpu_utilization();
+  m.server_disk_utilization = server_->disk_utilization();
+}
+
+}  // namespace rtdb::core

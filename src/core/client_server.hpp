@@ -1,0 +1,71 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/client_node.hpp"
+#include "core/server_node.hpp"
+#include "core/system.hpp"
+
+/// \file client_server.hpp
+/// The object-shipping client-server prototypes. One class covers both the
+/// basic CS-RTDBS (all LsOptions off) and the LS-CS-RTDBS (all on) so the
+/// baseline and the paper's system share every line of protocol code except
+/// the techniques under test — the fair-comparison property the ablation
+/// benches rely on.
+
+namespace rtdb::core {
+
+/// CS-RTDBS / LS-CS-RTDBS (selected by config.ls).
+class ClientServerSystem final : public System {
+ public:
+  explicit ClientServerSystem(SystemConfig config);
+  ~ClientServerSystem() override;
+
+  // --- wiring used by the nodes -------------------------------------------
+  [[nodiscard]] ServerNode& server() { return *server_; }
+  [[nodiscard]] ClientNode& client(SiteId site);
+  [[nodiscard]] const LsOptions& ls() const { return config_.ls; }
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] net::Network& net() { return net_; }
+  [[nodiscard]] const SystemConfig& cfg() const { return config_; }
+
+  /// Mutable metrics for the nodes' incremental counters (reset at the
+  /// measurement boundary, so warm-up increments wash out).
+  [[nodiscard]] RunMetrics& live_metrics() { return metrics_; }
+
+  /// Outcome accounting, exposed to the nodes (origin side only).
+  void note_commit(const txn::Transaction& t, sim::SimTime commit_time) {
+    record_commit(t, commit_time);
+  }
+  void note_miss(const txn::Transaction& t) { record_miss(t); }
+  void note_abort(const txn::Transaction& t) { record_abort(t); }
+  [[nodiscard]] bool measured(const txn::Transaction& t) const {
+    return is_measured(t);
+  }
+
+  /// Fresh id for sub-tasks (they run the pipeline as first-class txns).
+  TxnId fresh_txn_id() { return next_txn_id(); }
+
+  [[nodiscard]] std::size_t num_clients() const { return clients_.size(); }
+
+  /// Manual-driving mode (scenario tests, custom harnesses): wires up the
+  /// nodes without starting workload arrivals. Inject transactions with
+  /// client(site).on_new_transaction(...) and advance simulator() yourself.
+  /// Mutually exclusive with run().
+  void bootstrap() {
+    if (!server_) start();
+  }
+
+ protected:
+  void start() override;
+  void on_arrival(std::size_t client_index, txn::Transaction txn) override;
+  void on_measurement_start() override;
+  void finalize(RunMetrics& m) override;
+
+ private:
+  std::unique_ptr<ServerNode> server_;
+  std::vector<std::unique_ptr<ClientNode>> clients_;
+};
+
+}  // namespace rtdb::core

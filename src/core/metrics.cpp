@@ -1,0 +1,59 @@
+#include "core/metrics.hpp"
+
+#include <sstream>
+
+#include "core/config.hpp"
+
+namespace rtdb::core {
+
+std::string to_string(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kCentralized: return "CE-RTDBS";
+    case SystemKind::kClientServer: return "CS-RTDBS";
+    case SystemKind::kLoadSharing: return "LS-CS-RTDBS";
+    case SystemKind::kOptimistic: return "OCC-CS-RTDBS";
+  }
+  return "?";
+}
+
+SystemConfig SystemConfig::paper_defaults(double update_percent) {
+  SystemConfig cfg;
+  cfg.workload.update_fraction = update_percent / 100.0;
+  return cfg;
+}
+
+void MetricsAggregator::add(const RunMetrics& run) {
+  ++runs_;
+  success_.add(run.success_percent());
+  cache_hit_.add(run.cache_hit_percent());
+  obj_resp_shared_.add(run.object_response_shared.mean());
+  obj_resp_exclusive_.add(run.object_response_exclusive.mean());
+  last_ = run;
+}
+
+double MetricsAggregator::mean_success_percent() const {
+  return success_.mean();
+}
+double MetricsAggregator::mean_cache_hit_percent() const {
+  return cache_hit_.mean();
+}
+double MetricsAggregator::mean_object_response_shared() const {
+  return obj_resp_shared_.mean();
+}
+double MetricsAggregator::mean_object_response_exclusive() const {
+  return obj_resp_exclusive_.mean();
+}
+
+std::string summarize(const RunMetrics& m) {
+  std::ostringstream os;
+  os << "txns=" << m.generated << " committed=" << m.committed << " ("
+     << m.success_percent() << "%) missed=" << m.missed
+     << " aborted=" << m.aborted
+     << " cache_hit=" << m.cache_hit_percent() << "%"
+     << " shipped=" << m.shipped_txns << " decomposed=" << m.decomposed_txns
+     << " fwd_list=" << m.forward_list_satisfactions
+     << " msgs=" << m.messages.total_messages();
+  return os.str();
+}
+
+}  // namespace rtdb::core

@@ -1,0 +1,319 @@
+#include "core/optimistic.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "workload/access_pattern.hpp"
+
+namespace rtdb::core {
+
+OptimisticSystem::OptimisticSystem(SystemConfig config)
+    : System(std::move(config)), occ_(config_.occ) {
+  storage::PagedFileConfig pfc;
+  pfc.buffer_capacity = config_.cs_server_buffer_capacity;
+  pfc.memory_access_time = config_.server_memory_access;
+  pfc.disk = config_.server_disk;
+  pf_ = std::make_unique<storage::PagedFile>(sim_, pfc);
+  server_cpu_ = std::make_unique<sim::SerialResource>(sim_);
+}
+
+void OptimisticSystem::start() {
+  clients_.reserve(config_.num_clients);
+  for (std::size_t i = 0; i < config_.num_clients; ++i) {
+    clients_.push_back(
+        std::make_unique<ClientState>(sim_, config_.client_cache));
+  }
+  if (!config_.warm_start) return;
+  // Steady-state start: regions cached (copies only — OCC has no locks).
+  const auto* pattern = dynamic_cast<const workload::LocalizedRwPattern*>(
+      &suite_.pattern());
+  if (pattern) {
+    const std::size_t cap = config_.client_cache.memory_capacity +
+                            config_.client_cache.disk_capacity;
+    for (std::size_t i = 0; i < config_.num_clients; ++i) {
+      const ObjectId first = pattern->region_first(i);
+      const std::size_t span = std::min(pattern->region_size(), cap);
+      for (ObjectId obj = first; obj < first + span; ++obj) {
+        clients_[i]->cache.insert(obj, /*dirty=*/false);
+        clients_[i]->version[obj] = 0;
+      }
+    }
+  }
+  for (ObjectId obj = 0;
+       obj < static_cast<ObjectId>(config_.cs_server_buffer_capacity) &&
+       obj < static_cast<ObjectId>(config_.workload.db_size);
+       ++obj) {
+    pf_->preload(obj);
+  }
+}
+
+OptimisticSystem::Live* OptimisticSystem::find(TxnId id) {
+  auto it = live_.find(id);
+  return it == live_.end() ? nullptr : it->second.get();
+}
+
+void OptimisticSystem::on_arrival(std::size_t client_index,
+                                  txn::Transaction txn) {
+  const TxnId id = txn.id;
+  auto live = std::make_unique<Live>();
+  live->t = std::move(txn);
+  live->client_index = client_index;
+  Live& ref = *live;
+  live_.emplace(id, std::move(live));
+  ref.deadline_timer =
+      sim_.at(ref.t.deadline, [this, id] { handle_deadline(id); });
+  begin_attempt(id);
+}
+
+void OptimisticSystem::begin_attempt(TxnId id) {
+  Live* live = find(id);
+  if (!live || !txn::is_live(live->t.state)) return;
+  live->t.state = txn::TxnState::kAcquiring;  // here: fetching copies
+  live->read_set.clear();
+  live->fetches_pending = 0;
+  live->cache_ios = 0;
+  ClientState& cs = state_of(*live);
+  const SiteId site = live->t.origin;
+  const std::uint32_t epoch = live->epoch;
+
+  for (const auto& [obj, mode] : live->t.lock_needs()) {
+    (void)mode;
+    ++live->cache_ios;
+    const bool local = cs.cache.access(obj, /*write=*/false, [this, id, epoch] {
+      Live* l = find(id);
+      if (!l || l->epoch != epoch || !txn::is_live(l->t.state)) return;
+      if (--l->cache_ios == 0 && l->fetches_pending == 0) on_all_fetched(id);
+    });
+    if (local) continue;
+    --live->cache_ios;
+
+    // Plain copy fetch: no lock semantics, no callbacks.
+    ++live->fetches_pending;
+    net_.send(site, kServerSite, net::MessageKind::kObjectRequest,
+              [this, id, obj, site, epoch] {
+                server_cpu_->submit(config_.server_msg_overhead, [this, id,
+                                                                  obj, site,
+                                                                  epoch] {
+                  pf_->access(obj, /*write=*/false, [this, id, obj, site,
+                                                     epoch] {
+                    const std::uint64_t v = [&] {
+                      const auto it = committed_.find(obj);
+                      return it == committed_.end() ? 0ull : it->second;
+                    }();
+                    net_.send(kServerSite, site,
+                              net::MessageKind::kObjectShip,
+                              [this, id, obj, v, epoch] {
+                                Live* l = find(id);
+                                if (!l || l->epoch != epoch ||
+                                    !txn::is_live(l->t.state)) {
+                                  return;
+                                }
+                                ClientState& st = state_of(*l);
+                                st.cache.insert(obj, /*dirty=*/false);
+                                st.version[obj] = v;
+                                if (--l->fetches_pending == 0 &&
+                                    l->cache_ios == 0) {
+                                  on_all_fetched(id);
+                                }
+                              });
+                  });
+                });
+              });
+  }
+  if (live->fetches_pending == 0 && live->cache_ios == 0) on_all_fetched(id);
+}
+
+void OptimisticSystem::on_all_fetched(TxnId id) {
+  Live* live = find(id);
+  if (!live || !txn::is_live(live->t.state)) return;
+  // Snapshot the versions the execution will read.
+  ClientState& cs = state_of(*live);
+  for (const auto& [obj, mode] : live->t.lock_needs()) {
+    (void)mode;
+    const auto it = cs.version.find(obj);
+    live->read_set.emplace_back(obj, it == cs.version.end() ? 0 : it->second);
+  }
+  live->t.state = txn::TxnState::kReady;
+  cs.ready.push(id, live->t.deadline);
+  pump_executor(live->client_index);
+}
+
+void OptimisticSystem::pump_executor(std::size_t client_index) {
+  ClientState& cs = *clients_[client_index];
+  while (cs.busy_slots < config_.client_executor_slots) {
+    auto next = cs.ready.pop();
+    if (!next) return;
+    Live* live = find(*next);
+    if (!live || live->t.state != txn::TxnState::kReady) continue;
+    live->t.state = txn::TxnState::kExecuting;
+    ++cs.busy_slots;
+    const TxnId id = *next;
+    sim_.after(live->t.length, [this, id] {
+      Live* l = find(id);
+      if (!l || l->t.state != txn::TxnState::kExecuting) return;
+      // Execution done: free the slot and go validate.
+      ClientState& st = state_of(*l);
+      if (st.busy_slots > 0) --st.busy_slots;
+      pump_executor(l->client_index);
+      validate(id);
+    });
+  }
+}
+
+void OptimisticSystem::validate(TxnId id) {
+  Live* live = find(id);
+  if (!live || !txn::is_live(live->t.state)) return;
+  live->t.state = txn::TxnState::kAcquiring;  // awaiting the verdict
+  std::vector<ObjectId> writes;
+  for (const auto& [obj, mode] : live->t.lock_needs()) {
+    if (mode == lock::LockMode::kExclusive) writes.push_back(obj);
+  }
+  // The request carries the read-set versions plus the updated objects.
+  const std::uint64_t bytes =
+      net_.config().control_bytes +
+      static_cast<std::uint64_t>(writes.size()) * net_.config().object_bytes;
+  const SiteId site = live->t.origin;
+  net_.send(site, kServerSite, net::MessageKind::kValidateRequest, bytes,
+            [this, id, site, reads = live->read_set, writes,
+             deadline = live->t.deadline]() mutable {
+              server_cpu_->submit(
+                  config_.server_msg_overhead,
+                  [this, id, site, reads = std::move(reads),
+                   writes = std::move(writes), deadline]() mutable {
+                    server_validate(id, site, std::move(reads),
+                                    std::move(writes), deadline);
+                  });
+            });
+}
+
+void OptimisticSystem::server_validate(
+    TxnId id, SiteId client,
+    std::vector<std::pair<ObjectId, std::uint64_t>> reads,
+    std::vector<ObjectId> writes, sim::SimTime deadline) {
+  ++validations_;
+  // Stale transactions are not worth validating (paper §3.3's rule applied
+  // to the OCC commit point).
+  const bool expired = sim_.now() > deadline;
+
+  std::vector<std::pair<ObjectId, std::uint64_t>> stale;
+  for (const auto& [obj, v] : reads) {
+    const auto it = committed_.find(obj);
+    const std::uint64_t current = it == committed_.end() ? 0 : it->second;
+    if (v != current) stale.emplace_back(obj, current);
+  }
+
+  const bool accepted = stale.empty() && !expired;
+  if (accepted) {
+    const sim::SimTime now = sim_.now();
+    for (const ObjectId obj : writes) {
+      pf_->install(obj, /*dirty=*/true);
+      auditor().on_write_commit(obj, client, ++committed_[obj], now);
+    }
+    for (const auto& [obj, v] : reads) {
+      if (std::find(writes.begin(), writes.end(), obj) == writes.end()) {
+        auditor().on_read_commit(obj, client, v, now);
+      }
+    }
+  } else if (!expired) {
+    ++rejections_;
+  }
+
+  // Verdict (+ fresh copies of whatever was stale, if configured).
+  std::vector<std::pair<ObjectId, std::uint64_t>> fresh;
+  std::uint64_t bytes = net_.config().control_bytes;
+  if (!accepted && occ_.piggyback_fresh_copies) {
+    fresh = stale;
+    bytes += static_cast<std::uint64_t>(fresh.size()) *
+             net_.config().object_bytes;
+  }
+  net_.send(kServerSite, client, net::MessageKind::kValidateReply, bytes,
+            [this, id, accepted, fresh = std::move(fresh)]() mutable {
+              on_verdict(id, accepted, std::move(fresh));
+            });
+}
+
+void OptimisticSystem::on_verdict(
+    TxnId id, bool accepted,
+    std::vector<std::pair<ObjectId, std::uint64_t>> fresh) {
+  Live* live = find(id);
+  if (!live || !txn::is_live(live->t.state)) return;
+  if (accepted) {
+    finish(id, txn::TxnState::kCommitted);
+    return;
+  }
+  // Invalidated: refresh the stale copies and try again while the deadline
+  // and the restart budget allow.
+  ClientState& cs = state_of(*live);
+  for (const auto& [obj, v] : fresh) {
+    cs.cache.insert(obj, /*dirty=*/false);
+    cs.version[obj] = v;
+  }
+  ++live->restarts;
+  ++live->epoch;
+  const std::uint32_t epoch = live->epoch;
+  if (live->restarts > occ_.max_restarts ||
+      sim_.now() + occ_.restart_backoff >= live->t.deadline) {
+    finish(id, txn::TxnState::kAborted);
+    return;
+  }
+  ++metrics_.deadlock_refusals;  // repurposed: counted as CC-induced restarts
+  sim_.after(occ_.restart_backoff, [this, id, epoch] {
+    Live* l = find(id);
+    if (!l || l->epoch != epoch || !txn::is_live(l->t.state)) return;
+    begin_attempt(id);
+  });
+}
+
+void OptimisticSystem::handle_deadline(TxnId id) {
+  Live* live = find(id);
+  if (!live || !txn::is_live(live->t.state)) return;
+  finish(id, txn::TxnState::kMissed);
+}
+
+void OptimisticSystem::finish(TxnId id, txn::TxnState final_state) {
+  Live* live = find(id);
+  assert(live);
+  const bool was_executing = live->t.state == txn::TxnState::kExecuting;
+  live->t.state = final_state;
+  sim_.cancel(live->deadline_timer);
+  switch (final_state) {
+    case txn::TxnState::kCommitted:
+      record_commit(live->t, sim_.now());
+      break;
+    case txn::TxnState::kMissed:
+      record_miss(live->t);
+      break;
+    case txn::TxnState::kAborted:
+      record_abort(live->t);
+      break;
+    default:
+      assert(false && "finish() with a live state");
+  }
+  ClientState& cs = state_of(*live);
+  if (was_executing && cs.busy_slots > 0) --cs.busy_slots;
+  const std::size_t client_index = live->client_index;
+  live_.erase(id);
+  pump_executor(client_index);
+}
+
+void OptimisticSystem::on_measurement_start() {
+  System::on_measurement_start();
+  pf_->reset_stats();
+  server_cpu_->reset_stats();
+  for (auto& c : clients_) c->cache.reset_stats();
+  validations_ = 0;
+  rejections_ = 0;
+}
+
+void OptimisticSystem::finalize(RunMetrics& m) {
+  for (const auto& c : clients_) {
+    m.cache_hits += c->cache.hits();
+    m.cache_misses += c->cache.misses();
+  }
+  m.server_cpu_utilization = server_cpu_->utilization();
+  m.server_disk_utilization = pf_->disk().utilization();
+  m.occ_validations = validations_;
+  m.occ_rejections = rejections_;
+}
+
+}  // namespace rtdb::core

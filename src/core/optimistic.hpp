@@ -1,0 +1,101 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/system.hpp"
+#include "sim/resource.hpp"
+#include "storage/client_cache.hpp"
+#include "storage/paged_file.hpp"
+#include "txn/edf_queue.hpp"
+
+/// \file optimistic.hpp
+/// OCC-CS-RTDBS — the paper's stated future work ("we intend to study the
+/// use of optimistic concurrency control ... techniques to evaluate their
+/// impact on real-time system performance", §7, after Thomasian [24]).
+///
+/// Clients execute transactions against cached copies without taking any
+/// locks: missing objects are fetched as plain copies, execution proceeds
+/// immediately, and a commit-time *backward validation* at the server
+/// checks that every version read is still current. Valid transactions
+/// install their writes atomically; invalidated ones restart with fresh
+/// copies (piggybacked on the reject) until the deadline gives out.
+///
+/// Compared with the callback-locking CS-RTDBS this trades blocking for
+/// wasted work: no lock waits, no recalls, but contended objects cause
+/// rejection/restart storms — the classic OCC trade-off the paper wanted
+/// quantified in a real-time setting (see bench/ext_occ_comparison).
+
+namespace rtdb::core {
+
+/// The optimistic client-server prototype (options in config.occ).
+class OptimisticSystem final : public System {
+ public:
+  explicit OptimisticSystem(SystemConfig config);
+
+  /// Validation counters (also mirrored into RunMetrics).
+  [[nodiscard]] std::uint64_t validations() const { return validations_; }
+  [[nodiscard]] std::uint64_t rejections() const { return rejections_; }
+
+ protected:
+  void start() override;
+  void on_arrival(std::size_t client_index, txn::Transaction txn) override;
+  void on_measurement_start() override;
+  void finalize(RunMetrics& m) override;
+
+ private:
+  /// Per-workstation execution state (no lock manager — that is the point).
+  struct ClientState {
+    explicit ClientState(sim::Simulator& sim,
+                         const storage::ClientCacheConfig& cfg)
+        : cache(sim, cfg), cpu(sim) {}
+    storage::ClientCache cache;
+    sim::SerialResource cpu;
+    std::unordered_map<ObjectId, std::uint64_t> version;
+    txn::EdfQueue<TxnId> ready;
+    std::size_t busy_slots = 0;
+  };
+
+  /// A transaction somewhere in the fetch -> execute -> validate loop.
+  struct Live {
+    txn::Transaction t;
+    std::size_t client_index = 0;
+    std::size_t fetches_pending = 0;
+    std::size_t cache_ios = 0;
+    /// (object, version) pairs the execution read (write set included:
+    /// OCC validates the read base of every update).
+    std::vector<std::pair<ObjectId, std::uint64_t>> read_set;
+    std::uint32_t restarts = 0;
+    std::uint32_t epoch = 0;
+    sim::EventId deadline_timer = sim::kNoEvent;
+  };
+
+  void begin_attempt(TxnId id);
+  void on_all_fetched(TxnId id);
+  void pump_executor(std::size_t client_index);
+  void validate(TxnId id);
+  /// Server-side backward validation; runs after the request message and
+  /// the server CPU slice.
+  void server_validate(TxnId id, SiteId client,
+                       std::vector<std::pair<ObjectId, std::uint64_t>> reads,
+                       std::vector<ObjectId> writes, sim::SimTime deadline);
+  void on_verdict(TxnId id, bool accepted,
+                  std::vector<std::pair<ObjectId, std::uint64_t>> fresh);
+  void handle_deadline(TxnId id);
+  void finish(TxnId id, txn::TxnState final_state);
+
+  Live* find(TxnId id);
+  ClientState& state_of(const Live& live) { return *clients_[live.client_index]; }
+
+  OccOptions occ_;
+  std::unique_ptr<storage::PagedFile> pf_;      // server paged file
+  std::unique_ptr<sim::SerialResource> server_cpu_;
+  std::unordered_map<ObjectId, std::uint64_t> committed_;  // server versions
+  std::vector<std::unique_ptr<ClientState>> clients_;
+  std::unordered_map<TxnId, std::unique_ptr<Live>> live_;
+  std::uint64_t validations_ = 0;
+  std::uint64_t rejections_ = 0;
+};
+
+}  // namespace rtdb::core

@@ -1,0 +1,167 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "lock/forward_list.hpp"
+#include "lock/modes.hpp"
+#include "sim/time.hpp"
+#include "txn/transaction.hpp"
+
+/// \file protocol.hpp
+/// Typed payloads of the client-server protocols. In the real prototypes
+/// these travelled as byte frames over TCP; here they are structs captured
+/// by the network-delivery lambdas — the Network model charges the wire
+/// time, these define the semantics.
+
+namespace rtdb::core {
+
+/// One object a transaction needs from the server.
+struct ObjectNeed {
+  ObjectId object = 0;
+  lock::LockMode mode = lock::LockMode::kShared;
+  /// The client already caches the object's data (lock upgrade / re-grant):
+  /// the server can answer with a lock-only grant, no 2 KB payload.
+  bool have_copy = false;
+};
+
+/// Client load information, piggybacked on every client->server message
+/// ("information about the current processing load at clients can be
+/// conveyed to the server piggybacked on object requests and releases").
+struct LoadInfo {
+  std::size_t live_txns = 0;  ///< transactions in any live state at the site
+  double atl = 0;             ///< observed average transaction latency (H1)
+  bool valid = false;
+};
+
+/// A transaction's batched object/lock request. Counted on the wire as one
+/// message per need (the paper's per-object "Object Request Messages").
+struct ObjectRequestBatch {
+  TxnId txn = kInvalidTxn;
+  SiteId client = kInvalidSite;
+  sim::SimTime deadline = sim::kTimeInfinity;
+  std::vector<ObjectNeed> needs;
+  /// Skip the LS location-reply detour: queue + recall on conflict (always
+  /// set in the basic CS system and for already-shipped transactions).
+  bool auto_proceed = true;
+  LoadInfo load;
+};
+
+/// Server -> client (or client -> client on a forward hop): one object/lock
+/// grant.
+struct Grant {
+  TxnId txn = kInvalidTxn;      ///< the request being answered
+  ObjectId object = 0;
+  lock::LockMode mode = lock::LockMode::kNone;
+  bool with_data = true;        ///< false = lock-only (client has a copy)
+  /// Lock-grouping shipment: the object is only on loan — serve the bound
+  /// transaction, then forward along `forward_list` (or return to the
+  /// server when it is empty).
+  bool circulating = false;
+  /// The travelling copy differs from the server's (some hop updated it);
+  /// the eventual return must write it back even if later hops only read.
+  bool dirty = false;
+  /// Version of the carried data (consistency auditing; see auditor.hpp).
+  std::uint64_t version = 0;
+  std::vector<lock::ForwardEntry> forward_list;
+};
+
+/// Server -> client: H2 material for one conflicted request (LS only).
+struct LocationReply {
+  TxnId txn = kInvalidTxn;
+
+  /// Objects the server could not grant, with their current location.
+  struct Conflict {
+    ObjectId object = 0;
+    SiteId location = kInvalidSite;
+  };
+  std::vector<Conflict> conflicts;
+
+  /// Candidate execution sites with the paper's H2 cost (number of the
+  /// transaction's objects that would wait on conflicting locks there), a
+  /// data-availability score (how many of the transaction's objects the
+  /// site already holds locks on — the paper's transaction-shipping
+  /// criterion (i)), and the server's load table entry.
+  struct Candidate {
+    SiteId site = kInvalidSite;
+    std::size_t conflict_count = 0;
+    std::size_t objects_held = 0;
+    std::size_t live_txns = 0;
+    double atl = 0;
+  };
+  std::vector<Candidate> candidates;
+};
+
+/// Client -> server: decision on a parked (conflicted) request batch —
+/// either "proceed: queue me and call the holders back" or "withdraw: the
+/// transaction ships elsewhere / died".
+struct ProceedDecision {
+  TxnId txn = kInvalidTxn;
+  SiteId client = kInvalidSite;
+  bool proceed = true;
+  LoadInfo load;
+};
+
+/// Server -> client: callback ("please give up / downgrade this lock").
+struct Recall {
+  ObjectId object = 0;
+  /// Mode the other client wants: kShared lets an EL holder downgrade and
+  /// keep a SL + copy; kExclusive demands full release.
+  lock::LockMode wanted = lock::LockMode::kExclusive;
+};
+
+/// Client -> server: object/lock returned (recall response, voluntary
+/// eviction return, or end-of-forward-list return).
+struct ObjectReturn {
+  SiteId client = kInvalidSite;
+  ObjectId object = 0;
+  bool dirty = false;        ///< carries an updated copy
+  bool downgraded = false;   ///< kept a SL (answered a kShared recall)
+  bool was_held = true;      ///< false: lock already gone (benign race)
+  bool from_circulation = false;  ///< end of a forward list
+  /// Version of the returned copy (consistency auditing).
+  std::uint64_t version = 0;
+  LoadInfo load;
+};
+
+/// Client -> client: a whole transaction shipped for execution (LS).
+struct ShippedTxn {
+  txn::Transaction t;
+  SiteId origin = kInvalidSite;
+  std::uint32_t ships = 1;  ///< times shipped so far (loop guard)
+  /// Non-zero: this is a *speculative* copy of the named origin-side
+  /// transaction; it must win the origin's commit arbitration before it
+  /// may commit (speculation extension).
+  TxnId spec_of = kInvalidTxn;
+};
+
+/// Client -> client: one decomposed sub-task (LS).
+struct ShippedSubtask {
+  TxnId parent = kInvalidTxn;
+  std::uint32_t index = 0;
+  SiteId origin = kInvalidSite;
+  txn::Transaction work;  ///< ops subset, proportional length, same deadline
+};
+
+/// Executing site -> origin: outcome of a shipped transaction or sub-task.
+struct RemoteResult {
+  TxnId id = kInvalidTxn;        ///< shipped txn id, or parent txn id
+  std::uint32_t subtask_index = 0;
+  bool is_subtask = false;
+  bool success = false;
+  /// Speculation copy result: `id` names the origin-side original.
+  bool spec = false;
+};
+
+/// Client -> server: where are these objects, and who should run this
+/// transaction (feeds H1-shipping and decomposition).
+struct LocationQuery {
+  TxnId txn = kInvalidTxn;
+  SiteId client = kInvalidSite;
+  sim::SimTime deadline = sim::kTimeInfinity;
+  std::vector<ObjectNeed> needs;
+  LoadInfo load;
+};
+
+}  // namespace rtdb::core

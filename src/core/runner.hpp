@@ -1,0 +1,30 @@
+#pragma once
+
+#include <memory>
+
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "core/system.hpp"
+
+/// \file runner.hpp
+/// Experiment driving: build a system of a given kind, run it (optionally
+/// replicated over seeds), and aggregate. The bench harnesses sit on top of
+/// these helpers.
+
+namespace rtdb::core {
+
+/// Instantiates the requested prototype.
+///
+/// kClientServer forces all LS techniques off (the basic CS-RTDBS);
+/// kLoadSharing enables them all unless the caller pre-configured a custom
+/// subset in `config.ls` (ablations).
+std::unique_ptr<System> make_system(SystemKind kind, SystemConfig config);
+
+/// One run.
+RunMetrics run_once(SystemKind kind, const SystemConfig& config);
+
+/// `replications` runs with seeds base_seed, base_seed+1, ...
+MetricsAggregator run_replicated(SystemKind kind, SystemConfig config,
+                                 std::size_t replications);
+
+}  // namespace rtdb::core

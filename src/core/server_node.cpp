@@ -1,0 +1,582 @@
+#include "core/server_node.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/client_server.hpp"
+
+namespace rtdb::core {
+
+using lock::LockMode;
+
+ServerNode::ServerNode(ClientServerSystem& sys)
+    : sys_(sys),
+      pf_(sys.sim(),
+          storage::PagedFileConfig{sys.cfg().cs_server_buffer_capacity,
+                                   sys.cfg().server_memory_access,
+                                   sys.cfg().server_disk}),
+      cpu_(sys.sim()) {}
+
+void ServerNode::reset_stats() {
+  pf_.reset_stats();
+  cpu_.reset_stats();
+}
+
+void ServerNode::update_load(SiteId site, const LoadInfo& load) {
+  if (load.valid) loads_[site] = load;
+}
+
+// ---------------------------------------------------------------------------
+// Request handling
+// ---------------------------------------------------------------------------
+
+void ServerNode::on_request_batch(ObjectRequestBatch batch) {
+  update_load(batch.client, batch.load);
+  // One CPU slice per carried request message.
+  const sim::Duration work =
+      sys_.cfg().server_msg_overhead *
+      static_cast<double>(std::max<std::size_t>(1, batch.needs.size()));
+  cpu_.submit(work, [this, batch = std::move(batch)] { process_batch(batch); });
+}
+
+void ServerNode::process_batch(const ObjectRequestBatch& batch) {
+  // Partition the needs: already covered (raced with an earlier grant —
+  // answer immediately) versus pending. A pending need is "conflicted"
+  // when it cannot be served this instant: incompatible holders, a
+  // circulating copy, or earlier waiters already queued — new arrivals
+  // never jump the queue (that would starve queued writers under a steady
+  // reader stream; service order is the FCFS/ED queue's business).
+  std::vector<ObjectNeed> covered;
+  std::vector<ObjectNeed> pending;
+  std::vector<ObjectNeed> conflicted;
+  for (const auto& need : batch.needs) {
+    const LockMode held = glt_.holder_mode(need.object, batch.client);
+    if (lock::covers(held, need.mode)) {
+      covered.push_back(need);
+      continue;
+    }
+    pending.push_back(need);
+    const bool instant =
+        glt_.can_grant(need.object, batch.client, need.mode) &&
+        glt_.queue(need.object).empty() &&
+        windows_.count(need.object) == 0;
+    if (!instant) conflicted.push_back(need);
+  }
+
+  // The LS protocol (paper §4): if the server cannot grant everything and
+  // the client asked for the option, it ships nothing and reports where the
+  // conflicting objects are, so the client can run H2. The batch is parked
+  // here: a later "proceed" costs one control message, not a re-send.
+  if (!conflicted.empty() && !batch.auto_proceed) {
+    LocationReply reply;
+    reply.txn = batch.txn;
+    for (const auto& need : conflicted) {
+      reply.conflicts.push_back(
+          {need.object, glt_.location_of(need.object)});
+    }
+    std::vector<std::pair<ObjectId, LockMode>> all_needs;
+    all_needs.reserve(batch.needs.size());
+    for (const auto& n : batch.needs) all_needs.emplace_back(n.object, n.mode);
+    reply.candidates = build_candidates(all_needs, batch.client);
+    parked_[batch.txn] = batch;
+    prune_parked();
+    sys_.net().send(kServerSite, batch.client,
+                    net::MessageKind::kLocationReply,
+                    [this, client = batch.client, reply = std::move(reply)] {
+                      sys_.client(client).on_location_reply(reply);
+                    });
+    return;
+  }
+
+  // CS path (or LS after the client decided to stay): covered needs are
+  // re-acknowledged immediately; everything else goes through the queue,
+  // whose pump grants in policy order and calls back the blockers.
+  for (const auto& need : covered) {
+    grant_now(batch.txn, batch.client, need);
+  }
+  if (!pending.empty()) {
+    if (!enqueue_conflicted(batch, pending)) {
+      return;  // deadlock admission refused the transaction
+    }
+  }
+}
+
+void ServerNode::grant_now(TxnId txn, SiteId client, const ObjectNeed& need) {
+  const LockMode held = glt_.holder_mode(need.object, client);
+  glt_.add_holder(need.object, client, need.mode);
+  Grant g;
+  g.txn = txn;
+  g.object = need.object;
+  g.mode = lock::stronger(held, need.mode);
+  // Data only travels when the client has no copy (fresh fetch); upgrades
+  // and re-grants are lock-only messages. The client's own have_copy word
+  // decides — it knows better than the lock table whether it evicted.
+  g.with_data = !need.have_copy;
+  const auto kind = g.with_data ? net::MessageKind::kObjectShip
+                                : net::MessageKind::kLockGrant;
+  ship(client, std::move(g), kind);
+}
+
+bool ServerNode::enqueue_conflicted(const ObjectRequestBatch& batch,
+                                    const std::vector<ObjectNeed>& conflicted) {
+  // Wait-for admission: requester txn -> holder sites, plus requester's
+  // own site -> txn, approximating the txn-level graph at the server's
+  // client-lock granularity.
+  std::vector<lock::WaitForGraph::Node> blockers;
+  for (const auto& need : conflicted) {
+    for (SiteId holder :
+         glt_.conflicting_holders(need.object, need.mode, batch.client)) {
+      blockers.push_back(site_node(holder));
+    }
+  }
+  std::sort(blockers.begin(), blockers.end());
+  blockers.erase(std::unique(blockers.begin(), blockers.end()),
+                 blockers.end());
+
+  // Admission adds txn->blocker edges plus site(client)->txn. A new cycle
+  // can close either through the txn node (some blocker already reaches
+  // this txn) or through the site edge (some blocker reaches this client's
+  // site — e.g. two clients holding SLs and both requesting the upgrade).
+  if (wfg_.would_deadlock(batch.txn, blockers) ||
+      wfg_.would_deadlock(site_node(batch.client), blockers)) {
+    ++sys_.live_metrics().deadlock_refusals;
+    deny_txn(batch.txn, batch.client);
+    return false;
+  }
+  wfg_.add_edges(batch.txn, blockers);
+  wfg_.add_edges(site_node(batch.client), {batch.txn});
+
+  const bool ed = sys_.ls().ed_request_scheduling;
+  for (const auto& need : conflicted) {
+    lock::ForwardEntry entry;
+    entry.site = batch.client;
+    entry.txn = batch.txn;
+    entry.mode = need.mode;
+    entry.expires = batch.deadline;
+    entry.has_copy = need.have_copy;
+    // ED service (paper §3.3) sorts by deadline; basic CS is FCFS, i.e.
+    // sorted by arrival instant.
+    entry.priority = ed ? batch.deadline : sys_.sim().now();
+    glt_.queue(need.object).add(entry);
+    note_queued(batch.txn, batch.client, need.object);
+
+    if (!glt_.can_grant(need.object, batch.client, need.mode)) {
+      // The object is busy elsewhere: open the collection window (lock
+      // grouping) and call the blockers back.
+      if (sys_.ls().enable_forward_lists) maybe_open_window(need.object);
+      send_recalls(need.object);
+    }
+  }
+  // One pump per distinct object serves whatever is instantly grantable.
+  std::vector<ObjectId> objs;
+  objs.reserve(conflicted.size());
+  for (const auto& need : conflicted) objs.push_back(need.object);
+  std::sort(objs.begin(), objs.end());
+  objs.erase(std::unique(objs.begin(), objs.end()), objs.end());
+  for (ObjectId obj : objs) pump_object(obj);
+  return true;
+}
+
+void ServerNode::on_proceed_decision(ProceedDecision decision) {
+  update_load(decision.client, decision.load);
+  cpu_.submit(sys_.cfg().server_msg_overhead, [this, decision] {
+    auto it = parked_.find(decision.txn);
+    if (it == parked_.end()) return;  // pruned or never parked
+    ObjectRequestBatch batch = std::move(it->second);
+    parked_.erase(it);
+    if (!decision.proceed) return;  // withdrawn: the txn went elsewhere
+    batch.auto_proceed = true;
+    process_batch(batch);
+  });
+}
+
+void ServerNode::prune_parked() {
+  const sim::SimTime now = sys_.sim().now();
+  for (auto it = parked_.begin(); it != parked_.end();) {
+    it = it->second.deadline < now ? parked_.erase(it) : std::next(it);
+  }
+}
+
+void ServerNode::deny_txn(TxnId txn, SiteId client) {
+  sys_.net().send(kServerSite, client, net::MessageKind::kControl,
+                  [this, client, txn] { sys_.client(client).on_denied(txn); });
+}
+
+// ---------------------------------------------------------------------------
+// Recalls and windows
+// ---------------------------------------------------------------------------
+
+lock::LockMode ServerNode::strongest_queued_mode(ObjectId obj) {
+  LockMode strongest = LockMode::kNone;
+  for (const auto& e : glt_.queue(obj).entries()) {
+    strongest = lock::stronger(strongest, e.mode);
+  }
+  return strongest;
+}
+
+void ServerNode::send_recalls(ObjectId obj) {
+  // Per-holder callback decision: a holder is recalled only for requests
+  // from *other* sites that conflict with its lock — a client upgrading
+  // its own SL must never be asked to call back itself. The recall carries
+  // the strongest mode those foreign requests desire, which is what lets
+  // an EL holder answer a shared request with a downgrade (paper §2).
+  const sim::SimTime now = sys_.sim().now();
+  for (const auto& hold : glt_.holders(obj)) {
+    LockMode wanted = LockMode::kNone;
+    for (const auto& e : glt_.queue(obj).entries()) {
+      if (e.site == hold.site || e.expires < now) continue;
+      wanted = lock::stronger(wanted, e.mode);
+    }
+    if (wanted == LockMode::kNone) continue;
+    if (lock::compatible(hold.mode, wanted)) continue;
+    if (glt_.recall_pending(obj, hold.site)) continue;
+    glt_.mark_recall_sent(obj, hold.site);
+    if (sys_.trace().enabled(sim::TraceCategory::kLock)) {
+      sys_.trace().emitf(sys_.sim().now(), sim::TraceCategory::kLock, 0,
+                         "recall obj=%u -> site %d (want %s)", obj, hold.site,
+                         std::string(lock::to_string(wanted)).c_str());
+    }
+    Recall r{obj, wanted};
+    sys_.net().send(kServerSite, hold.site, net::MessageKind::kObjectRecall,
+                    [this, site = hold.site, r] {
+                      sys_.client(site).on_recall(r);
+                    });
+  }
+}
+
+std::size_t ServerNode::groupable_prefix(ObjectId obj) {
+  // Length of the queue prefix a forward list could ship as one group:
+  // an exclusive run (capped) optionally followed by a shared fan-out run
+  // (capped); a head-of-queue shared run when the fan-out is enabled.
+  auto& q = glt_.queue(obj);
+  const lock::ForwardEntry* head = q.peek_next(sys_.sim().now());
+  if (!head) return 0;
+  std::size_t group = 0;
+  std::size_t el_hops = 0;
+  std::size_t sl_fans = 0;
+  bool in_shared_tail = head->mode == LockMode::kShared;
+  for (const auto& e : q.entries()) {
+    if (e.expires < sys_.sim().now()) continue;
+    if (e.mode == LockMode::kShared) {
+      if (!sys_.ls().parallel_shared_grants) break;
+      if (++sl_fans > sys_.ls().max_shared_fanout) break;
+      in_shared_tail = true;
+    } else if (in_shared_tail) {
+      break;  // second mode switch: next group
+    } else if (++el_hops > sys_.ls().max_exclusive_hops) {
+      break;  // bound the writer chain (see max_exclusive_hops)
+    }
+    ++group;
+  }
+  return group;
+}
+
+void ServerNode::maybe_close_window_early(ObjectId obj) {
+  // The collection window exists to batch a *group* while the object is
+  // away being recalled. Once every callback is answered and the queue's
+  // groupable prefix cannot circulate anyway (e.g. a lone writer, or a
+  // writer trailed by readers of the next round), holding the grant to the
+  // wall-clock window end would only inflate response times.
+  if (!sys_.ls().early_window_close) return;
+  if (glt_.recalls_outstanding(obj) != 0) return;
+  auto w = windows_.find(obj);
+  if (w == windows_.end()) return;
+  if (groupable_prefix(obj) >= 2) return;  // a real group: let it grow
+  sys_.sim().cancel(w->second);
+  windows_.erase(w);
+}
+
+void ServerNode::maybe_open_window(ObjectId obj) {
+  if (windows_.count(obj) != 0 || glt_.is_circulating(obj)) return;
+  if (sys_.trace().enabled(sim::TraceCategory::kWindow)) {
+    sys_.trace().emitf(sys_.sim().now(), sim::TraceCategory::kWindow, 0,
+                       "window open obj=%u", obj);
+  }
+  const auto id = sys_.sim().after(sys_.ls().collection_window,
+                                   [this, obj] { on_window_end(obj); });
+  windows_.emplace(obj, id);
+}
+
+void ServerNode::on_window_end(ObjectId obj) {
+  windows_.erase(obj);
+  pump_object(obj);
+}
+
+// ---------------------------------------------------------------------------
+// Grant pump
+// ---------------------------------------------------------------------------
+
+void ServerNode::pump_object(ObjectId obj) {
+  if (glt_.is_circulating(obj)) return;
+  if (windows_.count(obj) != 0) return;  // still collecting
+
+  auto& q = glt_.queue(obj);
+  for (;;) {
+    std::vector<lock::ForwardEntry> skipped;
+    const lock::ForwardEntry* head = q.peek_next(sys_.sim().now(), &skipped);
+    note_skipped(skipped, obj);
+    if (!head) return;
+
+    // Lock grouping (paper §3.4): a travelling forward list made of an
+    // exclusive run followed by a shared run.
+    //   * EL hops forward at commit time — writers must serialize anyway,
+    //     so the hop saves the per-writer server round trip and recall.
+    //   * SL entries fan out at *receipt* time as chained copies (the
+    //     paper's "parallel read-only access" annotation) and become
+    //     registered holders that keep the copy cached.
+    // The 2n+1 message economy comes from both: each served entry costs
+    // one forward instead of a request/ship or recall/return pair.
+    if (sys_.ls().enable_forward_lists) {
+      const std::size_t group = groupable_prefix(obj);
+      if (group >= 2) {
+        const LockMode strongest = head->mode == LockMode::kExclusive
+                                       ? LockMode::kExclusive
+                                       : LockMode::kShared;
+        if (!glt_.can_grant(obj, head->site, strongest)) {
+          send_recalls(obj);
+          return;
+        }
+        std::vector<lock::ForwardEntry> list;
+        while (list.size() < group) {
+          std::vector<lock::ForwardEntry> more_skipped;
+          auto e = q.pop_next(sys_.sim().now(), &more_skipped);
+          note_skipped(more_skipped, obj);
+          if (!e) break;
+          list.push_back(*e);
+          note_entry_gone(e->txn, obj);
+        }
+        assert(!list.empty());
+        if (list.size() >= 2) {
+          // An exclusive hop whose site already holds a SL (an upgrade
+          // being served by the chain) hands that lock to the chain: the
+          // retained registration must go, or the site would look like a
+          // live reader while downstream hops write.
+          for (const auto& e : list) {
+            if (e.mode == LockMode::kExclusive &&
+                glt_.holder_mode(obj, e.site) != LockMode::kNone) {
+              glt_.remove_holder(obj, e.site);
+            }
+          }
+          // Shared members are holders from the moment the list ships —
+          // their copies will stay cached under a SL.
+          for (const auto& e : list) {
+            if (e.mode == LockMode::kShared) {
+              glt_.add_holder(obj, e.site, LockMode::kShared);
+            }
+          }
+          glt_.set_circulating(obj, list.back().site);
+          if (sys_.trace().enabled(sim::TraceCategory::kWindow)) {
+            sys_.trace().emitf(sys_.sim().now(), sim::TraceCategory::kWindow,
+                               0, "circulate obj=%u group=%zu head=site %d",
+                               obj, list.size(), list[0].site);
+          }
+          Grant g;
+          g.txn = list[0].txn;
+          g.object = obj;
+          g.mode = list[0].mode;
+          g.with_data = true;
+          g.circulating = true;
+          g.forward_list.assign(list.begin() + 1, list.end());
+          ship(list[0].site, std::move(g), net::MessageKind::kObjectShip);
+          return;
+        }
+        // The group collapsed to one entry (expiries): plain grant.
+        glt_.add_holder(obj, list[0].site, list[0].mode);
+        Grant g;
+        g.txn = list[0].txn;
+        g.object = obj;
+        g.mode = list[0].mode;
+        g.with_data = true;
+        ship(list[0].site, std::move(g), net::MessageKind::kObjectShip);
+        continue;
+      }
+    }
+
+    if (!glt_.can_grant(obj, head->site, head->mode)) {
+      send_recalls(obj);
+      return;
+    }
+    std::vector<lock::ForwardEntry> more_skipped;
+    auto e = q.pop_next(sys_.sim().now(), &more_skipped);
+    note_skipped(more_skipped, obj);
+    assert(e);
+    note_entry_gone(e->txn, obj);
+    const LockMode held = glt_.holder_mode(obj, e->site);
+    glt_.add_holder(obj, e->site, e->mode);
+    Grant g;
+    g.txn = e->txn;
+    g.object = obj;
+    g.mode = lock::stronger(held, e->mode);
+    g.with_data = !e->has_copy;  // upgrades keep their copy
+    const auto kind = g.with_data ? net::MessageKind::kObjectShip
+                                  : net::MessageKind::kLockGrant;
+    ship(e->site, std::move(g), kind);
+    // Loop: further compatible waiters (e.g. a run of readers) may follow.
+  }
+}
+
+void ServerNode::ship(SiteId to, Grant grant, net::MessageKind kind) {
+  if (sys_.trace().enabled(sim::TraceCategory::kLock)) {
+    sys_.trace().emitf(sys_.sim().now(), sim::TraceCategory::kLock, 0,
+                       "grant obj=%u -> site %d (%s%s)", grant.object, to,
+                       std::string(lock::to_string(grant.mode)).c_str(),
+                       grant.with_data ? ", data" : "");
+  }
+  if (grant.with_data) {
+    // The data leaves with the server's current version (auditing).
+    grant.version = version_of(grant.object);
+    // Read the page (buffer hit or disk) before it can leave the server.
+    const ObjectId obj = grant.object;
+    pf_.access(obj, /*write=*/false,
+               [this, to, kind, grant = std::move(grant)] {
+                 sys_.net().send(kServerSite, to, kind, [this, to, grant] {
+                   sys_.client(to).on_grant(grant);
+                 });
+               });
+  } else {
+    sys_.net().send(kServerSite, to, kind, [this, to, grant = std::move(grant)] {
+      sys_.client(to).on_grant(grant);
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Returns
+// ---------------------------------------------------------------------------
+
+void ServerNode::on_object_return(ObjectReturn ret) {
+  update_load(ret.client, ret.load);
+  cpu_.submit(sys_.cfg().server_msg_overhead, [this, ret] {
+    if (ret.from_circulation) {
+      pf_.install(ret.object, ret.dirty);
+      if (ret.dirty) {
+        versions_[ret.object] = ret.version;
+      } else {
+        sys_.auditor().on_clean_return(ret.object, ret.client, ret.version,
+                                       version_of(ret.object),
+                                       sys_.sim().now());
+      }
+      glt_.clear_circulating(ret.object);
+      // A window may have opened for requests that arrived mid-circulation.
+      maybe_close_window_early(ret.object);
+      pump_object(ret.object);
+      return;
+    }
+    if (ret.was_held) {
+      if (ret.downgraded) {
+        glt_.downgrade_holder(ret.object, ret.client);
+      } else {
+        glt_.remove_holder(ret.object, ret.client);
+      }
+      if (ret.dirty) {
+        pf_.install(ret.object, /*dirty=*/true);
+        versions_[ret.object] = ret.version;
+      } else {
+        sys_.auditor().on_clean_return(ret.object, ret.client, ret.version,
+                                       version_of(ret.object),
+                                       sys_.sim().now());
+      }
+    }
+    glt_.clear_recall(ret.object, ret.client);
+    maybe_close_window_early(ret.object);
+    pump_object(ret.object);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Location service (H2 / decomposition)
+// ---------------------------------------------------------------------------
+
+void ServerNode::on_location_query(LocationQuery query) {
+  update_load(query.client, query.load);
+  cpu_.submit(sys_.cfg().server_msg_overhead, [this, query = std::move(query)] {
+    LocationReply reply;
+    reply.txn = query.txn;
+    std::vector<std::pair<ObjectId, LockMode>> needs;
+    needs.reserve(query.needs.size());
+    for (const auto& n : query.needs) {
+      needs.emplace_back(n.object, n.mode);
+      reply.conflicts.push_back({n.object, glt_.location_of(n.object)});
+    }
+    reply.candidates = build_candidates(needs, query.client);
+    sys_.net().send(kServerSite, query.client,
+                    net::MessageKind::kLocationReply,
+                    [this, client = query.client, reply = std::move(reply)] {
+                      sys_.client(client).on_location_reply(reply);
+                    });
+  });
+}
+
+std::vector<LocationReply::Candidate> ServerNode::build_candidates(
+    const std::vector<std::pair<ObjectId, LockMode>>& needs,
+    SiteId origin) const {
+  // Candidates: the origin, every site holding one of the needed objects,
+  // and the least-loaded client known to the load table.
+  std::vector<SiteId> sites{origin};
+  for (const auto& [obj, mode] : needs) {
+    (void)mode;
+    const SiteId loc = glt_.location_of(obj);
+    if (loc != kServerSite) sites.push_back(loc);
+  }
+  SiteId least_loaded = kInvalidSite;
+  std::size_t best = SIZE_MAX;
+  for (const auto& [site, load] : loads_) {
+    if (load.live_txns < best) {
+      best = load.live_txns;
+      least_loaded = site;
+    }
+  }
+  if (least_loaded != kInvalidSite) sites.push_back(least_loaded);
+  std::sort(sites.begin(), sites.end());
+  sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
+
+  std::vector<LocationReply::Candidate> result;
+  result.reserve(sites.size());
+  for (SiteId site : sites) {
+    LocationReply::Candidate c;
+    c.site = site;
+    c.conflict_count = glt_.conflict_count_at(needs, site);
+    for (const auto& [obj, mode] : needs) {
+      (void)mode;
+      if (glt_.holder_mode(obj, site) != LockMode::kNone) ++c.objects_held;
+    }
+    auto it = loads_.find(site);
+    if (it != loads_.end()) {
+      c.live_txns = it->second.live_txns;
+      c.atl = it->second.atl;
+    }
+    result.push_back(c);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Wait-for-graph bookkeeping
+// ---------------------------------------------------------------------------
+
+void ServerNode::note_queued(TxnId txn, SiteId client, ObjectId obj) {
+  (void)obj;
+  auto& q = queued_[txn];
+  q.client = client;
+  ++q.entries;
+}
+
+void ServerNode::note_entry_gone(TxnId txn, ObjectId obj) {
+  (void)obj;
+  auto it = queued_.find(txn);
+  if (it == queued_.end()) return;
+  if (--it->second.entries == 0) {
+    wfg_.remove_node(txn);
+    queued_.erase(it);
+  }
+}
+
+void ServerNode::note_skipped(const std::vector<lock::ForwardEntry>& skipped,
+                              ObjectId obj) {
+  for (const auto& e : skipped) {
+    ++sys_.live_metrics().expired_requests_skipped;
+    note_entry_gone(e.txn, obj);
+  }
+}
+
+}  // namespace rtdb::core

@@ -1,0 +1,172 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "core/protocol.hpp"
+#include "net/message.hpp"
+#include "lock/global_lock_table.hpp"
+#include "lock/wait_for_graph.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+#include "storage/paged_file.hpp"
+
+/// \file server_node.hpp
+/// The database server of the CS-RTDBS / LS-CS-RTDBS: performs "only
+/// low-level database functionalities (I/Os, buffering and management of
+/// concurrency) on the behalf of requesting clients" — the global lock
+/// table with callback locking, the paged file, the load table, and (LS)
+/// collection windows + forward-list circulation and the H2 location
+/// service.
+
+namespace rtdb::core {
+
+class ClientServerSystem;
+
+/// Server-side protocol engine.
+class ServerNode {
+ public:
+  explicit ServerNode(ClientServerSystem& sys);
+
+  ServerNode(const ServerNode&) = delete;
+  ServerNode& operator=(const ServerNode&) = delete;
+
+  // --- network entry points (invoked at message delivery) -----------------
+
+  /// A transaction's batched object/lock requests.
+  void on_request_batch(ObjectRequestBatch batch);
+
+  /// Where are these objects / who should execute this transaction?
+  void on_location_query(LocationQuery query);
+
+  /// An object/lock coming back (recall response, voluntary return, or end
+  /// of a forward list).
+  void on_object_return(ObjectReturn ret);
+
+  /// The client's answer to a conflict LocationReply: proceed with the
+  /// parked batch (queue + callbacks) or withdraw it (the transaction is
+  /// shipping elsewhere or died).
+  void on_proceed_decision(ProceedDecision decision);
+
+  // --- load table -----------------------------------------------------------
+
+  /// Piggybacked load refresh (free: rides on every client->server message).
+  void update_load(SiteId site, const LoadInfo& load);
+
+  // --- diagnostics ------------------------------------------------------------
+
+  [[nodiscard]] const lock::GlobalLockTable& lock_table() const {
+    return glt_;
+  }
+  [[nodiscard]] const storage::PagedFile& paged_file() const { return pf_; }
+  [[nodiscard]] double cpu_utilization() const { return cpu_.utilization(); }
+  [[nodiscard]] double disk_utilization() const {
+    return pf_.disk().utilization();
+  }
+
+  void reset_stats();
+
+  /// Warm-start bookkeeping: registers `site`'s SL on `obj` without any
+  /// protocol traffic (the matching client called warm_insert).
+  void warm_register(ObjectId obj, SiteId site) {
+    glt_.add_holder(obj, site, lock::LockMode::kShared);
+  }
+
+  /// Warm-start: page resident in the server buffer, no timing.
+  void warm_preload(ObjectId obj) { pf_.preload(obj); }
+
+ private:
+  /// Request processing after the per-message CPU overhead.
+  void process_batch(const ObjectRequestBatch& batch);
+
+  /// Grants one need: reserves the lock and ships data (or a lock-only
+  /// grant when the client holds a copy).
+  void grant_now(TxnId txn, SiteId client, const ObjectNeed& need);
+
+  /// Queues the conflicted needs of a batch, runs the wait-for-graph
+  /// admission test, and triggers recalls/windows. Returns false when the
+  /// request was refused (deadlock) — the whole transaction is denied.
+  bool enqueue_conflicted(const ObjectRequestBatch& batch,
+                          const std::vector<ObjectNeed>& conflicted);
+
+  /// Sends callbacks to every holder conflicting with the strongest queued
+  /// mode (skipping holders already being recalled).
+  void send_recalls(ObjectId obj);
+
+  /// Strongest lock mode wanted by the object's queue (kShared when only
+  /// readers wait).
+  [[nodiscard]] lock::LockMode strongest_queued_mode(ObjectId obj);
+
+  /// Opens the lock-grouping collection window if the configuration calls
+  /// for one and none is open.
+  void maybe_open_window(ObjectId obj);
+  void on_window_end(ObjectId obj);
+
+  /// Cancels a window whose purpose is spent (recalls answered, no group
+  /// to grow) so a lone waiter is not parked until the wall-clock end.
+  void maybe_close_window_early(ObjectId obj);
+
+  /// Length of the queue prefix one forward list could carry (EL-run then
+  /// SL fan-out run, both capped). Drops expired entries it walks past.
+  std::size_t groupable_prefix(ObjectId obj);
+
+  /// Tries to serve the object's queue: plain grants, or a forward-list
+  /// shipment when lock grouping applies.
+  void pump_object(ObjectId obj);
+
+  /// Ships a grant to a client: paged-file read (when data travels), then
+  /// the wire.
+  void ship(SiteId to, Grant grant, net::MessageKind kind);
+
+  /// Tells a client its transaction was refused (deadlock admission).
+  void deny_txn(TxnId txn, SiteId client);
+
+  /// H2 material: candidate sites with conflict counts, data availability
+  /// and loads.
+  std::vector<LocationReply::Candidate> build_candidates(
+      const std::vector<std::pair<ObjectId, lock::LockMode>>& needs,
+      SiteId origin) const;
+
+  /// Lazily discards parked batches whose transaction deadline passed.
+  void prune_parked();
+
+  /// Wait-for-graph bookkeeping for queued entries.
+  void note_queued(TxnId txn, SiteId client, ObjectId obj);
+  void note_entry_gone(TxnId txn, ObjectId obj);
+  void note_skipped(const std::vector<lock::ForwardEntry>& skipped,
+                    ObjectId obj);
+
+  /// Site marker node in the wait-for graph.
+  static lock::WaitForGraph::Node site_node(SiteId site) {
+    return (1ull << 62) | static_cast<lock::WaitForGraph::Node>(site);
+  }
+
+  ClientServerSystem& sys_;
+  lock::GlobalLockTable glt_;
+  storage::PagedFile pf_;
+  sim::SerialResource cpu_;
+  lock::WaitForGraph wfg_;
+  std::unordered_map<ObjectId, sim::EventId> windows_;
+  std::unordered_map<SiteId, LoadInfo> loads_;
+
+  /// Queued-entry count per transaction (wait-for-graph lifetime).
+  struct QueuedTxn {
+    SiteId client = kInvalidSite;
+    std::size_t entries = 0;
+  };
+  std::unordered_map<TxnId, QueuedTxn> queued_;
+
+  /// Conflicted batches awaiting the client's ship-or-stay decision. The
+  /// requests stay here so a "proceed" costs one control message instead of
+  /// re-sending every per-object request frame.
+  std::unordered_map<TxnId, ObjectRequestBatch> parked_;
+
+  /// Version of the server's copy of each object (0 = never written).
+  std::unordered_map<ObjectId, std::uint64_t> versions_;
+
+  [[nodiscard]] std::uint64_t version_of(ObjectId obj) const {
+    const auto it = versions_.find(obj);
+    return it == versions_.end() ? 0 : it->second;
+  }
+};
+
+}  // namespace rtdb::core

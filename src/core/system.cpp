@@ -1,0 +1,115 @@
+#include "core/system.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rtdb::core {
+
+System::System(SystemConfig config)
+    : config_(config),
+      net_(sim_, config.network),
+      suite_(config.workload, config.num_clients, config.seed) {
+  trace_.enable_from_env();
+}
+
+void System::schedule_next_arrival(std::size_t client_index) {
+  auto& source = suite_.client(client_index);
+  const sim::Duration gap = source.next_interarrival();
+  const sim::SimTime when = sim_.now() + gap;
+  // Arrivals stop at the end of the measurement window; the drain phase
+  // only resolves transactions already in flight.
+  if (when >= config_.warmup + config_.duration) return;
+  sim_.at(when, [this, client_index] {
+    auto& src = suite_.client(client_index);
+    txn::Transaction t = src.make_transaction(next_txn_id(), sim_.now());
+    record_generated(t);
+    schedule_next_arrival(client_index);
+    on_arrival(client_index, std::move(t));
+  });
+}
+
+void System::on_measurement_start() {
+  metrics_ = RunMetrics{};
+  net_.reset_stats();
+}
+
+RunMetrics System::run() {
+  start();
+  for (std::size_t i = 0; i < suite_.num_clients(); ++i) {
+    schedule_next_arrival(i);
+  }
+  sim_.run_until(config_.warmup);
+  on_measurement_start();
+  sim_.run_until(config_.horizon());
+
+  metrics_.messages = net_.stats();
+  metrics_.network_utilization = net_.utilization();
+  metrics_.consistency_violations = auditor_.violations().size();
+  finalize(metrics_);
+
+  // Safety net: transactions whose (exponentially distributed) deadline or
+  // service stretched past the drain horizon count as missed — they cannot
+  // have met any useful deadline by then.
+  if (metrics_.generated > metrics_.committed + metrics_.missed +
+                               metrics_.aborted) {
+    metrics_.missed += metrics_.generated - metrics_.committed -
+                       metrics_.missed - metrics_.aborted;
+  }
+  return metrics_;
+}
+
+void System::record_generated(const txn::Transaction& t) {
+  if (is_measured(t)) ++metrics_.generated;
+}
+
+namespace {
+/// Debug aid: RTDB_TRACE_TXN=<id> streams outcome records for one
+/// transaction to stderr (cached once).
+std::uint64_t traced_txn() {
+  static const std::uint64_t id = [] {
+    const char* e = std::getenv("RTDB_TRACE_TXN");
+    return e ? std::strtoull(e, nullptr, 10) : 0ull;
+  }();
+  return id;
+}
+}  // namespace
+
+bool System::first_outcome(const txn::Transaction& t) {
+  if (resolved_.insert(t.id).second) return true;
+  ++double_records_;
+  std::fprintf(stderr, "rtdb: duplicate outcome for txn %llu at t=%.3f\n",
+               static_cast<unsigned long long>(t.id), sim_.now());
+  return false;
+}
+
+void System::record_commit(const txn::Transaction& t,
+                           sim::SimTime commit_time) {
+  if (traced_txn() == t.id) {
+    std::fprintf(stderr, "[%.3f] record_commit txn=%llu\n", sim_.now(),
+                 (unsigned long long)t.id);
+  }
+  if (!is_measured(t)) return;
+  if (!first_outcome(t)) return;
+  ++metrics_.committed;
+  metrics_.response_time.add(commit_time - t.arrival);
+  metrics_.commit_slack.add(t.deadline - commit_time);
+}
+
+void System::record_miss(const txn::Transaction& t) {
+  if (traced_txn() == t.id) {
+    std::fprintf(stderr, "[%.3f] record_miss txn=%llu\n", sim_.now(),
+                 (unsigned long long)t.id);
+  }
+  if (is_measured(t) && first_outcome(t)) ++metrics_.missed;
+}
+
+void System::record_abort(const txn::Transaction& t) {
+  if (traced_txn() == t.id) {
+    std::fprintf(stderr, "[%.3f] record_abort txn=%llu\n", sim_.now(),
+                 (unsigned long long)t.id);
+  }
+  if (is_measured(t) && first_outcome(t)) ++metrics_.aborted;
+}
+
+}  // namespace rtdb::core

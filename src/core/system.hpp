@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+
+#include "core/auditor.hpp"
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "txn/transaction.hpp"
+#include "workload/generator.hpp"
+
+/// \file system.hpp
+/// Common scaffolding shared by the three prototypes: the simulator, the
+/// LAN, the workload sources, arrival scheduling, the warm-up / measurement
+/// / drain phases, and transaction outcome accounting.
+
+namespace rtdb::core {
+
+/// Base of CE-RTDBS / CS-RTDBS / LS-CS-RTDBS runs.
+///
+/// Lifecycle: construct -> run() -> read metrics. One System instance
+/// performs exactly one run.
+class System {
+ public:
+  explicit System(SystemConfig config);
+  virtual ~System() = default;
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  /// Executes the whole experiment and returns the measurement-phase
+  /// metrics. Call once.
+  RunMetrics run();
+
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] net::Network& network() { return net_; }
+
+  /// End-to-end consistency ledger (lost updates / stale reads / divergent
+  /// copies). Populated throughout the run; tests assert it stays clean.
+  [[nodiscard]] ConsistencyAuditor& auditor() { return auditor_; }
+  [[nodiscard]] const ConsistencyAuditor& auditor() const { return auditor_; }
+
+  /// Structured event trace (RTDB_TRACE=lock,txn,... or programmatic
+  /// enable); disabled categories cost one branch per emit site.
+  [[nodiscard]] sim::TraceLog& trace() { return trace_; }
+  [[nodiscard]] const sim::TraceLog& trace() const { return trace_; }
+
+ protected:
+  /// Subclass hook: wire up nodes before arrivals start.
+  virtual void start() = 0;
+
+  /// Deliver one freshly generated transaction to the subclass.
+  virtual void on_arrival(std::size_t client_index, txn::Transaction txn) = 0;
+
+  /// Called at the warm-up/measurement boundary: reset subsystem stats
+  /// (caches, disks, CPU windows). Base resets network + outcome counters.
+  virtual void on_measurement_start();
+
+  /// Called once after the drain: fill subsystem utilizations / Table 2-4
+  /// aggregates into `m`.
+  virtual void finalize(RunMetrics& m) = 0;
+
+  /// True if the transaction arrived inside the measurement window and its
+  /// outcome must be counted.
+  [[nodiscard]] bool is_measured(const txn::Transaction& t) const {
+    return t.arrival >= config_.warmup &&
+           t.arrival < config_.warmup + config_.duration;
+  }
+
+  // Outcome accounting. Exactly one outcome per measured transaction is
+  // enforced: a second record trips `double_records()` (asserted zero by
+  // the property tests) and is dropped.
+  void record_generated(const txn::Transaction& t);
+  void record_commit(const txn::Transaction& t, sim::SimTime commit_time);
+  void record_miss(const txn::Transaction& t);
+  void record_abort(const txn::Transaction& t);
+
+ public:
+  /// Measured transactions that had a second outcome recorded (bug if >0).
+  [[nodiscard]] std::uint64_t double_records() const {
+    return double_records_;
+  }
+
+ protected:
+
+  /// Next cluster-unique transaction id.
+  TxnId next_txn_id() { return next_txn_id_++; }
+
+  SystemConfig config_;
+  sim::Simulator sim_;
+  net::Network net_;
+  workload::WorkloadSuite suite_;
+  RunMetrics metrics_;
+  ConsistencyAuditor auditor_;
+  sim::TraceLog trace_;
+
+ private:
+  void schedule_next_arrival(std::size_t client_index);
+
+  /// Returns false (and counts) when the transaction already has an
+  /// outcome; callers must then drop the duplicate record.
+  bool first_outcome(const txn::Transaction& t);
+
+  TxnId next_txn_id_ = 1;
+  std::unordered_set<TxnId> resolved_;
+  std::uint64_t double_records_ = 0;
+};
+
+}  // namespace rtdb::core

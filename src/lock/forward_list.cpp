@@ -1,0 +1,62 @@
+#include "lock/forward_list.hpp"
+
+#include <algorithm>
+
+namespace rtdb::lock {
+
+void ForwardList::add(const ForwardEntry& entry) {
+  // Stable insertion before the first strictly-later priority.
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), entry,
+      [](const ForwardEntry& a, const ForwardEntry& b) {
+        return a.priority < b.priority;
+      });
+  entries_.insert(it, entry);
+}
+
+std::optional<ForwardEntry> ForwardList::pop_next(
+    sim::SimTime now, std::vector<ForwardEntry>* skipped) {
+  while (!entries_.empty()) {
+    ForwardEntry front = entries_.front();
+    entries_.pop_front();
+    if (front.expires >= now) return front;
+    if (skipped) skipped->push_back(front);
+  }
+  return std::nullopt;
+}
+
+const ForwardEntry* ForwardList::peek_next(
+    sim::SimTime now, std::vector<ForwardEntry>* skipped) {
+  while (!entries_.empty()) {
+    if (entries_.front().expires >= now) return &entries_.front();
+    if (skipped) skipped->push_back(entries_.front());
+    entries_.pop_front();
+  }
+  return nullptr;
+}
+
+std::size_t ForwardList::remove_txn(TxnId txn) {
+  const auto before = entries_.size();
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const ForwardEntry& e) {
+                                  return e.txn == txn;
+                                }),
+                 entries_.end());
+  return before - entries_.size();
+}
+
+std::optional<SiteId> ForwardList::last_site() const {
+  if (entries_.empty()) return std::nullopt;
+  return entries_.back().site;
+}
+
+std::vector<ForwardEntry> ForwardList::leading_shared_run() const {
+  std::vector<ForwardEntry> run;
+  for (const auto& e : entries_) {
+    if (e.mode != LockMode::kShared) break;
+    run.push_back(e);
+  }
+  return run;
+}
+
+}  // namespace rtdb::lock

@@ -1,0 +1,183 @@
+#include "lock/global_lock_table.hpp"
+
+#include <algorithm>
+
+namespace rtdb::lock {
+
+const GlobalLockTable::State* GlobalLockTable::state_if_any(
+    ObjectId obj) const {
+  auto it = objects_.find(obj);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+LockMode GlobalLockTable::holder_mode(ObjectId obj, SiteId site) const {
+  const State* st = state_if_any(obj);
+  if (!st) return LockMode::kNone;
+  for (const auto& h : st->holders) {
+    if (h.site == site) return h.mode;
+  }
+  return LockMode::kNone;
+}
+
+std::vector<GlobalHold> GlobalLockTable::holders(ObjectId obj) const {
+  const State* st = state_if_any(obj);
+  return st ? st->holders : std::vector<GlobalHold>{};
+}
+
+std::vector<SiteId> GlobalLockTable::conflicting_holders(
+    ObjectId obj, LockMode mode, SiteId requester) const {
+  std::vector<SiteId> result;
+  const State* st = state_if_any(obj);
+  if (!st) return result;
+  for (const auto& h : st->holders) {
+    if (h.site != requester && !compatible(h.mode, mode)) {
+      result.push_back(h.site);
+    }
+  }
+  return result;
+}
+
+bool GlobalLockTable::can_grant(ObjectId obj, SiteId site,
+                                LockMode mode) const {
+  const State* st = state_if_any(obj);
+  if (!st) return true;
+  if (st->circulating) return false;  // the object is out on a forward list
+  return std::all_of(st->holders.begin(), st->holders.end(),
+                     [&](const GlobalHold& h) {
+                       return h.site == site || compatible(h.mode, mode);
+                     });
+}
+
+void GlobalLockTable::add_holder(ObjectId obj, SiteId site, LockMode mode) {
+  State& st = state(obj);
+  for (auto& h : st.holders) {
+    if (h.site == site) {
+      h.mode = stronger(h.mode, mode);
+      return;
+    }
+  }
+  st.holders.push_back(GlobalHold{site, mode});
+  by_site_[site].insert(obj);
+}
+
+LockMode GlobalLockTable::remove_holder(ObjectId obj, SiteId site) {
+  auto it = objects_.find(obj);
+  if (it == objects_.end()) return LockMode::kNone;
+  auto& hs = it->second.holders;
+  auto h = std::find_if(hs.begin(), hs.end(),
+                        [&](const GlobalHold& g) { return g.site == site; });
+  if (h == hs.end()) return LockMode::kNone;
+  const LockMode mode = h->mode;
+  hs.erase(h);
+  auto bt = by_site_.find(site);
+  if (bt != by_site_.end()) {
+    bt->second.erase(obj);
+    if (bt->second.empty()) by_site_.erase(bt);
+  }
+  drop_if_quiescent(obj);
+  return mode;
+}
+
+bool GlobalLockTable::downgrade_holder(ObjectId obj, SiteId site) {
+  auto it = objects_.find(obj);
+  if (it == objects_.end()) return false;
+  for (auto& h : it->second.holders) {
+    if (h.site == site && h.mode == LockMode::kExclusive) {
+      h.mode = LockMode::kShared;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<ObjectId> GlobalLockTable::objects_held_by(SiteId site) const {
+  auto it = by_site_.find(site);
+  if (it == by_site_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::size_t GlobalLockTable::lock_count(SiteId site) const {
+  auto it = by_site_.find(site);
+  return it == by_site_.end() ? 0 : it->second.size();
+}
+
+const ForwardList* GlobalLockTable::queue_if_any(ObjectId obj) const {
+  const State* st = state_if_any(obj);
+  return st ? &st->queue : nullptr;
+}
+
+void GlobalLockTable::mark_recall_sent(ObjectId obj, SiteId site) {
+  state(obj).recalls.insert(site);
+}
+
+bool GlobalLockTable::recall_pending(ObjectId obj, SiteId site) const {
+  const State* st = state_if_any(obj);
+  return st && st->recalls.count(site) != 0;
+}
+
+void GlobalLockTable::clear_recall(ObjectId obj, SiteId site) {
+  auto it = objects_.find(obj);
+  if (it == objects_.end()) return;
+  it->second.recalls.erase(site);
+  drop_if_quiescent(obj);
+}
+
+std::size_t GlobalLockTable::recalls_outstanding(ObjectId obj) const {
+  const State* st = state_if_any(obj);
+  return st ? st->recalls.size() : 0;
+}
+
+void GlobalLockTable::set_circulating(ObjectId obj, SiteId last_site) {
+  State& st = state(obj);
+  st.circulating = true;
+  st.circulating_last = last_site;
+}
+
+void GlobalLockTable::clear_circulating(ObjectId obj) {
+  auto it = objects_.find(obj);
+  if (it == objects_.end()) return;
+  it->second.circulating = false;
+  it->second.circulating_last = kInvalidSite;
+  drop_if_quiescent(obj);
+}
+
+bool GlobalLockTable::is_circulating(ObjectId obj) const {
+  const State* st = state_if_any(obj);
+  return st && st->circulating;
+}
+
+SiteId GlobalLockTable::location_of(ObjectId obj) const {
+  const State* st = state_if_any(obj);
+  if (!st) return kServerSite;
+  if (st->circulating && st->circulating_last != kInvalidSite) {
+    return st->circulating_last;
+  }
+  for (const auto& h : st->holders) {
+    if (h.mode == LockMode::kExclusive) return h.site;
+  }
+  if (!st->holders.empty()) return st->holders.front().site;
+  return kServerSite;
+}
+
+std::size_t GlobalLockTable::conflict_count_at(
+    const std::vector<std::pair<ObjectId, LockMode>>& needs,
+    SiteId site) const {
+  std::size_t conflicts = 0;
+  for (const auto& [obj, mode] : needs) {
+    if (!conflicting_holders(obj, mode, site).empty()) ++conflicts;
+  }
+  return conflicts;
+}
+
+void GlobalLockTable::drop_if_quiescent(ObjectId obj) {
+  auto it = objects_.find(obj);
+  if (it != objects_.end() && it->second.quiescent()) objects_.erase(it);
+}
+
+void GlobalLockTable::compact() {
+  for (auto it = objects_.begin(); it != objects_.end();) {
+    it = it->second.quiescent() ? objects_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace rtdb::lock

@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "lock/forward_list.hpp"
+#include "lock/modes.hpp"
+#include "sim/stats.hpp"
+
+/// \file global_lock_table.hpp
+/// The server's global lock table: which *client site* caches which lock on
+/// which object ("since several clients can cache the same database objects,
+/// the server maintains a global lock table to serialize updates to cached
+/// data"). Pure bookkeeping + queries; the callback/grant *messaging* is
+/// driven by the server node in rtdb::core, which makes this state machine
+/// directly unit-testable.
+///
+/// Each object also carries a deadline-ordered wait queue, which in the LS
+/// configuration doubles as the next forward list (lock grouping, §3.4), a
+/// set of outstanding recalls, and — while a shipped forward list circulates
+/// among clients — the identity of the list's final site, which the server
+/// reports as the object's location.
+
+namespace rtdb::lock {
+
+/// One client-level lock.
+struct GlobalHold {
+  SiteId site = kInvalidSite;
+  LockMode mode = LockMode::kNone;
+};
+
+/// Server-side lock/queue/recall state for the whole database.
+class GlobalLockTable {
+ public:
+  // --- holder bookkeeping ------------------------------------------------
+
+  /// Mode `site` holds on `obj` (kNone if none).
+  [[nodiscard]] LockMode holder_mode(ObjectId obj, SiteId site) const;
+
+  /// All client holds on `obj`.
+  [[nodiscard]] std::vector<GlobalHold> holders(ObjectId obj) const;
+
+  /// Client sites whose hold on `obj` conflicts with `mode` (excluding the
+  /// requester itself).
+  [[nodiscard]] std::vector<SiteId> conflicting_holders(ObjectId obj,
+                                                        LockMode mode,
+                                                        SiteId requester) const;
+
+  /// True if granting (site, mode) needs no callback: every other holder is
+  /// compatible with `mode`.
+  [[nodiscard]] bool can_grant(ObjectId obj, SiteId site, LockMode mode) const;
+
+  /// Records a grant (new hold or upgrade to the stronger mode).
+  void add_holder(ObjectId obj, SiteId site, LockMode mode);
+
+  /// Removes a client's hold. Returns the mode it held (kNone if absent).
+  LockMode remove_holder(ObjectId obj, SiteId site);
+
+  /// EL -> SL downgrade (the paper's modified callback: an EL holder asked
+  /// to yield to a *shared* request keeps the object with a SL). Returns
+  /// false if the site held no EL.
+  bool downgrade_holder(ObjectId obj, SiteId site);
+
+  /// Objects a site currently holds locks on.
+  [[nodiscard]] std::vector<ObjectId> objects_held_by(SiteId site) const;
+
+  /// Count of locks a site holds (load/diagnostics).
+  [[nodiscard]] std::size_t lock_count(SiteId site) const;
+
+  // --- wait queue / next forward list ------------------------------------
+
+  /// Deadline-ordered pending requests for `obj` (mutable access: the
+  /// server enqueues and harvests entries from it).
+  ForwardList& queue(ObjectId obj) { return state(obj).queue; }
+  [[nodiscard]] const ForwardList* queue_if_any(ObjectId obj) const;
+
+  // --- recall (callback) bookkeeping --------------------------------------
+
+  void mark_recall_sent(ObjectId obj, SiteId site);
+  [[nodiscard]] bool recall_pending(ObjectId obj, SiteId site) const;
+  void clear_recall(ObjectId obj, SiteId site);
+  [[nodiscard]] std::size_t recalls_outstanding(ObjectId obj) const;
+
+  // --- forward-list circulation (LS) --------------------------------------
+
+  /// Marks the object as travelling along a shipped forward list whose last
+  /// entry is `last_site`.
+  void set_circulating(ObjectId obj, SiteId last_site);
+
+  /// Clears circulation (the object returned to the server).
+  void clear_circulating(ObjectId obj);
+
+  [[nodiscard]] bool is_circulating(ObjectId obj) const;
+
+  // --- location ------------------------------------------------------------
+
+  /// Where a requester should expect the object: the last site of a
+  /// circulating forward list, else an exclusive holder, else any shared
+  /// holder, else the server.
+  [[nodiscard]] SiteId location_of(ObjectId obj) const;
+
+  // --- H2 ------------------------------------------------------------------
+
+  /// The paper's H2 cost: the number of `needs` entries that would sit
+  /// behind conflicting locks if the transaction executed at `site` (locks
+  /// held by `site` itself never conflict with it).
+  [[nodiscard]] std::size_t conflict_count_at(
+      const std::vector<std::pair<ObjectId, LockMode>>& needs,
+      SiteId site) const;
+
+  /// Drops empty per-object states (call after bursts of releases).
+  void compact();
+
+  [[nodiscard]] std::size_t tracked_objects() const { return objects_.size(); }
+
+ private:
+  struct State {
+    std::vector<GlobalHold> holders;
+    ForwardList queue;
+    std::unordered_set<SiteId> recalls;
+    bool circulating = false;
+    SiteId circulating_last = kInvalidSite;
+
+    [[nodiscard]] bool quiescent() const {
+      return holders.empty() && queue.empty() && recalls.empty() &&
+             !circulating;
+    }
+  };
+
+  State& state(ObjectId obj) { return objects_[obj]; }
+  [[nodiscard]] const State* state_if_any(ObjectId obj) const;
+  void drop_if_quiescent(ObjectId obj);
+
+  std::unordered_map<ObjectId, State> objects_;
+  std::unordered_map<SiteId, std::unordered_set<ObjectId>> by_site_;
+};
+
+}  // namespace rtdb::lock

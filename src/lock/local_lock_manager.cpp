@@ -1,0 +1,262 @@
+#include "lock/local_lock_manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rtdb::lock {
+
+bool LocalLockManager::grantable(const ObjectState& st, TxnId txn,
+                                 LockMode mode) {
+  return std::all_of(st.holders.begin(), st.holders.end(),
+                     [&](const Hold& h) {
+                       return h.txn == txn || compatible(h.mode, mode);
+                     });
+}
+
+LockMode LocalLockManager::held_mode(TxnId txn, ObjectId obj) const {
+  auto it = objects_.find(obj);
+  if (it == objects_.end()) return LockMode::kNone;
+  for (const auto& h : it->second.holders) {
+    if (h.txn == txn) return h.mode;
+  }
+  return LockMode::kNone;
+}
+
+std::vector<TxnId> LocalLockManager::holders(ObjectId obj) const {
+  std::vector<TxnId> result;
+  auto it = objects_.find(obj);
+  if (it == objects_.end()) return result;
+  result.reserve(it->second.holders.size());
+  for (const auto& h : it->second.holders) result.push_back(h.txn);
+  return result;
+}
+
+std::vector<TxnId> LocalLockManager::conflicting_holders(ObjectId obj,
+                                                         LockMode mode,
+                                                         TxnId txn) const {
+  std::vector<TxnId> result;
+  auto it = objects_.find(obj);
+  if (it == objects_.end()) return result;
+  for (const auto& h : it->second.holders) {
+    if (h.txn != txn && !compatible(h.mode, mode)) result.push_back(h.txn);
+  }
+  return result;
+}
+
+std::size_t LocalLockManager::waiting_count(ObjectId obj) const {
+  auto it = objects_.find(obj);
+  return it == objects_.end() ? 0 : it->second.queue.size();
+}
+
+std::vector<ObjectId> LocalLockManager::objects_held(TxnId txn) const {
+  auto it = held_by_txn_.find(txn);
+  if (it == held_by_txn_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::vector<WaitForGraph::Node> LocalLockManager::blockers_of(
+    const ObjectState& st, TxnId txn, LockMode mode,
+    sim::SimTime deadline) const {
+  std::vector<WaitForGraph::Node> blockers;
+  for (const auto& h : st.holders) {
+    if (h.txn != txn && !compatible(h.mode, mode)) blockers.push_back(h.txn);
+  }
+  // Waiters that will sit ahead of this request in EDF order and whose mode
+  // conflicts also block it.
+  for (const auto& w : st.queue) {
+    if (w.deadline > deadline) break;  // insertion point reached
+    if (w.txn != txn && !compatible(w.mode, mode)) blockers.push_back(w.txn);
+  }
+  return blockers;
+}
+
+void LocalLockManager::grant(ObjectState& st, TxnId txn, LockMode mode) {
+  for (auto& h : st.holders) {
+    if (h.txn == txn) {
+      h.mode = stronger(h.mode, mode);  // upgrade in place
+      grants_.inc();
+      return;
+    }
+  }
+  st.holders.push_back(Hold{txn, mode});
+  grants_.inc();
+}
+
+LocalLockManager::Outcome LocalLockManager::acquire(TxnId txn, ObjectId obj,
+                                                    LockMode mode,
+                                                    sim::SimTime deadline,
+                                                    GrantFn on_grant) {
+  assert(mode != LockMode::kNone);
+  auto& st = objects_[obj];
+
+  if (covers(held_mode(txn, obj), mode)) {
+    drop_object_if_quiescent(obj);
+    return Outcome::kGranted;
+  }
+
+  // Immediate grant only when EDF order is respected: compatible with all
+  // holders AND no conflicting request is already queued ahead.
+  const auto blockers = blockers_of(st, txn, mode, deadline);
+  if (blockers.empty() && grantable(st, txn, mode)) {
+    grant(st, txn, mode);
+    held_by_txn_[txn].insert(obj);
+    return Outcome::kGranted;
+  }
+
+  // Admission test: refuse a request that would close a wait-for cycle.
+  if (graph_.would_deadlock(txn, blockers)) {
+    deadlocks_.inc();
+    drop_object_if_quiescent(obj);
+    return Outcome::kDeadlock;
+  }
+
+  Waiter waiter{txn, mode, deadline, std::move(on_grant), {}};
+  auto pos = std::upper_bound(st.queue.begin(), st.queue.end(), deadline,
+                              [](sim::SimTime d, const Waiter& w) {
+                                return d < w.deadline;
+                              });
+  st.queue.insert(pos, std::move(waiter));
+  waiting_on_[txn].insert(obj);
+  waits_.inc();
+  refresh_wait_edges(obj);
+  return Outcome::kQueued;
+}
+
+
+void LocalLockManager::unindex_wait_if_none(TxnId txn, ObjectId obj) {
+  // A txn can have several queued requests on one object (e.g. a shared
+  // request plus an upgrade); the index entry may only go when the last
+  // one leaves the queue.
+  auto it = objects_.find(obj);
+  if (it != objects_.end()) {
+    for (const auto& w : it->second.queue) {
+      if (w.txn == txn) return;
+    }
+  }
+  auto wt = waiting_on_.find(txn);
+  if (wt != waiting_on_.end()) {
+    wt->second.erase(obj);
+    if (wt->second.empty()) waiting_on_.erase(wt);
+  }
+}
+
+void LocalLockManager::refresh_wait_edges(ObjectId obj) {
+  // EDF insert-ahead can close a wait-for cycle after admission; when a
+  // waiter's refreshed edges do so, that waiter is aborted as the victim
+  // (its callback fires with granted=false) and the refresh restarts.
+  for (bool changed = true; changed;) {
+    changed = false;
+    auto it = objects_.find(obj);
+    if (it == objects_.end()) return;
+    auto& st = it->second;
+    for (auto qit = st.queue.begin(); qit != st.queue.end(); ++qit) {
+      auto& w = *qit;
+      auto fresh = blockers_of(st, w.txn, w.mode, w.deadline);
+      // blockers_of stops at the first strictly-later deadline, which
+      // includes the waiter itself; drop self entries.
+      fresh.erase(std::remove(fresh.begin(), fresh.end(), w.txn),
+                  fresh.end());
+      std::sort(fresh.begin(), fresh.end());
+      fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
+      if (fresh == w.edges) continue;
+      for (auto h : w.edges) graph_.remove_edge(w.txn, h);
+      graph_.add_edges(w.txn, fresh);
+      w.edges = std::move(fresh);
+      if (!graph_.has_cycle()) continue;
+
+      // This waiter's new edges closed a cycle: abort it.
+      deadlocks_.inc();
+      for (auto h : w.edges) graph_.remove_edge(w.txn, h);
+      GrantFn cb = std::move(w.on_grant);
+      const TxnId victim = w.txn;
+      st.queue.erase(qit);
+      unindex_wait_if_none(victim, obj);
+      if (cb) cb(false);
+      changed = true;
+      break;  // the queue (and possibly the whole table) changed: restart
+    }
+  }
+  drop_object_if_quiescent(obj);
+}
+
+void LocalLockManager::pump(ObjectId obj) {
+  // Grants are performed one front-waiter at a time; callbacks run after
+  // the state mutation so reentrant acquire/release calls observe a
+  // consistent table.
+  for (;;) {
+    auto it = objects_.find(obj);
+    if (it == objects_.end() || it->second.queue.empty()) break;
+    auto& st = it->second;
+    Waiter& front = st.queue.front();
+    if (!grantable(st, front.txn, front.mode)) break;
+    // An upgrade blocked by other SL holders is handled by grantable();
+    // reaching here means it can proceed.
+    Waiter granted = std::move(front);
+    st.queue.pop_front();
+    for (auto h : granted.edges) graph_.remove_edge(granted.txn, h);
+    grant(st, granted.txn, granted.mode);
+    held_by_txn_[granted.txn].insert(obj);
+    unindex_wait_if_none(granted.txn, obj);
+    refresh_wait_edges(obj);
+    if (granted.on_grant) granted.on_grant(true);
+  }
+  refresh_wait_edges(obj);
+  drop_object_if_quiescent(obj);
+}
+
+void LocalLockManager::release(TxnId txn, ObjectId obj) {
+  auto it = objects_.find(obj);
+  if (it == objects_.end()) return;
+  auto& st = it->second;
+  auto h = std::find_if(st.holders.begin(), st.holders.end(),
+                        [&](const Hold& hold) { return hold.txn == txn; });
+  if (h == st.holders.end()) return;
+  st.holders.erase(h);
+  auto ht = held_by_txn_.find(txn);
+  if (ht != held_by_txn_.end()) {
+    ht->second.erase(obj);
+    if (ht->second.empty()) held_by_txn_.erase(ht);
+  }
+  pump(obj);
+}
+
+void LocalLockManager::cancel_waits(TxnId txn) {
+  auto wt = waiting_on_.find(txn);
+  if (wt == waiting_on_.end()) return;
+  const auto objs = wt->second;  // copy: we mutate the index below
+  waiting_on_.erase(wt);
+  for (ObjectId obj : objs) {
+    auto it = objects_.find(obj);
+    if (it == objects_.end()) continue;
+    auto& q = it->second.queue;
+    for (auto qit = q.begin(); qit != q.end();) {
+      if (qit->txn == txn) {
+        for (auto h : qit->edges) graph_.remove_edge(txn, h);
+        qit = q.erase(qit);
+      } else {
+        ++qit;
+      }
+    }
+    // Removing a conflicting waiter from the middle can unblock the front.
+    pump(obj);
+  }
+}
+
+void LocalLockManager::release_all(TxnId txn) {
+  cancel_waits(txn);
+  auto ht = held_by_txn_.find(txn);
+  if (ht == held_by_txn_.end()) return;
+  const auto objs = ht->second;  // copy: release() mutates the index
+  for (ObjectId obj : objs) release(txn, obj);
+  graph_.remove_node(txn);
+}
+
+void LocalLockManager::drop_object_if_quiescent(ObjectId obj) {
+  auto it = objects_.find(obj);
+  if (it != objects_.end() && it->second.holders.empty() &&
+      it->second.queue.empty()) {
+    objects_.erase(it);
+  }
+}
+
+}  // namespace rtdb::lock

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+/// \file modes.hpp
+/// Lock modes of the paper's concurrency scheme: Shared (SL) and
+/// Exclusive (EL), under a variant of strict two-phase locking. Clients
+/// cache locks together with objects; the server's global lock table
+/// serializes conflicting client-level locks.
+
+namespace rtdb::lock {
+
+/// SL/EL lock modes (kNone = not held).
+enum class LockMode : std::uint8_t { kNone = 0, kShared = 1, kExclusive = 2 };
+
+/// True if two locks held by *different* owners may coexist on one object.
+constexpr bool compatible(LockMode a, LockMode b) {
+  if (a == LockMode::kNone || b == LockMode::kNone) return true;
+  return a == LockMode::kShared && b == LockMode::kShared;
+}
+
+/// True if a holder of `held` needs no further grant to operate at `want`.
+constexpr bool covers(LockMode held, LockMode want) {
+  return static_cast<std::uint8_t>(held) >= static_cast<std::uint8_t>(want);
+}
+
+/// The stronger of two modes.
+constexpr LockMode stronger(LockMode a, LockMode b) {
+  return covers(a, b) ? a : b;
+}
+
+constexpr std::string_view to_string(LockMode mode) {
+  switch (mode) {
+    case LockMode::kNone: return "NL";
+    case LockMode::kShared: return "SL";
+    case LockMode::kExclusive: return "EL";
+  }
+  return "?";
+}
+
+}  // namespace rtdb::lock

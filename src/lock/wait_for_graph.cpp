@@ -1,0 +1,145 @@
+#include "lock/wait_for_graph.hpp"
+
+#include <algorithm>
+
+namespace rtdb::lock {
+
+bool WaitForGraph::reachable(Node from, Node to) const {
+  if (from == to) return true;
+  std::vector<Node> stack{from};
+  std::unordered_set<Node> seen{from};
+  while (!stack.empty()) {
+    const Node n = stack.back();
+    stack.pop_back();
+    auto it = out_.find(n);
+    if (it == out_.end()) continue;
+    for (const auto& [next, count] : it->second) {
+      (void)count;
+      if (next == to) return true;
+      if (seen.insert(next).second) stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+bool WaitForGraph::would_deadlock(Node waiter,
+                                  const std::vector<Node>& holders) const {
+  // A new edge waiter->h closes a cycle iff h can already reach waiter.
+  return std::any_of(holders.begin(), holders.end(), [&](Node h) {
+    return h == waiter || reachable(h, waiter);
+  });
+}
+
+void WaitForGraph::add_edges(Node waiter, const std::vector<Node>& holders) {
+  for (Node h : holders) {
+    if (h == waiter) continue;  // self-waits are meaningless
+    ++out_[waiter][h];
+    in_[h].insert(waiter);
+  }
+}
+
+bool WaitForGraph::try_add_edges(Node waiter,
+                                 const std::vector<Node>& holders) {
+  if (would_deadlock(waiter, holders)) return false;
+  add_edges(waiter, holders);
+  return true;
+}
+
+void WaitForGraph::remove_edge(Node waiter, Node holder) {
+  auto it = out_.find(waiter);
+  if (it == out_.end()) return;
+  auto et = it->second.find(holder);
+  if (et == it->second.end()) return;
+  if (--et->second > 0) return;  // other objects still justify this edge
+  it->second.erase(et);
+  if (it->second.empty()) out_.erase(it);
+  auto jt = in_.find(holder);
+  if (jt != in_.end()) {
+    jt->second.erase(waiter);
+    if (jt->second.empty()) in_.erase(jt);
+  }
+}
+
+void WaitForGraph::remove_node(Node node) {
+  if (auto it = out_.find(node); it != out_.end()) {
+    for (const auto& [h, count] : it->second) {
+      (void)count;
+      auto jt = in_.find(h);
+      if (jt != in_.end()) {
+        jt->second.erase(node);
+        if (jt->second.empty()) in_.erase(jt);
+      }
+    }
+    out_.erase(it);
+  }
+  if (auto it = in_.find(node); it != in_.end()) {
+    for (Node w : it->second) {
+      auto jt = out_.find(w);
+      if (jt != out_.end()) {
+        jt->second.erase(node);
+        if (jt->second.empty()) out_.erase(jt);
+      }
+    }
+    in_.erase(it);
+  }
+}
+
+std::vector<WaitForGraph::Node> WaitForGraph::waits_for(Node waiter) const {
+  auto it = out_.find(waiter);
+  if (it == out_.end()) return {};
+  std::vector<Node> result;
+  result.reserve(it->second.size());
+  for (const auto& [h, count] : it->second) {
+    (void)count;
+    result.push_back(h);
+  }
+  return result;
+}
+
+bool WaitForGraph::has_cycle() const {
+  // Kahn-style: repeatedly strip nodes with zero in-degree; leftovers are
+  // in cycles.
+  std::unordered_map<Node, std::size_t> indeg;
+  for (const auto& [n, outs] : out_) {
+    indeg.emplace(n, 0);
+    for (const auto& [h, count] : outs) {
+      (void)count;
+      indeg.emplace(h, 0);
+    }
+  }
+  for (const auto& [n, outs] : out_) {
+    (void)n;
+    for (const auto& [h, count] : outs) {
+      (void)count;
+      ++indeg[h];
+    }
+  }
+  std::vector<Node> ready;
+  for (const auto& [n, d] : indeg) {
+    if (d == 0) ready.push_back(n);
+  }
+  std::size_t removed = 0;
+  while (!ready.empty()) {
+    const Node n = ready.back();
+    ready.pop_back();
+    ++removed;
+    auto it = out_.find(n);
+    if (it == out_.end()) continue;
+    for (const auto& [h, count] : it->second) {
+      (void)count;
+      if (--indeg[h] == 0) ready.push_back(h);
+    }
+  }
+  return removed != indeg.size();
+}
+
+std::size_t WaitForGraph::edge_count() const {
+  std::size_t count = 0;
+  for (const auto& [n, outs] : out_) {
+    (void)n;
+    count += outs.size();
+  }
+  return count;
+}
+
+}  // namespace rtdb::lock

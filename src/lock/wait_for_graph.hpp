@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+/// \file wait_for_graph.hpp
+/// Deadlock detection. The paper: "Wait-for graphs are used to detect
+/// deadlocks. When an object request is received by the server, it is added
+/// to the request queue only if it does not cause a deadlock cycle in the
+/// wait-for graph." We provide the same admission test: edges are staged,
+/// checked for a cycle, and only committed when safe.
+
+namespace rtdb::lock {
+
+/// Directed wait-for graph over opaque 64-bit node ids (transaction ids at
+/// a client's local lock manager; requester ids at the server).
+///
+/// Edges are *counted*: the same waiter->holder pair can be justified by
+/// waits on several objects at once, and disappears only when the last
+/// justification is removed.
+///
+/// Complexity: cycle checks are a DFS from the new edge's source, O(V+E) —
+/// graphs here are small (bounded by in-flight transactions).
+class WaitForGraph {
+ public:
+  using Node = std::uint64_t;
+
+  /// Would adding waiter->holder edges close a cycle? Pure query.
+  [[nodiscard]] bool would_deadlock(Node waiter,
+                                    const std::vector<Node>& holders) const;
+
+  /// Adds waiter->holder edges unconditionally (caller already checked or
+  /// wants detection-after-the-fact).
+  void add_edges(Node waiter, const std::vector<Node>& holders);
+
+  /// Admission test used by the lock managers: adds the edges only when
+  /// they close no cycle. Returns false (and changes nothing) on deadlock.
+  bool try_add_edges(Node waiter, const std::vector<Node>& holders);
+
+  /// Removes one justification of an edge; the edge disappears when its
+  /// count reaches zero (no-op when absent).
+  void remove_edge(Node waiter, Node holder);
+
+  /// Removes a node and all edges touching it (txn finished/aborted).
+  void remove_node(Node node);
+
+  /// Current out-edges of a node (whom it waits for).
+  [[nodiscard]] std::vector<Node> waits_for(Node waiter) const;
+
+  /// True if the graph currently contains any cycle (diagnostic).
+  [[nodiscard]] bool has_cycle() const;
+
+  [[nodiscard]] std::size_t edge_count() const;
+  [[nodiscard]] bool empty() const { return out_.empty(); }
+
+ private:
+  /// DFS: can `to` be reached from `from` following existing edges?
+  bool reachable(Node from, Node to) const;
+
+  std::unordered_map<Node, std::unordered_map<Node, int>> out_;
+  std::unordered_map<Node, std::unordered_set<Node>> in_;
+};
+
+}  // namespace rtdb::lock

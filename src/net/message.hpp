@@ -1,0 +1,83 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/ids.hpp"
+#include "sim/stats.hpp"
+
+/// \file message.hpp
+/// Message taxonomy of the client-server protocols. The categories mirror
+/// the rows of the paper's Table 4 (object requests, shipments, forward-list
+/// hops, recalls, returns) plus the control traffic of the CE and LS
+/// configurations.
+
+namespace rtdb::net {
+
+/// Every message exchanged in the cluster belongs to one kind; the
+/// experiment harness reports per-kind counts (paper Table 4).
+enum class MessageKind : std::uint8_t {
+  kObjectRequest,    ///< client -> server: request object/lock
+  kObjectShip,       ///< server -> client: object + lock (+ forward list)
+  kObjectForward,    ///< client -> client: forward-list hop (via directory)
+  kObjectRecall,     ///< server -> client: callback (release/downgrade)
+  kObjectReturn,     ///< client -> server: object/lock returned
+  kLockGrant,        ///< server -> client: lock-only grant (object cached)
+  kTxnSubmit,        ///< terminal -> server (CE): execute this transaction
+  kTxnShip,          ///< client -> client (LS): shipped transaction
+  kTxnResult,        ///< executing site -> originating client: results
+  kSubtaskShip,      ///< client -> client (LS): decomposed sub-task
+  kSubtaskResult,    ///< client -> client (LS): sub-task answer
+  kLocationQuery,    ///< client -> server (LS): who holds these objects?
+  kLocationReply,    ///< server -> client (LS): holders + load table
+  kValidateRequest,  ///< client -> server (OCC): read/write sets + updates
+  kValidateReply,    ///< server -> client (OCC): verdict (+ fresh copies)
+  kControl,          ///< miscellaneous small control traffic
+  kKindCount         ///< sentinel: number of kinds
+};
+
+/// Number of distinct message kinds.
+inline constexpr std::size_t kMessageKindCount =
+    static_cast<std::size_t>(MessageKind::kKindCount);
+
+/// Human-readable kind name (stable, used by the table harnesses).
+std::string_view to_string(MessageKind kind);
+
+/// Per-kind message and byte accounting for one run.
+class MessageStats {
+ public:
+  /// Records one delivered message of `kind` carrying `bytes` payload.
+  void record(MessageKind kind, std::uint64_t bytes) {
+    auto& cell = cells_[index(kind)];
+    ++cell.messages;
+    cell.bytes += bytes;
+  }
+
+  [[nodiscard]] std::uint64_t messages(MessageKind kind) const {
+    return cells_[index(kind)].messages;
+  }
+  [[nodiscard]] std::uint64_t bytes(MessageKind kind) const {
+    return cells_[index(kind)].bytes;
+  }
+
+  /// Total messages across all kinds.
+  [[nodiscard]] std::uint64_t total_messages() const;
+
+  /// Total bytes across all kinds.
+  [[nodiscard]] std::uint64_t total_bytes() const;
+
+  void reset() { cells_.fill({}); }
+
+ private:
+  struct Cell {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+  };
+  static std::size_t index(MessageKind kind) {
+    return static_cast<std::size_t>(kind);
+  }
+  std::array<Cell, kMessageKindCount> cells_{};
+};
+
+}  // namespace rtdb::net

@@ -1,0 +1,135 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rtdb::net {
+
+std::string_view to_string(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kObjectRequest: return "ObjectRequest";
+    case MessageKind::kObjectShip: return "ObjectShip";
+    case MessageKind::kObjectForward: return "ObjectForward";
+    case MessageKind::kObjectRecall: return "ObjectRecall";
+    case MessageKind::kObjectReturn: return "ObjectReturn";
+    case MessageKind::kLockGrant: return "LockGrant";
+    case MessageKind::kTxnSubmit: return "TxnSubmit";
+    case MessageKind::kTxnShip: return "TxnShip";
+    case MessageKind::kTxnResult: return "TxnResult";
+    case MessageKind::kSubtaskShip: return "SubtaskShip";
+    case MessageKind::kSubtaskResult: return "SubtaskResult";
+    case MessageKind::kLocationQuery: return "LocationQuery";
+    case MessageKind::kLocationReply: return "LocationReply";
+    case MessageKind::kValidateRequest: return "ValidateRequest";
+    case MessageKind::kValidateReply: return "ValidateReply";
+    case MessageKind::kControl: return "Control";
+    case MessageKind::kKindCount: break;
+  }
+  return "Unknown";
+}
+
+std::uint64_t MessageStats::total_messages() const {
+  std::uint64_t total = 0;
+  for (const auto& c : cells_) total += c.messages;
+  return total;
+}
+
+std::uint64_t MessageStats::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& c : cells_) total += c.bytes;
+  return total;
+}
+
+sim::SimTime Network::occupy_wire(sim::Duration tx) {
+  const sim::SimTime start = std::max(sim_.now(), wire_free_at_);
+  wire_free_at_ = start + tx;
+  busy_accum_ += tx;
+  return wire_free_at_;
+}
+
+std::uint64_t Network::default_bytes(MessageKind kind) const {
+  switch (kind) {
+    case MessageKind::kObjectShip:
+    case MessageKind::kObjectForward:
+    case MessageKind::kObjectReturn:
+      return config_.object_bytes;
+    case MessageKind::kTxnSubmit:
+    case MessageKind::kTxnShip:
+    case MessageKind::kSubtaskShip:
+      return config_.txn_bytes;
+    case MessageKind::kTxnResult:
+    case MessageKind::kSubtaskResult:
+      return config_.result_bytes;
+    case MessageKind::kLocationReply:
+      return 4 * config_.control_bytes;  // holders + load table
+    default:
+      return config_.control_bytes;
+  }
+}
+
+sim::SimTime Network::send(SiteId src, SiteId dst, MessageKind kind,
+                           std::uint64_t payload_bytes,
+                           std::function<void()> on_delivery) {
+  assert(on_delivery && "message without a delivery action");
+  if (src == dst) {
+    // Loopback: same-site "delivery" costs only a scheduling epsilon and is
+    // never counted as wire traffic.
+    const sim::SimTime when = sim_.now() + sim::kTimeEpsilon;
+    sim_.at(when, std::move(on_delivery));
+    return when;
+  }
+
+  const std::uint64_t frame = payload_bytes + config_.header_bytes;
+  const bool client_to_client =
+      src != kServerSite && dst != kServerSite;
+
+  stats_.record(kind, frame);
+
+  // First hop (or only hop): source -> destination/directory.
+  sim::SimTime done = occupy_wire(tx_time(frame));
+  sim::SimTime delivery = done + config_.fixed_latency;
+
+  if (client_to_client) {
+    // The directory server relays the frame: a second wire occupancy that
+    // cannot start before the first hop finished.
+    const sim::SimTime start = std::max(delivery + config_.directory_delay,
+                                        wire_free_at_);
+    wire_free_at_ = start + tx_time(frame);
+    busy_accum_ += tx_time(frame);
+    delivery = wire_free_at_ + config_.fixed_latency;
+  }
+
+  sim_.at(delivery, std::move(on_delivery));
+  return delivery;
+}
+
+sim::SimTime Network::send(SiteId src, SiteId dst, MessageKind kind,
+                           std::function<void()> on_delivery) {
+  return send(src, dst, kind, default_bytes(kind), std::move(on_delivery));
+}
+
+sim::SimTime Network::send_batch(SiteId src, SiteId dst, MessageKind kind,
+                                 std::size_t count,
+                                 std::function<void()> on_delivery) {
+  if (count == 0) count = 1;
+  // First count-1 frames only occupy the wire and bump counters; the last
+  // frame carries the delivery action.
+  for (std::size_t i = 0; i + 1 < count; ++i) {
+    send(src, dst, kind, default_bytes(kind), [] {});
+  }
+  return send(src, dst, kind, default_bytes(kind), std::move(on_delivery));
+}
+
+double Network::utilization() {
+  const sim::Duration span = sim_.now() - stats_epoch_;
+  if (span <= 0) return 0;
+  return std::min(1.0, busy_accum_ / span);
+}
+
+void Network::reset_stats() {
+  stats_.reset();
+  busy_accum_ = 0;
+  stats_epoch_ = sim_.now();
+}
+
+}  // namespace rtdb::net

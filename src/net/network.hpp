@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/ids.hpp"
+#include "net/message.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+/// \file network.hpp
+/// Shared-segment LAN model.
+///
+/// The paper's testbed is a single 10 Mbps Ethernet segment connecting the
+/// server and all client workstations. We model the segment as one FIFO
+/// transmission resource: each message occupies the wire for
+/// `bytes * 8 / bandwidth` seconds, plus a fixed per-message protocol
+/// latency that overlaps with other transmissions. Client-to-client traffic
+/// in the LS configuration is relayed by a *directory server* (paper §5.1),
+/// which we model as a second wire occupancy plus a forwarding delay.
+
+namespace rtdb::net {
+
+/// Tunable parameters of the LAN model.
+struct NetworkConfig {
+  /// Segment bandwidth in bits per second (paper: 10 Mbps Ethernet).
+  double bandwidth_bps = 10e6;
+
+  /// Fixed one-way protocol/processing latency per message (both stacks),
+  /// overlapped with other transmissions.
+  sim::Duration fixed_latency = sim::msec(1.0);
+
+  /// Extra store-and-forward delay added by the directory server for
+  /// client-to-client messages.
+  sim::Duration directory_delay = sim::msec(0.5);
+
+  /// Wire-level framing overhead added to every message's payload.
+  std::uint64_t header_bytes = 64;
+
+  /// Payload sizes used by the protocols (bytes).
+  std::uint64_t object_bytes = 2048;   ///< one 2 KB database object
+  std::uint64_t control_bytes = 64;    ///< requests, grants, recalls
+  std::uint64_t txn_bytes = 512;       ///< a shipped transaction descriptor
+  std::uint64_t result_bytes = 256;    ///< transaction / sub-task results
+};
+
+/// One shared Ethernet segment with per-kind message accounting.
+///
+/// Usage: `net.send(src, dst, kind, bytes, fn)` schedules `fn` to run at the
+/// simulated delivery instant. Local sends (src == dst) cost a negligible
+/// fixed delay and are not counted as network messages — the paper's message
+/// tables count only traffic that crossed the wire.
+class Network {
+ public:
+  Network(sim::Simulator& sim, NetworkConfig config)
+      : sim_(sim), config_(config) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Sends a message; invokes `on_delivery` when it arrives.
+  /// `payload_bytes` excludes the frame header (added internally).
+  /// Client-to-client messages automatically route via the directory server
+  /// (two wire occupancies). Returns the delivery time.
+  sim::SimTime send(SiteId src, SiteId dst, MessageKind kind,
+                    std::uint64_t payload_bytes,
+                    std::function<void()> on_delivery);
+
+  /// Convenience overloads picking the configured size for the kind.
+  sim::SimTime send(SiteId src, SiteId dst, MessageKind kind,
+                    std::function<void()> on_delivery);
+
+  /// A logical batch that travels as `count` back-to-back wire messages of
+  /// the kind's default size (e.g. one request frame per object, as the
+  /// paper's message tables count them) but is processed on arrival as one
+  /// unit: `on_delivery` fires once, when the last frame lands.
+  sim::SimTime send_batch(SiteId src, SiteId dst, MessageKind kind,
+                          std::size_t count,
+                          std::function<void()> on_delivery);
+
+  /// Per-kind counters for the whole run.
+  [[nodiscard]] const MessageStats& stats() const { return stats_; }
+  MessageStats& stats() { return stats_; }
+
+  /// Time-averaged utilization of the segment in [0,1].
+  double utilization();
+
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+
+  /// Resets counters (not in-flight messages); used between warm-up and
+  /// measurement phases.
+  void reset_stats();
+
+ private:
+  /// Seconds the wire is occupied transmitting `bytes`.
+  sim::Duration tx_time(std::uint64_t bytes) const {
+    return static_cast<double>(bytes) * 8.0 / config_.bandwidth_bps;
+  }
+
+  /// Reserves the wire for one transmission starting no earlier than now;
+  /// returns the instant the transmission completes.
+  sim::SimTime occupy_wire(sim::Duration tx);
+
+  std::uint64_t default_bytes(MessageKind kind) const;
+
+  sim::Simulator& sim_;
+  NetworkConfig config_;
+  MessageStats stats_;
+  sim::SimTime wire_free_at_ = 0;
+  double busy_accum_ = 0;        ///< total wire-busy seconds
+  sim::SimTime stats_epoch_ = 0; ///< start of the current accounting window
+};
+
+}  // namespace rtdb::net

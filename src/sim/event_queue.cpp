@@ -1,0 +1,55 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace rtdb::sim {
+
+EventId EventQueue::schedule(SimTime at, Callback fn) {
+  assert(fn && "scheduling an empty callback");
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id, std::move(fn)});
+  pending_.insert(id);
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (pending_.erase(id) == 0) return false;  // fired, cancelled, or unknown
+  cancelled_.insert(id);
+  --live_;
+  return true;
+}
+
+void EventQueue::drop_dead_head() {
+  while (!heap_.empty()) {
+    const Entry& head = heap_.top();
+    auto it = cancelled_.find(head.id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  // Lazily purge cancelled entries from the head so the reported time is
+  // that of a live event. Logically const: observable state is unchanged.
+  auto* self = const_cast<EventQueue*>(this);
+  self->drop_dead_head();
+  if (heap_.empty()) return kTimeInfinity;
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_dead_head();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  // priority_queue::top() returns const&; moving the callback out is safe
+  // because the entry is popped immediately afterwards.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.time, top.id, std::move(top.fn)};
+  heap_.pop();
+  pending_.erase(fired.id);
+  --live_;
+  return fired;
+}
+
+}  // namespace rtdb::sim

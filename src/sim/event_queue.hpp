@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+/// \file event_queue.hpp
+/// Priority queue of timestamped events with deterministic tie-breaking.
+
+namespace rtdb::sim {
+
+/// Identifies a scheduled event so it can be cancelled before it fires.
+using EventId = std::uint64_t;
+
+/// Invalid / "no event" id.
+inline constexpr EventId kNoEvent = 0;
+
+/// A time-ordered queue of callbacks.
+///
+/// Two events scheduled for the same instant fire in the order they were
+/// scheduled (FIFO within a timestamp), which makes whole-cluster simulations
+/// reproducible run-to-run for a fixed seed.
+///
+/// Cancellation is lazy: `cancel()` marks the event dead and `pop()` skips
+/// dead entries, so both operations stay O(log n).
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// A scheduled (time, callback) pair ready to execute.
+  struct Fired {
+    SimTime time = 0;
+    EventId id = kNoEvent;
+    Callback fn;
+  };
+
+  EventQueue() = default;
+
+  /// Schedules `fn` to fire at absolute time `at`. Returns a handle usable
+  /// with `cancel()`. `at` may equal the current head time; ordering among
+  /// equal timestamps is schedule order.
+  EventId schedule(SimTime at, Callback fn);
+
+  /// Cancels a previously scheduled event. Returns false if the event
+  /// already fired, was already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// True if no live events remain.
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  /// Number of live (not cancelled, not fired) events.
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Timestamp of the next live event; kTimeInfinity when empty.
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Removes and returns the next live event. Precondition: !empty().
+  Fired pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;   // doubles as the schedule-order tiebreaker (monotonic)
+    Callback fn;  // empty when cancelled
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  void drop_dead_head();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_;    // live ids currently in heap_
+  std::unordered_set<EventId> cancelled_;  // ids cancelled but still in heap_
+  std::size_t live_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace rtdb::sim

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <algorithm>
+#include <functional>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+/// \file resource.hpp
+/// A FIFO single-server resource with utilization accounting — models any
+/// serial bottleneck: a CPU handling protocol messages, the per-transaction
+/// overhead path of the centralized server, a forwarding daemon.
+
+namespace rtdb::sim {
+
+/// Work submitted occupies the resource for its service time, FIFO.
+class SerialResource {
+ public:
+  explicit SerialResource(Simulator& sim) : sim_(sim) {}
+
+  SerialResource(const SerialResource&) = delete;
+  SerialResource& operator=(const SerialResource&) = delete;
+
+  /// Enqueues `service` seconds of work; `done` (optional) runs at
+  /// completion. Returns the completion instant.
+  SimTime submit(Duration service, std::function<void()> done = {}) {
+    const SimTime start = std::max(sim_.now(), free_at_);
+    free_at_ = start + service;
+    busy_accum_ += service;
+    if (done) sim_.at(free_at_, std::move(done));
+    return free_at_;
+  }
+
+  /// Earliest instant new work could start.
+  [[nodiscard]] SimTime free_at() const { return free_at_; }
+
+  /// Current backlog (seconds of queued work beyond now).
+  [[nodiscard]] Duration backlog() const {
+    return std::max(0.0, free_at_ - sim_.now());
+  }
+
+  /// Fraction of time busy in the current accounting window.
+  double utilization() const {
+    const Duration span = sim_.now() - stats_epoch_;
+    if (span <= 0) return 0;
+    return std::min(1.0, busy_accum_ / span);
+  }
+
+  void reset_stats() {
+    busy_accum_ = 0;
+    stats_epoch_ = sim_.now();
+  }
+
+ private:
+  Simulator& sim_;
+  SimTime free_at_ = 0;
+  double busy_accum_ = 0;
+  SimTime stats_epoch_ = 0;
+};
+
+}  // namespace rtdb::sim

@@ -1,0 +1,34 @@
+#include "sim/rng.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rtdb::sim {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double theta)
+    : theta_(theta) {
+  if (n == 0) throw std::invalid_argument("ZipfDistribution: n must be >= 1");
+  if (theta < 0) throw std::invalid_argument("ZipfDistribution: theta >= 0");
+  cdf_.resize(n);
+  double acc = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+    cdf_[k] = acc;
+  }
+  // Normalize so the last entry is exactly 1 (guards the binary search).
+  for (auto& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;
+}
+
+std::size_t ZipfDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::pmf(std::size_t k) const {
+  if (k >= cdf_.size()) return 0;
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace rtdb::sim

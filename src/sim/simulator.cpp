@@ -1,0 +1,34 @@
+#include "sim/simulator.hpp"
+
+namespace rtdb::sim {
+
+std::uint64_t Simulator::run_until(SimTime horizon) {
+  std::uint64_t ran = 0;
+  while (!queue_.empty()) {
+    const SimTime t = queue_.next_time();
+    if (t > horizon) break;
+    auto fired = queue_.pop();
+    now_ = fired.time;
+    fired.fn();
+    ++executed_;
+    if (++ran > event_limit_) {
+      throw std::runtime_error(
+          "Simulator: event limit exceeded (runaway event loop?)");
+    }
+  }
+  // The clock still advances to the horizon so back-to-back run_until calls
+  // behave like one continuous run even across quiet periods.
+  if (is_finite_time(horizon) && horizon > now_) now_ = horizon;
+  return ran;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto fired = queue_.pop();
+  now_ = fired.time;
+  fired.fn();
+  ++executed_;
+  return true;
+}
+
+}  // namespace rtdb::sim

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+/// \file simulator.hpp
+/// The discrete-event simulation driver.
+///
+/// Every component of the modelled cluster (clients, server, LAN, disks)
+/// holds a reference to one Simulator and expresses its behaviour as
+/// callbacks scheduled at future instants. The simulator advances the clock
+/// from event to event; nothing happens "between" events.
+
+namespace rtdb::sim {
+
+/// Discrete-event simulation clock and scheduler.
+///
+/// Determinism: for a fixed seed and fixed schedule order the run is exactly
+/// reproducible — simultaneous events fire in schedule order.
+class Simulator {
+ public:
+  using Callback = EventQueue::Callback;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time (seconds).
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` seconds from now. Negative delays are
+  /// clamped to zero (fire "immediately", after already-queued events at
+  /// the current instant).
+  EventId after(Duration delay, Callback fn) {
+    if (delay < 0) delay = 0;
+    return at(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` at absolute time `when` (>= now, else clamped to now).
+  EventId at(SimTime when, Callback fn) {
+    if (when < now_) when = now_;
+    return queue_.schedule(when, std::move(fn));
+  }
+
+  /// Cancels a scheduled event. Returns false if it already fired.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the event queue drains or `horizon` is passed, whichever is
+  /// first. Events at exactly `horizon` still fire. Returns the number of
+  /// events executed.
+  std::uint64_t run_until(SimTime horizon);
+
+  /// Runs until the event queue drains. Returns events executed.
+  std::uint64_t run() { return run_until(kTimeInfinity); }
+
+  /// Executes exactly one event if any is pending; returns whether one ran.
+  bool step();
+
+  /// Total events executed since construction.
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Live events still scheduled.
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// Hard cap on events per run_until call, as a runaway-loop backstop.
+  /// Exceeding it throws std::runtime_error. Default: 4 billion (off).
+  void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t event_limit_ = UINT64_C(4'000'000'000);
+};
+
+}  // namespace rtdb::sim

@@ -1,0 +1,40 @@
+#include "sim/stats.hpp"
+
+namespace rtdb::sim {
+
+void MeanAccumulator::merge(const MeanAccumulator& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(o.n_);
+  const double delta = o.mean_ - mean_;
+  const double nt = na + nb;
+  m2_ += o.m2_ + delta * delta * na * nb / nt;
+  mean_ += delta * nb / nt;
+  n_ += o.n_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+double SampleStats::quantile(double q) {
+  if (samples_.empty()) return 0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[idx];
+}
+
+void SampleStats::reset() {
+  samples_.clear();
+  acc_.reset();
+  sorted_ = true;
+}
+
+}  // namespace rtdb::sim

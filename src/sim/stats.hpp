@@ -1,0 +1,145 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+/// \file stats.hpp
+/// Measurement primitives used by the experiment harness: counters,
+/// numerically stable running means (Welford), full-sample quantile
+/// estimators, and time-weighted averages (utilizations, queue lengths).
+
+namespace rtdb::sim {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) { value_ += by; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Running mean / variance via Welford's algorithm; O(1) memory.
+class MeanAccumulator {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+
+  /// Population variance (n in the denominator); 0 when n < 2.
+  [[nodiscard]] double variance() const {
+    return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+  void reset() { *this = MeanAccumulator{}; }
+
+  /// Pools another accumulator into this one (parallel-merge formula).
+  void merge(const MeanAccumulator& o);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Retains every sample; supports exact quantiles. Intended for run-level
+/// metrics (response times, slack) where sample counts stay modest (<1e7).
+class SampleStats {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    acc_.add(x);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const { return acc_.mean(); }
+  [[nodiscard]] double stddev() const { return acc_.stddev(); }
+  [[nodiscard]] double min() const { return acc_.min(); }
+  [[nodiscard]] double max() const { return acc_.max(); }
+
+  /// Exact empirical quantile, q in [0, 1]. 0 when empty.
+  double quantile(double q);
+
+  /// Median shorthand.
+  double median() { return quantile(0.5); }
+
+  void reset();
+
+ private:
+  std::vector<double> samples_;
+  MeanAccumulator acc_;
+  bool sorted_ = true;
+};
+
+/// Time-weighted average of a piecewise-constant signal, e.g. the number of
+/// busy executors or a queue length. Call set() at every change; read
+/// average(now) at the end of the run.
+class TimeWeighted {
+ public:
+  explicit TimeWeighted(double initial = 0, SimTime start = 0)
+      : value_(initial), last_change_(start), origin_(start) {}
+
+  /// Records that the signal takes value `v` from time `now` on.
+  void set(double v, SimTime now) {
+    accumulate(now);
+    value_ = v;
+  }
+
+  /// Adds `dv` to the current value at time `now`.
+  void add(double dv, SimTime now) { set(value_ + dv, now); }
+
+  [[nodiscard]] double current() const { return value_; }
+
+  /// Time-average over [start, now].
+  double average(SimTime now) {
+    accumulate(now);
+    const Duration span = last_change_ - origin_;
+    return span > 0 ? area_ / span : value_;
+  }
+
+  /// Restarts the averaging window at `now`, keeping the current value.
+  void reset_window(SimTime now) {
+    value_ = current();
+    area_ = 0;
+    last_change_ = now;
+    origin_ = now;
+  }
+
+ private:
+  void accumulate(SimTime now) {
+    if (now > last_change_) {
+      area_ += value_ * (now - last_change_);
+      last_change_ = now;
+    }
+  }
+
+  double value_;
+  double area_ = 0;
+  SimTime last_change_;
+  SimTime origin_;
+};
+
+}  // namespace rtdb::sim

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+/// \file time.hpp
+/// Simulated-time primitives shared by every rtdb subsystem.
+///
+/// The cluster is modelled by a discrete-event simulation; all latencies the
+/// paper measured in wall-clock seconds (transaction lengths, deadlines,
+/// object response times) are expressed in seconds of simulated time.
+
+namespace rtdb::sim {
+
+/// Simulated time, in seconds since the start of the run.
+///
+/// A double gives ~microsecond resolution over multi-day simulated horizons,
+/// far beyond what the experiments need (second-scale transactions,
+/// millisecond-scale I/O and network transfers).
+using SimTime = double;
+
+/// A duration in simulated seconds.
+using Duration = double;
+
+/// Sentinel meaning "never" / "no deadline"; larger than any reachable time.
+inline constexpr SimTime kTimeInfinity = std::numeric_limits<double>::infinity();
+
+/// Smallest duration used to break ties deterministically when two actions
+/// must be ordered but are scheduled "at the same instant".
+inline constexpr Duration kTimeEpsilon = 1e-9;
+
+/// True if `t` is a finite, reachable instant.
+inline bool is_finite_time(SimTime t) { return std::isfinite(t); }
+
+/// Milliseconds expressed in simulated seconds.
+constexpr Duration msec(double ms) { return ms * 1e-3; }
+
+/// Microseconds expressed in simulated seconds.
+constexpr Duration usec(double us) { return us * 1e-6; }
+
+}  // namespace rtdb::sim

@@ -1,0 +1,81 @@
+#include "storage/buffer_manager.hpp"
+
+#include <stdexcept>
+
+namespace rtdb::storage {
+
+BufferManager::BufferManager(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("BufferManager capacity must be >= 1");
+  }
+}
+
+void BufferManager::touch(LruList::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+bool BufferManager::reference(ObjectId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    misses_.inc();
+    return false;
+  }
+  hits_.inc();
+  touch(it->second);
+  return true;
+}
+
+std::optional<BufferManager::Evicted> BufferManager::insert(ObjectId id,
+                                                            bool dirty) {
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    touch(it->second);
+    it->second->dirty = it->second->dirty || dirty;
+    return std::nullopt;
+  }
+  std::optional<Evicted> evicted;
+  if (lru_.size() >= capacity_) {
+    const Frame& victim = lru_.back();
+    evicted = Evicted{victim.id, victim.dirty};
+    index_.erase(victim.id);
+    lru_.pop_back();
+  }
+  lru_.push_front(Frame{id, dirty});
+  index_[id] = lru_.begin();
+  return evicted;
+}
+
+bool BufferManager::mark_dirty(ObjectId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  it->second->dirty = true;
+  return true;
+}
+
+bool BufferManager::is_dirty(ObjectId id) const {
+  auto it = index_.find(id);
+  return it != index_.end() && it->second->dirty;
+}
+
+std::optional<bool> BufferManager::erase(ObjectId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return std::nullopt;
+  const bool dirty = it->second->dirty;
+  lru_.erase(it->second);
+  index_.erase(it);
+  return dirty;
+}
+
+double BufferManager::hit_rate() const {
+  const auto total = hits_.value() + misses_.value();
+  return total ? static_cast<double>(hits_.value()) /
+                     static_cast<double>(total)
+               : 0.0;
+}
+
+std::optional<ObjectId> BufferManager::lru_victim() const {
+  if (lru_.empty()) return std::nullopt;
+  return lru_.back().id;
+}
+
+}  // namespace rtdb::storage

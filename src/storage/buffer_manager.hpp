@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "sim/stats.hpp"
+
+/// \file buffer_manager.hpp
+/// LRU page buffer bookkeeping — the in-memory half of the MiniRel
+/// Paged-File (PF) layer the paper built its database on. The buffer
+/// manager decides *which* pages are resident and which eviction happens;
+/// the timing of the implied I/O is handled by PagedFile/ClientCache, which
+/// own the Disk.
+
+namespace rtdb::storage {
+
+/// Tracks the set of resident pages with LRU replacement and dirty bits.
+///
+/// The PF layer's pin counts are modelled implicitly: in the simulation a
+/// page is only accessed at a single decision instant, so transient pins
+/// never span events. Dirty pages evicted by LRU are reported to the caller
+/// so it can schedule the write-back (the PF buffer manager's behaviour:
+/// "updated objects ... are automatically written back to the disk file ...
+/// when the page is replaced").
+class BufferManager {
+ public:
+  /// What LRU displaced to make room.
+  struct Evicted {
+    ObjectId id{};
+    bool dirty = false;
+  };
+
+  /// `capacity` — number of 2 KB pages the buffer pool holds (>= 1).
+  explicit BufferManager(std::size_t capacity);
+
+  /// True if the page is resident. Does not affect recency or counters.
+  [[nodiscard]] bool contains(ObjectId id) const {
+    return index_.count(id) != 0;
+  }
+
+  /// References a page: records a hit (promoting it to MRU) or a miss.
+  /// Returns true on hit.
+  bool reference(ObjectId id);
+
+  /// Makes `id` resident (MRU), evicting the LRU page if the pool is full.
+  /// No-op (recency bump) if already resident. Returns the eviction, if any.
+  std::optional<Evicted> insert(ObjectId id, bool dirty = false);
+
+  /// Marks a resident page dirty. Returns false if not resident.
+  bool mark_dirty(ObjectId id);
+
+  /// True if resident and dirty.
+  [[nodiscard]] bool is_dirty(ObjectId id) const;
+
+  /// Drops a page without write-back bookkeeping (caller decides what the
+  /// removal means). Returns the page's dirty state, or nullopt if absent.
+  std::optional<bool> erase(ObjectId id);
+
+  [[nodiscard]] std::size_t size() const { return lru_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_.value(); }
+  [[nodiscard]] std::uint64_t misses() const { return misses_.value(); }
+
+  /// hits / (hits + misses); 0 when no references yet.
+  [[nodiscard]] double hit_rate() const;
+
+  void reset_stats() {
+    hits_.reset();
+    misses_.reset();
+  }
+
+  /// Least-recently-used resident page (the next eviction victim), if any.
+  [[nodiscard]] std::optional<ObjectId> lru_victim() const;
+
+ private:
+  struct Frame {
+    ObjectId id;
+    bool dirty;
+  };
+  using LruList = std::list<Frame>;
+
+  void touch(LruList::iterator it);
+
+  std::size_t capacity_;
+  LruList lru_;  // front = MRU, back = LRU
+  std::unordered_map<ObjectId, LruList::iterator> index_;
+  sim::Counter hits_;
+  sim::Counter misses_;
+};
+
+}  // namespace rtdb::storage

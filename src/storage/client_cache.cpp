@@ -1,0 +1,94 @@
+#include "storage/client_cache.hpp"
+
+#include <cassert>
+
+namespace rtdb::storage {
+
+CacheTier ClientCache::tier_of(ObjectId id) const {
+  if (memory_.contains(id)) return CacheTier::kMemory;
+  if (disk_tier_.contains(id)) return CacheTier::kDisk;
+  return CacheTier::kNone;
+}
+
+void ClientCache::place_in_memory(ObjectId id, bool dirty) {
+  auto demoted = memory_.insert(id, dirty);
+  if (!demoted) return;
+  // Demotion writes the object to the local disk cache file.
+  disk_.write();
+  auto evicted = disk_tier_.insert(demoted->id, demoted->dirty);
+  if (evicted && on_evict_) on_evict_(evicted->id, evicted->dirty);
+}
+
+bool ClientCache::access(ObjectId id, bool write, std::function<void()> done) {
+  assert(done);
+  switch (tier_of(id)) {
+    case CacheTier::kMemory: {
+      hits_.inc();
+      memory_.reference(id);
+      if (write) memory_.mark_dirty(id);
+      sim_.after(config_.memory_access_time, std::move(done));
+      return true;
+    }
+    case CacheTier::kDisk: {
+      hits_.inc();
+      const bool was_dirty = disk_tier_.is_dirty(id);
+      disk_tier_.erase(id);
+      place_in_memory(id, was_dirty || write);
+      disk_.read(std::move(done));
+      return true;
+    }
+    case CacheTier::kNone:
+      misses_.inc();
+      return false;
+  }
+  return false;  // unreachable
+}
+
+void ClientCache::insert(ObjectId id, bool dirty) {
+  if (tier_of(id) != CacheTier::kNone) {
+    // Already cached (e.g. re-granted lock on a resident object): refresh
+    // recency and dirty state in place.
+    if (memory_.contains(id)) {
+      memory_.reference(id);
+      if (dirty) memory_.mark_dirty(id);
+    } else if (dirty) {
+      disk_tier_.mark_dirty(id);
+    }
+    return;
+  }
+  place_in_memory(id, dirty);
+}
+
+bool ClientCache::mark_dirty(ObjectId id) {
+  return memory_.mark_dirty(id) || disk_tier_.mark_dirty(id);
+}
+
+bool ClientCache::is_dirty(ObjectId id) const {
+  return memory_.is_dirty(id) || disk_tier_.is_dirty(id);
+}
+
+std::optional<bool> ClientCache::drop(ObjectId id) {
+  if (auto dirty = memory_.erase(id)) return dirty;
+  return disk_tier_.erase(id);
+}
+
+void ClientCache::mark_clean(ObjectId id) {
+  // Re-inserting at the same tier with a clean bit: BufferManager has no
+  // "clear dirty", so erase + insert preserving tier.
+  if (memory_.contains(id)) {
+    memory_.erase(id);
+    memory_.insert(id, /*dirty=*/false);
+  } else if (disk_tier_.contains(id)) {
+    disk_tier_.erase(id);
+    disk_tier_.insert(id, /*dirty=*/false);
+  }
+}
+
+double ClientCache::hit_rate() const {
+  const auto total = hits_.value() + misses_.value();
+  return total ? static_cast<double>(hits_.value()) /
+                     static_cast<double>(total)
+               : 0.0;
+}
+
+}  // namespace rtdb::storage

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <functional>
+
+#include "common/ids.hpp"
+#include "sim/simulator.hpp"
+#include "storage/buffer_manager.hpp"
+#include "storage/disk.hpp"
+
+/// \file client_cache.hpp
+/// Two-tier client object cache ("the set of objects cached at a client is
+/// treated as a local dataspace and is stored in the client's short and
+/// long-term memory"). Tier 1 is main memory (paper: 500 objects), tier 2
+/// is the client's local disk (paper: 500 objects). LRU within each tier;
+/// memory evictions demote to the disk tier; disk-tier evictions leave the
+/// cache entirely and are reported through a hook so the owning client can
+/// return dirty objects (and their locks) to the server.
+
+namespace rtdb::storage {
+
+/// Capacities and timing of the client cache.
+struct ClientCacheConfig {
+  std::size_t memory_capacity = 500;  ///< objects in RAM
+  std::size_t disk_capacity = 500;    ///< objects on local disk
+  sim::Duration memory_access_time = sim::usec(50);
+  DiskConfig disk;
+};
+
+/// Where a cached object currently resides.
+enum class CacheTier : std::uint8_t { kNone, kMemory, kDisk };
+
+/// The client-side local dataspace.
+class ClientCache {
+ public:
+  /// (object, was-dirty): the object fell out of the cache entirely.
+  using EvictionHook = std::function<void(ObjectId, bool)>;
+
+  ClientCache(sim::Simulator& sim, ClientCacheConfig config)
+      : sim_(sim),
+        config_(config),
+        disk_(sim, config.disk),
+        memory_(config.memory_capacity),
+        disk_tier_(config.disk_capacity) {}
+
+  ClientCache(const ClientCache&) = delete;
+  ClientCache& operator=(const ClientCache&) = delete;
+
+  /// Called whenever an object is pushed out of both tiers.
+  void set_eviction_hook(EvictionHook hook) { on_evict_ = std::move(hook); }
+
+  /// Residency query; no timing, no counters.
+  [[nodiscard]] CacheTier tier_of(ObjectId id) const;
+
+  /// True if the object is cached in either tier.
+  [[nodiscard]] bool contains(ObjectId id) const {
+    return tier_of(id) != CacheTier::kNone;
+  }
+
+  /// Accesses a cached object (counts a hit and promotes it to the memory
+  /// tier, reading from the local disk when it lived in tier 2). `done`
+  /// runs when the object is in memory. Returns false — and counts a miss,
+  /// without invoking `done` — if the object is not cached; the caller then
+  /// fetches it from the server and insert()s it.
+  bool access(ObjectId id, bool write, std::function<void()> done);
+
+  /// Installs an object fetched from the server into the memory tier,
+  /// cascading demotions/evictions.
+  void insert(ObjectId id, bool dirty = false);
+
+  /// Marks a cached object dirty (in whichever tier). False if absent.
+  bool mark_dirty(ObjectId id);
+
+  /// True if cached and dirty.
+  [[nodiscard]] bool is_dirty(ObjectId id) const;
+
+  /// Removes an object (e.g. on a server recall). Returns its dirty state,
+  /// or nullopt if it was not cached. Does NOT fire the eviction hook —
+  /// the caller initiated the removal and handles the consequences.
+  std::optional<bool> drop(ObjectId id);
+
+  /// Clears the dirty bit (after the update was returned to the server).
+  void mark_clean(ObjectId id);
+
+  /// Cache-level accounting for the paper's Table 2: a hit is an access
+  /// satisfied by either tier.
+  [[nodiscard]] std::uint64_t hits() const { return hits_.value(); }
+  [[nodiscard]] std::uint64_t misses() const { return misses_.value(); }
+  [[nodiscard]] double hit_rate() const;
+
+  [[nodiscard]] std::size_t size() const {
+    return memory_.size() + disk_tier_.size();
+  }
+
+  [[nodiscard]] const Disk& disk() const { return disk_; }
+
+  void reset_stats() {
+    hits_.reset();
+    misses_.reset();
+    disk_.reset_stats();
+  }
+
+ private:
+  /// Moves an object into the memory tier, demoting the LRU victim to the
+  /// disk tier and possibly evicting from there.
+  void place_in_memory(ObjectId id, bool dirty);
+
+  sim::Simulator& sim_;
+  ClientCacheConfig config_;
+  Disk disk_;
+  BufferManager memory_;
+  BufferManager disk_tier_;
+  EvictionHook on_evict_;
+  sim::Counter hits_;
+  sim::Counter misses_;
+};
+
+}  // namespace rtdb::storage

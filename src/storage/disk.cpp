@@ -1,0 +1,38 @@
+#include "storage/disk.hpp"
+
+#include <algorithm>
+
+namespace rtdb::storage {
+
+sim::SimTime Disk::submit(sim::Duration service, std::function<void()> done) {
+  const sim::SimTime start = std::max(sim_.now(), free_at_);
+  free_at_ = start + service;
+  busy_accum_ += service;
+  if (done) sim_.at(free_at_, std::move(done));
+  return free_at_;
+}
+
+sim::SimTime Disk::read(std::function<void()> done) {
+  reads_.inc();
+  return submit(config_.read_time, std::move(done));
+}
+
+sim::SimTime Disk::write(std::function<void()> done) {
+  writes_.inc();
+  return submit(config_.write_time, std::move(done));
+}
+
+double Disk::utilization() const {
+  const sim::Duration span = sim_.now() - stats_epoch_;
+  if (span <= 0) return 0;
+  return std::min(1.0, busy_accum_ / span);
+}
+
+void Disk::reset_stats() {
+  reads_.reset();
+  writes_.reset();
+  busy_accum_ = 0;
+  stats_epoch_ = sim_.now();
+}
+
+}  // namespace rtdb::storage

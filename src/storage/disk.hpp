@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+/// \file disk.hpp
+/// Single-spindle disk model used by the server's paged file and the
+/// clients' on-disk cache tier. Requests are served FIFO, one at a time,
+/// with a fixed service time per page read/write — a deliberately simple
+/// model: the paper's effects live in locking and queueing, not in seek
+/// geometry, so a constant-service-time M/D/1-style device suffices.
+
+namespace rtdb::storage {
+
+/// Disk timing parameters.
+struct DiskConfig {
+  /// Service time of one 2 KB page read (positioning + transfer).
+  sim::Duration read_time = sim::msec(8.0);
+
+  /// Service time of one 2 KB page write.
+  sim::Duration write_time = sim::msec(8.0);
+};
+
+/// A FIFO, single-server disk. `read()` / `write()` return the simulated
+/// completion instant and invoke the callback then.
+class Disk {
+ public:
+  Disk(sim::Simulator& sim, DiskConfig config) : sim_(sim), config_(config) {}
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  /// Queues one page read; `done` (optional) runs at completion.
+  sim::SimTime read(std::function<void()> done = {});
+
+  /// Queues one page write; `done` (optional) runs at completion.
+  sim::SimTime write(std::function<void()> done = {});
+
+  /// Pages read / written since construction or reset_stats().
+  [[nodiscard]] std::uint64_t reads() const { return reads_.value(); }
+  [[nodiscard]] std::uint64_t writes() const { return writes_.value(); }
+
+  /// Fraction of time the disk was busy in the current accounting window.
+  double utilization() const;
+
+  void reset_stats();
+
+  [[nodiscard]] const DiskConfig& config() const { return config_; }
+
+ private:
+  sim::SimTime submit(sim::Duration service, std::function<void()> done);
+
+  sim::Simulator& sim_;
+  DiskConfig config_;
+  sim::SimTime free_at_ = 0;
+  double busy_accum_ = 0;
+  sim::SimTime stats_epoch_ = 0;
+  sim::Counter reads_;
+  sim::Counter writes_;
+};
+
+}  // namespace rtdb::storage

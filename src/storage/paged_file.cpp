@@ -1,0 +1,31 @@
+#include "storage/paged_file.hpp"
+
+#include <cassert>
+
+namespace rtdb::storage {
+
+void PagedFile::install(ObjectId id, bool dirty) {
+  auto evicted = buffer_.insert(id, dirty);
+  if (evicted && evicted->dirty) {
+    disk_.write();
+  }
+}
+
+void PagedFile::access(ObjectId id, bool write, std::function<void()> done) {
+  assert(done);
+  if (buffer_.reference(id)) {
+    if (write) buffer_.mark_dirty(id);
+    sim_.after(config_.memory_access_time, std::move(done));
+    return;
+  }
+  // Miss: eviction decision happens now; the displaced dirty page's
+  // write-back occupies the disk ahead of our read (the PF buffer manager
+  // must clean the frame before reusing it).
+  auto evicted = buffer_.insert(id, write);
+  if (evicted && evicted->dirty) {
+    disk_.write();
+  }
+  disk_.read(std::move(done));
+}
+
+}  // namespace rtdb::storage

@@ -1,0 +1,37 @@
+#include "txn/decompose.hpp"
+
+#include <map>
+
+namespace rtdb::txn {
+
+std::vector<Subtask> decompose(
+    const Transaction& txn, const std::function<SiteId(ObjectId)>& locate) {
+  if (!txn.decomposable || txn.ops.empty()) return {};
+
+  // Group operations by the site currently holding each object; std::map
+  // keeps sub-task order deterministic.
+  std::map<SiteId, std::vector<Operation>> groups;
+  for (const auto& op : txn.ops) {
+    groups[locate(op.object)].push_back(op);
+  }
+  if (groups.size() < 2) return {};  // all at one site: nothing to split
+
+  std::vector<Subtask> subtasks;
+  subtasks.reserve(groups.size());
+  const double total_ops = static_cast<double>(txn.ops.size());
+  std::uint32_t index = 0;
+  for (auto& [site, ops] : groups) {
+    Subtask st;
+    st.parent = txn.id;
+    st.index = index++;
+    st.site = site;
+    st.length =
+        txn.length * (static_cast<double>(ops.size()) / total_ops);
+    st.deadline = txn.deadline;
+    st.ops = std::move(ops);
+    subtasks.push_back(std::move(st));
+  }
+  return subtasks;
+}
+
+}  // namespace rtdb::txn

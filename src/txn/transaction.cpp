@@ -1,0 +1,31 @@
+#include "txn/transaction.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace rtdb::txn {
+
+std::string_view to_string(TxnState s) {
+  switch (s) {
+    case TxnState::kPending: return "pending";
+    case TxnState::kAcquiring: return "acquiring";
+    case TxnState::kReady: return "ready";
+    case TxnState::kExecuting: return "executing";
+    case TxnState::kCommitted: return "committed";
+    case TxnState::kMissed: return "missed";
+    case TxnState::kAborted: return "aborted";
+  }
+  return "?";
+}
+
+std::vector<std::pair<ObjectId, lock::LockMode>> Transaction::lock_needs()
+    const {
+  std::map<ObjectId, lock::LockMode> needs;
+  for (const auto& op : ops) {
+    auto [it, inserted] = needs.emplace(op.object, op.mode());
+    if (!inserted) it->second = lock::stronger(it->second, op.mode());
+  }
+  return {needs.begin(), needs.end()};
+}
+
+}  // namespace rtdb::txn

@@ -1,0 +1,115 @@
+#include "workload/access_pattern.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace rtdb::workload {
+
+UniformPattern::UniformPattern(std::size_t db_size) : db_size_(db_size) {
+  if (db_size == 0) throw std::invalid_argument("db_size must be >= 1");
+}
+
+ObjectId UniformPattern::sample(std::size_t, sim::Rng& rng) const {
+  return static_cast<ObjectId>(rng.uniform_int(0, db_size_ - 1));
+}
+
+LocalizedRwPattern::LocalizedRwPattern(std::size_t db_size,
+                                       std::size_t num_clients,
+                                       std::size_t region_size,
+                                       double locality, double zipf_theta)
+    : db_size_(db_size),
+      num_clients_(num_clients),
+      region_size_(region_size),
+      locality_(locality),
+      zipf_(db_size - region_size, zipf_theta) {
+  if (num_clients == 0) throw std::invalid_argument("num_clients >= 1");
+  if (region_size == 0 || num_clients * region_size > db_size) {
+    throw std::invalid_argument(
+        "LocalizedRwPattern: regions must fit in the database");
+  }
+  if (locality < 0 || locality > 1) {
+    throw std::invalid_argument("locality must be in [0,1]");
+  }
+}
+
+LocalizedRwPattern::LocalizedRwPattern(std::size_t db_size,
+                                       std::vector<ObjectId> region_firsts,
+                                       std::size_t region_size,
+                                       double locality, double zipf_theta)
+    : db_size_(db_size),
+      num_clients_(region_firsts.size()),
+      region_size_(region_size),
+      locality_(locality),
+      region_firsts_(std::move(region_firsts)),
+      zipf_(db_size > region_size ? db_size - region_size : 1, zipf_theta) {
+  if (num_clients_ == 0) throw std::invalid_argument("num_clients >= 1");
+  if (region_size == 0 || region_size >= db_size) {
+    throw std::invalid_argument(
+        "LocalizedRwPattern: region must be smaller than the database");
+  }
+  if (locality < 0 || locality > 1) {
+    throw std::invalid_argument("locality must be in [0,1]");
+  }
+  for (const ObjectId first : region_firsts_) {
+    if (static_cast<std::size_t>(first) + region_size > db_size) {
+      throw std::invalid_argument(
+          "LocalizedRwPattern: a region runs past the database end");
+    }
+  }
+}
+
+ObjectId LocalizedRwPattern::region_first(std::size_t client_index) const {
+  assert(client_index < num_clients_);
+  if (!region_firsts_.empty()) return region_firsts_[client_index];
+  return static_cast<ObjectId>(db_size_ - (client_index + 1) * region_size_);
+}
+
+bool LocalizedRwPattern::in_region(std::size_t client_index,
+                                   ObjectId id) const {
+  const ObjectId first = region_first(client_index);
+  return id >= first && id < first + region_size_;
+}
+
+HotColdPattern::HotColdPattern(std::size_t db_size, double hot_set_fraction,
+                               double hot_access_fraction)
+    : db_size_(db_size),
+      hot_count_(static_cast<std::size_t>(
+          static_cast<double>(db_size) * hot_set_fraction)),
+      hot_access_fraction_(hot_access_fraction) {
+  if (db_size < 2) throw std::invalid_argument("db_size must be >= 2");
+  if (hot_set_fraction <= 0 || hot_set_fraction >= 1) {
+    throw std::invalid_argument("hot_set_fraction must be in (0,1)");
+  }
+  if (hot_access_fraction < 0 || hot_access_fraction > 1) {
+    throw std::invalid_argument("hot_access_fraction must be in [0,1]");
+  }
+  hot_count_ = std::max<std::size_t>(1, hot_count_);
+  hot_count_ = std::min(hot_count_, db_size - 1);
+}
+
+ObjectId HotColdPattern::sample(std::size_t, sim::Rng& rng) const {
+  if (rng.bernoulli(hot_access_fraction_)) {
+    return static_cast<ObjectId>(rng.uniform_int(0, hot_count_ - 1));
+  }
+  return static_cast<ObjectId>(
+      rng.uniform_int(hot_count_, db_size_ - 1));
+}
+
+ObjectId LocalizedRwPattern::sample(std::size_t client_index,
+                                    sim::Rng& rng) const {
+  assert(client_index < num_clients_);
+  if (rng.bernoulli(locality_)) {
+    const ObjectId first = region_first(client_index);
+    return static_cast<ObjectId>(
+        rng.uniform_int(first, first + region_size_ - 1));
+  }
+  // Zipf over the remainder: ranks map to ids in increasing order, skipping
+  // the client's own region (rank 0 -> object 0, the global hot spot).
+  const auto rank = zipf_.sample(rng);
+  const ObjectId first = region_first(client_index);
+  const auto id = static_cast<ObjectId>(rank);
+  return id < first ? id : static_cast<ObjectId>(rank + region_size_);
+}
+
+}  // namespace rtdb::workload

@@ -1,0 +1,101 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rtdb::workload {
+
+std::size_t sample_poisson(sim::Rng& rng, double mean) {
+  // Knuth: count uniform draws until their product drops below e^-mean.
+  const double limit = std::exp(-mean);
+  std::size_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.uniform01();
+  } while (p > limit);
+  return k - 1;
+}
+
+ClientWorkload::ClientWorkload(const WorkloadConfig& config,
+                               const AccessPattern& pattern,
+                               std::size_t client_index, SiteId site,
+                               sim::Rng rng)
+    : config_(config),
+      pattern_(pattern),
+      client_index_(client_index),
+      site_(site),
+      rng_(rng) {}
+
+sim::Duration ClientWorkload::next_interarrival() {
+  return rng_.exponential(config_.mean_interarrival);
+}
+
+txn::Transaction ClientWorkload::make_transaction(TxnId id,
+                                                  sim::SimTime arrival) {
+  txn::Transaction t;
+  t.id = id;
+  t.origin = site_;
+  t.arrival = arrival;
+  t.length = rng_.exponential(config_.mean_length);
+  t.deadline = arrival + t.length + rng_.exponential(config_.mean_slack);
+  t.decomposable = rng_.bernoulli(config_.decomposable_fraction);
+
+  const std::size_t nops =
+      std::max<std::size_t>(1, sample_poisson(rng_, config_.mean_ops));
+  t.ops.reserve(nops);
+  for (std::size_t i = 0; i < nops; ++i) {
+    txn::Operation op;
+    op.object = pattern_.sample(client_index_, rng_);
+    op.is_update = rng_.bernoulli(config_.update_fraction);
+    // Re-reading the same object is harmless; keep the stronger mode if the
+    // object repeats (handled downstream by Transaction::lock_needs()).
+    t.ops.push_back(op);
+  }
+  t.state = txn::TxnState::kPending;
+  return t;
+}
+
+WorkloadSuite::WorkloadSuite(WorkloadConfig config, std::size_t num_clients,
+                             std::uint64_t seed)
+    : config_(config) {
+  sim::Rng master(seed);
+
+  region_size_ = config_.region_size;
+  if (config_.region_placement == RegionPlacement::kDisjoint) {
+    if (region_size_ == 0) {
+      region_size_ = std::max<std::size_t>(1, config_.db_size / num_clients);
+    }
+    region_size_ = std::min(region_size_, config_.db_size / num_clients);
+    // The Zipf remainder needs at least one object outside the region (a
+    // single client would otherwise own the whole database).
+    region_size_ = std::min(region_size_, config_.db_size - 1);
+    region_size_ = std::max<std::size_t>(1, region_size_);
+    pattern_ = std::make_unique<LocalizedRwPattern>(
+        config_.db_size, num_clients, region_size_, config_.locality,
+        config_.zipf_theta);
+  } else {
+    if (region_size_ == 0) region_size_ = 500;
+    region_size_ = std::min(region_size_, config_.db_size - 1);
+    region_size_ = std::max<std::size_t>(1, region_size_);
+    // Seeded-random, possibly overlapping origins — drawn before the
+    // per-client streams so region layout is part of the seed's identity.
+    std::vector<ObjectId> firsts;
+    firsts.reserve(num_clients);
+    for (std::size_t i = 0; i < num_clients; ++i) {
+      firsts.push_back(static_cast<ObjectId>(
+          master.uniform_int(0, config_.db_size - region_size_)));
+    }
+    pattern_ = std::make_unique<LocalizedRwPattern>(
+        config_.db_size, std::move(firsts), region_size_, config_.locality,
+        config_.zipf_theta);
+  }
+  clients_.reserve(num_clients);
+  for (std::size_t i = 0; i < num_clients; ++i) {
+    clients_.push_back(std::make_unique<ClientWorkload>(
+        config_, *pattern_, i, static_cast<SiteId>(kFirstClientSite + i),
+        master.split()));
+  }
+}
+
+}  // namespace rtdb::workload

@@ -1,0 +1,86 @@
+#include "core/auditor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtdb::core {
+namespace {
+
+using Kind = ConsistencyAuditor::Violation::Kind;
+
+TEST(Auditor, CleanSequenceHasNoViolations) {
+  ConsistencyAuditor a;
+  a.on_read_commit(1, 2, 0, 1.0);       // read before any write: v0
+  a.on_write_commit(1, 3, 1, 2.0);      // first write: v1
+  a.on_read_commit(1, 4, 1, 3.0);       // read current
+  a.on_write_commit(1, 4, 2, 4.0);      // consecutive write
+  EXPECT_TRUE(a.violations().empty());
+  EXPECT_EQ(a.audited_reads(), 2u);
+  EXPECT_EQ(a.audited_writes(), 2u);
+  EXPECT_EQ(a.committed_version(1), 2u);
+}
+
+TEST(Auditor, LostUpdateDetected) {
+  ConsistencyAuditor a;
+  a.on_write_commit(7, 1, 1, 1.0);
+  a.on_write_commit(7, 2, 2, 2.0);
+  // Site 3 writes from the stale base v1 -> produces v2 again.
+  a.on_write_commit(7, 3, 2, 3.0);
+  ASSERT_EQ(a.violations().size(), 1u);
+  EXPECT_EQ(a.violations()[0].kind, Kind::kLostUpdate);
+  EXPECT_EQ(a.violations()[0].object, 7u);
+  EXPECT_EQ(a.violations()[0].site, 3);
+  EXPECT_EQ(a.violations()[0].expected, 3u);
+  EXPECT_EQ(a.violations()[0].got, 2u);
+}
+
+TEST(Auditor, StaleReadDetected) {
+  ConsistencyAuditor a;
+  a.on_write_commit(5, 1, 1, 1.0);
+  a.on_read_commit(5, 2, 0, 2.0);  // read of the pre-write version
+  ASSERT_EQ(a.violations().size(), 1u);
+  EXPECT_EQ(a.violations()[0].kind, Kind::kStaleRead);
+  EXPECT_EQ(a.violations()[0].expected, 1u);
+  EXPECT_EQ(a.violations()[0].got, 0u);
+}
+
+TEST(Auditor, FutureReadAlsoFlagged) {
+  // Reading a version that does not exist yet is just as inconsistent.
+  ConsistencyAuditor a;
+  a.on_read_commit(5, 2, 3, 1.0);
+  ASSERT_EQ(a.violations().size(), 1u);
+  EXPECT_EQ(a.violations()[0].kind, Kind::kStaleRead);
+}
+
+TEST(Auditor, DivergentCleanReturnDetected) {
+  ConsistencyAuditor a;
+  a.on_clean_return(9, 4, /*version=*/1, /*server_version=*/2, 5.0);
+  ASSERT_EQ(a.violations().size(), 1u);
+  EXPECT_EQ(a.violations()[0].kind, Kind::kDivergentCopy);
+  a.on_clean_return(9, 4, 2, 2, 6.0);  // matching copy: fine
+  EXPECT_EQ(a.violations().size(), 1u);
+}
+
+TEST(Auditor, VersionsTrackedPerObject) {
+  ConsistencyAuditor a;
+  a.on_write_commit(1, 1, 1, 1.0);
+  a.on_write_commit(2, 1, 1, 1.5);
+  a.on_read_commit(1, 2, 1, 2.0);
+  a.on_read_commit(2, 2, 1, 2.5);
+  EXPECT_TRUE(a.violations().empty());
+  EXPECT_EQ(a.committed_version(1), 1u);
+  EXPECT_EQ(a.committed_version(2), 1u);
+  EXPECT_EQ(a.committed_version(99), 0u);
+}
+
+TEST(Auditor, DescribeMentionsEssentials) {
+  ConsistencyAuditor a;
+  a.on_write_commit(7, 1, 1, 1.0);
+  a.on_write_commit(7, 3, 1, 3.5);
+  const auto text = ConsistencyAuditor::describe(a.violations()[0]);
+  EXPECT_NE(text.find("lost update"), std::string::npos);
+  EXPECT_NE(text.find("object 7"), std::string::npos);
+  EXPECT_NE(text.find("site 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtdb::core

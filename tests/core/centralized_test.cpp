@@ -1,0 +1,110 @@
+#include "core/centralized.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtdb::core {
+namespace {
+
+SystemConfig small_cfg(std::size_t clients, double update_pct = 5.0) {
+  SystemConfig cfg = SystemConfig::paper_defaults(update_pct);
+  cfg.num_clients = clients;
+  cfg.warmup = 50;
+  cfg.duration = 300;
+  cfg.drain = 200;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+TEST(Centralized, RunsAndAccountsEveryTransaction) {
+  CentralizedSystem sys(small_cfg(5));
+  const auto m = sys.run();
+  EXPECT_GT(m.generated, 50u);
+  EXPECT_TRUE(m.accounted()) << summarize(m);
+}
+
+TEST(Centralized, LightLoadMostlyCommits) {
+  CentralizedSystem sys(small_cfg(5));
+  const auto m = sys.run();
+  EXPECT_GT(m.success_percent(), 85.0) << summarize(m);
+}
+
+TEST(Centralized, OverloadShedsButSurvives) {
+  CentralizedSystem sys(small_cfg(80));
+  const auto m = sys.run();
+  EXPECT_TRUE(m.accounted());
+  EXPECT_LT(m.success_percent(), 60.0);
+  EXPECT_GT(m.missed, 0u);
+}
+
+TEST(Centralized, DegradesWithClientCount) {
+  CentralizedSystem small(small_cfg(10));
+  CentralizedSystem big(small_cfg(90));
+  const auto ms = small.run();
+  const auto mb = big.run();
+  EXPECT_GT(ms.success_percent(), mb.success_percent() + 20.0);
+}
+
+TEST(Centralized, DeterministicForSeed) {
+  CentralizedSystem a(small_cfg(10));
+  CentralizedSystem b(small_cfg(10));
+  const auto ma = a.run();
+  const auto mb = b.run();
+  EXPECT_EQ(ma.generated, mb.generated);
+  EXPECT_EQ(ma.committed, mb.committed);
+  EXPECT_EQ(ma.missed, mb.missed);
+  EXPECT_EQ(ma.messages.total_messages(), mb.messages.total_messages());
+}
+
+TEST(Centralized, DifferentSeedsDiffer) {
+  auto cfg = small_cfg(10);
+  CentralizedSystem a(cfg);
+  cfg.seed = 999;
+  CentralizedSystem b(cfg);
+  EXPECT_NE(a.run().committed, b.run().committed);
+}
+
+TEST(Centralized, NoClientSideTablesReported) {
+  CentralizedSystem sys(small_cfg(5));
+  const auto m = sys.run();
+  // Terminals have no caches; Table 2/3 fields must stay empty.
+  EXPECT_EQ(m.cache_hits + m.cache_misses, 0u);
+  EXPECT_EQ(m.object_response_shared.count(), 0u);
+  EXPECT_EQ(m.object_response_exclusive.count(), 0u);
+  EXPECT_EQ(m.forward_list_satisfactions, 0u);
+}
+
+TEST(Centralized, MessagesAreSubmitAndResultOnly) {
+  CentralizedSystem sys(small_cfg(5));
+  const auto m = sys.run();
+  EXPECT_GT(m.messages.messages(net::MessageKind::kTxnSubmit), 0u);
+  EXPECT_GT(m.messages.messages(net::MessageKind::kTxnResult), 0u);
+  EXPECT_EQ(m.messages.messages(net::MessageKind::kObjectRequest), 0u);
+  EXPECT_EQ(m.messages.messages(net::MessageKind::kObjectShip), 0u);
+  EXPECT_EQ(m.messages.messages(net::MessageKind::kObjectRecall), 0u);
+}
+
+TEST(Centralized, LocksQuiescentAfterDrain) {
+  CentralizedSystem sys(small_cfg(10));
+  sys.run();
+  EXPECT_TRUE(sys.lock_manager().idle());
+}
+
+TEST(Centralized, ServerCpuUtilizationGrowsWithLoad) {
+  CentralizedSystem small(small_cfg(5));
+  CentralizedSystem big(small_cfg(40));
+  const auto ms = small.run();
+  const auto mb = big.run();
+  EXPECT_GT(mb.server_cpu_utilization, ms.server_cpu_utilization);
+}
+
+TEST(Centralized, CommittedResponsesWithinDeadlines) {
+  CentralizedSystem sys(small_cfg(10));
+  auto m = sys.run();
+  // Commit slack is non-negative by construction: commits after the
+  // deadline cannot happen (the deadline timer aborts first).
+  EXPECT_GE(m.commit_slack.min(), 0.0);
+  EXPECT_EQ(m.response_time.count(), m.committed);
+}
+
+}  // namespace
+}  // namespace rtdb::core

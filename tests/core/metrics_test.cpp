@@ -1,0 +1,106 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+
+namespace rtdb::core {
+namespace {
+
+TEST(RunMetrics, SuccessPercent) {
+  RunMetrics m;
+  EXPECT_DOUBLE_EQ(m.success_percent(), 0.0);
+  m.generated = 200;
+  m.committed = 150;
+  EXPECT_DOUBLE_EQ(m.success_percent(), 75.0);
+}
+
+TEST(RunMetrics, CacheHitPercent) {
+  RunMetrics m;
+  EXPECT_DOUBLE_EQ(m.cache_hit_percent(), 0.0);
+  m.cache_hits = 90;
+  m.cache_misses = 10;
+  EXPECT_DOUBLE_EQ(m.cache_hit_percent(), 90.0);
+}
+
+TEST(RunMetrics, Accounted) {
+  RunMetrics m;
+  m.generated = 10;
+  m.committed = 6;
+  m.missed = 3;
+  m.aborted = 1;
+  EXPECT_TRUE(m.accounted());
+  m.missed = 2;
+  EXPECT_FALSE(m.accounted());
+}
+
+TEST(MetricsAggregator, AveragesAcrossRuns) {
+  MetricsAggregator agg;
+  RunMetrics a;
+  a.generated = 100;
+  a.committed = 80;
+  a.cache_hits = 50;
+  a.cache_misses = 50;
+  RunMetrics b;
+  b.generated = 100;
+  b.committed = 60;
+  b.cache_hits = 100;
+  b.cache_misses = 0;
+  agg.add(a);
+  agg.add(b);
+  EXPECT_EQ(agg.runs(), 2u);
+  EXPECT_DOUBLE_EQ(agg.mean_success_percent(), 70.0);
+  EXPECT_DOUBLE_EQ(agg.mean_cache_hit_percent(), 75.0);
+  EXPECT_EQ(agg.last().committed, 60u);
+}
+
+TEST(SystemKind, Names) {
+  EXPECT_EQ(to_string(SystemKind::kCentralized), "CE-RTDBS");
+  EXPECT_EQ(to_string(SystemKind::kClientServer), "CS-RTDBS");
+  EXPECT_EQ(to_string(SystemKind::kLoadSharing), "LS-CS-RTDBS");
+}
+
+TEST(SystemConfig, PaperDefaultsFollowTable1) {
+  const auto cfg = SystemConfig::paper_defaults(5.0);
+  EXPECT_EQ(cfg.workload.db_size, 10'000u);
+  EXPECT_DOUBLE_EQ(cfg.workload.mean_interarrival, 10.0);
+  EXPECT_DOUBLE_EQ(cfg.workload.mean_length, 10.0);
+  EXPECT_DOUBLE_EQ(cfg.workload.mean_length + cfg.workload.mean_slack, 20.0);
+  EXPECT_DOUBLE_EQ(cfg.workload.mean_ops, 10.0);
+  EXPECT_DOUBLE_EQ(cfg.workload.update_fraction, 0.05);
+  EXPECT_DOUBLE_EQ(cfg.workload.decomposable_fraction, 0.10);
+  EXPECT_DOUBLE_EQ(cfg.workload.locality, 0.75);
+  EXPECT_EQ(cfg.ce_buffer_capacity, 5000u);
+  EXPECT_EQ(cfg.cs_server_buffer_capacity, 1000u);
+  EXPECT_EQ(cfg.client_cache.memory_capacity, 500u);
+  EXPECT_EQ(cfg.client_cache.disk_capacity, 500u);
+  EXPECT_EQ(cfg.ce_executor_slots, 100u);
+  EXPECT_DOUBLE_EQ(cfg.network.bandwidth_bps, 10e6);
+}
+
+TEST(LsOptions, AllAndNone) {
+  const auto all = LsOptions::all();
+  EXPECT_TRUE(all.enable_h1);
+  EXPECT_TRUE(all.enable_h2);
+  EXPECT_TRUE(all.enable_decomposition);
+  EXPECT_TRUE(all.enable_forward_lists);
+  EXPECT_TRUE(all.ed_request_scheduling);
+  const auto none = LsOptions::none();
+  EXPECT_FALSE(none.enable_h1);
+  EXPECT_FALSE(none.enable_h2);
+  EXPECT_FALSE(none.enable_decomposition);
+  EXPECT_FALSE(none.enable_forward_lists);
+  EXPECT_FALSE(none.ed_request_scheduling);
+}
+
+TEST(Summarize, MentionsKeyCounts) {
+  RunMetrics m;
+  m.generated = 5;
+  m.committed = 3;
+  const auto s = summarize(m);
+  EXPECT_NE(s.find("txns=5"), std::string::npos);
+  EXPECT_NE(s.find("committed=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtdb::core

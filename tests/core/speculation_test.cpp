@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "core/client_server.hpp"
+#include "core/runner.hpp"
+
+namespace rtdb::core {
+namespace {
+
+SystemConfig spec_cfg(std::size_t clients, double update_pct) {
+  SystemConfig cfg = SystemConfig::paper_defaults(update_pct);
+  cfg.num_clients = clients;
+  cfg.warmup = 80;
+  cfg.duration = 400;
+  cfg.drain = 200;
+  cfg.seed = 555;
+  cfg.ls = LsOptions::all();
+  cfg.ls.enable_speculation = true;
+  return cfg;
+}
+
+TEST(Speculation, OffByDefaultEverywhere) {
+  EXPECT_FALSE(LsOptions::all().enable_speculation);
+  EXPECT_FALSE(LsOptions::none().enable_speculation);
+  const auto m =
+      run_once(SystemKind::kLoadSharing,
+               [] {
+                 auto c = spec_cfg(16, 20.0);
+                 c.ls.enable_speculation = false;
+                 return c;
+               }());
+  EXPECT_EQ(m.spec_launched, 0u);
+}
+
+TEST(Speculation, LaunchesUnderContention) {
+  ClientServerSystem sys(spec_cfg(20, 20.0));
+  const auto m = sys.run();
+  EXPECT_GT(m.spec_launched, 0u);
+  // Every launch resolves to at most one winner.
+  EXPECT_LE(m.spec_local_wins + m.spec_remote_wins, m.spec_launched);
+}
+
+TEST(Speculation, AccountsEveryTransactionExactlyOnce) {
+  ClientServerSystem sys(spec_cfg(20, 20.0));
+  const auto m = sys.run();
+  EXPECT_TRUE(m.accounted()) << summarize(m);
+  EXPECT_EQ(sys.double_records(), 0u);
+}
+
+TEST(Speculation, ConsistencyLedgerStaysClean) {
+  auto sys = make_system(SystemKind::kLoadSharing, spec_cfg(20, 20.0));
+  const auto m = sys->run();
+  EXPECT_EQ(m.consistency_violations, 0u);
+  ASSERT_TRUE(sys->auditor().violations().empty())
+      << ConsistencyAuditor::describe(sys->auditor().violations().front());
+}
+
+TEST(Speculation, DeterministicForSeed) {
+  ClientServerSystem a(spec_cfg(16, 20.0));
+  ClientServerSystem b(spec_cfg(16, 20.0));
+  const auto ma = a.run();
+  const auto mb = b.run();
+  EXPECT_EQ(ma.committed, mb.committed);
+  EXPECT_EQ(ma.spec_launched, mb.spec_launched);
+  EXPECT_EQ(ma.spec_local_wins, mb.spec_local_wins);
+  EXPECT_EQ(ma.spec_remote_wins, mb.spec_remote_wins);
+}
+
+TEST(Speculation, QuiescesAfterRun) {
+  auto cfg = spec_cfg(16, 20.0);
+  ClientServerSystem sys(cfg);
+  sys.run();
+  for (SiteId s = kFirstClientSite;
+       s < kFirstClientSite + static_cast<SiteId>(cfg.num_clients); ++s) {
+    EXPECT_EQ(sys.client(s).live_count(), 0u) << "site " << s;
+    EXPECT_TRUE(sys.client(s).lock_manager().idle()) << "site " << s;
+  }
+}
+
+TEST(Speculation, BothWinnerKindsOccur) {
+  // Across a longer high-contention run both sides win some races (the
+  // arbitration is a real race, not a disguised preference).
+  auto cfg = spec_cfg(24, 20.0);
+  cfg.duration = 800;
+  ClientServerSystem sys(cfg);
+  const auto m = sys.run();
+  EXPECT_GT(m.spec_local_wins, 0u);
+  EXPECT_GT(m.spec_remote_wins, 0u);
+}
+
+}  // namespace
+}  // namespace rtdb::core

@@ -1,0 +1,89 @@
+/// \file trace_integration_test.cpp
+/// The trace subsystem wired into a live cluster: protocol steps appear as
+/// structured events in the expected order.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/client_server.hpp"
+
+namespace rtdb::core {
+namespace {
+
+using sim::TraceCategory;
+
+txn::Transaction mk(TxnId id, SiteId origin, sim::SimTime now,
+                    std::vector<txn::Operation> ops) {
+  txn::Transaction t;
+  t.id = id;
+  t.origin = origin;
+  t.arrival = now;
+  t.length = 1.0;
+  t.deadline = now + 100;
+  t.ops = std::move(ops);
+  return t;
+}
+
+SystemConfig cfg2() {
+  SystemConfig cfg;
+  cfg.num_clients = 2;
+  cfg.warm_start = false;
+  cfg.workload.db_size = 50;
+  cfg.workload.region_size = 5;
+  cfg.ls = LsOptions::none();
+  return cfg;
+}
+
+bool has_event(const sim::TraceLog& log, TraceCategory cat,
+               const std::string& needle) {
+  for (const auto& e : log.events()) {
+    if (e.category == cat && e.text.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(TraceIntegration, GrantRecallCommitSequenceRecorded) {
+  ClientServerSystem sys(cfg2());
+  sys.trace().enable(TraceCategory::kAll);
+  sys.bootstrap();
+  sys.client(1).on_new_transaction(mk(1, 1, 0, {{7, true}}));
+  sys.simulator().run_until(30);
+  sys.client(2).on_new_transaction(mk(2, 2, 30, {{7, true}}));
+  sys.simulator().run_until(80);
+
+  EXPECT_TRUE(has_event(sys.trace(), TraceCategory::kLock, "grant obj=7"));
+  EXPECT_TRUE(has_event(sys.trace(), TraceCategory::kLock, "recall obj=7"));
+  EXPECT_TRUE(has_event(sys.trace(), TraceCategory::kTxn, "commit txn=1"));
+  EXPECT_TRUE(has_event(sys.trace(), TraceCategory::kTxn, "commit txn=2"));
+}
+
+TEST(TraceIntegration, DisabledTraceStaysEmpty) {
+  ClientServerSystem sys(cfg2());
+  sys.bootstrap();
+  sys.client(1).on_new_transaction(mk(1, 1, 0, {{7, true}}));
+  sys.simulator().run_until(30);
+  EXPECT_TRUE(sys.trace().events().empty());
+}
+
+TEST(TraceIntegration, EventsAreTimeOrdered) {
+  ClientServerSystem sys(cfg2());
+  sys.trace().enable(TraceCategory::kAll);
+  sys.bootstrap();
+  for (TxnId id = 1; id <= 6; ++id) {
+    sys.client(1 + (id % 2))
+        .on_new_transaction(mk(id, static_cast<SiteId>(1 + (id % 2)),
+                               static_cast<double>(id), {{7, true}}));
+  }
+  sys.simulator().run_until(300);
+  const auto& ev = sys.trace().events();
+  ASSERT_GT(ev.size(), 4u);
+  for (std::size_t i = 1; i < ev.size(); ++i) {
+    EXPECT_LE(ev[i - 1].time, ev[i].time);
+  }
+}
+
+}  // namespace
+}  // namespace rtdb::core

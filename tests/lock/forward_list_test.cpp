@@ -1,0 +1,159 @@
+#include "lock/forward_list.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtdb::lock {
+namespace {
+
+ForwardEntry entry(SiteId site, TxnId txn, LockMode mode, double priority,
+                   double expires) {
+  ForwardEntry e;
+  e.site = site;
+  e.txn = txn;
+  e.mode = mode;
+  e.priority = priority;
+  e.expires = expires;
+  return e;
+}
+
+TEST(ForwardList, OrdersByPriority) {
+  ForwardList fl;
+  fl.add(entry(1, 1, LockMode::kShared, 30, 30));
+  fl.add(entry(2, 2, LockMode::kShared, 10, 10));
+  fl.add(entry(3, 3, LockMode::kShared, 20, 20));
+  EXPECT_EQ(fl.entries()[0].site, 2);
+  EXPECT_EQ(fl.entries()[1].site, 3);
+  EXPECT_EQ(fl.entries()[2].site, 1);
+}
+
+TEST(ForwardList, TiesKeepArrivalOrder) {
+  ForwardList fl;
+  fl.add(entry(1, 1, LockMode::kShared, 10, 99));
+  fl.add(entry(2, 2, LockMode::kShared, 10, 99));
+  fl.add(entry(3, 3, LockMode::kShared, 10, 99));
+  EXPECT_EQ(fl.entries()[0].txn, 1u);
+  EXPECT_EQ(fl.entries()[1].txn, 2u);
+  EXPECT_EQ(fl.entries()[2].txn, 3u);
+}
+
+TEST(ForwardList, PopNextReturnsServiceable) {
+  ForwardList fl;
+  fl.add(entry(1, 1, LockMode::kExclusive, 10, 10));
+  auto e = fl.pop_next(5.0);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->txn, 1u);
+  EXPECT_TRUE(fl.empty());
+}
+
+TEST(ForwardList, PopNextSkipsExpired) {
+  ForwardList fl;
+  fl.add(entry(1, 1, LockMode::kShared, 10, 10));  // expires before now
+  fl.add(entry(2, 2, LockMode::kShared, 20, 20));
+  std::vector<ForwardEntry> skipped;
+  auto e = fl.pop_next(15.0, &skipped);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->txn, 2u);
+  ASSERT_EQ(skipped.size(), 1u);
+  EXPECT_EQ(skipped[0].txn, 1u);
+}
+
+TEST(ForwardList, PopNextAllExpired) {
+  ForwardList fl;
+  fl.add(entry(1, 1, LockMode::kShared, 10, 10));
+  std::vector<ForwardEntry> skipped;
+  EXPECT_FALSE(fl.pop_next(100.0, &skipped).has_value());
+  EXPECT_EQ(skipped.size(), 1u);
+  EXPECT_TRUE(fl.empty());
+}
+
+TEST(ForwardList, EntryExpiringExactlyNowStillServed) {
+  ForwardList fl;
+  fl.add(entry(1, 1, LockMode::kShared, 10, 10));
+  EXPECT_TRUE(fl.pop_next(10.0).has_value());
+}
+
+TEST(ForwardList, PeekDoesNotRemoveServiceable) {
+  ForwardList fl;
+  fl.add(entry(1, 1, LockMode::kShared, 10, 99));
+  const ForwardEntry* e = fl.peek_next(0.0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->txn, 1u);
+  EXPECT_EQ(fl.size(), 1u);
+}
+
+TEST(ForwardList, PeekDropsExpiredPrefix) {
+  ForwardList fl;
+  fl.add(entry(1, 1, LockMode::kShared, 10, 10));
+  fl.add(entry(2, 2, LockMode::kShared, 20, 99));
+  std::vector<ForwardEntry> skipped;
+  const ForwardEntry* e = fl.peek_next(50.0, &skipped);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->txn, 2u);
+  EXPECT_EQ(skipped.size(), 1u);
+  EXPECT_EQ(fl.size(), 1u);
+}
+
+TEST(ForwardList, RemoveTxnRemovesAllItsEntries) {
+  ForwardList fl;
+  fl.add(entry(1, 7, LockMode::kShared, 10, 99));
+  fl.add(entry(2, 8, LockMode::kShared, 20, 99));
+  fl.add(entry(1, 7, LockMode::kExclusive, 30, 99));
+  EXPECT_EQ(fl.remove_txn(7), 2u);
+  EXPECT_EQ(fl.size(), 1u);
+  EXPECT_EQ(fl.entries()[0].txn, 8u);
+  EXPECT_EQ(fl.remove_txn(999), 0u);
+}
+
+TEST(ForwardList, LastSiteIsLocationWhileCirculating) {
+  ForwardList fl;
+  EXPECT_FALSE(fl.last_site().has_value());
+  fl.add(entry(4, 1, LockMode::kShared, 10, 99));
+  fl.add(entry(9, 2, LockMode::kShared, 20, 99));
+  EXPECT_EQ(fl.last_site().value(), 9);
+}
+
+TEST(ForwardList, LeadingSharedRun) {
+  ForwardList fl;
+  fl.add(entry(1, 1, LockMode::kShared, 10, 99));
+  fl.add(entry(2, 2, LockMode::kShared, 20, 99));
+  fl.add(entry(3, 3, LockMode::kExclusive, 30, 99));
+  fl.add(entry(4, 4, LockMode::kShared, 40, 99));
+  const auto run = fl.leading_shared_run();
+  ASSERT_EQ(run.size(), 2u);
+  EXPECT_EQ(run[0].txn, 1u);
+  EXPECT_EQ(run[1].txn, 2u);
+}
+
+TEST(ForwardList, LeadingSharedRunEmptyWhenHeadExclusive) {
+  ForwardList fl;
+  fl.add(entry(1, 1, LockMode::kExclusive, 10, 99));
+  EXPECT_TRUE(fl.leading_shared_run().empty());
+}
+
+TEST(ForwardList, ClearEmpties) {
+  ForwardList fl;
+  fl.add(entry(1, 1, LockMode::kShared, 10, 99));
+  fl.clear();
+  EXPECT_TRUE(fl.empty());
+}
+
+TEST(MessageEconomy, PaperFormulas) {
+  // Paper §3.4: standard 2PL needs 3n messages (4n with per-object
+  // callbacks); lock grouping needs 2n+1.
+  EXPECT_EQ(messages_standard_2pl(10, false), 30u);
+  EXPECT_EQ(messages_standard_2pl(10, true), 40u);
+  EXPECT_EQ(messages_lock_grouping(10), 21u);
+  // The paper's Figure 1/2 example: moving one object between two clients
+  // takes 7 messages under 2PL and 5 under grouping.
+  EXPECT_EQ(messages_lock_grouping(2), 5u);
+}
+
+TEST(MessageEconomy, GroupingAlwaysCheaper) {
+  for (std::uint64_t n = 1; n <= 100; ++n) {
+    EXPECT_LE(messages_lock_grouping(n), messages_standard_2pl(n, false));
+    EXPECT_LT(messages_lock_grouping(n), messages_standard_2pl(n, true));
+  }
+}
+
+}  // namespace
+}  // namespace rtdb::lock

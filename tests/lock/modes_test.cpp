@@ -1,0 +1,49 @@
+#include "lock/modes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtdb::lock {
+namespace {
+
+TEST(Modes, CompatibilityMatrix) {
+  // Paper §2: SL/EL under strict 2PL — only SL+SL coexist.
+  EXPECT_TRUE(compatible(LockMode::kShared, LockMode::kShared));
+  EXPECT_FALSE(compatible(LockMode::kShared, LockMode::kExclusive));
+  EXPECT_FALSE(compatible(LockMode::kExclusive, LockMode::kShared));
+  EXPECT_FALSE(compatible(LockMode::kExclusive, LockMode::kExclusive));
+}
+
+TEST(Modes, NoneCompatibleWithEverything) {
+  EXPECT_TRUE(compatible(LockMode::kNone, LockMode::kNone));
+  EXPECT_TRUE(compatible(LockMode::kNone, LockMode::kShared));
+  EXPECT_TRUE(compatible(LockMode::kNone, LockMode::kExclusive));
+  EXPECT_TRUE(compatible(LockMode::kExclusive, LockMode::kNone));
+}
+
+TEST(Modes, CoversIsReflexiveAndOrdered) {
+  EXPECT_TRUE(covers(LockMode::kShared, LockMode::kShared));
+  EXPECT_TRUE(covers(LockMode::kExclusive, LockMode::kShared));
+  EXPECT_TRUE(covers(LockMode::kExclusive, LockMode::kExclusive));
+  EXPECT_FALSE(covers(LockMode::kShared, LockMode::kExclusive));
+  EXPECT_FALSE(covers(LockMode::kNone, LockMode::kShared));
+  EXPECT_TRUE(covers(LockMode::kShared, LockMode::kNone));
+}
+
+TEST(Modes, StrongerPicksUpgrade) {
+  EXPECT_EQ(stronger(LockMode::kShared, LockMode::kExclusive),
+            LockMode::kExclusive);
+  EXPECT_EQ(stronger(LockMode::kExclusive, LockMode::kShared),
+            LockMode::kExclusive);
+  EXPECT_EQ(stronger(LockMode::kNone, LockMode::kShared), LockMode::kShared);
+  EXPECT_EQ(stronger(LockMode::kShared, LockMode::kShared),
+            LockMode::kShared);
+}
+
+TEST(Modes, Names) {
+  EXPECT_EQ(to_string(LockMode::kNone), "NL");
+  EXPECT_EQ(to_string(LockMode::kShared), "SL");
+  EXPECT_EQ(to_string(LockMode::kExclusive), "EL");
+}
+
+}  // namespace
+}  // namespace rtdb::lock

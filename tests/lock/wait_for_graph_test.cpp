@@ -1,0 +1,130 @@
+#include "lock/wait_for_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtdb::lock {
+namespace {
+
+TEST(WaitForGraph, EmptyHasNoCycle) {
+  WaitForGraph g;
+  EXPECT_TRUE(g.empty());
+  EXPECT_FALSE(g.has_cycle());
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(WaitForGraph, SelfWaitIsDeadlock) {
+  WaitForGraph g;
+  EXPECT_TRUE(g.would_deadlock(1, {1}));
+}
+
+TEST(WaitForGraph, DirectCycleDetected) {
+  WaitForGraph g;
+  EXPECT_TRUE(g.try_add_edges(1, {2}));
+  EXPECT_TRUE(g.would_deadlock(2, {1}));
+  EXPECT_FALSE(g.try_add_edges(2, {1}));
+  EXPECT_FALSE(g.has_cycle());  // refused edge left no trace
+}
+
+TEST(WaitForGraph, TransitiveCycleDetected) {
+  WaitForGraph g;
+  EXPECT_TRUE(g.try_add_edges(1, {2}));
+  EXPECT_TRUE(g.try_add_edges(2, {3}));
+  EXPECT_TRUE(g.try_add_edges(3, {4}));
+  EXPECT_TRUE(g.would_deadlock(4, {1}));
+  EXPECT_FALSE(g.try_add_edges(4, {1}));
+}
+
+TEST(WaitForGraph, DagIsAccepted) {
+  WaitForGraph g;
+  EXPECT_TRUE(g.try_add_edges(1, {2, 3}));
+  EXPECT_TRUE(g.try_add_edges(2, {4}));
+  EXPECT_TRUE(g.try_add_edges(3, {4}));
+  EXPECT_FALSE(g.has_cycle());
+  EXPECT_EQ(g.edge_count(), 4u);
+}
+
+TEST(WaitForGraph, MultipleHoldersCheckedTogether) {
+  WaitForGraph g;
+  g.add_edges(5, {6});
+  // Waiting on {7, 5-reaching-node} deadlocks even though 7 alone is fine.
+  EXPECT_FALSE(g.would_deadlock(6, {7}));
+  EXPECT_TRUE(g.would_deadlock(6, {7, 5}));
+}
+
+TEST(WaitForGraph, RemoveEdgeBreaksCycleRisk) {
+  WaitForGraph g;
+  g.add_edges(1, {2});
+  g.remove_edge(1, 2);
+  EXPECT_TRUE(g.try_add_edges(2, {1}));
+}
+
+TEST(WaitForGraph, CountedEdgesNeedAllRemovals) {
+  WaitForGraph g;
+  // The same waiter->holder pair justified by two different objects.
+  g.add_edges(1, {2});
+  g.add_edges(1, {2});
+  g.remove_edge(1, 2);
+  // One justification remains: the reverse edge still deadlocks.
+  EXPECT_TRUE(g.would_deadlock(2, {1}));
+  g.remove_edge(1, 2);
+  EXPECT_FALSE(g.would_deadlock(2, {1}));
+}
+
+TEST(WaitForGraph, RemoveNodeClearsBothDirections) {
+  WaitForGraph g;
+  g.add_edges(1, {2});
+  g.add_edges(3, {1});
+  g.remove_node(1);
+  EXPECT_TRUE(g.empty() || g.edge_count() == 0u);
+  EXPECT_TRUE(g.try_add_edges(2, {3}));
+}
+
+TEST(WaitForGraph, WaitsForLists) {
+  WaitForGraph g;
+  g.add_edges(1, {2, 3});
+  auto w = g.waits_for(1);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(w, (std::vector<WaitForGraph::Node>{2, 3}));
+  EXPECT_TRUE(g.waits_for(9).empty());
+}
+
+TEST(WaitForGraph, HasCycleDetectsForcedCycle) {
+  WaitForGraph g;
+  // add_edges is unconditional; build a cycle deliberately.
+  g.add_edges(1, {2});
+  g.add_edges(2, {1});
+  EXPECT_TRUE(g.has_cycle());
+  g.remove_edge(2, 1);
+  EXPECT_FALSE(g.has_cycle());
+}
+
+TEST(WaitForGraph, LongChainNoFalsePositive) {
+  WaitForGraph g;
+  for (WaitForGraph::Node n = 0; n < 100; ++n) {
+    EXPECT_TRUE(g.try_add_edges(n, {n + 1}));
+  }
+  EXPECT_FALSE(g.has_cycle());
+  EXPECT_TRUE(g.would_deadlock(100, {0}));
+  EXPECT_FALSE(g.would_deadlock(100, {101}));
+}
+
+TEST(WaitForGraph, DuplicateHoldersInOneCall) {
+  WaitForGraph g;
+  g.add_edges(1, {2, 2, 2});
+  // Three justifications were recorded; removing once keeps the edge.
+  g.remove_edge(1, 2);
+  EXPECT_TRUE(g.would_deadlock(2, {1}));
+  g.remove_edge(1, 2);
+  g.remove_edge(1, 2);
+  EXPECT_FALSE(g.would_deadlock(2, {1}));
+}
+
+TEST(WaitForGraph, SelfEdgesIgnoredOnAdd) {
+  WaitForGraph g;
+  g.add_edges(1, {1});
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_FALSE(g.has_cycle());
+}
+
+}  // namespace
+}  // namespace rtdb::lock

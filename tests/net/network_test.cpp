@@ -1,0 +1,169 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rtdb::net {
+namespace {
+
+NetworkConfig fast_config() {
+  NetworkConfig c;
+  c.bandwidth_bps = 10e6;
+  c.fixed_latency = 0.001;
+  c.directory_delay = 0.0005;
+  c.header_bytes = 64;
+  return c;
+}
+
+TEST(MessageStats, RecordsPerKind) {
+  MessageStats s;
+  s.record(MessageKind::kObjectShip, 2048);
+  s.record(MessageKind::kObjectShip, 2048);
+  s.record(MessageKind::kObjectRequest, 64);
+  EXPECT_EQ(s.messages(MessageKind::kObjectShip), 2u);
+  EXPECT_EQ(s.bytes(MessageKind::kObjectShip), 4096u);
+  EXPECT_EQ(s.messages(MessageKind::kObjectRequest), 1u);
+  EXPECT_EQ(s.total_messages(), 3u);
+  EXPECT_EQ(s.total_bytes(), 4096u + 64u);
+}
+
+TEST(MessageStats, ResetClears) {
+  MessageStats s;
+  s.record(MessageKind::kControl, 10);
+  s.reset();
+  EXPECT_EQ(s.total_messages(), 0u);
+  EXPECT_EQ(s.total_bytes(), 0u);
+}
+
+TEST(MessageKindNames, AllDistinctAndNamed) {
+  for (std::size_t k = 0; k < kMessageKindCount; ++k) {
+    const auto name = to_string(static_cast<MessageKind>(k));
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "Unknown");
+  }
+}
+
+TEST(Network, DeliveryTimeIncludesTransmissionAndLatency) {
+  sim::Simulator sim;
+  Network net(sim, fast_config());
+  bool delivered = false;
+  const auto at = net.send(1, kServerSite, MessageKind::kControl, 936,
+                           [&] { delivered = true; });
+  // (936 + 64 header) * 8 bits / 10 Mbps = 0.8 ms, + 1 ms fixed latency.
+  EXPECT_NEAR(at, 0.0018, 1e-9);
+  sim.run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(Network, SharedWireSerializesTransmissions) {
+  sim::Simulator sim;
+  Network net(sim, fast_config());
+  std::vector<double> deliveries;
+  for (int i = 0; i < 3; ++i) {
+    net.send(1, kServerSite, MessageKind::kControl, 936, [] {});
+  }
+  // Each frame occupies the wire 0.8 ms; the third completes transmission
+  // at 2.4 ms + 1 ms latency.
+  const auto last = net.send(2, kServerSite, MessageKind::kControl, 936, [] {});
+  EXPECT_NEAR(last, 4 * 0.0008 + 0.001, 1e-9);
+}
+
+TEST(Network, LoopbackIsFreeAndUncounted) {
+  sim::Simulator sim;
+  Network net(sim, fast_config());
+  bool delivered = false;
+  net.send(3, 3, MessageKind::kObjectShip, [&] { delivered = true; });
+  sim.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(net.stats().total_messages(), 0u);
+}
+
+TEST(Network, ClientToClientRoutesViaDirectory) {
+  sim::Simulator sim;
+  Network net(sim, fast_config());
+  const auto direct =
+      net.send(1, kServerSite, MessageKind::kControl, 936, [] {});
+  sim::Simulator sim2;
+  Network net2(sim2, fast_config());
+  const auto relayed = net2.send(1, 2, MessageKind::kControl, 936, [] {});
+  // Two wire occupancies + the directory forwarding delay.
+  EXPECT_GT(relayed, direct + 0.0008);
+}
+
+TEST(Network, CountsByKind) {
+  sim::Simulator sim;
+  Network net(sim, fast_config());
+  net.send(1, kServerSite, MessageKind::kObjectRequest, [] {});
+  net.send(kServerSite, 1, MessageKind::kObjectShip, [] {});
+  net.send(kServerSite, 1, MessageKind::kObjectShip, [] {});
+  EXPECT_EQ(net.stats().messages(MessageKind::kObjectRequest), 1u);
+  EXPECT_EQ(net.stats().messages(MessageKind::kObjectShip), 2u);
+}
+
+TEST(Network, DefaultSizesVaryByKind) {
+  sim::Simulator sim;
+  Network net(sim, fast_config());
+  net.send(kServerSite, 1, MessageKind::kObjectShip, [] {});
+  net.send(1, kServerSite, MessageKind::kObjectRequest, [] {});
+  const auto ship_bytes = net.stats().bytes(MessageKind::kObjectShip);
+  const auto req_bytes = net.stats().bytes(MessageKind::kObjectRequest);
+  EXPECT_GT(ship_bytes, req_bytes);  // a 2 KB object vs a small request
+}
+
+TEST(Network, SendBatchCountsEachFrameDeliversOnce) {
+  sim::Simulator sim;
+  Network net(sim, fast_config());
+  int deliveries = 0;
+  net.send_batch(1, kServerSite, MessageKind::kObjectRequest, 5,
+                 [&] { ++deliveries; });
+  sim.run();
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_EQ(net.stats().messages(MessageKind::kObjectRequest), 5u);
+}
+
+TEST(Network, SendBatchZeroBehavesAsOne) {
+  sim::Simulator sim;
+  Network net(sim, fast_config());
+  int deliveries = 0;
+  net.send_batch(1, kServerSite, MessageKind::kControl, 0,
+                 [&] { ++deliveries; });
+  sim.run();
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_EQ(net.stats().messages(MessageKind::kControl), 1u);
+}
+
+TEST(Network, UtilizationGrowsWithTraffic) {
+  sim::Simulator sim;
+  Network net(sim, fast_config());
+  for (int i = 0; i < 100; ++i) {
+    net.send(1, kServerSite, MessageKind::kObjectShip, [] {});
+  }
+  sim.run_until(1.0);
+  EXPECT_GT(net.utilization(), 0.1);
+  EXPECT_LE(net.utilization(), 1.0);
+}
+
+TEST(Network, ResetStatsClearsCountersKeepsInFlight) {
+  sim::Simulator sim;
+  Network net(sim, fast_config());
+  bool delivered = false;
+  net.send(1, kServerSite, MessageKind::kControl, [&] { delivered = true; });
+  net.reset_stats();
+  EXPECT_EQ(net.stats().total_messages(), 0u);
+  sim.run();
+  EXPECT_TRUE(delivered);  // in-flight delivery still happens
+}
+
+TEST(Network, MessagesDeliverInSendOrderBetweenSamePair) {
+  sim::Simulator sim;
+  Network net(sim, fast_config());
+  std::vector<int> order;
+  net.send(1, kServerSite, MessageKind::kControl, [&] { order.push_back(1); });
+  net.send(1, kServerSite, MessageKind::kControl, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace rtdb::net

@@ -1,0 +1,161 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rtdb::sim {
+namespace {
+
+TEST(Counter, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(5);
+  EXPECT_EQ(c.value(), 6u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MeanAccumulator, EmptyIsZero) {
+  MeanAccumulator m;
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+}
+
+TEST(MeanAccumulator, SingleValue) {
+  MeanAccumulator m;
+  m.add(4.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(m.min(), 4.0);
+  EXPECT_DOUBLE_EQ(m.max(), 4.0);
+}
+
+TEST(MeanAccumulator, KnownMeanAndVariance) {
+  MeanAccumulator m;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) m.add(x);
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(m.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(m.min(), 2.0);
+  EXPECT_DOUBLE_EQ(m.max(), 9.0);
+  EXPECT_DOUBLE_EQ(m.sum(), 40.0);
+}
+
+TEST(MeanAccumulator, NumericallyStableForLargeOffset) {
+  MeanAccumulator m;
+  const double offset = 1e9;
+  for (double x : {offset + 1, offset + 2, offset + 3}) m.add(x);
+  EXPECT_NEAR(m.mean(), offset + 2, 1e-3);
+  EXPECT_NEAR(m.variance(), 2.0 / 3.0, 1e-3);
+}
+
+TEST(MeanAccumulator, MergeMatchesCombinedStream) {
+  MeanAccumulator a, b, all;
+  for (int i = 0; i < 10; ++i) {
+    a.add(i);
+    all.add(i);
+  }
+  for (int i = 50; i < 70; ++i) {
+    b.add(i);
+    all.add(i);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(MeanAccumulator, MergeWithEmptySides) {
+  MeanAccumulator a, empty;
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  MeanAccumulator b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(SampleStats, QuantilesExact) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.median(), 50.0, 1.0);
+  EXPECT_NEAR(s.quantile(0.95), 95.0, 1.0);
+}
+
+TEST(SampleStats, QuantileOnEmptyIsZero) {
+  SampleStats s;
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(SampleStats, AddAfterQuantileStillCorrect) {
+  SampleStats s;
+  s.add(5.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);  // index 0.5*(n-1)+0.5 rounds up
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  s.add(0.5);
+  s.add(20.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+}
+
+TEST(SampleStats, TracksMoments) {
+  SampleStats s;
+  for (double x : {1.0, 2.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(SampleStats, ResetClearsEverything) {
+  SampleStats s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(TimeWeighted, ConstantSignal) {
+  TimeWeighted tw(3.0);
+  EXPECT_DOUBLE_EQ(tw.average(10.0), 3.0);
+}
+
+TEST(TimeWeighted, StepSignal) {
+  TimeWeighted tw(0.0);
+  tw.set(10.0, 5.0);  // 0 for [0,5), 10 for [5,10)
+  EXPECT_DOUBLE_EQ(tw.average(10.0), 5.0);
+}
+
+TEST(TimeWeighted, AddDeltaTracksQueueLength) {
+  TimeWeighted tw(0.0);
+  tw.add(1, 0.0);   // 1 in [0,2)
+  tw.add(1, 2.0);   // 2 in [2,4)
+  tw.add(-2, 4.0);  // 0 in [4,8)
+  EXPECT_DOUBLE_EQ(tw.average(8.0), (1 * 2 + 2 * 2 + 0 * 4) / 8.0);
+  EXPECT_DOUBLE_EQ(tw.current(), 0.0);
+}
+
+TEST(TimeWeighted, ResetWindowRestartsAveraging) {
+  TimeWeighted tw(0.0);
+  tw.set(100.0, 0.0);
+  tw.reset_window(10.0);
+  EXPECT_DOUBLE_EQ(tw.average(20.0), 100.0);
+}
+
+TEST(TimeWeighted, AverageAtWindowStartUsesCurrentValue) {
+  TimeWeighted tw(7.0, 3.0);
+  EXPECT_DOUBLE_EQ(tw.average(3.0), 7.0);
+}
+
+}  // namespace
+}  // namespace rtdb::sim

@@ -1,0 +1,94 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rtdb::sim {
+namespace {
+
+TEST(Trace, DisabledByDefault) {
+  TraceLog log;
+  EXPECT_FALSE(log.active());
+  EXPECT_FALSE(log.enabled(TraceCategory::kLock));
+}
+
+TEST(Trace, EnableIsAdditive) {
+  TraceLog log;
+  log.enable(TraceCategory::kLock);
+  EXPECT_TRUE(log.enabled(TraceCategory::kLock));
+  EXPECT_FALSE(log.enabled(TraceCategory::kCache));
+  log.enable(TraceCategory::kCache);
+  EXPECT_TRUE(log.enabled(TraceCategory::kLock));
+  EXPECT_TRUE(log.enabled(TraceCategory::kCache));
+  log.disable_all();
+  EXPECT_FALSE(log.active());
+}
+
+TEST(Trace, AllCoversEverything) {
+  TraceLog log;
+  log.enable(TraceCategory::kAll);
+  for (auto cat : {TraceCategory::kLock, TraceCategory::kCache,
+                   TraceCategory::kNet, TraceCategory::kTxn,
+                   TraceCategory::kWindow, TraceCategory::kShip,
+                   TraceCategory::kSpec}) {
+    EXPECT_TRUE(log.enabled(cat));
+  }
+}
+
+TEST(Trace, EmitRecordsInOrder) {
+  TraceLog log;
+  log.enable(TraceCategory::kAll);
+  log.emit(1.0, TraceCategory::kLock, 3, "first");
+  log.emitf(2.5, TraceCategory::kTxn, 4, "txn=%d done", 42);
+  ASSERT_EQ(log.events().size(), 2u);
+  EXPECT_DOUBLE_EQ(log.events()[0].time, 1.0);
+  EXPECT_EQ(log.events()[0].site, 3);
+  EXPECT_EQ(log.events()[0].text, "first");
+  EXPECT_EQ(log.events()[1].text, "txn=42 done");
+}
+
+TEST(Trace, RingDropsOldest) {
+  TraceLog log(3);
+  log.enable(TraceCategory::kAll);
+  for (int i = 0; i < 5; ++i) {
+    log.emitf(i, TraceCategory::kLock, 0, "e%d", i);
+  }
+  ASSERT_EQ(log.events().size(), 3u);
+  EXPECT_EQ(log.events().front().text, "e2");
+  EXPECT_EQ(log.events().back().text, "e4");
+  EXPECT_EQ(log.dropped(), 2u);
+}
+
+TEST(Trace, DumpFormatsTail) {
+  TraceLog log;
+  log.enable(TraceCategory::kAll);
+  log.emit(0.5, TraceCategory::kWindow, 7, "window open obj=9");
+  log.emit(0.7, TraceCategory::kLock, 0, "grant obj=9");
+  std::ostringstream os;
+  log.dump(os, 1);  // only the last event
+  const std::string text = os.str();
+  EXPECT_EQ(text.find("window open"), std::string::npos);
+  EXPECT_NE(text.find("grant obj=9"), std::string::npos);
+  EXPECT_NE(text.find("lock"), std::string::npos);
+}
+
+TEST(Trace, ClearResets) {
+  TraceLog log(2);
+  log.enable(TraceCategory::kAll);
+  log.emit(0, TraceCategory::kLock, 0, "a");
+  log.emit(0, TraceCategory::kLock, 0, "b");
+  log.emit(0, TraceCategory::kLock, 0, "c");
+  log.clear();
+  EXPECT_TRUE(log.events().empty());
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(Trace, CategoryNames) {
+  EXPECT_STREQ(TraceLog::name(TraceCategory::kLock), "lock");
+  EXPECT_STREQ(TraceLog::name(TraceCategory::kSpec), "spec");
+  EXPECT_STREQ(TraceLog::name(TraceCategory::kWindow), "window");
+}
+
+}  // namespace
+}  // namespace rtdb::sim

@@ -1,0 +1,201 @@
+#include "storage/client_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rtdb::storage {
+namespace {
+
+ClientCacheConfig cfg(std::size_t mem = 2, std::size_t disk = 2) {
+  ClientCacheConfig c;
+  c.memory_capacity = mem;
+  c.disk_capacity = disk;
+  c.memory_access_time = 0.0001;
+  c.disk.read_time = 0.008;
+  c.disk.write_time = 0.008;
+  return c;
+}
+
+TEST(ClientCache, InsertLandsInMemoryTier) {
+  sim::Simulator sim;
+  ClientCache cache(sim, cfg());
+  cache.insert(1);
+  EXPECT_EQ(cache.tier_of(1), CacheTier::kMemory);
+  EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(ClientCache, MemoryOverflowDemotesToDiskTier) {
+  sim::Simulator sim;
+  ClientCache cache(sim, cfg(2, 2));
+  cache.insert(1);
+  cache.insert(2);
+  cache.insert(3);  // 1 demotes to disk tier
+  EXPECT_EQ(cache.tier_of(1), CacheTier::kDisk);
+  EXPECT_EQ(cache.tier_of(2), CacheTier::kMemory);
+  EXPECT_EQ(cache.tier_of(3), CacheTier::kMemory);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(ClientCache, DemotionWritesLocalDisk) {
+  sim::Simulator sim;
+  ClientCache cache(sim, cfg(1, 2));
+  cache.insert(1);
+  cache.insert(2);
+  EXPECT_EQ(cache.disk().writes(), 1u);
+}
+
+TEST(ClientCache, FullEvictionFiresHook) {
+  sim::Simulator sim;
+  ClientCache cache(sim, cfg(1, 1));
+  std::vector<std::pair<ObjectId, bool>> evicted;
+  cache.set_eviction_hook(
+      [&](ObjectId id, bool dirty) { evicted.emplace_back(id, dirty); });
+  cache.insert(1, /*dirty=*/true);
+  cache.insert(2);
+  cache.insert(3);  // 1 falls off the disk tier, dirty
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].first, 1u);
+  EXPECT_TRUE(evicted[0].second);
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(ClientCache, AccessMemoryHitIsFast) {
+  sim::Simulator sim;
+  ClientCache cache(sim, cfg());
+  cache.insert(5);
+  double done = -1;
+  EXPECT_TRUE(cache.access(5, false, [&] { done = sim.now(); }));
+  sim.run();
+  EXPECT_DOUBLE_EQ(done, 0.0001);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(ClientCache, AccessDiskTierPromotesAndPaysRead) {
+  sim::Simulator sim;
+  ClientCache cache(sim, cfg(1, 2));
+  cache.insert(1);
+  cache.insert(2);  // 1 -> disk tier
+  double done = -1;
+  EXPECT_TRUE(cache.access(1, false, [&] { done = sim.now(); }));
+  sim.run();
+  EXPECT_GT(done, 0.0);
+  EXPECT_EQ(cache.tier_of(1), CacheTier::kMemory);
+  EXPECT_GE(cache.disk().reads(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(ClientCache, AccessMissCountsWithoutCallback) {
+  sim::Simulator sim;
+  ClientCache cache(sim, cfg());
+  bool called = false;
+  EXPECT_FALSE(cache.access(9, false, [&] { called = true; }));
+  sim.run();
+  EXPECT_FALSE(called);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ClientCache, WriteAccessDirties) {
+  sim::Simulator sim;
+  ClientCache cache(sim, cfg());
+  cache.insert(1);
+  cache.access(1, true, [] {});
+  sim.run();
+  EXPECT_TRUE(cache.is_dirty(1));
+}
+
+TEST(ClientCache, DirtySurvivesDemotion) {
+  sim::Simulator sim;
+  ClientCache cache(sim, cfg(1, 2));
+  cache.insert(1, true);
+  cache.insert(2);
+  EXPECT_EQ(cache.tier_of(1), CacheTier::kDisk);
+  EXPECT_TRUE(cache.is_dirty(1));
+  // And back up on access.
+  cache.access(1, false, [] {});
+  sim.run();
+  EXPECT_EQ(cache.tier_of(1), CacheTier::kMemory);
+  EXPECT_TRUE(cache.is_dirty(1));
+}
+
+TEST(ClientCache, DropRemovesAndReportsDirty) {
+  sim::Simulator sim;
+  ClientCache cache(sim, cfg());
+  cache.insert(1, true);
+  auto dirty = cache.drop(1);
+  ASSERT_TRUE(dirty.has_value());
+  EXPECT_TRUE(*dirty);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_FALSE(cache.drop(1).has_value());
+}
+
+TEST(ClientCache, MarkCleanClearsDirty) {
+  sim::Simulator sim;
+  ClientCache cache(sim, cfg());
+  cache.insert(1, true);
+  cache.mark_clean(1);
+  EXPECT_FALSE(cache.is_dirty(1));
+  EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(ClientCache, MarkCleanPreservesTier) {
+  sim::Simulator sim;
+  ClientCache cache(sim, cfg(1, 2));
+  cache.insert(1, true);
+  cache.insert(2);  // 1 -> disk tier
+  cache.mark_clean(1);
+  EXPECT_EQ(cache.tier_of(1), CacheTier::kDisk);
+  EXPECT_FALSE(cache.is_dirty(1));
+}
+
+TEST(ClientCache, ReinsertRefreshesWithoutDuplicating) {
+  sim::Simulator sim;
+  ClientCache cache(sim, cfg(2, 2));
+  cache.insert(1);
+  cache.insert(1, true);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.is_dirty(1));
+}
+
+TEST(ClientCache, HitRateAggregatesTiers) {
+  sim::Simulator sim;
+  ClientCache cache(sim, cfg(1, 1));
+  cache.insert(1);
+  cache.insert(2);          // 1 -> disk tier
+  cache.access(2, false, [] {});  // memory hit
+  cache.access(1, false, [] {});  // disk-tier hit
+  cache.access(9, false, [] {});  // miss
+  sim.run();
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_NEAR(cache.hit_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ClientCache, ResetStatsKeepsContents) {
+  sim::Simulator sim;
+  ClientCache cache(sim, cfg());
+  cache.insert(1);
+  cache.access(1, false, [] {});
+  sim.run();
+  cache.reset_stats();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(ClientCache, PaperCapacities) {
+  // Table 1: 500 memory + 500 disk objects; the 1000th insert must not
+  // evict, the 1001st must.
+  sim::Simulator sim;
+  ClientCacheConfig c;
+  int evictions = 0;
+  ClientCache cache(sim, c);
+  cache.set_eviction_hook([&](ObjectId, bool) { ++evictions; });
+  for (ObjectId i = 0; i < 1000; ++i) cache.insert(i);
+  EXPECT_EQ(evictions, 0);
+  EXPECT_EQ(cache.size(), 1000u);
+  cache.insert(1000);
+  EXPECT_EQ(evictions, 1);
+}
+
+}  // namespace
+}  // namespace rtdb::storage

@@ -1,0 +1,111 @@
+#include "storage/paged_file.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtdb::storage {
+namespace {
+
+PagedFileConfig small_cfg(std::size_t cap = 2) {
+  PagedFileConfig c;
+  c.buffer_capacity = cap;
+  c.memory_access_time = 0.0001;
+  c.disk.read_time = 0.008;
+  c.disk.write_time = 0.008;
+  return c;
+}
+
+TEST(PagedFile, MissReadsFromDisk) {
+  sim::Simulator sim;
+  PagedFile pf(sim, small_cfg());
+  double done = -1;
+  pf.access(1, false, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done, 0.008);
+  EXPECT_EQ(pf.disk().reads(), 1u);
+}
+
+TEST(PagedFile, HitServedAtMemorySpeed) {
+  sim::Simulator sim;
+  PagedFile pf(sim, small_cfg());
+  pf.preload(1);
+  double done = -1;
+  pf.access(1, false, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done, 0.0001);
+  EXPECT_EQ(pf.disk().reads(), 0u);
+  EXPECT_EQ(pf.buffer().hits(), 1u);
+}
+
+TEST(PagedFile, WriteAccessDirtiesPage) {
+  sim::Simulator sim;
+  PagedFile pf(sim, small_cfg());
+  pf.preload(1);
+  pf.access(1, true, [] {});
+  sim.run();
+  EXPECT_TRUE(pf.buffer().is_dirty(1));
+}
+
+TEST(PagedFile, DirtyEvictionQueuesWriteBack) {
+  sim::Simulator sim;
+  PagedFile pf(sim, small_cfg(1));
+  pf.access(1, true, [] {});   // miss, becomes dirty resident
+  sim.run();
+  pf.access(2, false, [] {});  // evicts dirty page 1 -> write-back + read
+  sim.run();
+  EXPECT_EQ(pf.disk().writes(), 1u);
+  EXPECT_EQ(pf.disk().reads(), 2u);
+}
+
+TEST(PagedFile, CleanEvictionSkipsWriteBack) {
+  sim::Simulator sim;
+  PagedFile pf(sim, small_cfg(1));
+  pf.access(1, false, [] {});
+  sim.run();
+  pf.access(2, false, [] {});
+  sim.run();
+  EXPECT_EQ(pf.disk().writes(), 0u);
+}
+
+TEST(PagedFile, WriteBackDelaysSubsequentRead) {
+  sim::Simulator sim;
+  PagedFile pf(sim, small_cfg(1));
+  pf.access(1, true, [] {});
+  sim.run();
+  double done = -1;
+  pf.access(2, false, [&] { done = sim.now(); });
+  sim.run();
+  // Write-back of page 1 (8 ms) occupies the disk before the read of 2.
+  EXPECT_DOUBLE_EQ(done, 0.008 + 0.008 + 0.008);
+}
+
+TEST(PagedFile, InstallPlacesPageWithoutRead) {
+  sim::Simulator sim;
+  PagedFile pf(sim, small_cfg());
+  pf.install(7, /*dirty=*/true);
+  EXPECT_TRUE(pf.buffer().contains(7));
+  EXPECT_TRUE(pf.buffer().is_dirty(7));
+  EXPECT_EQ(pf.disk().reads(), 0u);
+}
+
+TEST(PagedFile, InstallEvictionWritesBackDirtyVictim) {
+  sim::Simulator sim;
+  PagedFile pf(sim, small_cfg(1));
+  pf.install(1, true);
+  pf.install(2, false);
+  EXPECT_EQ(pf.disk().writes(), 1u);
+  EXPECT_FALSE(pf.buffer().contains(1));
+  EXPECT_TRUE(pf.buffer().contains(2));
+}
+
+TEST(PagedFile, ResetStatsClearsCounters) {
+  sim::Simulator sim;
+  PagedFile pf(sim, small_cfg());
+  pf.access(1, false, [] {});
+  sim.run();
+  pf.reset_stats();
+  EXPECT_EQ(pf.disk().reads(), 0u);
+  EXPECT_EQ(pf.buffer().hits() + pf.buffer().misses(), 0u);
+}
+
+}  // namespace
+}  // namespace rtdb::storage

@@ -1,0 +1,110 @@
+#include "txn/edf_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace rtdb::txn {
+namespace {
+
+TEST(EdfQueue, PopsEarliestDeadlineFirst) {
+  EdfQueue<int> q;
+  q.push(3, 30);
+  q.push(1, 10);
+  q.push(2, 20);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(EdfQueue, TiesServeInInsertionOrder) {
+  EdfQueue<int> q;
+  q.push(1, 10);
+  q.push(2, 10);
+  q.push(3, 10);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);
+}
+
+TEST(EdfQueue, PopReadyDropsExpired) {
+  EdfQueue<int> q;
+  q.push(1, 10);
+  q.push(2, 20);
+  std::vector<int> expired;
+  auto got = q.pop_ready(15.0, &expired);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 2);
+  EXPECT_EQ(expired, (std::vector<int>{1}));
+}
+
+TEST(EdfQueue, PopReadyAtExactDeadlineServes) {
+  EdfQueue<int> q;
+  q.push(1, 10);
+  EXPECT_EQ(q.pop_ready(10.0).value(), 1);
+}
+
+TEST(EdfQueue, PopReadyEmptiesWhenAllExpired) {
+  EdfQueue<int> q;
+  q.push(1, 1);
+  q.push(2, 2);
+  std::vector<int> expired;
+  EXPECT_FALSE(q.pop_ready(100.0, &expired).has_value());
+  EXPECT_EQ(expired.size(), 2u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EdfQueue, NextDeadline) {
+  EdfQueue<int> q;
+  EXPECT_EQ(q.next_deadline(), sim::kTimeInfinity);
+  q.push(1, 42);
+  q.push(2, 7);
+  EXPECT_DOUBLE_EQ(q.next_deadline(), 7.0);
+}
+
+TEST(EdfQueue, RemoveIfExtractsMatching) {
+  EdfQueue<std::string> q;
+  q.push("a", 1);
+  q.push("b", 2);
+  q.push("c", 3);
+  auto removed = q.remove_if([](const std::string& s) { return s == "b"; });
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(*removed, "b");
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_FALSE(
+      q.remove_if([](const std::string& s) { return s == "zz"; }).has_value());
+}
+
+TEST(EdfQueue, CountAheadOfImplementsH1sN) {
+  EdfQueue<int> q;
+  q.push(1, 10);
+  q.push(2, 20);
+  q.push(3, 30);
+  EXPECT_EQ(q.count_ahead_of(5), 0u);
+  EXPECT_EQ(q.count_ahead_of(15), 1u);
+  EXPECT_EQ(q.count_ahead_of(25), 2u);
+  EXPECT_EQ(q.count_ahead_of(35), 3u);
+  // Ties count as "before" (they'd be served first, insertion order).
+  EXPECT_EQ(q.count_ahead_of(20), 2u);
+}
+
+TEST(EdfQueue, ClearEmpties) {
+  EdfQueue<int> q;
+  q.push(1, 1);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EdfQueue, MoveOnlyPayloadWorks) {
+  EdfQueue<std::unique_ptr<int>> q;
+  q.push(std::make_unique<int>(5), 1);
+  auto p = q.pop();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(**p, 5);
+}
+
+}  // namespace
+}  // namespace rtdb::txn

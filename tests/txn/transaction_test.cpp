@@ -1,0 +1,83 @@
+#include "txn/transaction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtdb::txn {
+namespace {
+
+Transaction make(std::vector<Operation> ops) {
+  Transaction t;
+  t.id = 1;
+  t.origin = 2;
+  t.arrival = 0;
+  t.deadline = 20;
+  t.length = 10;
+  t.ops = std::move(ops);
+  return t;
+}
+
+TEST(Transaction, OperationModeByUpdateFlag) {
+  Operation read{7, false};
+  Operation write{7, true};
+  EXPECT_EQ(read.mode(), lock::LockMode::kShared);
+  EXPECT_EQ(write.mode(), lock::LockMode::kExclusive);
+}
+
+TEST(Transaction, IsUpdateDetectsAnyWrite) {
+  EXPECT_FALSE(make({{1, false}, {2, false}}).is_update());
+  EXPECT_TRUE(make({{1, false}, {2, true}}).is_update());
+  EXPECT_FALSE(make({}).is_update());
+}
+
+TEST(Transaction, MissedAndSlack) {
+  const auto t = make({{1, false}});
+  EXPECT_FALSE(t.missed(20.0));  // exactly at deadline: still ok
+  EXPECT_TRUE(t.missed(20.01));
+  EXPECT_DOUBLE_EQ(t.slack(5.0), 15.0);
+  EXPECT_LT(t.slack(25.0), 0.0);
+}
+
+TEST(Transaction, LockNeedsDeduplicates) {
+  const auto t = make({{1, false}, {1, false}, {2, false}});
+  const auto needs = t.lock_needs();
+  ASSERT_EQ(needs.size(), 2u);
+  EXPECT_EQ(needs[0].first, 1u);
+  EXPECT_EQ(needs[1].first, 2u);
+}
+
+TEST(Transaction, LockNeedsKeepStrongerMode) {
+  const auto t = make({{1, false}, {1, true}, {2, true}, {2, false}});
+  const auto needs = t.lock_needs();
+  ASSERT_EQ(needs.size(), 2u);
+  EXPECT_EQ(needs[0].second, lock::LockMode::kExclusive);
+  EXPECT_EQ(needs[1].second, lock::LockMode::kExclusive);
+}
+
+TEST(Transaction, LockNeedsSortedByObject) {
+  const auto t = make({{9, false}, {3, false}, {7, true}});
+  const auto needs = t.lock_needs();
+  ASSERT_EQ(needs.size(), 3u);
+  EXPECT_EQ(needs[0].first, 3u);
+  EXPECT_EQ(needs[1].first, 7u);
+  EXPECT_EQ(needs[2].first, 9u);
+}
+
+TEST(Transaction, StateLiveness) {
+  EXPECT_TRUE(is_live(TxnState::kPending));
+  EXPECT_TRUE(is_live(TxnState::kAcquiring));
+  EXPECT_TRUE(is_live(TxnState::kReady));
+  EXPECT_TRUE(is_live(TxnState::kExecuting));
+  EXPECT_FALSE(is_live(TxnState::kCommitted));
+  EXPECT_FALSE(is_live(TxnState::kMissed));
+  EXPECT_FALSE(is_live(TxnState::kAborted));
+}
+
+TEST(Transaction, StateNamesDistinct) {
+  EXPECT_EQ(to_string(TxnState::kPending), "pending");
+  EXPECT_EQ(to_string(TxnState::kCommitted), "committed");
+  EXPECT_EQ(to_string(TxnState::kMissed), "missed");
+  EXPECT_EQ(to_string(TxnState::kAborted), "aborted");
+}
+
+}  // namespace
+}  // namespace rtdb::txn

@@ -1,0 +1,172 @@
+#include "workload/access_pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rtdb::workload {
+namespace {
+
+TEST(UniformPattern, RejectsEmptyDb) {
+  EXPECT_THROW(UniformPattern(0), std::invalid_argument);
+}
+
+TEST(UniformPattern, SamplesWholeRange) {
+  UniformPattern p(100);
+  sim::Rng rng(1);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[p.sample(0, rng)];
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(LocalizedRw, ValidatesArguments) {
+  EXPECT_THROW(LocalizedRwPattern(100, 0, 10, 0.75, 0.86),
+               std::invalid_argument);
+  EXPECT_THROW(LocalizedRwPattern(100, 10, 0, 0.75, 0.86),
+               std::invalid_argument);
+  EXPECT_THROW(LocalizedRwPattern(100, 10, 11, 0.75, 0.86),  // regions > db
+               std::invalid_argument);
+  EXPECT_THROW(LocalizedRwPattern(100, 10, 10, 1.5, 0.86),
+               std::invalid_argument);
+}
+
+TEST(LocalizedRw, RegionsCarvedFromTopAndDisjoint) {
+  LocalizedRwPattern p(1000, 4, 100, 0.75, 0.86);
+  // Client 0 owns [900,1000), client 1 [800,900), ...
+  EXPECT_EQ(p.region_first(0), 900u);
+  EXPECT_EQ(p.region_first(1), 800u);
+  EXPECT_EQ(p.region_first(3), 600u);
+  EXPECT_TRUE(p.in_region(0, 950));
+  EXPECT_FALSE(p.in_region(0, 899));
+  EXPECT_FALSE(p.in_region(1, 950));
+}
+
+TEST(LocalizedRw, LocalityFractionRespected) {
+  LocalizedRwPattern p(10000, 10, 500, 0.75, 0.86);
+  sim::Rng rng(7);
+  int in_region = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (p.in_region(3, p.sample(3, rng))) ++in_region;
+  }
+  EXPECT_NEAR(static_cast<double>(in_region) / n, 0.75, 0.01);
+}
+
+TEST(LocalizedRw, RemainderNeverHitsOwnRegionViaZipf) {
+  // With locality 0: every access uses the Zipf remainder, which must skip
+  // the client's own region entirely.
+  LocalizedRwPattern p(1000, 4, 100, 0.0, 0.86);
+  sim::Rng rng(11);
+  for (int i = 0; i < 50000; ++i) {
+    EXPECT_FALSE(p.in_region(2, p.sample(2, rng)));
+  }
+}
+
+TEST(LocalizedRw, SamplesAlwaysInDatabase) {
+  LocalizedRwPattern p(500, 5, 50, 0.75, 1.2);
+  sim::Rng rng(13);
+  for (int i = 0; i < 50000; ++i) {
+    EXPECT_LT(p.sample(4, rng), 500u);
+  }
+}
+
+TEST(LocalizedRw, SharedHotHeadIsObjectZero) {
+  // The Zipf remainder maps rank 0 to object 0 for every client whose
+  // region sits at the top of the id space.
+  LocalizedRwPattern p(10000, 10, 100, 0.0, 1.2);
+  sim::Rng rng(17);
+  std::vector<std::uint64_t> counts(10000, 0);
+  for (int i = 0; i < 200000; ++i) ++counts[p.sample(0, rng)];
+  const auto hottest =
+      std::max_element(counts.begin(), counts.end()) - counts.begin();
+  EXPECT_EQ(hottest, 0);
+}
+
+TEST(LocalizedRw, CrossClientSharingOfHotObjects) {
+  // Different clients must overlap on the hot remainder (the source of
+  // lock contention in the paper's workload).
+  LocalizedRwPattern p(10000, 20, 100, 0.0, 0.86);
+  sim::Rng rng(19);
+  std::vector<bool> hit_by_0(10000, false), hit_by_7(10000, false);
+  for (int i = 0; i < 50000; ++i) {
+    hit_by_0[p.sample(0, rng)] = true;
+    hit_by_7[p.sample(7, rng)] = true;
+  }
+  int shared = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (hit_by_0[i] && hit_by_7[i]) ++shared;
+  }
+  EXPECT_GT(shared, 100);
+}
+
+TEST(LocalizedRw, UniformWithinOwnRegion) {
+  LocalizedRwPattern p(1000, 2, 200, 1.0, 0.86);
+  sim::Rng rng(23);
+  std::vector<int> counts(200, 0);
+  for (int i = 0; i < 200000; ++i) {
+    const ObjectId id = p.sample(0, rng);
+    ASSERT_TRUE(p.in_region(0, id));
+    ++counts[id - p.region_first(0)];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 1000, 200);
+}
+
+TEST(HotCold, ValidatesArguments) {
+  EXPECT_THROW(HotColdPattern(1, 0.2, 0.8), std::invalid_argument);
+  EXPECT_THROW(HotColdPattern(100, 0.0, 0.8), std::invalid_argument);
+  EXPECT_THROW(HotColdPattern(100, 1.0, 0.8), std::invalid_argument);
+  EXPECT_THROW(HotColdPattern(100, 0.2, 1.5), std::invalid_argument);
+}
+
+TEST(HotCold, EightyTwentyRule) {
+  HotColdPattern p(1000, 0.2, 0.8);
+  EXPECT_EQ(p.hot_count(), 200u);
+  sim::Rng rng(31);
+  int hot = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (p.sample(0, rng) < 200u) ++hot;
+  }
+  EXPECT_NEAR(static_cast<double>(hot) / n, 0.8, 0.01);
+}
+
+TEST(HotCold, AllClientsShareTheHotSet) {
+  HotColdPattern p(1000, 0.1, 0.9);
+  sim::Rng rng(37);
+  // Two different clients both concentrate on the same leading ids.
+  int hot0 = 0, hot7 = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (p.sample(0, rng) < p.hot_count()) ++hot0;
+    if (p.sample(7, rng) < p.hot_count()) ++hot7;
+  }
+  EXPECT_GT(hot0, 17000);
+  EXPECT_GT(hot7, 17000);
+}
+
+TEST(HotCold, ColdAccessesCoverTheRemainder) {
+  HotColdPattern p(50, 0.2, 0.0);  // every access cold
+  sim::Rng rng(41);
+  std::vector<bool> seen(50, false);
+  for (int i = 0; i < 20000; ++i) {
+    const ObjectId id = p.sample(0, rng);
+    ASSERT_GE(id, p.hot_count());
+    ASSERT_LT(id, 50u);
+    seen[id] = true;
+  }
+  for (std::size_t i = p.hot_count(); i < 50; ++i) {
+    EXPECT_TRUE(seen[i]) << i;
+  }
+}
+
+TEST(HotCold, DegenerateHotFractionClamped) {
+  // Tiny databases: hot count clamps into [1, db-1].
+  HotColdPattern p(2, 0.01, 0.5);
+  EXPECT_EQ(p.hot_count(), 1u);
+  sim::Rng rng(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(p.sample(0, rng), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace rtdb::workload

@@ -1,0 +1,188 @@
+#include "workload/generator.hpp"
+
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtdb::workload {
+namespace {
+
+TEST(Poisson, MeanMatches) {
+  sim::Rng rng(1);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(sample_poisson(rng, 10.0));
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Poisson, VarianceMatchesMean) {
+  sim::Rng rng(2);
+  sim::MeanAccumulator acc;
+  for (int i = 0; i < 50000; ++i) {
+    acc.add(static_cast<double>(sample_poisson(rng, 10.0)));
+  }
+  EXPECT_NEAR(acc.variance(), 10.0, 0.4);
+}
+
+TEST(Poisson, SmallMeanMostlyZeroOrOne) {
+  sim::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(sample_poisson(rng, 0.01), 3u);
+  }
+}
+
+TEST(WorkloadSuite, BuildsRequestedClients) {
+  WorkloadConfig cfg;
+  WorkloadSuite suite(cfg, 20, 42);
+  EXPECT_EQ(suite.num_clients(), 20u);
+  EXPECT_EQ(suite.client(0).site(), kFirstClientSite);
+  EXPECT_EQ(suite.client(19).site(), kFirstClientSite + 19);
+}
+
+TEST(WorkloadSuite, DisjointAutoRegionSizeDividesDb) {
+  WorkloadConfig cfg;  // db 10,000
+  cfg.region_placement = RegionPlacement::kDisjoint;
+  WorkloadSuite suite(cfg, 20, 42);
+  EXPECT_EQ(suite.effective_region_size(), 500u);
+  WorkloadSuite suite100(cfg, 100, 42);
+  EXPECT_EQ(suite100.effective_region_size(), 100u);
+}
+
+TEST(WorkloadSuite, DisjointExplicitRegionSizeClamped) {
+  WorkloadConfig cfg;
+  cfg.region_placement = RegionPlacement::kDisjoint;
+  cfg.region_size = 5000;  // 100 clients x 5000 would overflow the db
+  WorkloadSuite suite(cfg, 100, 42);
+  EXPECT_LE(suite.effective_region_size() * 100, cfg.db_size);
+}
+
+TEST(WorkloadSuite, OverlapKeepsFixedRegionSize) {
+  WorkloadConfig cfg;  // default kRandomOverlap
+  WorkloadSuite suite20(cfg, 20, 42);
+  WorkloadSuite suite100(cfg, 100, 42);
+  EXPECT_EQ(suite20.effective_region_size(), 500u);
+  EXPECT_EQ(suite100.effective_region_size(), 500u);
+}
+
+TEST(WorkloadSuite, OverlappingRegionsShareObjects) {
+  // 100 clients x 500 objects over a 10,000-object database must overlap:
+  // some object lies in at least two clients' regions.
+  WorkloadConfig cfg;
+  WorkloadSuite suite(cfg, 100, 42);
+  const auto& p = dynamic_cast<const LocalizedRwPattern&>(suite.pattern());
+  bool found_shared = false;
+  for (ObjectId obj = 0; obj < 10000 && !found_shared; obj += 37) {
+    int owners = 0;
+    for (std::size_t c = 0; c < 100; ++c) {
+      if (p.in_region(c, obj)) ++owners;
+    }
+    found_shared = owners >= 2;
+  }
+  EXPECT_TRUE(found_shared);
+}
+
+TEST(WorkloadSuite, RegionLayoutDeterministicPerSeed) {
+  WorkloadConfig cfg;
+  WorkloadSuite a(cfg, 10, 5), b(cfg, 10, 5), c(cfg, 10, 6);
+  const auto& pa = dynamic_cast<const LocalizedRwPattern&>(a.pattern());
+  const auto& pb = dynamic_cast<const LocalizedRwPattern&>(b.pattern());
+  const auto& pc = dynamic_cast<const LocalizedRwPattern&>(c.pattern());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(pa.region_first(i), pb.region_first(i));
+    any_diff = any_diff || pa.region_first(i) != pc.region_first(i);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(WorkloadSuite, DeterministicForSeed) {
+  WorkloadConfig cfg;
+  WorkloadSuite a(cfg, 5, 7), b(cfg, 5, 7);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.client(2).next_interarrival(),
+                     b.client(2).next_interarrival());
+    auto ta = a.client(2).make_transaction(1, 0);
+    auto tb = b.client(2).make_transaction(1, 0);
+    EXPECT_DOUBLE_EQ(ta.length, tb.length);
+    EXPECT_DOUBLE_EQ(ta.deadline, tb.deadline);
+    ASSERT_EQ(ta.ops.size(), tb.ops.size());
+    for (std::size_t k = 0; k < ta.ops.size(); ++k) {
+      EXPECT_EQ(ta.ops[k], tb.ops[k]);
+    }
+  }
+}
+
+TEST(WorkloadSuite, ClientsHaveIndependentStreams) {
+  WorkloadConfig cfg;
+  WorkloadSuite suite(cfg, 2, 7);
+  auto t0 = suite.client(0).make_transaction(1, 0);
+  auto t1 = suite.client(1).make_transaction(2, 0);
+  EXPECT_NE(t0.length, t1.length);
+}
+
+TEST(ClientWorkload, InterarrivalMeanTenSeconds) {
+  WorkloadConfig cfg;
+  WorkloadSuite suite(cfg, 1, 11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += suite.client(0).next_interarrival();
+  EXPECT_NEAR(sum / n, 10.0, 0.3);
+}
+
+TEST(ClientWorkload, TransactionFieldsFollowTable1) {
+  WorkloadConfig cfg;
+  cfg.update_fraction = 0.05;
+  WorkloadSuite suite(cfg, 4, 13);
+  sim::MeanAccumulator length, deadline_slack, nops;
+  std::uint64_t updates = 0, accesses = 0, decomposable = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    auto t = suite.client(i % 4).make_transaction(
+        static_cast<TxnId>(i + 1), 100.0);
+    EXPECT_EQ(t.arrival, 100.0);
+    EXPECT_GT(t.deadline, t.arrival + t.length);
+    EXPECT_GE(t.ops.size(), 1u);
+    length.add(t.length);
+    deadline_slack.add(t.deadline - t.arrival);
+    nops.add(static_cast<double>(t.ops.size()));
+    for (const auto& op : t.ops) {
+      ++accesses;
+      if (op.is_update) ++updates;
+    }
+    if (t.decomposable) ++decomposable;
+  }
+  EXPECT_NEAR(length.mean(), 10.0, 0.3);          // exp(10)
+  EXPECT_NEAR(deadline_slack.mean(), 20.0, 0.5);  // length + exp(10)
+  EXPECT_NEAR(nops.mean(), 10.0, 0.2);            // Poisson(10)
+  EXPECT_NEAR(static_cast<double>(updates) / static_cast<double>(accesses),
+              0.05, 0.005);
+  EXPECT_NEAR(static_cast<double>(decomposable) / n, 0.10, 0.01);
+}
+
+TEST(ClientWorkload, ObjectsComeFromClientsPattern) {
+  WorkloadConfig cfg;
+  WorkloadSuite suite(cfg, 10, 17);
+  const auto& pattern =
+      dynamic_cast<const LocalizedRwPattern&>(suite.pattern());
+  int in_region = 0, total = 0;
+  for (int i = 0; i < 2000; ++i) {
+    auto t = suite.client(3).make_transaction(static_cast<TxnId>(i + 1), 0);
+    for (const auto& op : t.ops) {
+      ++total;
+      if (pattern.in_region(3, op.object)) ++in_region;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(in_region) / total, 0.75, 0.03);
+}
+
+TEST(ClientWorkload, OriginMatchesSite) {
+  WorkloadConfig cfg;
+  WorkloadSuite suite(cfg, 3, 19);
+  auto t = suite.client(2).make_transaction(9, 5.0);
+  EXPECT_EQ(t.origin, suite.client(2).site());
+  EXPECT_EQ(t.id, 9u);
+  EXPECT_EQ(t.state, txn::TxnState::kPending);
+}
+
+}  // namespace
+}  // namespace rtdb::workload

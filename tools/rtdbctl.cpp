@@ -1,0 +1,216 @@
+/// \file rtdbctl.cpp
+/// Command-line driver for custom experiments: pick a system, override any
+/// workload/cluster/technique parameter, sweep client counts, and emit
+/// either a human table or CSV (for plotting).
+///
+/// Examples:
+///   rtdbctl --system ls --clients 60 --updates 5
+///   rtdbctl --system all --sweep 10,20,40,80 --updates 20 --csv
+///   rtdbctl --system ls --clients 100 --updates 20 --no-fwd --no-dec
+///   rtdbctl --system occ --clients 60 --updates 5 --seeds 5
+///
+/// Run with --help for the full flag list.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+
+namespace {
+
+using namespace rtdb;
+
+struct Options {
+  std::vector<core::SystemKind> systems{core::SystemKind::kLoadSharing};
+  std::vector<std::size_t> clients{40};
+  double updates = 5.0;
+  std::size_t seeds = 1;
+  std::uint64_t base_seed = 42;
+  double duration = 2000;
+  double warmup = 300;
+  bool csv = false;
+  core::SystemConfig base;  // receives the technique/parameter overrides
+};
+
+void usage() {
+  std::puts(
+      "rtdbctl — run ICDCS'99 reproduction experiments\n"
+      "\n"
+      "  --system ce|cs|ls|occ|all   prototype(s) to run (default ls)\n"
+      "  --clients N                 cluster size (default 40)\n"
+      "  --sweep N1,N2,...           sweep several cluster sizes\n"
+      "  --updates P                 update percentage (default 5)\n"
+      "  --seeds K                   replications, seeds base..base+K-1\n"
+      "  --seed S                    base seed (default 42)\n"
+      "  --duration S                measured seconds (default 2000)\n"
+      "  --warmup S                  warm-up seconds (default 300)\n"
+      "  --interarrival S            mean inter-arrival per client\n"
+      "  --length S                  mean transaction length\n"
+      "  --slack S                   mean extra deadline slack\n"
+      "  --ops N                     mean objects per transaction\n"
+      "  --db N                      database size in objects\n"
+      "  --region N                  per-client region size\n"
+      "  --zipf T                    shared-remainder skew theta\n"
+      "  --window S                  lock-grouping collection window\n"
+      "  --no-h1|--no-h2|--no-dec|--no-fwd|--no-ed\n"
+      "                              disable one LS technique\n"
+      "  --cold                      disable the warm start\n"
+      "  --csv                       machine-readable output\n"
+      "  --help                      this text");
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  const auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (!std::strcmp(a, "--help")) {
+      usage();
+      std::exit(0);
+    } else if (!std::strcmp(a, "--system")) {
+      const std::string v = need(i);
+      opt.systems.clear();
+      if (v == "ce") opt.systems = {core::SystemKind::kCentralized};
+      else if (v == "cs") opt.systems = {core::SystemKind::kClientServer};
+      else if (v == "ls") opt.systems = {core::SystemKind::kLoadSharing};
+      else if (v == "occ") opt.systems = {core::SystemKind::kOptimistic};
+      else if (v == "all") {
+        opt.systems = {core::SystemKind::kCentralized,
+                       core::SystemKind::kClientServer,
+                       core::SystemKind::kLoadSharing,
+                       core::SystemKind::kOptimistic};
+      } else {
+        std::fprintf(stderr, "unknown system '%s'\n", v.c_str());
+        return false;
+      }
+    } else if (!std::strcmp(a, "--clients")) {
+      opt.clients = {static_cast<std::size_t>(std::atoll(need(i)))};
+    } else if (!std::strcmp(a, "--sweep")) {
+      opt.clients.clear();
+      std::string v = need(i);
+      for (std::size_t pos = 0; pos < v.size();) {
+        const auto comma = v.find(',', pos);
+        opt.clients.push_back(static_cast<std::size_t>(
+            std::atoll(v.substr(pos, comma - pos).c_str())));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (!std::strcmp(a, "--updates")) {
+      opt.updates = std::atof(need(i));
+    } else if (!std::strcmp(a, "--seeds")) {
+      opt.seeds = static_cast<std::size_t>(std::atoll(need(i)));
+    } else if (!std::strcmp(a, "--seed")) {
+      opt.base_seed = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (!std::strcmp(a, "--duration")) {
+      opt.duration = std::atof(need(i));
+    } else if (!std::strcmp(a, "--warmup")) {
+      opt.warmup = std::atof(need(i));
+    } else if (!std::strcmp(a, "--interarrival")) {
+      opt.base.workload.mean_interarrival = std::atof(need(i));
+    } else if (!std::strcmp(a, "--length")) {
+      opt.base.workload.mean_length = std::atof(need(i));
+    } else if (!std::strcmp(a, "--slack")) {
+      opt.base.workload.mean_slack = std::atof(need(i));
+    } else if (!std::strcmp(a, "--ops")) {
+      opt.base.workload.mean_ops = std::atof(need(i));
+    } else if (!std::strcmp(a, "--db")) {
+      opt.base.workload.db_size =
+          static_cast<std::size_t>(std::atoll(need(i)));
+    } else if (!std::strcmp(a, "--region")) {
+      opt.base.workload.region_size =
+          static_cast<std::size_t>(std::atoll(need(i)));
+    } else if (!std::strcmp(a, "--zipf")) {
+      opt.base.workload.zipf_theta = std::atof(need(i));
+    } else if (!std::strcmp(a, "--window")) {
+      opt.base.ls.collection_window = std::atof(need(i));
+    } else if (!std::strcmp(a, "--no-h1")) {
+      opt.base.ls.enable_h1 = false;
+    } else if (!std::strcmp(a, "--no-h2")) {
+      opt.base.ls.enable_h2 = false;
+    } else if (!std::strcmp(a, "--no-dec")) {
+      opt.base.ls.enable_decomposition = false;
+    } else if (!std::strcmp(a, "--no-fwd")) {
+      opt.base.ls.enable_forward_lists = false;
+    } else if (!std::strcmp(a, "--no-ed")) {
+      opt.base.ls.ed_request_scheduling = false;
+    } else if (!std::strcmp(a, "--cold")) {
+      opt.base.warm_start = false;
+    } else if (!std::strcmp(a, "--csv")) {
+      opt.csv = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (see --help)\n", a);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  // Technique flags refine the full LS set.
+  opt.base.ls = core::LsOptions::all();
+  if (!parse(argc, argv, opt)) return 2;
+
+  if (opt.csv) {
+    std::puts(
+        "system,clients,updates_pct,seeds,success_pct,generated,committed,"
+        "missed,aborted,cache_hit_pct,obj_resp_sl_s,obj_resp_el_s,"
+        "shipped,decomposed,fwd_satisfied,messages,violations");
+  } else {
+    std::printf("%-13s %8s %8s | %8s %9s %9s %8s %9s\n", "system", "clients",
+                "updates", "success", "cachehit", "EL resp", "shipped",
+                "messages");
+  }
+
+  for (const std::size_t n : opt.clients) {
+    for (const auto kind : opt.systems) {
+      core::SystemConfig cfg = opt.base;
+      cfg.workload.update_fraction = opt.updates / 100.0;
+      cfg.num_clients = n;
+      cfg.duration = opt.duration;
+      cfg.warmup = opt.warmup;
+      cfg.seed = opt.base_seed;
+      const auto agg = core::run_replicated(kind, cfg, opt.seeds);
+      const auto& last = agg.last();
+      if (opt.csv) {
+        std::printf(
+            "%s,%zu,%.2f,%zu,%.4f,%llu,%llu,%llu,%llu,%.4f,%.6f,%.6f,%llu,"
+            "%llu,%llu,%llu,%llu\n",
+            core::to_string(kind).c_str(), n, opt.updates, opt.seeds,
+            agg.mean_success_percent(),
+            static_cast<unsigned long long>(last.generated),
+            static_cast<unsigned long long>(last.committed),
+            static_cast<unsigned long long>(last.missed),
+            static_cast<unsigned long long>(last.aborted),
+            agg.mean_cache_hit_percent(),
+            agg.mean_object_response_shared(),
+            agg.mean_object_response_exclusive(),
+            static_cast<unsigned long long>(last.shipped_txns),
+            static_cast<unsigned long long>(last.decomposed_txns),
+            static_cast<unsigned long long>(last.forward_list_satisfactions),
+            static_cast<unsigned long long>(last.messages.total_messages()),
+            static_cast<unsigned long long>(last.consistency_violations));
+      } else {
+        std::printf("%-13s %8zu %7.1f%% | %7.2f%% %8.2f%% %8.3fs %8llu %9llu\n",
+                    core::to_string(kind).c_str(), n, opt.updates,
+                    agg.mean_success_percent(), agg.mean_cache_hit_percent(),
+                    agg.mean_object_response_exclusive(),
+                    static_cast<unsigned long long>(last.shipped_txns),
+                    static_cast<unsigned long long>(
+                        last.messages.total_messages()));
+      }
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}
