@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_occ_comparison.dir/ext_occ_comparison.cpp.o"
+  "CMakeFiles/ext_occ_comparison.dir/ext_occ_comparison.cpp.o.d"
+  "ext_occ_comparison"
+  "ext_occ_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_occ_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_protocol_messages.dir/fig12_protocol_messages.cpp.o"
+  "CMakeFiles/fig12_protocol_messages.dir/fig12_protocol_messages.cpp.o.d"
+  "fig12_protocol_messages"
+  "fig12_protocol_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_protocol_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

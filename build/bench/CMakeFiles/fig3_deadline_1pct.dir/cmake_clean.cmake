@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_deadline_1pct.dir/fig3_deadline_1pct.cpp.o"
+  "CMakeFiles/fig3_deadline_1pct.dir/fig3_deadline_1pct.cpp.o.d"
+  "fig3_deadline_1pct"
+  "fig3_deadline_1pct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_deadline_1pct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_deadline_1pct.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_deadline_5pct.dir/fig4_deadline_5pct.cpp.o"
+  "CMakeFiles/fig4_deadline_5pct.dir/fig4_deadline_5pct.cpp.o.d"
+  "fig4_deadline_5pct"
+  "fig4_deadline_5pct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_deadline_5pct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_deadline_5pct.
+# This may be replaced when dependencies are built.

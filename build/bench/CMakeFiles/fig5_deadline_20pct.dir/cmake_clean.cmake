@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_deadline_20pct.dir/fig5_deadline_20pct.cpp.o"
+  "CMakeFiles/fig5_deadline_20pct.dir/fig5_deadline_20pct.cpp.o.d"
+  "fig5_deadline_20pct"
+  "fig5_deadline_20pct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_deadline_20pct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_cache_hits.dir/table2_cache_hits.cpp.o"
+  "CMakeFiles/table2_cache_hits.dir/table2_cache_hits.cpp.o.d"
+  "table2_cache_hits"
+  "table2_cache_hits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_cache_hits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_object_response.dir/table3_object_response.cpp.o"
+  "CMakeFiles/table3_object_response.dir/table3_object_response.cpp.o.d"
+  "table3_object_response"
+  "table3_object_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_object_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

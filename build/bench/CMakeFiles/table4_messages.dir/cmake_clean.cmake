@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_messages.dir/table4_messages.cpp.o"
+  "CMakeFiles/table4_messages.dir/table4_messages.cpp.o.d"
+  "table4_messages"
+  "table4_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_messages.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_driver.dir/custom_driver.cpp.o"
+  "CMakeFiles/custom_driver.dir/custom_driver.cpp.o.d"
+  "custom_driver"
+  "custom_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_ops.dir/network_ops.cpp.o"
+  "CMakeFiles/network_ops.dir/network_ops.cpp.o.d"
+  "network_ops"
+  "network_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/auditor.cpp" "src/core/CMakeFiles/rtdb_core.dir/auditor.cpp.o" "gcc" "src/core/CMakeFiles/rtdb_core.dir/auditor.cpp.o.d"
+  "/root/repo/src/core/centralized.cpp" "src/core/CMakeFiles/rtdb_core.dir/centralized.cpp.o" "gcc" "src/core/CMakeFiles/rtdb_core.dir/centralized.cpp.o.d"
+  "/root/repo/src/core/client_node.cpp" "src/core/CMakeFiles/rtdb_core.dir/client_node.cpp.o" "gcc" "src/core/CMakeFiles/rtdb_core.dir/client_node.cpp.o.d"
+  "/root/repo/src/core/client_server.cpp" "src/core/CMakeFiles/rtdb_core.dir/client_server.cpp.o" "gcc" "src/core/CMakeFiles/rtdb_core.dir/client_server.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/rtdb_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/rtdb_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/optimistic.cpp" "src/core/CMakeFiles/rtdb_core.dir/optimistic.cpp.o" "gcc" "src/core/CMakeFiles/rtdb_core.dir/optimistic.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/core/CMakeFiles/rtdb_core.dir/runner.cpp.o" "gcc" "src/core/CMakeFiles/rtdb_core.dir/runner.cpp.o.d"
+  "/root/repo/src/core/server_node.cpp" "src/core/CMakeFiles/rtdb_core.dir/server_node.cpp.o" "gcc" "src/core/CMakeFiles/rtdb_core.dir/server_node.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/rtdb_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/rtdb_core.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rtdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rtdb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/rtdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/rtdb_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/rtdb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rtdb_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

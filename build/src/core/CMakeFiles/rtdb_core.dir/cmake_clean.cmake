@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdb_core.dir/auditor.cpp.o"
+  "CMakeFiles/rtdb_core.dir/auditor.cpp.o.d"
+  "CMakeFiles/rtdb_core.dir/centralized.cpp.o"
+  "CMakeFiles/rtdb_core.dir/centralized.cpp.o.d"
+  "CMakeFiles/rtdb_core.dir/client_node.cpp.o"
+  "CMakeFiles/rtdb_core.dir/client_node.cpp.o.d"
+  "CMakeFiles/rtdb_core.dir/client_server.cpp.o"
+  "CMakeFiles/rtdb_core.dir/client_server.cpp.o.d"
+  "CMakeFiles/rtdb_core.dir/metrics.cpp.o"
+  "CMakeFiles/rtdb_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/rtdb_core.dir/optimistic.cpp.o"
+  "CMakeFiles/rtdb_core.dir/optimistic.cpp.o.d"
+  "CMakeFiles/rtdb_core.dir/runner.cpp.o"
+  "CMakeFiles/rtdb_core.dir/runner.cpp.o.d"
+  "CMakeFiles/rtdb_core.dir/server_node.cpp.o"
+  "CMakeFiles/rtdb_core.dir/server_node.cpp.o.d"
+  "CMakeFiles/rtdb_core.dir/system.cpp.o"
+  "CMakeFiles/rtdb_core.dir/system.cpp.o.d"
+  "librtdb_core.a"
+  "librtdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lock/forward_list.cpp" "src/lock/CMakeFiles/rtdb_lock.dir/forward_list.cpp.o" "gcc" "src/lock/CMakeFiles/rtdb_lock.dir/forward_list.cpp.o.d"
+  "/root/repo/src/lock/global_lock_table.cpp" "src/lock/CMakeFiles/rtdb_lock.dir/global_lock_table.cpp.o" "gcc" "src/lock/CMakeFiles/rtdb_lock.dir/global_lock_table.cpp.o.d"
+  "/root/repo/src/lock/local_lock_manager.cpp" "src/lock/CMakeFiles/rtdb_lock.dir/local_lock_manager.cpp.o" "gcc" "src/lock/CMakeFiles/rtdb_lock.dir/local_lock_manager.cpp.o.d"
+  "/root/repo/src/lock/wait_for_graph.cpp" "src/lock/CMakeFiles/rtdb_lock.dir/wait_for_graph.cpp.o" "gcc" "src/lock/CMakeFiles/rtdb_lock.dir/wait_for_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rtdb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdb_lock.dir/forward_list.cpp.o"
+  "CMakeFiles/rtdb_lock.dir/forward_list.cpp.o.d"
+  "CMakeFiles/rtdb_lock.dir/global_lock_table.cpp.o"
+  "CMakeFiles/rtdb_lock.dir/global_lock_table.cpp.o.d"
+  "CMakeFiles/rtdb_lock.dir/local_lock_manager.cpp.o"
+  "CMakeFiles/rtdb_lock.dir/local_lock_manager.cpp.o.d"
+  "CMakeFiles/rtdb_lock.dir/wait_for_graph.cpp.o"
+  "CMakeFiles/rtdb_lock.dir/wait_for_graph.cpp.o.d"
+  "librtdb_lock.a"
+  "librtdb_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdb_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdb_net.dir/network.cpp.o"
+  "CMakeFiles/rtdb_net.dir/network.cpp.o.d"
+  "librtdb_net.a"
+  "librtdb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

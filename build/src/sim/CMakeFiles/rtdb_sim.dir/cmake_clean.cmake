@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdb_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/rtdb_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/rtdb_sim.dir/rng.cpp.o"
+  "CMakeFiles/rtdb_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/rtdb_sim.dir/simulator.cpp.o"
+  "CMakeFiles/rtdb_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/rtdb_sim.dir/stats.cpp.o"
+  "CMakeFiles/rtdb_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/rtdb_sim.dir/trace.cpp.o"
+  "CMakeFiles/rtdb_sim.dir/trace.cpp.o.d"
+  "librtdb_sim.a"
+  "librtdb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_manager.cpp" "src/storage/CMakeFiles/rtdb_storage.dir/buffer_manager.cpp.o" "gcc" "src/storage/CMakeFiles/rtdb_storage.dir/buffer_manager.cpp.o.d"
+  "/root/repo/src/storage/client_cache.cpp" "src/storage/CMakeFiles/rtdb_storage.dir/client_cache.cpp.o" "gcc" "src/storage/CMakeFiles/rtdb_storage.dir/client_cache.cpp.o.d"
+  "/root/repo/src/storage/disk.cpp" "src/storage/CMakeFiles/rtdb_storage.dir/disk.cpp.o" "gcc" "src/storage/CMakeFiles/rtdb_storage.dir/disk.cpp.o.d"
+  "/root/repo/src/storage/paged_file.cpp" "src/storage/CMakeFiles/rtdb_storage.dir/paged_file.cpp.o" "gcc" "src/storage/CMakeFiles/rtdb_storage.dir/paged_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rtdb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

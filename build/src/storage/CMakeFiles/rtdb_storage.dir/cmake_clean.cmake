@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdb_storage.dir/buffer_manager.cpp.o"
+  "CMakeFiles/rtdb_storage.dir/buffer_manager.cpp.o.d"
+  "CMakeFiles/rtdb_storage.dir/client_cache.cpp.o"
+  "CMakeFiles/rtdb_storage.dir/client_cache.cpp.o.d"
+  "CMakeFiles/rtdb_storage.dir/disk.cpp.o"
+  "CMakeFiles/rtdb_storage.dir/disk.cpp.o.d"
+  "CMakeFiles/rtdb_storage.dir/paged_file.cpp.o"
+  "CMakeFiles/rtdb_storage.dir/paged_file.cpp.o.d"
+  "librtdb_storage.a"
+  "librtdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

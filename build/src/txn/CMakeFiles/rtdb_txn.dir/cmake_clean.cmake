@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdb_txn.dir/decompose.cpp.o"
+  "CMakeFiles/rtdb_txn.dir/decompose.cpp.o.d"
+  "CMakeFiles/rtdb_txn.dir/transaction.cpp.o"
+  "CMakeFiles/rtdb_txn.dir/transaction.cpp.o.d"
+  "librtdb_txn.a"
+  "librtdb_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdb_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

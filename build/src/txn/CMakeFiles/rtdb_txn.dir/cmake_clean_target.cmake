@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librtdb_txn.a"
+)

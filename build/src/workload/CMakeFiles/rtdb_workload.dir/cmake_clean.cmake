@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdb_workload.dir/access_pattern.cpp.o"
+  "CMakeFiles/rtdb_workload.dir/access_pattern.cpp.o.d"
+  "CMakeFiles/rtdb_workload.dir/generator.cpp.o"
+  "CMakeFiles/rtdb_workload.dir/generator.cpp.o.d"
+  "librtdb_workload.a"
+  "librtdb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

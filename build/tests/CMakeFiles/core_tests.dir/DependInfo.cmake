@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/admission_test.cpp" "tests/CMakeFiles/core_tests.dir/core/admission_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/admission_test.cpp.o.d"
+  "/root/repo/tests/core/auditor_test.cpp" "tests/CMakeFiles/core_tests.dir/core/auditor_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/auditor_test.cpp.o.d"
+  "/root/repo/tests/core/centralized_test.cpp" "tests/CMakeFiles/core_tests.dir/core/centralized_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/centralized_test.cpp.o.d"
+  "/root/repo/tests/core/client_server_test.cpp" "tests/CMakeFiles/core_tests.dir/core/client_server_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/client_server_test.cpp.o.d"
+  "/root/repo/tests/core/load_sharing_test.cpp" "tests/CMakeFiles/core_tests.dir/core/load_sharing_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/load_sharing_test.cpp.o.d"
+  "/root/repo/tests/core/metrics_test.cpp" "tests/CMakeFiles/core_tests.dir/core/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/metrics_test.cpp.o.d"
+  "/root/repo/tests/core/optimistic_test.cpp" "tests/CMakeFiles/core_tests.dir/core/optimistic_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/optimistic_test.cpp.o.d"
+  "/root/repo/tests/core/protocol_scenarios_test.cpp" "tests/CMakeFiles/core_tests.dir/core/protocol_scenarios_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/protocol_scenarios_test.cpp.o.d"
+  "/root/repo/tests/core/runner_test.cpp" "tests/CMakeFiles/core_tests.dir/core/runner_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/runner_test.cpp.o.d"
+  "/root/repo/tests/core/speculation_test.cpp" "tests/CMakeFiles/core_tests.dir/core/speculation_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/speculation_test.cpp.o.d"
+  "/root/repo/tests/core/trace_integration_test.cpp" "tests/CMakeFiles/core_tests.dir/core/trace_integration_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/trace_integration_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rtdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rtdb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/rtdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rtdb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/rtdb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/rtdb_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtdb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

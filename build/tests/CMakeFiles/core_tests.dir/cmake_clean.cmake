@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/admission_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/admission_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/auditor_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/auditor_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/centralized_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/centralized_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/client_server_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/client_server_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/load_sharing_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/load_sharing_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/metrics_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/metrics_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/optimistic_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/optimistic_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/protocol_scenarios_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/protocol_scenarios_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/runner_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/runner_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/speculation_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/speculation_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/trace_integration_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/trace_integration_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

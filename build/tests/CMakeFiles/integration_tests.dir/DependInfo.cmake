@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/consistency_stress_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/consistency_stress_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/consistency_stress_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/property_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/property_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rtdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rtdb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/rtdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rtdb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/rtdb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/rtdb_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtdb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

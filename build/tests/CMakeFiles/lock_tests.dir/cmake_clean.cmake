@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_tests.dir/lock/forward_list_test.cpp.o"
+  "CMakeFiles/lock_tests.dir/lock/forward_list_test.cpp.o.d"
+  "CMakeFiles/lock_tests.dir/lock/global_lock_table_test.cpp.o"
+  "CMakeFiles/lock_tests.dir/lock/global_lock_table_test.cpp.o.d"
+  "CMakeFiles/lock_tests.dir/lock/local_lock_manager_test.cpp.o"
+  "CMakeFiles/lock_tests.dir/lock/local_lock_manager_test.cpp.o.d"
+  "CMakeFiles/lock_tests.dir/lock/lock_model_test.cpp.o"
+  "CMakeFiles/lock_tests.dir/lock/lock_model_test.cpp.o.d"
+  "CMakeFiles/lock_tests.dir/lock/modes_test.cpp.o"
+  "CMakeFiles/lock_tests.dir/lock/modes_test.cpp.o.d"
+  "CMakeFiles/lock_tests.dir/lock/wait_for_graph_test.cpp.o"
+  "CMakeFiles/lock_tests.dir/lock/wait_for_graph_test.cpp.o.d"
+  "lock_tests"
+  "lock_tests.pdb"
+  "lock_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_tests.dir/storage/buffer_manager_test.cpp.o"
+  "CMakeFiles/storage_tests.dir/storage/buffer_manager_test.cpp.o.d"
+  "CMakeFiles/storage_tests.dir/storage/client_cache_test.cpp.o"
+  "CMakeFiles/storage_tests.dir/storage/client_cache_test.cpp.o.d"
+  "CMakeFiles/storage_tests.dir/storage/disk_test.cpp.o"
+  "CMakeFiles/storage_tests.dir/storage/disk_test.cpp.o.d"
+  "CMakeFiles/storage_tests.dir/storage/paged_file_test.cpp.o"
+  "CMakeFiles/storage_tests.dir/storage/paged_file_test.cpp.o.d"
+  "CMakeFiles/storage_tests.dir/storage/storage_model_test.cpp.o"
+  "CMakeFiles/storage_tests.dir/storage/storage_model_test.cpp.o.d"
+  "storage_tests"
+  "storage_tests.pdb"
+  "storage_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_tests.dir/txn/decompose_test.cpp.o"
+  "CMakeFiles/txn_tests.dir/txn/decompose_test.cpp.o.d"
+  "CMakeFiles/txn_tests.dir/txn/edf_queue_test.cpp.o"
+  "CMakeFiles/txn_tests.dir/txn/edf_queue_test.cpp.o.d"
+  "CMakeFiles/txn_tests.dir/txn/transaction_test.cpp.o"
+  "CMakeFiles/txn_tests.dir/txn/transaction_test.cpp.o.d"
+  "txn_tests"
+  "txn_tests.pdb"
+  "txn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/access_pattern_test.cpp" "tests/CMakeFiles/workload_tests.dir/workload/access_pattern_test.cpp.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/access_pattern_test.cpp.o.d"
+  "/root/repo/tests/workload/generator_test.cpp" "tests/CMakeFiles/workload_tests.dir/workload/generator_test.cpp.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/generator_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rtdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rtdb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/rtdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rtdb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/rtdb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/rtdb_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtdb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/net_tests[1]_include.cmake")
+include("/root/repo/build/tests/storage_tests[1]_include.cmake")
+include("/root/repo/build/tests/lock_tests[1]_include.cmake")
+include("/root/repo/build/tests/txn_tests[1]_include.cmake")
+include("/root/repo/build/tests/workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
+add_test(smoke_rtdbctl_help "/root/repo/build/tools/rtdbctl" "--help")
+set_tests_properties(smoke_rtdbctl_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;67;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smoke_rtdbctl_run "/root/repo/build/tools/rtdbctl" "--system" "ls" "--clients" "6" "--updates" "5" "--duration" "150" "--warmup" "50" "--csv")
+set_tests_properties(smoke_rtdbctl_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;68;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smoke_quickstart "/root/repo/build/examples/quickstart" "4" "1")
+set_tests_properties(smoke_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;71;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smoke_custom_driver "/root/repo/build/examples/custom_driver")
+set_tests_properties(smoke_custom_driver PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;72;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(smoke_fig3_quick "/root/repo/build/bench/fig3_deadline_1pct" "--quick")
+set_tests_properties(smoke_fig3_quick PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;73;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdbctl.dir/rtdbctl.cpp.o"
+  "CMakeFiles/rtdbctl.dir/rtdbctl.cpp.o.d"
+  "rtdbctl"
+  "rtdbctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdbctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

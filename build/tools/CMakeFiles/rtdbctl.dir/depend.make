@@ -1,0 +1,2 @@
+# Empty dependencies file for rtdbctl.
+# This may be replaced when dependencies are built.
