@@ -2,7 +2,7 @@
 /// Deep-dive diagnostics for one run: full message breakdown, LS technique
 /// counters, resource utilizations. Useful when calibrating or debugging.
 ///
-///   $ ./inspect_run [system: ce|cs|ls] [num_clients] [update_percent] \
+///   $ ./inspect_run [system: ce|cs|ls] [num_clients] [update_percent]
 ///                   [disables: comma list of h1,h2,dec,fwd,ed]
 ///
 /// The optional fourth argument switches individual LS techniques off

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Static-analysis gate: clang-tidy (when available) plus grep lints that
+# encode repo-wide bans no compiler flag covers. CI runs this; it must
+# exit 0 on a clean tree and nonzero on any violation.
+#
+# Usage:
+#   scripts/check.sh [build-dir]
+#
+# The build dir (default: build) only matters for clang-tidy, which needs
+# its compile_commands.json (configure with CMAKE_EXPORT_COMPILE_COMMANDS,
+# on by default in our CMakeLists). When clang-tidy is not installed the
+# tidy stage is skipped with a notice — the grep lints always run, so the
+# gate still has teeth on minimal toolchains.
+set -u
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${1:-build}
+failures=0
+
+note() { printf '== %s\n' "$*"; }
+fail() { printf 'FAIL: %s\n' "$*" >&2; failures=$((failures + 1)); }
+
+# ---------------------------------------------------------------- grep lints
+# Matches inside comments are not violations; strip line/block-comment text
+# before matching. (sed: remove //... tails and /* ... */ spans per line —
+# good enough for this codebase, which has no multi-line /* */ code spans
+# hiding banned calls.)
+scan() {  # scan <name> <pattern> <why> <path>...
+  local name=$1 pattern=$2 why=$3
+  shift 3
+  local hits
+  hits=$(grep -rnE --include='*.cpp' --include='*.hpp' "$pattern" "$@" \
+         | sed -E 's_//.*__; s_/\*[^*]*\*/__g' \
+         | grep -E "$pattern")
+  if [ -n "$hits" ]; then
+    printf '%s\n' "$hits" >&2
+    fail "$name: $why"
+  else
+    note "lint/$name: clean"
+  fi
+}
+
+# Raw new/delete: every heap object in the simulator is owned by a
+# unique_ptr (or lives in a container); raw ownership is how callback
+# lifetime bugs start. `= delete`d functions and placement-new-free code
+# make the pattern precise: `new X` / `delete p` as expressions.
+scan raw-new-delete \
+  '(^|[^_[:alnum:]])(new|delete(\[\])?)[[:space:]]+[[:alpha:]_]' \
+  'raw new/delete banned — use std::make_unique / containers' \
+  src tools
+
+# Non-deterministic randomness: runs must replay bit-identically from a
+# config seed (tools/rtdb_verify proves it). rand()/srand(), a default-
+# seeded engine, or std::random_device anywhere in simulation code breaks
+# that silently.
+scan nondeterministic-rng \
+  '(^|[^_[:alnum:]])(s?rand[[:space:]]*\(|std::random_device|random_device[[:space:]]+[[:alpha:]_]|mt19937)' \
+  'non-deterministic RNG banned in sim code — seed rtdb::sim::Rng from config' \
+  src tools bench
+
+# Wall-clock time: simulated time is the only clock. A real-time call in
+# the event loop (or anything it reaches) makes runs machine-dependent.
+scan wall-clock \
+  '(^|[^_[:alnum:]])(std::chrono::(system|steady|high_resolution)_clock|gettimeofday|clock_gettime|time[[:space:]]*\([[:space:]]*(NULL|nullptr|0)?[[:space:]]*\))' \
+  'wall-clock reads banned — use sim::Simulator::now()' \
+  src
+
+# ---------------------------------------------------------------- clang-tidy
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    fail "clang-tidy: $BUILD_DIR/compile_commands.json missing — configure first (cmake -B $BUILD_DIR -S .)"
+  else
+    note "clang-tidy: $(clang-tidy --version | head -1 | sed 's/^ *//')"
+    # First-party TUs only — generated/third-party code is not ours to lint.
+    mapfile -t tus < <(git ls-files 'src/**/*.cpp' 'tools/*.cpp')
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+      run-clang-tidy -quiet -p "$BUILD_DIR" "${tus[@]}" || fail 'clang-tidy reported findings'
+    else
+      clang-tidy -quiet -p "$BUILD_DIR" "${tus[@]}" || fail 'clang-tidy reported findings'
+    fi
+  fi
+else
+  note 'clang-tidy: not installed — skipping tidy stage (grep lints still ran)'
+fi
+
+if [ "$failures" -ne 0 ]; then
+  printf '\ncheck.sh: %d failure(s)\n' "$failures" >&2
+  exit 1
+fi
+note 'check.sh: all gates passed'

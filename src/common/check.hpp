@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+/// \file check.hpp
+/// The runtime invariant-audit layer's assertion primitives. Three tiers:
+///
+///  * `RTDB_CHECK(cond, fmt, ...)`  — always compiled in, in every build
+///    type. For cheap conditions whose violation means the process state is
+///    garbage (protocol invariants, accounting balance). Prints a formatted
+///    message and aborts.
+///  * `RTDB_ASSERT(cond, fmt, ...)` — compiled out under NDEBUG (i.e. in
+///    Release/RelWithDebInfo), active in Debug builds. For moderately
+///    priced checks on hot paths.
+///  * `RTDB_DCHECK(cond, fmt, ...)` — active only when RTDB_ENABLE_DCHECKS
+///    is defined (Debug builds and any `-DRTDB_SANITIZE=...` build define
+///    it; see the top-level CMakeLists). For expensive whole-structure
+///    walks — the `validate_invariants()` methods are built from these.
+///
+/// All three evaluate `cond` exactly once when active and not at all when
+/// compiled out (the condition must therefore be side-effect free). The
+/// message is printf-style and optional:
+///
+///     RTDB_CHECK(holders == index.size(), "holders=%zu index=%zu",
+///                holders, index.size());
+
+namespace rtdb::common {
+
+/// True when the expensive debug-check tier is compiled in.
+constexpr bool dchecks_enabled() {
+#ifdef RTDB_ENABLE_DCHECKS
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace detail {
+
+/// Prints the failure banner + formatted message and aborts. Never returns.
+[[noreturn]] inline void check_fail(const char* file, int line,
+                                    const char* expr, const char* fmt, ...) {
+  std::fprintf(stderr, "rtdb: CHECK failed at %s:%d: %s", file, line, expr);
+  if (fmt && fmt[0] != '\0') {
+    std::va_list args;
+    va_start(args, fmt);
+    char buf[1024];
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    std::fprintf(stderr, " — %s", buf);
+  }
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace rtdb::common
+
+// The ""-prefix trick makes the message arguments optional: with no
+// varargs the format string degenerates to "" and check_fail skips it.
+#define RTDB_CHECK(cond, ...)                                          \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::rtdb::common::detail::check_fail(__FILE__, __LINE__, #cond,    \
+                                         "" __VA_ARGS__);              \
+    }                                                                  \
+  } while (0)
+
+#ifndef NDEBUG
+#define RTDB_ASSERT(cond, ...) RTDB_CHECK(cond, __VA_ARGS__)
+#else
+#define RTDB_ASSERT(cond, ...) \
+  do {                         \
+  } while (0)
+#endif
+
+#ifdef RTDB_ENABLE_DCHECKS
+#define RTDB_DCHECK(cond, ...) RTDB_CHECK(cond, __VA_ARGS__)
+#else
+#define RTDB_DCHECK(cond, ...) \
+  do {                         \
+  } while (0)
+#endif

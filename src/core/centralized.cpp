@@ -254,6 +254,14 @@ void CentralizedSystem::on_measurement_start() {
   overhead_cpu_.reset_stats();
 }
 
+void CentralizedSystem::audit_structures() const {
+  sim_.validate_invariants();
+  locks_.validate_invariants();
+  admission_.validate_invariants();
+  ready_.validate_invariants();
+  pf_->buffer().validate_invariants();
+}
+
 void CentralizedSystem::finalize(RunMetrics& m) {
   m.server_cpu_utilization = overhead_cpu_.utilization();
   m.server_disk_utilization = pf_->disk().utilization();

@@ -35,6 +35,7 @@ class CentralizedSystem final : public System {
   void on_arrival(std::size_t client_index, txn::Transaction txn) override;
   void on_measurement_start() override;
   void finalize(RunMetrics& m) override;
+  void audit_structures() const override;
 
  private:
   struct Live {

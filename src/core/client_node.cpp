@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/check.hpp"
 #include "core/client_server.hpp"
 #include "txn/decompose.hpp"
 
@@ -41,6 +42,24 @@ LoadInfo ClientNode::current_load() const {
 void ClientNode::reset_stats() {
   cache_.reset_stats();
   cpu_.reset_stats();
+}
+
+void ClientNode::validate_invariants() const {
+  llm_.validate_invariants();
+  cache_.validate_invariants();
+  ready_.validate_invariants();
+  RTDB_CHECK(busy_slots_ <= sys_.cfg().client_executor_slots,
+             "site %d runs %zu executors over the %zu-slot budget", site_,
+             busy_slots_, sys_.cfg().client_executor_slots);
+  // Forward duties must be consistent: a duty bound to a transaction names
+  // one that is still live here.
+  for (const auto& [obj, duty] : duties_) {
+    if (duty.bound != kInvalidTxn) {
+      RTDB_CHECK(live_.count(duty.bound) != 0,
+                 "obj %u forward duty bound to dead txn %llu", obj,
+                 static_cast<unsigned long long>(duty.bound));
+    }
+  }
 }
 
 void ClientNode::update_atl(const txn::Transaction& t,

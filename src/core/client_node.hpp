@@ -66,6 +66,10 @@ class ClientNode {
 
   void reset_stats();
 
+  /// Invariant audit: local lock manager, two-tier cache, ED-ready queue,
+  /// and executor-slot accounting. Aborts on violation.
+  void validate_invariants() const;
+
  private:
   /// Why this client is waiting for a LocationReply for a transaction.
   enum class QueryPurpose : std::uint8_t {

@@ -64,6 +64,12 @@ void ClientServerSystem::on_measurement_start() {
   for (auto& c : clients_) c->reset_stats();
 }
 
+void ClientServerSystem::audit_structures() const {
+  sim_.validate_invariants();
+  if (server_) server_->validate_invariants();
+  for (const auto& c : clients_) c->validate_invariants();
+}
+
 void ClientServerSystem::finalize(RunMetrics& m) {
   for (const auto& c : clients_) {
     m.cache_hits += c->cache().hits();

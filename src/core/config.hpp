@@ -175,6 +175,14 @@ struct SystemConfig {
   sim::Duration deadlock_backoff = sim::msec(50);
   std::uint32_t deadlock_retries = 3;
 
+  // --- invariant auditing -----------------------------------------------------
+  /// Run every subsystem's validate_invariants() after this many simulator
+  /// events. 0 = automatic: on (every 1024 events) when the expensive
+  /// debug-check tier is compiled in (Debug or sanitizer builds — see
+  /// common/check.hpp), off otherwise. The RTDB_AUDIT_INTERVAL environment
+  /// variable overrides both.
+  std::uint64_t audit_interval = 0;
+
   // --- load sharing -----------------------------------------------------------
   LsOptions ls;
 

@@ -305,6 +305,15 @@ void OptimisticSystem::on_measurement_start() {
   rejections_ = 0;
 }
 
+void OptimisticSystem::audit_structures() const {
+  sim_.validate_invariants();
+  pf_->buffer().validate_invariants();
+  for (const auto& c : clients_) {
+    c->cache.validate_invariants();
+    c->ready.validate_invariants();
+  }
+}
+
 void OptimisticSystem::finalize(RunMetrics& m) {
   for (const auto& c : clients_) {
     m.cache_hits += c->cache.hits();

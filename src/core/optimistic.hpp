@@ -43,6 +43,7 @@ class OptimisticSystem final : public System {
   void on_arrival(std::size_t client_index, txn::Transaction txn) override;
   void on_measurement_start() override;
   void finalize(RunMetrics& m) override;
+  void audit_structures() const override;
 
  private:
   /// Per-workstation execution state (no lock manager — that is the point).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/check.hpp"
 #include "core/client_server.hpp"
 
 namespace rtdb::core {
@@ -16,6 +17,30 @@ ServerNode::ServerNode(ClientServerSystem& sys)
                                    sys.cfg().server_memory_access,
                                    sys.cfg().server_disk}),
       cpu_(sys.sim()) {}
+
+void ServerNode::validate_invariants() const {
+  glt_.validate_invariants();
+  wfg_.validate_invariants();
+  pf_.buffer().validate_invariants();
+  // Every queue entry must be backed by a queued-txn record, and the
+  // records must balance exactly: a mismatch means a pop path forgot its
+  // note_entry_gone (a wait-for-graph leak).
+  std::unordered_map<TxnId, std::size_t> in_queues;
+  glt_.for_each_queue([&](ObjectId obj, const lock::ForwardList& q) {
+    (void)obj;
+    for (const auto& e : q.entries()) ++in_queues[e.txn];
+  });
+  for (const auto& [txn, count] : in_queues) {
+    const auto it = queued_.find(txn);
+    RTDB_CHECK(it != queued_.end() && it->second.entries == count,
+               "txn %llu has %zu queued entries but %zu recorded",
+               static_cast<unsigned long long>(txn), count,
+               it == queued_.end() ? std::size_t{0} : it->second.entries);
+  }
+  RTDB_CHECK(queued_.size() == in_queues.size(),
+             "%zu queued-txn records for %zu txns with entries",
+             queued_.size(), in_queues.size());
+}
 
 void ServerNode::reset_stats() {
   pf_.reset_stats();
@@ -249,7 +274,11 @@ std::size_t ServerNode::groupable_prefix(ObjectId obj) {
   // an exclusive run (capped) optionally followed by a shared fan-out run
   // (capped); a head-of-queue shared run when the fan-out is enabled.
   auto& q = glt_.queue(obj);
-  const lock::ForwardEntry* head = q.peek_next(sys_.sim().now());
+  // peek_next physically drops expired entries; they must be accounted
+  // (metrics + wait-for-graph teardown) or their txns leak queued records.
+  std::vector<lock::ForwardEntry> skipped;
+  const lock::ForwardEntry* head = q.peek_next(sys_.sim().now(), &skipped);
+  note_skipped(skipped, obj);
   if (!head) return 0;
   std::size_t group = 0;
   std::size_t el_hops = 0;

@@ -65,6 +65,11 @@ class ServerNode {
 
   void reset_stats();
 
+  /// Invariant audit: global lock table, wait-for graph, buffer pool, and
+  /// the server's own cross-structure bookkeeping (queued-entry counts vs
+  /// the per-object queues). Aborts on violation.
+  void validate_invariants() const;
+
   /// Warm-start bookkeeping: registers `site`'s SL on `obj` without any
   /// protocol traffic (the matching client called warm_insert).
   void warm_register(ObjectId obj, SiteId site) {

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/check.hpp"
+
 namespace rtdb::core {
 
 System::System(SystemConfig config)
@@ -34,7 +36,18 @@ void System::on_measurement_start() {
   net_.reset_stats();
 }
 
+void System::arm_structure_audit() {
+  std::uint64_t interval = config_.audit_interval;
+  if (interval == 0 && common::dchecks_enabled()) interval = 1024;
+  if (const char* e = std::getenv("RTDB_AUDIT_INTERVAL")) {
+    interval = std::strtoull(e, nullptr, 10);
+  }
+  if (interval == 0) return;
+  sim_.set_audit_hook(interval, [this] { audit_structures(); });
+}
+
 RunMetrics System::run() {
+  arm_structure_audit();
   start();
   for (std::size_t i = 0; i < suite_.num_clients(); ++i) {
     schedule_next_arrival(i);

@@ -65,6 +65,11 @@ class System {
   /// aggregates into `m`.
   virtual void finalize(RunMetrics& m) = 0;
 
+  /// Subclass hook for the periodic invariant audit: validate every owned
+  /// structure (lock tables, queues, caches) with their
+  /// validate_invariants() methods. Runs only between simulator events.
+  virtual void audit_structures() const {}
+
   /// True if the transaction arrived inside the measurement window and its
   /// outcome must be counted.
   [[nodiscard]] bool is_measured(const txn::Transaction& t) const {
@@ -85,6 +90,11 @@ class System {
   [[nodiscard]] std::uint64_t double_records() const {
     return double_records_;
   }
+
+  /// Arms the periodic structure audit per config.audit_interval /
+  /// RTDB_AUDIT_INTERVAL (see config.hpp). run() calls this automatically;
+  /// bootstrap()-style manual drivers may call it themselves.
+  void arm_structure_audit();
 
  protected:
 

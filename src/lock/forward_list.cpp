@@ -2,7 +2,24 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
+
 namespace rtdb::lock {
+
+void ForwardList::validate_invariants() const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const ForwardEntry& e = entries_[i];
+    RTDB_CHECK(e.site != kInvalidSite, "ForwardList entry %zu has no site", i);
+    RTDB_CHECK(e.txn != kInvalidTxn, "ForwardList entry %zu has no txn", i);
+    RTDB_CHECK(e.mode != LockMode::kNone,
+               "ForwardList entry %zu requests no lock", i);
+    if (i > 0) {
+      RTDB_CHECK(entries_[i - 1].priority <= e.priority,
+                 "ForwardList out of priority order at %zu: %.9f > %.9f", i,
+                 entries_[i - 1].priority, e.priority);
+    }
+  }
+}
 
 void ForwardList::add(const ForwardEntry& entry) {
   // Stable insertion before the first strictly-later priority.

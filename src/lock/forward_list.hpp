@@ -80,6 +80,11 @@ class ForwardList {
 
   void clear() { entries_.clear(); }
 
+  /// Invariant audit: priorities non-decreasing (deadline-ordered service),
+  /// every entry names a real requester with a real lock mode. Aborts on
+  /// violation.
+  void validate_invariants() const;
+
  private:
   std::deque<ForwardEntry> entries_;
 };

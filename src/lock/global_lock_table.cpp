@@ -2,7 +2,59 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
+
 namespace rtdb::lock {
+
+void GlobalLockTable::validate_invariants() const {
+  std::size_t holds_total = 0;
+  for (const auto& [obj, st] : objects_) {
+    st.queue.validate_invariants();
+    for (std::size_t i = 0; i < st.holders.size(); ++i) {
+      const GlobalHold& h = st.holders[i];
+      RTDB_CHECK(h.site != kInvalidSite, "obj %u holder %zu has no site", obj,
+                 i);
+      RTDB_CHECK(h.mode != LockMode::kNone,
+                 "obj %u holder site %d holds kNone", obj, h.site);
+      const auto bt = by_site_.find(h.site);
+      RTDB_CHECK(bt != by_site_.end() && bt->second.count(obj) != 0,
+                 "obj %u holder site %d missing from by-site index", obj,
+                 h.site);
+      for (std::size_t j = i + 1; j < st.holders.size(); ++j) {
+        const GlobalHold& o = st.holders[j];
+        RTDB_CHECK(o.site != h.site, "obj %u has duplicate holder site %d",
+                   obj, h.site);
+        RTDB_CHECK(compatible(h.mode, o.mode),
+                   "obj %u holders %d (%s) and %d (%s) are incompatible", obj,
+                   h.site, to_string(h.mode).data(), o.site,
+                   to_string(o.mode).data());
+      }
+    }
+    holds_total += st.holders.size();
+    if (st.circulating) {
+      RTDB_CHECK(st.circulating_last != kInvalidSite,
+                 "obj %u circulates with no last site", obj);
+    } else {
+      RTDB_CHECK(st.circulating_last == kInvalidSite,
+                 "obj %u keeps a stale circulation tail", obj);
+    }
+  }
+  // The reverse index holds exactly the (site, obj) hold pairs — nothing
+  // stale, nothing missing (the forward direction was checked above).
+  std::size_t indexed_total = 0;
+  for (const auto& [site, objs] : by_site_) {
+    RTDB_CHECK(!objs.empty(), "empty by-site bucket for site %d", site);
+    for (ObjectId obj : objs) {
+      RTDB_CHECK(holder_mode(obj, site) != LockMode::kNone,
+                 "by-site index names site %d on obj %u without a hold", site,
+                 obj);
+    }
+    indexed_total += objs.size();
+  }
+  RTDB_CHECK(indexed_total == holds_total,
+             "by-site index counts %zu holds, table has %zu", indexed_total,
+             holds_total);
+}
 
 const GlobalLockTable::State* GlobalLockTable::state_if_any(
     ObjectId obj) const {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -79,6 +80,12 @@ class GlobalLockTable {
   ForwardList& queue(ObjectId obj) { return state(obj).queue; }
   [[nodiscard]] const ForwardList* queue_if_any(ObjectId obj) const;
 
+  /// Calls fn(obj, queue) for every tracked object (audits/diagnostics).
+  void for_each_queue(
+      const std::function<void(ObjectId, const ForwardList&)>& fn) const {
+    for (const auto& [obj, st] : objects_) fn(obj, st.queue);
+  }
+
   // --- recall (callback) bookkeeping --------------------------------------
 
   void mark_recall_sent(ObjectId obj, SiteId site);
@@ -117,6 +124,12 @@ class GlobalLockTable {
   void compact();
 
   [[nodiscard]] std::size_t tracked_objects() const { return objects_.size(); }
+
+  /// Invariant audit: per-object holder sets have distinct sites with real
+  /// modes and are pairwise compatible (the lock-mode compatibility matrix
+  /// the whole callback scheme rests on); wait queues are priority-ordered;
+  /// the by-site index mirrors the holder sets exactly. Aborts on violation.
+  void validate_invariants() const;
 
  private:
   struct State {

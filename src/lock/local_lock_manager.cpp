@@ -3,7 +3,76 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/check.hpp"
+
 namespace rtdb::lock {
+
+void LocalLockManager::validate_invariants() const {
+  graph_.validate_invariants();
+  std::size_t holds_total = 0;
+  for (const auto& [obj, st] : objects_) {
+    RTDB_CHECK(!st.holders.empty() || !st.queue.empty(),
+               "quiescent obj %u not dropped", obj);
+    for (std::size_t i = 0; i < st.holders.size(); ++i) {
+      const Hold& h = st.holders[i];
+      RTDB_CHECK(h.mode != LockMode::kNone, "txn %llu holds kNone on obj %u",
+                 static_cast<unsigned long long>(h.txn), obj);
+      const auto ht = held_by_txn_.find(h.txn);
+      RTDB_CHECK(ht != held_by_txn_.end() && ht->second.count(obj) != 0,
+                 "hold (txn %llu, obj %u) missing from held index",
+                 static_cast<unsigned long long>(h.txn), obj);
+      for (std::size_t j = i + 1; j < st.holders.size(); ++j) {
+        const Hold& o = st.holders[j];
+        RTDB_CHECK(o.txn != h.txn, "obj %u has duplicate holder txn %llu",
+                   obj, static_cast<unsigned long long>(h.txn));
+        RTDB_CHECK(compatible(h.mode, o.mode),
+                   "obj %u holders %llu (%s) and %llu (%s) are incompatible",
+                   obj, static_cast<unsigned long long>(h.txn),
+                   to_string(h.mode).data(),
+                   static_cast<unsigned long long>(o.txn),
+                   to_string(o.mode).data());
+      }
+    }
+    holds_total += st.holders.size();
+    for (std::size_t i = 0; i < st.queue.size(); ++i) {
+      const Waiter& w = st.queue[i];
+      if (i > 0) {
+        RTDB_CHECK(st.queue[i - 1].deadline <= w.deadline,
+                   "obj %u wait queue breaks EDF order at %zu", obj, i);
+      }
+      const auto wt = waiting_on_.find(w.txn);
+      RTDB_CHECK(wt != waiting_on_.end() && wt->second.count(obj) != 0,
+                 "waiter (txn %llu, obj %u) missing from waiting index",
+                 static_cast<unsigned long long>(w.txn), obj);
+    }
+  }
+  std::size_t indexed_holds = 0;
+  for (const auto& [txn, objs] : held_by_txn_) {
+    RTDB_CHECK(!objs.empty(), "empty held bucket for txn %llu",
+               static_cast<unsigned long long>(txn));
+    for (const ObjectId obj : objs) {
+      RTDB_CHECK(held_mode(txn, obj) != LockMode::kNone,
+                 "held index names (txn %llu, obj %u) without a hold",
+                 static_cast<unsigned long long>(txn), obj);
+    }
+    indexed_holds += objs.size();
+  }
+  RTDB_CHECK(indexed_holds == holds_total,
+             "held index counts %zu holds, table has %zu", indexed_holds,
+             holds_total);
+  for (const auto& [txn, objs] : waiting_on_) {
+    for (const ObjectId obj : objs) {
+      const auto it = objects_.find(obj);
+      const bool queued =
+          it != objects_.end() &&
+          std::any_of(it->second.queue.begin(), it->second.queue.end(),
+                      [txn = txn](const Waiter& w) { return w.txn == txn; });
+      RTDB_CHECK(queued,
+                 "waiting index names (txn %llu, obj %u) without a waiter",
+                 static_cast<unsigned long long>(txn), obj);
+    }
+  }
+}
 
 bool LocalLockManager::grantable(const ObjectState& st, TxnId txn,
                                  LockMode mode) {

@@ -92,6 +92,11 @@ class LocalLockManager {
   /// Diagnostic access to the wait-for graph.
   [[nodiscard]] const WaitForGraph& wait_graph() const { return graph_; }
 
+  /// Invariant audit: strict-2PL holder compatibility per object, EDF order
+  /// of every wait queue, held/waiting indexes mirroring the table, and a
+  /// consistent wait-for graph. Aborts on violation.
+  void validate_invariants() const;
+
  private:
   struct Hold {
     TxnId txn;

@@ -2,7 +2,46 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
+
 namespace rtdb::lock {
+
+void WaitForGraph::validate_invariants() const {
+  std::size_t forward_edges = 0;
+  for (const auto& [waiter, outs] : out_) {
+    RTDB_CHECK(!outs.empty(), "empty out-bucket for node %llu",
+               static_cast<unsigned long long>(waiter));
+    for (const auto& [holder, count] : outs) {
+      RTDB_CHECK(holder != waiter, "self-edge on node %llu",
+                 static_cast<unsigned long long>(waiter));
+      RTDB_CHECK(count > 0, "edge %llu->%llu has count %d",
+                 static_cast<unsigned long long>(waiter),
+                 static_cast<unsigned long long>(holder), count);
+      const auto it = in_.find(holder);
+      RTDB_CHECK(it != in_.end() && it->second.count(waiter) != 0,
+                 "edge %llu->%llu missing from reverse map",
+                 static_cast<unsigned long long>(waiter),
+                 static_cast<unsigned long long>(holder));
+      ++forward_edges;
+    }
+  }
+  std::size_t reverse_edges = 0;
+  for (const auto& [holder, waiters] : in_) {
+    RTDB_CHECK(!waiters.empty(), "empty in-bucket for node %llu",
+               static_cast<unsigned long long>(holder));
+    for (const Node waiter : waiters) {
+      const auto it = out_.find(waiter);
+      RTDB_CHECK(it != out_.end() && it->second.count(holder) != 0,
+                 "reverse edge %llu<-%llu missing from forward map",
+                 static_cast<unsigned long long>(holder),
+                 static_cast<unsigned long long>(waiter));
+      ++reverse_edges;
+    }
+  }
+  RTDB_CHECK(forward_edges == reverse_edges,
+             "forward/reverse edge counts differ: %zu vs %zu", forward_edges,
+             reverse_edges);
+}
 
 bool WaitForGraph::reachable(Node from, Node to) const {
   if (from == to) return true;

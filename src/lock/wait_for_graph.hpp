@@ -55,6 +55,13 @@ class WaitForGraph {
   [[nodiscard]] std::size_t edge_count() const;
   [[nodiscard]] bool empty() const { return out_.empty(); }
 
+  /// Invariant audit: the forward and reverse adjacency maps mirror each
+  /// other exactly, every edge count is positive, no self-edges, no empty
+  /// buckets linger. (Acyclicity is deliberately NOT asserted here: EDF
+  /// insert-ahead can close a cycle transiently until the victim is
+  /// aborted — see local_lock_manager.hpp.) Aborts on violation.
+  void validate_invariants() const;
+
  private:
   /// DFS: can `to` be reached from `from` following existing edges?
   bool reachable(Node from, Node to) const;

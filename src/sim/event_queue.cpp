@@ -2,7 +2,22 @@
 
 #include <cassert>
 
+#include "common/check.hpp"
+
 namespace rtdb::sim {
+
+void EventQueue::validate_invariants() const {
+  RTDB_CHECK(pending_.size() == live_, "live count %zu != pending set %zu",
+             live_, pending_.size());
+  RTDB_CHECK(heap_.size() == pending_.size() + cancelled_.size(),
+             "heap holds %zu entries, sets account for %zu", heap_.size(),
+             pending_.size() + cancelled_.size());
+  for (const EventId id : cancelled_) {
+    RTDB_CHECK(pending_.count(id) == 0,
+               "event %llu is both pending and cancelled",
+               static_cast<unsigned long long>(id));
+  }
+}
 
 EventId EventQueue::schedule(SimTime at, Callback fn) {
   assert(fn && "scheduling an empty callback");

@@ -62,6 +62,11 @@ class EventQueue {
   /// Removes and returns the next live event. Precondition: !empty().
   Fired pop();
 
+  /// Invariant audit: the live count equals the pending set, every heap
+  /// entry is accounted as exactly one of pending/cancelled, and the two
+  /// sets never overlap. Aborts on violation.
+  void validate_invariants() const;
+
  private:
   struct Entry {
     SimTime time;

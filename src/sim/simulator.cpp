@@ -11,6 +11,7 @@ std::uint64_t Simulator::run_until(SimTime horizon) {
     now_ = fired.time;
     fired.fn();
     ++executed_;
+    maybe_audit();
     if (++ran > event_limit_) {
       throw std::runtime_error(
           "Simulator: event limit exceeded (runaway event loop?)");
@@ -28,6 +29,7 @@ bool Simulator::step() {
   now_ = fired.time;
   fired.fn();
   ++executed_;
+  maybe_audit();
   return true;
 }
 

@@ -70,11 +70,31 @@ class Simulator {
   /// Exceeding it throws std::runtime_error. Default: 4 billion (off).
   void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
 
+  /// Registers an invariant-audit hook that runs after every `interval`
+  /// executed events (plus the simulator's own queue audit). interval = 0
+  /// disarms. The hook must not schedule or cancel events.
+  void set_audit_hook(std::uint64_t interval, Callback hook) {
+    audit_interval_ = interval;
+    audit_hook_ = std::move(hook);
+  }
+
+  /// Audits the event queue's internal bookkeeping.
+  void validate_invariants() const { queue_.validate_invariants(); }
+
  private:
+  /// Fires the registered audit hook when an interval boundary is crossed.
+  void maybe_audit() {
+    if (audit_interval_ == 0 || executed_ % audit_interval_ != 0) return;
+    queue_.validate_invariants();
+    if (audit_hook_) audit_hook_();
+  }
+
   EventQueue queue_;
   SimTime now_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t event_limit_ = UINT64_C(4'000'000'000);
+  std::uint64_t audit_interval_ = 0;
+  Callback audit_hook_;
 };
 
 }  // namespace rtdb::sim

@@ -2,7 +2,22 @@
 
 #include <stdexcept>
 
+#include "common/check.hpp"
+
 namespace rtdb::storage {
+
+void BufferManager::validate_invariants() const {
+  RTDB_CHECK(lru_.size() <= capacity_, "%zu resident pages exceed capacity %zu",
+             lru_.size(), capacity_);
+  RTDB_CHECK(index_.size() == lru_.size(),
+             "index tracks %zu pages, LRU list holds %zu", index_.size(),
+             lru_.size());
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    const auto idx = index_.find(it->id);
+    RTDB_CHECK(idx != index_.end() && idx->second == it,
+               "page %u resident but mis-indexed", it->id);
+  }
+}
 
 BufferManager::BufferManager(std::size_t capacity) : capacity_(capacity) {
   if (capacity == 0) {
@@ -76,6 +91,13 @@ double BufferManager::hit_rate() const {
 std::optional<ObjectId> BufferManager::lru_victim() const {
   if (lru_.empty()) return std::nullopt;
   return lru_.back().id;
+}
+
+std::vector<ObjectId> BufferManager::resident_pages() const {
+  std::vector<ObjectId> pages;
+  pages.reserve(lru_.size());
+  for (const Frame& f : lru_) pages.push_back(f.id);
+  return pages;
 }
 
 }  // namespace rtdb::storage

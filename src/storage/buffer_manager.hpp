@@ -4,6 +4,7 @@
 #include <list>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "common/ids.hpp"
 #include "sim/stats.hpp"
@@ -75,6 +76,15 @@ class BufferManager {
 
   /// Least-recently-used resident page (the next eviction victim), if any.
   [[nodiscard]] std::optional<ObjectId> lru_victim() const;
+
+  /// Resident page ids in MRU-to-LRU order (diagnostics/audits).
+  [[nodiscard]] std::vector<ObjectId> resident_pages() const;
+
+  /// Invariant audit: residency never exceeds capacity, and the id index
+  /// and the LRU list describe exactly the same frames (the pin-balance
+  /// analogue of the implicit-pin model — a frame can never be reachable
+  /// from one structure but not the other). Aborts on violation.
+  void validate_invariants() const;
 
  private:
   struct Frame {

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "common/check.hpp"
+
 namespace rtdb::storage {
 
 CacheTier ClientCache::tier_of(ObjectId id) const {
@@ -81,6 +83,15 @@ void ClientCache::mark_clean(ObjectId id) {
   } else if (disk_tier_.contains(id)) {
     disk_tier_.erase(id);
     disk_tier_.insert(id, /*dirty=*/false);
+  }
+}
+
+void ClientCache::validate_invariants() const {
+  memory_.validate_invariants();
+  disk_tier_.validate_invariants();
+  for (const ObjectId id : memory_.resident_pages()) {
+    RTDB_CHECK(!disk_tier_.contains(id),
+               "object %u resident in both cache tiers", id);
   }
 }
 

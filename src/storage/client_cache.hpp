@@ -93,6 +93,10 @@ class ClientCache {
 
   [[nodiscard]] const Disk& disk() const { return disk_; }
 
+  /// Invariant audit: both tiers pass their own audits and no object is
+  /// resident in memory and on the local disk at once. Aborts on violation.
+  void validate_invariants() const;
+
   void reset_stats() {
     hits_.reset();
     misses_.reset();

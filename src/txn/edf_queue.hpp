@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/check.hpp"
 #include "sim/time.hpp"
 
 /// \file edf_queue.hpp
@@ -72,7 +73,7 @@ class EdfQueue {
       if (pred(it->item)) {
         T item = std::move(it->item);
         entries_.erase(it);
-        return std::move(item);
+        return item;
       }
     }
     return std::nullopt;
@@ -93,6 +94,16 @@ class EdfQueue {
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] const std::deque<Entry>& entries() const { return entries_; }
   void clear() { entries_.clear(); }
+
+  /// Invariant audit: deadlines are non-decreasing front to back (the EDF
+  /// property every pop/count relies on). Aborts on violation.
+  void validate_invariants() const {
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      RTDB_CHECK(entries_[i - 1].deadline <= entries_[i].deadline,
+                 "EdfQueue out of order at %zu: %.9f > %.9f", i,
+                 entries_[i - 1].deadline, entries_[i].deadline);
+    }
+  }
 
  private:
   std::deque<Entry> entries_;

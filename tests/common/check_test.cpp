@@ -1,0 +1,65 @@
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+/// \file check_test.cpp
+/// The assertion tiers themselves: passing checks are silent, failing
+/// RTDB_CHECKs abort with a useful banner, and the ASSERT/DCHECK tiers are
+/// active exactly when their build flags say so.
+
+namespace {
+
+TEST(Check, PassingChecksAreSilent) {
+  RTDB_CHECK(true);
+  RTDB_CHECK(1 + 1 == 2, "arithmetic broke: %d", 1 + 1);
+  RTDB_ASSERT(true, "unused %s", "message");
+  RTDB_DCHECK(true);
+}
+
+TEST(Check, ConditionEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  RTDB_CHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(CheckDeathTest, FailureAbortsWithExpressionAndMessage) {
+  EXPECT_DEATH(RTDB_CHECK(2 + 2 == 5, "context=%d", 42),
+               "CHECK failed.*2 \\+ 2 == 5.*context=42");
+}
+
+TEST(CheckDeathTest, MessagelessFailureStillNamesExpression) {
+  EXPECT_DEATH(RTDB_CHECK(false), "CHECK failed.*false");
+}
+
+TEST(CheckDeathTest, AssertTierFollowsNdebug) {
+#ifndef NDEBUG
+  EXPECT_DEATH(RTDB_ASSERT(false, "debug build"), "CHECK failed");
+#else
+  RTDB_ASSERT(false, "compiled out in release");  // must be a no-op
+#endif
+}
+
+TEST(CheckDeathTest, DcheckTierFollowsBuildFlag) {
+#ifdef RTDB_ENABLE_DCHECKS
+  static_assert(rtdb::common::dchecks_enabled());
+  EXPECT_DEATH(RTDB_DCHECK(false, "dchecks on"), "CHECK failed");
+#else
+  static_assert(!rtdb::common::dchecks_enabled());
+  RTDB_DCHECK(false, "compiled out without RTDB_ENABLE_DCHECKS");
+#endif
+}
+
+TEST(Check, CompiledOutTiersDoNotEvaluateTheCondition) {
+  // When a tier is compiled out its condition must not run at all (the
+  // macros promise side-effect freedom is only *required*, not enforced).
+  int evaluations = 0;
+#ifdef NDEBUG
+  RTDB_ASSERT(++evaluations > 0);
+#endif
+#ifndef RTDB_ENABLE_DCHECKS
+  RTDB_DCHECK(++evaluations > 0);
+#endif
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace

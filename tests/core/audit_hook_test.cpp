@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/runner.hpp"
+#include "sim/simulator.hpp"
+
+/// \file audit_hook_test.cpp
+/// The periodic invariant-audit layer: the simulator fires the registered
+/// hook on event-count boundaries, and whole-system runs with auditing at
+/// maximum frequency sweep every structure validator without tripping
+/// (validators abort on violation, so mere completion is the assertion).
+
+namespace rtdb::core {
+namespace {
+
+TEST(AuditHook, FiresOnEveryIntervalBoundary) {
+  sim::Simulator sim;
+  int fired = 0;
+  sim.set_audit_hook(3, [&] { ++fired; });
+  for (int i = 0; i < 10; ++i) {
+    sim.after(static_cast<double>(i), [] {});
+  }
+  sim.run();
+  // Boundaries at executed counts 3, 6 and 9.
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.events_executed(), 10u);
+}
+
+TEST(AuditHook, IntervalZeroDisarms) {
+  sim::Simulator sim;
+  int fired = 0;
+  sim.set_audit_hook(1, [&] { ++fired; });
+  sim.set_audit_hook(0, [&] { ++fired; });
+  sim.after(0.0, [] {});
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(AuditHook, StepAuditsToo) {
+  sim::Simulator sim;
+  int fired = 0;
+  sim.set_audit_hook(1, [&] { ++fired; });
+  sim.after(0.0, [] {});
+  sim.after(1.0, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+/// Small but non-trivial run with the audit armed on every single event:
+/// every validate_invariants() walk runs thousands of times across the
+/// run's full state evolution (warm-up, contention, drain).
+class StructureAuditSweep : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(StructureAuditSweep, EveryEventAuditPassesCleanly) {
+  SystemConfig cfg;
+  cfg.ls = LsOptions::all();
+  cfg.num_clients = 6;
+  cfg.workload.update_fraction = 0.20;
+  cfg.seed = 7;
+  cfg.warmup = 20;
+  cfg.duration = 60;
+  cfg.audit_interval = 1;  // audit after every event
+  auto sys = make_system(GetParam(), cfg);
+  const RunMetrics m = sys->run();
+  EXPECT_GT(sys->simulator().events_executed(), 100u);
+  EXPECT_TRUE(m.accounted());
+  EXPECT_TRUE(sys->auditor().violations().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, StructureAuditSweep,
+                         ::testing::Values(SystemKind::kCentralized,
+                                           SystemKind::kClientServer,
+                                           SystemKind::kLoadSharing,
+                                           SystemKind::kOptimistic),
+                         [](const auto& info) {
+                           // Test names must be alphanumeric; strip the
+                           // dashes out of "LS-CS-RTDBS" etc.
+                           std::string name = to_string(info.param);
+                           std::erase(name, '-');
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace rtdb::core

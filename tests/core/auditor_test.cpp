@@ -72,6 +72,61 @@ TEST(Auditor, VersionsTrackedPerObject) {
   EXPECT_EQ(a.committed_version(99), 0u);
 }
 
+TEST(Auditor, SyntheticHistoryReportsEachKindExactlyOnce) {
+  // One interleaved multi-object history with exactly one anomaly of each
+  // kind buried in otherwise-clean traffic. Each must be reported exactly
+  // once, in occurrence order — no duplicates, no cross-talk between
+  // objects, and no false positives from the surrounding clean commits.
+  ConsistencyAuditor a;
+
+  // Clean prologue across three objects.
+  a.on_write_commit(1, 1, 1, 1.0);
+  a.on_read_commit(1, 2, 1, 1.5);
+  a.on_write_commit(2, 2, 1, 2.0);
+  a.on_clean_return(2, 2, /*version=*/1, /*server_version=*/1, 2.5);
+  a.on_write_commit(3, 3, 1, 3.0);
+  ASSERT_TRUE(a.violations().empty());
+
+  // Anomaly 1 — lost update: site 4 writes object 1 from the stale base
+  // v0, producing v1 again instead of v2.
+  a.on_write_commit(1, 4, 1, 4.0);
+
+  // Clean traffic between anomalies (the ledger resyncs to the anomalous
+  // writer's version, so a read of v1 is current).
+  a.on_read_commit(1, 2, 1, 4.5);
+  a.on_write_commit(2, 1, 2, 5.0);
+
+  // Anomaly 2 — stale read: site 5 commits a read of object 2 at v1 after
+  // v2 was installed.
+  a.on_read_commit(2, 5, 1, 6.0);
+
+  // More clean traffic.
+  a.on_read_commit(2, 3, 2, 6.5);
+  a.on_write_commit(3, 3, 2, 7.0);
+
+  // Anomaly 3 — divergent copy: a clean return of object 3 claims v1
+  // while the server holds v2.
+  a.on_clean_return(3, 6, /*version=*/1, /*server_version=*/2, 8.0);
+
+  // Clean epilogue.
+  a.on_read_commit(3, 1, 2, 9.0);
+  a.on_clean_return(1, 2, 1, 1, 9.5);
+
+  ASSERT_EQ(a.violations().size(), 3u);
+  EXPECT_EQ(a.violations()[0].kind, Kind::kLostUpdate);
+  EXPECT_EQ(a.violations()[0].object, 1u);
+  EXPECT_EQ(a.violations()[0].site, 4);
+  EXPECT_EQ(a.violations()[1].kind, Kind::kStaleRead);
+  EXPECT_EQ(a.violations()[1].object, 2u);
+  EXPECT_EQ(a.violations()[1].site, 5);
+  EXPECT_EQ(a.violations()[2].kind, Kind::kDivergentCopy);
+  EXPECT_EQ(a.violations()[2].object, 3u);
+  EXPECT_EQ(a.violations()[2].site, 6);
+  for (const auto& v : a.violations()) {
+    EXPECT_NE(v.expected, v.got);
+  }
+}
+
 TEST(Auditor, DescribeMentionsEssentials) {
   ConsistencyAuditor a;
   a.on_write_commit(7, 1, 1, 1.0);

@@ -1,0 +1,327 @@
+/// \file rtdb_verify.cpp
+/// Verification harness: machine-checkable proofs that a build behaves.
+///
+/// Two properties, over any subset of the prototypes:
+///
+///  * determinism — the simulator must replay bit-identically from a config
+///    seed. We run the identical configuration twice and compare a digest
+///    of everything a run produces (outcome counters, sample statistics,
+///    per-kind message/byte counts, resource utilizations, and the
+///    auditor's final per-object version vector). Any hidden wall-clock
+///    read, unseeded RNG, or container-order dependence shows up here.
+///
+///  * consistency — the run's ConsistencyAuditor ledger must be empty (no
+///    lost updates, stale reads or divergent copies), every measured
+///    transaction must have exactly one recorded outcome, and the outcome
+///    counters must balance (generated == committed + missed + aborted).
+///
+/// Exits 0 only when every requested proof holds; violations are printed
+/// with enough detail to start debugging. The periodic structure audit
+/// (validate_invariants() sweeps) is armed for every run, so a verify run
+/// also exercises the runtime invariant layer regardless of build type.
+///
+/// Examples:
+///   rtdb_verify                           # all systems, both proofs
+///   rtdb_verify --system ls --mode determinism
+///   rtdb_verify --system occ --clients 40 --updates 20 --seed 7
+///
+/// Run with --help for the full flag list.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+
+namespace {
+
+using namespace rtdb;
+
+// ---------------------------------------------------------------- digesting
+
+/// FNV-1a (64-bit) over raw bytes: stable, dependency-free, and order
+/// sensitive — exactly what a replay proof needs.
+class Digest {
+ public:
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 1099511628211ull;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void f64(double v) {
+    // Bit pattern, not value: -0.0 vs 0.0 or NaN payload differences are
+    // divergence too.
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 14695981039346656037ull;
+};
+
+void digest_samples(Digest& d, const sim::SampleStats& s) {
+  d.u64(s.count());
+  d.f64(s.mean());
+  d.f64(s.min());
+  d.f64(s.max());
+}
+
+/// Everything observable about a finished run, folded to one number.
+std::uint64_t run_digest(const core::System& sys, const core::RunMetrics& m) {
+  Digest d;
+  d.u64(m.generated);
+  d.u64(m.committed);
+  d.u64(m.missed);
+  d.u64(m.aborted);
+  d.u64(m.shipped_txns);
+  d.u64(m.h1_ships);
+  d.u64(m.h2_ships);
+  d.u64(m.decomposed_txns);
+  d.u64(m.subtasks_spawned);
+  d.u64(m.h1_rejections);
+  d.u64(m.cache_hits);
+  d.u64(m.cache_misses);
+  d.u64(m.forward_list_satisfactions);
+  d.u64(m.expired_requests_skipped);
+  d.u64(m.deadlock_refusals);
+  d.u64(m.consistency_violations);
+  d.u64(m.occ_validations);
+  d.u64(m.occ_rejections);
+  d.u64(m.spec_launched);
+  d.u64(m.spec_local_wins);
+  d.u64(m.spec_remote_wins);
+  digest_samples(d, m.response_time);
+  digest_samples(d, m.commit_slack);
+  digest_samples(d, m.object_response_shared);
+  digest_samples(d, m.object_response_exclusive);
+  d.f64(m.server_cpu_utilization);
+  d.f64(m.server_disk_utilization);
+  d.f64(m.network_utilization);
+  for (std::size_t k = 0; k < net::kMessageKindCount; ++k) {
+    const auto kind = static_cast<net::MessageKind>(k);
+    d.u64(m.messages.messages(kind));
+    d.u64(m.messages.bytes(kind));
+  }
+  // Final database state: the committed version of every object. Catches
+  // divergence that happens to cancel out in the aggregates.
+  const auto& auditor = sys.auditor();
+  d.u64(auditor.audited_reads());
+  d.u64(auditor.audited_writes());
+  for (std::size_t obj = 0; obj < sys.config().workload.db_size; ++obj) {
+    d.u64(auditor.committed_version(static_cast<ObjectId>(obj)));
+  }
+  return d.value();
+}
+
+// ------------------------------------------------------------------ proofs
+
+struct Options {
+  std::vector<core::SystemKind> systems{
+      core::SystemKind::kCentralized, core::SystemKind::kClientServer,
+      core::SystemKind::kLoadSharing, core::SystemKind::kOptimistic};
+  std::size_t clients = 16;
+  double updates = 20.0;
+  std::uint64_t seed = 42;
+  double duration = 150;
+  double warmup = 30;
+  std::uint64_t audit_interval = 2048;
+  bool check_determinism = true;
+  bool check_consistency = true;
+};
+
+core::SystemConfig make_config(const Options& opt) {
+  core::SystemConfig cfg;
+  cfg.ls = core::LsOptions::all();
+  cfg.num_clients = opt.clients;
+  cfg.workload.update_fraction = opt.updates / 100.0;
+  cfg.seed = opt.seed;
+  cfg.duration = opt.duration;
+  cfg.warmup = opt.warmup;
+  cfg.audit_interval = opt.audit_interval;
+  return cfg;
+}
+
+/// One run, structure audit armed, system kept alive for inspection.
+struct Run {
+  std::unique_ptr<core::System> sys;
+  core::RunMetrics metrics;
+  std::uint64_t digest = 0;
+};
+
+Run run_one(core::SystemKind kind, const core::SystemConfig& cfg) {
+  Run r;
+  r.sys = core::make_system(kind, cfg);
+  r.metrics = r.sys->run();
+  r.digest = run_digest(*r.sys, r.metrics);
+  return r;
+}
+
+bool prove_determinism(core::SystemKind kind, const Run& first,
+                       const core::SystemConfig& cfg) {
+  const Run second = run_one(kind, cfg);
+  if (first.digest == second.digest) {
+    std::printf("PASS  %-13s determinism  digest=%016llx\n",
+                core::to_string(kind).c_str(),
+                static_cast<unsigned long long>(first.digest));
+    return true;
+  }
+  std::printf(
+      "FAIL  %-13s determinism  run1=%016llx run2=%016llx\n"
+      "      run1: generated=%llu committed=%llu messages=%llu\n"
+      "      run2: generated=%llu committed=%llu messages=%llu\n",
+      core::to_string(kind).c_str(),
+      static_cast<unsigned long long>(first.digest),
+      static_cast<unsigned long long>(second.digest),
+      static_cast<unsigned long long>(first.metrics.generated),
+      static_cast<unsigned long long>(first.metrics.committed),
+      static_cast<unsigned long long>(first.metrics.messages.total_messages()),
+      static_cast<unsigned long long>(second.metrics.generated),
+      static_cast<unsigned long long>(second.metrics.committed),
+      static_cast<unsigned long long>(
+          second.metrics.messages.total_messages()));
+  return false;
+}
+
+bool prove_consistency(core::SystemKind kind, const Run& r) {
+  const auto& violations = r.sys->auditor().violations();
+  bool ok = true;
+  if (!violations.empty()) {
+    ok = false;
+    std::printf("FAIL  %-13s consistency  %zu violation(s)\n",
+                core::to_string(kind).c_str(), violations.size());
+    const std::size_t show = violations.size() < 5 ? violations.size() : 5;
+    for (std::size_t i = 0; i < show; ++i) {
+      std::printf("      %s\n",
+                  core::ConsistencyAuditor::describe(violations[i]).c_str());
+    }
+  }
+  if (r.sys->double_records() != 0) {
+    ok = false;
+    std::printf("FAIL  %-13s consistency  %llu double-recorded outcome(s)\n",
+                core::to_string(kind).c_str(),
+                static_cast<unsigned long long>(r.sys->double_records()));
+  }
+  if (!r.metrics.accounted()) {
+    ok = false;
+    std::printf(
+        "FAIL  %-13s consistency  unbalanced outcomes: "
+        "generated=%llu committed=%llu missed=%llu aborted=%llu\n",
+        core::to_string(kind).c_str(),
+        static_cast<unsigned long long>(r.metrics.generated),
+        static_cast<unsigned long long>(r.metrics.committed),
+        static_cast<unsigned long long>(r.metrics.missed),
+        static_cast<unsigned long long>(r.metrics.aborted));
+  }
+  if (ok) {
+    std::printf(
+        "PASS  %-13s consistency  reads=%llu writes=%llu violations=0\n",
+        core::to_string(kind).c_str(),
+        static_cast<unsigned long long>(r.sys->auditor().audited_reads()),
+        static_cast<unsigned long long>(r.sys->auditor().audited_writes()));
+  }
+  return ok;
+}
+
+// ------------------------------------------------------------------- flags
+
+void usage() {
+  std::puts(
+      "rtdb_verify — determinism and consistency proofs over the prototypes\n"
+      "\n"
+      "  --system ce|cs|ls|occ|all   prototype(s) to verify (default all)\n"
+      "  --mode determinism|consistency|all\n"
+      "                              which proofs to run (default all)\n"
+      "  --clients N                 cluster size (default 16)\n"
+      "  --updates P                 update percentage (default 20)\n"
+      "  --seed S                    workload seed (default 42)\n"
+      "  --duration S                measured seconds (default 150)\n"
+      "  --warmup S                  warm-up seconds (default 30)\n"
+      "  --audit N                   structure-audit interval in events\n"
+      "                              (default 2048; 0 = build default)\n"
+      "  --help                      this text\n"
+      "\n"
+      "Exit status: 0 iff every requested proof holds.");
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  const auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (!std::strcmp(a, "--help")) {
+      usage();
+      std::exit(0);
+    } else if (!std::strcmp(a, "--system")) {
+      const std::string v = need(i);
+      if (v == "ce") opt.systems = {core::SystemKind::kCentralized};
+      else if (v == "cs") opt.systems = {core::SystemKind::kClientServer};
+      else if (v == "ls") opt.systems = {core::SystemKind::kLoadSharing};
+      else if (v == "occ") opt.systems = {core::SystemKind::kOptimistic};
+      else if (v != "all") {
+        std::fprintf(stderr, "unknown system '%s'\n", v.c_str());
+        return false;
+      }
+    } else if (!std::strcmp(a, "--mode")) {
+      const std::string v = need(i);
+      if (v == "determinism") opt.check_consistency = false;
+      else if (v == "consistency") opt.check_determinism = false;
+      else if (v != "all") {
+        std::fprintf(stderr, "unknown mode '%s'\n", v.c_str());
+        return false;
+      }
+    } else if (!std::strcmp(a, "--clients")) {
+      opt.clients = static_cast<std::size_t>(std::atoll(need(i)));
+    } else if (!std::strcmp(a, "--updates")) {
+      opt.updates = std::atof(need(i));
+    } else if (!std::strcmp(a, "--seed")) {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (!std::strcmp(a, "--duration")) {
+      opt.duration = std::atof(need(i));
+    } else if (!std::strcmp(a, "--warmup")) {
+      opt.warmup = std::atof(need(i));
+    } else if (!std::strcmp(a, "--audit")) {
+      opt.audit_interval = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (see --help)\n", a);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) return 2;
+
+  const core::SystemConfig cfg = make_config(opt);
+  int failures = 0;
+  for (const auto kind : opt.systems) {
+    const Run first = run_one(kind, cfg);
+    if (opt.check_consistency && !prove_consistency(kind, first)) ++failures;
+    if (opt.check_determinism && !prove_determinism(kind, first, cfg)) {
+      ++failures;
+    }
+  }
+  if (failures) {
+    std::printf("rtdb_verify: %d proof(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("rtdb_verify: all proofs passed\n");
+  return 0;
+}
