@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/telemetry.hpp"
+
 namespace rtdb::core {
 
 CentralizedSystem::CentralizedSystem(SystemConfig config)
@@ -23,8 +25,16 @@ void CentralizedSystem::on_arrival(std::size_t, txn::Transaction txn) {
   // Terminal -> server: the transaction travels as a message; execution is
   // entirely server-side.
   const SiteId origin = txn.origin;
+  const sim::SimTime sent = sim_.now();
   net_.send(origin, kServerSite, net::MessageKind::kTxnSubmit,
-            [this, txn = std::move(txn)]() mutable {
+            [this, sent, txn = std::move(txn)]() mutable {
+              if (tel_.spans_enabled()) {
+                // Submit-message flight time, then the admission-queue
+                // episode (closed at admit() or by txn_end on a shed).
+                tel_.add_wait(txn.id, obs::WaitBucket::kNet,
+                              sim_.now() - sent);
+                tel_.txn_ready(txn.id, sim_.now());
+              }
               const sim::SimTime deadline = txn.deadline;
               admission_.push(std::move(txn), deadline);
               pump_admission();
@@ -57,6 +67,9 @@ void CentralizedSystem::pump_admission() {
   }
   for (auto& t : expired) {
     t.state = txn::TxnState::kMissed;
+    if (tel_.events_enabled()) {
+      tel_.event(obs::EventKind::kTxnMiss, sim_.now(), kServerSite, t.id);
+    }
     record_miss(t);
   }
   if (!next) return;
@@ -73,6 +86,9 @@ void CentralizedSystem::pump_admission() {
 
 void CentralizedSystem::admit(txn::Transaction txn) {
   const TxnId id = txn.id;
+  // Close the admission-queue episode (includes the serial overhead that
+  // just ran on this transaction's behalf).
+  if (tel_.spans_enabled()) tel_.txn_dequeued(id, sim_.now());
   auto live = std::make_unique<Live>();
   live->t = std::move(txn);
   live->t.state = txn::TxnState::kAcquiring;
@@ -82,6 +98,9 @@ void CentralizedSystem::admit(txn::Transaction txn) {
   // Missed already (server overload can delay admission past the deadline)?
   if (ref.t.missed(sim_.now())) {
     ref.t.state = txn::TxnState::kMissed;
+    if (tel_.events_enabled()) {
+      tel_.event(obs::EventKind::kTxnMiss, sim_.now(), kServerSite, id);
+    }
     record_miss(ref.t);
     destroy(id);
     return;
@@ -98,9 +117,14 @@ void CentralizedSystem::acquire_locks(Live& live) {
   const std::uint32_t epoch = live.epoch;
   for (const auto& [obj, mode] : needs) {
     const auto outcome = locks_.acquire(
-        id, obj, mode, live.t.deadline, [this, id, epoch](bool granted) {
+        id, obj, mode, live.t.deadline,
+        [this, id, epoch, queued_at = sim_.now()](bool granted) {
           Live* l = find(id);
           if (!l || l->epoch != epoch || !txn::is_live(l->t.state)) return;
+          if (granted && tel_.spans_enabled()) {
+            tel_.add_wait(id, obs::WaitBucket::kLock,
+                          sim_.now() - queued_at);
+          }
           if (!granted) {
             // Late deadlock: a more urgent request closed a cycle through
             // this waiter. Same recovery as an admission refusal.
@@ -137,6 +161,10 @@ void CentralizedSystem::handle_local_deadlock(TxnId id) {
       sim_.now() + backoff < live->t.deadline) {
     ++live->restarts;
     ++live->epoch;
+    if (tel_.spans_enabled()) tel_.txn_restart(id, sim_.now());
+    if (tel_.events_enabled()) {
+      tel_.event(obs::EventKind::kTxnRestart, sim_.now(), kServerSite, id);
+    }
     locks_.release_all(id);
     const std::uint32_t next_epoch = live->epoch;
     sim_.after(backoff, [this, id, next_epoch] {
@@ -149,6 +177,9 @@ void CentralizedSystem::handle_local_deadlock(TxnId id) {
     return;
   }
   live->t.state = txn::TxnState::kAborted;
+  if (tel_.events_enabled()) {
+    tel_.event(obs::EventKind::kTxnAbort, sim_.now(), kServerSite, id);
+  }
   record_abort(live->t);
   locks_.release_all(id);
   sim_.cancel(live->deadline_timer);
@@ -162,12 +193,22 @@ void CentralizedSystem::on_all_locks(TxnId id) {
   // queue on the server disk).
   const auto needs = live->t.lock_needs();
   live->ios_pending = needs.size();
+  const sim::SimTime io_start = sim_.now();
   for (const auto& [obj, mode] : needs) {
-    pf_->access(obj, mode == lock::LockMode::kExclusive, [this, id] {
-      Live* l = find(id);
-      if (!l || !txn::is_live(l->t.state)) return;
-      if (--l->ios_pending == 0) on_all_ios(id);
-    });
+    pf_->access(obj, mode == lock::LockMode::kExclusive,
+                [this, id, io_start] {
+                  Live* l = find(id);
+                  if (!l || !txn::is_live(l->t.state)) return;
+                  if (--l->ios_pending == 0) {
+                    // Wall time of the whole I/O phase (the accesses
+                    // overlap, so summing per-page times would inflate).
+                    if (tel_.spans_enabled()) {
+                      tel_.add_wait(id, obs::WaitBucket::kDisk,
+                                    sim_.now() - io_start);
+                    }
+                    on_all_ios(id);
+                  }
+                });
   }
   if (live->ios_pending == 0) on_all_ios(id);
 }
@@ -176,6 +217,10 @@ void CentralizedSystem::on_all_ios(TxnId id) {
   Live* live = find(id);
   if (!live || !txn::is_live(live->t.state)) return;
   live->t.state = txn::TxnState::kReady;
+  if (tel_.spans_enabled()) tel_.txn_ready(id, sim_.now());
+  if (tel_.events_enabled()) {
+    tel_.event(obs::EventKind::kTxnReady, sim_.now(), kServerSite, id);
+  }
   ready_.push(id, live->t.deadline);
   pump_executors();
 }
@@ -196,6 +241,10 @@ void CentralizedSystem::execute(Live& live) {
   const TxnId id = live.t.id;
   live.t.state = txn::TxnState::kExecuting;
   ++busy_slots_;
+  if (tel_.spans_enabled()) tel_.txn_exec_start(id, sim_.now());
+  if (tel_.events_enabled()) {
+    tel_.event(obs::EventKind::kTxnExec, sim_.now(), kServerSite, id);
+  }
   sim_.after(live.t.length, [this, id] {
     Live* l = find(id);
     if (!l || l->t.state != txn::TxnState::kExecuting) return;
@@ -208,6 +257,9 @@ void CentralizedSystem::commit(TxnId id) {
   assert(live && live->t.state == txn::TxnState::kExecuting);
   live->t.state = txn::TxnState::kCommitted;
   sim_.cancel(live->deadline_timer);
+  if (tel_.events_enabled()) {
+    tel_.event(obs::EventKind::kTxnCommit, sim_.now(), kServerSite, id);
+  }
   record_commit(live->t, sim_.now());
   observed_length_.add(live->t.length);
   // Version bookkeeping for the consistency audit (single-site locking
@@ -237,6 +289,9 @@ void CentralizedSystem::handle_deadline(TxnId id) {
   if (!live || !txn::is_live(live->t.state)) return;
   const bool was_executing = live->t.state == txn::TxnState::kExecuting;
   live->t.state = txn::TxnState::kMissed;
+  if (tel_.events_enabled()) {
+    tel_.event(obs::EventKind::kTxnMiss, sim_.now(), kServerSite, id);
+  }
   record_miss(live->t);
   locks_.release_all(id);  // releases holds and cancels queued waits
   if (was_executing) {
@@ -252,6 +307,16 @@ void CentralizedSystem::on_measurement_start() {
   System::on_measurement_start();
   pf_->reset_stats();
   overhead_cpu_.reset_stats();
+}
+
+void CentralizedSystem::sample_gauges() {
+  tel_.sample("ce.admission_depth", static_cast<double>(admission_.size()));
+  tel_.sample("ce.ready_depth", static_cast<double>(ready_.size()));
+  tel_.sample("ce.live_txns", static_cast<double>(live_.size()));
+  tel_.sample("ce.busy_slots", static_cast<double>(busy_slots_));
+  tel_.sample("server.cpu_util", overhead_cpu_.utilization());
+  tel_.sample("server.disk_util", pf_->disk().utilization());
+  tel_.sample("net.util", net_.utilization());
 }
 
 void CentralizedSystem::audit_structures() const {

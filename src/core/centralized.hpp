@@ -36,6 +36,7 @@ class CentralizedSystem final : public System {
   void on_measurement_start() override;
   void finalize(RunMetrics& m) override;
   void audit_structures() const override;
+  void sample_gauges() override;
 
  private:
   struct Live {

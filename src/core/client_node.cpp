@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "core/client_server.hpp"
+#include "obs/telemetry.hpp"
 #include "txn/decompose.hpp"
 
 namespace rtdb::core {
@@ -96,6 +97,15 @@ void ClientNode::begin(txn::Transaction t, SiteId origin, bool remote,
   live->needs = live->t.lock_needs();
   Live& ref = *live;
   live_.emplace(id, std::move(live));
+
+  if (sys_.telemetry().spans_enabled()) {
+    // Shipped copies and sub-tasks get their span here — they never pass
+    // through record_generated. For a re-admitted original (same id) the
+    // admit is idempotent and only the hop is recorded.
+    sys_.telemetry().txn_admit(id, origin, ref.t.arrival, ref.t.deadline,
+                               sys_.sim().now());
+    if (remote) sys_.telemetry().txn_hop(id, site_, sys_.sim().now());
+  }
 
   if (ref.t.missed(sys_.sim().now())) {
     finish(id, txn::TxnState::kMissed);
@@ -297,6 +307,10 @@ void ClientNode::ship_txn(TxnId id, SiteId to) {
                        static_cast<unsigned long long>(id), to);
   }
   ++sys_.live_metrics().shipped_txns;
+  if (sys_.telemetry().events_enabled()) {
+    sys_.telemetry().event(obs::EventKind::kTxnShip, sys_.sim().now(), site_,
+                           id, 0, to);
+  }
 
   ShippedTxn msg;
   msg.t = live->t;
@@ -358,6 +372,10 @@ void ClientNode::launch_speculation(Live& live, SiteId to) {
   if (spec_.count(orig) != 0) return;
   ++sys_.live_metrics().spec_launched;
   live.spec_parent = orig;  // the origin-side contender races too
+  if (sys_.telemetry().events_enabled()) {
+    sys_.telemetry().event(obs::EventKind::kSpecLaunch, sys_.sim().now(),
+                           site_, orig, 0, to);
+  }
 
   Spec rec;
   rec.t = live.t;
@@ -507,6 +525,11 @@ void ClientNode::start_decomposition(Live& live, const LocationReply& reply) {
 
   ++sys_.live_metrics().decomposed_txns;
   sys_.live_metrics().subtasks_spawned += subtasks.size();
+  if (sys_.telemetry().events_enabled()) {
+    sys_.telemetry().event(obs::EventKind::kTxnDecompose, sys_.sim().now(),
+                           site_, live.t.id, 0, 0, 0,
+                           static_cast<double>(subtasks.size()));
+  }
 
   const TxnId parent_id = live.t.id;
   Parent parent;
@@ -615,8 +638,9 @@ void ClientNode::admit_local(TxnId id) {
   const sim::SimTime deadline = live->t.deadline;
   const std::uint32_t epoch = live->epoch;
   for (const auto& [obj, mode] : live->needs) {
-    const auto outcome =
-        llm_.acquire(id, obj, mode, deadline, [this, id, epoch](bool granted) {
+    const auto outcome = llm_.acquire(
+        id, obj, mode, deadline,
+        [this, id, epoch, queued_at = sys_.sim().now()](bool granted) {
           Live* l = find(id);
           if (!l || l->epoch != epoch || !txn::is_live(l->t.state)) return;
           if (!granted) {
@@ -625,6 +649,11 @@ void ClientNode::admit_local(TxnId id) {
             ++sys_.live_metrics().deadlock_refusals;
             restart_after_deadlock(id);
             return;
+          }
+          if (sys_.telemetry().spans_enabled()) {
+            // Time spent queued behind a conflicting *local* holder.
+            sys_.telemetry().add_wait(id, obs::WaitBucket::kLock,
+                                      sys_.sim().now() - queued_at);
           }
           if (--l->local_locks_pending == 0) on_local_locks(id);
         });
@@ -656,6 +685,13 @@ void ClientNode::restart_after_deadlock(TxnId id) {
   }
   ++live->restarts;
   ++live->epoch;  // stale lock/cache callbacks from this attempt drop out
+  if (sys_.telemetry().spans_enabled()) {
+    sys_.telemetry().txn_restart(id, sys_.sim().now());
+  }
+  if (sys_.telemetry().events_enabled()) {
+    sys_.telemetry().event(obs::EventKind::kTxnRestart, sys_.sim().now(),
+                           site_, id);
+  }
   const std::uint32_t epoch = live->epoch;
   llm_.release_all(id);
   live->t.state = txn::TxnState::kPending;
@@ -767,6 +803,13 @@ void ClientNode::maybe_ready(TxnId id) {
     return;
   }
   live->t.state = txn::TxnState::kReady;
+  if (sys_.telemetry().spans_enabled()) {
+    sys_.telemetry().txn_ready(id, sys_.sim().now());
+  }
+  if (sys_.telemetry().events_enabled()) {
+    sys_.telemetry().event(obs::EventKind::kTxnReady, sys_.sim().now(),
+                           site_, id);
+  }
   ready_.push(id, live->t.deadline);
   pump_executor();
 }
@@ -779,6 +822,13 @@ void ClientNode::pump_executor() {
     if (!live || live->t.state != txn::TxnState::kReady) continue;
     live->t.state = txn::TxnState::kExecuting;
     ++busy_slots_;
+    if (sys_.telemetry().spans_enabled()) {
+      sys_.telemetry().txn_exec_start(*next, sys_.sim().now());
+    }
+    if (sys_.telemetry().events_enabled()) {
+      sys_.telemetry().event(obs::EventKind::kTxnExec, sys_.sim().now(),
+                             site_, *next);
+    }
     const TxnId id = *next;
     sys_.sim().after(live->t.length, [this, id] {
       Live* l = find(id);
@@ -864,6 +914,30 @@ void ClientNode::finish(TxnId id, txn::TxnState final_state) {
   const bool was_executing = live->t.state == txn::TxnState::kExecuting;
   live->t.state = final_state;
   sys_.sim().cancel(live->deadline_timer);
+
+  // The origin-side speculation contender shares the original's id; its
+  // local outcome must not close the original's span — the arbitration
+  // record decides that through the note_* chokepoints.
+  const bool owns_span = !(live->spec_parent != kInvalidTxn && !live->remote);
+  if (owns_span && sys_.telemetry().spans_enabled()) {
+    // Closes spans that never reach a System::record_* chokepoint
+    // (sub-tasks, speculation copies); for the rest the later chokepoint
+    // call is an idempotent no-op with the same instant and outcome.
+    const obs::Outcome o = final_state == txn::TxnState::kCommitted
+                               ? obs::Outcome::kCommitted
+                           : final_state == txn::TxnState::kMissed
+                               ? obs::Outcome::kMissed
+                               : obs::Outcome::kAborted;
+    sys_.telemetry().txn_end(id, o, sys_.sim().now());
+  }
+  if (sys_.telemetry().events_enabled()) {
+    const obs::EventKind ek = final_state == txn::TxnState::kCommitted
+                                  ? obs::EventKind::kTxnCommit
+                              : final_state == txn::TxnState::kMissed
+                                  ? obs::EventKind::kTxnMiss
+                                  : obs::EventKind::kTxnAbort;
+    sys_.telemetry().event(ek, sys_.sim().now(), site_, id);
+  }
 
   // Outcome reporting: the origin owns the accounting.
   const bool success = final_state == txn::TxnState::kCommitted;
@@ -971,9 +1045,14 @@ void ClientNode::handle_incoming_object(Grant g, bool via_forward) {
     if (live && txn::is_live(live->t.state) &&
         live->awaiting.count(g.object)) {
       auto mark = live->request_marks.find(g.object);
-      if (mark != live->request_marks.end() && sys_.measured(live->t)) {
-        sys_.live_metrics().object_response_shared.add(
-            sys_.sim().now() - mark->second.sent_at);
+      if (mark != live->request_marks.end()) {
+        const sim::Duration rtt = sys_.sim().now() - mark->second.sent_at;
+        if (sys_.measured(live->t)) {
+          sys_.live_metrics().object_response_shared.add(rtt);
+        }
+        if (sys_.telemetry().spans_enabled()) {
+          sys_.telemetry().object_wait(g.txn, g.object, rtt);
+        }
       }
       need_satisfied(g.txn, g.object);
     }
@@ -1008,11 +1087,17 @@ void ClientNode::handle_incoming_object(Grant g, bool via_forward) {
     if (live && txn::is_live(live->t.state) &&
         live->awaiting.count(g.object)) {
       auto mark = live->request_marks.find(g.object);
-      if (mark != live->request_marks.end() && sys_.measured(live->t)) {
-        auto& series = mark->second.mode == LockMode::kExclusive
-                           ? sys_.live_metrics().object_response_exclusive
-                           : sys_.live_metrics().object_response_shared;
-        series.add(sys_.sim().now() - mark->second.sent_at);
+      if (mark != live->request_marks.end()) {
+        const sim::Duration rtt = sys_.sim().now() - mark->second.sent_at;
+        if (sys_.measured(live->t)) {
+          auto& series = mark->second.mode == LockMode::kExclusive
+                             ? sys_.live_metrics().object_response_exclusive
+                             : sys_.live_metrics().object_response_shared;
+          series.add(rtt);
+        }
+        if (sys_.telemetry().spans_enabled()) {
+          sys_.telemetry().object_wait(g.txn, g.object, rtt);
+        }
       }
       live->circulating_used.push_back(g.object);
       need_satisfied(g.txn, g.object);
@@ -1050,11 +1135,17 @@ void ClientNode::handle_incoming_object(Grant g, bool via_forward) {
 
   if (live && txn::is_live(live->t.state) && live->awaiting.count(g.object)) {
     auto mark = live->request_marks.find(g.object);
-    if (mark != live->request_marks.end() && sys_.measured(live->t)) {
-      auto& series = mark->second.mode == LockMode::kExclusive
-                         ? sys_.live_metrics().object_response_exclusive
-                         : sys_.live_metrics().object_response_shared;
-      series.add(sys_.sim().now() - mark->second.sent_at);
+    if (mark != live->request_marks.end()) {
+      const sim::Duration rtt = sys_.sim().now() - mark->second.sent_at;
+      if (sys_.measured(live->t)) {
+        auto& series = mark->second.mode == LockMode::kExclusive
+                           ? sys_.live_metrics().object_response_exclusive
+                           : sys_.live_metrics().object_response_shared;
+        series.add(rtt);
+      }
+      if (sys_.telemetry().spans_enabled()) {
+        sys_.telemetry().object_wait(g.txn, g.object, rtt);
+      }
     }
     need_satisfied(g.txn, g.object);
   }
@@ -1076,6 +1167,10 @@ void ClientNode::fulfil_forward_duty(ObjectId obj) {
          duty.rest[next_idx].mode == lock::LockMode::kExclusive &&
          duty.rest[next_idx].expires < now) {
     ++sys_.live_metrics().expired_requests_skipped;
+    if (sys_.telemetry().events_enabled()) {
+      sys_.telemetry().event(obs::EventKind::kExpiredSkip, now, site_,
+                             duty.rest[next_idx].txn, obj);
+    }
     ++next_idx;
   }
 
@@ -1094,6 +1189,11 @@ void ClientNode::fulfil_forward_duty(ObjectId obj) {
   }
 
   const lock::ForwardEntry next = duty.rest[next_idx];
+  if (sys_.telemetry().events_enabled()) {
+    sys_.telemetry().event(
+        obs::EventKind::kForwardHop, now, site_, next.txn, obj, next.site,
+        next.mode == lock::LockMode::kExclusive ? 1 : 0);
+  }
   Grant g;
   g.txn = next.txn;
   g.object = obj;
@@ -1198,6 +1298,10 @@ void ClientNode::on_cache_eviction(ObjectId obj, bool dirty) {
   // The object fell out of both cache tiers: the client cannot claim the
   // lock any longer — return it (with the update when dirty).
   if (cached_server_mode(obj) == LockMode::kNone) return;
+  if (sys_.telemetry().events_enabled()) {
+    sys_.telemetry().event(obs::EventKind::kCacheEvict, sys_.sim().now(),
+                           site_, kInvalidTxn, obj, 0, dirty ? 1 : 0);
+  }
   server_mode_.erase(obj);
   ObjectReturn ret;
   ret.client = site_;

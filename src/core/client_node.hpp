@@ -64,6 +64,11 @@ class ClientNode {
   }
   [[nodiscard]] lock::LockMode cached_server_mode(ObjectId obj) const;
 
+  // Gauge accessors for the telemetry sampler (read-only snapshots).
+  [[nodiscard]] std::size_t ready_depth() const { return ready_.size(); }
+  [[nodiscard]] std::size_t executing() const { return busy_slots_; }
+  [[nodiscard]] std::size_t forward_duties() const { return duties_.size(); }
+
   void reset_stats();
 
   /// Invariant audit: local lock manager, two-tier cache, ED-ready queue,

@@ -64,6 +64,39 @@ void ClientServerSystem::on_measurement_start() {
   for (auto& c : clients_) c->reset_stats();
 }
 
+void ClientServerSystem::sample_gauges() {
+  if (!server_) return;  // sampler tick before start()
+  std::size_t ready = 0, busy = 0, liv = 0, cached = 0, duties = 0;
+  for (const auto& c : clients_) {
+    ready += c->ready_depth();
+    busy += c->executing();
+    liv += c->live_count();
+    cached += c->cache().size();
+    duties += c->forward_duties();
+  }
+  tel_.sample("cs.ready_depth", static_cast<double>(ready));
+  tel_.sample("cs.busy_slots", static_cast<double>(busy));
+  tel_.sample("cs.live_txns", static_cast<double>(liv));
+  tel_.sample("cache.occupancy", static_cast<double>(cached));
+  tel_.sample("cs.forward_duties", static_cast<double>(duties));
+  const lock::GlobalLockTable& glt = server_->lock_table();
+  tel_.sample("glt.queued_entries",
+              static_cast<double>(glt.total_queued_entries()));
+  tel_.sample("glt.circulating",
+              static_cast<double>(glt.circulating_objects()));
+  tel_.sample("glt.expired_dropped",
+              static_cast<double>(glt.total_expired_dropped()));
+  tel_.sample("server.open_windows",
+              static_cast<double>(server_->open_windows()));
+  tel_.sample("server.parked_batches",
+              static_cast<double>(server_->parked_batches()));
+  tel_.sample("server.queued_txns",
+              static_cast<double>(server_->queued_txns()));
+  tel_.sample("server.cpu_util", server_->cpu_utilization());
+  tel_.sample("server.disk_util", server_->disk_utilization());
+  tel_.sample("net.util", net_.utilization());
+}
+
 void ClientServerSystem::audit_structures() const {
   sim_.validate_invariants();
   if (server_) server_->validate_invariants();

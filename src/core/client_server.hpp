@@ -63,6 +63,7 @@ class ClientServerSystem final : public System {
   void on_measurement_start() override;
   void finalize(RunMetrics& m) override;
   void audit_structures() const override;
+  void sample_gauges() override;
 
  private:
   std::unique_ptr<ServerNode> server_;

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "net/network.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/time.hpp"
 #include "storage/client_cache.hpp"
 #include "storage/paged_file.hpp"
@@ -182,6 +183,13 @@ struct SystemConfig {
   /// common/check.hpp), off otherwise. The RTDB_AUDIT_INTERVAL environment
   /// variable overrides both.
   std::uint64_t audit_interval = 0;
+
+  // --- telemetry ---------------------------------------------------------------
+  /// What the obs layer records (spans, typed events, gauge sampling); all
+  /// off by default — recording is passive and cannot change run outcomes,
+  /// but the memory is only spent when asked for (rtdbctl --trace-out /
+  /// --metrics-out set these).
+  obs::TelemetryConfig telemetry;
 
   // --- load sharing -----------------------------------------------------------
   LsOptions ls;

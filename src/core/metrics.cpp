@@ -28,11 +28,23 @@ void MetricsAggregator::add(const RunMetrics& run) {
   cache_hit_.add(run.cache_hit_percent());
   obj_resp_shared_.add(run.object_response_shared.mean());
   obj_resp_exclusive_.add(run.object_response_exclusive.mean());
+  message_totals_.merge(run.messages);
+  generated_ += run.generated;
+  committed_ += run.committed;
+  missed_ += run.missed;
+  aborted_ += run.aborted;
+  response_time_.merge(run.response_time);
+  commit_slack_.merge(run.commit_slack);
+  obj_resp_shared_all_.merge(run.object_response_shared);
+  obj_resp_exclusive_all_.merge(run.object_response_exclusive);
   last_ = run;
 }
 
 double MetricsAggregator::mean_success_percent() const {
   return success_.mean();
+}
+double MetricsAggregator::stddev_success_percent() const {
+  return success_.stddev();
 }
 double MetricsAggregator::mean_cache_hit_percent() const {
   return cache_hit_.mean();

@@ -98,7 +98,7 @@ struct RunMetrics {
 };
 
 /// Pools metrics across replicated runs (different seeds): counters sum,
-/// sample stats merge, utilizations average.
+/// message tables sum, sample stats merge; per-run ratios average.
 class MetricsAggregator {
  public:
   void add(const RunMetrics& run);
@@ -107,13 +107,43 @@ class MetricsAggregator {
   /// Mean success percentage across runs (unweighted, like the paper's
   /// repeated-run averages).
   [[nodiscard]] double mean_success_percent() const;
+  [[nodiscard]] double stddev_success_percent() const;
   [[nodiscard]] double mean_cache_hit_percent() const;
   [[nodiscard]] double mean_object_response_shared() const;
   [[nodiscard]] double mean_object_response_exclusive() const;
 
-  /// The last run added (for message tables, which the paper reports for a
-  /// single run).
+  /// The last run added — kept verbatim for paper-table parity (the paper
+  /// reports message tables for a single run).
   [[nodiscard]] const RunMetrics& last() const { return last_; }
+
+  // --- cross-seed merges ----------------------------------------------------
+
+  /// Per-kind message counts summed over every added run (Table 4 across
+  /// seeds), unlike last() which is one run.
+  [[nodiscard]] const net::MessageStats& message_totals() const {
+    return message_totals_;
+  }
+
+  /// Outcome counters summed over every added run.
+  [[nodiscard]] std::uint64_t total_generated() const { return generated_; }
+  [[nodiscard]] std::uint64_t total_committed() const { return committed_; }
+  [[nodiscard]] std::uint64_t total_missed() const { return missed_; }
+  [[nodiscard]] std::uint64_t total_aborted() const { return aborted_; }
+
+  /// Sample distributions pooled over every added run — quantiles and
+  /// histograms over all seeds, not just the last one.
+  [[nodiscard]] sim::SampleStats& merged_response_time() {
+    return response_time_;
+  }
+  [[nodiscard]] sim::SampleStats& merged_commit_slack() {
+    return commit_slack_;
+  }
+  [[nodiscard]] sim::SampleStats& merged_object_response_shared() {
+    return obj_resp_shared_all_;
+  }
+  [[nodiscard]] sim::SampleStats& merged_object_response_exclusive() {
+    return obj_resp_exclusive_all_;
+  }
 
  private:
   std::size_t runs_ = 0;
@@ -121,6 +151,15 @@ class MetricsAggregator {
   sim::MeanAccumulator cache_hit_;
   sim::MeanAccumulator obj_resp_shared_;
   sim::MeanAccumulator obj_resp_exclusive_;
+  net::MessageStats message_totals_;
+  std::uint64_t generated_ = 0;
+  std::uint64_t committed_ = 0;
+  std::uint64_t missed_ = 0;
+  std::uint64_t aborted_ = 0;
+  sim::SampleStats response_time_;
+  sim::SampleStats commit_slack_;
+  sim::SampleStats obj_resp_shared_all_;
+  sim::SampleStats obj_resp_exclusive_all_;
   RunMetrics last_;
 };
 

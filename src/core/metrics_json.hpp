@@ -1,0 +1,24 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/metrics.hpp"
+#include "obs/telemetry.hpp"
+
+/// \file metrics_json.hpp
+/// JSON export of a whole experiment: cross-seed aggregates, the last run's
+/// counter tables (paper-table parity), response-time distributions with
+/// quantiles and log-spaced histograms, and — when telemetry ran — the gauge
+/// time series plus the deadline-miss attribution postmortem. Schema is
+/// documented in docs/observability.md; rtdbctl --metrics-out writes it.
+
+namespace rtdb::core {
+
+/// Writes the metrics document for `system` (e.g. "ls"). `tel` may be null
+/// (no telemetry section); it covers the *last* seed's run, and the
+/// attribution table reconciles against that run's missed + aborted.
+void write_metrics_json(std::ostream& os, const std::string& system,
+                        MetricsAggregator& agg, const obs::Telemetry* tel);
+
+}  // namespace rtdb::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/telemetry.hpp"
 #include "workload/access_pattern.hpp"
 
 namespace rtdb::core {
@@ -79,34 +80,57 @@ void OptimisticSystem::begin_attempt(TxnId id) {
   for (const auto& [obj, mode] : live->t.lock_needs()) {
     (void)mode;
     ++live->cache_ios;
-    const bool local = cs.cache.access(obj, /*write=*/false, [this, id, epoch] {
-      Live* l = find(id);
-      if (!l || l->epoch != epoch || !txn::is_live(l->t.state)) return;
-      if (--l->cache_ios == 0 && l->fetches_pending == 0) on_all_fetched(id);
-    });
+    const bool local = cs.cache.access(
+        obj, /*write=*/false,
+        [this, id, epoch, io_start = sim_.now()] {
+          Live* l = find(id);
+          if (!l || l->epoch != epoch || !txn::is_live(l->t.state)) return;
+          if (tel_.spans_enabled()) {
+            // Local-cache page fault (client disk).
+            tel_.add_wait(id, obs::WaitBucket::kDisk, sim_.now() - io_start);
+          }
+          if (--l->cache_ios == 0 && l->fetches_pending == 0) {
+            on_all_fetched(id);
+          }
+        });
     if (local) continue;
     --live->cache_ios;
 
     // Plain copy fetch: no lock semantics, no callbacks.
     ++live->fetches_pending;
+    const sim::SimTime fetch_start = sim_.now();
     net_.send(site, kServerSite, net::MessageKind::kObjectRequest,
-              [this, id, obj, site, epoch] {
+              [this, id, obj, site, epoch, fetch_start] {
                 server_cpu_->submit(config_.server_msg_overhead, [this, id,
                                                                   obj, site,
-                                                                  epoch] {
+                                                                  epoch,
+                                                                  fetch_start] {
+                  const sim::SimTime io_start = sim_.now();
                   pf_->access(obj, /*write=*/false, [this, id, obj, site,
-                                                     epoch] {
+                                                     epoch, fetch_start,
+                                                     io_start] {
                     const std::uint64_t v = [&] {
                       const auto it = committed_.find(obj);
                       return it == committed_.end() ? 0ull : it->second;
                     }();
+                    const sim::Duration disk_d = sim_.now() - io_start;
                     net_.send(kServerSite, site,
                               net::MessageKind::kObjectShip,
-                              [this, id, obj, v, epoch] {
+                              [this, id, obj, v, epoch, fetch_start,
+                               disk_d] {
                                 Live* l = find(id);
                                 if (!l || l->epoch != epoch ||
                                     !txn::is_live(l->t.state)) {
                                   return;
+                                }
+                                if (tel_.spans_enabled()) {
+                                  // Fetch round trip: the server's page
+                                  // read is disk wait, the rest network.
+                                  tel_.add_wait(id, obs::WaitBucket::kDisk,
+                                                disk_d);
+                                  tel_.add_wait(
+                                      id, obs::WaitBucket::kNet,
+                                      sim_.now() - fetch_start - disk_d);
                                 }
                                 ClientState& st = state_of(*l);
                                 st.cache.insert(obj, /*dirty=*/false);
@@ -134,6 +158,10 @@ void OptimisticSystem::on_all_fetched(TxnId id) {
     live->read_set.emplace_back(obj, it == cs.version.end() ? 0 : it->second);
   }
   live->t.state = txn::TxnState::kReady;
+  if (tel_.spans_enabled()) tel_.txn_ready(id, sim_.now());
+  if (tel_.events_enabled()) {
+    tel_.event(obs::EventKind::kTxnReady, sim_.now(), live->t.origin, id);
+  }
   cs.ready.push(id, live->t.deadline);
   pump_executor(live->client_index);
 }
@@ -148,6 +176,10 @@ void OptimisticSystem::pump_executor(std::size_t client_index) {
     live->t.state = txn::TxnState::kExecuting;
     ++cs.busy_slots;
     const TxnId id = *next;
+    if (tel_.spans_enabled()) tel_.txn_exec_start(id, sim_.now());
+    if (tel_.events_enabled()) {
+      tel_.event(obs::EventKind::kTxnExec, sim_.now(), live->t.origin, id);
+    }
     sim_.after(live->t.length, [this, id] {
       Live* l = find(id);
       if (!l || l->t.state != txn::TxnState::kExecuting) return;
@@ -203,6 +235,10 @@ void OptimisticSystem::server_validate(
   }
 
   const bool accepted = stale.empty() && !expired;
+  if (tel_.events_enabled()) {
+    tel_.event(obs::EventKind::kOccValidate, sim_.now(), kServerSite, id, 0,
+               client, accepted ? 0 : 1);
+  }
   if (accepted) {
     const sim::SimTime now = sim_.now();
     for (const ObjectId obj : writes) {
@@ -250,6 +286,10 @@ void OptimisticSystem::on_verdict(
   }
   ++live->restarts;
   ++live->epoch;
+  if (tel_.spans_enabled()) tel_.txn_restart(id, sim_.now());
+  if (tel_.events_enabled()) {
+    tel_.event(obs::EventKind::kTxnRestart, sim_.now(), live->t.origin, id);
+  }
   const std::uint32_t epoch = live->epoch;
   if (live->restarts > occ_.max_restarts ||
       sim_.now() + occ_.restart_backoff >= live->t.deadline) {
@@ -276,6 +316,13 @@ void OptimisticSystem::finish(TxnId id, txn::TxnState final_state) {
   const bool was_executing = live->t.state == txn::TxnState::kExecuting;
   live->t.state = final_state;
   sim_.cancel(live->deadline_timer);
+  if (tel_.events_enabled()) {
+    const obs::EventKind k =
+        final_state == txn::TxnState::kCommitted ? obs::EventKind::kTxnCommit
+        : final_state == txn::TxnState::kMissed  ? obs::EventKind::kTxnMiss
+                                                 : obs::EventKind::kTxnAbort;
+    tel_.event(k, sim_.now(), live->t.origin, id);
+  }
   switch (final_state) {
     case txn::TxnState::kCommitted:
       record_commit(live->t, sim_.now());
@@ -303,6 +350,23 @@ void OptimisticSystem::on_measurement_start() {
   for (auto& c : clients_) c->cache.reset_stats();
   validations_ = 0;
   rejections_ = 0;
+}
+
+void OptimisticSystem::sample_gauges() {
+  std::size_t ready = 0, busy = 0, cached = 0;
+  for (const auto& c : clients_) {
+    ready += c->ready.size();
+    busy += c->busy_slots;
+    cached += c->cache.size();
+  }
+  tel_.sample("occ.ready_depth", static_cast<double>(ready));
+  tel_.sample("occ.busy_slots", static_cast<double>(busy));
+  tel_.sample("occ.live_txns", static_cast<double>(live_.size()));
+  tel_.sample("cache.occupancy", static_cast<double>(cached));
+  tel_.sample("occ.rejections", static_cast<double>(rejections_));
+  tel_.sample("server.cpu_util", server_cpu_->utilization());
+  tel_.sample("server.disk_util", pf_->disk().utilization());
+  tel_.sample("net.util", net_.utilization());
 }
 
 void OptimisticSystem::audit_structures() const {

@@ -44,6 +44,7 @@ class OptimisticSystem final : public System {
   void on_measurement_start() override;
   void finalize(RunMetrics& m) override;
   void audit_structures() const override;
+  void sample_gauges() override;
 
  private:
   /// Per-workstation execution state (no lock manager — that is the point).

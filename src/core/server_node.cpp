@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "core/client_server.hpp"
+#include "obs/telemetry.hpp"
 
 namespace rtdb::core {
 
@@ -184,6 +185,20 @@ bool ServerNode::enqueue_conflicted(const ObjectRequestBatch& batch,
     entry.priority = ed ? batch.deadline : sys_.sim().now();
     glt_.queue(need.object).add(entry);
     note_queued(batch.txn, batch.client, need.object);
+    if (sys_.telemetry().spans_enabled() || sys_.telemetry().events_enabled()) {
+      SiteId holder = kInvalidSite;
+      const auto hs =
+          glt_.conflicting_holders(need.object, need.mode, batch.client);
+      if (!hs.empty()) holder = hs.front();
+      if (sys_.telemetry().spans_enabled()) {
+        sys_.telemetry().lock_queued(batch.txn, need.object, holder,
+                                     sys_.sim().now());
+      }
+      if (sys_.telemetry().events_enabled()) {
+        sys_.telemetry().event(obs::EventKind::kLockQueued, sys_.sim().now(),
+                               kServerSite, batch.txn, need.object, holder);
+      }
+    }
 
     if (!glt_.can_grant(need.object, batch.client, need.mode)) {
       // The object is busy elsewhere: open the collection window (lock
@@ -261,6 +276,11 @@ void ServerNode::send_recalls(ObjectId obj) {
                          "recall obj=%u -> site %d (want %s)", obj, hold.site,
                          std::string(lock::to_string(wanted)).c_str());
     }
+    if (sys_.telemetry().events_enabled()) {
+      sys_.telemetry().event(obs::EventKind::kLockRecall, sys_.sim().now(),
+                             kServerSite, kInvalidTxn, obj, hold.site,
+                             wanted == LockMode::kExclusive ? 1 : 0);
+    }
     Recall r{obj, wanted};
     sys_.net().send(kServerSite, hold.site, net::MessageKind::kObjectRecall,
                     [this, site = hold.site, r] {
@@ -321,6 +341,10 @@ void ServerNode::maybe_open_window(ObjectId obj) {
     sys_.trace().emitf(sys_.sim().now(), sim::TraceCategory::kWindow, 0,
                        "window open obj=%u", obj);
   }
+  if (sys_.telemetry().events_enabled()) {
+    sys_.telemetry().event(obs::EventKind::kWindowOpen, sys_.sim().now(),
+                           kServerSite, kInvalidTxn, obj);
+  }
   const auto id = sys_.sim().after(sys_.ls().collection_window,
                                    [this, obj] { on_window_end(obj); });
   windows_.emplace(obj, id);
@@ -373,6 +397,9 @@ void ServerNode::pump_object(ObjectId obj) {
           if (!e) break;
           list.push_back(*e);
           note_entry_gone(e->txn, obj);
+          if (sys_.telemetry().spans_enabled()) {
+            sys_.telemetry().lock_served(e->txn, obj, sys_.sim().now());
+          }
         }
         assert(!list.empty());
         if (list.size() >= 2) {
@@ -398,6 +425,12 @@ void ServerNode::pump_object(ObjectId obj) {
             sys_.trace().emitf(sys_.sim().now(), sim::TraceCategory::kWindow,
                                0, "circulate obj=%u group=%zu head=site %d",
                                obj, list.size(), list[0].site);
+          }
+          if (sys_.telemetry().events_enabled()) {
+            sys_.telemetry().event(obs::EventKind::kCirculate,
+                                   sys_.sim().now(), kServerSite, list[0].txn,
+                                   obj, list[0].site, 0,
+                                   static_cast<double>(list.size()));
           }
           Grant g;
           g.txn = list[0].txn;
@@ -430,6 +463,9 @@ void ServerNode::pump_object(ObjectId obj) {
     note_skipped(more_skipped, obj);
     assert(e);
     note_entry_gone(e->txn, obj);
+    if (sys_.telemetry().spans_enabled()) {
+      sys_.telemetry().lock_served(e->txn, obj, sys_.sim().now());
+    }
     const LockMode held = glt_.holder_mode(obj, e->site);
     glt_.add_holder(obj, e->site, e->mode);
     Grant g;
@@ -451,13 +487,25 @@ void ServerNode::ship(SiteId to, Grant grant, net::MessageKind kind) {
                        std::string(lock::to_string(grant.mode)).c_str(),
                        grant.with_data ? ", data" : "");
   }
+  if (sys_.telemetry().events_enabled()) {
+    sys_.telemetry().event(obs::EventKind::kLockGrant, sys_.sim().now(),
+                           kServerSite, grant.txn, grant.object, to,
+                           grant.mode == LockMode::kExclusive ? 1 : 0,
+                           grant.with_data ? 1 : 0);
+  }
   if (grant.with_data) {
     // The data leaves with the server's current version (auditing).
     grant.version = version_of(grant.object);
     // Read the page (buffer hit or disk) before it can leave the server.
     const ObjectId obj = grant.object;
+    const sim::SimTime read_start = sys_.sim().now();
     pf_.access(obj, /*write=*/false,
-               [this, to, kind, grant = std::move(grant)] {
+               [this, to, kind, read_start, grant = std::move(grant)] {
+                 if (sys_.telemetry().spans_enabled()) {
+                   sys_.telemetry().server_disk_wait(
+                       grant.txn, grant.object,
+                       sys_.sim().now() - read_start);
+                 }
                  sys_.net().send(kServerSite, to, kind, [this, to, grant] {
                    sys_.client(to).on_grant(grant);
                  });
@@ -476,6 +524,11 @@ void ServerNode::ship(SiteId to, Grant grant, net::MessageKind kind) {
 void ServerNode::on_object_return(ObjectReturn ret) {
   update_load(ret.client, ret.load);
   cpu_.submit(sys_.cfg().server_msg_overhead, [this, ret] {
+    if (sys_.telemetry().events_enabled()) {
+      sys_.telemetry().event(obs::EventKind::kLockReturn, sys_.sim().now(),
+                             kServerSite, kInvalidTxn, ret.object, ret.client,
+                             ret.dirty ? 1 : 0);
+    }
     if (ret.from_circulation) {
       pf_.install(ret.object, ret.dirty);
       if (ret.dirty) {
@@ -604,6 +657,10 @@ void ServerNode::note_skipped(const std::vector<lock::ForwardEntry>& skipped,
                               ObjectId obj) {
   for (const auto& e : skipped) {
     ++sys_.live_metrics().expired_requests_skipped;
+    if (sys_.telemetry().events_enabled()) {
+      sys_.telemetry().event(obs::EventKind::kExpiredSkip, sys_.sim().now(),
+                             kServerSite, e.txn, obj);
+    }
     note_entry_gone(e.txn, obj);
   }
 }

@@ -63,6 +63,11 @@ class ServerNode {
     return pf_.disk().utilization();
   }
 
+  // Gauge accessors for the telemetry sampler (read-only snapshots).
+  [[nodiscard]] std::size_t open_windows() const { return windows_.size(); }
+  [[nodiscard]] std::size_t parked_batches() const { return parked_.size(); }
+  [[nodiscard]] std::size_t queued_txns() const { return queued_.size(); }
+
   void reset_stats();
 
   /// Invariant audit: global lock table, wait-for graph, buffer pool, and

@@ -13,6 +13,18 @@ System::System(SystemConfig config)
       net_(sim_, config.network),
       suite_(config.workload, config.num_clients, config.seed) {
   trace_.enable_from_env();
+  tel_.configure(config_.telemetry);
+  if (tel_.events_enabled()) {
+    // Record every counted wire message as a typed event. The hook is only
+    // installed when event recording is on, so the disabled cost stays at
+    // one branch inside Network::send.
+    net_.set_send_hook([this](SiteId src, SiteId dst, net::MessageKind kind,
+                              std::uint64_t frame_bytes) {
+      tel_.event(obs::EventKind::kMsgSend, sim_.now(), src, kInvalidTxn, 0,
+                 dst, static_cast<std::int32_t>(kind),
+                 static_cast<double>(frame_bytes));
+    });
+  }
 }
 
 void System::schedule_next_arrival(std::size_t client_index) {
@@ -46,8 +58,28 @@ void System::arm_structure_audit() {
   sim_.set_audit_hook(interval, [this] { audit_structures(); });
 }
 
+void System::arm_sampler() {
+  if (!tel_.sampling_enabled()) return;
+  schedule_sample(sim_.now() + config_.telemetry.sample_interval);
+}
+
+void System::schedule_sample(sim::SimTime when) {
+  // The probe mirrors the structure-audit discipline: it fires between
+  // ordinary events, reads gauges, and never mutates scheduling state, so
+  // the run's outcome (and its determinism digest) is identical with the
+  // sampler on or off.
+  if (when > config_.horizon()) return;
+  sim_.at(when, [this, when] {
+    tel_.begin_frame(when);
+    sample_gauges();
+    tel_.end_frame();
+    schedule_sample(when + config_.telemetry.sample_interval);
+  });
+}
+
 RunMetrics System::run() {
   arm_structure_audit();
+  arm_sampler();
   start();
   for (std::size_t i = 0; i < suite_.num_clients(); ++i) {
     schedule_next_arrival(i);
@@ -66,13 +98,27 @@ RunMetrics System::run() {
   // have met any useful deadline by then.
   if (metrics_.generated > metrics_.committed + metrics_.missed +
                                metrics_.aborted) {
-    metrics_.missed += metrics_.generated - metrics_.committed -
-                       metrics_.missed - metrics_.aborted;
+    const std::uint64_t stragglers = metrics_.generated -
+                                     metrics_.committed - metrics_.missed -
+                                     metrics_.aborted;
+    metrics_.missed += stragglers;
+    // Keep the miss-attribution table reconciled with missed + aborted:
+    // these never had a recorded outcome to attribute.
+    if (tel_.spans_enabled()) tel_.add_unattributed(stragglers);
   }
   return metrics_;
 }
 
 void System::record_generated(const txn::Transaction& t) {
+  // Spans cover every generated transaction (warm-up included) so traces
+  // show the whole run; the attribution table below only counts measured
+  // outcomes.
+  if (tel_.spans_enabled()) {
+    tel_.txn_admit(t.id, t.origin, t.arrival, t.deadline, sim_.now());
+  }
+  if (tel_.events_enabled()) {
+    tel_.event(obs::EventKind::kTxnAdmit, sim_.now(), t.origin, t.id);
+  }
   if (is_measured(t)) ++metrics_.generated;
 }
 
@@ -102,6 +148,9 @@ void System::record_commit(const txn::Transaction& t,
     std::fprintf(stderr, "[%.3f] record_commit txn=%llu\n", sim_.now(),
                  (unsigned long long)t.id);
   }
+  if (tel_.spans_enabled()) {
+    tel_.txn_end(t.id, obs::Outcome::kCommitted, commit_time);
+  }
   if (!is_measured(t)) return;
   if (!first_outcome(t)) return;
   ++metrics_.committed;
@@ -114,7 +163,17 @@ void System::record_miss(const txn::Transaction& t) {
     std::fprintf(stderr, "[%.3f] record_miss txn=%llu\n", sim_.now(),
                  (unsigned long long)t.id);
   }
-  if (is_measured(t) && first_outcome(t)) ++metrics_.missed;
+  if (tel_.spans_enabled()) {
+    tel_.txn_end(t.id, obs::Outcome::kMissed, sim_.now());
+  }
+  if (is_measured(t) && first_outcome(t)) {
+    ++metrics_.missed;
+    // The attribution chokepoint: exactly one table entry per measured
+    // miss, so the postmortem totals reconcile with RunMetrics::missed.
+    if (tel_.spans_enabled()) {
+      tel_.attribute_outcome(t.id, obs::Outcome::kMissed);
+    }
+  }
 }
 
 void System::record_abort(const txn::Transaction& t) {
@@ -122,7 +181,15 @@ void System::record_abort(const txn::Transaction& t) {
     std::fprintf(stderr, "[%.3f] record_abort txn=%llu\n", sim_.now(),
                  (unsigned long long)t.id);
   }
-  if (is_measured(t) && first_outcome(t)) ++metrics_.aborted;
+  if (tel_.spans_enabled()) {
+    tel_.txn_end(t.id, obs::Outcome::kAborted, sim_.now());
+  }
+  if (is_measured(t) && first_outcome(t)) {
+    ++metrics_.aborted;
+    if (tel_.spans_enabled()) {
+      tel_.attribute_outcome(t.id, obs::Outcome::kAborted);
+    }
+  }
 }
 
 }  // namespace rtdb::core

@@ -8,6 +8,7 @@
 #include "core/config.hpp"
 #include "core/metrics.hpp"
 #include "net/network.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 #include "txn/transaction.hpp"
@@ -50,6 +51,12 @@ class System {
   [[nodiscard]] sim::TraceLog& trace() { return trace_; }
   [[nodiscard]] const sim::TraceLog& trace() const { return trace_; }
 
+  /// Telemetry layer: lifecycle spans, typed events, gauge series, miss
+  /// attribution (configured via config.telemetry; same one-branch cost
+  /// discipline as the trace when disabled).
+  [[nodiscard]] obs::Telemetry& telemetry() { return tel_; }
+  [[nodiscard]] const obs::Telemetry& telemetry() const { return tel_; }
+
  protected:
   /// Subclass hook: wire up nodes before arrivals start.
   virtual void start() = 0;
@@ -69,6 +76,13 @@ class System {
   /// structure (lock tables, queues, caches) with their
   /// validate_invariants() methods. Runs only between simulator events.
   virtual void audit_structures() const {}
+
+  /// Subclass hook for the telemetry gauge sampler: record queue depths,
+  /// cache occupancy and utilizations via telemetry().sample(name, value).
+  /// Like audit_structures(), the probe is strictly read-only with respect
+  /// to simulation behaviour — it must not schedule events or mutate any
+  /// scheduling state.
+  virtual void sample_gauges() {}
 
   /// True if the transaction arrived inside the measurement window and its
   /// outcome must be counted.
@@ -96,6 +110,10 @@ class System {
   /// bootstrap()-style manual drivers may call it themselves.
   void arm_structure_audit();
 
+  /// Arms the fixed-interval gauge sampler when
+  /// config.telemetry.sample_interval > 0. run() calls this automatically.
+  void arm_sampler();
+
  protected:
 
   /// Next cluster-unique transaction id.
@@ -108,9 +126,11 @@ class System {
   RunMetrics metrics_;
   ConsistencyAuditor auditor_;
   sim::TraceLog trace_;
+  obs::Telemetry tel_;
 
  private:
   void schedule_next_arrival(std::size_t client_index);
+  void schedule_sample(sim::SimTime when);
 
   /// Returns false (and counts) when the transaction already has an
   /// outcome; callers must then drop the duplicate record.

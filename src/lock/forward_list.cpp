@@ -37,6 +37,7 @@ std::optional<ForwardEntry> ForwardList::pop_next(
     ForwardEntry front = entries_.front();
     entries_.pop_front();
     if (front.expires >= now) return front;
+    ++expired_dropped_;
     if (skipped) skipped->push_back(front);
   }
   return std::nullopt;
@@ -46,6 +47,7 @@ const ForwardEntry* ForwardList::peek_next(
     sim::SimTime now, std::vector<ForwardEntry>* skipped) {
   while (!entries_.empty()) {
     if (entries_.front().expires >= now) return &entries_.front();
+    ++expired_dropped_;
     if (skipped) skipped->push_back(entries_.front());
     entries_.pop_front();
   }

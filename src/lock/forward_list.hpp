@@ -78,6 +78,12 @@ class ForwardList {
     return entries_;
   }
 
+  /// Cumulative count of expired entries dropped by pop_next/peek_next over
+  /// this list's lifetime (telemetry; survives clear()).
+  [[nodiscard]] std::uint64_t expired_dropped() const {
+    return expired_dropped_;
+  }
+
   void clear() { entries_.clear(); }
 
   /// Invariant audit: priorities non-decreasing (deadline-ordered service),
@@ -87,6 +93,7 @@ class ForwardList {
 
  private:
   std::deque<ForwardEntry> entries_;
+  std::uint64_t expired_dropped_ = 0;
 };
 
 /// Paper §3.4 message-count formulas, used by tests and the Fig 1/2 bench.

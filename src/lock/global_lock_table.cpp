@@ -223,13 +223,43 @@ std::size_t GlobalLockTable::conflict_count_at(
 
 void GlobalLockTable::drop_if_quiescent(ObjectId obj) {
   auto it = objects_.find(obj);
-  if (it != objects_.end() && it->second.quiescent()) objects_.erase(it);
+  if (it != objects_.end() && it->second.quiescent()) {
+    expired_dropped_retired_ += it->second.queue.expired_dropped();
+    objects_.erase(it);
+  }
 }
 
 void GlobalLockTable::compact() {
   for (auto it = objects_.begin(); it != objects_.end();) {
-    it = it->second.quiescent() ? objects_.erase(it) : std::next(it);
+    if (it->second.quiescent()) {
+      expired_dropped_retired_ += it->second.queue.expired_dropped();
+      it = objects_.erase(it);
+    } else {
+      ++it;
+    }
   }
+}
+
+std::size_t GlobalLockTable::total_queued_entries() const {
+  std::size_t total = 0;
+  for (const auto& [obj, st] : objects_) total += st.queue.size();
+  return total;
+}
+
+std::size_t GlobalLockTable::circulating_objects() const {
+  std::size_t total = 0;
+  for (const auto& [obj, st] : objects_) {
+    if (st.circulating) ++total;
+  }
+  return total;
+}
+
+std::uint64_t GlobalLockTable::total_expired_dropped() const {
+  std::uint64_t total = expired_dropped_retired_;
+  for (const auto& [obj, st] : objects_) {
+    total += st.queue.expired_dropped();
+  }
+  return total;
 }
 
 }  // namespace rtdb::lock

@@ -125,6 +125,17 @@ class GlobalLockTable {
 
   [[nodiscard]] std::size_t tracked_objects() const { return objects_.size(); }
 
+  // --- telemetry gauges -----------------------------------------------------
+
+  /// Request entries queued across every object (sampler gauge).
+  [[nodiscard]] std::size_t total_queued_entries() const;
+
+  /// Objects currently out on a circulating forward list (sampler gauge).
+  [[nodiscard]] std::size_t circulating_objects() const;
+
+  /// Cumulative expired entries dropped by every queue (sampler counter).
+  [[nodiscard]] std::uint64_t total_expired_dropped() const;
+
   /// Invariant audit: per-object holder sets have distinct sites with real
   /// modes and are pairwise compatible (the lock-mode compatibility matrix
   /// the whole callback scheme rests on); wait queues are priority-ordered;
@@ -151,6 +162,10 @@ class GlobalLockTable {
 
   std::unordered_map<ObjectId, State> objects_;
   std::unordered_map<SiteId, std::unordered_set<ObjectId>> by_site_;
+
+  /// Expired-drop counts of queues whose object state was already retired
+  /// (dropped when quiescent) — keeps total_expired_dropped() cumulative.
+  std::uint64_t expired_dropped_retired_ = 0;
 };
 
 }  // namespace rtdb::lock

@@ -67,6 +67,14 @@ class MessageStats {
   /// Total bytes across all kinds.
   [[nodiscard]] std::uint64_t total_bytes() const;
 
+  /// Sums another run's counters into this one (cross-seed aggregation).
+  void merge(const MessageStats& o) {
+    for (std::size_t k = 0; k < kMessageKindCount; ++k) {
+      cells_[k].messages += o.cells_[k].messages;
+      cells_[k].bytes += o.cells_[k].bytes;
+    }
+  }
+
   void reset() { cells_.fill({}); }
 
  private:

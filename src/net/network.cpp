@@ -84,6 +84,7 @@ sim::SimTime Network::send(SiteId src, SiteId dst, MessageKind kind,
       src != kServerSite && dst != kServerSite;
 
   stats_.record(kind, frame);
+  if (send_hook_) send_hook_(src, dst, kind, frame);
 
   // First hop (or only hop): source -> destination/directory.
   sim::SimTime done = occupy_wire(tx_time(frame));

@@ -91,6 +91,14 @@ class Network {
   /// measurement phases.
   void reset_stats();
 
+  /// Observer invoked for every counted (non-loopback) send with the full
+  /// frame size. Purely passive — the telemetry layer uses it to record
+  /// typed message events. Unset (the default) costs one branch per send.
+  using SendHook = std::function<void(SiteId src, SiteId dst,
+                                      MessageKind kind,
+                                      std::uint64_t frame_bytes)>;
+  void set_send_hook(SendHook hook) { send_hook_ = std::move(hook); }
+
  private:
   /// Seconds the wire is occupied transmitting `bytes`.
   sim::Duration tx_time(std::uint64_t bytes) const {
@@ -106,6 +114,7 @@ class Network {
   sim::Simulator& sim_;
   NetworkConfig config_;
   MessageStats stats_;
+  SendHook send_hook_;
   sim::SimTime wire_free_at_ = 0;
   double busy_accum_ = 0;        ///< total wire-busy seconds
   sim::SimTime stats_epoch_ = 0; ///< start of the current accounting window

@@ -31,6 +31,53 @@ double SampleStats::quantile(double q) {
   return samples_[idx];
 }
 
+void SampleStats::merge(const SampleStats& o) {
+  samples_.insert(samples_.end(), o.samples_.begin(), o.samples_.end());
+  acc_.merge(o.acc_);
+  if (!o.samples_.empty()) sorted_ = false;
+}
+
+std::uint64_t Histogram::total() const {
+  std::uint64_t t = underflow + overflow;
+  for (const auto c : counts) t += c;
+  return t;
+}
+
+Histogram SampleStats::log_histogram(double lo, double hi,
+                                     std::size_t buckets) const {
+  Histogram h;
+  if (!(lo > 0) || !(hi > lo) || buckets == 0) return h;
+  h.lo = lo;
+  h.hi = hi;
+  h.edges.resize(buckets + 1);
+  h.counts.assign(buckets, 0);
+  const double log_ratio = std::log(hi / lo);
+  for (std::size_t i = 0; i <= buckets; ++i) {
+    h.edges[i] = lo * std::exp(log_ratio * static_cast<double>(i) /
+                               static_cast<double>(buckets));
+  }
+  // Pin the outer edges exactly — exp/log round trips drift in the last ulp.
+  h.edges.front() = lo;
+  h.edges.back() = hi;
+  for (const double x : samples_) {
+    if (x < lo) {
+      ++h.underflow;
+    } else if (x >= hi) {
+      ++h.overflow;
+    } else {
+      auto i = static_cast<std::size_t>(std::log(x / lo) / log_ratio *
+                                        static_cast<double>(buckets));
+      if (i >= buckets) i = buckets - 1;
+      // Float rounding can land a sample one bucket off its half-open
+      // [edge[i], edge[i+1]) home; nudge it back.
+      while (i > 0 && x < h.edges[i]) --i;
+      while (i + 1 < buckets && x >= h.edges[i + 1]) ++i;
+      ++h.counts[i];
+    }
+  }
+  return h;
+}
+
 void SampleStats::reset() {
   samples_.clear();
   acc_.reset();

@@ -64,6 +64,20 @@ class MeanAccumulator {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/// Fixed-bucket histogram with log-spaced bounds over [lo, hi); samples
+/// below lo / at-or-above hi land in underflow/overflow. Built by
+/// SampleStats::log_histogram() and consumed by the JSON metrics exporter.
+struct Histogram {
+  double lo = 0;
+  double hi = 0;
+  std::vector<double> edges;          ///< buckets+1 edges, edges[0] == lo
+  std::vector<std::uint64_t> counts;  ///< one count per bucket
+  std::uint64_t underflow = 0;
+  std::uint64_t overflow = 0;
+
+  [[nodiscard]] std::uint64_t total() const;
+};
+
 /// Retains every sample; supports exact quantiles. Intended for run-level
 /// metrics (response times, slack) where sample counts stay modest (<1e7).
 class SampleStats {
@@ -85,6 +99,15 @@ class SampleStats {
 
   /// Median shorthand.
   double median() { return quantile(0.5); }
+
+  /// Pools another estimator's samples into this one (cross-seed merging).
+  void merge(const SampleStats& o);
+
+  /// Buckets the samples into `buckets` log-spaced bins covering [lo, hi)
+  /// (lo must be > 0, hi > lo, buckets >= 1). Works on empty stats too:
+  /// the edges are always populated, counts are all zero.
+  [[nodiscard]] Histogram log_histogram(double lo, double hi,
+                                        std::size_t buckets) const;
 
   void reset();
 

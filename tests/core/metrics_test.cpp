@@ -54,6 +54,82 @@ TEST(MetricsAggregator, AveragesAcrossRuns) {
   EXPECT_EQ(agg.last().committed, 60u);
 }
 
+TEST(MetricsAggregator, SumsOutcomeCountersAcrossSeeds) {
+  MetricsAggregator agg;
+  RunMetrics a;
+  a.generated = 100;
+  a.committed = 80;
+  a.missed = 15;
+  a.aborted = 5;
+  RunMetrics b;
+  b.generated = 120;
+  b.committed = 100;
+  b.missed = 12;
+  b.aborted = 8;
+  agg.add(a);
+  agg.add(b);
+  EXPECT_EQ(agg.total_generated(), 220u);
+  EXPECT_EQ(agg.total_committed(), 180u);
+  EXPECT_EQ(agg.total_missed(), 27u);
+  EXPECT_EQ(agg.total_aborted(), 13u);
+}
+
+TEST(MetricsAggregator, MergesMessageTablesButKeepsLastVerbatim) {
+  MetricsAggregator agg;
+  RunMetrics a;
+  for (int i = 0; i < 10; ++i) {
+    a.messages.record(net::MessageKind::kTxnSubmit, 100);
+  }
+  a.messages.record(net::MessageKind::kObjectRequest, 200);
+  RunMetrics b;
+  for (int i = 0; i < 7; ++i) {
+    b.messages.record(net::MessageKind::kTxnSubmit, 100);
+  }
+  agg.add(a);
+  agg.add(b);
+  EXPECT_EQ(agg.message_totals().messages(net::MessageKind::kTxnSubmit), 17u);
+  EXPECT_EQ(agg.message_totals().messages(net::MessageKind::kObjectRequest), 1u);
+  EXPECT_EQ(agg.message_totals().total_bytes(), 1900u);
+  // last() is the final run untouched, not the sum.
+  EXPECT_EQ(agg.last().messages.messages(net::MessageKind::kTxnSubmit), 7u);
+  EXPECT_EQ(agg.last().messages.messages(net::MessageKind::kObjectRequest), 0u);
+}
+
+TEST(MetricsAggregator, PoolsDistributionsAcrossSeeds) {
+  MetricsAggregator agg;
+  RunMetrics a;
+  for (double x : {1.0, 2.0, 3.0}) a.response_time.add(x);
+  a.commit_slack.add(0.5);
+  a.object_response_shared.add(0.1);
+  RunMetrics b;
+  for (double x : {4.0, 5.0}) b.response_time.add(x);
+  b.object_response_exclusive.add(0.9);
+  agg.add(a);
+  agg.add(b);
+  EXPECT_EQ(agg.merged_response_time().count(), 5u);
+  EXPECT_DOUBLE_EQ(agg.merged_response_time().mean(), 3.0);
+  EXPECT_DOUBLE_EQ(agg.merged_response_time().max(), 5.0);
+  EXPECT_EQ(agg.merged_commit_slack().count(), 1u);
+  EXPECT_EQ(agg.merged_object_response_shared().count(), 1u);
+  EXPECT_EQ(agg.merged_object_response_exclusive().count(), 1u);
+  // Per-seed quantiles survive pooling: the median covers both runs.
+  EXPECT_DOUBLE_EQ(agg.merged_response_time().quantile(0.5), 3.0);
+}
+
+TEST(MetricsAggregator, StddevOfSuccessAcrossSeeds) {
+  MetricsAggregator agg;
+  RunMetrics a;
+  a.generated = 100;
+  a.committed = 60;
+  RunMetrics b;
+  b.generated = 100;
+  b.committed = 80;
+  agg.add(a);
+  agg.add(b);
+  EXPECT_DOUBLE_EQ(agg.mean_success_percent(), 70.0);
+  EXPECT_DOUBLE_EQ(agg.stddev_success_percent(), 10.0);
+}
+
 TEST(SystemKind, Names) {
   EXPECT_EQ(to_string(SystemKind::kCentralized), "CE-RTDBS");
   EXPECT_EQ(to_string(SystemKind::kClientServer), "CS-RTDBS");

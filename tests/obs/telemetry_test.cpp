@@ -1,0 +1,283 @@
+#include "obs/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "obs/export.hpp"
+
+namespace rtdb::obs {
+namespace {
+
+TelemetryConfig spans_on() {
+  TelemetryConfig cfg;
+  cfg.spans = true;
+  return cfg;
+}
+
+TEST(TelemetrySpan, DisabledRecordsNothing) {
+  Telemetry tel;  // default config: everything off
+  tel.txn_admit(1, 2, 0.0, 5.0, 0.0);
+  tel.txn_ready(1, 1.0);
+  tel.txn_end(1, Outcome::kCommitted, 2.0);
+  tel.event(EventKind::kTxnCommit, 2.0, 2, 1);
+  EXPECT_EQ(tel.span_count(), 0u);
+  EXPECT_TRUE(tel.events().empty());
+}
+
+TEST(TelemetrySpan, AdmitIsIdempotent) {
+  Telemetry tel;
+  tel.configure(spans_on());
+  tel.txn_admit(7, 3, 0.0, 9.0, 0.5);
+  tel.txn_admit(7, 4, 1.0, 8.0, 1.5);  // remote re-admission: ignored
+  ASSERT_EQ(tel.span_count(), 1u);
+  const TxnSpan* s = tel.spans_sorted()[0];
+  EXPECT_EQ(s->origin, 3);
+  EXPECT_DOUBLE_EQ(s->admit, 0.5);
+  EXPECT_DOUBLE_EQ(s->deadline, 9.0);
+}
+
+TEST(TelemetrySpan, QueueWaitAccumulatesAcrossEpisodes) {
+  Telemetry tel;
+  tel.configure(spans_on());
+  tel.txn_admit(1, 2, 0.0, 100.0, 0.0);
+  tel.txn_ready(1, 1.0);
+  tel.txn_exec_start(1, 3.0);  // 2s queued
+  tel.txn_ready(1, 5.0);       // restarted, queued again
+  tel.txn_exec_start(1, 6.5);  // +1.5s
+  tel.txn_end(1, Outcome::kCommitted, 8.0);
+  const TxnSpan* s = tel.spans_sorted()[0];
+  EXPECT_DOUBLE_EQ(s->wait[static_cast<int>(WaitBucket::kQueue)], 3.5);
+  EXPECT_DOUBLE_EQ(s->first_ready, 1.0);
+  EXPECT_DOUBLE_EQ(s->first_exec, 3.0);
+  EXPECT_EQ(s->outcome, Outcome::kCommitted);
+}
+
+TEST(TelemetrySpan, DequeuedClosesEpisodeWithoutMarkingExec) {
+  Telemetry tel;
+  tel.configure(spans_on());
+  tel.txn_admit(1, 2, 0.0, 100.0, 0.0);
+  tel.txn_ready(1, 1.0);
+  tel.txn_dequeued(1, 4.0);  // left an admission queue, not an executor
+  const TxnSpan* s = tel.spans_sorted()[0];
+  EXPECT_DOUBLE_EQ(s->wait[static_cast<int>(WaitBucket::kQueue)], 3.0);
+  EXPECT_DOUBLE_EQ(s->first_exec, -1.0);
+}
+
+TEST(TelemetrySpan, DyingInReadyQueueCountsAsQueueWait) {
+  Telemetry tel;
+  tel.configure(spans_on());
+  tel.txn_admit(1, 2, 0.0, 10.0, 0.0);
+  tel.txn_ready(1, 2.0);
+  tel.txn_end(1, Outcome::kMissed, 10.0);  // never executed
+  const TxnSpan* s = tel.spans_sorted()[0];
+  EXPECT_DOUBLE_EQ(s->wait[static_cast<int>(WaitBucket::kQueue)], 8.0);
+  EXPECT_EQ(s->dominant_wait(), WaitBucket::kQueue);
+}
+
+TEST(TelemetrySpan, EndIsFirstWins) {
+  Telemetry tel;
+  tel.configure(spans_on());
+  tel.txn_admit(1, 2, 0.0, 10.0, 0.0);
+  tel.txn_end(1, Outcome::kCommitted, 4.0);
+  tel.txn_end(1, Outcome::kAborted, 5.0);  // late speculation loser: ignored
+  const TxnSpan* s = tel.spans_sorted()[0];
+  EXPECT_EQ(s->outcome, Outcome::kCommitted);
+  EXPECT_DOUBLE_EQ(s->end, 4.0);
+}
+
+TEST(TelemetryWait, LockQueueServedSplitsRoundTrip) {
+  Telemetry tel;
+  tel.configure(spans_on());
+  tel.txn_admit(1, 2, 0.0, 100.0, 0.0);
+  // Server: queued at t=1 behind site 5, served at t=4 (3s lock wait).
+  tel.lock_queued(1, 42, 5, 1.0);
+  tel.lock_served(1, 42, 4.0);
+  // Client: whole object round trip took 5s -> 3s lock + 2s network.
+  tel.object_wait(1, 42, 5.0);
+  const TxnSpan* s = tel.spans_sorted()[0];
+  EXPECT_DOUBLE_EQ(s->wait[static_cast<int>(WaitBucket::kLock)], 3.0);
+  EXPECT_DOUBLE_EQ(s->wait[static_cast<int>(WaitBucket::kNet)], 2.0);
+  EXPECT_EQ(s->worst_object, 42u);
+  EXPECT_EQ(s->worst_holder, 5);
+  EXPECT_DOUBLE_EQ(s->worst_object_wait, 3.0);
+}
+
+TEST(TelemetryWait, ServerDiskWaitIsNotDoubleCountedAsNetwork) {
+  Telemetry tel;
+  tel.configure(spans_on());
+  tel.txn_admit(1, 2, 0.0, 100.0, 0.0);
+  // Instant grant, but the page read before shipping took 0.4s.
+  tel.server_disk_wait(1, 42, 0.4);
+  tel.object_wait(1, 42, 1.0);  // client saw 1.0s total
+  const TxnSpan* s = tel.spans_sorted()[0];
+  EXPECT_DOUBLE_EQ(s->wait[static_cast<int>(WaitBucket::kDisk)], 0.4);
+  EXPECT_DOUBLE_EQ(s->wait[static_cast<int>(WaitBucket::kNet)], 0.6);
+  EXPECT_DOUBLE_EQ(s->wait[static_cast<int>(WaitBucket::kLock)], 0.0);
+}
+
+TEST(TelemetryWait, StillQueuedLocksChargedAtDeath) {
+  Telemetry tel;
+  tel.configure(spans_on());
+  tel.txn_admit(1, 2, 0.0, 10.0, 0.0);
+  tel.lock_queued(1, 7, 9, 2.0);  // never served
+  tel.txn_end(1, Outcome::kMissed, 10.0);
+  const TxnSpan* s = tel.spans_sorted()[0];
+  EXPECT_DOUBLE_EQ(s->wait[static_cast<int>(WaitBucket::kLock)], 8.0);
+  EXPECT_EQ(s->worst_object, 7u);
+  EXPECT_EQ(s->worst_holder, 9);
+  EXPECT_EQ(s->dominant_wait(), WaitBucket::kLock);
+}
+
+TEST(TelemetryAttribution, TotalsReconcile) {
+  Telemetry tel;
+  tel.configure(spans_on());
+  // One lock-dominated miss, one no-wait abort, one straggler.
+  tel.txn_admit(1, 2, 0.0, 10.0, 0.0);
+  tel.lock_queued(1, 7, 9, 0.0);
+  tel.txn_end(1, Outcome::kMissed, 10.0);
+  tel.attribute_outcome(1, Outcome::kMissed);
+  tel.txn_admit(2, 3, 0.0, 10.0, 0.0);
+  tel.txn_end(2, Outcome::kAborted, 1.0);
+  tel.attribute_outcome(2, Outcome::kAborted);
+  tel.add_unattributed(1);
+  const MissAttribution& at = tel.attribution();
+  EXPECT_EQ(at.misses[static_cast<int>(WaitBucket::kLock)], 1u);
+  EXPECT_EQ(at.aborts[kWaitBucketCount], 1u);  // kNone slot
+  EXPECT_EQ(at.unattributed, 1u);
+  EXPECT_EQ(at.total(), 3u);
+  const auto blockers = tel.top_blockers(4);
+  ASSERT_EQ(blockers.size(), 1u);
+  EXPECT_EQ(blockers[0].object, 7u);
+  EXPECT_EQ(blockers[0].txns, 1u);
+}
+
+TEST(TelemetryEvents, RingDropsOldestAtCapacity) {
+  Telemetry tel;
+  TelemetryConfig cfg;
+  cfg.events = true;
+  cfg.event_capacity = 3;
+  tel.configure(cfg);
+  for (int i = 0; i < 5; ++i) {
+    tel.event(EventKind::kMsgSend, static_cast<double>(i), 0, 100 + i);
+  }
+  EXPECT_EQ(tel.events().size(), 3u);
+  EXPECT_EQ(tel.events_dropped(), 2u);
+  EXPECT_EQ(tel.events().front().txn, 102u);  // 100 and 101 were dropped
+  EXPECT_EQ(tel.events().back().txn, 104u);
+}
+
+TEST(TelemetrySampler, BackfillsLateSeriesAndPadsFrames) {
+  Telemetry tel;
+  TelemetryConfig cfg;
+  cfg.sample_interval = 1.0;
+  tel.configure(cfg);
+  tel.begin_frame(0.0);
+  tel.sample("a", 1.0);
+  tel.end_frame();
+  tel.begin_frame(1.0);
+  tel.sample("a", 2.0);
+  tel.sample("b", 9.0);  // first seen in frame 2: frame 1 back-filled with 0
+  tel.end_frame();
+  tel.begin_frame(2.0);
+  tel.sample("b", 10.0);  // "a" missing: padded with 0 at end_frame
+  tel.end_frame();
+  ASSERT_EQ(tel.sample_times().size(), 3u);
+  ASSERT_EQ(tel.series().size(), 2u);
+  EXPECT_EQ(tel.series()[0].name, "a");
+  EXPECT_EQ(tel.series()[0].values, (std::vector<double>{1.0, 2.0, 0.0}));
+  EXPECT_EQ(tel.series()[1].name, "b");
+  EXPECT_EQ(tel.series()[1].values, (std::vector<double>{0.0, 9.0, 10.0}));
+}
+
+TEST(TelemetryDigest, SensitiveToRecordsAndStableOnReplay) {
+  const auto record = [](Telemetry& tel) {
+    tel.configure(spans_on());
+    tel.txn_admit(1, 2, 0.0, 5.0, 0.0);
+    tel.txn_end(1, Outcome::kCommitted, 3.0);
+  };
+  Telemetry a, b, c;
+  record(a);
+  record(b);
+  c.configure(spans_on());
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+TEST(Export, JsonEscapeHandlesSpecials) {
+  std::ostringstream os;
+  json_escape(os, "a\"b\\c\nd\te\x01");
+  EXPECT_EQ(os.str(), "a\\\"b\\\\c\\nd\\te\\u0001");
+}
+
+TEST(Export, JsonNumberSanitizesNonFinite) {
+  std::ostringstream os;
+  json_number(os, std::numeric_limits<double>::infinity());
+  os << " ";
+  json_number(os, std::nan(""));
+  os << " ";
+  json_number(os, 1.5);
+  EXPECT_EQ(os.str(), "0 0 1.5");
+}
+
+TEST(Export, PerfettoSpansBalanceAndNameSites) {
+  Telemetry tel;
+  TelemetryConfig cfg;
+  cfg.spans = true;
+  cfg.events = true;
+  tel.configure(cfg);
+  tel.txn_admit(1, 1, 0.0, 5.0, 0.0);
+  tel.txn_ready(1, 1.0);
+  tel.txn_exec_start(1, 2.0);
+  tel.txn_end(1, Outcome::kCommitted, 3.0);
+  tel.txn_admit(2, 2, 0.0, 5.0, 0.5);  // still open at export: closed+flagged
+  tel.event(EventKind::kLockGrant, 1.5, kServerSite, 1, 42, 1, 1, 0);
+  std::ostringstream os;
+  write_perfetto(os, tel, /*num_sites=*/3, /*end_time=*/4.0);
+  const std::string t = os.str();
+  std::size_t begins = 0, ends = 0, pos = 0;
+  while ((pos = t.find("\"ph\":\"b\"", pos)) != std::string::npos) {
+    ++begins;
+    pos += 8;
+  }
+  pos = 0;
+  while ((pos = t.find("\"ph\":\"e\"", pos)) != std::string::npos) {
+    ++ends;
+    pos += 8;
+  }
+  EXPECT_EQ(begins, ends);
+  EXPECT_GE(begins, 2u);
+  EXPECT_NE(t.find("\"server\""), std::string::npos);
+  EXPECT_NE(t.find("\"client 1\""), std::string::npos);
+  EXPECT_NE(t.find("lock_grant"), std::string::npos);
+  EXPECT_NE(t.find("unfinished"), std::string::npos);
+  EXPECT_EQ(t.find("NaN"), std::string::npos);
+}
+
+TEST(Export, JsonlWritesOneObjectPerLine) {
+  Telemetry tel;
+  TelemetryConfig cfg;
+  cfg.spans = true;
+  cfg.events = true;
+  tel.configure(cfg);
+  tel.txn_admit(1, 1, 0.0, 5.0, 0.0);
+  tel.txn_end(1, Outcome::kCommitted, 3.0);
+  tel.event(EventKind::kTxnCommit, 3.0, 1, 1);
+  std::ostringstream os;
+  write_jsonl(os, tel);
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);  // one event + one span summary
+}
+
+}  // namespace
+}  // namespace rtdb::obs

@@ -116,6 +116,71 @@ TEST(SampleStats, TracksMoments) {
   EXPECT_EQ(s.count(), 3u);
 }
 
+TEST(SampleStats, MergePoolsSamplesForQuantiles) {
+  SampleStats a, b, all;
+  for (int i = 1; i <= 50; ++i) {
+    a.add(i);
+    all.add(i);
+  }
+  for (int i = 51; i <= 100; ++i) {
+    b.add(i);
+    all.add(i);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), all.quantile(0.5));
+  EXPECT_DOUBLE_EQ(a.quantile(0.99), all.quantile(0.99));
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 100.0);
+}
+
+TEST(LogHistogram, BucketEdgesAreLogSpaced) {
+  SampleStats s;
+  Histogram h = s.log_histogram(1.0, 100.0, 2);
+  ASSERT_EQ(h.edges.size(), 3u);
+  EXPECT_DOUBLE_EQ(h.edges[0], 1.0);
+  EXPECT_NEAR(h.edges[1], 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(h.edges[2], 100.0);
+  EXPECT_DOUBLE_EQ(h.lo, 1.0);
+  EXPECT_DOUBLE_EQ(h.hi, 100.0);
+}
+
+TEST(LogHistogram, EmptyStatsYieldZeroCountsButFullEdges) {
+  SampleStats s;
+  Histogram h = s.log_histogram(0.001, 1000.0, 12);
+  ASSERT_EQ(h.edges.size(), 13u);
+  ASSERT_EQ(h.counts.size(), 12u);
+  for (auto c : h.counts) EXPECT_EQ(c, 0u);
+  EXPECT_EQ(h.underflow, 0u);
+  EXPECT_EQ(h.overflow, 0u);
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(LogHistogram, SingleSampleLandsInExactlyOneBucket) {
+  SampleStats s;
+  s.add(5.0);
+  Histogram h = s.log_histogram(1.0, 100.0, 2);
+  // 5.0 < 10.0 (the midpoint edge) -> first bucket.
+  EXPECT_EQ(h.counts[0], 1u);
+  EXPECT_EQ(h.counts[1], 0u);
+  EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(LogHistogram, UnderflowAndOverflowAreCountedSeparately) {
+  SampleStats s;
+  s.add(0.5);    // below lo
+  s.add(1.0);    // edges[0] is inclusive
+  s.add(99.0);   // last bucket
+  s.add(100.0);  // hi itself overflows: range is [lo, hi)
+  s.add(250.0);  // above hi
+  Histogram h = s.log_histogram(1.0, 100.0, 2);
+  EXPECT_EQ(h.underflow, 1u);
+  EXPECT_EQ(h.overflow, 2u);
+  EXPECT_EQ(h.counts[0], 1u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
 TEST(SampleStats, ResetClearsEverything) {
   SampleStats s;
   s.add(1.0);

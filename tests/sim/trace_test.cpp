@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 
 namespace rtdb::sim {
@@ -82,6 +83,87 @@ TEST(Trace, ClearResets) {
   log.clear();
   EXPECT_TRUE(log.events().empty());
   EXPECT_EQ(log.dropped(), 0u);
+}
+
+// RAII helper: sets RTDB_TRACE for one test and restores the old value.
+class ScopedTraceEnv {
+ public:
+  explicit ScopedTraceEnv(const char* value) {
+    const char* old = std::getenv("RTDB_TRACE");
+    if (old != nullptr) saved_ = old;
+    had_old_ = old != nullptr;
+    if (value != nullptr) {
+      setenv("RTDB_TRACE", value, 1);
+    } else {
+      unsetenv("RTDB_TRACE");
+    }
+  }
+  ~ScopedTraceEnv() {
+    if (had_old_) {
+      setenv("RTDB_TRACE", saved_.c_str(), 1);
+    } else {
+      unsetenv("RTDB_TRACE");
+    }
+  }
+
+ private:
+  std::string saved_;
+  bool had_old_ = false;
+};
+
+TEST(TraceEnv, UnsetLeavesMaskUnchanged) {
+  ScopedTraceEnv env(nullptr);
+  TraceLog log;
+  log.enable(TraceCategory::kCache);
+  log.enable_from_env();
+  EXPECT_TRUE(log.enabled(TraceCategory::kCache));
+  EXPECT_FALSE(log.enabled(TraceCategory::kLock));
+}
+
+TEST(TraceEnv, EmptyStringEnablesNothing) {
+  ScopedTraceEnv env("");
+  TraceLog log;
+  log.enable_from_env();
+  EXPECT_FALSE(log.active());
+}
+
+TEST(TraceEnv, ParsesCommaSeparatedCategories) {
+  ScopedTraceEnv env("lock,net");
+  TraceLog log;
+  log.enable_from_env();
+  EXPECT_TRUE(log.enabled(TraceCategory::kLock));
+  EXPECT_TRUE(log.enabled(TraceCategory::kNet));
+  EXPECT_FALSE(log.enabled(TraceCategory::kCache));
+  EXPECT_FALSE(log.enabled(TraceCategory::kTxn));
+}
+
+TEST(TraceEnv, AllEnablesEveryCategory) {
+  ScopedTraceEnv env("all");
+  TraceLog log;
+  log.enable_from_env();
+  for (auto cat : {TraceCategory::kLock, TraceCategory::kCache,
+                   TraceCategory::kNet, TraceCategory::kTxn,
+                   TraceCategory::kWindow, TraceCategory::kShip,
+                   TraceCategory::kSpec}) {
+    EXPECT_TRUE(log.enabled(cat));
+  }
+}
+
+TEST(TraceEnv, UnknownCategoryIsIgnored) {
+  ScopedTraceEnv env("lock,bogus,cache");
+  TraceLog log;
+  log.enable_from_env();
+  EXPECT_TRUE(log.enabled(TraceCategory::kLock));
+  EXPECT_TRUE(log.enabled(TraceCategory::kCache));
+  EXPECT_FALSE(log.enabled(TraceCategory::kNet));
+}
+
+TEST(TraceEnv, DuplicatesAreHarmless) {
+  ScopedTraceEnv env("txn,txn,txn");
+  TraceLog log;
+  const std::uint32_t mask = log.enable_from_env();
+  EXPECT_EQ(mask, static_cast<std::uint32_t>(TraceCategory::kTxn));
+  EXPECT_TRUE(log.enabled(TraceCategory::kTxn));
 }
 
 TEST(Trace, CategoryNames) {

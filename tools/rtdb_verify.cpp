@@ -15,6 +15,13 @@
 ///    transaction must have exactly one recorded outcome, and the outcome
 ///    counters must balance (generated == committed + missed + aborted).
 ///
+///  * telemetry — recording is passive: a run with spans, events and gauge
+///    sampling fully enabled must reproduce the exact outcome digest of the
+///    plain run (a telemetry hook that schedules events or perturbs any
+///    container would show up here), and two telemetry-enabled runs must
+///    agree on the full digest including Telemetry::digest() (every span,
+///    event, attribution row and sample replayed bit-identically).
+///
 /// Exits 0 only when every requested proof holds; violations are printed
 /// with enough detail to start debugging. The periodic structure audit
 /// (validate_invariants() sweeps) is armed for every run, so a verify run
@@ -136,6 +143,7 @@ struct Options {
   std::uint64_t audit_interval = 2048;
   bool check_determinism = true;
   bool check_consistency = true;
+  bool check_telemetry = true;
 };
 
 core::SystemConfig make_config(const Options& opt) {
@@ -154,6 +162,9 @@ core::SystemConfig make_config(const Options& opt) {
 struct Run {
   std::unique_ptr<core::System> sys;
   core::RunMetrics metrics;
+  /// Outcome digest only — identical whether telemetry records or not.
+  std::uint64_t base_digest = 0;
+  /// Outcome digest + Telemetry::digest() (spans/events/samples folded in).
   std::uint64_t digest = 0;
 };
 
@@ -161,7 +172,11 @@ Run run_one(core::SystemKind kind, const core::SystemConfig& cfg) {
   Run r;
   r.sys = core::make_system(kind, cfg);
   r.metrics = r.sys->run();
-  r.digest = run_digest(*r.sys, r.metrics);
+  r.base_digest = run_digest(*r.sys, r.metrics);
+  Digest d;
+  d.u64(r.base_digest);
+  d.u64(r.sys->telemetry().digest());
+  r.digest = d.value();
   return r;
 }
 
@@ -189,6 +204,43 @@ bool prove_determinism(core::SystemKind kind, const Run& first,
       static_cast<unsigned long long>(
           second.metrics.messages.total_messages()));
   return false;
+}
+
+bool prove_telemetry(core::SystemKind kind, const Run& first,
+                     const core::SystemConfig& cfg) {
+  core::SystemConfig tcfg = cfg;
+  tcfg.telemetry.spans = true;
+  tcfg.telemetry.events = true;
+  tcfg.telemetry.sample_interval = cfg.duration / 50.0;
+  const Run t1 = run_one(kind, tcfg);
+  if (t1.base_digest != first.base_digest) {
+    std::printf(
+        "FAIL  %-13s telemetry    recording perturbed the run: "
+        "plain=%016llx instrumented=%016llx\n",
+        core::to_string(kind).c_str(),
+        static_cast<unsigned long long>(first.base_digest),
+        static_cast<unsigned long long>(t1.base_digest));
+    return false;
+  }
+  const Run t2 = run_one(kind, tcfg);
+  if (t1.digest != t2.digest) {
+    std::printf(
+        "FAIL  %-13s telemetry    nondeterministic recording: "
+        "run1=%016llx run2=%016llx (outcomes %s)\n",
+        core::to_string(kind).c_str(),
+        static_cast<unsigned long long>(t1.digest),
+        static_cast<unsigned long long>(t2.digest),
+        t1.base_digest == t2.base_digest ? "agree" : "diverge");
+    return false;
+  }
+  const auto& tel = t1.sys->telemetry();
+  std::printf(
+      "PASS  %-13s telemetry    spans=%zu events=%zu samples=%zu "
+      "digest=%016llx\n",
+      core::to_string(kind).c_str(), tel.span_count(), tel.events().size(),
+      tel.sample_times().size(),
+      static_cast<unsigned long long>(t1.digest));
+  return true;
 }
 
 bool prove_consistency(core::SystemKind kind, const Run& r) {
@@ -238,7 +290,7 @@ void usage() {
       "rtdb_verify — determinism and consistency proofs over the prototypes\n"
       "\n"
       "  --system ce|cs|ls|occ|all   prototype(s) to verify (default all)\n"
-      "  --mode determinism|consistency|all\n"
+      "  --mode determinism|consistency|telemetry|all\n"
       "                              which proofs to run (default all)\n"
       "  --clients N                 cluster size (default 16)\n"
       "  --updates P                 update percentage (default 20)\n"
@@ -277,9 +329,16 @@ bool parse(int argc, char** argv, Options& opt) {
       }
     } else if (!std::strcmp(a, "--mode")) {
       const std::string v = need(i);
-      if (v == "determinism") opt.check_consistency = false;
-      else if (v == "consistency") opt.check_determinism = false;
-      else if (v != "all") {
+      if (v == "determinism") {
+        opt.check_consistency = false;
+        opt.check_telemetry = false;
+      } else if (v == "consistency") {
+        opt.check_determinism = false;
+        opt.check_telemetry = false;
+      } else if (v == "telemetry") {
+        opt.check_determinism = false;
+        opt.check_consistency = false;
+      } else if (v != "all") {
         std::fprintf(stderr, "unknown mode '%s'\n", v.c_str());
         return false;
       }
@@ -315,6 +374,9 @@ int main(int argc, char** argv) {
     const Run first = run_one(kind, cfg);
     if (opt.check_consistency && !prove_consistency(kind, first)) ++failures;
     if (opt.check_determinism && !prove_determinism(kind, first, cfg)) {
+      ++failures;
+    }
+    if (opt.check_telemetry && !prove_telemetry(kind, first, cfg)) {
       ++failures;
     }
   }

@@ -14,10 +14,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "core/metrics_json.hpp"
 #include "core/runner.hpp"
+#include "obs/export.hpp"
 
 namespace {
 
@@ -32,6 +35,10 @@ struct Options {
   double duration = 2000;
   double warmup = 300;
   bool csv = false;
+  std::string trace_out;               ///< event/span trace file ("" = off)
+  std::string trace_format = "perfetto";
+  std::string metrics_out;             ///< metrics JSON file ("" = off)
+  double sample_interval = 0;          ///< 0 = auto (duration / 100)
   core::SystemConfig base;  // receives the technique/parameter overrides
 };
 
@@ -59,6 +66,20 @@ void usage() {
       "                              disable one LS technique\n"
       "  --cold                      disable the warm start\n"
       "  --csv                       machine-readable output\n"
+      "\n"
+      "Observability (see docs/observability.md):\n"
+      "  --trace-out FILE            write an execution trace of the last\n"
+      "                              run (enables span + event recording)\n"
+      "  --trace-format perfetto|jsonl\n"
+      "                              trace flavour: Chrome/Perfetto JSON\n"
+      "                              (open in ui.perfetto.dev; default) or\n"
+      "                              one JSON object per line\n"
+      "  --metrics-out FILE          write metrics JSON: counters, quantile\n"
+      "                              + histogram distributions, gauge time\n"
+      "                              series, deadline-miss attribution\n"
+      "  --sample-interval S         gauge sampling period in sim seconds\n"
+      "                              (default duration/100 when metrics\n"
+      "                              are requested)\n"
       "  --help                      this text");
 }
 
@@ -145,6 +166,19 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.base.warm_start = false;
     } else if (!std::strcmp(a, "--csv")) {
       opt.csv = true;
+    } else if (!std::strcmp(a, "--trace-out")) {
+      opt.trace_out = need(i);
+    } else if (!std::strcmp(a, "--trace-format")) {
+      opt.trace_format = need(i);
+      if (opt.trace_format != "perfetto" && opt.trace_format != "jsonl") {
+        std::fprintf(stderr, "unknown trace format '%s'\n",
+                     opt.trace_format.c_str());
+        return false;
+      }
+    } else if (!std::strcmp(a, "--metrics-out")) {
+      opt.metrics_out = need(i);
+    } else if (!std::strcmp(a, "--sample-interval")) {
+      opt.sample_interval = std::atof(need(i));
     } else {
       std::fprintf(stderr, "unknown flag '%s' (see --help)\n", a);
       return false;
@@ -172,6 +206,14 @@ int main(int argc, char** argv) {
                 "messages");
   }
 
+  const bool want_telemetry =
+      !opt.trace_out.empty() || !opt.metrics_out.empty();
+  // Telemetry export covers the last run of the sweep: the last system's
+  // instance is kept alive past its run() so the exporters can read it.
+  std::unique_ptr<core::System> last_sys;
+  core::MetricsAggregator last_agg;
+  std::string last_label;
+
   for (const std::size_t n : opt.clients) {
     for (const auto kind : opt.systems) {
       core::SystemConfig cfg = opt.base;
@@ -180,7 +222,30 @@ int main(int argc, char** argv) {
       cfg.duration = opt.duration;
       cfg.warmup = opt.warmup;
       cfg.seed = opt.base_seed;
-      const auto agg = core::run_replicated(kind, cfg, opt.seeds);
+      if (want_telemetry) {
+        cfg.telemetry.spans = true;
+        cfg.telemetry.events = !opt.trace_out.empty();
+        if (!opt.metrics_out.empty() || opt.sample_interval > 0) {
+          cfg.telemetry.sample_interval = opt.sample_interval > 0
+                                              ? opt.sample_interval
+                                              : opt.duration / 100.0;
+        }
+      }
+      core::MetricsAggregator agg;
+      if (want_telemetry) {
+        // Manual replication: run_replicated() destroys each system, but
+        // the exporters need the final one.
+        for (std::size_t s = 0; s < opt.seeds; ++s) {
+          core::SystemConfig scfg = cfg;
+          scfg.seed = opt.base_seed + s;
+          last_sys = core::make_system(kind, scfg);
+          agg.add(last_sys->run());
+        }
+        last_agg = agg;
+        last_label = core::to_string(kind);
+      } else {
+        agg = core::run_replicated(kind, cfg, opt.seeds);
+      }
       const auto& last = agg.last();
       if (opt.csv) {
         std::printf(
@@ -210,6 +275,35 @@ int main(int argc, char** argv) {
                         last.messages.total_messages()));
       }
       std::fflush(stdout);
+    }
+  }
+
+  if (last_sys) {
+    if (!opt.trace_out.empty()) {
+      std::ofstream os(opt.trace_out);
+      if (!os) {
+        std::fprintf(stderr, "cannot open %s\n", opt.trace_out.c_str());
+        return 1;
+      }
+      const std::size_t num_sites = last_sys->config().num_clients + 1;
+      if (opt.trace_format == "perfetto") {
+        obs::write_perfetto(os, last_sys->telemetry(), num_sites,
+                            last_sys->simulator().now());
+      } else {
+        obs::write_jsonl(os, last_sys->telemetry());
+      }
+      std::fprintf(stderr, "trace (%s): %s\n", opt.trace_format.c_str(),
+                   opt.trace_out.c_str());
+    }
+    if (!opt.metrics_out.empty()) {
+      std::ofstream os(opt.metrics_out);
+      if (!os) {
+        std::fprintf(stderr, "cannot open %s\n", opt.metrics_out.c_str());
+        return 1;
+      }
+      core::write_metrics_json(os, last_label, last_agg,
+                               &last_sys->telemetry());
+      std::fprintf(stderr, "metrics: %s\n", opt.metrics_out.c_str());
     }
   }
   return 0;
