@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   for (const double window : {0.05, 0.2, 0.5, 1.0, 2.0, 5.0}) {
     auto cfg = bench::experiment_config(clients, 20.0, quick);
     cfg.ls = core::LsOptions::all();
-    cfg.ls.collection_window = window;
+    cfg.ls.collection_window = sim::seconds(window);
     auto m = core::run_once(core::SystemKind::kLoadSharing, cfg);
     std::printf("%12.2f %8.2f%% %9llu %12.3f %12.3f\n", window,
                 m.success_percent(),

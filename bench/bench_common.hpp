@@ -36,9 +36,9 @@ inline core::SystemConfig experiment_config(std::size_t clients,
                                             bool quick = false) {
   core::SystemConfig cfg = core::SystemConfig::paper_defaults(update_pct);
   cfg.num_clients = clients;
-  cfg.warmup = quick ? 100 : 300;
-  cfg.duration = quick ? 500 : 2000;
-  cfg.drain = 300;
+  cfg.warmup = sim::seconds(quick ? 100 : 300);
+  cfg.duration = sim::seconds(quick ? 500 : 2000);
+  cfg.drain = sim::seconds(300);
   cfg.seed = 42;
   return cfg;
 }

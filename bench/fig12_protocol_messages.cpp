@@ -19,18 +19,18 @@ std::uint64_t handoff_messages(rtdb::core::SystemKind kind) {
   // Two clients, a single-object hot spot, no noise: every transaction
   // updates object 0 (region carved to leave object 0 shared).
   cfg.num_clients = 2;
-  cfg.warmup = 0;
-  cfg.duration = 60;
-  cfg.drain = 300;
+  cfg.warmup = sim::Duration::zero();
+  cfg.duration = sim::seconds(60);
+  cfg.drain = sim::seconds(300);
   cfg.workload.db_size = 100;
   cfg.workload.region_size = 10;
   cfg.workload.locality = 0.0;   // always the shared remainder
   cfg.workload.zipf_theta = 5.0; // essentially always object 0
   cfg.workload.mean_ops = 1;
-  cfg.workload.mean_interarrival = 30;
-  cfg.workload.mean_length = 1;
-  cfg.workload.mean_slack = 60;
-  cfg.ls.collection_window = 5.0;
+  cfg.workload.mean_interarrival = sim::seconds(30);
+  cfg.workload.mean_length = sim::seconds(1);
+  cfg.workload.mean_slack = sim::seconds(60);
+  cfg.ls.collection_window = sim::seconds(5.0);
   const auto m = core::run_once(kind, cfg);
   return m.messages.messages(net::MessageKind::kObjectRequest) +
          m.messages.messages(net::MessageKind::kObjectShip) +

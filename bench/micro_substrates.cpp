@@ -23,7 +23,7 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   for (auto _ : state) {
     sim::EventQueue q;
     for (std::size_t i = 0; i < n; ++i) {
-      q.schedule(rng.uniform01(), [] {});
+      q.schedule(sim::SimTime{rng.uniform01()}, [] {});
     }
     while (!q.empty()) benchmark::DoNotOptimize(q.pop().time);
   }
@@ -37,9 +37,9 @@ void BM_SimulatorEventChurn(benchmark::State& state) {
     sim::Simulator sim;
     int count = 0;
     std::function<void()> tick = [&] {
-      if (++count < 10000) sim.after(0.001, tick);
+      if (++count < 10000) sim.after(sim::msec(1), tick);
     };
-    sim.after(0.001, tick);
+    sim.after(sim::msec(1), tick);
     sim.run();
     benchmark::DoNotOptimize(count);
   }
@@ -69,9 +69,9 @@ void BM_BufferManagerLocalizedWorkload(benchmark::State& state) {
   storage::BufferManager bm(1000);
   sim::Rng rng(3);
   for (auto _ : state) {
-    const auto id = static_cast<ObjectId>(
+    const PageId id{static_cast<PageId::Rep>(
         rng.bernoulli(0.75) ? rng.uniform_int(0, 999)
-                            : rng.uniform_int(0, 9999));
+                            : rng.uniform_int(0, 9999))};
     if (!bm.reference(id)) bm.insert(id);
   }
   state.SetItemsProcessed(state.iterations());
@@ -81,14 +81,15 @@ BENCHMARK(BM_BufferManagerLocalizedWorkload);
 void BM_LocalLockAcquireRelease(benchmark::State& state) {
   lock::LocalLockManager llm;
   sim::Rng rng(5);
-  TxnId next = 1;
+  TxnId next{1};
   for (auto _ : state) {
     const TxnId txn = next++;
     for (int i = 0; i < 10; ++i) {
-      llm.acquire(txn, static_cast<ObjectId>(rng.uniform_int(0, 9999)),
+      llm.acquire(txn,
+                  ObjectId{static_cast<ObjectId::Rep>(rng.uniform_int(0, 9999))},
                   rng.bernoulli(0.05) ? lock::LockMode::kExclusive
                                       : lock::LockMode::kShared,
-                  1e9, [](bool) {});
+                  sim::SimTime{1e9}, [](bool) {});
     }
     llm.release_all(txn);
   }
@@ -97,11 +98,13 @@ void BM_LocalLockAcquireRelease(benchmark::State& state) {
 BENCHMARK(BM_LocalLockAcquireRelease);
 
 void BM_WaitForGraphAdmission(benchmark::State& state) {
-  lock::WaitForGraph g;
+  lock::WaitForGraph<TxnId> g;
   // A chain of 64 waiters; each admission DFSes through it.
-  for (lock::WaitForGraph::Node n = 0; n < 64; ++n) g.add_edges(n, {n + 1});
+  for (TxnId n{0}; n < TxnId{64}; ++n) {
+    g.add_edges(n, {TxnId{n.value() + 1}});
+  }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(g.would_deadlock(65, {0}));
+    benchmark::DoNotOptimize(g.would_deadlock(TxnId{65}, {TxnId{0}}));
   }
 }
 BENCHMARK(BM_WaitForGraphAdmission);

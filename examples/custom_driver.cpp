@@ -42,26 +42,31 @@ int main() {
     t.id = id;
     t.origin = origin;
     t.arrival = now;
-    t.length = length;
-    t.deadline = now + length + 60;
+    t.length = sim::seconds(length);
+    t.deadline = now + sim::seconds(length + 60);
     t.ops = {{obj, write}};
     return t;
   };
 
   // t=0: client 1 takes a long write lease on object 42.
-  sys.client(1).on_new_transaction(make_txn(1, 1, 0, 42, true, 8.0));
-  sys.simulator().run_until(1);
+  sys.client(ClientId{1}).on_new_transaction(
+      make_txn(TxnId{1}, SiteId{1}, sim::SimTime{0}, ObjectId{42}, true, 8.0));
+  sys.simulator().run_until(sim::SimTime{1});
 
   // t=1..2: two more writers and two readers pile up within the
   // collection window — the makings of a forward list.
-  sys.client(2).on_new_transaction(make_txn(2, 2, 1, 42, true, 0.5));
-  sys.client(3).on_new_transaction(make_txn(3, 3, 1, 42, true, 0.5));
-  sys.client(4).on_new_transaction(make_txn(4, 4, 2, 42, false, 0.5));
-  sys.client(5).on_new_transaction(make_txn(5, 5, 2, 42, false, 0.5));
+  sys.client(ClientId{2}).on_new_transaction(
+      make_txn(TxnId{2}, SiteId{2}, sim::SimTime{1}, ObjectId{42}, true, 0.5));
+  sys.client(ClientId{3}).on_new_transaction(
+      make_txn(TxnId{3}, SiteId{3}, sim::SimTime{1}, ObjectId{42}, true, 0.5));
+  sys.client(ClientId{4}).on_new_transaction(
+      make_txn(TxnId{4}, SiteId{4}, sim::SimTime{2}, ObjectId{42}, false, 0.5));
+  sys.client(ClientId{5}).on_new_transaction(
+      make_txn(TxnId{5}, SiteId{5}, sim::SimTime{2}, ObjectId{42}, false, 0.5));
 
-  sys.simulator().run_until(60);
+  sys.simulator().run_until(sim::SimTime{60});
 
-  std::printf("scenario finished at t=%.1f\n\n", sys.simulator().now());
+  std::printf("scenario finished at t=%.1f\n\n", sys.simulator().now().sec());
   std::printf("forward-list satisfactions: %llu\n",
               static_cast<unsigned long long>(
                   sys.live_metrics().forward_list_satisfactions));
@@ -69,7 +74,7 @@ int main() {
               sys.auditor().violations().size());
   std::printf("object 42 committed version: %llu (3 writers ran)\n\n",
               static_cast<unsigned long long>(
-                  sys.auditor().committed_version(42)));
+                  sys.auditor().committed_version(ObjectId{42})));
 
   std::printf("--- protocol trace ---\n");
   std::ostringstream os;

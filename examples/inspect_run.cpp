@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
 
   core::SystemConfig cfg = core::SystemConfig::paper_defaults(update_pct);
   cfg.num_clients = clients;
-  cfg.duration = 1500;
+  cfg.duration = sim::seconds(1500);
 
   if (kind == core::SystemKind::kLoadSharing && argc > 4) {
     cfg.ls = core::LsOptions::all();

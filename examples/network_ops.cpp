@@ -19,16 +19,16 @@ int main() {
   using namespace rtdb;
 
   core::SystemConfig base;
-  base.warmup = 200;
-  base.duration = 1200;
+  base.warmup = sim::seconds(200);
+  base.duration = sim::seconds(1200);
   base.seed = 17;
   // 8,000 managed objects; a console interaction reads ~12 of them
   // (device, interfaces, counters); 2% are configuration pushes.
   base.workload.db_size = 8000;
   base.workload.mean_ops = 12;
-  base.workload.mean_length = 5.0;
-  base.workload.mean_slack = 8.0;
-  base.workload.mean_interarrival = 6.0;
+  base.workload.mean_length = sim::seconds(5.0);
+  base.workload.mean_slack = sim::seconds(8.0);
+  base.workload.mean_interarrival = sim::seconds(6.0);
   base.workload.update_fraction = 0.02;
   base.workload.locality = 0.7;  // operators watch their own domain
   base.workload.region_size = 400;

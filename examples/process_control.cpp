@@ -20,15 +20,15 @@ namespace {
 rtdb::core::SystemConfig plant_config(std::size_t controllers) {
   rtdb::core::SystemConfig cfg;
   cfg.num_clients = controllers;
-  cfg.warmup = 200;
-  cfg.duration = 1200;
+  cfg.warmup = rtdb::sim::seconds(200);
+  cfg.duration = rtdb::sim::seconds(1200);
   cfg.seed = 99;
   // 2,000 points; a control scan touches ~8 of them and must settle fast.
   cfg.workload.db_size = 2000;
   cfg.workload.mean_ops = 8;
-  cfg.workload.mean_length = 1.5;
-  cfg.workload.mean_slack = 2.0;
-  cfg.workload.mean_interarrival = 2.0;
+  cfg.workload.mean_length = rtdb::sim::seconds(1.5);
+  cfg.workload.mean_slack = rtdb::sim::seconds(2.0);
+  cfg.workload.mean_interarrival = rtdb::sim::seconds(2.0);
   cfg.workload.update_fraction = 0.30;  // setpoint writes
   cfg.workload.locality = 0.8;          // each controller owns a unit
   cfg.workload.region_size = 120;
@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
   core::LsOptions tuned_window = core::LsOptions::all();
   // Scan deadlines leave ~2 s of slack; a 0.5 s collection window is a
   // quarter of the budget. Scale it to the deadline, as an operator would.
-  tuned_window.collection_window = 0.05;
+  tuned_window.collection_window = sim::seconds(0.05);
   core::LsOptions no_fwd = core::LsOptions::all();
   no_fwd.enable_forward_lists = false;
   const Variant variants[] = {

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   // 20 s mean deadline, 10 objects per transaction.
   core::SystemConfig cfg = core::SystemConfig::paper_defaults(update_pct);
   cfg.num_clients = clients;
-  cfg.duration = 1500;
+  cfg.duration = sim::seconds(1500);
 
   std::printf("Cluster: %zu clients, %.0f%% updates, Localized-RW\n\n",
               clients, update_pct);

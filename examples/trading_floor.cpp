@@ -24,8 +24,8 @@ int main(int argc, char** argv) {
 
   core::SystemConfig cfg;
   cfg.num_clients = traders;
-  cfg.warmup = 300;
-  cfg.duration = 1500;
+  cfg.warmup = sim::seconds(300);
+  cfg.duration = sim::seconds(1500);
   cfg.seed = 7;
 
   // Instrument database: 4,000 instruments; each order touches ~6 of them
@@ -33,9 +33,9 @@ int main(int argc, char** argv) {
   // ~4 s beyond the order's own processing time.
   cfg.workload.db_size = 4000;
   cfg.workload.mean_ops = 6;
-  cfg.workload.mean_length = 3.0;
-  cfg.workload.mean_slack = 4.0;
-  cfg.workload.mean_interarrival = 4.0;
+  cfg.workload.mean_length = sim::seconds(3.0);
+  cfg.workload.mean_slack = sim::seconds(4.0);
+  cfg.workload.mean_interarrival = sim::seconds(4.0);
   cfg.workload.update_fraction = 0.10;   // order placement / amendments
   cfg.workload.zipf_theta = 1.1;         // a few very hot instruments
   cfg.workload.locality = 0.6;           // each desk has a home sector

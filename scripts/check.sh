@@ -60,10 +60,35 @@ scan nondeterministic-rng \
 
 # Wall-clock time: simulated time is the only clock. A real-time call in
 # the event loop (or anything it reaches) makes runs machine-dependent.
+# Covers the chrono clocks, the POSIX calls, and the C `time()`/`clock()`
+# entry points.
 scan wall-clock \
-  '(^|[^_[:alnum:]])(std::chrono::(system|steady|high_resolution)_clock|gettimeofday|clock_gettime|time[[:space:]]*\([[:space:]]*(NULL|nullptr|0)?[[:space:]]*\))' \
+  '(^|[^_[:alnum:]])(std::chrono::(system|steady|high_resolution)_clock|gettimeofday|clock_gettime|(time|clock)[[:space:]]*\([[:space:]]*(NULL|nullptr|0)?[[:space:]]*\))' \
   'wall-clock reads banned — use sim::Simulator::now()' \
   src
+
+# ------------------------------------------------- header self-sufficiency
+# Every public header must compile standalone (all includes it needs, no
+# hidden ordering dependency on a previous include). Syntax-only compiles
+# are cheap enough to run on every check.
+CXX=${CXX:-g++}
+if command -v "$CXX" >/dev/null 2>&1; then
+  header_fails=0
+  while IFS= read -r hdr; do
+    if ! "$CXX" -std=c++20 -fsyntax-only -Isrc -x c++ "$hdr" 2>/tmp/hdr_check.log; then
+      printf '%s is not self-sufficient:\n' "$hdr" >&2
+      sed 's/^/  /' /tmp/hdr_check.log >&2
+      header_fails=$((header_fails + 1))
+    fi
+  done < <(git ls-files 'src/*.hpp' 'src/**/*.hpp')
+  if [ "$header_fails" -ne 0 ]; then
+    fail "header-self-sufficiency: $header_fails header(s) do not compile standalone"
+  else
+    note 'lint/header-self-sufficiency: clean'
+  fi
+else
+  note "header-self-sufficiency: $CXX not found — skipping"
+fi
 
 # ---------------------------------------------------------------- clang-tidy
 if command -v clang-tidy >/dev/null 2>&1; then

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Compare rtdb_verify's same-seed determinism digests against the committed
+# golden values in scripts/golden_digests.txt. Any drift fails: the digests
+# are the proof that a refactor was behavior-preserving.
+#
+# Usage: scripts/compare_digests.sh [path-to-rtdb_verify]
+set -u
+
+cd "$(dirname "$0")/.."
+VERIFY=${1:-build/tools/rtdb_verify}
+
+if [ ! -x "$VERIFY" ]; then
+  echo "compare_digests: $VERIFY not found — build the rtdb_verify target first" >&2
+  exit 2
+fi
+
+actual=$("$VERIFY" | awk '/determinism/ {sub(/^digest=/, "", $4); print $2, $4}')
+golden=$(grep -v '^#' scripts/golden_digests.txt | awk 'NF {print $1, $2}')
+
+if [ "$actual" != "$golden" ]; then
+  echo "compare_digests: determinism digest drift detected" >&2
+  diff <(printf '%s\n' "$golden") <(printf '%s\n' "$actual") >&2
+  echo "(golden on the left, this build on the right;" \
+       "update scripts/golden_digests.txt only for intended behavior changes)" >&2
+  exit 1
+fi
+echo "compare_digests: all prototype digests match golden"

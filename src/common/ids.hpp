@@ -1,29 +1,11 @@
 #pragma once
 
-#include <cstdint>
+#include "common/strong_id.hpp"
 
 /// \file ids.hpp
 /// Identifiers shared by every rtdb subsystem.
-
-namespace rtdb {
-
-/// A database object. The paper's database holds 10,000 fixed-size (2 KB)
-/// objects; one object occupies exactly one paged-file page.
-using ObjectId = std::uint32_t;
-
-/// A transaction, unique across the whole cluster for one run.
-using TxnId = std::uint64_t;
-
-/// A cluster site. The database server is site 0; clients are 1..N.
-/// The LS configuration's directory server is modelled inside the network
-/// (it only forwards), so it does not need its own SiteId.
-using SiteId = std::int32_t;
-
-inline constexpr SiteId kServerSite = 0;
-inline constexpr SiteId kInvalidSite = -1;
-inline constexpr TxnId kInvalidTxn = 0;
-
-/// First client SiteId; clients are contiguous [kFirstClientSite, N].
-inline constexpr SiteId kFirstClientSite = 1;
-
-}  // namespace rtdb
+///
+/// Since the strong-typing pass, this header only re-exports the tagged id
+/// types defined in common/strong_id.hpp — ObjectId, TxnId, SiteId, ClientId,
+/// PageId and their constants/conversions — so existing includes keep working.
+/// See that header (and docs/analysis.md) for the type rules.

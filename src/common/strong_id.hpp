@@ -1,0 +1,149 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+/// \file strong_id.hpp
+/// Zero-cost strong identifier types for the rtdb protocol surface.
+///
+/// The protocols juggle many same-shaped integers — site ids, client ids,
+/// object ids, transaction ids, page ids — and a single transposed
+/// `(SiteId, TxnId)` pair silently corrupts a forward list or a wait-for-graph
+/// edge. Each id is therefore its own type: explicitly constructed from its
+/// representation, never implicitly convertible to another id or to a raw
+/// integer. Swapping two differently-typed arguments is a compile error, which
+/// is what lets `.clang-tidy` keep `bugprone-easily-swappable-parameters`
+/// enabled over the whole protocol surface.
+///
+/// Properties (pinned by tests/common/static_checks.cpp):
+///   - trivially copyable, sizeof(Id) == sizeof(Rep), fully constexpr;
+///   - value-initialised ids are zero;
+///   - totally ordered and equality-comparable against the same id type only;
+///   - hashable (std::hash specialisation) for unordered containers;
+///   - streamable / to_string-able for traces and digests;
+///   - ordinal: `++id` exists so `[first, last)` id ranges can be iterated.
+///
+/// To add a new id: declare a tag struct, alias StrongId over it, and list it
+/// in tests/common/static_checks.cpp (see docs/analysis.md, "Adding a new
+/// strong id / time quantity").
+
+namespace rtdb {
+
+/// A tagged integral identifier. `Tag` only disambiguates the type; `RepT` is
+/// the wire/storage representation.
+template <class Tag, class RepT>
+class StrongId {
+ public:
+  using Rep = RepT;
+
+  /// Value-initialises to zero (matches the old raw-integer behaviour).
+  constexpr StrongId() = default;
+
+  /// Explicit on purpose: every raw-integer -> id boundary must be visible.
+  constexpr explicit StrongId(Rep v) : v_(v) {}
+
+  /// The raw representation, for arithmetic/IO boundaries only.
+  [[nodiscard]] constexpr Rep value() const { return v_; }
+
+  /// Same-type comparisons only; cross-id comparison does not compile.
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+  /// Ordinal successor — ids number contiguous ranges (clients 1..N,
+  /// objects 0..D-1), so range iteration stays natural.
+  constexpr StrongId& operator++() {
+    ++v_;
+    return *this;
+  }
+  constexpr StrongId operator++(int) {
+    StrongId prev = *this;
+    ++v_;
+    return prev;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << id.v_;
+  }
+
+ private:
+  Rep v_{};
+};
+
+template <class Tag, class RepT>
+[[nodiscard]] std::string to_string(StrongId<Tag, RepT> id) {
+  return std::to_string(id.value());
+}
+
+// ----------------------------------------------------------------- the ids
+
+/// A database object. The paper's database holds 10,000 fixed-size (2 KB)
+/// objects; one object occupies exactly one paged-file page.
+using ObjectId = StrongId<struct ObjectIdTag, std::uint32_t>;
+
+/// A transaction, unique across the whole cluster for one run.
+using TxnId = StrongId<struct TxnIdTag, std::uint64_t>;
+
+/// A cluster site: the database server (site 0) or a client workstation
+/// (1..N). Use this where either endpoint can legitimately appear (network
+/// accounting, telemetry); use ClientId where only a client makes sense.
+using SiteId = StrongId<struct SiteIdTag, std::int32_t>;
+
+/// A client workstation site (1..N). Distinct from SiteId so that protocol
+/// signatures which must name a *client* (forward-list holders, lock owners,
+/// workload streams) cannot be handed the server or a raw site by accident.
+/// Convert explicitly: `site_of(client)` widens, `client_of(site)` narrows
+/// (asserting the site really is a client).
+using ClientId = StrongId<struct ClientIdTag, std::int32_t>;
+
+/// A page of the server's paged file. The seed database maps one object to
+/// exactly one page (`page_of`), but the storage layer is typed against pages
+/// so the 1:1 assumption lives in a single named function, not in every
+/// buffer/disk signature.
+using PageId = StrongId<struct PageIdTag, std::uint32_t>;
+
+// ----------------------------------------------------------- the constants
+
+/// The database server is site 0; clients are 1..N.
+inline constexpr SiteId kServerSite{0};
+inline constexpr SiteId kInvalidSite{-1};
+inline constexpr TxnId kInvalidTxn{0};
+
+/// First client SiteId; clients are contiguous [kFirstClientSite, N].
+inline constexpr SiteId kFirstClientSite{1};
+
+/// First ClientId; clients are contiguous [kFirstClient, N].
+inline constexpr ClientId kFirstClient{1};
+
+/// No-client sentinel (0 is the server's site number, never a client).
+inline constexpr ClientId kInvalidClient{0};
+
+// --------------------------------------------------------- the conversions
+
+/// A client is a site; widening is always valid.
+[[nodiscard]] constexpr SiteId site_of(ClientId c) { return SiteId{c.value()}; }
+
+/// Narrow a site to a client. Precondition: the site is a client (>= 1).
+[[nodiscard]] constexpr ClientId client_of(SiteId s) {
+  assert(s >= kFirstClientSite);
+  return ClientId{s.value()};
+}
+
+/// True if `s` names a client workstation (not the server / not invalid).
+[[nodiscard]] constexpr bool is_client_site(SiteId s) {
+  return s >= kFirstClientSite;
+}
+
+/// The page holding `o`. The seed database is 1 object : 1 page.
+[[nodiscard]] constexpr PageId page_of(ObjectId o) { return PageId{o.value()}; }
+
+}  // namespace rtdb
+
+template <class Tag, class RepT>
+struct std::hash<rtdb::StrongId<Tag, RepT>> {
+  std::size_t operator()(rtdb::StrongId<Tag, RepT> id) const noexcept {
+    return std::hash<RepT>{}(id.value());
+  }
+};

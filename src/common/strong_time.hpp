@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+/// \file strong_time.hpp
+/// Dimension-checked simulated-time quantities.
+///
+/// Simulated time has two distinct quantities and the type system enforces
+/// their algebra:
+///
+///   - `Tick`     — an absolute instant (seconds since the start of the run);
+///   - `Duration` — a signed span of simulated seconds.
+///
+/// Only dimension-correct arithmetic compiles:
+///
+///   Tick - Tick         -> Duration        (elapsed span)
+///   Tick +/- Duration   -> Tick            (shifted instant)
+///   Duration +/- Duration -> Duration
+///   Duration * / scalar -> Duration
+///   Duration / Duration -> double          (dimensionless ratio)
+///
+/// `Tick + Tick`, `scalar * Tick`, and mixing either quantity with raw
+/// doubles are compile errors (pinned by tests/common/static_checks.cpp).
+/// Raw seconds enter through the explicit constructors / `sim::msec` /
+/// `sim::usec` and leave through `.sec()` — every boundary with untyped
+/// arithmetic (RNG draws, stats, JSON export) is visible at the call site.
+///
+/// Both types are a single double: trivially copyable, fully constexpr,
+/// zero-cost. Value-initialisation is zero. Comparisons are same-type only.
+
+namespace rtdb {
+
+/// A span of simulated time, in seconds. Signed: spans from `late - early`
+/// subtraction can be negative (e.g. slack past a deadline).
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(double seconds) : s_(seconds) {}
+
+  /// Raw seconds, for untyped boundaries (stats, export, RNG means).
+  [[nodiscard]] constexpr double sec() const { return s_; }
+
+  static constexpr Duration zero() { return Duration{}; }
+  static constexpr Duration infinity() {
+    return Duration{std::numeric_limits<double>::infinity()};
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration{s_ + o.s_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{s_ - o.s_}; }
+  constexpr Duration operator-() const { return Duration{-s_}; }
+  constexpr Duration& operator+=(Duration o) {
+    s_ += o.s_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    s_ -= o.s_;
+    return *this;
+  }
+
+  /// Scaling by a dimensionless factor keeps the dimension.
+  constexpr Duration operator*(double k) const { return Duration{s_ * k}; }
+  friend constexpr Duration operator*(double k, Duration d) {
+    return Duration{k * d.s_};
+  }
+  constexpr Duration operator/(double k) const { return Duration{s_ / k}; }
+
+  /// Ratio of two spans is dimensionless.
+  constexpr double operator/(Duration o) const { return s_ / o.s_; }
+
+  friend std::ostream& operator<<(std::ostream& os, Duration d) {
+    return os << d.s_;
+  }
+
+ private:
+  double s_{};
+};
+
+/// An absolute simulated instant: seconds since the start of the run.
+///
+/// A double gives ~microsecond resolution over multi-day simulated horizons,
+/// far beyond what the experiments need (second-scale transactions,
+/// millisecond-scale I/O and network transfers).
+class Tick {
+ public:
+  constexpr Tick() = default;
+  constexpr explicit Tick(double seconds) : s_(seconds) {}
+
+  /// Raw seconds since run start, for untyped boundaries (export, digests).
+  [[nodiscard]] constexpr double sec() const { return s_; }
+
+  static constexpr Tick zero() { return Tick{}; }
+
+  /// Sentinel meaning "never" / "no deadline"; after any reachable instant.
+  static constexpr Tick infinity() {
+    return Tick{std::numeric_limits<double>::infinity()};
+  }
+
+  /// True if this is a finite, reachable instant (not the sentinel).
+  [[nodiscard]] constexpr bool finite() const {
+    return s_ == s_ && s_ != std::numeric_limits<double>::infinity() &&
+           s_ != -std::numeric_limits<double>::infinity();
+  }
+
+  constexpr auto operator<=>(const Tick&) const = default;
+
+  // The dimension-correct algebra. Deliberately absent: Tick + Tick,
+  // scalar * Tick — instants do not add or scale.
+  constexpr Tick operator+(Duration d) const { return Tick{s_ + d.sec()}; }
+  friend constexpr Tick operator+(Duration d, Tick t) {
+    return Tick{d.sec() + t.s_};
+  }
+  constexpr Tick operator-(Duration d) const { return Tick{s_ - d.sec()}; }
+  constexpr Duration operator-(Tick o) const { return Duration{s_ - o.s_}; }
+  constexpr Tick& operator+=(Duration d) {
+    s_ += d.sec();
+    return *this;
+  }
+  constexpr Tick& operator-=(Duration d) {
+    s_ -= d.sec();
+    return *this;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Tick t) {
+    return os << t.s_;
+  }
+
+ private:
+  double s_{};
+};
+
+}  // namespace rtdb

@@ -95,9 +95,9 @@ class ConsistencyAuditor {
       const char* e = std::getenv("RTDB_AUDIT_TRACE_OBJ");
       return e ? std::atol(e) : -1L;
     }();
-    if (target >= 0 && static_cast<long>(object) == target) {
-      std::fprintf(stderr, "[%.3f] audit %s obj=%u site=%d v=%llu\n", when,
-                   what, object, site,
+    if (target >= 0 && static_cast<long>(object.value()) == target) {
+      std::fprintf(stderr, "[%.3f] audit %s obj=%u site=%d v=%llu\n",
+                   when.sec(), what, object.value(), site.value(),
                    static_cast<unsigned long long>(version));
     }
   }

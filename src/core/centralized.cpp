@@ -24,10 +24,10 @@ CentralizedSystem::Live* CentralizedSystem::find(TxnId id) {
 void CentralizedSystem::on_arrival(std::size_t, txn::Transaction txn) {
   // Terminal -> server: the transaction travels as a message; execution is
   // entirely server-side.
-  const SiteId origin = txn.origin;
+  const ClientId origin = client_of(txn.origin);
   const sim::SimTime sent = sim_.now();
-  net_.send(origin, kServerSite, net::MessageKind::kTxnSubmit,
-            [this, sent, txn = std::move(txn)]() mutable {
+  net_.send<net::MessageKind::kTxnSubmit>(
+      origin, net::kServer, [this, sent, txn = std::move(txn)]() mutable {
               if (tel_.spans_enabled()) {
                 // Submit-message flight time, then the admission-queue
                 // episode (closed at admit() or by txn_end on a shed).
@@ -53,11 +53,12 @@ void CentralizedSystem::pump_admission() {
   // Floor the estimate at the long-run mean: under overload only short
   // transactions survive to be observed, and a survivor-biased estimate
   // would re-admit doomed work.
-  const double est_exec =
-      std::max(observed_length_.count() ? observed_length_.mean() : 0.0,
-               config_.workload.mean_length);
+  const sim::Duration est_exec = std::max(
+      sim::seconds(observed_length_.count() ? observed_length_.mean() : 0.0),
+      config_.workload.mean_length);
   const sim::Duration required =
-      config_.ce_txn_overhead + (backlogged ? est_exec : 0.0);
+      config_.ce_txn_overhead +
+      (backlogged ? est_exec : sim::Duration::zero());
   std::vector<txn::Transaction> expired;
   std::optional<txn::Transaction> next;
   for (;;) {
@@ -261,7 +262,7 @@ void CentralizedSystem::commit(TxnId id) {
     tel_.event(obs::EventKind::kTxnCommit, sim_.now(), kServerSite, id);
   }
   record_commit(live->t, sim_.now());
-  observed_length_.add(live->t.length);
+  observed_length_.add(live->t.length.sec());
   // Version bookkeeping for the consistency audit (single-site locking
   // makes this trivially serial, which is exactly what the audit confirms).
   for (const auto& [obj, mode] : live->t.lock_needs()) {
@@ -279,7 +280,8 @@ void CentralizedSystem::commit(TxnId id) {
   --busy_slots_;
   // Results go back to the terminal (timing only; the outcome is already
   // accounted server-side).
-  net_.send(kServerSite, live->t.origin, net::MessageKind::kTxnResult, [] {});
+  net_.send<net::MessageKind::kTxnResult>(net::kServer,
+                                          client_of(live->t.origin), [] {});
   destroy(id);
   pump_executors();
 }

@@ -12,9 +12,10 @@ namespace rtdb::core {
 
 using lock::LockMode;
 
-ClientNode::ClientNode(ClientServerSystem& sys, SiteId site, std::size_t index)
+ClientNode::ClientNode(ClientServerSystem& sys, ClientId id, std::size_t index)
     : sys_(sys),
-      site_(site),
+      id_(id),
+      site_(site_of(id)),
       index_(index),
       cache_(sys.sim(), sys.cfg().client_cache),
       cpu_(sys.sim()) {
@@ -35,7 +36,8 @@ lock::LockMode ClientNode::cached_server_mode(ObjectId obj) const {
 LoadInfo ClientNode::current_load() const {
   LoadInfo info;
   info.live_txns = live_count();
-  info.atl = atl_.count() ? atl_.mean() : sys_.cfg().workload.mean_length;
+  info.atl =
+      atl_.count() ? atl_.mean() : sys_.cfg().workload.mean_length.sec();
   info.valid = true;
   return info;
 }
@@ -50,22 +52,22 @@ void ClientNode::validate_invariants() const {
   cache_.validate_invariants();
   ready_.validate_invariants();
   RTDB_CHECK(busy_slots_ <= sys_.cfg().client_executor_slots,
-             "site %d runs %zu executors over the %zu-slot budget", site_,
-             busy_slots_, sys_.cfg().client_executor_slots);
+             "site %d runs %zu executors over the %zu-slot budget",
+             site_.value(), busy_slots_, sys_.cfg().client_executor_slots);
   // Forward duties must be consistent: a duty bound to a transaction names
   // one that is still live here.
   for (const auto& [obj, duty] : duties_) {
     if (duty.bound != kInvalidTxn) {
       RTDB_CHECK(live_.count(duty.bound) != 0,
-                 "obj %u forward duty bound to dead txn %llu", obj,
-                 static_cast<unsigned long long>(duty.bound));
+                 "obj %u forward duty bound to dead txn %llu", obj.value(),
+                 static_cast<unsigned long long>(duty.bound.value()));
     }
   }
 }
 
 void ClientNode::update_atl(const txn::Transaction& t,
                             sim::SimTime commit_time) {
-  atl_.add(commit_time - t.arrival);
+  atl_.add((commit_time - t.arrival).sec());
 }
 
 // ---------------------------------------------------------------------------
@@ -157,25 +159,25 @@ bool ClientNode::h1_admits(const txn::Transaction& t) const {
       1, sys_.cfg().client_executor_slots);
   const std::size_t ahead = n >= slots ? n - slots + 1 : 0;
   const double atl =
-      atl_.count() ? atl_.mean() : sys_.cfg().workload.mean_length;
-  return sys_.sim().now() + static_cast<double>(ahead) * atl <= t.deadline;
+      atl_.count() ? atl_.mean() : sys_.cfg().workload.mean_length.sec();
+  return sys_.sim().now() + sim::seconds(static_cast<double>(ahead) * atl) <=
+         t.deadline;
 }
 
 void ClientNode::query_locations(Live& live, QueryPurpose purpose) {
   live.pending_query = purpose;
   LocationQuery q;
   q.txn = live.t.id;
-  q.client = site_;
+  q.client = id_;
   q.deadline = live.t.deadline;
   q.needs.reserve(live.needs.size());
   for (const auto& [obj, mode] : live.needs) {
     q.needs.push_back({obj, mode, cache_.contains(obj)});
   }
   q.load = current_load();
-  sys_.net().send(site_, kServerSite, net::MessageKind::kLocationQuery,
-                  [this, q = std::move(q)] {
-                    sys_.server().on_location_query(q);
-                  });
+  sys_.net().send<net::MessageKind::kLocationQuery>(
+      id_, net::kServer,
+      [this, q = std::move(q)] { sys_.server().on_location_query(q); });
 }
 
 void ClientNode::on_location_reply(LocationReply reply) {
@@ -207,7 +209,7 @@ void ClientNode::decide_placement(Live& live, const LocationReply& reply) {
   std::size_t self_conflicts = 0;
   std::size_t self_held = 0;
   for (const auto& c : reply.candidates) {
-    if (c.site == site_) {
+    if (c.client == id_) {
       self_conflicts = c.conflict_count;
       self_held = c.objects_held;
     }
@@ -223,10 +225,10 @@ void ClientNode::decide_placement(Live& live, const LocationReply& reply) {
   const auto rank = [&](const LocationReply::Candidate& c) {
     return std::make_tuple(h2 ? c.conflict_count : 0,
                            -static_cast<long>(c.objects_held),
-                           c.live_txns, c.site);
+                           c.live_txns, c.client);
   };
   for (const auto& c : reply.candidates) {
-    if (c.site == kServerSite || c.site == site_) continue;
+    if (c.client == id_) continue;
     if (!best || rank(c) < rank(*best)) best = &c;
   }
 
@@ -246,10 +248,12 @@ void ClientNode::decide_placement(Live& live, const LocationReply& reply) {
       // will have at least as much chance of successful completion at that
       // site as at its originating site" must actually hold, or the ship
       // just moves the miss (and pollutes the destination's cache).
-      const double dest_eta =
+      const sim::SimTime dest_eta =
           sys_.sim().now() +
-          static_cast<double>(best->live_txns) *
-              (best->atl > 0 ? best->atl : sys_.cfg().workload.mean_length);
+          sim::seconds(static_cast<double>(best->live_txns) *
+                       (best->atl > 0
+                            ? best->atl
+                            : sys_.cfg().workload.mean_length.sec()));
       // Data affinity: with overlapping regions, region-sharers hold much
       // of this transaction's working set — prefer not to strand the
       // transaction on a site that caches (almost) none of it.
@@ -266,10 +270,11 @@ void ClientNode::decide_placement(Live& live, const LocationReply& reply) {
       // Speculation extension: run the race instead of choosing. The
       // local contender proceeds (parked batch resumed) while a copy
       // ships to the better site; first to the commit point wins.
-      ProceedDecision d{live.t.id, site_, /*proceed=*/true, current_load()};
-      sys_.net().send(site_, kServerSite, net::MessageKind::kControl,
-                      [this, d] { sys_.server().on_proceed_decision(d); });
-      launch_speculation(live, best->site);
+      ProceedDecision d{live.t.id, id_, /*proceed=*/true, current_load()};
+      sys_.net().send<net::MessageKind::kControl>(
+          id_, net::kServer,
+          [this, d] { sys_.server().on_proceed_decision(d); });
+      launch_speculation(live, best->client);
       return;
     }
     if (conflict_phase) {
@@ -279,43 +284,46 @@ void ClientNode::decide_placement(Live& live, const LocationReply& reply) {
     }
     if (conflict_phase) {
       // Withdraw the parked batch before leaving.
-      ProceedDecision d{live.t.id, site_, /*proceed=*/false, current_load()};
-      sys_.net().send(site_, kServerSite, net::MessageKind::kControl,
-                      [this, d] { sys_.server().on_proceed_decision(d); });
+      ProceedDecision d{live.t.id, id_, /*proceed=*/false, current_load()};
+      sys_.net().send<net::MessageKind::kControl>(
+          id_, net::kServer,
+          [this, d] { sys_.server().on_proceed_decision(d); });
     }
-    ship_txn(live.t.id, best->site);
+    ship_txn(live.t.id, best->client);
     return;
   }
 
   // Staying here. A parked conflict batch resumes with one control message;
   // a fresh (H1-placement) transaction enters the normal local pipeline.
   if (conflict_phase) {
-    ProceedDecision d{live.t.id, site_, /*proceed=*/true, current_load()};
-    sys_.net().send(site_, kServerSite, net::MessageKind::kControl,
-                    [this, d] { sys_.server().on_proceed_decision(d); });
+    ProceedDecision d{live.t.id, id_, /*proceed=*/true, current_load()};
+    sys_.net().send<net::MessageKind::kControl>(
+        id_, net::kServer,
+        [this, d] { sys_.server().on_proceed_decision(d); });
   } else {
     admit_local(live.t.id);
   }
 }
 
-void ClientNode::ship_txn(TxnId id, SiteId to) {
+void ClientNode::ship_txn(TxnId id, ClientId to) {
   Live* live = find(id);
   assert(live && !live->remote);
   if (sys_.trace().enabled(sim::TraceCategory::kShip)) {
     sys_.trace().emitf(sys_.sim().now(), sim::TraceCategory::kShip, site_,
                        "ship txn=%llu -> site %d",
-                       static_cast<unsigned long long>(id), to);
+                       static_cast<unsigned long long>(id.value()),
+                       site_of(to).value());
   }
   ++sys_.live_metrics().shipped_txns;
   if (sys_.telemetry().events_enabled()) {
     sys_.telemetry().event(obs::EventKind::kTxnShip, sys_.sim().now(), site_,
-                           id, 0, to);
+                           id, ObjectId{}, site_of(to).value());
   }
 
   ShippedTxn msg;
   msg.t = live->t;
   msg.t.state = txn::TxnState::kPending;
-  msg.origin = site_;
+  msg.origin = id_;
   msg.ships = live->ships + 1;
 
   // Undo any local acquisition state; the origin only tracks the outcome.
@@ -333,16 +341,16 @@ void ClientNode::ship_txn(TxnId id, SiteId to) {
   });
   shipped_.emplace(id, std::move(rec));
 
-  sys_.net().send(site_, to, net::MessageKind::kTxnShip,
-                  [this, to, msg = std::move(msg)] {
-                    sys_.client(to).on_shipped_txn(msg);
-                  });
+  sys_.net().send<net::MessageKind::kTxnShip>(
+      id_, to, [this, to, msg = std::move(msg)] {
+        sys_.client(to).on_shipped_txn(msg);
+      });
 }
 
 void ClientNode::on_shipped_txn(ShippedTxn shipped) {
   cpu_.submit(sys_.cfg().client_msg_overhead,
               [this, shipped = std::move(shipped)] {
-                begin(shipped.t, shipped.origin, /*remote=*/true,
+                begin(shipped.t, site_of(shipped.origin), /*remote=*/true,
                       shipped.ships);
                 if (shipped.spec_of != kInvalidTxn) {
                   if (Live* l = find(shipped.t.id)) {
@@ -356,16 +364,15 @@ void ClientNode::on_shipped_txn(ShippedTxn shipped) {
 // Speculation (extension)
 // ---------------------------------------------------------------------------
 
-void ClientNode::net_send_spec_request(SiteId origin, TxnId orig,
+void ClientNode::net_send_spec_request(ClientId origin, TxnId orig,
                                        TxnId copy_id) {
-  sys_.net().send(site_, origin, net::MessageKind::kControl,
-                  [this, origin, orig, copy_id] {
-                    sys_.client(origin).on_spec_commit_request(orig, site_,
-                                                               copy_id);
-                  });
+  sys_.net().send<net::MessageKind::kControl>(
+      id_, origin, [this, origin, orig, copy_id] {
+        sys_.client(origin).on_spec_commit_request(orig, id_, copy_id);
+      });
 }
 
-void ClientNode::launch_speculation(Live& live, SiteId to) {
+void ClientNode::launch_speculation(Live& live, ClientId to) {
   const TxnId orig = live.t.id;
   // One copy at a time: a restarted contender keeps racing the copy it
   // already shipped instead of spawning more.
@@ -374,7 +381,7 @@ void ClientNode::launch_speculation(Live& live, SiteId to) {
   live.spec_parent = orig;  // the origin-side contender races too
   if (sys_.telemetry().events_enabled()) {
     sys_.telemetry().event(obs::EventKind::kSpecLaunch, sys_.sim().now(),
-                           site_, orig, 0, to);
+                           site_, orig, ObjectId{}, site_of(to).value());
   }
 
   Spec rec;
@@ -387,13 +394,13 @@ void ClientNode::launch_speculation(Live& live, SiteId to) {
   msg.t = live.t;
   msg.t.id = sys_.fresh_txn_id();  // distinct identity at the other site
   msg.t.state = txn::TxnState::kPending;
-  msg.origin = site_;
+  msg.origin = id_;
   msg.ships = sys_.ls().max_ships;  // the copy must not ship onward
   msg.spec_of = orig;
-  sys_.net().send(site_, to, net::MessageKind::kTxnShip,
-                  [this, to, msg = std::move(msg)] {
-                    sys_.client(to).on_shipped_txn(msg);
-                  });
+  sys_.net().send<net::MessageKind::kTxnShip>(
+      id_, to, [this, to, msg = std::move(msg)] {
+        sys_.client(to).on_shipped_txn(msg);
+      });
 }
 
 bool ClientNode::spec_claim(TxnId orig, bool local) {
@@ -407,7 +414,7 @@ bool ClientNode::spec_claim(TxnId orig, bool local) {
   if (sys_.trace().enabled(sim::TraceCategory::kSpec)) {
     sys_.trace().emitf(sys_.sim().now(), sim::TraceCategory::kSpec, site_,
                        "spec claim txn=%llu by %s -> %s",
-                       static_cast<unsigned long long>(orig),
+                       static_cast<unsigned long long>(orig.value()),
                        local ? "local" : "remote",
                        claimed ? "granted" : "denied");
   }
@@ -470,15 +477,14 @@ void ClientNode::handle_spec_deadline(TxnId orig) {
   spec_kill_contender(orig);
 }
 
-void ClientNode::on_spec_commit_request(TxnId orig, SiteId from,
+void ClientNode::on_spec_commit_request(TxnId orig, ClientId from,
                                         TxnId copy_id) {
   cpu_.submit(sys_.cfg().client_msg_overhead, [this, orig, from, copy_id] {
     const bool granted = spec_claim(orig, /*local=*/false);
-    sys_.net().send(site_, from, net::MessageKind::kControl,
-                    [this, from, copy_id, granted] {
-                      sys_.client(from).on_spec_commit_reply(copy_id,
-                                                             granted);
-                    });
+    sys_.net().send<net::MessageKind::kControl>(
+        id_, from, [this, from, copy_id, granted] {
+          sys_.client(from).on_spec_commit_reply(copy_id, granted);
+        });
   });
 }
 
@@ -527,7 +533,7 @@ void ClientNode::start_decomposition(Live& live, const LocationReply& reply) {
   sys_.live_metrics().subtasks_spawned += subtasks.size();
   if (sys_.telemetry().events_enabled()) {
     sys_.telemetry().event(obs::EventKind::kTxnDecompose, sys_.sim().now(),
-                           site_, live.t.id, 0, 0, 0,
+                           site_, live.t.id, ObjectId{}, 0, 0,
                            static_cast<double>(subtasks.size()));
   }
 
@@ -565,12 +571,13 @@ void ClientNode::start_decomposition(Live& live, const LocationReply& reply) {
       ShippedSubtask msg;
       msg.parent = parent_id;
       msg.index = st.index;
-      msg.origin = site_;
+      msg.origin = id_;
       msg.work = std::move(work);
-      sys_.net().send(site_, st.site, net::MessageKind::kSubtaskShip,
-                      [this, to = st.site, msg = std::move(msg)] {
-                        sys_.client(to).on_shipped_subtask(msg);
-                      });
+      sys_.net().send<net::MessageKind::kSubtaskShip>(
+          id_, client_of(st.site),
+          [this, to = client_of(st.site), msg = std::move(msg)] {
+            sys_.client(to).on_shipped_subtask(msg);
+          });
     }
   }
 }
@@ -578,7 +585,7 @@ void ClientNode::start_decomposition(Live& live, const LocationReply& reply) {
 void ClientNode::on_shipped_subtask(ShippedSubtask shipped) {
   cpu_.submit(sys_.cfg().client_msg_overhead,
               [this, shipped = std::move(shipped)] {
-                begin(shipped.work, shipped.origin, /*remote=*/true,
+                begin(shipped.work, site_of(shipped.origin), /*remote=*/true,
                       sys_.ls().max_ships, /*is_subtask=*/true,
                       shipped.parent, shipped.index);
               });
@@ -768,7 +775,7 @@ void ClientNode::send_batch(Live& live, const std::vector<ObjectNeed>& missing,
                             bool auto_proceed) {
   ObjectRequestBatch batch;
   batch.txn = live.t.id;
-  batch.client = site_;
+  batch.client = id_;
   batch.deadline = live.t.deadline;
   batch.needs = missing;
   batch.auto_proceed = auto_proceed;
@@ -780,10 +787,10 @@ void ClientNode::send_batch(Live& live, const std::vector<ObjectNeed>& missing,
     live.request_marks.emplace(need.object,
                                Live::RequestMark{now, need.mode});
   }
-  sys_.net().send_batch(site_, kServerSite, net::MessageKind::kObjectRequest,
-                        missing.size(), [this, batch = std::move(batch)] {
-                          sys_.server().on_request_batch(batch);
-                        });
+  sys_.net().send_batch<net::MessageKind::kObjectRequest>(
+      id_, net::kServer, missing.size(), [this, batch = std::move(batch)] {
+        sys_.server().on_request_batch(batch);
+      });
 }
 
 void ClientNode::need_satisfied(TxnId id, ObjectId obj) {
@@ -857,8 +864,7 @@ void ClientNode::commit(TxnId id) {
       if (live->commit_arbitration_pending) return;
       live->commit_arbitration_pending = true;
       const TxnId orig = live->spec_parent;
-      const SiteId origin = live->origin;
-      net_send_spec_request(origin, orig, id);
+      net_send_spec_request(client_of(live->origin), orig, id);
       return;
     }
   }
@@ -890,8 +896,8 @@ void ClientNode::commit(TxnId id) {
   if (sys_.trace().enabled(sim::TraceCategory::kTxn)) {
     sys_.trace().emitf(sys_.sim().now(), sim::TraceCategory::kTxn, site_,
                        "commit txn=%llu slack=%.3f",
-                       static_cast<unsigned long long>(id),
-                       live->t.deadline - sys_.sim().now());
+                       static_cast<unsigned long long>(id.value()),
+                       (live->t.deadline - sys_.sim().now()).sec());
   }
   finish(id, txn::TxnState::kCommitted);
 }
@@ -902,7 +908,7 @@ void ClientNode::handle_deadline(TxnId id) {
   if (sys_.trace().enabled(sim::TraceCategory::kTxn)) {
     sys_.trace().emitf(sys_.sim().now(), sim::TraceCategory::kTxn, site_,
                        "miss txn=%llu (state %s)",
-                       static_cast<unsigned long long>(id),
+                       static_cast<unsigned long long>(id.value()),
                        std::string(txn::to_string(live->t.state)).c_str());
   }
   finish(id, txn::TxnState::kMissed);
@@ -951,10 +957,11 @@ void ClientNode::finish(TxnId id, txn::TxnState final_state) {
       result.id = live->spec_parent;
       result.success = success;
       result.spec = true;
-      sys_.net().send(site_, live->origin, net::MessageKind::kTxnResult,
-                      [this, origin = live->origin, result] {
-                        sys_.client(origin).on_remote_result(result);
-                      });
+      sys_.net().send<net::MessageKind::kTxnResult>(
+          id_, client_of(live->origin),
+          [this, origin = client_of(live->origin), result] {
+            sys_.client(origin).on_remote_result(result);
+          });
     }
   } else if (live->is_subtask) {
     RemoteResult result;
@@ -965,19 +972,21 @@ void ClientNode::finish(TxnId id, txn::TxnState final_state) {
     if (live->origin == site_) {
       on_remote_result(result);
     } else {
-      sys_.net().send(site_, live->origin, net::MessageKind::kSubtaskResult,
-                      [this, origin = live->origin, result] {
-                        sys_.client(origin).on_remote_result(result);
-                      });
+      sys_.net().send<net::MessageKind::kSubtaskResult>(
+          id_, client_of(live->origin),
+          [this, origin = client_of(live->origin), result] {
+            sys_.client(origin).on_remote_result(result);
+          });
     }
   } else if (live->remote) {
     RemoteResult result;
     result.id = live->t.id;
     result.success = success;
-    sys_.net().send(site_, live->origin, net::MessageKind::kTxnResult,
-                    [this, origin = live->origin, result] {
-                      sys_.client(origin).on_remote_result(result);
-                    });
+    sys_.net().send<net::MessageKind::kTxnResult>(
+        id_, client_of(live->origin),
+        [this, origin = client_of(live->origin), result] {
+          sys_.client(origin).on_remote_result(result);
+        });
   } else {
     switch (final_state) {
       case txn::TxnState::kCommitted:
@@ -1048,7 +1057,7 @@ void ClientNode::handle_incoming_object(Grant g, bool via_forward) {
       if (mark != live->request_marks.end()) {
         const sim::Duration rtt = sys_.sim().now() - mark->second.sent_at;
         if (sys_.measured(live->t)) {
-          sys_.live_metrics().object_response_shared.add(rtt);
+          sys_.live_metrics().object_response_shared.add(rtt.sec());
         }
         if (sys_.telemetry().spans_enabled()) {
           sys_.telemetry().object_wait(g.txn, g.object, rtt);
@@ -1093,7 +1102,7 @@ void ClientNode::handle_incoming_object(Grant g, bool via_forward) {
           auto& series = mark->second.mode == LockMode::kExclusive
                              ? sys_.live_metrics().object_response_exclusive
                              : sys_.live_metrics().object_response_shared;
-          series.add(rtt);
+          series.add(rtt.sec());
         }
         if (sys_.telemetry().spans_enabled()) {
           sys_.telemetry().object_wait(g.txn, g.object, rtt);
@@ -1141,7 +1150,7 @@ void ClientNode::handle_incoming_object(Grant g, bool via_forward) {
         auto& series = mark->second.mode == LockMode::kExclusive
                            ? sys_.live_metrics().object_response_exclusive
                            : sys_.live_metrics().object_response_shared;
-        series.add(rtt);
+        series.add(rtt.sec());
       }
       if (sys_.telemetry().spans_enabled()) {
         sys_.telemetry().object_wait(g.txn, g.object, rtt);
@@ -1177,21 +1186,23 @@ void ClientNode::fulfil_forward_duty(ObjectId obj) {
   if (next_idx >= duty.rest.size()) {
     // End of the list: the object goes home.
     ObjectReturn ret;
-    ret.client = site_;
+    ret.client = id_;
     ret.object = obj;
     ret.dirty = duty.dirty;
     ret.version = duty.version;
     ret.from_circulation = true;
     ret.load = current_load();
-    sys_.net().send(site_, kServerSite, net::MessageKind::kObjectReturn,
-                    [this, ret] { sys_.server().on_object_return(ret); });
+    sys_.net().send<net::MessageKind::kObjectReturn>(
+        id_, net::kServer,
+        [this, ret] { sys_.server().on_object_return(ret); });
     return;
   }
 
   const lock::ForwardEntry next = duty.rest[next_idx];
   if (sys_.telemetry().events_enabled()) {
     sys_.telemetry().event(
-        obs::EventKind::kForwardHop, now, site_, next.txn, obj, next.site,
+        obs::EventKind::kForwardHop, now, site_, next.txn, obj,
+        site_of(next.client).value(),
         next.mode == lock::LockMode::kExclusive ? 1 : 0);
   }
   Grant g;
@@ -1203,10 +1214,10 @@ void ClientNode::fulfil_forward_duty(ObjectId obj) {
   g.dirty = duty.dirty;
   g.version = duty.version;
   g.forward_list.assign(duty.rest.begin() + next_idx + 1, duty.rest.end());
-  sys_.net().send(site_, next.site, net::MessageKind::kObjectForward,
-                  [this, to = next.site, g = std::move(g)] {
-                    sys_.client(to).on_forwarded_object(g);
-                  });
+  sys_.net().send<net::MessageKind::kObjectForward>(
+      id_, next.client, [this, to = next.client, g = std::move(g)] {
+        sys_.client(to).on_forwarded_object(g);
+      });
 }
 
 void ClientNode::on_recall(Recall r) {
@@ -1220,12 +1231,13 @@ void ClientNode::process_recall(ObjectId obj, LockMode wanted) {
     // The lock was already returned voluntarily (eviction) — tell the
     // server so it can clear the callback and move on.
     ObjectReturn ret;
-    ret.client = site_;
+    ret.client = id_;
     ret.object = obj;
     ret.was_held = false;
     ret.load = current_load();
-    sys_.net().send(site_, kServerSite, net::MessageKind::kObjectReturn,
-                    [this, ret] { sys_.server().on_object_return(ret); });
+    sys_.net().send<net::MessageKind::kObjectReturn>(
+        id_, net::kServer,
+        [this, ret] { sys_.server().on_object_return(ret); });
     return;
   }
 
@@ -1247,7 +1259,7 @@ void ClientNode::process_recall(ObjectId obj, LockMode wanted) {
   }
 
   ObjectReturn ret;
-  ret.client = site_;
+  ret.client = id_;
   ret.object = obj;
   ret.version = version_of(obj);
   ret.load = current_load();
@@ -1270,8 +1282,8 @@ void ClientNode::process_recall(ObjectId obj, LockMode wanted) {
     version_.erase(obj);
     cache_.drop(obj);
   }
-  sys_.net().send(site_, kServerSite, net::MessageKind::kObjectReturn,
-                  [this, ret] { sys_.server().on_object_return(ret); });
+  sys_.net().send<net::MessageKind::kObjectReturn>(
+      id_, net::kServer, [this, ret] { sys_.server().on_object_return(ret); });
 }
 
 void ClientNode::check_deferred_recalls(const std::vector<ObjectId>& objs) {
@@ -1304,14 +1316,14 @@ void ClientNode::on_cache_eviction(ObjectId obj, bool dirty) {
   }
   server_mode_.erase(obj);
   ObjectReturn ret;
-  ret.client = site_;
+  ret.client = id_;
   ret.object = obj;
   ret.dirty = dirty;
   ret.version = version_of(obj);
   version_.erase(obj);
   ret.load = current_load();
-  sys_.net().send(site_, kServerSite, net::MessageKind::kObjectReturn,
-                  [this, ret] { sys_.server().on_object_return(ret); });
+  sys_.net().send<net::MessageKind::kObjectReturn>(
+      id_, net::kServer, [this, ret] { sys_.server().on_object_return(ret); });
 }
 
 void ClientNode::on_denied(TxnId txn) {

@@ -26,7 +26,7 @@ class ClientServerSystem;
 /// Client-side protocol engine and transaction pipeline.
 class ClientNode {
  public:
-  ClientNode(ClientServerSystem& sys, SiteId site, std::size_t index);
+  ClientNode(ClientServerSystem& sys, ClientId id, std::size_t index);
 
   ClientNode(const ClientNode&) = delete;
   ClientNode& operator=(const ClientNode&) = delete;
@@ -46,7 +46,7 @@ class ClientNode {
   void on_location_reply(LocationReply reply);
   void on_shipped_txn(ShippedTxn shipped);
   /// Speculation arbitration traffic (kControl messages).
-  void on_spec_commit_request(TxnId orig, SiteId from, TxnId copy_id);
+  void on_spec_commit_request(TxnId orig, ClientId from, TxnId copy_id);
   void on_spec_commit_reply(TxnId copy_id, bool granted);
   void on_shipped_subtask(ShippedSubtask shipped);
   void on_remote_result(RemoteResult result);
@@ -58,6 +58,7 @@ class ClientNode {
     return llm_;
   }
   [[nodiscard]] LoadInfo current_load() const;
+  [[nodiscard]] ClientId id() const { return id_; }
   [[nodiscard]] SiteId site() const { return site_; }
   [[nodiscard]] std::size_t live_count() const {
     return live_.size() + shipped_.size() + parents_.size();
@@ -100,7 +101,7 @@ class ClientNode {
     std::size_t cache_ios = 0;              ///< local disk-tier promotions
 
     struct RequestMark {
-      sim::SimTime sent_at = 0;
+      sim::SimTime sent_at{};
       lock::LockMode mode = lock::LockMode::kShared;
     };
     std::unordered_map<ObjectId, RequestMark> request_marks;  ///< Table 3
@@ -181,13 +182,13 @@ class ClientNode {
   void query_locations(Live& live, QueryPurpose purpose);
   void decide_placement(Live& live, const LocationReply& reply);
   void start_decomposition(Live& live, const LocationReply& reply);
-  void ship_txn(TxnId id, SiteId to);
+  void ship_txn(TxnId id, ClientId to);
 
   // --- callbacks / duties -----------------------------------------------
   // --- speculation (extension) --------------------------------------------
   /// Launches the dual-site race: keeps the local contender and ships a
   /// speculative copy to `to`.
-  void launch_speculation(Live& live, SiteId to);
+  void launch_speculation(Live& live, ClientId to);
   /// Arbitration: may `local`/remote commit the original? First claimant
   /// wins; idempotent for the holder.
   bool spec_claim(TxnId orig, bool local);
@@ -197,7 +198,7 @@ class ClientNode {
   void handle_spec_deadline(TxnId orig);
   /// Aborts a still-live local contender once the race has resolved.
   void spec_kill_contender(TxnId orig);
-  void net_send_spec_request(SiteId origin, TxnId orig, TxnId copy_id);
+  void net_send_spec_request(ClientId origin, TxnId orig, TxnId copy_id);
 
   void process_recall(ObjectId obj, lock::LockMode wanted);
   void check_deferred_recalls(const std::vector<ObjectId>& objs);
@@ -209,7 +210,8 @@ class ClientNode {
   void update_atl(const txn::Transaction& t, sim::SimTime commit_time);
 
   ClientServerSystem& sys_;
-  SiteId site_;
+  ClientId id_;
+  SiteId site_;  ///< site_of(id_), cached for telemetry/trace emission
   std::size_t index_;
   storage::ClientCache cache_;
   lock::LocalLockManager llm_;

@@ -12,8 +12,8 @@ ClientServerSystem::ClientServerSystem(SystemConfig config)
 
 ClientServerSystem::~ClientServerSystem() = default;
 
-ClientNode& ClientServerSystem::client(SiteId site) {
-  const auto index = static_cast<std::size_t>(site - kFirstClientSite);
+ClientNode& ClientServerSystem::client(ClientId client) {
+  const auto index = static_cast<std::size_t>(client.value() - 1);
   assert(index < clients_.size());
   return *clients_[index];
 }
@@ -23,7 +23,7 @@ void ClientServerSystem::start() {
   clients_.reserve(config_.num_clients);
   for (std::size_t i = 0; i < config_.num_clients; ++i) {
     clients_.push_back(std::make_unique<ClientNode>(
-        *this, static_cast<SiteId>(kFirstClientSite + i), i));
+        *this, ClientId{static_cast<ClientId::Rep>(i + 1)}, i));
   }
   if (!config_.warm_start) return;
   // Steady-state start: each client caches its region under SLs (capped by
@@ -35,20 +35,21 @@ void ClientServerSystem::start() {
                                 config_.client_cache.disk_capacity;
   if (pattern) {
     for (std::size_t i = 0; i < config_.num_clients; ++i) {
-      const SiteId site = static_cast<SiteId>(kFirstClientSite + i);
+      const ClientId client{static_cast<ClientId::Rep>(i + 1)};
       const ObjectId first = pattern->region_first(i);
       const std::size_t span =
           std::min(pattern->region_size(), cache_cap);
-      for (ObjectId obj = first; obj < first + span; ++obj) {
+      const ObjectId last{static_cast<ObjectId::Rep>(first.value() + span)};
+      for (ObjectId obj = first; obj < last; ++obj) {
         clients_[i]->warm_insert(obj);
-        server_->warm_register(obj, site);
+        server_->warm_register(obj, client);
       }
     }
   }
-  for (ObjectId obj = 0;
-       obj < static_cast<ObjectId>(config_.cs_server_buffer_capacity) &&
-       obj < static_cast<ObjectId>(config_.workload.db_size);
-       ++obj) {
+  const auto preload = static_cast<ObjectId::Rep>(
+      std::min<std::size_t>(config_.cs_server_buffer_capacity,
+                            config_.workload.db_size));
+  for (ObjectId obj{0}; obj < ObjectId{preload}; ++obj) {
     server_->warm_preload(obj);
   }
 }

@@ -24,7 +24,7 @@ class ClientServerSystem final : public System {
 
   // --- wiring used by the nodes -------------------------------------------
   [[nodiscard]] ServerNode& server() { return *server_; }
-  [[nodiscard]] ClientNode& client(SiteId site);
+  [[nodiscard]] ClientNode& client(ClientId client);
   [[nodiscard]] const LsOptions& ls() const { return config_.ls; }
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
   [[nodiscard]] net::Network& net() { return net_; }
@@ -51,7 +51,7 @@ class ClientServerSystem final : public System {
 
   /// Manual-driving mode (scenario tests, custom harnesses): wires up the
   /// nodes without starting workload arrivals. Inject transactions with
-  /// client(site).on_new_transaction(...) and advance simulator() yourself.
+  /// client(id).on_new_transaction(...) and advance simulator() yourself.
   /// Mutually exclusive with run().
   void bootstrap() {
     if (!server_) start();

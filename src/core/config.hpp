@@ -49,7 +49,7 @@ struct LsOptions {
   bool ed_request_scheduling = false;
 
   /// Length of the lock-grouping collection window.
-  sim::Duration collection_window = 0.5;
+  sim::Duration collection_window = sim::seconds(0.5);
 
   /// Close a collection window as soon as all recalls are answered *and*
   /// at most one serviceable request waits (no group can form, so holding
@@ -126,11 +126,11 @@ struct SystemConfig {
   /// not fill caches from zero.
   bool warm_start = true;
   /// Warm-up phase: caches/locks settle; nothing is counted.
-  sim::Duration warmup = 200;
+  sim::Duration warmup = sim::seconds(200);
   /// Measurement phase: transactions arriving in it are counted.
-  sim::Duration duration = 2000;
+  sim::Duration duration = sim::seconds(2000);
   /// Extra time allowed for measured transactions to drain afterwards.
-  sim::Duration drain = 300;
+  sim::Duration drain = sim::seconds(300);
 
   // --- workload (Table 1) ----------------------------------------------------
   workload::WorkloadConfig workload;
@@ -197,9 +197,17 @@ struct SystemConfig {
   // --- optimistic extension ----------------------------------------------------
   OccOptions occ;
 
-  /// Convenience: the horizon the simulation runs to.
+  /// Convenience: the horizon the simulation runs to (runs start at t=0).
   [[nodiscard]] sim::SimTime horizon() const {
-    return warmup + duration + drain;
+    return sim::SimTime::zero() + warmup + duration + drain;
+  }
+
+  /// Absolute start/end of the measurement window.
+  [[nodiscard]] sim::SimTime measure_start() const {
+    return sim::SimTime::zero() + warmup;
+  }
+  [[nodiscard]] sim::SimTime measure_end() const {
+    return measure_start() + duration;
   }
 
   /// Table-1 defaults for the given update percentage (1, 5 or 20).

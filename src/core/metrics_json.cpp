@@ -105,12 +105,12 @@ void write_telemetry_section(std::ostream& os, const obs::Telemetry& tel,
   os << (blockers.empty() ? "],\n" : "\n    ],\n");
 
   os << "    \"sample_interval\": ";
-  json_number(os, tel.config().sample_interval);
+  json_number(os, tel.config().sample_interval.sec());
   os << ",\n    \"sample_times\": [";
   const auto& times = tel.sample_times();
   for (std::size_t i = 0; i < times.size(); ++i) {
     if (i) os << ", ";
-    json_number(os, times[i]);
+    json_number(os, times[i].sec());
   }
   os << "],\n    \"series\": {";
   const auto& series = tel.series();

@@ -34,16 +34,16 @@ void OptimisticSystem::start() {
     for (std::size_t i = 0; i < config_.num_clients; ++i) {
       const ObjectId first = pattern->region_first(i);
       const std::size_t span = std::min(pattern->region_size(), cap);
-      for (ObjectId obj = first; obj < first + span; ++obj) {
+      const ObjectId last{static_cast<ObjectId::Rep>(first.value() + span)};
+      for (ObjectId obj = first; obj < last; ++obj) {
         clients_[i]->cache.insert(obj, /*dirty=*/false);
         clients_[i]->version[obj] = 0;
       }
     }
   }
-  for (ObjectId obj = 0;
-       obj < static_cast<ObjectId>(config_.cs_server_buffer_capacity) &&
-       obj < static_cast<ObjectId>(config_.workload.db_size);
-       ++obj) {
+  const auto preload = static_cast<ObjectId::Rep>(std::min<std::size_t>(
+      config_.cs_server_buffer_capacity, config_.workload.db_size));
+  for (ObjectId obj{0}; obj < ObjectId{preload}; ++obj) {
     pf_->preload(obj);
   }
 }
@@ -74,7 +74,7 @@ void OptimisticSystem::begin_attempt(TxnId id) {
   live->fetches_pending = 0;
   live->cache_ios = 0;
   ClientState& cs = state_of(*live);
-  const SiteId site = live->t.origin;
+  const ClientId site = client_of(live->t.origin);
   const std::uint32_t epoch = live->epoch;
 
   for (const auto& [obj, mode] : live->t.lock_needs()) {
@@ -99,8 +99,8 @@ void OptimisticSystem::begin_attempt(TxnId id) {
     // Plain copy fetch: no lock semantics, no callbacks.
     ++live->fetches_pending;
     const sim::SimTime fetch_start = sim_.now();
-    net_.send(site, kServerSite, net::MessageKind::kObjectRequest,
-              [this, id, obj, site, epoch, fetch_start] {
+    net_.send<net::MessageKind::kObjectRequest>(
+        site, net::kServer, [this, id, obj, site, epoch, fetch_start] {
                 server_cpu_->submit(config_.server_msg_overhead, [this, id,
                                                                   obj, site,
                                                                   epoch,
@@ -114,10 +114,9 @@ void OptimisticSystem::begin_attempt(TxnId id) {
                       return it == committed_.end() ? 0ull : it->second;
                     }();
                     const sim::Duration disk_d = sim_.now() - io_start;
-                    net_.send(kServerSite, site,
-                              net::MessageKind::kObjectShip,
-                              [this, id, obj, v, epoch, fetch_start,
-                               disk_d] {
+                    net_.send<net::MessageKind::kObjectShip>(
+                        net::kServer, site,
+                        [this, id, obj, v, epoch, fetch_start, disk_d] {
                                 Live* l = find(id);
                                 if (!l || l->epoch != epoch ||
                                     !txn::is_live(l->t.state)) {
@@ -205,9 +204,10 @@ void OptimisticSystem::validate(TxnId id) {
       net_.config().control_bytes +
       static_cast<std::uint64_t>(writes.size()) * net_.config().object_bytes;
   const SiteId site = live->t.origin;
-  net_.send(site, kServerSite, net::MessageKind::kValidateRequest, bytes,
-            [this, id, site, reads = live->read_set, writes,
-             deadline = live->t.deadline]() mutable {
+  net_.send<net::MessageKind::kValidateRequest>(
+      client_of(site), net::kServer, bytes,
+      [this, id, site, reads = live->read_set, writes,
+       deadline = live->t.deadline]() mutable {
               server_cpu_->submit(
                   config_.server_msg_overhead,
                   [this, id, site, reads = std::move(reads),
@@ -236,8 +236,8 @@ void OptimisticSystem::server_validate(
 
   const bool accepted = stale.empty() && !expired;
   if (tel_.events_enabled()) {
-    tel_.event(obs::EventKind::kOccValidate, sim_.now(), kServerSite, id, 0,
-               client, accepted ? 0 : 1);
+    tel_.event(obs::EventKind::kOccValidate, sim_.now(), kServerSite, id,
+               ObjectId{}, client.value(), accepted ? 0 : 1);
   }
   if (accepted) {
     const sim::SimTime now = sim_.now();
@@ -262,10 +262,11 @@ void OptimisticSystem::server_validate(
     bytes += static_cast<std::uint64_t>(fresh.size()) *
              net_.config().object_bytes;
   }
-  net_.send(kServerSite, client, net::MessageKind::kValidateReply, bytes,
-            [this, id, accepted, fresh = std::move(fresh)]() mutable {
-              on_verdict(id, accepted, std::move(fresh));
-            });
+  net_.send<net::MessageKind::kValidateReply>(
+      net::kServer, client_of(client), bytes,
+      [this, id, accepted, fresh = std::move(fresh)]() mutable {
+        on_verdict(id, accepted, std::move(fresh));
+      });
 }
 
 void OptimisticSystem::on_verdict(

@@ -19,7 +19,7 @@ namespace rtdb::core {
 
 /// One object a transaction needs from the server.
 struct ObjectNeed {
-  ObjectId object = 0;
+  ObjectId object{};
   lock::LockMode mode = lock::LockMode::kShared;
   /// The client already caches the object's data (lock upgrade / re-grant):
   /// the server can answer with a lock-only grant, no 2 KB payload.
@@ -39,7 +39,7 @@ struct LoadInfo {
 /// message per need (the paper's per-object "Object Request Messages").
 struct ObjectRequestBatch {
   TxnId txn = kInvalidTxn;
-  SiteId client = kInvalidSite;
+  ClientId client = kInvalidClient;
   sim::SimTime deadline = sim::kTimeInfinity;
   std::vector<ObjectNeed> needs;
   /// Skip the LS location-reply detour: queue + recall on conflict (always
@@ -52,7 +52,7 @@ struct ObjectRequestBatch {
 /// grant.
 struct Grant {
   TxnId txn = kInvalidTxn;      ///< the request being answered
-  ObjectId object = 0;
+  ObjectId object{};
   lock::LockMode mode = lock::LockMode::kNone;
   bool with_data = true;        ///< false = lock-only (client has a copy)
   /// Lock-grouping shipment: the object is only on loan — serve the bound
@@ -73,7 +73,7 @@ struct LocationReply {
 
   /// Objects the server could not grant, with their current location.
   struct Conflict {
-    ObjectId object = 0;
+    ObjectId object{};
     SiteId location = kInvalidSite;
   };
   std::vector<Conflict> conflicts;
@@ -84,7 +84,7 @@ struct LocationReply {
   /// site already holds locks on — the paper's transaction-shipping
   /// criterion (i)), and the server's load table entry.
   struct Candidate {
-    SiteId site = kInvalidSite;
+    ClientId client = kInvalidClient;
     std::size_t conflict_count = 0;
     std::size_t objects_held = 0;
     std::size_t live_txns = 0;
@@ -98,14 +98,14 @@ struct LocationReply {
 /// transaction ships elsewhere / died".
 struct ProceedDecision {
   TxnId txn = kInvalidTxn;
-  SiteId client = kInvalidSite;
+  ClientId client = kInvalidClient;
   bool proceed = true;
   LoadInfo load;
 };
 
 /// Server -> client: callback ("please give up / downgrade this lock").
 struct Recall {
-  ObjectId object = 0;
+  ObjectId object{};
   /// Mode the other client wants: kShared lets an EL holder downgrade and
   /// keep a SL + copy; kExclusive demands full release.
   lock::LockMode wanted = lock::LockMode::kExclusive;
@@ -114,8 +114,8 @@ struct Recall {
 /// Client -> server: object/lock returned (recall response, voluntary
 /// eviction return, or end-of-forward-list return).
 struct ObjectReturn {
-  SiteId client = kInvalidSite;
-  ObjectId object = 0;
+  ClientId client = kInvalidClient;
+  ObjectId object{};
   bool dirty = false;        ///< carries an updated copy
   bool downgraded = false;   ///< kept a SL (answered a kShared recall)
   bool was_held = true;      ///< false: lock already gone (benign race)
@@ -128,7 +128,7 @@ struct ObjectReturn {
 /// Client -> client: a whole transaction shipped for execution (LS).
 struct ShippedTxn {
   txn::Transaction t;
-  SiteId origin = kInvalidSite;
+  ClientId origin = kInvalidClient;
   std::uint32_t ships = 1;  ///< times shipped so far (loop guard)
   /// Non-zero: this is a *speculative* copy of the named origin-side
   /// transaction; it must win the origin's commit arbitration before it
@@ -140,7 +140,7 @@ struct ShippedTxn {
 struct ShippedSubtask {
   TxnId parent = kInvalidTxn;
   std::uint32_t index = 0;
-  SiteId origin = kInvalidSite;
+  ClientId origin = kInvalidClient;
   txn::Transaction work;  ///< ops subset, proportional length, same deadline
 };
 
@@ -158,7 +158,7 @@ struct RemoteResult {
 /// transaction (feeds H1-shipping and decomposition).
 struct LocationQuery {
   TxnId txn = kInvalidTxn;
-  SiteId client = kInvalidSite;
+  ClientId client = kInvalidClient;
   sim::SimTime deadline = sim::kTimeInfinity;
   std::vector<ObjectNeed> needs;
   LoadInfo load;

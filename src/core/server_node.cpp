@@ -35,7 +35,7 @@ void ServerNode::validate_invariants() const {
     const auto it = queued_.find(txn);
     RTDB_CHECK(it != queued_.end() && it->second.entries == count,
                "txn %llu has %zu queued entries but %zu recorded",
-               static_cast<unsigned long long>(txn), count,
+               static_cast<unsigned long long>(txn.value()), count,
                it == queued_.end() ? std::size_t{0} : it->second.entries);
   }
   RTDB_CHECK(queued_.size() == in_queues.size(),
@@ -48,8 +48,8 @@ void ServerNode::reset_stats() {
   cpu_.reset_stats();
 }
 
-void ServerNode::update_load(SiteId site, const LoadInfo& load) {
-  if (load.valid) loads_[site] = load;
+void ServerNode::update_load(ClientId client, const LoadInfo& load) {
+  if (load.valid) loads_[client] = load;
 }
 
 // ---------------------------------------------------------------------------
@@ -106,11 +106,11 @@ void ServerNode::process_batch(const ObjectRequestBatch& batch) {
     reply.candidates = build_candidates(all_needs, batch.client);
     parked_[batch.txn] = batch;
     prune_parked();
-    sys_.net().send(kServerSite, batch.client,
-                    net::MessageKind::kLocationReply,
-                    [this, client = batch.client, reply = std::move(reply)] {
-                      sys_.client(client).on_location_reply(reply);
-                    });
+    sys_.net().send<net::MessageKind::kLocationReply>(
+        net::kServer, batch.client,
+        [this, client = batch.client, reply = std::move(reply)] {
+          sys_.client(client).on_location_reply(reply);
+        });
     return;
   }
 
@@ -127,7 +127,7 @@ void ServerNode::process_batch(const ObjectRequestBatch& batch) {
   }
 }
 
-void ServerNode::grant_now(TxnId txn, SiteId client, const ObjectNeed& need) {
+void ServerNode::grant_now(TxnId txn, ClientId client, const ObjectNeed& need) {
   const LockMode held = glt_.holder_mode(need.object, client);
   glt_.add_holder(need.object, client, need.mode);
   Grant g;
@@ -148,11 +148,11 @@ bool ServerNode::enqueue_conflicted(const ObjectRequestBatch& batch,
   // Wait-for admission: requester txn -> holder sites, plus requester's
   // own site -> txn, approximating the txn-level graph at the server's
   // client-lock granularity.
-  std::vector<lock::WaitForGraph::Node> blockers;
+  std::vector<lock::TxnOrClientNode> blockers;
   for (const auto& need : conflicted) {
-    for (SiteId holder :
+    for (ClientId holder :
          glt_.conflicting_holders(need.object, need.mode, batch.client)) {
-      blockers.push_back(site_node(holder));
+      blockers.push_back(lock::TxnOrClientNode::of_client(holder));
     }
   }
   std::sort(blockers.begin(), blockers.end());
@@ -163,19 +163,22 @@ bool ServerNode::enqueue_conflicted(const ObjectRequestBatch& batch,
   // can close either through the txn node (some blocker already reaches
   // this txn) or through the site edge (some blocker reaches this client's
   // site — e.g. two clients holding SLs and both requesting the upgrade).
-  if (wfg_.would_deadlock(batch.txn, blockers) ||
-      wfg_.would_deadlock(site_node(batch.client), blockers)) {
+  if (wfg_.would_deadlock(lock::TxnOrClientNode::of_txn(batch.txn),
+                          blockers) ||
+      wfg_.would_deadlock(lock::TxnOrClientNode::of_client(batch.client),
+                          blockers)) {
     ++sys_.live_metrics().deadlock_refusals;
     deny_txn(batch.txn, batch.client);
     return false;
   }
-  wfg_.add_edges(batch.txn, blockers);
-  wfg_.add_edges(site_node(batch.client), {batch.txn});
+  wfg_.add_edges(lock::TxnOrClientNode::of_txn(batch.txn), blockers);
+  wfg_.add_edges(lock::TxnOrClientNode::of_client(batch.client),
+                 {lock::TxnOrClientNode::of_txn(batch.txn)});
 
   const bool ed = sys_.ls().ed_request_scheduling;
   for (const auto& need : conflicted) {
     lock::ForwardEntry entry;
-    entry.site = batch.client;
+    entry.client = batch.client;
     entry.txn = batch.txn;
     entry.mode = need.mode;
     entry.expires = batch.deadline;
@@ -189,14 +192,15 @@ bool ServerNode::enqueue_conflicted(const ObjectRequestBatch& batch,
       SiteId holder = kInvalidSite;
       const auto hs =
           glt_.conflicting_holders(need.object, need.mode, batch.client);
-      if (!hs.empty()) holder = hs.front();
+      if (!hs.empty()) holder = site_of(hs.front());
       if (sys_.telemetry().spans_enabled()) {
         sys_.telemetry().lock_queued(batch.txn, need.object, holder,
                                      sys_.sim().now());
       }
       if (sys_.telemetry().events_enabled()) {
         sys_.telemetry().event(obs::EventKind::kLockQueued, sys_.sim().now(),
-                               kServerSite, batch.txn, need.object, holder);
+                               kServerSite, batch.txn, need.object,
+                               holder.value());
       }
     }
 
@@ -237,9 +241,10 @@ void ServerNode::prune_parked() {
   }
 }
 
-void ServerNode::deny_txn(TxnId txn, SiteId client) {
-  sys_.net().send(kServerSite, client, net::MessageKind::kControl,
-                  [this, client, txn] { sys_.client(client).on_denied(txn); });
+void ServerNode::deny_txn(TxnId txn, ClientId client) {
+  sys_.net().send<net::MessageKind::kControl>(
+      net::kServer, client,
+      [this, client, txn] { sys_.client(client).on_denied(txn); });
 }
 
 // ---------------------------------------------------------------------------
@@ -264,28 +269,29 @@ void ServerNode::send_recalls(ObjectId obj) {
   for (const auto& hold : glt_.holders(obj)) {
     LockMode wanted = LockMode::kNone;
     for (const auto& e : glt_.queue(obj).entries()) {
-      if (e.site == hold.site || e.expires < now) continue;
+      if (e.client == hold.client || e.expires < now) continue;
       wanted = lock::stronger(wanted, e.mode);
     }
     if (wanted == LockMode::kNone) continue;
     if (lock::compatible(hold.mode, wanted)) continue;
-    if (glt_.recall_pending(obj, hold.site)) continue;
-    glt_.mark_recall_sent(obj, hold.site);
+    if (glt_.recall_pending(obj, hold.client)) continue;
+    glt_.mark_recall_sent(obj, hold.client);
     if (sys_.trace().enabled(sim::TraceCategory::kLock)) {
-      sys_.trace().emitf(sys_.sim().now(), sim::TraceCategory::kLock, 0,
-                         "recall obj=%u -> site %d (want %s)", obj, hold.site,
+      sys_.trace().emitf(sys_.sim().now(), sim::TraceCategory::kLock,
+                         kServerSite, "recall obj=%u -> site %d (want %s)",
+                         obj.value(), site_of(hold.client).value(),
                          std::string(lock::to_string(wanted)).c_str());
     }
     if (sys_.telemetry().events_enabled()) {
       sys_.telemetry().event(obs::EventKind::kLockRecall, sys_.sim().now(),
-                             kServerSite, kInvalidTxn, obj, hold.site,
+                             kServerSite, kInvalidTxn, obj,
+                             site_of(hold.client).value(),
                              wanted == LockMode::kExclusive ? 1 : 0);
     }
     Recall r{obj, wanted};
-    sys_.net().send(kServerSite, hold.site, net::MessageKind::kObjectRecall,
-                    [this, site = hold.site, r] {
-                      sys_.client(site).on_recall(r);
-                    });
+    sys_.net().send<net::MessageKind::kObjectRecall>(
+        net::kServer, hold.client,
+        [this, client = hold.client, r] { sys_.client(client).on_recall(r); });
   }
 }
 
@@ -338,8 +344,8 @@ void ServerNode::maybe_close_window_early(ObjectId obj) {
 void ServerNode::maybe_open_window(ObjectId obj) {
   if (windows_.count(obj) != 0 || glt_.is_circulating(obj)) return;
   if (sys_.trace().enabled(sim::TraceCategory::kWindow)) {
-    sys_.trace().emitf(sys_.sim().now(), sim::TraceCategory::kWindow, 0,
-                       "window open obj=%u", obj);
+    sys_.trace().emitf(sys_.sim().now(), sim::TraceCategory::kWindow,
+                       kServerSite, "window open obj=%u", obj.value());
   }
   if (sys_.telemetry().events_enabled()) {
     sys_.telemetry().event(obs::EventKind::kWindowOpen, sys_.sim().now(),
@@ -385,7 +391,7 @@ void ServerNode::pump_object(ObjectId obj) {
         const LockMode strongest = head->mode == LockMode::kExclusive
                                        ? LockMode::kExclusive
                                        : LockMode::kShared;
-        if (!glt_.can_grant(obj, head->site, strongest)) {
+        if (!glt_.can_grant(obj, head->client, strongest)) {
           send_recalls(obj);
           return;
         }
@@ -409,27 +415,29 @@ void ServerNode::pump_object(ObjectId obj) {
           // live reader while downstream hops write.
           for (const auto& e : list) {
             if (e.mode == LockMode::kExclusive &&
-                glt_.holder_mode(obj, e.site) != LockMode::kNone) {
-              glt_.remove_holder(obj, e.site);
+                glt_.holder_mode(obj, e.client) != LockMode::kNone) {
+              glt_.remove_holder(obj, e.client);
             }
           }
           // Shared members are holders from the moment the list ships —
           // their copies will stay cached under a SL.
           for (const auto& e : list) {
             if (e.mode == LockMode::kShared) {
-              glt_.add_holder(obj, e.site, LockMode::kShared);
+              glt_.add_holder(obj, e.client, LockMode::kShared);
             }
           }
-          glt_.set_circulating(obj, list.back().site);
+          glt_.set_circulating(obj, list.back().client);
           if (sys_.trace().enabled(sim::TraceCategory::kWindow)) {
             sys_.trace().emitf(sys_.sim().now(), sim::TraceCategory::kWindow,
-                               0, "circulate obj=%u group=%zu head=site %d",
-                               obj, list.size(), list[0].site);
+                               kServerSite,
+                               "circulate obj=%u group=%zu head=site %d",
+                               obj.value(), list.size(),
+                               site_of(list[0].client).value());
           }
           if (sys_.telemetry().events_enabled()) {
             sys_.telemetry().event(obs::EventKind::kCirculate,
                                    sys_.sim().now(), kServerSite, list[0].txn,
-                                   obj, list[0].site, 0,
+                                   obj, site_of(list[0].client).value(), 0,
                                    static_cast<double>(list.size()));
           }
           Grant g;
@@ -439,22 +447,22 @@ void ServerNode::pump_object(ObjectId obj) {
           g.with_data = true;
           g.circulating = true;
           g.forward_list.assign(list.begin() + 1, list.end());
-          ship(list[0].site, std::move(g), net::MessageKind::kObjectShip);
+          ship(list[0].client, std::move(g), net::MessageKind::kObjectShip);
           return;
         }
         // The group collapsed to one entry (expiries): plain grant.
-        glt_.add_holder(obj, list[0].site, list[0].mode);
+        glt_.add_holder(obj, list[0].client, list[0].mode);
         Grant g;
         g.txn = list[0].txn;
         g.object = obj;
         g.mode = list[0].mode;
         g.with_data = true;
-        ship(list[0].site, std::move(g), net::MessageKind::kObjectShip);
+        ship(list[0].client, std::move(g), net::MessageKind::kObjectShip);
         continue;
       }
     }
 
-    if (!glt_.can_grant(obj, head->site, head->mode)) {
+    if (!glt_.can_grant(obj, head->client, head->mode)) {
       send_recalls(obj);
       return;
     }
@@ -466,8 +474,8 @@ void ServerNode::pump_object(ObjectId obj) {
     if (sys_.telemetry().spans_enabled()) {
       sys_.telemetry().lock_served(e->txn, obj, sys_.sim().now());
     }
-    const LockMode held = glt_.holder_mode(obj, e->site);
-    glt_.add_holder(obj, e->site, e->mode);
+    const LockMode held = glt_.holder_mode(obj, e->client);
+    glt_.add_holder(obj, e->client, e->mode);
     Grant g;
     g.txn = e->txn;
     g.object = obj;
@@ -475,21 +483,23 @@ void ServerNode::pump_object(ObjectId obj) {
     g.with_data = !e->has_copy;  // upgrades keep their copy
     const auto kind = g.with_data ? net::MessageKind::kObjectShip
                                   : net::MessageKind::kLockGrant;
-    ship(e->site, std::move(g), kind);
+    ship(e->client, std::move(g), kind);
     // Loop: further compatible waiters (e.g. a run of readers) may follow.
   }
 }
 
-void ServerNode::ship(SiteId to, Grant grant, net::MessageKind kind) {
+void ServerNode::ship(ClientId to, Grant grant, net::MessageKind kind) {
   if (sys_.trace().enabled(sim::TraceCategory::kLock)) {
-    sys_.trace().emitf(sys_.sim().now(), sim::TraceCategory::kLock, 0,
-                       "grant obj=%u -> site %d (%s%s)", grant.object, to,
+    sys_.trace().emitf(sys_.sim().now(), sim::TraceCategory::kLock,
+                       kServerSite, "grant obj=%u -> site %d (%s%s)",
+                       grant.object.value(), site_of(to).value(),
                        std::string(lock::to_string(grant.mode)).c_str(),
                        grant.with_data ? ", data" : "");
   }
   if (sys_.telemetry().events_enabled()) {
     sys_.telemetry().event(obs::EventKind::kLockGrant, sys_.sim().now(),
-                           kServerSite, grant.txn, grant.object, to,
+                           kServerSite, grant.txn, grant.object,
+                           site_of(to).value(),
                            grant.mode == LockMode::kExclusive ? 1 : 0,
                            grant.with_data ? 1 : 0);
   }
@@ -506,14 +516,25 @@ void ServerNode::ship(SiteId to, Grant grant, net::MessageKind kind) {
                        grant.txn, grant.object,
                        sys_.sim().now() - read_start);
                  }
-                 sys_.net().send(kServerSite, to, kind, [this, to, grant] {
-                   sys_.client(to).on_grant(grant);
-                 });
+                 ship_send(to, kind, grant);
                });
   } else {
-    sys_.net().send(kServerSite, to, kind, [this, to, grant = std::move(grant)] {
-      sys_.client(to).on_grant(grant);
-    });
+    ship_send(to, kind, std::move(grant));
+  }
+}
+
+void ServerNode::ship_send(ClientId to, net::MessageKind kind, Grant grant) {
+  // The grant kind is decided at runtime (data versus lock-only), so the
+  // typestate dispatch happens here: both branches are server->client.
+  auto deliver = [this, to, grant = std::move(grant)] {
+    sys_.client(to).on_grant(grant);
+  };
+  if (kind == net::MessageKind::kObjectShip) {
+    sys_.net().send<net::MessageKind::kObjectShip>(net::kServer, to,
+                                                   std::move(deliver));
+  } else {
+    sys_.net().send<net::MessageKind::kLockGrant>(net::kServer, to,
+                                                  std::move(deliver));
   }
 }
 
@@ -526,7 +547,8 @@ void ServerNode::on_object_return(ObjectReturn ret) {
   cpu_.submit(sys_.cfg().server_msg_overhead, [this, ret] {
     if (sys_.telemetry().events_enabled()) {
       sys_.telemetry().event(obs::EventKind::kLockReturn, sys_.sim().now(),
-                             kServerSite, kInvalidTxn, ret.object, ret.client,
+                             kServerSite, kInvalidTxn, ret.object,
+                             site_of(ret.client).value(),
                              ret.dirty ? 1 : 0);
     }
     if (ret.from_circulation) {
@@ -534,8 +556,8 @@ void ServerNode::on_object_return(ObjectReturn ret) {
       if (ret.dirty) {
         versions_[ret.object] = ret.version;
       } else {
-        sys_.auditor().on_clean_return(ret.object, ret.client, ret.version,
-                                       version_of(ret.object),
+        sys_.auditor().on_clean_return(ret.object, site_of(ret.client),
+                                       ret.version, version_of(ret.object),
                                        sys_.sim().now());
       }
       glt_.clear_circulating(ret.object);
@@ -554,8 +576,8 @@ void ServerNode::on_object_return(ObjectReturn ret) {
         pf_.install(ret.object, /*dirty=*/true);
         versions_[ret.object] = ret.version;
       } else {
-        sys_.auditor().on_clean_return(ret.object, ret.client, ret.version,
-                                       version_of(ret.object),
+        sys_.auditor().on_clean_return(ret.object, site_of(ret.client),
+                                       ret.version, version_of(ret.object),
                                        sys_.sim().now());
       }
     }
@@ -581,48 +603,48 @@ void ServerNode::on_location_query(LocationQuery query) {
       reply.conflicts.push_back({n.object, glt_.location_of(n.object)});
     }
     reply.candidates = build_candidates(needs, query.client);
-    sys_.net().send(kServerSite, query.client,
-                    net::MessageKind::kLocationReply,
-                    [this, client = query.client, reply = std::move(reply)] {
-                      sys_.client(client).on_location_reply(reply);
-                    });
+    sys_.net().send<net::MessageKind::kLocationReply>(
+        net::kServer, query.client,
+        [this, client = query.client, reply = std::move(reply)] {
+          sys_.client(client).on_location_reply(reply);
+        });
   });
 }
 
 std::vector<LocationReply::Candidate> ServerNode::build_candidates(
     const std::vector<std::pair<ObjectId, LockMode>>& needs,
-    SiteId origin) const {
-  // Candidates: the origin, every site holding one of the needed objects,
+    ClientId origin) const {
+  // Candidates: the origin, every client holding one of the needed objects,
   // and the least-loaded client known to the load table.
-  std::vector<SiteId> sites{origin};
+  std::vector<ClientId> clients{origin};
   for (const auto& [obj, mode] : needs) {
     (void)mode;
     const SiteId loc = glt_.location_of(obj);
-    if (loc != kServerSite) sites.push_back(loc);
+    if (loc != kServerSite) clients.push_back(client_of(loc));
   }
-  SiteId least_loaded = kInvalidSite;
+  ClientId least_loaded = kInvalidClient;
   std::size_t best = SIZE_MAX;
-  for (const auto& [site, load] : loads_) {
+  for (const auto& [client, load] : loads_) {
     if (load.live_txns < best) {
       best = load.live_txns;
-      least_loaded = site;
+      least_loaded = client;
     }
   }
-  if (least_loaded != kInvalidSite) sites.push_back(least_loaded);
-  std::sort(sites.begin(), sites.end());
-  sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
+  if (least_loaded != kInvalidClient) clients.push_back(least_loaded);
+  std::sort(clients.begin(), clients.end());
+  clients.erase(std::unique(clients.begin(), clients.end()), clients.end());
 
   std::vector<LocationReply::Candidate> result;
-  result.reserve(sites.size());
-  for (SiteId site : sites) {
+  result.reserve(clients.size());
+  for (ClientId client : clients) {
     LocationReply::Candidate c;
-    c.site = site;
-    c.conflict_count = glt_.conflict_count_at(needs, site);
+    c.client = client;
+    c.conflict_count = glt_.conflict_count_at(needs, client);
     for (const auto& [obj, mode] : needs) {
       (void)mode;
-      if (glt_.holder_mode(obj, site) != LockMode::kNone) ++c.objects_held;
+      if (glt_.holder_mode(obj, client) != LockMode::kNone) ++c.objects_held;
     }
-    auto it = loads_.find(site);
+    auto it = loads_.find(client);
     if (it != loads_.end()) {
       c.live_txns = it->second.live_txns;
       c.atl = it->second.atl;
@@ -636,7 +658,7 @@ std::vector<LocationReply::Candidate> ServerNode::build_candidates(
 // Wait-for-graph bookkeeping
 // ---------------------------------------------------------------------------
 
-void ServerNode::note_queued(TxnId txn, SiteId client, ObjectId obj) {
+void ServerNode::note_queued(TxnId txn, ClientId client, ObjectId obj) {
   (void)obj;
   auto& q = queued_[txn];
   q.client = client;
@@ -648,7 +670,7 @@ void ServerNode::note_entry_gone(TxnId txn, ObjectId obj) {
   auto it = queued_.find(txn);
   if (it == queued_.end()) return;
   if (--it->second.entries == 0) {
-    wfg_.remove_node(txn);
+    wfg_.remove_node(lock::TxnOrClientNode::of_txn(txn));
     queued_.erase(it);
   }
 }

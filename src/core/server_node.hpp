@@ -50,7 +50,7 @@ class ServerNode {
   // --- load table -----------------------------------------------------------
 
   /// Piggybacked load refresh (free: rides on every client->server message).
-  void update_load(SiteId site, const LoadInfo& load);
+  void update_load(ClientId client, const LoadInfo& load);
 
   // --- diagnostics ------------------------------------------------------------
 
@@ -75,10 +75,10 @@ class ServerNode {
   /// the per-object queues). Aborts on violation.
   void validate_invariants() const;
 
-  /// Warm-start bookkeeping: registers `site`'s SL on `obj` without any
+  /// Warm-start bookkeeping: registers `client`'s SL on `obj` without any
   /// protocol traffic (the matching client called warm_insert).
-  void warm_register(ObjectId obj, SiteId site) {
-    glt_.add_holder(obj, site, lock::LockMode::kShared);
+  void warm_register(ObjectId obj, ClientId client) {
+    glt_.add_holder(obj, client, lock::LockMode::kShared);
   }
 
   /// Warm-start: page resident in the server buffer, no timing.
@@ -90,7 +90,7 @@ class ServerNode {
 
   /// Grants one need: reserves the lock and ships data (or a lock-only
   /// grant when the client holds a copy).
-  void grant_now(TxnId txn, SiteId client, const ObjectNeed& need);
+  void grant_now(TxnId txn, ClientId client, const ObjectNeed& need);
 
   /// Queues the conflicted needs of a batch, runs the wait-for-graph
   /// admission test, and triggers recalls/windows. Returns false when the
@@ -125,42 +125,38 @@ class ServerNode {
 
   /// Ships a grant to a client: paged-file read (when data travels), then
   /// the wire.
-  void ship(SiteId to, Grant grant, net::MessageKind kind);
+  void ship(ClientId to, Grant grant, net::MessageKind kind);
+  void ship_send(ClientId to, net::MessageKind kind, Grant grant);
 
   /// Tells a client its transaction was refused (deadlock admission).
-  void deny_txn(TxnId txn, SiteId client);
+  void deny_txn(TxnId txn, ClientId client);
 
   /// H2 material: candidate sites with conflict counts, data availability
   /// and loads.
   std::vector<LocationReply::Candidate> build_candidates(
       const std::vector<std::pair<ObjectId, lock::LockMode>>& needs,
-      SiteId origin) const;
+      ClientId origin) const;
 
   /// Lazily discards parked batches whose transaction deadline passed.
   void prune_parked();
 
   /// Wait-for-graph bookkeeping for queued entries.
-  void note_queued(TxnId txn, SiteId client, ObjectId obj);
+  void note_queued(TxnId txn, ClientId client, ObjectId obj);
   void note_entry_gone(TxnId txn, ObjectId obj);
   void note_skipped(const std::vector<lock::ForwardEntry>& skipped,
                     ObjectId obj);
-
-  /// Site marker node in the wait-for graph.
-  static lock::WaitForGraph::Node site_node(SiteId site) {
-    return (1ull << 62) | static_cast<lock::WaitForGraph::Node>(site);
-  }
 
   ClientServerSystem& sys_;
   lock::GlobalLockTable glt_;
   storage::PagedFile pf_;
   sim::SerialResource cpu_;
-  lock::WaitForGraph wfg_;
+  lock::WaitForGraph<lock::TxnOrClientNode> wfg_;
   std::unordered_map<ObjectId, sim::EventId> windows_;
-  std::unordered_map<SiteId, LoadInfo> loads_;
+  std::unordered_map<ClientId, LoadInfo> loads_;
 
   /// Queued-entry count per transaction (wait-for-graph lifetime).
   struct QueuedTxn {
-    SiteId client = kInvalidSite;
+    ClientId client = kInvalidClient;
     std::size_t entries = 0;
   };
   std::unordered_map<TxnId, QueuedTxn> queued_;

@@ -20,8 +20,8 @@ System::System(SystemConfig config)
     // one branch inside Network::send.
     net_.set_send_hook([this](SiteId src, SiteId dst, net::MessageKind kind,
                               std::uint64_t frame_bytes) {
-      tel_.event(obs::EventKind::kMsgSend, sim_.now(), src, kInvalidTxn, 0,
-                 dst, static_cast<std::int32_t>(kind),
+      tel_.event(obs::EventKind::kMsgSend, sim_.now(), src, kInvalidTxn,
+                 ObjectId{}, dst.value(), static_cast<std::int32_t>(kind),
                  static_cast<double>(frame_bytes));
     });
   }
@@ -33,7 +33,7 @@ void System::schedule_next_arrival(std::size_t client_index) {
   const sim::SimTime when = sim_.now() + gap;
   // Arrivals stop at the end of the measurement window; the drain phase
   // only resolves transactions already in flight.
-  if (when >= config_.warmup + config_.duration) return;
+  if (when >= config_.measure_end()) return;
   sim_.at(when, [this, client_index] {
     auto& src = suite_.client(client_index);
     txn::Transaction t = src.make_transaction(next_txn_id(), sim_.now());
@@ -84,7 +84,7 @@ RunMetrics System::run() {
   for (std::size_t i = 0; i < suite_.num_clients(); ++i) {
     schedule_next_arrival(i);
   }
-  sim_.run_until(config_.warmup);
+  sim_.run_until(config_.measure_start());
   on_measurement_start();
   sim_.run_until(config_.horizon());
 
@@ -138,15 +138,15 @@ bool System::first_outcome(const txn::Transaction& t) {
   if (resolved_.insert(t.id).second) return true;
   ++double_records_;
   std::fprintf(stderr, "rtdb: duplicate outcome for txn %llu at t=%.3f\n",
-               static_cast<unsigned long long>(t.id), sim_.now());
+               static_cast<unsigned long long>(t.id.value()), sim_.now().sec());
   return false;
 }
 
 void System::record_commit(const txn::Transaction& t,
                            sim::SimTime commit_time) {
-  if (traced_txn() == t.id) {
-    std::fprintf(stderr, "[%.3f] record_commit txn=%llu\n", sim_.now(),
-                 (unsigned long long)t.id);
+  if (traced_txn() == t.id.value()) {
+    std::fprintf(stderr, "[%.3f] record_commit txn=%llu\n", sim_.now().sec(),
+                 static_cast<unsigned long long>(t.id.value()));
   }
   if (tel_.spans_enabled()) {
     tel_.txn_end(t.id, obs::Outcome::kCommitted, commit_time);
@@ -154,14 +154,14 @@ void System::record_commit(const txn::Transaction& t,
   if (!is_measured(t)) return;
   if (!first_outcome(t)) return;
   ++metrics_.committed;
-  metrics_.response_time.add(commit_time - t.arrival);
-  metrics_.commit_slack.add(t.deadline - commit_time);
+  metrics_.response_time.add((commit_time - t.arrival).sec());
+  metrics_.commit_slack.add((t.deadline - commit_time).sec());
 }
 
 void System::record_miss(const txn::Transaction& t) {
-  if (traced_txn() == t.id) {
-    std::fprintf(stderr, "[%.3f] record_miss txn=%llu\n", sim_.now(),
-                 (unsigned long long)t.id);
+  if (traced_txn() == t.id.value()) {
+    std::fprintf(stderr, "[%.3f] record_miss txn=%llu\n", sim_.now().sec(),
+                 static_cast<unsigned long long>(t.id.value()));
   }
   if (tel_.spans_enabled()) {
     tel_.txn_end(t.id, obs::Outcome::kMissed, sim_.now());
@@ -177,9 +177,9 @@ void System::record_miss(const txn::Transaction& t) {
 }
 
 void System::record_abort(const txn::Transaction& t) {
-  if (traced_txn() == t.id) {
-    std::fprintf(stderr, "[%.3f] record_abort txn=%llu\n", sim_.now(),
-                 (unsigned long long)t.id);
+  if (traced_txn() == t.id.value()) {
+    std::fprintf(stderr, "[%.3f] record_abort txn=%llu\n", sim_.now().sec(),
+                 static_cast<unsigned long long>(t.id.value()));
   }
   if (tel_.spans_enabled()) {
     tel_.txn_end(t.id, obs::Outcome::kAborted, sim_.now());

@@ -87,8 +87,8 @@ class System {
   /// True if the transaction arrived inside the measurement window and its
   /// outcome must be counted.
   [[nodiscard]] bool is_measured(const txn::Transaction& t) const {
-    return t.arrival >= config_.warmup &&
-           t.arrival < config_.warmup + config_.duration;
+    return t.arrival >= config_.measure_start() &&
+           t.arrival < config_.measure_end();
   }
 
   // Outcome accounting. Exactly one outcome per measured transaction is
@@ -136,7 +136,7 @@ class System {
   /// outcome; callers must then drop the duplicate record.
   bool first_outcome(const txn::Transaction& t);
 
-  TxnId next_txn_id_ = 1;
+  TxnId next_txn_id_{1};
   std::unordered_set<TxnId> resolved_;
   std::uint64_t double_records_ = 0;
 };

@@ -9,14 +9,15 @@ namespace rtdb::lock {
 void ForwardList::validate_invariants() const {
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     const ForwardEntry& e = entries_[i];
-    RTDB_CHECK(e.site != kInvalidSite, "ForwardList entry %zu has no site", i);
+    RTDB_CHECK(e.client != kInvalidClient,
+               "ForwardList entry %zu has no client", i);
     RTDB_CHECK(e.txn != kInvalidTxn, "ForwardList entry %zu has no txn", i);
     RTDB_CHECK(e.mode != LockMode::kNone,
                "ForwardList entry %zu requests no lock", i);
     if (i > 0) {
       RTDB_CHECK(entries_[i - 1].priority <= e.priority,
                  "ForwardList out of priority order at %zu: %.9f > %.9f", i,
-                 entries_[i - 1].priority, e.priority);
+                 entries_[i - 1].priority.sec(), e.priority.sec());
     }
   }
 }
@@ -64,9 +65,9 @@ std::size_t ForwardList::remove_txn(TxnId txn) {
   return before - entries_.size();
 }
 
-std::optional<SiteId> ForwardList::last_site() const {
+std::optional<ClientId> ForwardList::last_client() const {
   if (entries_.empty()) return std::nullopt;
-  return entries_.back().site;
+  return entries_.back().client;
 }
 
 std::vector<ForwardEntry> ForwardList::leading_shared_run() const {

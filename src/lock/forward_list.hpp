@@ -30,7 +30,7 @@ namespace rtdb::lock {
 /// `expires` is always the transaction's firm deadline — entries past it are
 /// not worth serving.
 struct ForwardEntry {
-  SiteId site = kInvalidSite;
+  ClientId client = kInvalidClient;
   TxnId txn = kInvalidTxn;
   LockMode mode = LockMode::kShared;
   sim::SimTime priority = sim::kTimeInfinity;
@@ -62,11 +62,11 @@ class ForwardList {
   /// how many were removed.
   std::size_t remove_txn(TxnId txn);
 
-  /// The site that will hold the object after the whole list is served —
+  /// The client that will hold the object after the whole list is served —
   /// what the server reports as the object's location while it circulates
   /// ("the server ... reports the last client in the list as the object's
   /// location").
-  [[nodiscard]] std::optional<SiteId> last_site() const;
+  [[nodiscard]] std::optional<ClientId> last_client() const;
 
   /// The run of leading kShared entries (they may read in parallel when the
   /// configuration allows copy fan-out).

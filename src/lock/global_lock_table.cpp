@@ -12,47 +12,50 @@ void GlobalLockTable::validate_invariants() const {
     st.queue.validate_invariants();
     for (std::size_t i = 0; i < st.holders.size(); ++i) {
       const GlobalHold& h = st.holders[i];
-      RTDB_CHECK(h.site != kInvalidSite, "obj %u holder %zu has no site", obj,
-                 i);
+      RTDB_CHECK(h.client != kInvalidClient, "obj %u holder %zu has no client",
+                 obj.value(), i);
       RTDB_CHECK(h.mode != LockMode::kNone,
-                 "obj %u holder site %d holds kNone", obj, h.site);
-      const auto bt = by_site_.find(h.site);
-      RTDB_CHECK(bt != by_site_.end() && bt->second.count(obj) != 0,
-                 "obj %u holder site %d missing from by-site index", obj,
-                 h.site);
+                 "obj %u holder client %d holds kNone", obj.value(),
+                 h.client.value());
+      const auto bt = by_client_.find(h.client);
+      RTDB_CHECK(bt != by_client_.end() && bt->second.count(obj) != 0,
+                 "obj %u holder client %d missing from by-client index",
+                 obj.value(), h.client.value());
       for (std::size_t j = i + 1; j < st.holders.size(); ++j) {
         const GlobalHold& o = st.holders[j];
-        RTDB_CHECK(o.site != h.site, "obj %u has duplicate holder site %d",
-                   obj, h.site);
+        RTDB_CHECK(o.client != h.client,
+                   "obj %u has duplicate holder client %d", obj.value(),
+                   h.client.value());
         RTDB_CHECK(compatible(h.mode, o.mode),
-                   "obj %u holders %d (%s) and %d (%s) are incompatible", obj,
-                   h.site, to_string(h.mode).data(), o.site,
-                   to_string(o.mode).data());
+                   "obj %u holders %d (%s) and %d (%s) are incompatible",
+                   obj.value(), h.client.value(), to_string(h.mode).data(),
+                   o.client.value(), to_string(o.mode).data());
       }
     }
     holds_total += st.holders.size();
     if (st.circulating) {
-      RTDB_CHECK(st.circulating_last != kInvalidSite,
-                 "obj %u circulates with no last site", obj);
+      RTDB_CHECK(st.circulating_last != kInvalidClient,
+                 "obj %u circulates with no last client", obj.value());
     } else {
-      RTDB_CHECK(st.circulating_last == kInvalidSite,
-                 "obj %u keeps a stale circulation tail", obj);
+      RTDB_CHECK(st.circulating_last == kInvalidClient,
+                 "obj %u keeps a stale circulation tail", obj.value());
     }
   }
-  // The reverse index holds exactly the (site, obj) hold pairs — nothing
+  // The reverse index holds exactly the (client, obj) hold pairs — nothing
   // stale, nothing missing (the forward direction was checked above).
   std::size_t indexed_total = 0;
-  for (const auto& [site, objs] : by_site_) {
-    RTDB_CHECK(!objs.empty(), "empty by-site bucket for site %d", site);
+  for (const auto& [client, objs] : by_client_) {
+    RTDB_CHECK(!objs.empty(), "empty by-client bucket for client %d",
+               client.value());
     for (ObjectId obj : objs) {
-      RTDB_CHECK(holder_mode(obj, site) != LockMode::kNone,
-                 "by-site index names site %d on obj %u without a hold", site,
-                 obj);
+      RTDB_CHECK(holder_mode(obj, client) != LockMode::kNone,
+                 "by-client index names client %d on obj %u without a hold",
+                 client.value(), obj.value());
     }
     indexed_total += objs.size();
   }
   RTDB_CHECK(indexed_total == holds_total,
-             "by-site index counts %zu holds, table has %zu", indexed_total,
+             "by-client index counts %zu holds, table has %zu", indexed_total,
              holds_total);
 }
 
@@ -62,11 +65,11 @@ const GlobalLockTable::State* GlobalLockTable::state_if_any(
   return it == objects_.end() ? nullptr : &it->second;
 }
 
-LockMode GlobalLockTable::holder_mode(ObjectId obj, SiteId site) const {
+LockMode GlobalLockTable::holder_mode(ObjectId obj, ClientId client) const {
   const State* st = state_if_any(obj);
   if (!st) return LockMode::kNone;
   for (const auto& h : st->holders) {
-    if (h.site == site) return h.mode;
+    if (h.client == client) return h.mode;
   }
   return LockMode::kNone;
 }
@@ -76,65 +79,67 @@ std::vector<GlobalHold> GlobalLockTable::holders(ObjectId obj) const {
   return st ? st->holders : std::vector<GlobalHold>{};
 }
 
-std::vector<SiteId> GlobalLockTable::conflicting_holders(
-    ObjectId obj, LockMode mode, SiteId requester) const {
-  std::vector<SiteId> result;
+std::vector<ClientId> GlobalLockTable::conflicting_holders(
+    ObjectId obj, LockMode mode, ClientId requester) const {
+  std::vector<ClientId> result;
   const State* st = state_if_any(obj);
   if (!st) return result;
   for (const auto& h : st->holders) {
-    if (h.site != requester && !compatible(h.mode, mode)) {
-      result.push_back(h.site);
+    if (h.client != requester && !compatible(h.mode, mode)) {
+      result.push_back(h.client);
     }
   }
   return result;
 }
 
-bool GlobalLockTable::can_grant(ObjectId obj, SiteId site,
+bool GlobalLockTable::can_grant(ObjectId obj, ClientId client,
                                 LockMode mode) const {
   const State* st = state_if_any(obj);
   if (!st) return true;
   if (st->circulating) return false;  // the object is out on a forward list
   return std::all_of(st->holders.begin(), st->holders.end(),
                      [&](const GlobalHold& h) {
-                       return h.site == site || compatible(h.mode, mode);
+                       return h.client == client || compatible(h.mode, mode);
                      });
 }
 
-void GlobalLockTable::add_holder(ObjectId obj, SiteId site, LockMode mode) {
+void GlobalLockTable::add_holder(ObjectId obj, ClientId client,
+                                 LockMode mode) {
   State& st = state(obj);
   for (auto& h : st.holders) {
-    if (h.site == site) {
+    if (h.client == client) {
       h.mode = stronger(h.mode, mode);
       return;
     }
   }
-  st.holders.push_back(GlobalHold{site, mode});
-  by_site_[site].insert(obj);
+  st.holders.push_back(GlobalHold{client, mode});
+  by_client_[client].insert(obj);
 }
 
-LockMode GlobalLockTable::remove_holder(ObjectId obj, SiteId site) {
+LockMode GlobalLockTable::remove_holder(ObjectId obj, ClientId client) {
   auto it = objects_.find(obj);
   if (it == objects_.end()) return LockMode::kNone;
   auto& hs = it->second.holders;
-  auto h = std::find_if(hs.begin(), hs.end(),
-                        [&](const GlobalHold& g) { return g.site == site; });
+  auto h = std::find_if(hs.begin(), hs.end(), [&](const GlobalHold& g) {
+    return g.client == client;
+  });
   if (h == hs.end()) return LockMode::kNone;
   const LockMode mode = h->mode;
   hs.erase(h);
-  auto bt = by_site_.find(site);
-  if (bt != by_site_.end()) {
+  auto bt = by_client_.find(client);
+  if (bt != by_client_.end()) {
     bt->second.erase(obj);
-    if (bt->second.empty()) by_site_.erase(bt);
+    if (bt->second.empty()) by_client_.erase(bt);
   }
   drop_if_quiescent(obj);
   return mode;
 }
 
-bool GlobalLockTable::downgrade_holder(ObjectId obj, SiteId site) {
+bool GlobalLockTable::downgrade_holder(ObjectId obj, ClientId client) {
   auto it = objects_.find(obj);
   if (it == objects_.end()) return false;
   for (auto& h : it->second.holders) {
-    if (h.site == site && h.mode == LockMode::kExclusive) {
+    if (h.client == client && h.mode == LockMode::kExclusive) {
       h.mode = LockMode::kShared;
       return true;
     }
@@ -142,15 +147,15 @@ bool GlobalLockTable::downgrade_holder(ObjectId obj, SiteId site) {
   return false;
 }
 
-std::vector<ObjectId> GlobalLockTable::objects_held_by(SiteId site) const {
-  auto it = by_site_.find(site);
-  if (it == by_site_.end()) return {};
+std::vector<ObjectId> GlobalLockTable::objects_held_by(ClientId client) const {
+  auto it = by_client_.find(client);
+  if (it == by_client_.end()) return {};
   return {it->second.begin(), it->second.end()};
 }
 
-std::size_t GlobalLockTable::lock_count(SiteId site) const {
-  auto it = by_site_.find(site);
-  return it == by_site_.end() ? 0 : it->second.size();
+std::size_t GlobalLockTable::lock_count(ClientId client) const {
+  auto it = by_client_.find(client);
+  return it == by_client_.end() ? 0 : it->second.size();
 }
 
 const ForwardList* GlobalLockTable::queue_if_any(ObjectId obj) const {
@@ -158,19 +163,19 @@ const ForwardList* GlobalLockTable::queue_if_any(ObjectId obj) const {
   return st ? &st->queue : nullptr;
 }
 
-void GlobalLockTable::mark_recall_sent(ObjectId obj, SiteId site) {
-  state(obj).recalls.insert(site);
+void GlobalLockTable::mark_recall_sent(ObjectId obj, ClientId client) {
+  state(obj).recalls.insert(client);
 }
 
-bool GlobalLockTable::recall_pending(ObjectId obj, SiteId site) const {
+bool GlobalLockTable::recall_pending(ObjectId obj, ClientId client) const {
   const State* st = state_if_any(obj);
-  return st && st->recalls.count(site) != 0;
+  return st && st->recalls.count(client) != 0;
 }
 
-void GlobalLockTable::clear_recall(ObjectId obj, SiteId site) {
+void GlobalLockTable::clear_recall(ObjectId obj, ClientId client) {
   auto it = objects_.find(obj);
   if (it == objects_.end()) return;
-  it->second.recalls.erase(site);
+  it->second.recalls.erase(client);
   drop_if_quiescent(obj);
 }
 
@@ -179,17 +184,17 @@ std::size_t GlobalLockTable::recalls_outstanding(ObjectId obj) const {
   return st ? st->recalls.size() : 0;
 }
 
-void GlobalLockTable::set_circulating(ObjectId obj, SiteId last_site) {
+void GlobalLockTable::set_circulating(ObjectId obj, ClientId last_client) {
   State& st = state(obj);
   st.circulating = true;
-  st.circulating_last = last_site;
+  st.circulating_last = last_client;
 }
 
 void GlobalLockTable::clear_circulating(ObjectId obj) {
   auto it = objects_.find(obj);
   if (it == objects_.end()) return;
   it->second.circulating = false;
-  it->second.circulating_last = kInvalidSite;
+  it->second.circulating_last = kInvalidClient;
   drop_if_quiescent(obj);
 }
 
@@ -201,22 +206,22 @@ bool GlobalLockTable::is_circulating(ObjectId obj) const {
 SiteId GlobalLockTable::location_of(ObjectId obj) const {
   const State* st = state_if_any(obj);
   if (!st) return kServerSite;
-  if (st->circulating && st->circulating_last != kInvalidSite) {
-    return st->circulating_last;
+  if (st->circulating && st->circulating_last != kInvalidClient) {
+    return site_of(st->circulating_last);
   }
   for (const auto& h : st->holders) {
-    if (h.mode == LockMode::kExclusive) return h.site;
+    if (h.mode == LockMode::kExclusive) return site_of(h.client);
   }
-  if (!st->holders.empty()) return st->holders.front().site;
+  if (!st->holders.empty()) return site_of(st->holders.front().client);
   return kServerSite;
 }
 
 std::size_t GlobalLockTable::conflict_count_at(
     const std::vector<std::pair<ObjectId, LockMode>>& needs,
-    SiteId site) const {
+    ClientId client) const {
   std::size_t conflicts = 0;
   for (const auto& [obj, mode] : needs) {
-    if (!conflicting_holders(obj, mode, site).empty()) ++conflicts;
+    if (!conflicting_holders(obj, mode, client).empty()) ++conflicts;
   }
   return conflicts;
 }

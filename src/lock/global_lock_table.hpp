@@ -14,24 +14,29 @@
 #include "sim/stats.hpp"
 
 /// \file global_lock_table.hpp
-/// The server's global lock table: which *client site* caches which lock on
+/// The server's global lock table: which *client* caches which lock on
 /// which object ("since several clients can cache the same database objects,
 /// the server maintains a global lock table to serialize updates to cached
 /// data"). Pure bookkeeping + queries; the callback/grant *messaging* is
 /// driven by the server node in rtdb::core, which makes this state machine
 /// directly unit-testable.
 ///
+/// Holders are typed ClientId throughout — the server itself never holds a
+/// client-level lock, and the strong id makes handing the table a raw site
+/// (or a transposed argument pair) a compile error. Only location_of() widens
+/// back to SiteId, because "at the server" is a legitimate object location.
+///
 /// Each object also carries a deadline-ordered wait queue, which in the LS
 /// configuration doubles as the next forward list (lock grouping, §3.4), a
 /// set of outstanding recalls, and — while a shipped forward list circulates
-/// among clients — the identity of the list's final site, which the server
+/// among clients — the identity of the list's final client, which the server
 /// reports as the object's location.
 
 namespace rtdb::lock {
 
 /// One client-level lock.
 struct GlobalHold {
-  SiteId site = kInvalidSite;
+  ClientId client = kInvalidClient;
   LockMode mode = LockMode::kNone;
 };
 
@@ -40,38 +45,38 @@ class GlobalLockTable {
  public:
   // --- holder bookkeeping ------------------------------------------------
 
-  /// Mode `site` holds on `obj` (kNone if none).
-  [[nodiscard]] LockMode holder_mode(ObjectId obj, SiteId site) const;
+  /// Mode `client` holds on `obj` (kNone if none).
+  [[nodiscard]] LockMode holder_mode(ObjectId obj, ClientId client) const;
 
   /// All client holds on `obj`.
   [[nodiscard]] std::vector<GlobalHold> holders(ObjectId obj) const;
 
-  /// Client sites whose hold on `obj` conflicts with `mode` (excluding the
+  /// Clients whose hold on `obj` conflicts with `mode` (excluding the
   /// requester itself).
-  [[nodiscard]] std::vector<SiteId> conflicting_holders(ObjectId obj,
-                                                        LockMode mode,
-                                                        SiteId requester) const;
+  [[nodiscard]] std::vector<ClientId> conflicting_holders(
+      ObjectId obj, LockMode mode, ClientId requester) const;
 
-  /// True if granting (site, mode) needs no callback: every other holder is
-  /// compatible with `mode`.
-  [[nodiscard]] bool can_grant(ObjectId obj, SiteId site, LockMode mode) const;
+  /// True if granting (client, mode) needs no callback: every other holder
+  /// is compatible with `mode`.
+  [[nodiscard]] bool can_grant(ObjectId obj, ClientId client,
+                               LockMode mode) const;
 
   /// Records a grant (new hold or upgrade to the stronger mode).
-  void add_holder(ObjectId obj, SiteId site, LockMode mode);
+  void add_holder(ObjectId obj, ClientId client, LockMode mode);
 
   /// Removes a client's hold. Returns the mode it held (kNone if absent).
-  LockMode remove_holder(ObjectId obj, SiteId site);
+  LockMode remove_holder(ObjectId obj, ClientId client);
 
   /// EL -> SL downgrade (the paper's modified callback: an EL holder asked
   /// to yield to a *shared* request keeps the object with a SL). Returns
-  /// false if the site held no EL.
-  bool downgrade_holder(ObjectId obj, SiteId site);
+  /// false if the client held no EL.
+  bool downgrade_holder(ObjectId obj, ClientId client);
 
-  /// Objects a site currently holds locks on.
-  [[nodiscard]] std::vector<ObjectId> objects_held_by(SiteId site) const;
+  /// Objects a client currently holds locks on.
+  [[nodiscard]] std::vector<ObjectId> objects_held_by(ClientId client) const;
 
-  /// Count of locks a site holds (load/diagnostics).
-  [[nodiscard]] std::size_t lock_count(SiteId site) const;
+  /// Count of locks a client holds (load/diagnostics).
+  [[nodiscard]] std::size_t lock_count(ClientId client) const;
 
   // --- wait queue / next forward list ------------------------------------
 
@@ -88,16 +93,16 @@ class GlobalLockTable {
 
   // --- recall (callback) bookkeeping --------------------------------------
 
-  void mark_recall_sent(ObjectId obj, SiteId site);
-  [[nodiscard]] bool recall_pending(ObjectId obj, SiteId site) const;
-  void clear_recall(ObjectId obj, SiteId site);
+  void mark_recall_sent(ObjectId obj, ClientId client);
+  [[nodiscard]] bool recall_pending(ObjectId obj, ClientId client) const;
+  void clear_recall(ObjectId obj, ClientId client);
   [[nodiscard]] std::size_t recalls_outstanding(ObjectId obj) const;
 
   // --- forward-list circulation (LS) --------------------------------------
 
   /// Marks the object as travelling along a shipped forward list whose last
-  /// entry is `last_site`.
-  void set_circulating(ObjectId obj, SiteId last_site);
+  /// entry is `last_client`.
+  void set_circulating(ObjectId obj, ClientId last_client);
 
   /// Clears circulation (the object returned to the server).
   void clear_circulating(ObjectId obj);
@@ -106,7 +111,7 @@ class GlobalLockTable {
 
   // --- location ------------------------------------------------------------
 
-  /// Where a requester should expect the object: the last site of a
+  /// Where a requester should expect the object: the last client of a
   /// circulating forward list, else an exclusive holder, else any shared
   /// holder, else the server.
   [[nodiscard]] SiteId location_of(ObjectId obj) const;
@@ -114,11 +119,11 @@ class GlobalLockTable {
   // --- H2 ------------------------------------------------------------------
 
   /// The paper's H2 cost: the number of `needs` entries that would sit
-  /// behind conflicting locks if the transaction executed at `site` (locks
-  /// held by `site` itself never conflict with it).
+  /// behind conflicting locks if the transaction executed at `client` (locks
+  /// held by `client` itself never conflict with it).
   [[nodiscard]] std::size_t conflict_count_at(
       const std::vector<std::pair<ObjectId, LockMode>>& needs,
-      SiteId site) const;
+      ClientId client) const;
 
   /// Drops empty per-object states (call after bursts of releases).
   void compact();
@@ -136,19 +141,20 @@ class GlobalLockTable {
   /// Cumulative expired entries dropped by every queue (sampler counter).
   [[nodiscard]] std::uint64_t total_expired_dropped() const;
 
-  /// Invariant audit: per-object holder sets have distinct sites with real
+  /// Invariant audit: per-object holder sets have distinct clients with real
   /// modes and are pairwise compatible (the lock-mode compatibility matrix
   /// the whole callback scheme rests on); wait queues are priority-ordered;
-  /// the by-site index mirrors the holder sets exactly. Aborts on violation.
+  /// the by-client index mirrors the holder sets exactly. Aborts on
+  /// violation.
   void validate_invariants() const;
 
  private:
   struct State {
     std::vector<GlobalHold> holders;
     ForwardList queue;
-    std::unordered_set<SiteId> recalls;
+    std::unordered_set<ClientId> recalls;
     bool circulating = false;
-    SiteId circulating_last = kInvalidSite;
+    ClientId circulating_last = kInvalidClient;
 
     [[nodiscard]] bool quiescent() const {
       return holders.empty() && queue.empty() && recalls.empty() &&
@@ -161,7 +167,7 @@ class GlobalLockTable {
   void drop_if_quiescent(ObjectId obj);
 
   std::unordered_map<ObjectId, State> objects_;
-  std::unordered_map<SiteId, std::unordered_set<ObjectId>> by_site_;
+  std::unordered_map<ClientId, std::unordered_set<ObjectId>> by_client_;
 
   /// Expired-drop counts of queues whose object state was already retired
   /// (dropped when quiescent) — keeps total_expired_dropped() cumulative.

@@ -12,24 +12,26 @@ void LocalLockManager::validate_invariants() const {
   std::size_t holds_total = 0;
   for (const auto& [obj, st] : objects_) {
     RTDB_CHECK(!st.holders.empty() || !st.queue.empty(),
-               "quiescent obj %u not dropped", obj);
+               "quiescent obj %u not dropped", obj.value());
     for (std::size_t i = 0; i < st.holders.size(); ++i) {
       const Hold& h = st.holders[i];
       RTDB_CHECK(h.mode != LockMode::kNone, "txn %llu holds kNone on obj %u",
-                 static_cast<unsigned long long>(h.txn), obj);
+                 static_cast<unsigned long long>(h.txn.value()), obj.value());
       const auto ht = held_by_txn_.find(h.txn);
       RTDB_CHECK(ht != held_by_txn_.end() && ht->second.count(obj) != 0,
                  "hold (txn %llu, obj %u) missing from held index",
-                 static_cast<unsigned long long>(h.txn), obj);
+                 static_cast<unsigned long long>(h.txn.value()), obj.value());
       for (std::size_t j = i + 1; j < st.holders.size(); ++j) {
         const Hold& o = st.holders[j];
         RTDB_CHECK(o.txn != h.txn, "obj %u has duplicate holder txn %llu",
-                   obj, static_cast<unsigned long long>(h.txn));
+                   obj.value(),
+                   static_cast<unsigned long long>(h.txn.value()));
         RTDB_CHECK(compatible(h.mode, o.mode),
                    "obj %u holders %llu (%s) and %llu (%s) are incompatible",
-                   obj, static_cast<unsigned long long>(h.txn),
+                   obj.value(),
+                   static_cast<unsigned long long>(h.txn.value()),
                    to_string(h.mode).data(),
-                   static_cast<unsigned long long>(o.txn),
+                   static_cast<unsigned long long>(o.txn.value()),
                    to_string(o.mode).data());
       }
     }
@@ -38,22 +40,23 @@ void LocalLockManager::validate_invariants() const {
       const Waiter& w = st.queue[i];
       if (i > 0) {
         RTDB_CHECK(st.queue[i - 1].deadline <= w.deadline,
-                   "obj %u wait queue breaks EDF order at %zu", obj, i);
+                   "obj %u wait queue breaks EDF order at %zu", obj.value(),
+                   i);
       }
       const auto wt = waiting_on_.find(w.txn);
       RTDB_CHECK(wt != waiting_on_.end() && wt->second.count(obj) != 0,
                  "waiter (txn %llu, obj %u) missing from waiting index",
-                 static_cast<unsigned long long>(w.txn), obj);
+                 static_cast<unsigned long long>(w.txn.value()), obj.value());
     }
   }
   std::size_t indexed_holds = 0;
   for (const auto& [txn, objs] : held_by_txn_) {
     RTDB_CHECK(!objs.empty(), "empty held bucket for txn %llu",
-               static_cast<unsigned long long>(txn));
+               static_cast<unsigned long long>(txn.value()));
     for (const ObjectId obj : objs) {
       RTDB_CHECK(held_mode(txn, obj) != LockMode::kNone,
                  "held index names (txn %llu, obj %u) without a hold",
-                 static_cast<unsigned long long>(txn), obj);
+                 static_cast<unsigned long long>(txn.value()), obj.value());
     }
     indexed_holds += objs.size();
   }
@@ -69,7 +72,7 @@ void LocalLockManager::validate_invariants() const {
                       [txn = txn](const Waiter& w) { return w.txn == txn; });
       RTDB_CHECK(queued,
                  "waiting index names (txn %llu, obj %u) without a waiter",
-                 static_cast<unsigned long long>(txn), obj);
+                 static_cast<unsigned long long>(txn.value()), obj.value());
     }
   }
 }
@@ -123,10 +126,10 @@ std::vector<ObjectId> LocalLockManager::objects_held(TxnId txn) const {
   return {it->second.begin(), it->second.end()};
 }
 
-std::vector<WaitForGraph::Node> LocalLockManager::blockers_of(
+std::vector<TxnId> LocalLockManager::blockers_of(
     const ObjectState& st, TxnId txn, LockMode mode,
     sim::SimTime deadline) const {
-  std::vector<WaitForGraph::Node> blockers;
+  std::vector<TxnId> blockers;
   for (const auto& h : st.holders) {
     if (h.txn != txn && !compatible(h.mode, mode)) blockers.push_back(h.txn);
   }

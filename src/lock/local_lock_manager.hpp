@@ -89,8 +89,10 @@ class LocalLockManager {
     return deadlocks_.value();
   }
 
-  /// Diagnostic access to the wait-for graph.
-  [[nodiscard]] const WaitForGraph& wait_graph() const { return graph_; }
+  /// Diagnostic access to the wait-for graph (nodes are transactions).
+  [[nodiscard]] const WaitForGraph<TxnId>& wait_graph() const {
+    return graph_;
+  }
 
   /// Invariant audit: strict-2PL holder compatibility per object, EDF order
   /// of every wait queue, held/waiting indexes mirroring the table, and a
@@ -107,7 +109,7 @@ class LocalLockManager {
     LockMode mode;
     sim::SimTime deadline;
     GrantFn on_grant;
-    std::vector<WaitForGraph::Node> edges;  ///< blockers currently charged
+    std::vector<TxnId> edges;  ///< blockers currently charged in the graph
   };
   struct ObjectState {
     std::vector<Hold> holders;
@@ -125,9 +127,8 @@ class LocalLockManager {
 
   /// Blockers of a request: conflicting holders plus conflicting waiters
   /// that would sit ahead of it in EDF order.
-  std::vector<WaitForGraph::Node> blockers_of(const ObjectState& st,
-                                              TxnId txn, LockMode mode,
-                                              sim::SimTime deadline) const;
+  std::vector<TxnId> blockers_of(const ObjectState& st, TxnId txn,
+                                 LockMode mode, sim::SimTime deadline) const;
 
   void grant(ObjectState& st, TxnId txn, LockMode mode);
   void drop_object_if_quiescent(ObjectId obj);
@@ -139,7 +140,7 @@ class LocalLockManager {
   std::unordered_map<ObjectId, ObjectState> objects_;
   std::unordered_map<TxnId, std::unordered_set<ObjectId>> held_by_txn_;
   std::unordered_map<TxnId, std::unordered_set<ObjectId>> waiting_on_;
-  WaitForGraph graph_;
+  WaitForGraph<TxnId> graph_;
   sim::Counter grants_;
   sim::Counter waits_;
   sim::Counter deadlocks_;

@@ -6,35 +6,38 @@
 
 namespace rtdb::lock {
 
-void WaitForGraph::validate_invariants() const {
+namespace {
+/// RTDB_CHECK-friendly rendering of any node id.
+template <class Node>
+unsigned long long fmt(Node n) {
+  return static_cast<unsigned long long>(n.value());
+}
+}  // namespace
+
+template <class NodeT>
+void WaitForGraph<NodeT>::validate_invariants() const {
   std::size_t forward_edges = 0;
   for (const auto& [waiter, outs] : out_) {
-    RTDB_CHECK(!outs.empty(), "empty out-bucket for node %llu",
-               static_cast<unsigned long long>(waiter));
+    RTDB_CHECK(!outs.empty(), "empty out-bucket for node %llu", fmt(waiter));
     for (const auto& [holder, count] : outs) {
-      RTDB_CHECK(holder != waiter, "self-edge on node %llu",
-                 static_cast<unsigned long long>(waiter));
-      RTDB_CHECK(count > 0, "edge %llu->%llu has count %d",
-                 static_cast<unsigned long long>(waiter),
-                 static_cast<unsigned long long>(holder), count);
+      RTDB_CHECK(holder != waiter, "self-edge on node %llu", fmt(waiter));
+      RTDB_CHECK(count > 0, "edge %llu->%llu has count %d", fmt(waiter),
+                 fmt(holder), count);
       const auto it = in_.find(holder);
       RTDB_CHECK(it != in_.end() && it->second.count(waiter) != 0,
-                 "edge %llu->%llu missing from reverse map",
-                 static_cast<unsigned long long>(waiter),
-                 static_cast<unsigned long long>(holder));
+                 "edge %llu->%llu missing from reverse map", fmt(waiter),
+                 fmt(holder));
       ++forward_edges;
     }
   }
   std::size_t reverse_edges = 0;
   for (const auto& [holder, waiters] : in_) {
-    RTDB_CHECK(!waiters.empty(), "empty in-bucket for node %llu",
-               static_cast<unsigned long long>(holder));
+    RTDB_CHECK(!waiters.empty(), "empty in-bucket for node %llu", fmt(holder));
     for (const Node waiter : waiters) {
       const auto it = out_.find(waiter);
       RTDB_CHECK(it != out_.end() && it->second.count(holder) != 0,
                  "reverse edge %llu<-%llu missing from forward map",
-                 static_cast<unsigned long long>(holder),
-                 static_cast<unsigned long long>(waiter));
+                 fmt(holder), fmt(waiter));
       ++reverse_edges;
     }
   }
@@ -43,7 +46,8 @@ void WaitForGraph::validate_invariants() const {
              reverse_edges);
 }
 
-bool WaitForGraph::reachable(Node from, Node to) const {
+template <class NodeT>
+bool WaitForGraph<NodeT>::reachable(Node from, Node to) const {
   if (from == to) return true;
   std::vector<Node> stack{from};
   std::unordered_set<Node> seen{from};
@@ -61,15 +65,18 @@ bool WaitForGraph::reachable(Node from, Node to) const {
   return false;
 }
 
-bool WaitForGraph::would_deadlock(Node waiter,
-                                  const std::vector<Node>& holders) const {
+template <class NodeT>
+bool WaitForGraph<NodeT>::would_deadlock(
+    Node waiter, const std::vector<Node>& holders) const {
   // A new edge waiter->h closes a cycle iff h can already reach waiter.
   return std::any_of(holders.begin(), holders.end(), [&](Node h) {
     return h == waiter || reachable(h, waiter);
   });
 }
 
-void WaitForGraph::add_edges(Node waiter, const std::vector<Node>& holders) {
+template <class NodeT>
+void WaitForGraph<NodeT>::add_edges(Node waiter,
+                                    const std::vector<Node>& holders) {
   for (Node h : holders) {
     if (h == waiter) continue;  // self-waits are meaningless
     ++out_[waiter][h];
@@ -77,14 +84,16 @@ void WaitForGraph::add_edges(Node waiter, const std::vector<Node>& holders) {
   }
 }
 
-bool WaitForGraph::try_add_edges(Node waiter,
-                                 const std::vector<Node>& holders) {
+template <class NodeT>
+bool WaitForGraph<NodeT>::try_add_edges(Node waiter,
+                                        const std::vector<Node>& holders) {
   if (would_deadlock(waiter, holders)) return false;
   add_edges(waiter, holders);
   return true;
 }
 
-void WaitForGraph::remove_edge(Node waiter, Node holder) {
+template <class NodeT>
+void WaitForGraph<NodeT>::remove_edge(Node waiter, Node holder) {
   auto it = out_.find(waiter);
   if (it == out_.end()) return;
   auto et = it->second.find(holder);
@@ -99,7 +108,8 @@ void WaitForGraph::remove_edge(Node waiter, Node holder) {
   }
 }
 
-void WaitForGraph::remove_node(Node node) {
+template <class NodeT>
+void WaitForGraph<NodeT>::remove_node(Node node) {
   if (auto it = out_.find(node); it != out_.end()) {
     for (const auto& [h, count] : it->second) {
       (void)count;
@@ -123,7 +133,8 @@ void WaitForGraph::remove_node(Node node) {
   }
 }
 
-std::vector<WaitForGraph::Node> WaitForGraph::waits_for(Node waiter) const {
+template <class NodeT>
+std::vector<NodeT> WaitForGraph<NodeT>::waits_for(Node waiter) const {
   auto it = out_.find(waiter);
   if (it == out_.end()) return {};
   std::vector<Node> result;
@@ -135,7 +146,8 @@ std::vector<WaitForGraph::Node> WaitForGraph::waits_for(Node waiter) const {
   return result;
 }
 
-bool WaitForGraph::has_cycle() const {
+template <class NodeT>
+bool WaitForGraph<NodeT>::has_cycle() const {
   // Kahn-style: repeatedly strip nodes with zero in-degree; leftovers are
   // in cycles.
   std::unordered_map<Node, std::size_t> indeg;
@@ -172,7 +184,8 @@ bool WaitForGraph::has_cycle() const {
   return removed != indeg.size();
 }
 
-std::size_t WaitForGraph::edge_count() const {
+template <class NodeT>
+std::size_t WaitForGraph<NodeT>::edge_count() const {
   std::size_t count = 0;
   for (const auto& [n, outs] : out_) {
     (void)n;
@@ -180,5 +193,8 @@ std::size_t WaitForGraph::edge_count() const {
   }
   return count;
 }
+
+template class WaitForGraph<TxnId>;
+template class WaitForGraph<TxnOrClientNode>;
 
 }  // namespace rtdb::lock

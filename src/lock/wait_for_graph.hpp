@@ -5,6 +5,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/ids.hpp"
+
 /// \file wait_for_graph.hpp
 /// Deadlock detection. The paper: "Wait-for graphs are used to detect
 /// deadlocks. When an object request is received by the server, it is added
@@ -14,8 +16,54 @@
 
 namespace rtdb::lock {
 
-/// Directed wait-for graph over opaque 64-bit node ids (transaction ids at
-/// a client's local lock manager; requester ids at the server).
+/// Node type of the server-side admission graph, where a wait can be charged
+/// to a transaction *or* to a client (the CS server blocks whole clients
+/// behind recalls). The two id spaces are kept disjoint by a tag bit, and —
+/// unlike the raw `(1<<62)|site` punning this type replaced — constructing a
+/// node from the wrong id, or mixing TxnId/ClientId nodes in one graph
+/// without going through these factories, is a compile error.
+class TxnOrClientNode {
+ public:
+  constexpr TxnOrClientNode() = default;
+
+  static constexpr TxnOrClientNode of_txn(TxnId t) {
+    return TxnOrClientNode{t.value()};
+  }
+  static constexpr TxnOrClientNode of_client(ClientId c) {
+    return TxnOrClientNode{kClientBit |
+                           static_cast<std::uint64_t>(c.value())};
+  }
+
+  /// Encoded value (diagnostics/hashing only).
+  [[nodiscard]] constexpr std::uint64_t value() const { return v_; }
+
+  constexpr auto operator<=>(const TxnOrClientNode&) const = default;
+
+ private:
+  /// Transactions never reach 2^62 in one run; clients are small ints.
+  static constexpr std::uint64_t kClientBit = 1ull << 62;
+
+  constexpr explicit TxnOrClientNode(std::uint64_t v) : v_(v) {}
+
+  std::uint64_t v_ = 0;
+};
+
+}  // namespace rtdb::lock
+
+template <>
+struct std::hash<rtdb::lock::TxnOrClientNode> {
+  std::size_t operator()(rtdb::lock::TxnOrClientNode n) const noexcept {
+    return std::hash<std::uint64_t>{}(n.value());
+  }
+};
+
+namespace rtdb::lock {
+
+/// Directed wait-for graph over strongly-typed node ids: `TxnId` at a
+/// client's local lock manager, `TxnOrClientNode` at the server. The node
+/// type is a template parameter, so graphs over different id spaces are
+/// themselves different types — an edge between a TxnId and a ClientId can
+/// only be expressed through TxnOrClientNode's explicit factories.
 ///
 /// Edges are *counted*: the same waiter->holder pair can be justified by
 /// waits on several objects at once, and disappears only when the last
@@ -23,9 +71,10 @@ namespace rtdb::lock {
 ///
 /// Complexity: cycle checks are a DFS from the new edge's source, O(V+E) —
 /// graphs here are small (bounded by in-flight transactions).
+template <class NodeT>
 class WaitForGraph {
  public:
-  using Node = std::uint64_t;
+  using Node = NodeT;
 
   /// Would adding waiter->holder edges close a cycle? Pure query.
   [[nodiscard]] bool would_deadlock(Node waiter,
@@ -69,5 +118,8 @@ class WaitForGraph {
   std::unordered_map<Node, std::unordered_map<Node, int>> out_;
   std::unordered_map<Node, std::unordered_set<Node>> in_;
 };
+
+extern template class WaitForGraph<TxnId>;
+extern template class WaitForGraph<TxnOrClientNode>;
 
 }  // namespace rtdb::lock

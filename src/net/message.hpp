@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <concepts>
 #include <cstdint>
 #include <string_view>
 
@@ -43,6 +44,103 @@ inline constexpr std::size_t kMessageKindCount =
 
 /// Human-readable kind name (stable, used by the table harnesses).
 std::string_view to_string(MessageKind kind);
+
+// ---------------------------------------------------------------------------
+// Message typestate: which endpoint category may send / receive each kind.
+//
+// Every kind's direction is part of the protocol (the comments above are
+// normative, not documentation). The direction table below turns them into
+// compile-time facts: `Network::send<K>(src, dst, ...)` only accepts typed
+// endpoints (`ClientId`, `kServer`) whose category matches `direction_of(K)`,
+// so a server-to-client kind sent from a client is a compile error, not a
+// miscounted Table-4 row.
+// ---------------------------------------------------------------------------
+
+/// Endpoint category a message kind constrains its source/destination to.
+enum class Endpoint : std::uint8_t {
+  kClient,  ///< any client workstation (site >= kFirstClientSite)
+  kServer,  ///< the central server (site == kServerSite)
+  kAny,     ///< unconstrained (e.g. control traffic)
+};
+
+/// (source, destination) constraint of one message kind.
+struct Direction {
+  Endpoint src;
+  Endpoint dst;
+};
+
+/// The protocol's direction table. Total over MessageKind (kKindCount maps
+/// to any/any so the switch stays exhaustive without a default).
+constexpr Direction direction_of(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kObjectRequest:
+    case MessageKind::kObjectReturn:
+    case MessageKind::kTxnSubmit:
+    case MessageKind::kLocationQuery:
+    case MessageKind::kValidateRequest:
+      return {Endpoint::kClient, Endpoint::kServer};
+    case MessageKind::kObjectShip:
+    case MessageKind::kObjectRecall:
+    case MessageKind::kLockGrant:
+    case MessageKind::kLocationReply:
+    case MessageKind::kValidateReply:
+      return {Endpoint::kServer, Endpoint::kClient};
+    case MessageKind::kObjectForward:
+    case MessageKind::kTxnShip:
+    case MessageKind::kSubtaskShip:
+    case MessageKind::kSubtaskResult:
+      return {Endpoint::kClient, Endpoint::kClient};
+    case MessageKind::kTxnResult:
+      // Results flow back to the originating client from whichever site
+      // executed: the server under CE, a (possibly different) client under
+      // LS shipping/decomposition.
+      return {Endpoint::kAny, Endpoint::kClient};
+    case MessageKind::kControl:
+    case MessageKind::kKindCount:
+      return {Endpoint::kAny, Endpoint::kAny};
+  }
+  return {Endpoint::kAny, Endpoint::kAny};
+}
+
+/// True when an endpoint of category `actual` satisfies constraint
+/// `required`.
+constexpr bool endpoint_matches(Endpoint required, Endpoint actual) {
+  return required == Endpoint::kAny || required == actual;
+}
+
+/// The central server as a typed endpoint. Stateless tag: there is exactly
+/// one server, so the type alone pins the site.
+struct ServerEndpoint {
+  [[nodiscard]] constexpr SiteId site() const { return kServerSite; }
+};
+inline constexpr ServerEndpoint kServer{};
+
+/// Maps a typed endpoint (ClientId or ServerEndpoint) to its category and
+/// wire-level SiteId. Specializations only — passing a raw SiteId (or any
+/// other type) to Network::send does not compile.
+template <class T>
+struct EndpointTraits;
+
+template <>
+struct EndpointTraits<ClientId> {
+  static constexpr Endpoint kCategory = Endpoint::kClient;
+  static constexpr SiteId site(ClientId c) { return site_of(c); }
+};
+
+template <>
+struct EndpointTraits<ServerEndpoint> {
+  static constexpr Endpoint kCategory = Endpoint::kServer;
+  static constexpr SiteId site(ServerEndpoint s) { return s.site(); }
+};
+
+/// Concept form of "has EndpointTraits": the overload set of Network::send
+/// is constrained on it so diagnostics name the violation instead of a
+/// missing member.
+template <class T>
+concept TypedEndpoint = requires(T t) {
+  { EndpointTraits<T>::kCategory } -> std::convertible_to<Endpoint>;
+  { EndpointTraits<T>::site(t) } -> std::convertible_to<SiteId>;
+};
 
 /// Per-kind message and byte accounting for one run.
 class MessageStats {

@@ -67,9 +67,9 @@ std::uint64_t Network::default_bytes(MessageKind kind) const {
   }
 }
 
-sim::SimTime Network::send(SiteId src, SiteId dst, MessageKind kind,
-                           std::uint64_t payload_bytes,
-                           std::function<void()> on_delivery) {
+sim::SimTime Network::send_raw(SiteId src, SiteId dst, MessageKind kind,
+                               std::uint64_t payload_bytes,
+                               std::function<void()> on_delivery) {
   assert(on_delivery && "message without a delivery action");
   if (src == dst) {
     // Loopback: same-site "delivery" costs only a scheduling epsilon and is
@@ -104,32 +104,27 @@ sim::SimTime Network::send(SiteId src, SiteId dst, MessageKind kind,
   return delivery;
 }
 
-sim::SimTime Network::send(SiteId src, SiteId dst, MessageKind kind,
-                           std::function<void()> on_delivery) {
-  return send(src, dst, kind, default_bytes(kind), std::move(on_delivery));
-}
-
-sim::SimTime Network::send_batch(SiteId src, SiteId dst, MessageKind kind,
-                                 std::size_t count,
-                                 std::function<void()> on_delivery) {
+sim::SimTime Network::send_batch_raw(SiteId src, SiteId dst, MessageKind kind,
+                                     std::size_t count,
+                                     std::function<void()> on_delivery) {
   if (count == 0) count = 1;
   // First count-1 frames only occupy the wire and bump counters; the last
   // frame carries the delivery action.
   for (std::size_t i = 0; i + 1 < count; ++i) {
-    send(src, dst, kind, default_bytes(kind), [] {});
+    send_raw(src, dst, kind, default_bytes(kind), [] {});
   }
-  return send(src, dst, kind, default_bytes(kind), std::move(on_delivery));
+  return send_raw(src, dst, kind, default_bytes(kind), std::move(on_delivery));
 }
 
 double Network::utilization() {
   const sim::Duration span = sim_.now() - stats_epoch_;
-  if (span <= 0) return 0;
+  if (span <= sim::Duration::zero()) return 0;
   return std::min(1.0, busy_accum_ / span);
 }
 
 void Network::reset_stats() {
   stats_.reset();
-  busy_accum_ = 0;
+  busy_accum_ = sim::Duration::zero();
   stats_epoch_ = sim_.now();
 }
 

@@ -58,25 +58,45 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  /// Sends a message; invokes `on_delivery` when it arrives.
+  /// Sends a message of kind `K`; invokes `on_delivery` when it arrives.
   /// `payload_bytes` excludes the frame header (added internally).
   /// Client-to-client messages automatically route via the directory server
   /// (two wire occupancies). Returns the delivery time.
-  sim::SimTime send(SiteId src, SiteId dst, MessageKind kind,
-                    std::uint64_t payload_bytes,
-                    std::function<void()> on_delivery);
+  ///
+  /// The kind is a template parameter and the endpoints are typed
+  /// (`ClientId` or `net::kServer`): a call whose endpoints contradict
+  /// `direction_of(K)` — e.g. a client sourcing an ObjectShip — fails to
+  /// compile. Raw SiteId endpoints are rejected (no EndpointTraits).
+  template <MessageKind K, TypedEndpoint Src, TypedEndpoint Dst>
+  sim::SimTime send(Src src, Dst dst, std::uint64_t payload_bytes,
+                    std::function<void()> on_delivery) {
+    check_direction<K, Src, Dst>();
+    return send_raw(EndpointTraits<Src>::site(src),
+                    EndpointTraits<Dst>::site(dst), K, payload_bytes,
+                    std::move(on_delivery));
+  }
 
-  /// Convenience overloads picking the configured size for the kind.
-  sim::SimTime send(SiteId src, SiteId dst, MessageKind kind,
-                    std::function<void()> on_delivery);
+  /// Convenience overload picking the configured size for the kind.
+  template <MessageKind K, TypedEndpoint Src, TypedEndpoint Dst>
+  sim::SimTime send(Src src, Dst dst, std::function<void()> on_delivery) {
+    check_direction<K, Src, Dst>();
+    return send_raw(EndpointTraits<Src>::site(src),
+                    EndpointTraits<Dst>::site(dst), K, default_bytes(K),
+                    std::move(on_delivery));
+  }
 
   /// A logical batch that travels as `count` back-to-back wire messages of
   /// the kind's default size (e.g. one request frame per object, as the
   /// paper's message tables count them) but is processed on arrival as one
   /// unit: `on_delivery` fires once, when the last frame lands.
-  sim::SimTime send_batch(SiteId src, SiteId dst, MessageKind kind,
-                          std::size_t count,
-                          std::function<void()> on_delivery);
+  template <MessageKind K, TypedEndpoint Src, TypedEndpoint Dst>
+  sim::SimTime send_batch(Src src, Dst dst, std::size_t count,
+                          std::function<void()> on_delivery) {
+    check_direction<K, Src, Dst>();
+    return send_batch_raw(EndpointTraits<Src>::site(src),
+                          EndpointTraits<Dst>::site(dst), K, count,
+                          std::move(on_delivery));
+  }
 
   /// Per-kind counters for the whole run.
   [[nodiscard]] const MessageStats& stats() const { return stats_; }
@@ -100,9 +120,33 @@ class Network {
   void set_send_hook(SendHook hook) { send_hook_ = std::move(hook); }
 
  private:
+  /// The compile-time direction gate shared by every typed entry point.
+  template <MessageKind K, class Src, class Dst>
+  static constexpr void check_direction() {
+    static_assert(endpoint_matches(direction_of(K).src,
+                                   EndpointTraits<Src>::kCategory),
+                  "message kind cannot originate at this endpoint "
+                  "(see direction_of in net/message.hpp)");
+    static_assert(endpoint_matches(direction_of(K).dst,
+                                   EndpointTraits<Dst>::kCategory),
+                  "message kind cannot be delivered to this endpoint "
+                  "(see direction_of in net/message.hpp)");
+  }
+
+  /// Runtime-kind core shared by the typed templates. Private: the typed
+  /// `send<K>` front door is the only way to choose a kind from outside.
+  sim::SimTime send_raw(SiteId src, SiteId dst, MessageKind kind,
+                        std::uint64_t payload_bytes,
+                        std::function<void()> on_delivery);
+
+  sim::SimTime send_batch_raw(SiteId src, SiteId dst, MessageKind kind,
+                              std::size_t count,
+                              std::function<void()> on_delivery);
+
   /// Seconds the wire is occupied transmitting `bytes`.
   sim::Duration tx_time(std::uint64_t bytes) const {
-    return static_cast<double>(bytes) * 8.0 / config_.bandwidth_bps;
+    return sim::Duration{static_cast<double>(bytes) * 8.0 /
+                         config_.bandwidth_bps};
   }
 
   /// Reserves the wire for one transmission starting no earlier than now;
@@ -115,9 +159,9 @@ class Network {
   NetworkConfig config_;
   MessageStats stats_;
   SendHook send_hook_;
-  sim::SimTime wire_free_at_ = 0;
-  double busy_accum_ = 0;        ///< total wire-busy seconds
-  sim::SimTime stats_epoch_ = 0; ///< start of the current accounting window
+  sim::SimTime wire_free_at_{};
+  sim::Duration busy_accum_{};  ///< total wire-busy time
+  sim::SimTime stats_epoch_{};  ///< start of the current accounting window
 };
 
 }  // namespace rtdb::net

@@ -12,9 +12,9 @@ namespace rtdb::obs {
 namespace {
 
 /// Perfetto pids are 1-based (pid 0 reads as "no process"): pid = site + 1.
-int pid_of(SiteId site) { return static_cast<int>(site) + 1; }
+int pid_of(SiteId site) { return site.value() + 1; }
 
-double usec_of(sim::SimTime t) { return t * 1e6; }
+double usec_of(sim::SimTime t) { return t.sec() * 1e6; }
 
 void site_name(std::ostream& os, SiteId site) {
   if (site == kServerSite) {
@@ -124,7 +124,8 @@ void write_perfetto(std::ostream& os, const Telemetry& tel,
 
   for (std::size_t site = 0; site < num_sites; ++site) {
     std::string label = site == 0 ? "server" : "client " + std::to_string(site);
-    emit_meta(os, first, "process_name", pid_of(static_cast<SiteId>(site)),
+    emit_meta(os, first, "process_name",
+              pid_of(SiteId{static_cast<SiteId::Rep>(site)}),
               label);
   }
 
@@ -133,30 +134,33 @@ void write_perfetto(std::ostream& os, const Telemetry& tel,
   // outermost "txn" slice.
   for (const TxnSpan* s : tel.spans_sorted()) {
     const int pid = pid_of(s->origin);
-    const bool unfinished = s->end < 0;
-    const double t0 = usec_of(s->admit >= 0 ? s->admit : s->arrival);
+    const bool unfinished = s->end < sim::SimTime::zero();
+    const double t0 = usec_of(s->admit >= sim::SimTime::zero() ? s->admit : s->arrival);
     const double t_end = usec_of(unfinished ? end_time : s->end);
     char name[48];
     std::snprintf(name, sizeof name, "txn %llu",
-                  static_cast<unsigned long long>(s->id));
-    emit_async(os, first, 'b', name, pid, s->id, t0, span_args(*s, unfinished));
+                  static_cast<unsigned long long>(s->id.value()));
+    emit_async(os, first, 'b', name, pid, s->id.value(), t0,
+               span_args(*s, unfinished));
 
     const double t_ready =
-        s->first_ready >= 0 ? usec_of(s->first_ready) : t_end;
-    const double t_exec = s->first_exec >= 0 ? usec_of(s->first_exec) : t_end;
+        s->first_ready >= sim::SimTime::zero() ? usec_of(s->first_ready)
+                                               : t_end;
+    const double t_exec =
+        s->first_exec >= sim::SimTime::zero() ? usec_of(s->first_exec) : t_end;
     if (t_ready > t0) {
-      emit_async(os, first, 'b', "acquire", pid, s->id, t0, "");
-      emit_async(os, first, 'e', "acquire", pid, s->id, t_ready, "");
+      emit_async(os, first, 'b', "acquire", pid, s->id.value(), t0, "");
+      emit_async(os, first, 'e', "acquire", pid, s->id.value(), t_ready, "");
     }
-    if (s->first_ready >= 0 && t_exec > t_ready) {
-      emit_async(os, first, 'b', "ready", pid, s->id, t_ready, "");
-      emit_async(os, first, 'e', "ready", pid, s->id, t_exec, "");
+    if (s->first_ready >= sim::SimTime::zero() && t_exec > t_ready) {
+      emit_async(os, first, 'b', "ready", pid, s->id.value(), t_ready, "");
+      emit_async(os, first, 'e', "ready", pid, s->id.value(), t_exec, "");
     }
-    if (s->first_exec >= 0 && t_end > t_exec) {
-      emit_async(os, first, 'b', "run", pid, s->id, t_exec, "");
-      emit_async(os, first, 'e', "run", pid, s->id, t_end, "");
+    if (s->first_exec >= sim::SimTime::zero() && t_end > t_exec) {
+      emit_async(os, first, 'b', "run", pid, s->id.value(), t_exec, "");
+      emit_async(os, first, 'e', "run", pid, s->id.value(), t_end, "");
     }
-    emit_async(os, first, 'e', name, pid, s->id, t_end, "");
+    emit_async(os, first, 'e', name, pid, s->id.value(), t_end, "");
   }
 
   for (const Event& e : tel.events()) emit_instant(os, first, e);
@@ -190,17 +194,17 @@ void write_jsonl(std::ostream& os, const Telemetry& tel) {
   for (const TxnSpan* s : tel.spans_sorted()) {
     os << R"({"record":"span","txn":)" << s->id << R"(,"origin":)"
        << s->origin << R"(,"arrival":)";
-    json_number(os, s->arrival);
+    json_number(os, s->arrival.sec());
     os << R"(,"deadline":)";
-    json_number(os, s->deadline);
+    json_number(os, s->deadline.sec());
     os << R"(,"admit":)";
-    json_number(os, s->admit);
+    json_number(os, s->admit.sec());
     os << R"(,"first_ready":)";
-    json_number(os, s->first_ready);
+    json_number(os, s->first_ready.sec());
     os << R"(,"first_exec":)";
-    json_number(os, s->first_exec);
+    json_number(os, s->first_exec.sec());
     os << R"(,"end":)";
-    json_number(os, s->end);
+    json_number(os, s->end.sec());
     os << R"(,"outcome":")" << to_string(s->outcome)
        << R"(","wait_queue":)";
     json_number(os, s->wait[0]);

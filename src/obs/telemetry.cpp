@@ -30,8 +30,8 @@ class Fnv {
 };
 
 std::uint64_t blocker_key(ObjectId object, SiteId holder) {
-  return (static_cast<std::uint64_t>(object) << 32) ^
-         static_cast<std::uint32_t>(holder);
+  return (static_cast<std::uint64_t>(object.value()) << 32) ^
+         static_cast<std::uint32_t>(holder.value());
 }
 
 }  // namespace
@@ -131,7 +131,7 @@ void Telemetry::txn_ready(TxnId id, sim::SimTime now) {
   if (!config_.spans) return;
   TxnSpan* s = find_span(id);
   if (!s) return;
-  if (s->first_ready < 0) s->first_ready = now;
+  if (s->first_ready < sim::SimTime::zero()) s->first_ready = now;
   s->last_ready = now;
 }
 
@@ -139,20 +139,21 @@ void Telemetry::txn_exec_start(TxnId id, sim::SimTime now) {
   if (!config_.spans) return;
   TxnSpan* s = find_span(id);
   if (!s) return;
-  if (s->first_exec < 0) s->first_exec = now;
-  if (s->last_ready >= 0) {
+  if (s->first_exec < sim::SimTime::zero()) s->first_exec = now;
+  if (s->last_ready >= sim::SimTime::zero()) {
     s->wait[static_cast<std::size_t>(WaitBucket::kQueue)] +=
-        now - s->last_ready;
-    s->last_ready = -1;
+        (now - s->last_ready).sec();
+    s->last_ready = kUnsetTime;
   }
 }
 
 void Telemetry::txn_dequeued(TxnId id, sim::SimTime now) {
   if (!config_.spans) return;
   TxnSpan* s = find_span(id);
-  if (!s || s->last_ready < 0) return;
-  s->wait[static_cast<std::size_t>(WaitBucket::kQueue)] += now - s->last_ready;
-  s->last_ready = -1;
+  if (!s || s->last_ready < sim::SimTime::zero()) return;
+  s->wait[static_cast<std::size_t>(WaitBucket::kQueue)] +=
+      (now - s->last_ready).sec();
+  s->last_ready = kUnsetTime;
 }
 
 void Telemetry::txn_restart(TxnId id, sim::SimTime now) {
@@ -167,17 +168,17 @@ void Telemetry::txn_end(TxnId id, Outcome outcome, sim::SimTime now) {
   if (!s || s->outcome != Outcome::kOpen) return;
   s->outcome = outcome;
   s->end = now;
-  if (s->last_ready >= 0) {  // died waiting in a ready queue
+  if (s->last_ready >= sim::SimTime::zero()) {  // died waiting in a queue
     s->wait[static_cast<std::size_t>(WaitBucket::kQueue)] +=
-        now - s->last_ready;
-    s->last_ready = -1;
+        (now - s->last_ready).sec();
+    s->last_ready = kUnsetTime;
   }
   // Lock requests still queued at death blocked the transaction to the end.
   const auto it = pending_locks_.find(id);
   if (it != pending_locks_.end()) {
     for (auto& rec : it->second) {
       if (rec.lock_wait < 0) {
-        const double waited = now - rec.queued_at;
+        const double waited = (now - rec.queued_at).sec();
         s->wait[static_cast<std::size_t>(WaitBucket::kLock)] += waited;
         note_blocker(*s, rec.object, rec.holder, waited);
       }
@@ -208,7 +209,7 @@ void Telemetry::lock_served(TxnId txn, ObjectId object, sim::SimTime now) {
   if (it == pending_locks_.end()) return;
   for (auto& rec : it->second) {
     if (rec.object == object && rec.lock_wait < 0) {
-      rec.lock_wait = now - rec.queued_at;
+      rec.lock_wait = (now - rec.queued_at).sec();
       if (TxnSpan* s = find_span(txn)) {
         s->wait[static_cast<std::size_t>(WaitBucket::kLock)] += rec.lock_wait;
         note_blocker(*s, object, rec.holder, rec.lock_wait);
@@ -235,34 +236,35 @@ void Telemetry::object_wait(TxnId txn, ObjectId object, sim::Duration total) {
       }
     }
   }
-  const double net_part = std::max(0.0, total - lock_part);
+  const double net_part = std::max(0.0, total.sec() - lock_part);
   s->wait[static_cast<std::size_t>(WaitBucket::kNet)] += net_part;
-  if (lock_part <= 0) note_blocker(*s, object, kInvalidSite, total);
+  if (lock_part <= 0) note_blocker(*s, object, kInvalidSite, total.sec());
 }
 
 void Telemetry::add_wait(TxnId txn, WaitBucket bucket, sim::Duration d) {
-  if (!config_.spans || d <= 0) return;
+  if (!config_.spans || d <= sim::Duration::zero()) return;
   if (TxnSpan* s = find_span(txn)) {
-    s->wait[static_cast<std::size_t>(bucket)] += d;
+    s->wait[static_cast<std::size_t>(bucket)] += d.sec();
   }
 }
 
 void Telemetry::server_disk_wait(TxnId txn, ObjectId object, sim::Duration d) {
-  if (!config_.spans || d <= 0) return;
+  if (!config_.spans || d <= sim::Duration::zero()) return;
   TxnSpan* s = find_span(txn);
   if (!s) return;
-  s->wait[static_cast<std::size_t>(WaitBucket::kDisk)] += d;
+  s->wait[static_cast<std::size_t>(WaitBucket::kDisk)] += d.sec();
   // Fold the disk seconds into the served lock record (or a synthetic one
   // for never-queued grants) so the client-side object_wait subtracts them
   // from the observed round trip instead of booking them as network.
   auto& recs = pending_locks_[txn];
   for (auto& rec : recs) {
     if (rec.object == object && rec.lock_wait >= 0 && !rec.consumed) {
-      rec.lock_wait += d;
+      rec.lock_wait += d.sec();
       return;
     }
   }
-  recs.push_back(PendingLock{object, kInvalidSite, 0, d, false});
+  recs.push_back(PendingLock{object, kInvalidSite, sim::SimTime{}, d.sec(),
+                             false});
 }
 
 void Telemetry::attribute_outcome(TxnId id, Outcome outcome) {
@@ -347,14 +349,14 @@ std::uint64_t Telemetry::digest() const {
   Fnv d;
   d.u64(spans_.size());
   for (const TxnSpan* s : spans_sorted()) {
-    d.u64(s->id);
+    d.u64(s->id.value());
     d.u64(static_cast<std::uint64_t>(s->outcome));
-    d.f64(s->admit);
-    d.f64(s->first_ready);
-    d.f64(s->first_exec);
-    d.f64(s->end);
+    d.f64(s->admit.sec());
+    d.f64(s->first_ready.sec());
+    d.f64(s->first_exec.sec());
+    d.f64(s->end.sec());
     for (const double w : s->wait) d.f64(w);
-    d.u64(s->worst_object);
+    d.u64(s->worst_object.value());
     d.f64(s->worst_object_wait);
     d.u64(s->hops);
     d.u64(s->restarts);
@@ -362,22 +364,23 @@ std::uint64_t Telemetry::digest() const {
   d.u64(events_.size());
   d.u64(dropped_);
   for (const Event& e : events_) {
-    d.f64(e.t);
+    d.f64(e.t.sec());
     d.u64(static_cast<std::uint64_t>(e.kind));
-    d.u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(e.site)));
-    d.u64(e.txn);
+    d.u64(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(e.site.value())));
+    d.u64(e.txn.value());
     d.f64(e.v);
   }
   for (const auto m : attribution_.misses) d.u64(m);
   for (const auto a : attribution_.aborts) d.u64(a);
   d.u64(attribution_.unattributed);
   for (const auto& row : top_blockers(16)) {
-    d.u64(row.object);
+    d.u64(row.object.value());
     d.u64(row.txns);
     d.f64(row.total_wait);
   }
   d.u64(sample_times_.size());
-  for (const auto t : sample_times_) d.f64(t);
+  for (const auto t : sample_times_) d.f64(t.sec());
   d.u64(series_.size());
   for (const auto& s : series_) {
     d.bytes(s.name.data(), s.name.size());

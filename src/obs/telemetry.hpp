@@ -47,16 +47,20 @@ inline constexpr std::size_t kWaitBucketCount = 4;  ///< attributable buckets
 
 const char* to_string(WaitBucket b);
 
+/// "Not yet recorded" sentinel for span timestamps (valid instants are
+/// always >= 0, so any negative tick means unset).
+inline constexpr sim::SimTime kUnsetTime{-1.0};
+
 /// One transaction's lifecycle record.
 struct TxnSpan {
   TxnId id = kInvalidTxn;
   SiteId origin = kInvalidSite;
-  sim::SimTime arrival = 0;
-  sim::SimTime deadline = 0;
-  sim::SimTime admit = -1;       ///< span creation (generation/arrival)
-  sim::SimTime first_ready = -1; ///< first push into a ready queue
-  sim::SimTime first_exec = -1;  ///< first executor slot occupancy
-  sim::SimTime end = -1;         ///< terminal outcome instant
+  sim::SimTime arrival{};
+  sim::SimTime deadline{};
+  sim::SimTime admit = kUnsetTime;       ///< span creation
+  sim::SimTime first_ready = kUnsetTime; ///< first push into a ready queue
+  sim::SimTime first_exec = kUnsetTime;  ///< first executor slot occupancy
+  sim::SimTime end = kUnsetTime;         ///< terminal outcome instant
   Outcome outcome = Outcome::kOpen;
 
   /// Accumulated waits, indexed by WaitBucket (kQueue..kDisk).
@@ -65,7 +69,7 @@ struct TxnSpan {
   /// The single object this transaction waited longest on, and the site
   /// that held the conflicting lock when the wait began (kInvalidSite when
   /// the wait was not a lock conflict).
-  ObjectId worst_object = 0;
+  ObjectId worst_object{};
   SiteId worst_holder = kInvalidSite;
   double worst_object_wait = 0;
 
@@ -81,7 +85,7 @@ struct TxnSpan {
 
   // Internal bookkeeping for open queue-wait episodes (a transaction can
   // re-enter the ready queue after a restart).
-  sim::SimTime last_ready = -1;
+  sim::SimTime last_ready = kUnsetTime;
 };
 
 /// Typed protocol events, replacing the ad-hoc printf strings of TraceLog
@@ -115,11 +119,11 @@ const char* to_string(EventKind k);
 
 /// One recorded event. `a`, `b` and `v` are kind-specific (see EventKind).
 struct Event {
-  sim::SimTime t = 0;
+  sim::SimTime t{};
   EventKind kind{};
   SiteId site = kInvalidSite;
   TxnId txn = kInvalidTxn;
-  ObjectId object = 0;
+  ObjectId object{};
   std::int32_t a = 0;
   std::int32_t b = 0;
   double v = 0;
@@ -137,7 +141,7 @@ struct TelemetryConfig {
   /// Fixed-interval gauge sampling period in sim seconds; 0 = off. The
   /// probe follows the same passive, between-events discipline as the
   /// PR-1 structure-audit hook.
-  sim::Duration sample_interval = 0;
+  sim::Duration sample_interval{};
 };
 
 /// Per-run deadline-miss postmortem: for every measured missed/aborted
@@ -156,7 +160,7 @@ struct MissAttribution {
 
 /// One row of the "which object blocked missed transactions" table.
 struct BlockerRow {
-  ObjectId object = 0;
+  ObjectId object{};
   SiteId holder = kInvalidSite;
   std::uint64_t txns = 0;     ///< missed/aborted txns this pair dominated
   double total_wait = 0;      ///< their summed worst-object waits
@@ -176,7 +180,7 @@ class Telemetry {
   [[nodiscard]] bool spans_enabled() const { return config_.spans; }
   [[nodiscard]] bool events_enabled() const { return config_.events; }
   [[nodiscard]] bool sampling_enabled() const {
-    return config_.sample_interval > 0;
+    return config_.sample_interval > sim::Duration::zero();
   }
   [[nodiscard]] bool active() const {
     return spans_enabled() || events_enabled() || sampling_enabled();
@@ -245,8 +249,8 @@ class Telemetry {
   // --- typed events ---------------------------------------------------------
 
   void event(EventKind kind, sim::SimTime t, SiteId site,
-             TxnId txn = kInvalidTxn, ObjectId object = 0, std::int32_t a = 0,
-             std::int32_t b = 0, double v = 0);
+             TxnId txn = kInvalidTxn, ObjectId object = ObjectId{},
+             std::int32_t a = 0, std::int32_t b = 0, double v = 0);
 
   // --- gauge sampling -------------------------------------------------------
 
@@ -291,9 +295,9 @@ class Telemetry {
 
  private:
   struct PendingLock {
-    ObjectId object = 0;
+    ObjectId object{};
     SiteId holder = kInvalidSite;
-    sim::SimTime queued_at = 0;
+    sim::SimTime queued_at{};
     double lock_wait = -1;  ///< filled by lock_served; -1 = still queued
     bool consumed = false;  ///< matched to a client-side object_wait
   };

@@ -34,7 +34,7 @@ class EventQueue {
 
   /// A scheduled (time, callback) pair ready to execute.
   struct Fired {
-    SimTime time = 0;
+    SimTime time{};
     EventId id = kNoEvent;
     Callback fn;
   };

@@ -36,26 +36,26 @@ class SerialResource {
 
   /// Current backlog (seconds of queued work beyond now).
   [[nodiscard]] Duration backlog() const {
-    return std::max(0.0, free_at_ - sim_.now());
+    return std::max(Duration::zero(), free_at_ - sim_.now());
   }
 
   /// Fraction of time busy in the current accounting window.
   double utilization() const {
     const Duration span = sim_.now() - stats_epoch_;
-    if (span <= 0) return 0;
+    if (span <= Duration::zero()) return 0;
     return std::min(1.0, busy_accum_ / span);
   }
 
   void reset_stats() {
-    busy_accum_ = 0;
+    busy_accum_ = Duration::zero();
     stats_epoch_ = sim_.now();
   }
 
  private:
   Simulator& sim_;
-  SimTime free_at_ = 0;
-  double busy_accum_ = 0;
-  SimTime stats_epoch_ = 0;
+  SimTime free_at_{};
+  Duration busy_accum_{};  ///< total busy time in the accounting window
+  SimTime stats_epoch_{};
 };
 
 }  // namespace rtdb::sim

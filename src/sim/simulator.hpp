@@ -36,7 +36,7 @@ class Simulator {
   /// clamped to zero (fire "immediately", after already-queued events at
   /// the current instant).
   EventId after(Duration delay, Callback fn) {
-    if (delay < 0) delay = 0;
+    if (delay < Duration::zero()) delay = Duration::zero();
     return at(now_ + delay, std::move(fn));
   }
 
@@ -90,7 +90,7 @@ class Simulator {
   }
 
   EventQueue queue_;
-  SimTime now_ = 0;
+  SimTime now_{};
   std::uint64_t executed_ = 0;
   std::uint64_t event_limit_ = UINT64_C(4'000'000'000);
   std::uint64_t audit_interval_ = 0;

@@ -122,7 +122,7 @@ class SampleStats {
 /// average(now) at the end of the run.
 class TimeWeighted {
  public:
-  explicit TimeWeighted(double initial = 0, SimTime start = 0)
+  explicit TimeWeighted(double initial = 0, SimTime start = SimTime{})
       : value_(initial), last_change_(start), origin_(start) {}
 
   /// Records that the signal takes value `v` from time `now` on.
@@ -140,7 +140,7 @@ class TimeWeighted {
   double average(SimTime now) {
     accumulate(now);
     const Duration span = last_change_ - origin_;
-    return span > 0 ? area_ / span : value_;
+    return span > Duration::zero() ? area_ / span.sec() : value_;
   }
 
   /// Restarts the averaging window at `now`, keeping the current value.
@@ -154,7 +154,7 @@ class TimeWeighted {
  private:
   void accumulate(SimTime now) {
     if (now > last_change_) {
-      area_ += value_ * (now - last_change_);
+      area_ += value_ * (now - last_change_).sec();
       last_change_ = now;
     }
   }

@@ -1,7 +1,6 @@
 #pragma once
 
-#include <cmath>
-#include <limits>
+#include "common/strong_time.hpp"
 
 /// \file time.hpp
 /// Simulated-time primitives shared by every rtdb subsystem.
@@ -9,33 +8,37 @@
 /// The cluster is modelled by a discrete-event simulation; all latencies the
 /// paper measured in wall-clock seconds (transaction lengths, deadlines,
 /// object response times) are expressed in seconds of simulated time.
+///
+/// Since the strong-typing pass the quantities are dimension-checked types
+/// from common/strong_time.hpp: `SimTime` is an absolute instant (a
+/// `rtdb::Tick`) and `Duration` a span; only dimension-correct arithmetic
+/// compiles (see that header).
 
 namespace rtdb::sim {
 
-/// Simulated time, in seconds since the start of the run.
-///
-/// A double gives ~microsecond resolution over multi-day simulated horizons,
-/// far beyond what the experiments need (second-scale transactions,
-/// millisecond-scale I/O and network transfers).
-using SimTime = double;
+/// Simulated time: an absolute instant, seconds since the start of the run.
+using SimTime = rtdb::Tick;
 
 /// A duration in simulated seconds.
-using Duration = double;
+using Duration = rtdb::Duration;
 
 /// Sentinel meaning "never" / "no deadline"; larger than any reachable time.
-inline constexpr SimTime kTimeInfinity = std::numeric_limits<double>::infinity();
+inline constexpr SimTime kTimeInfinity = SimTime::infinity();
 
 /// Smallest duration used to break ties deterministically when two actions
 /// must be ordered but are scheduled "at the same instant".
-inline constexpr Duration kTimeEpsilon = 1e-9;
+inline constexpr Duration kTimeEpsilon{1e-9};
 
 /// True if `t` is a finite, reachable instant.
-inline bool is_finite_time(SimTime t) { return std::isfinite(t); }
+inline bool is_finite_time(SimTime t) { return t.finite(); }
+
+/// Seconds expressed as a typed duration.
+constexpr Duration seconds(double s) { return Duration{s}; }
 
 /// Milliseconds expressed in simulated seconds.
-constexpr Duration msec(double ms) { return ms * 1e-3; }
+constexpr Duration msec(double ms) { return Duration{ms * 1e-3}; }
 
 /// Microseconds expressed in simulated seconds.
-constexpr Duration usec(double us) { return us * 1e-6; }
+constexpr Duration usec(double us) { return Duration{us * 1e-6}; }
 
 }  // namespace rtdb::sim

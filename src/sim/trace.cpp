@@ -37,7 +37,7 @@ std::uint32_t TraceLog::enable_from_env() {
   return mask_;
 }
 
-void TraceLog::emit(SimTime time, TraceCategory category, int site,
+void TraceLog::emit(SimTime time, TraceCategory category, SiteId site,
                     std::string text) {
   if (events_.size() >= capacity_) {
     events_.pop_front();
@@ -46,7 +46,7 @@ void TraceLog::emit(SimTime time, TraceCategory category, int site,
   events_.push_back(Event{time, category, site, std::move(text)});
 }
 
-void TraceLog::emitf(SimTime time, TraceCategory category, int site,
+void TraceLog::emitf(SimTime time, TraceCategory category, SiteId site,
                      const char* fmt, ...) {
   char buf[256];
   va_list args;
@@ -64,8 +64,8 @@ void TraceLog::dump(std::ostream& os, std::size_t last_n) const {
   for (std::size_t i = start; i < events_.size(); ++i) {
     const Event& e = events_[i];
     char head[64];
-    std::snprintf(head, sizeof(head), "[%12.6f] %-6s s%-3d ", e.time,
-                  name(e.category), e.site);
+    std::snprintf(head, sizeof(head), "[%12.6f] %-6s s%-3d ", e.time.sec(),
+                  name(e.category), e.site.value());
     os << head << e.text << '\n';
   }
 }

@@ -7,6 +7,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/ids.hpp"
 #include "sim/time.hpp"
 
 /// \file trace.hpp
@@ -43,9 +44,9 @@ class TraceLog {
  public:
   /// One recorded event.
   struct Event {
-    SimTime time = 0;
+    SimTime time{};
     TraceCategory category = TraceCategory::kNone;
-    int site = -1;  ///< emitting site (-1 = none/system)
+    SiteId site = kInvalidSite;  ///< emitting site (kInvalidSite = system)
     std::string text;
   };
 
@@ -69,11 +70,12 @@ class TraceLog {
   [[nodiscard]] bool active() const { return mask_ != 0; }
 
   /// Records an event (call only when enabled(category)).
-  void emit(SimTime time, TraceCategory category, int site, std::string text);
+  void emit(SimTime time, TraceCategory category, SiteId site,
+            std::string text);
 
   /// printf-style convenience.
-  void emitf(SimTime time, TraceCategory category, int site, const char* fmt,
-             ...) __attribute__((format(printf, 5, 6)));
+  void emitf(SimTime time, TraceCategory category, SiteId site,
+             const char* fmt, ...) __attribute__((format(printf, 5, 6)));
 
   [[nodiscard]] const std::deque<Event>& events() const { return events_; }
   [[nodiscard]] std::size_t dropped() const { return dropped_; }

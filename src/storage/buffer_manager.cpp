@@ -6,7 +6,8 @@
 
 namespace rtdb::storage {
 
-void BufferManager::validate_invariants() const {
+template <class Id>
+void LruBuffer<Id>::validate_invariants() const {
   RTDB_CHECK(lru_.size() <= capacity_, "%zu resident pages exceed capacity %zu",
              lru_.size(), capacity_);
   RTDB_CHECK(index_.size() == lru_.size(),
@@ -15,21 +16,25 @@ void BufferManager::validate_invariants() const {
   for (auto it = lru_.begin(); it != lru_.end(); ++it) {
     const auto idx = index_.find(it->id);
     RTDB_CHECK(idx != index_.end() && idx->second == it,
-               "page %u resident but mis-indexed", it->id);
+               "page %llu resident but mis-indexed",
+               static_cast<unsigned long long>(it->id.value()));
   }
 }
 
-BufferManager::BufferManager(std::size_t capacity) : capacity_(capacity) {
+template <class Id>
+LruBuffer<Id>::LruBuffer(std::size_t capacity) : capacity_(capacity) {
   if (capacity == 0) {
-    throw std::invalid_argument("BufferManager capacity must be >= 1");
+    throw std::invalid_argument("LruBuffer capacity must be >= 1");
   }
 }
 
-void BufferManager::touch(LruList::iterator it) {
+template <class Id>
+void LruBuffer<Id>::touch(typename LruList::iterator it) {
   lru_.splice(lru_.begin(), lru_, it);
 }
 
-bool BufferManager::reference(ObjectId id) {
+template <class Id>
+bool LruBuffer<Id>::reference(Id id) {
   auto it = index_.find(id);
   if (it == index_.end()) {
     misses_.inc();
@@ -40,8 +45,9 @@ bool BufferManager::reference(ObjectId id) {
   return true;
 }
 
-std::optional<BufferManager::Evicted> BufferManager::insert(ObjectId id,
-                                                            bool dirty) {
+template <class Id>
+std::optional<typename LruBuffer<Id>::Evicted> LruBuffer<Id>::insert(
+    Id id, bool dirty) {
   auto it = index_.find(id);
   if (it != index_.end()) {
     touch(it->second);
@@ -60,19 +66,22 @@ std::optional<BufferManager::Evicted> BufferManager::insert(ObjectId id,
   return evicted;
 }
 
-bool BufferManager::mark_dirty(ObjectId id) {
+template <class Id>
+bool LruBuffer<Id>::mark_dirty(Id id) {
   auto it = index_.find(id);
   if (it == index_.end()) return false;
   it->second->dirty = true;
   return true;
 }
 
-bool BufferManager::is_dirty(ObjectId id) const {
+template <class Id>
+bool LruBuffer<Id>::is_dirty(Id id) const {
   auto it = index_.find(id);
   return it != index_.end() && it->second->dirty;
 }
 
-std::optional<bool> BufferManager::erase(ObjectId id) {
+template <class Id>
+std::optional<bool> LruBuffer<Id>::erase(Id id) {
   auto it = index_.find(id);
   if (it == index_.end()) return std::nullopt;
   const bool dirty = it->second->dirty;
@@ -81,23 +90,29 @@ std::optional<bool> BufferManager::erase(ObjectId id) {
   return dirty;
 }
 
-double BufferManager::hit_rate() const {
+template <class Id>
+double LruBuffer<Id>::hit_rate() const {
   const auto total = hits_.value() + misses_.value();
   return total ? static_cast<double>(hits_.value()) /
                      static_cast<double>(total)
                : 0.0;
 }
 
-std::optional<ObjectId> BufferManager::lru_victim() const {
+template <class Id>
+std::optional<Id> LruBuffer<Id>::lru_victim() const {
   if (lru_.empty()) return std::nullopt;
   return lru_.back().id;
 }
 
-std::vector<ObjectId> BufferManager::resident_pages() const {
-  std::vector<ObjectId> pages;
+template <class Id>
+std::vector<Id> LruBuffer<Id>::resident_pages() const {
+  std::vector<Id> pages;
   pages.reserve(lru_.size());
   for (const Frame& f : lru_) pages.push_back(f.id);
   return pages;
 }
+
+template class LruBuffer<PageId>;
+template class LruBuffer<ObjectId>;
 
 }  // namespace rtdb::storage

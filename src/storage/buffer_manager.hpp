@@ -10,55 +10,58 @@
 #include "sim/stats.hpp"
 
 /// \file buffer_manager.hpp
-/// LRU page buffer bookkeeping — the in-memory half of the MiniRel
-/// Paged-File (PF) layer the paper built its database on. The buffer
-/// manager decides *which* pages are resident and which eviction happens;
-/// the timing of the implied I/O is handled by PagedFile/ClientCache, which
-/// own the Disk.
+/// LRU buffer bookkeeping — the in-memory half of the MiniRel Paged-File
+/// (PF) layer the paper built its database on. The buffer decides *which*
+/// entries are resident and which eviction happens; the timing of the
+/// implied I/O is handled by PagedFile/ClientCache, which own the Disk.
+///
+/// The structure is id-generic: the server's paged file buffers `PageId`
+/// frames (`BufferManager`), while the client cache tiers buffer whole
+/// objects (`LruBuffer<ObjectId>`). The strong id types keep the two from
+/// ever being mixed — a page can't be inserted into an object tier.
 
 namespace rtdb::storage {
 
-/// Tracks the set of resident pages with LRU replacement and dirty bits.
+/// Tracks a set of resident entries with LRU replacement and dirty bits.
 ///
 /// The PF layer's pin counts are modelled implicitly: in the simulation a
 /// page is only accessed at a single decision instant, so transient pins
-/// never span events. Dirty pages evicted by LRU are reported to the caller
-/// so it can schedule the write-back (the PF buffer manager's behaviour:
-/// "updated objects ... are automatically written back to the disk file ...
-/// when the page is replaced").
-class BufferManager {
+/// never span events. Dirty entries evicted by LRU are reported to the
+/// caller so it can schedule the write-back (the PF buffer manager's
+/// behaviour: "updated objects ... are automatically written back to the
+/// disk file ... when the page is replaced").
+template <class Id>
+class LruBuffer {
  public:
   /// What LRU displaced to make room.
   struct Evicted {
-    ObjectId id{};
+    Id id{};
     bool dirty = false;
   };
 
-  /// `capacity` — number of 2 KB pages the buffer pool holds (>= 1).
-  explicit BufferManager(std::size_t capacity);
+  /// `capacity` — number of 2 KB frames the pool holds (>= 1).
+  explicit LruBuffer(std::size_t capacity);
 
-  /// True if the page is resident. Does not affect recency or counters.
-  [[nodiscard]] bool contains(ObjectId id) const {
-    return index_.count(id) != 0;
-  }
+  /// True if the entry is resident. Does not affect recency or counters.
+  [[nodiscard]] bool contains(Id id) const { return index_.count(id) != 0; }
 
-  /// References a page: records a hit (promoting it to MRU) or a miss.
+  /// References an entry: records a hit (promoting it to MRU) or a miss.
   /// Returns true on hit.
-  bool reference(ObjectId id);
+  bool reference(Id id);
 
-  /// Makes `id` resident (MRU), evicting the LRU page if the pool is full.
+  /// Makes `id` resident (MRU), evicting the LRU entry if the pool is full.
   /// No-op (recency bump) if already resident. Returns the eviction, if any.
-  std::optional<Evicted> insert(ObjectId id, bool dirty = false);
+  std::optional<Evicted> insert(Id id, bool dirty = false);
 
-  /// Marks a resident page dirty. Returns false if not resident.
-  bool mark_dirty(ObjectId id);
+  /// Marks a resident entry dirty. Returns false if not resident.
+  bool mark_dirty(Id id);
 
   /// True if resident and dirty.
-  [[nodiscard]] bool is_dirty(ObjectId id) const;
+  [[nodiscard]] bool is_dirty(Id id) const;
 
-  /// Drops a page without write-back bookkeeping (caller decides what the
-  /// removal means). Returns the page's dirty state, or nullopt if absent.
-  std::optional<bool> erase(ObjectId id);
+  /// Drops an entry without write-back bookkeeping (caller decides what the
+  /// removal means). Returns the entry's dirty state, or nullopt if absent.
+  std::optional<bool> erase(Id id);
 
   [[nodiscard]] std::size_t size() const { return lru_.size(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
@@ -74,11 +77,11 @@ class BufferManager {
     misses_.reset();
   }
 
-  /// Least-recently-used resident page (the next eviction victim), if any.
-  [[nodiscard]] std::optional<ObjectId> lru_victim() const;
+  /// Least-recently-used resident entry (the next eviction victim), if any.
+  [[nodiscard]] std::optional<Id> lru_victim() const;
 
-  /// Resident page ids in MRU-to-LRU order (diagnostics/audits).
-  [[nodiscard]] std::vector<ObjectId> resident_pages() const;
+  /// Resident ids in MRU-to-LRU order (diagnostics/audits).
+  [[nodiscard]] std::vector<Id> resident_pages() const;
 
   /// Invariant audit: residency never exceeds capacity, and the id index
   /// and the LRU list describe exactly the same frames (the pin-balance
@@ -88,18 +91,24 @@ class BufferManager {
 
  private:
   struct Frame {
-    ObjectId id;
+    Id id;
     bool dirty;
   };
   using LruList = std::list<Frame>;
 
-  void touch(LruList::iterator it);
+  void touch(typename LruList::iterator it);
 
   std::size_t capacity_;
   LruList lru_;  // front = MRU, back = LRU
-  std::unordered_map<ObjectId, LruList::iterator> index_;
+  std::unordered_map<Id, typename LruList::iterator> index_;
   sim::Counter hits_;
   sim::Counter misses_;
 };
+
+extern template class LruBuffer<PageId>;
+extern template class LruBuffer<ObjectId>;
+
+/// The server-side page pool: frames are pages of the paged file.
+using BufferManager = LruBuffer<PageId>;
 
 }  // namespace rtdb::storage

@@ -111,8 +111,8 @@ class ClientCache {
   sim::Simulator& sim_;
   ClientCacheConfig config_;
   Disk disk_;
-  BufferManager memory_;
-  BufferManager disk_tier_;
+  LruBuffer<ObjectId> memory_;
+  LruBuffer<ObjectId> disk_tier_;
   EvictionHook on_evict_;
   sim::Counter hits_;
   sim::Counter misses_;

@@ -24,14 +24,14 @@ sim::SimTime Disk::write(std::function<void()> done) {
 
 double Disk::utilization() const {
   const sim::Duration span = sim_.now() - stats_epoch_;
-  if (span <= 0) return 0;
+  if (span <= sim::Duration::zero()) return 0;
   return std::min(1.0, busy_accum_ / span);
 }
 
 void Disk::reset_stats() {
   reads_.reset();
   writes_.reset();
-  busy_accum_ = 0;
+  busy_accum_ = sim::Duration::zero();
   stats_epoch_ = sim_.now();
 }
 

@@ -56,9 +56,9 @@ class Disk {
 
   sim::Simulator& sim_;
   DiskConfig config_;
-  sim::SimTime free_at_ = 0;
-  double busy_accum_ = 0;
-  sim::SimTime stats_epoch_ = 0;
+  sim::SimTime free_at_{};
+  sim::Duration busy_accum_{};  ///< busy time in the accounting window
+  sim::SimTime stats_epoch_{};
   sim::Counter reads_;
   sim::Counter writes_;
 };

@@ -5,7 +5,7 @@
 namespace rtdb::storage {
 
 void PagedFile::install(ObjectId id, bool dirty) {
-  auto evicted = buffer_.insert(id, dirty);
+  auto evicted = buffer_.insert(page_of(id), dirty);
   if (evicted && evicted->dirty) {
     disk_.write();
   }
@@ -13,15 +13,16 @@ void PagedFile::install(ObjectId id, bool dirty) {
 
 void PagedFile::access(ObjectId id, bool write, std::function<void()> done) {
   assert(done);
-  if (buffer_.reference(id)) {
-    if (write) buffer_.mark_dirty(id);
+  const PageId page = page_of(id);
+  if (buffer_.reference(page)) {
+    if (write) buffer_.mark_dirty(page);
     sim_.after(config_.memory_access_time, std::move(done));
     return;
   }
   // Miss: eviction decision happens now; the displaced dirty page's
   // write-back occupies the disk ahead of our read (the PF buffer manager
   // must clean the frame before reusing it).
-  auto evicted = buffer_.insert(id, write);
+  auto evicted = buffer_.insert(page, write);
   if (evicted && evicted->dirty) {
     disk_.write();
   }

@@ -48,7 +48,7 @@ class PagedFile {
 
   /// Pre-loads a page as resident and clean without any timing (used to
   /// model a warm server at the start of a run).
-  void preload(ObjectId id) { buffer_.insert(id, /*dirty=*/false); }
+  void preload(ObjectId id) { buffer_.insert(page_of(id), /*dirty=*/false); }
 
   /// Installs a page whose contents just arrived over the network (a client
   /// returned an updated object): no read I/O, but a displaced dirty page

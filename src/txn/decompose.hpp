@@ -22,7 +22,7 @@ struct Subtask {
   std::uint32_t index = 0;          ///< position among siblings
   SiteId site = kInvalidSite;       ///< where it materializes
   std::vector<Operation> ops;       ///< the object requests it fulfils
-  sim::Duration length = 0;         ///< its share of the processing time
+  sim::Duration length{};           ///< its share of the processing time
   sim::SimTime deadline = sim::kTimeInfinity;  ///< inherited firm deadline
 };
 

@@ -101,7 +101,7 @@ class EdfQueue {
     for (std::size_t i = 1; i < entries_.size(); ++i) {
       RTDB_CHECK(entries_[i - 1].deadline <= entries_[i].deadline,
                  "EdfQueue out of order at %zu: %.9f > %.9f", i,
-                 entries_[i - 1].deadline, entries_[i].deadline);
+                 entries_[i - 1].deadline.sec(), entries_[i].deadline.sec());
     }
   }
 

@@ -18,7 +18,7 @@ namespace rtdb::txn {
 
 /// One object access. Queries take SL, updates take EL.
 struct Operation {
-  ObjectId object = 0;
+  ObjectId object{};
   bool is_update = false;
 
   [[nodiscard]] lock::LockMode mode() const {
@@ -54,9 +54,9 @@ constexpr bool is_live(TxnState s) {
 struct Transaction {
   TxnId id = kInvalidTxn;
   SiteId origin = kInvalidSite;     ///< client where the user submitted it
-  sim::SimTime arrival = 0;         ///< submission instant
+  sim::SimTime arrival{};           ///< submission instant
   sim::SimTime deadline = sim::kTimeInfinity;  ///< absolute firm deadline
-  sim::Duration length = 0;         ///< pure execution (processing) time
+  sim::Duration length{};           ///< pure execution (processing) time
   std::vector<Operation> ops;       ///< object accesses (10 on average)
   bool decomposable = false;        ///< may be split into sub-tasks (10 %)
 

@@ -11,7 +11,8 @@ UniformPattern::UniformPattern(std::size_t db_size) : db_size_(db_size) {
 }
 
 ObjectId UniformPattern::sample(std::size_t, sim::Rng& rng) const {
-  return static_cast<ObjectId>(rng.uniform_int(0, db_size_ - 1));
+  return ObjectId{
+      static_cast<ObjectId::Rep>(rng.uniform_int(0, db_size_ - 1))};
 }
 
 LocalizedRwPattern::LocalizedRwPattern(std::size_t db_size,
@@ -52,7 +53,7 @@ LocalizedRwPattern::LocalizedRwPattern(std::size_t db_size,
     throw std::invalid_argument("locality must be in [0,1]");
   }
   for (const ObjectId first : region_firsts_) {
-    if (static_cast<std::size_t>(first) + region_size > db_size) {
+    if (static_cast<std::size_t>(first.value()) + region_size > db_size) {
       throw std::invalid_argument(
           "LocalizedRwPattern: a region runs past the database end");
     }
@@ -62,13 +63,14 @@ LocalizedRwPattern::LocalizedRwPattern(std::size_t db_size,
 ObjectId LocalizedRwPattern::region_first(std::size_t client_index) const {
   assert(client_index < num_clients_);
   if (!region_firsts_.empty()) return region_firsts_[client_index];
-  return static_cast<ObjectId>(db_size_ - (client_index + 1) * region_size_);
+  return ObjectId{static_cast<ObjectId::Rep>(
+      db_size_ - (client_index + 1) * region_size_)};
 }
 
 bool LocalizedRwPattern::in_region(std::size_t client_index,
                                    ObjectId id) const {
   const ObjectId first = region_first(client_index);
-  return id >= first && id < first + region_size_;
+  return id >= first && id.value() < first.value() + region_size_;
 }
 
 HotColdPattern::HotColdPattern(std::size_t db_size, double hot_set_fraction,
@@ -90,10 +92,11 @@ HotColdPattern::HotColdPattern(std::size_t db_size, double hot_set_fraction,
 
 ObjectId HotColdPattern::sample(std::size_t, sim::Rng& rng) const {
   if (rng.bernoulli(hot_access_fraction_)) {
-    return static_cast<ObjectId>(rng.uniform_int(0, hot_count_ - 1));
+    return ObjectId{
+        static_cast<ObjectId::Rep>(rng.uniform_int(0, hot_count_ - 1))};
   }
-  return static_cast<ObjectId>(
-      rng.uniform_int(hot_count_, db_size_ - 1));
+  return ObjectId{
+      static_cast<ObjectId::Rep>(rng.uniform_int(hot_count_, db_size_ - 1))};
 }
 
 ObjectId LocalizedRwPattern::sample(std::size_t client_index,
@@ -101,15 +104,16 @@ ObjectId LocalizedRwPattern::sample(std::size_t client_index,
   assert(client_index < num_clients_);
   if (rng.bernoulli(locality_)) {
     const ObjectId first = region_first(client_index);
-    return static_cast<ObjectId>(
-        rng.uniform_int(first, first + region_size_ - 1));
+    return ObjectId{static_cast<ObjectId::Rep>(
+        rng.uniform_int(first.value(), first.value() + region_size_ - 1))};
   }
   // Zipf over the remainder: ranks map to ids in increasing order, skipping
   // the client's own region (rank 0 -> object 0, the global hot spot).
   const auto rank = zipf_.sample(rng);
   const ObjectId first = region_first(client_index);
-  const auto id = static_cast<ObjectId>(rank);
-  return id < first ? id : static_cast<ObjectId>(rank + region_size_);
+  const auto id = ObjectId{static_cast<ObjectId::Rep>(rank)};
+  return id < first ? id
+                    : ObjectId{static_cast<ObjectId::Rep>(rank + region_size_)};
 }
 
 }  // namespace rtdb::workload

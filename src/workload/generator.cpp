@@ -28,7 +28,7 @@ ClientWorkload::ClientWorkload(const WorkloadConfig& config,
       rng_(rng) {}
 
 sim::Duration ClientWorkload::next_interarrival() {
-  return rng_.exponential(config_.mean_interarrival);
+  return sim::Duration{rng_.exponential(config_.mean_interarrival.sec())};
 }
 
 txn::Transaction ClientWorkload::make_transaction(TxnId id,
@@ -37,8 +37,9 @@ txn::Transaction ClientWorkload::make_transaction(TxnId id,
   t.id = id;
   t.origin = site_;
   t.arrival = arrival;
-  t.length = rng_.exponential(config_.mean_length);
-  t.deadline = arrival + t.length + rng_.exponential(config_.mean_slack);
+  t.length = sim::Duration{rng_.exponential(config_.mean_length.sec())};
+  t.deadline = arrival + t.length +
+               sim::Duration{rng_.exponential(config_.mean_slack.sec())};
   t.decomposable = rng_.bernoulli(config_.decomposable_fraction);
 
   const std::size_t nops =
@@ -83,8 +84,8 @@ WorkloadSuite::WorkloadSuite(WorkloadConfig config, std::size_t num_clients,
     std::vector<ObjectId> firsts;
     firsts.reserve(num_clients);
     for (std::size_t i = 0; i < num_clients; ++i) {
-      firsts.push_back(static_cast<ObjectId>(
-          master.uniform_int(0, config_.db_size - region_size_)));
+      firsts.push_back(ObjectId{static_cast<ObjectId::Rep>(
+          master.uniform_int(0, config_.db_size - region_size_))});
     }
     pattern_ = std::make_unique<LocalizedRwPattern>(
         config_.db_size, std::move(firsts), region_size_, config_.locality,
@@ -93,7 +94,8 @@ WorkloadSuite::WorkloadSuite(WorkloadConfig config, std::size_t num_clients,
   clients_.reserve(num_clients);
   for (std::size_t i = 0; i < num_clients; ++i) {
     clients_.push_back(std::make_unique<ClientWorkload>(
-        config_, *pattern_, i, static_cast<SiteId>(kFirstClientSite + i),
+        config_, *pattern_, i,
+        SiteId{kFirstClientSite.value() + static_cast<SiteId::Rep>(i)},
         master.split()));
   }
 }

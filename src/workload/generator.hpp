@@ -33,14 +33,14 @@ enum class RegionPlacement : std::uint8_t {
 /// implicit, documented inline).
 struct WorkloadConfig {
   std::size_t db_size = 10'000;          ///< objects in the database
-  sim::Duration mean_interarrival = 10;  ///< Poisson arrivals per client
-  sim::Duration mean_length = 10;        ///< exponential processing time
+  sim::Duration mean_interarrival = sim::seconds(10);  ///< Poisson arrivals
+  sim::Duration mean_length = sim::seconds(10);  ///< exp. processing time
   /// Mean *extra* slack beyond the transaction's own length; the paper's
   /// "average transaction deadline 20 sec" = mean_length + mean_slack.
   /// (With a fully independent exp(20) deadline ~1/3 of transactions would
   /// be born infeasible; adding the length keeps the paper's 20 s mean while
   /// making every transaction feasible on an unloaded site.)
-  sim::Duration mean_slack = 10;
+  sim::Duration mean_slack = sim::seconds(10);
   double mean_ops = 10;                  ///< Poisson-distributed, min 1
   double update_fraction = 0.01;         ///< per-access update probability
   double decomposable_fraction = 0.10;   ///< paper §5.1: 10 %

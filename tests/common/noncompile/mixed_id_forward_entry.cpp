@@ -1,0 +1,14 @@
+// Expected-failure compile check: a ForwardEntry's client/txn fields take
+// their own id types; constructing one with the ids swapped must not
+// compile (pre-refactor this was a silent ulong/ulong mixup).
+#include "lock/forward_list.hpp"
+
+int main() {
+  rtdb::lock::ForwardEntry e{
+      .client = rtdb::ClientId{rtdb::TxnId{7}},  // must be a compile error
+      .txn = rtdb::TxnId{3},
+      .mode = rtdb::lock::LockMode::kShared,
+      .priority = rtdb::sim::SimTime{1.0},
+      .expires = rtdb::sim::SimTime{2.0}};
+  return static_cast<int>(e.client.value());
+}

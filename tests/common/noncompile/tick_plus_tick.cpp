@@ -1,0 +1,10 @@
+// Expected-failure compile check: adding two absolute time points is
+// dimensionally meaningless — only Tick ± Duration and Tick − Tick exist.
+#include "common/strong_time.hpp"
+
+int main() {
+  rtdb::Tick a{1.0};
+  rtdb::Tick b{2.0};
+  auto c = a + b;  // must be a compile error
+  return static_cast<int>(c.sec());
+}

@@ -1,0 +1,13 @@
+// Expected-failure compile check: kObjectShip is a server-to-client kind;
+// sending it from a client endpoint must trip Network::check_direction's
+// static_assert.
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  rtdb::sim::Simulator sim;
+  rtdb::net::Network net(sim, rtdb::net::NetworkConfig{});
+  net.send<rtdb::net::MessageKind::kObjectShip>(  // must be a compile error
+      rtdb::ClientId{1}, rtdb::net::kServer, [] {});
+  return 0;
+}

@@ -12,9 +12,9 @@ namespace {
 SystemConfig cfg(std::size_t clients) {
   SystemConfig c = SystemConfig::paper_defaults(5.0);
   c.num_clients = clients;
-  c.warmup = 100;
-  c.duration = 500;
-  c.drain = 250;
+  c.warmup = sim::seconds(100);
+  c.duration = sim::seconds(500);
+  c.drain = sim::seconds(250);
   c.seed = 2718;
   return c;
 }

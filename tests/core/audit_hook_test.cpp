@@ -19,7 +19,7 @@ TEST(AuditHook, FiresOnEveryIntervalBoundary) {
   int fired = 0;
   sim.set_audit_hook(3, [&] { ++fired; });
   for (int i = 0; i < 10; ++i) {
-    sim.after(static_cast<double>(i), [] {});
+    sim.after(sim::seconds(static_cast<double>(i)), [] {});
   }
   sim.run();
   // Boundaries at executed counts 3, 6 and 9.
@@ -32,7 +32,7 @@ TEST(AuditHook, IntervalZeroDisarms) {
   int fired = 0;
   sim.set_audit_hook(1, [&] { ++fired; });
   sim.set_audit_hook(0, [&] { ++fired; });
-  sim.after(0.0, [] {});
+  sim.after(sim::seconds(0.0), [] {});
   sim.run();
   EXPECT_EQ(fired, 0);
 }
@@ -41,8 +41,8 @@ TEST(AuditHook, StepAuditsToo) {
   sim::Simulator sim;
   int fired = 0;
   sim.set_audit_hook(1, [&] { ++fired; });
-  sim.after(0.0, [] {});
-  sim.after(1.0, [] {});
+  sim.after(sim::seconds(0.0), [] {});
+  sim.after(sim::seconds(1.0), [] {});
   EXPECT_TRUE(sim.step());
   EXPECT_EQ(fired, 1);
   EXPECT_TRUE(sim.step());
@@ -60,8 +60,8 @@ TEST_P(StructureAuditSweep, EveryEventAuditPassesCleanly) {
   cfg.num_clients = 6;
   cfg.workload.update_fraction = 0.20;
   cfg.seed = 7;
-  cfg.warmup = 20;
-  cfg.duration = 60;
+  cfg.warmup = sim::seconds(20);
+  cfg.duration = sim::seconds(60);
   cfg.audit_interval = 1;  // audit after every event
   auto sys = make_system(GetParam(), cfg);
   const RunMetrics m = sys->run();

@@ -9,34 +9,34 @@ using Kind = ConsistencyAuditor::Violation::Kind;
 
 TEST(Auditor, CleanSequenceHasNoViolations) {
   ConsistencyAuditor a;
-  a.on_read_commit(1, 2, 0, 1.0);       // read before any write: v0
-  a.on_write_commit(1, 3, 1, 2.0);      // first write: v1
-  a.on_read_commit(1, 4, 1, 3.0);       // read current
-  a.on_write_commit(1, 4, 2, 4.0);      // consecutive write
+  a.on_read_commit(ObjectId{1}, SiteId{2}, 0, sim::SimTime{1.0});       // read before any write: v0
+  a.on_write_commit(ObjectId{1}, SiteId{3}, 1, sim::SimTime{2.0});      // first write: v1
+  a.on_read_commit(ObjectId{1}, SiteId{4}, 1, sim::SimTime{3.0});       // read current
+  a.on_write_commit(ObjectId{1}, SiteId{4}, 2, sim::SimTime{4.0});      // consecutive write
   EXPECT_TRUE(a.violations().empty());
   EXPECT_EQ(a.audited_reads(), 2u);
   EXPECT_EQ(a.audited_writes(), 2u);
-  EXPECT_EQ(a.committed_version(1), 2u);
+  EXPECT_EQ(a.committed_version(ObjectId{1}), 2u);
 }
 
 TEST(Auditor, LostUpdateDetected) {
   ConsistencyAuditor a;
-  a.on_write_commit(7, 1, 1, 1.0);
-  a.on_write_commit(7, 2, 2, 2.0);
+  a.on_write_commit(ObjectId{7}, SiteId{1}, 1, sim::SimTime{1.0});
+  a.on_write_commit(ObjectId{7}, SiteId{2}, 2, sim::SimTime{2.0});
   // Site 3 writes from the stale base v1 -> produces v2 again.
-  a.on_write_commit(7, 3, 2, 3.0);
+  a.on_write_commit(ObjectId{7}, SiteId{3}, 2, sim::SimTime{3.0});
   ASSERT_EQ(a.violations().size(), 1u);
   EXPECT_EQ(a.violations()[0].kind, Kind::kLostUpdate);
-  EXPECT_EQ(a.violations()[0].object, 7u);
-  EXPECT_EQ(a.violations()[0].site, 3);
+  EXPECT_EQ(a.violations()[0].object, ObjectId{7});
+  EXPECT_EQ(a.violations()[0].site, SiteId{3});
   EXPECT_EQ(a.violations()[0].expected, 3u);
   EXPECT_EQ(a.violations()[0].got, 2u);
 }
 
 TEST(Auditor, StaleReadDetected) {
   ConsistencyAuditor a;
-  a.on_write_commit(5, 1, 1, 1.0);
-  a.on_read_commit(5, 2, 0, 2.0);  // read of the pre-write version
+  a.on_write_commit(ObjectId{5}, SiteId{1}, 1, sim::SimTime{1.0});
+  a.on_read_commit(ObjectId{5}, SiteId{2}, 0, sim::SimTime{2.0});  // read of the pre-write version
   ASSERT_EQ(a.violations().size(), 1u);
   EXPECT_EQ(a.violations()[0].kind, Kind::kStaleRead);
   EXPECT_EQ(a.violations()[0].expected, 1u);
@@ -46,30 +46,30 @@ TEST(Auditor, StaleReadDetected) {
 TEST(Auditor, FutureReadAlsoFlagged) {
   // Reading a version that does not exist yet is just as inconsistent.
   ConsistencyAuditor a;
-  a.on_read_commit(5, 2, 3, 1.0);
+  a.on_read_commit(ObjectId{5}, SiteId{2}, 3, sim::SimTime{1.0});
   ASSERT_EQ(a.violations().size(), 1u);
   EXPECT_EQ(a.violations()[0].kind, Kind::kStaleRead);
 }
 
 TEST(Auditor, DivergentCleanReturnDetected) {
   ConsistencyAuditor a;
-  a.on_clean_return(9, 4, /*version=*/1, /*server_version=*/2, 5.0);
+  a.on_clean_return(ObjectId{9}, SiteId{4}, /*version=*/1, /*server_version=*/2, sim::SimTime{5.0});
   ASSERT_EQ(a.violations().size(), 1u);
   EXPECT_EQ(a.violations()[0].kind, Kind::kDivergentCopy);
-  a.on_clean_return(9, 4, 2, 2, 6.0);  // matching copy: fine
+  a.on_clean_return(ObjectId{9}, SiteId{4}, 2, 2, sim::SimTime{6.0});  // matching copy: fine
   EXPECT_EQ(a.violations().size(), 1u);
 }
 
 TEST(Auditor, VersionsTrackedPerObject) {
   ConsistencyAuditor a;
-  a.on_write_commit(1, 1, 1, 1.0);
-  a.on_write_commit(2, 1, 1, 1.5);
-  a.on_read_commit(1, 2, 1, 2.0);
-  a.on_read_commit(2, 2, 1, 2.5);
+  a.on_write_commit(ObjectId{1}, SiteId{1}, 1, sim::SimTime{1.0});
+  a.on_write_commit(ObjectId{2}, SiteId{1}, 1, sim::SimTime{1.5});
+  a.on_read_commit(ObjectId{1}, SiteId{2}, 1, sim::SimTime{2.0});
+  a.on_read_commit(ObjectId{2}, SiteId{2}, 1, sim::SimTime{2.5});
   EXPECT_TRUE(a.violations().empty());
-  EXPECT_EQ(a.committed_version(1), 1u);
-  EXPECT_EQ(a.committed_version(2), 1u);
-  EXPECT_EQ(a.committed_version(99), 0u);
+  EXPECT_EQ(a.committed_version(ObjectId{1}), 1u);
+  EXPECT_EQ(a.committed_version(ObjectId{2}), 1u);
+  EXPECT_EQ(a.committed_version(ObjectId{99}), 0u);
 }
 
 TEST(Auditor, SyntheticHistoryReportsEachKindExactlyOnce) {
@@ -80,48 +80,48 @@ TEST(Auditor, SyntheticHistoryReportsEachKindExactlyOnce) {
   ConsistencyAuditor a;
 
   // Clean prologue across three objects.
-  a.on_write_commit(1, 1, 1, 1.0);
-  a.on_read_commit(1, 2, 1, 1.5);
-  a.on_write_commit(2, 2, 1, 2.0);
-  a.on_clean_return(2, 2, /*version=*/1, /*server_version=*/1, 2.5);
-  a.on_write_commit(3, 3, 1, 3.0);
+  a.on_write_commit(ObjectId{1}, SiteId{1}, 1, sim::SimTime{1.0});
+  a.on_read_commit(ObjectId{1}, SiteId{2}, 1, sim::SimTime{1.5});
+  a.on_write_commit(ObjectId{2}, SiteId{2}, 1, sim::SimTime{2.0});
+  a.on_clean_return(ObjectId{2}, SiteId{2}, /*version=*/1, /*server_version=*/1, sim::SimTime{2.5});
+  a.on_write_commit(ObjectId{3}, SiteId{3}, 1, sim::SimTime{3.0});
   ASSERT_TRUE(a.violations().empty());
 
   // Anomaly 1 — lost update: site 4 writes object 1 from the stale base
   // v0, producing v1 again instead of v2.
-  a.on_write_commit(1, 4, 1, 4.0);
+  a.on_write_commit(ObjectId{1}, SiteId{4}, 1, sim::SimTime{4.0});
 
   // Clean traffic between anomalies (the ledger resyncs to the anomalous
   // writer's version, so a read of v1 is current).
-  a.on_read_commit(1, 2, 1, 4.5);
-  a.on_write_commit(2, 1, 2, 5.0);
+  a.on_read_commit(ObjectId{1}, SiteId{2}, 1, sim::SimTime{4.5});
+  a.on_write_commit(ObjectId{2}, SiteId{1}, 2, sim::SimTime{5.0});
 
   // Anomaly 2 — stale read: site 5 commits a read of object 2 at v1 after
   // v2 was installed.
-  a.on_read_commit(2, 5, 1, 6.0);
+  a.on_read_commit(ObjectId{2}, SiteId{5}, 1, sim::SimTime{6.0});
 
   // More clean traffic.
-  a.on_read_commit(2, 3, 2, 6.5);
-  a.on_write_commit(3, 3, 2, 7.0);
+  a.on_read_commit(ObjectId{2}, SiteId{3}, 2, sim::SimTime{6.5});
+  a.on_write_commit(ObjectId{3}, SiteId{3}, 2, sim::SimTime{7.0});
 
   // Anomaly 3 — divergent copy: a clean return of object 3 claims v1
   // while the server holds v2.
-  a.on_clean_return(3, 6, /*version=*/1, /*server_version=*/2, 8.0);
+  a.on_clean_return(ObjectId{3}, SiteId{6}, /*version=*/1, /*server_version=*/2, sim::SimTime{8.0});
 
   // Clean epilogue.
-  a.on_read_commit(3, 1, 2, 9.0);
-  a.on_clean_return(1, 2, 1, 1, 9.5);
+  a.on_read_commit(ObjectId{3}, SiteId{1}, 2, sim::SimTime{9.0});
+  a.on_clean_return(ObjectId{1}, SiteId{2}, 1, 1, sim::SimTime{9.5});
 
   ASSERT_EQ(a.violations().size(), 3u);
   EXPECT_EQ(a.violations()[0].kind, Kind::kLostUpdate);
-  EXPECT_EQ(a.violations()[0].object, 1u);
-  EXPECT_EQ(a.violations()[0].site, 4);
+  EXPECT_EQ(a.violations()[0].object, ObjectId{1});
+  EXPECT_EQ(a.violations()[0].site, SiteId{4});
   EXPECT_EQ(a.violations()[1].kind, Kind::kStaleRead);
-  EXPECT_EQ(a.violations()[1].object, 2u);
-  EXPECT_EQ(a.violations()[1].site, 5);
+  EXPECT_EQ(a.violations()[1].object, ObjectId{2});
+  EXPECT_EQ(a.violations()[1].site, SiteId{5});
   EXPECT_EQ(a.violations()[2].kind, Kind::kDivergentCopy);
-  EXPECT_EQ(a.violations()[2].object, 3u);
-  EXPECT_EQ(a.violations()[2].site, 6);
+  EXPECT_EQ(a.violations()[2].object, ObjectId{3});
+  EXPECT_EQ(a.violations()[2].site, SiteId{6});
   for (const auto& v : a.violations()) {
     EXPECT_NE(v.expected, v.got);
   }
@@ -129,8 +129,8 @@ TEST(Auditor, SyntheticHistoryReportsEachKindExactlyOnce) {
 
 TEST(Auditor, DescribeMentionsEssentials) {
   ConsistencyAuditor a;
-  a.on_write_commit(7, 1, 1, 1.0);
-  a.on_write_commit(7, 3, 1, 3.5);
+  a.on_write_commit(ObjectId{7}, SiteId{1}, 1, sim::SimTime{1.0});
+  a.on_write_commit(ObjectId{7}, SiteId{3}, 1, sim::SimTime{3.5});
   const auto text = ConsistencyAuditor::describe(a.violations()[0]);
   EXPECT_NE(text.find("lost update"), std::string::npos);
   EXPECT_NE(text.find("object 7"), std::string::npos);

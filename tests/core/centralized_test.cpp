@@ -8,9 +8,9 @@ namespace {
 SystemConfig small_cfg(std::size_t clients, double update_pct = 5.0) {
   SystemConfig cfg = SystemConfig::paper_defaults(update_pct);
   cfg.num_clients = clients;
-  cfg.warmup = 50;
-  cfg.duration = 300;
-  cfg.drain = 200;
+  cfg.warmup = sim::seconds(50);
+  cfg.duration = sim::seconds(300);
+  cfg.drain = sim::seconds(200);
   cfg.seed = 1234;
   return cfg;
 }

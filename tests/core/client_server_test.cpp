@@ -10,9 +10,9 @@ namespace {
 SystemConfig small_cfg(std::size_t clients, double update_pct = 5.0) {
   SystemConfig cfg = SystemConfig::paper_defaults(update_pct);
   cfg.num_clients = clients;
-  cfg.warmup = 100;
-  cfg.duration = 400;
-  cfg.drain = 200;
+  cfg.warmup = sim::seconds(100);
+  cfg.duration = sim::seconds(400);
+  cfg.drain = sim::seconds(200);
   cfg.seed = 777;
   return cfg;
 }
@@ -68,7 +68,7 @@ TEST(ClientServer, CacheHitsAccumulate) {
   // region fits the 1000-object cache even with few simulated clients.
   auto cfg = small_cfg(8, 1.0);
   cfg.workload.region_size = 500;
-  cfg.warmup = 400;
+  cfg.warmup = sim::seconds(400);
   const auto m = run_cs(cfg);
   EXPECT_GT(m.cache_hit_percent(), 40.0) << summarize(m);
   EXPECT_GT(m.cache_hits, 0u);
@@ -117,10 +117,9 @@ TEST(ClientServer, ClientStateQuiescesAfterRun) {
   SystemConfig cfg = small_cfg(6);
   ClientServerSystem sys(cfg);
   sys.run();
-  for (SiteId s = kFirstClientSite;
-       s < kFirstClientSite + static_cast<SiteId>(cfg.num_clients); ++s) {
-    EXPECT_TRUE(sys.client(s).lock_manager().idle()) << "site " << s;
-    EXPECT_EQ(sys.client(s).live_count(), 0u) << "site " << s;
+  for (ClientId c{1}; c.value() <= static_cast<int>(cfg.num_clients); ++c) {
+    EXPECT_TRUE(sys.client(c).lock_manager().idle()) << "site " << c;
+    EXPECT_EQ(sys.client(c).live_count(), 0u) << "site " << c;
   }
 }
 

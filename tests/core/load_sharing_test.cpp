@@ -9,9 +9,9 @@ namespace {
 SystemConfig ls_cfg(std::size_t clients, double update_pct = 5.0) {
   SystemConfig cfg = SystemConfig::paper_defaults(update_pct);
   cfg.num_clients = clients;
-  cfg.warmup = 100;
-  cfg.duration = 400;
-  cfg.drain = 200;
+  cfg.warmup = sim::seconds(100);
+  cfg.duration = sim::seconds(400);
+  cfg.drain = sim::seconds(200);
   cfg.seed = 4242;
   cfg.ls = LsOptions::all();
   return cfg;
@@ -126,10 +126,9 @@ TEST(LoadSharing, QuiescesAfterRun) {
   auto cfg = ls_cfg(12);
   ClientServerSystem sys(cfg);
   sys.run();
-  for (SiteId s = kFirstClientSite;
-       s < kFirstClientSite + static_cast<SiteId>(cfg.num_clients); ++s) {
-    EXPECT_EQ(sys.client(s).live_count(), 0u) << "site " << s;
-    EXPECT_TRUE(sys.client(s).lock_manager().idle()) << "site " << s;
+  for (ClientId c{1}; c.value() <= static_cast<int>(cfg.num_clients); ++c) {
+    EXPECT_EQ(sys.client(c).live_count(), 0u) << "site " << c;
+    EXPECT_TRUE(sys.client(c).lock_manager().idle()) << "site " << c;
   }
 }
 
@@ -137,7 +136,7 @@ TEST(LoadSharing, BeatsBasicClientServerAtHighContention) {
   // The paper's headline: LS completes more transactions than CS. Averaged
   // over seeds to damp run-to-run noise.
   SystemConfig cfg = ls_cfg(20, 20.0);
-  cfg.duration = 600;
+  cfg.duration = sim::seconds(600);
   const auto ls = run_replicated(SystemKind::kLoadSharing, cfg, 3);
   const auto cs = run_replicated(SystemKind::kClientServer, cfg, 3);
   EXPECT_GT(ls.mean_success_percent() + 0.5, cs.mean_success_percent());

@@ -139,9 +139,10 @@ TEST(SystemKind, Names) {
 TEST(SystemConfig, PaperDefaultsFollowTable1) {
   const auto cfg = SystemConfig::paper_defaults(5.0);
   EXPECT_EQ(cfg.workload.db_size, 10'000u);
-  EXPECT_DOUBLE_EQ(cfg.workload.mean_interarrival, 10.0);
-  EXPECT_DOUBLE_EQ(cfg.workload.mean_length, 10.0);
-  EXPECT_DOUBLE_EQ(cfg.workload.mean_length + cfg.workload.mean_slack, 20.0);
+  EXPECT_DOUBLE_EQ(cfg.workload.mean_interarrival.sec(), 10.0);
+  EXPECT_DOUBLE_EQ(cfg.workload.mean_length.sec(), 10.0);
+  EXPECT_DOUBLE_EQ((cfg.workload.mean_length + cfg.workload.mean_slack).sec(),
+                   20.0);
   EXPECT_DOUBLE_EQ(cfg.workload.mean_ops, 10.0);
   EXPECT_DOUBLE_EQ(cfg.workload.update_fraction, 0.05);
   EXPECT_DOUBLE_EQ(cfg.workload.decomposable_fraction, 0.10);

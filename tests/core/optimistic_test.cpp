@@ -10,9 +10,9 @@ namespace {
 SystemConfig occ_cfg(std::size_t clients, double update_pct) {
   SystemConfig cfg = SystemConfig::paper_defaults(update_pct);
   cfg.num_clients = clients;
-  cfg.warmup = 80;
-  cfg.duration = 350;
-  cfg.drain = 200;
+  cfg.warmup = sim::seconds(80);
+  cfg.duration = sim::seconds(350);
+  cfg.drain = sim::seconds(200);
   cfg.seed = 321;
   return cfg;
 }

@@ -38,8 +38,8 @@ txn::Transaction make_txn(TxnId id, SiteId origin, sim::SimTime now,
   t.id = id;
   t.origin = origin;
   t.arrival = now;
-  t.length = length;
-  t.deadline = now + length + slack;
+  t.length = sim::seconds(length);
+  t.deadline = now + sim::seconds(length + slack);
   t.ops = std::move(ops);
   return t;
 }
@@ -47,28 +47,28 @@ txn::Transaction make_txn(TxnId id, SiteId origin, sim::SimTime now,
 TEST(ProtocolScenario, FirstAccessFetchesFromServerAndCaches) {
   ClientServerSystem sys(quiet_cfg(2, false));
   sys.bootstrap();
-  sys.client(1).on_new_transaction(
-      make_txn(1001, 1, 0, {{7, false}, {8, false}}));
-  sys.simulator().run_until(30);
+  sys.client(ClientId{1}).on_new_transaction(
+      make_txn(TxnId{1001}, SiteId{1}, sim::SimTime{0}, {{ObjectId{7}, false}, {ObjectId{8}, false}}));
+  sys.simulator().run_until(sim::SimTime{30});
   // Both objects were shipped and are now cached under SL.
   EXPECT_EQ(sys.network().stats().messages(net::MessageKind::kObjectShip),
             2u);
-  EXPECT_TRUE(sys.client(1).cache().contains(7));
-  EXPECT_EQ(sys.client(1).cached_server_mode(7), LockMode::kShared);
-  EXPECT_EQ(sys.server().lock_table().holder_mode(7, 1), LockMode::kShared);
+  EXPECT_TRUE(sys.client(ClientId{1}).cache().contains(ObjectId{7}));
+  EXPECT_EQ(sys.client(ClientId{1}).cached_server_mode(ObjectId{7}), LockMode::kShared);
+  EXPECT_EQ(sys.server().lock_table().holder_mode(ObjectId{7}, ClientId{1}), LockMode::kShared);
 }
 
 TEST(ProtocolScenario, SecondAccessIsAllLocal) {
   ClientServerSystem sys(quiet_cfg(2, false));
   sys.bootstrap();
-  sys.client(1).on_new_transaction(make_txn(1001, 1, 0, {{7, false}}));
-  sys.simulator().run_until(30);
+  sys.client(ClientId{1}).on_new_transaction(make_txn(TxnId{1001}, SiteId{1}, sim::SimTime{0}, {{ObjectId{7}, false}}));
+  sys.simulator().run_until(sim::SimTime{30});
   const auto ships_before =
       sys.network().stats().messages(net::MessageKind::kObjectShip);
   const auto reqs_before =
       sys.network().stats().messages(net::MessageKind::kObjectRequest);
-  sys.client(1).on_new_transaction(make_txn(1002, 1, 30, {{7, false}}));
-  sys.simulator().run_until(60);
+  sys.client(ClientId{1}).on_new_transaction(make_txn(TxnId{1002}, SiteId{1}, sim::SimTime{30}, {{ObjectId{7}, false}}));
+  sys.simulator().run_until(sim::SimTime{60});
   // Inter-transaction caching: no further protocol traffic for object 7.
   EXPECT_EQ(sys.network().stats().messages(net::MessageKind::kObjectShip),
             ships_before);
@@ -79,13 +79,13 @@ TEST(ProtocolScenario, SecondAccessIsAllLocal) {
 TEST(ProtocolScenario, SharedReadersCoexistAcrossClients) {
   ClientServerSystem sys(quiet_cfg(2, false));
   sys.bootstrap();
-  sys.client(1).on_new_transaction(make_txn(1001, 1, 0, {{7, false}}));
-  sys.simulator().run_until(30);
-  sys.client(2).on_new_transaction(make_txn(1002, 2, 30, {{7, false}}));
-  sys.simulator().run_until(60);
+  sys.client(ClientId{1}).on_new_transaction(make_txn(TxnId{1001}, SiteId{1}, sim::SimTime{0}, {{ObjectId{7}, false}}));
+  sys.simulator().run_until(sim::SimTime{30});
+  sys.client(ClientId{2}).on_new_transaction(make_txn(TxnId{1002}, SiteId{2}, sim::SimTime{30}, {{ObjectId{7}, false}}));
+  sys.simulator().run_until(sim::SimTime{60});
   // Both clients end up holding SL; no recall was needed.
-  EXPECT_EQ(sys.server().lock_table().holder_mode(7, 1), LockMode::kShared);
-  EXPECT_EQ(sys.server().lock_table().holder_mode(7, 2), LockMode::kShared);
+  EXPECT_EQ(sys.server().lock_table().holder_mode(ObjectId{7}, ClientId{1}), LockMode::kShared);
+  EXPECT_EQ(sys.server().lock_table().holder_mode(ObjectId{7}, ClientId{2}), LockMode::kShared);
   EXPECT_EQ(sys.network().stats().messages(net::MessageKind::kObjectRecall),
             0u);
 }
@@ -93,45 +93,45 @@ TEST(ProtocolScenario, SharedReadersCoexistAcrossClients) {
 TEST(ProtocolScenario, WriterRecallsReaderEntirely) {
   ClientServerSystem sys(quiet_cfg(2, false));
   sys.bootstrap();
-  sys.client(1).on_new_transaction(make_txn(1001, 1, 0, {{7, false}}));
-  sys.simulator().run_until(30);
-  sys.client(2).on_new_transaction(make_txn(1002, 2, 30, {{7, true}}));
-  sys.simulator().run_until(80);
+  sys.client(ClientId{1}).on_new_transaction(make_txn(TxnId{1001}, SiteId{1}, sim::SimTime{0}, {{ObjectId{7}, false}}));
+  sys.simulator().run_until(sim::SimTime{30});
+  sys.client(ClientId{2}).on_new_transaction(make_txn(TxnId{1002}, SiteId{2}, sim::SimTime{30}, {{ObjectId{7}, true}}));
+  sys.simulator().run_until(sim::SimTime{80});
   // The EL demanded a full release from client 1.
   EXPECT_GE(sys.network().stats().messages(net::MessageKind::kObjectRecall),
             1u);
-  EXPECT_EQ(sys.server().lock_table().holder_mode(7, 1), LockMode::kNone);
-  EXPECT_FALSE(sys.client(1).cache().contains(7));
-  EXPECT_EQ(sys.server().lock_table().holder_mode(7, 2),
+  EXPECT_EQ(sys.server().lock_table().holder_mode(ObjectId{7}, ClientId{1}), LockMode::kNone);
+  EXPECT_FALSE(sys.client(ClientId{1}).cache().contains(ObjectId{7}));
+  EXPECT_EQ(sys.server().lock_table().holder_mode(ObjectId{7}, ClientId{2}),
             LockMode::kExclusive);
 }
 
 TEST(ProtocolScenario, SharedRequestDowngradesWriter) {
   ClientServerSystem sys(quiet_cfg(2, false));
   sys.bootstrap();
-  sys.client(1).on_new_transaction(make_txn(1001, 1, 0, {{7, true}}));
-  sys.simulator().run_until(30);
-  ASSERT_EQ(sys.server().lock_table().holder_mode(7, 1),
+  sys.client(ClientId{1}).on_new_transaction(make_txn(TxnId{1001}, SiteId{1}, sim::SimTime{0}, {{ObjectId{7}, true}}));
+  sys.simulator().run_until(sim::SimTime{30});
+  ASSERT_EQ(sys.server().lock_table().holder_mode(ObjectId{7}, ClientId{1}),
             LockMode::kExclusive);
-  sys.client(2).on_new_transaction(make_txn(1002, 2, 30, {{7, false}}));
-  sys.simulator().run_until(80);
+  sys.client(ClientId{2}).on_new_transaction(make_txn(TxnId{1002}, SiteId{2}, sim::SimTime{30}, {{ObjectId{7}, false}}));
+  sys.simulator().run_until(sim::SimTime{80});
   // Paper §2's modified callback: the EL holder returns the object but
   // keeps a SL and its cached copy; both clients now share read access.
-  EXPECT_EQ(sys.server().lock_table().holder_mode(7, 1), LockMode::kShared);
-  EXPECT_TRUE(sys.client(1).cache().contains(7));
-  EXPECT_EQ(sys.server().lock_table().holder_mode(7, 2), LockMode::kShared);
+  EXPECT_EQ(sys.server().lock_table().holder_mode(ObjectId{7}, ClientId{1}), LockMode::kShared);
+  EXPECT_TRUE(sys.client(ClientId{1}).cache().contains(ObjectId{7}));
+  EXPECT_EQ(sys.server().lock_table().holder_mode(ObjectId{7}, ClientId{2}), LockMode::kShared);
 }
 
 TEST(ProtocolScenario, DirtyObjectTravelsBackOnRecall) {
   ClientServerSystem sys(quiet_cfg(2, false));
   sys.bootstrap();
-  sys.client(1).on_new_transaction(make_txn(1001, 1, 0, {{7, true}}));
-  sys.simulator().run_until(30);
-  EXPECT_TRUE(sys.client(1).cache().is_dirty(7));
-  sys.client(2).on_new_transaction(make_txn(1002, 2, 30, {{7, true}}));
-  sys.simulator().run_until(80);
+  sys.client(ClientId{1}).on_new_transaction(make_txn(TxnId{1001}, SiteId{1}, sim::SimTime{0}, {{ObjectId{7}, true}}));
+  sys.simulator().run_until(sim::SimTime{30});
+  EXPECT_TRUE(sys.client(ClientId{1}).cache().is_dirty(ObjectId{7}));
+  sys.client(ClientId{2}).on_new_transaction(make_txn(TxnId{1002}, SiteId{2}, sim::SimTime{30}, {{ObjectId{7}, true}}));
+  sys.simulator().run_until(sim::SimTime{80});
   // The update left client 1 with the recall response.
-  EXPECT_FALSE(sys.client(1).cache().contains(7));
+  EXPECT_FALSE(sys.client(ClientId{1}).cache().contains(ObjectId{7}));
   EXPECT_GE(sys.network().stats().messages(net::MessageKind::kObjectReturn),
             1u);
 }
@@ -139,28 +139,28 @@ TEST(ProtocolScenario, DirtyObjectTravelsBackOnRecall) {
 TEST(ProtocolScenario, UpgradeIsLockOnlyMessage) {
   ClientServerSystem sys(quiet_cfg(2, false));
   sys.bootstrap();
-  sys.client(1).on_new_transaction(make_txn(1001, 1, 0, {{7, false}}));
-  sys.simulator().run_until(30);
+  sys.client(ClientId{1}).on_new_transaction(make_txn(TxnId{1001}, SiteId{1}, sim::SimTime{0}, {{ObjectId{7}, false}}));
+  sys.simulator().run_until(sim::SimTime{30});
   const auto ships_before =
       sys.network().stats().messages(net::MessageKind::kObjectShip);
-  sys.client(1).on_new_transaction(make_txn(1002, 1, 30, {{7, true}}));
-  sys.simulator().run_until(60);
+  sys.client(ClientId{1}).on_new_transaction(make_txn(TxnId{1002}, SiteId{1}, sim::SimTime{30}, {{ObjectId{7}, true}}));
+  sys.simulator().run_until(sim::SimTime{60});
   // SL -> EL upgrade with the data already cached: a lock-only grant.
   EXPECT_EQ(sys.network().stats().messages(net::MessageKind::kObjectShip),
             ships_before);
   EXPECT_EQ(sys.network().stats().messages(net::MessageKind::kLockGrant),
             1u);
-  EXPECT_EQ(sys.server().lock_table().holder_mode(7, 1),
+  EXPECT_EQ(sys.server().lock_table().holder_mode(ObjectId{7}, ClientId{1}),
             LockMode::kExclusive);
 }
 
 TEST(ProtocolScenario, UpgradeNeverRecallsSelf) {
   ClientServerSystem sys(quiet_cfg(2, false));
   sys.bootstrap();
-  sys.client(1).on_new_transaction(make_txn(1001, 1, 0, {{7, false}}));
-  sys.simulator().run_until(30);
-  sys.client(1).on_new_transaction(make_txn(1002, 1, 30, {{7, true}}));
-  sys.simulator().run_until(60);
+  sys.client(ClientId{1}).on_new_transaction(make_txn(TxnId{1001}, SiteId{1}, sim::SimTime{0}, {{ObjectId{7}, false}}));
+  sys.simulator().run_until(sim::SimTime{30});
+  sys.client(ClientId{1}).on_new_transaction(make_txn(TxnId{1002}, SiteId{1}, sim::SimTime{30}, {{ObjectId{7}, true}}));
+  sys.simulator().run_until(sim::SimTime{60});
   // The upgrading client must not be asked to call back its own lock.
   EXPECT_EQ(sys.network().stats().messages(net::MessageKind::kObjectRecall),
             0u);
@@ -169,15 +169,15 @@ TEST(ProtocolScenario, UpgradeNeverRecallsSelf) {
 TEST(ProtocolScenario, UpgradeRecallsOtherReadersOnly) {
   ClientServerSystem sys(quiet_cfg(3, false));
   sys.bootstrap();
-  sys.client(1).on_new_transaction(make_txn(1001, 1, 0, {{7, false}}));
-  sys.client(2).on_new_transaction(make_txn(1002, 2, 0, {{7, false}}));
-  sys.simulator().run_until(30);
-  sys.client(1).on_new_transaction(make_txn(1003, 1, 30, {{7, true}}));
-  sys.simulator().run_until(80);
+  sys.client(ClientId{1}).on_new_transaction(make_txn(TxnId{1001}, SiteId{1}, sim::SimTime{0}, {{ObjectId{7}, false}}));
+  sys.client(ClientId{2}).on_new_transaction(make_txn(TxnId{1002}, SiteId{2}, sim::SimTime{0}, {{ObjectId{7}, false}}));
+  sys.simulator().run_until(sim::SimTime{30});
+  sys.client(ClientId{1}).on_new_transaction(make_txn(TxnId{1003}, SiteId{1}, sim::SimTime{30}, {{ObjectId{7}, true}}));
+  sys.simulator().run_until(sim::SimTime{80});
   EXPECT_EQ(sys.network().stats().messages(net::MessageKind::kObjectRecall),
             1u);  // only client 2
-  EXPECT_EQ(sys.server().lock_table().holder_mode(7, 2), LockMode::kNone);
-  EXPECT_EQ(sys.server().lock_table().holder_mode(7, 1),
+  EXPECT_EQ(sys.server().lock_table().holder_mode(ObjectId{7}, ClientId{2}), LockMode::kNone);
+  EXPECT_EQ(sys.server().lock_table().holder_mode(ObjectId{7}, ClientId{1}),
             LockMode::kExclusive);
 }
 
@@ -189,13 +189,13 @@ TEST(ProtocolScenario, EvictionReturnsLockVoluntarily) {
   sys.bootstrap();
   // Three distinct objects through a 2-object cache: the first is evicted
   // and its lock returned without any recall.
-  sys.client(1).on_new_transaction(make_txn(1001, 1, 0, {{7, false}}));
-  sys.simulator().run_until(30);
-  sys.client(1).on_new_transaction(make_txn(1002, 1, 30, {{8, false}}));
-  sys.simulator().run_until(60);
-  sys.client(1).on_new_transaction(make_txn(1003, 1, 60, {{9, false}}));
-  sys.simulator().run_until(90);
-  EXPECT_EQ(sys.server().lock_table().holder_mode(7, 1), LockMode::kNone);
+  sys.client(ClientId{1}).on_new_transaction(make_txn(TxnId{1001}, SiteId{1}, sim::SimTime{0}, {{ObjectId{7}, false}}));
+  sys.simulator().run_until(sim::SimTime{30});
+  sys.client(ClientId{1}).on_new_transaction(make_txn(TxnId{1002}, SiteId{1}, sim::SimTime{30}, {{ObjectId{8}, false}}));
+  sys.simulator().run_until(sim::SimTime{60});
+  sys.client(ClientId{1}).on_new_transaction(make_txn(TxnId{1003}, SiteId{1}, sim::SimTime{60}, {{ObjectId{9}, false}}));
+  sys.simulator().run_until(sim::SimTime{90});
+  EXPECT_EQ(sys.server().lock_table().holder_mode(ObjectId{7}, ClientId{1}), LockMode::kNone);
   EXPECT_GE(sys.network().stats().messages(net::MessageKind::kObjectReturn),
             1u);
   EXPECT_EQ(sys.network().stats().messages(net::MessageKind::kObjectRecall),
@@ -206,19 +206,19 @@ TEST(ProtocolScenario, WriterWriterHandoffSerializes) {
   ClientServerSystem sys(quiet_cfg(3, false));
   sys.bootstrap();
   // Client 1 writes 7 with a long transaction; clients 2 and 3 want it too.
-  sys.client(1).on_new_transaction(
-      make_txn(1001, 1, 0, {{7, true}}, /*length=*/20.0));
-  sys.simulator().run_until(5);
-  sys.client(2).on_new_transaction(
-      make_txn(1002, 2, 5, {{7, true}}, 1.0));
-  sys.client(3).on_new_transaction(
-      make_txn(1003, 3, 5, {{7, true}}, 1.0));
-  sys.simulator().run_until(100);
+  sys.client(ClientId{1}).on_new_transaction(
+      make_txn(TxnId{1001}, SiteId{1}, sim::SimTime{0}, {{ObjectId{7}, true}}, /*length=*/20.0));
+  sys.simulator().run_until(sim::SimTime{5});
+  sys.client(ClientId{2}).on_new_transaction(
+      make_txn(TxnId{1002}, SiteId{2}, sim::SimTime{5}, {{ObjectId{7}, true}}, 1.0));
+  sys.client(ClientId{3}).on_new_transaction(
+      make_txn(TxnId{1003}, SiteId{3}, sim::SimTime{5}, {{ObjectId{7}, true}}, 1.0));
+  sys.simulator().run_until(sim::SimTime{100});
   // Everyone finished; the final holder is whoever served last, and the
   // object was never lost.
   const auto m = sys.live_metrics();
   EXPECT_EQ(m.deadlock_refusals, 0u);
-  const auto holders = sys.server().lock_table().holders(7);
+  const auto holders = sys.server().lock_table().holders(ObjectId{7});
   EXPECT_LE(holders.size(), 1u);
 }
 
@@ -227,28 +227,28 @@ TEST(ProtocolScenario, ForwardListCirculatesWriters) {
   sys.bootstrap();
   // Client 1 holds 7 under a long write; 2 and 3 queue EL requests within
   // one collection window -> an exclusive chain ships 1 -> 2 -> 3.
-  sys.client(1).on_new_transaction(
-      make_txn(1001, 1, 0, {{7, true}}, /*length=*/10.0));
-  sys.simulator().run_until(2);
-  sys.client(2).on_new_transaction(make_txn(1002, 2, 2, {{7, true}}, 0.5));
-  sys.client(3).on_new_transaction(make_txn(1003, 3, 2, {{7, true}}, 0.5));
-  sys.simulator().run_until(100);
+  sys.client(ClientId{1}).on_new_transaction(
+      make_txn(TxnId{1001}, SiteId{1}, sim::SimTime{0}, {{ObjectId{7}, true}}, /*length=*/10.0));
+  sys.simulator().run_until(sim::SimTime{2});
+  sys.client(ClientId{2}).on_new_transaction(make_txn(TxnId{1002}, SiteId{2}, sim::SimTime{2}, {{ObjectId{7}, true}}, 0.5));
+  sys.client(ClientId{3}).on_new_transaction(make_txn(TxnId{1003}, SiteId{3}, sim::SimTime{2}, {{ObjectId{7}, true}}, 0.5));
+  sys.simulator().run_until(sim::SimTime{100});
   EXPECT_GE(sys.live_metrics().forward_list_satisfactions, 1u);
   EXPECT_GE(sys.network().stats().messages(net::MessageKind::kObjectForward),
             1u);
   // The object went home after the chain (circulated copies are returned).
-  EXPECT_FALSE(sys.server().lock_table().is_circulating(7));
+  EXPECT_FALSE(sys.server().lock_table().is_circulating(ObjectId{7}));
 }
 
 TEST(ProtocolScenario, CsNeverForwards) {
   ClientServerSystem sys(quiet_cfg(3, false));
   sys.bootstrap();
-  sys.client(1).on_new_transaction(
-      make_txn(1001, 1, 0, {{7, true}}, 10.0));
-  sys.simulator().run_until(2);
-  sys.client(2).on_new_transaction(make_txn(1002, 2, 2, {{7, true}}, 0.5));
-  sys.client(3).on_new_transaction(make_txn(1003, 3, 2, {{7, true}}, 0.5));
-  sys.simulator().run_until(100);
+  sys.client(ClientId{1}).on_new_transaction(
+      make_txn(TxnId{1001}, SiteId{1}, sim::SimTime{0}, {{ObjectId{7}, true}}, 10.0));
+  sys.simulator().run_until(sim::SimTime{2});
+  sys.client(ClientId{2}).on_new_transaction(make_txn(TxnId{1002}, SiteId{2}, sim::SimTime{2}, {{ObjectId{7}, true}}, 0.5));
+  sys.client(ClientId{3}).on_new_transaction(make_txn(TxnId{1003}, SiteId{3}, sim::SimTime{2}, {{ObjectId{7}, true}}, 0.5));
+  sys.simulator().run_until(sim::SimTime{100});
   EXPECT_EQ(sys.network().stats().messages(net::MessageKind::kObjectForward),
             0u);
   EXPECT_EQ(sys.live_metrics().forward_list_satisfactions, 0u);
@@ -258,28 +258,28 @@ TEST(ProtocolScenario, ExpiredTransactionNeverCommits) {
   ClientServerSystem sys(quiet_cfg(2, false));
   sys.bootstrap();
   // A transaction whose deadline passes while the data is held elsewhere.
-  sys.client(1).on_new_transaction(
-      make_txn(1001, 1, 0, {{7, true}}, /*length=*/30.0));
-  sys.simulator().run_until(2);
-  sys.client(2).on_new_transaction(
-      make_txn(1002, 2, 2, {{7, false}}, 1.0, /*slack=*/3.0));
-  sys.simulator().run_until(100);
+  sys.client(ClientId{1}).on_new_transaction(
+      make_txn(TxnId{1001}, SiteId{1}, sim::SimTime{0}, {{ObjectId{7}, true}}, /*length=*/30.0));
+  sys.simulator().run_until(sim::SimTime{2});
+  sys.client(ClientId{2}).on_new_transaction(
+      make_txn(TxnId{1002}, SiteId{2}, sim::SimTime{2}, {{ObjectId{7}, false}}, 1.0, /*slack=*/3.0));
+  sys.simulator().run_until(sim::SimTime{100});
   // Client 2's transaction missed (writer holds 7 for 30 s) and the
   // cluster is quiescent afterwards.
-  EXPECT_EQ(sys.client(2).live_count(), 0u);
-  EXPECT_TRUE(sys.client(2).lock_manager().idle());
+  EXPECT_EQ(sys.client(ClientId{2}).live_count(), 0u);
+  EXPECT_TRUE(sys.client(ClientId{2}).lock_manager().idle());
 }
 
 TEST(ProtocolScenario, DeterministicMessageTrace) {
   const auto run_trace = [] {
     ClientServerSystem sys(quiet_cfg(3, true));
     sys.bootstrap();
-    sys.client(1).on_new_transaction(
-        make_txn(1, 1, 0, {{7, true}, {8, false}}, 2.0));
-    sys.client(2).on_new_transaction(
-        make_txn(2, 2, 0, {{7, false}, {9, true}}, 2.0));
-    sys.client(3).on_new_transaction(make_txn(3, 3, 0, {{7, true}}, 2.0));
-    sys.simulator().run_until(200);
+    sys.client(ClientId{1}).on_new_transaction(
+        make_txn(TxnId{1}, SiteId{1}, sim::SimTime{0}, {{ObjectId{7}, true}, {ObjectId{8}, false}}, 2.0));
+    sys.client(ClientId{2}).on_new_transaction(
+        make_txn(TxnId{2}, SiteId{2}, sim::SimTime{0}, {{ObjectId{7}, false}, {ObjectId{9}, true}}, 2.0));
+    sys.client(ClientId{3}).on_new_transaction(make_txn(TxnId{3}, SiteId{3}, sim::SimTime{0}, {{ObjectId{7}, true}}, 2.0));
+    sys.simulator().run_until(sim::SimTime{200});
     return sys.network().stats().total_messages();
   };
   EXPECT_EQ(run_trace(), run_trace());
@@ -293,21 +293,21 @@ TEST(ProtocolScenario, UpgradeDeadlockResolvedByRestart) {
   // least one of them commit instead of both missing.
   ClientServerSystem sys(quiet_cfg(2, false));
   sys.bootstrap();
-  sys.client(1).on_new_transaction(make_txn(1001, 1, 0, {{7, false}}));
-  sys.client(2).on_new_transaction(make_txn(1002, 2, 0, {{7, false}}));
-  sys.simulator().run_until(30);
-  ASSERT_EQ(sys.server().lock_table().holder_mode(7, 1), LockMode::kShared);
-  ASSERT_EQ(sys.server().lock_table().holder_mode(7, 2), LockMode::kShared);
+  sys.client(ClientId{1}).on_new_transaction(make_txn(TxnId{1001}, SiteId{1}, sim::SimTime{0}, {{ObjectId{7}, false}}));
+  sys.client(ClientId{2}).on_new_transaction(make_txn(TxnId{1002}, SiteId{2}, sim::SimTime{0}, {{ObjectId{7}, false}}));
+  sys.simulator().run_until(sim::SimTime{30});
+  ASSERT_EQ(sys.server().lock_table().holder_mode(ObjectId{7}, ClientId{1}), LockMode::kShared);
+  ASSERT_EQ(sys.server().lock_table().holder_mode(ObjectId{7}, ClientId{2}), LockMode::kShared);
 
-  sys.client(1).on_new_transaction(make_txn(1003, 1, 30, {{7, true}}, 2.0));
-  sys.client(2).on_new_transaction(make_txn(1004, 2, 30, {{7, true}}, 2.0));
-  sys.simulator().run_until(200);
+  sys.client(ClientId{1}).on_new_transaction(make_txn(TxnId{1003}, SiteId{1}, sim::SimTime{30}, {{ObjectId{7}, true}}, 2.0));
+  sys.client(ClientId{2}).on_new_transaction(make_txn(TxnId{1004}, SiteId{2}, sim::SimTime{30}, {{ObjectId{7}, true}}, 2.0));
+  sys.simulator().run_until(sim::SimTime{200});
 
   EXPECT_GE(sys.live_metrics().deadlock_refusals, 1u);
   // Both transactions eventually committed (restart resolved the cycle;
   // with 100 s of slack nobody had to miss).
-  EXPECT_EQ(sys.client(1).live_count(), 0u);
-  EXPECT_EQ(sys.client(2).live_count(), 0u);
+  EXPECT_EQ(sys.client(ClientId{1}).live_count(), 0u);
+  EXPECT_EQ(sys.client(ClientId{2}).live_count(), 0u);
   EXPECT_EQ(sys.live_metrics().aborted, 0u);
   EXPECT_EQ(sys.live_metrics().missed, 0u);
 }
@@ -318,22 +318,23 @@ TEST(ProtocolScenario, SharedFanOutDeliversCopiesToAllReaders) {
   sys.bootstrap();
   // Client 1 writes 7 with a long transaction; three readers queue within
   // the collection window -> a shared fan-out serves them in one list.
-  sys.client(1).on_new_transaction(
-      make_txn(1001, 1, 0, {{7, true}}, /*length=*/10.0));
-  sys.simulator().run_until(2);
-  for (SiteId s = 2; s <= 4; ++s) {
-    sys.client(s).on_new_transaction(
-        make_txn(static_cast<TxnId>(1000 + s), s, 2, {{7, false}}, 0.5));
+  sys.client(ClientId{1}).on_new_transaction(
+      make_txn(TxnId{1001}, SiteId{1}, sim::SimTime{0}, {{ObjectId{7}, true}}, /*length=*/10.0));
+  sys.simulator().run_until(sim::SimTime{2});
+  for (ClientId c{2}; c <= ClientId{4}; ++c) {
+    sys.client(c).on_new_transaction(
+        make_txn(TxnId{static_cast<TxnId::Rep>(1000 + c.value())}, site_of(c),
+                 sim::SimTime{2}, {{ObjectId{7}, false}}, 0.5));
   }
-  sys.simulator().run_until(100);
+  sys.simulator().run_until(sim::SimTime{100});
   // Every reader holds a SL with the copy cached.
-  for (SiteId s = 2; s <= 4; ++s) {
-    EXPECT_EQ(sys.server().lock_table().holder_mode(7, s),
+  for (ClientId c{2}; c <= ClientId{4}; ++c) {
+    EXPECT_EQ(sys.server().lock_table().holder_mode(ObjectId{7}, c),
               LockMode::kShared)
-        << "site " << s;
-    EXPECT_TRUE(sys.client(s).cache().contains(7)) << "site " << s;
+        << "client " << c;
+    EXPECT_TRUE(sys.client(c).cache().contains(ObjectId{7})) << "client " << c;
   }
-  EXPECT_FALSE(sys.server().lock_table().is_circulating(7));
+  EXPECT_FALSE(sys.server().lock_table().is_circulating(ObjectId{7}));
 }
 
 }  // namespace

@@ -11,9 +11,9 @@ namespace {
 SystemConfig tiny_cfg() {
   SystemConfig cfg = SystemConfig::paper_defaults(5.0);
   cfg.num_clients = 4;
-  cfg.warmup = 50;
-  cfg.duration = 150;
-  cfg.drain = 150;
+  cfg.warmup = sim::seconds(50);
+  cfg.duration = sim::seconds(150);
+  cfg.drain = sim::seconds(150);
   return cfg;
 }
 

@@ -9,9 +9,9 @@ namespace {
 SystemConfig spec_cfg(std::size_t clients, double update_pct) {
   SystemConfig cfg = SystemConfig::paper_defaults(update_pct);
   cfg.num_clients = clients;
-  cfg.warmup = 80;
-  cfg.duration = 400;
-  cfg.drain = 200;
+  cfg.warmup = sim::seconds(80);
+  cfg.duration = sim::seconds(400);
+  cfg.drain = sim::seconds(200);
   cfg.seed = 555;
   cfg.ls = LsOptions::all();
   cfg.ls.enable_speculation = true;
@@ -69,10 +69,9 @@ TEST(Speculation, QuiescesAfterRun) {
   auto cfg = spec_cfg(16, 20.0);
   ClientServerSystem sys(cfg);
   sys.run();
-  for (SiteId s = kFirstClientSite;
-       s < kFirstClientSite + static_cast<SiteId>(cfg.num_clients); ++s) {
-    EXPECT_EQ(sys.client(s).live_count(), 0u) << "site " << s;
-    EXPECT_TRUE(sys.client(s).lock_manager().idle()) << "site " << s;
+  for (ClientId c{1}; c.value() <= static_cast<int>(cfg.num_clients); ++c) {
+    EXPECT_EQ(sys.client(c).live_count(), 0u) << "site " << c;
+    EXPECT_TRUE(sys.client(c).lock_manager().idle()) << "site " << c;
   }
 }
 
@@ -80,7 +79,7 @@ TEST(Speculation, BothWinnerKindsOccur) {
   // Across a longer high-contention run both sides win some races (the
   // arbitration is a real race, not a disguised preference).
   auto cfg = spec_cfg(24, 20.0);
-  cfg.duration = 800;
+  cfg.duration = sim::seconds(800);
   ClientServerSystem sys(cfg);
   const auto m = sys.run();
   EXPECT_GT(m.spec_local_wins, 0u);

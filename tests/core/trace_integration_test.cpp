@@ -19,8 +19,8 @@ txn::Transaction mk(TxnId id, SiteId origin, sim::SimTime now,
   t.id = id;
   t.origin = origin;
   t.arrival = now;
-  t.length = 1.0;
-  t.deadline = now + 100;
+  t.length = sim::seconds(1.0);
+  t.deadline = now + sim::seconds(100);
   t.ops = std::move(ops);
   return t;
 }
@@ -49,10 +49,12 @@ TEST(TraceIntegration, GrantRecallCommitSequenceRecorded) {
   ClientServerSystem sys(cfg2());
   sys.trace().enable(TraceCategory::kAll);
   sys.bootstrap();
-  sys.client(1).on_new_transaction(mk(1, 1, 0, {{7, true}}));
-  sys.simulator().run_until(30);
-  sys.client(2).on_new_transaction(mk(2, 2, 30, {{7, true}}));
-  sys.simulator().run_until(80);
+  sys.client(ClientId{1}).on_new_transaction(
+      mk(TxnId{1}, SiteId{1}, sim::SimTime{0}, {{ObjectId{7}, true}}));
+  sys.simulator().run_until(sim::SimTime{30});
+  sys.client(ClientId{2}).on_new_transaction(
+      mk(TxnId{2}, SiteId{2}, sim::SimTime{30}, {{ObjectId{7}, true}}));
+  sys.simulator().run_until(sim::SimTime{80});
 
   EXPECT_TRUE(has_event(sys.trace(), TraceCategory::kLock, "grant obj=7"));
   EXPECT_TRUE(has_event(sys.trace(), TraceCategory::kLock, "recall obj=7"));
@@ -63,8 +65,9 @@ TEST(TraceIntegration, GrantRecallCommitSequenceRecorded) {
 TEST(TraceIntegration, DisabledTraceStaysEmpty) {
   ClientServerSystem sys(cfg2());
   sys.bootstrap();
-  sys.client(1).on_new_transaction(mk(1, 1, 0, {{7, true}}));
-  sys.simulator().run_until(30);
+  sys.client(ClientId{1}).on_new_transaction(
+      mk(TxnId{1}, SiteId{1}, sim::SimTime{0}, {{ObjectId{7}, true}}));
+  sys.simulator().run_until(sim::SimTime{30});
   EXPECT_TRUE(sys.trace().events().empty());
 }
 
@@ -72,12 +75,14 @@ TEST(TraceIntegration, EventsAreTimeOrdered) {
   ClientServerSystem sys(cfg2());
   sys.trace().enable(TraceCategory::kAll);
   sys.bootstrap();
-  for (TxnId id = 1; id <= 6; ++id) {
-    sys.client(1 + (id % 2))
-        .on_new_transaction(mk(id, static_cast<SiteId>(1 + (id % 2)),
-                               static_cast<double>(id), {{7, true}}));
+  for (TxnId id{1}; id <= TxnId{6}; ++id) {
+    const auto slot = static_cast<ClientId::Rep>(1 + (id.value() % 2));
+    sys.client(ClientId{slot}).on_new_transaction(
+        mk(id, SiteId{static_cast<SiteId::Rep>(slot)},
+           sim::SimTime{static_cast<double>(id.value())},
+           {{ObjectId{7}, true}}));
   }
-  sys.simulator().run_until(300);
+  sys.simulator().run_until(sim::SimTime{300});
   const auto& ev = sys.trace().events();
   ASSERT_GT(ev.size(), 4u);
   for (std::size_t i = 1; i < ev.size(); ++i) {

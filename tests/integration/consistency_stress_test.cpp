@@ -21,9 +21,9 @@ TEST_P(ConsistencyStress, CleanLedgerAtScale) {
   const auto& [kind, seed] = GetParam();
   SystemConfig cfg = SystemConfig::paper_defaults(20.0);
   cfg.num_clients = 60;
-  cfg.warmup = 100;
-  cfg.duration = 700;
-  cfg.drain = 250;
+  cfg.warmup = sim::seconds(100);
+  cfg.duration = sim::seconds(700);
+  cfg.drain = sim::seconds(250);
   cfg.seed = seed;
   auto system = make_system(kind, cfg);
   const auto m = system->run();

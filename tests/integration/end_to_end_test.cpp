@@ -13,9 +13,9 @@ SystemConfig cfg(std::size_t clients, double update_pct,
                  std::uint64_t seed = 91) {
   SystemConfig c = SystemConfig::paper_defaults(update_pct);
   c.num_clients = clients;
-  c.warmup = 100;
-  c.duration = 500;
-  c.drain = 200;
+  c.warmup = sim::seconds(100);
+  c.duration = sim::seconds(500);
+  c.drain = sim::seconds(200);
   c.seed = seed;
   return c;
 }
@@ -71,7 +71,7 @@ TEST(EndToEnd, MessageEconomyForwardListsReduceServerShipments) {
   // Table 4's structure: with forward lists, part of the object traffic
   // moves client-to-client, reducing server->client shipments.
   auto c = cfg(20, 20);
-  c.duration = 600;
+  c.duration = sim::seconds(600);
   const auto cs = run_once(SystemKind::kClientServer, c);
   const auto ls = run_once(SystemKind::kLoadSharing, c);
   EXPECT_GT(ls.forward_list_satisfactions, 0u);
@@ -100,9 +100,9 @@ TEST(EndToEnd, WarmupExcludedFromCounts) {
   // Doubling the warm-up must not change the expected measured count per
   // unit time (same duration window).
   auto a = cfg(6, 5);
-  a.warmup = 50;
+  a.warmup = sim::seconds(50);
   auto b = cfg(6, 5);
-  b.warmup = 400;
+  b.warmup = sim::seconds(400);
   const auto ma = run_once(SystemKind::kClientServer, a);
   const auto mb = run_once(SystemKind::kClientServer, b);
   // Same duration, same arrival rate: counts are within stochastic range.

@@ -22,9 +22,9 @@ class SystemInvariants : public ::testing::TestWithParam<Params> {
     (void)kind;
     SystemConfig cfg = SystemConfig::paper_defaults(upd);
     cfg.num_clients = clients;
-    cfg.warmup = 60;
-    cfg.duration = 250;
-    cfg.drain = 200;
+    cfg.warmup = sim::seconds(60);
+    cfg.duration = sim::seconds(250);
+    cfg.drain = sim::seconds(200);
     cfg.seed = seed;
     return cfg;
   }
@@ -149,9 +149,9 @@ TEST_P(AblationInvariants, EveryAblationAccountsAndQuiesces) {
   const auto& [mask, seed] = GetParam();
   SystemConfig cfg = SystemConfig::paper_defaults(20.0);
   cfg.num_clients = 10;
-  cfg.warmup = 60;
-  cfg.duration = 250;
-  cfg.drain = 200;
+  cfg.warmup = sim::seconds(60);
+  cfg.duration = sim::seconds(250);
+  cfg.drain = sim::seconds(200);
   cfg.seed = seed;
   cfg.ls = LsOptions::none();
   cfg.ls.enable_h1 = mask & 1;
@@ -165,10 +165,9 @@ TEST_P(AblationInvariants, EveryAblationAccountsAndQuiesces) {
   const auto m = sys.run();
   EXPECT_TRUE(m.accounted()) << "mask=" << mask << " " << summarize(m);
   EXPECT_EQ(sys.double_records(), 0u) << "mask=" << mask;
-  for (SiteId s = kFirstClientSite;
-       s < kFirstClientSite + static_cast<SiteId>(cfg.num_clients); ++s) {
-    EXPECT_EQ(sys.client(s).live_count(), 0u) << "mask=" << mask;
-    EXPECT_TRUE(sys.client(s).lock_manager().idle()) << "mask=" << mask;
+  for (ClientId c{1}; c.value() <= static_cast<int>(cfg.num_clients); ++c) {
+    EXPECT_EQ(sys.client(c).live_count(), 0u) << "mask=" << mask;
+    EXPECT_TRUE(sys.client(c).lock_manager().idle()) << "mask=" << mask;
   }
 }
 

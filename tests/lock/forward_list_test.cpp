@@ -5,14 +5,14 @@
 namespace rtdb::lock {
 namespace {
 
-ForwardEntry entry(SiteId site, TxnId txn, LockMode mode, double priority,
-                   double expires) {
+ForwardEntry entry(ClientId::Rep client, TxnId::Rep txn, LockMode mode,
+                   double priority, double expires) {
   ForwardEntry e;
-  e.site = site;
-  e.txn = txn;
+  e.client = ClientId{client};
+  e.txn = TxnId{txn};
   e.mode = mode;
-  e.priority = priority;
-  e.expires = expires;
+  e.priority = sim::SimTime{priority};
+  e.expires = sim::SimTime{expires};
   return e;
 }
 
@@ -21,9 +21,9 @@ TEST(ForwardList, OrdersByPriority) {
   fl.add(entry(1, 1, LockMode::kShared, 30, 30));
   fl.add(entry(2, 2, LockMode::kShared, 10, 10));
   fl.add(entry(3, 3, LockMode::kShared, 20, 20));
-  EXPECT_EQ(fl.entries()[0].site, 2);
-  EXPECT_EQ(fl.entries()[1].site, 3);
-  EXPECT_EQ(fl.entries()[2].site, 1);
+  EXPECT_EQ(fl.entries()[0].client, ClientId{2});
+  EXPECT_EQ(fl.entries()[1].client, ClientId{3});
+  EXPECT_EQ(fl.entries()[2].client, ClientId{1});
 }
 
 TEST(ForwardList, TiesKeepArrivalOrder) {
@@ -31,17 +31,17 @@ TEST(ForwardList, TiesKeepArrivalOrder) {
   fl.add(entry(1, 1, LockMode::kShared, 10, 99));
   fl.add(entry(2, 2, LockMode::kShared, 10, 99));
   fl.add(entry(3, 3, LockMode::kShared, 10, 99));
-  EXPECT_EQ(fl.entries()[0].txn, 1u);
-  EXPECT_EQ(fl.entries()[1].txn, 2u);
-  EXPECT_EQ(fl.entries()[2].txn, 3u);
+  EXPECT_EQ(fl.entries()[0].txn, TxnId{1});
+  EXPECT_EQ(fl.entries()[1].txn, TxnId{2});
+  EXPECT_EQ(fl.entries()[2].txn, TxnId{3});
 }
 
 TEST(ForwardList, PopNextReturnsServiceable) {
   ForwardList fl;
   fl.add(entry(1, 1, LockMode::kExclusive, 10, 10));
-  auto e = fl.pop_next(5.0);
+  auto e = fl.pop_next(sim::SimTime{5.0});
   ASSERT_TRUE(e.has_value());
-  EXPECT_EQ(e->txn, 1u);
+  EXPECT_EQ(e->txn, TxnId{1});
   EXPECT_TRUE(fl.empty());
 }
 
@@ -50,18 +50,18 @@ TEST(ForwardList, PopNextSkipsExpired) {
   fl.add(entry(1, 1, LockMode::kShared, 10, 10));  // expires before now
   fl.add(entry(2, 2, LockMode::kShared, 20, 20));
   std::vector<ForwardEntry> skipped;
-  auto e = fl.pop_next(15.0, &skipped);
+  auto e = fl.pop_next(sim::SimTime{15.0}, &skipped);
   ASSERT_TRUE(e.has_value());
-  EXPECT_EQ(e->txn, 2u);
+  EXPECT_EQ(e->txn, TxnId{2});
   ASSERT_EQ(skipped.size(), 1u);
-  EXPECT_EQ(skipped[0].txn, 1u);
+  EXPECT_EQ(skipped[0].txn, TxnId{1});
 }
 
 TEST(ForwardList, PopNextAllExpired) {
   ForwardList fl;
   fl.add(entry(1, 1, LockMode::kShared, 10, 10));
   std::vector<ForwardEntry> skipped;
-  EXPECT_FALSE(fl.pop_next(100.0, &skipped).has_value());
+  EXPECT_FALSE(fl.pop_next(sim::SimTime{100.0}, &skipped).has_value());
   EXPECT_EQ(skipped.size(), 1u);
   EXPECT_TRUE(fl.empty());
 }
@@ -69,15 +69,15 @@ TEST(ForwardList, PopNextAllExpired) {
 TEST(ForwardList, EntryExpiringExactlyNowStillServed) {
   ForwardList fl;
   fl.add(entry(1, 1, LockMode::kShared, 10, 10));
-  EXPECT_TRUE(fl.pop_next(10.0).has_value());
+  EXPECT_TRUE(fl.pop_next(sim::SimTime{10.0}).has_value());
 }
 
 TEST(ForwardList, PeekDoesNotRemoveServiceable) {
   ForwardList fl;
   fl.add(entry(1, 1, LockMode::kShared, 10, 99));
-  const ForwardEntry* e = fl.peek_next(0.0);
+  const ForwardEntry* e = fl.peek_next(sim::SimTime{0.0});
   ASSERT_NE(e, nullptr);
-  EXPECT_EQ(e->txn, 1u);
+  EXPECT_EQ(e->txn, TxnId{1});
   EXPECT_EQ(fl.size(), 1u);
 }
 
@@ -86,9 +86,9 @@ TEST(ForwardList, PeekDropsExpiredPrefix) {
   fl.add(entry(1, 1, LockMode::kShared, 10, 10));
   fl.add(entry(2, 2, LockMode::kShared, 20, 99));
   std::vector<ForwardEntry> skipped;
-  const ForwardEntry* e = fl.peek_next(50.0, &skipped);
+  const ForwardEntry* e = fl.peek_next(sim::SimTime{50.0}, &skipped);
   ASSERT_NE(e, nullptr);
-  EXPECT_EQ(e->txn, 2u);
+  EXPECT_EQ(e->txn, TxnId{2});
   EXPECT_EQ(skipped.size(), 1u);
   EXPECT_EQ(fl.size(), 1u);
 }
@@ -98,18 +98,18 @@ TEST(ForwardList, RemoveTxnRemovesAllItsEntries) {
   fl.add(entry(1, 7, LockMode::kShared, 10, 99));
   fl.add(entry(2, 8, LockMode::kShared, 20, 99));
   fl.add(entry(1, 7, LockMode::kExclusive, 30, 99));
-  EXPECT_EQ(fl.remove_txn(7), 2u);
+  EXPECT_EQ(fl.remove_txn(TxnId{7}), 2u);
   EXPECT_EQ(fl.size(), 1u);
-  EXPECT_EQ(fl.entries()[0].txn, 8u);
-  EXPECT_EQ(fl.remove_txn(999), 0u);
+  EXPECT_EQ(fl.entries()[0].txn, TxnId{8});
+  EXPECT_EQ(fl.remove_txn(TxnId{999}), 0u);
 }
 
-TEST(ForwardList, LastSiteIsLocationWhileCirculating) {
+TEST(ForwardList, LastClientIsLocationWhileCirculating) {
   ForwardList fl;
-  EXPECT_FALSE(fl.last_site().has_value());
+  EXPECT_FALSE(fl.last_client().has_value());
   fl.add(entry(4, 1, LockMode::kShared, 10, 99));
   fl.add(entry(9, 2, LockMode::kShared, 20, 99));
-  EXPECT_EQ(fl.last_site().value(), 9);
+  EXPECT_EQ(fl.last_client().value(), ClientId{9});
 }
 
 TEST(ForwardList, LeadingSharedRun) {
@@ -120,8 +120,8 @@ TEST(ForwardList, LeadingSharedRun) {
   fl.add(entry(4, 4, LockMode::kShared, 40, 99));
   const auto run = fl.leading_shared_run();
   ASSERT_EQ(run.size(), 2u);
-  EXPECT_EQ(run[0].txn, 1u);
-  EXPECT_EQ(run[1].txn, 2u);
+  EXPECT_EQ(run[0].txn, TxnId{1});
+  EXPECT_EQ(run[1].txn, TxnId{2});
 }
 
 TEST(ForwardList, LeadingSharedRunEmptyWhenHeadExclusive) {
@@ -135,6 +135,29 @@ TEST(ForwardList, ClearEmpties) {
   fl.add(entry(1, 1, LockMode::kShared, 10, 99));
   fl.clear();
   EXPECT_TRUE(fl.empty());
+}
+
+TEST(ForwardList, ExpiryComparesDeadlineAgainstTypedNow) {
+  // Expiry is a SimTime-vs-SimTime comparison under the strong-time layer
+  // (a raw-double `now` no longer compiles). Entries expiring exactly at
+  // `now` are still serviceable; one epsilon past is not — and the skipped
+  // entry keeps its typed client/txn identity for wait-for-graph cleanup.
+  ForwardList fl;
+  fl.add(entry(4, 40, LockMode::kExclusive, 1, /*expires=*/10));
+  fl.add(entry(5, 50, LockMode::kExclusive, 2, /*expires=*/99));
+
+  std::vector<ForwardEntry> skipped;
+  const ForwardEntry* at_deadline = fl.peek_next(sim::SimTime{10.0}, &skipped);
+  ASSERT_NE(at_deadline, nullptr);
+  EXPECT_EQ(at_deadline->txn, TxnId{40});
+  EXPECT_TRUE(skipped.empty());
+
+  auto past = fl.pop_next(sim::SimTime{10.0} + sim::msec(1), &skipped);
+  ASSERT_TRUE(past.has_value());
+  EXPECT_EQ(past->txn, TxnId{50});
+  ASSERT_EQ(skipped.size(), 1u);
+  EXPECT_EQ(skipped[0].client, ClientId{4});
+  EXPECT_EQ(skipped[0].txn, TxnId{40});
 }
 
 TEST(MessageEconomy, PaperFormulas) {

@@ -7,161 +7,162 @@ namespace {
 
 TEST(GlobalLocks, EmptyObjectGrantsAnything) {
   GlobalLockTable glt;
-  EXPECT_TRUE(glt.can_grant(1, 2, LockMode::kExclusive));
-  EXPECT_EQ(glt.holder_mode(1, 2), LockMode::kNone);
-  EXPECT_EQ(glt.location_of(1), kServerSite);
+  EXPECT_TRUE(glt.can_grant(ObjectId{1}, ClientId{2}, LockMode::kExclusive));
+  EXPECT_EQ(glt.holder_mode(ObjectId{1}, ClientId{2}), LockMode::kNone);
+  EXPECT_EQ(glt.location_of(ObjectId{1}), kServerSite);
 }
 
 TEST(GlobalLocks, AddHolderTracksMode) {
   GlobalLockTable glt;
-  glt.add_holder(1, 2, LockMode::kShared);
-  EXPECT_EQ(glt.holder_mode(1, 2), LockMode::kShared);
-  EXPECT_EQ(glt.holders(1).size(), 1u);
-  EXPECT_EQ(glt.lock_count(2), 1u);
+  glt.add_holder(ObjectId{1}, ClientId{2}, LockMode::kShared);
+  EXPECT_EQ(glt.holder_mode(ObjectId{1}, ClientId{2}), LockMode::kShared);
+  EXPECT_EQ(glt.holders(ObjectId{1}).size(), 1u);
+  EXPECT_EQ(glt.lock_count(ClientId{2}), 1u);
 }
 
 TEST(GlobalLocks, UpgradeKeepsStrongest) {
   GlobalLockTable glt;
-  glt.add_holder(1, 2, LockMode::kShared);
-  glt.add_holder(1, 2, LockMode::kExclusive);
-  EXPECT_EQ(glt.holder_mode(1, 2), LockMode::kExclusive);
-  glt.add_holder(1, 2, LockMode::kShared);  // no downgrade via add
-  EXPECT_EQ(glt.holder_mode(1, 2), LockMode::kExclusive);
-  EXPECT_EQ(glt.holders(1).size(), 1u);
+  glt.add_holder(ObjectId{1}, ClientId{2}, LockMode::kShared);
+  glt.add_holder(ObjectId{1}, ClientId{2}, LockMode::kExclusive);
+  EXPECT_EQ(glt.holder_mode(ObjectId{1}, ClientId{2}), LockMode::kExclusive);
+  glt.add_holder(ObjectId{1}, ClientId{2}, LockMode::kShared);  // no downgrade via add
+  EXPECT_EQ(glt.holder_mode(ObjectId{1}, ClientId{2}), LockMode::kExclusive);
+  EXPECT_EQ(glt.holders(ObjectId{1}).size(), 1u);
 }
 
 TEST(GlobalLocks, SharedHoldersAllowMoreShared) {
   GlobalLockTable glt;
-  glt.add_holder(1, 2, LockMode::kShared);
-  glt.add_holder(1, 3, LockMode::kShared);
-  EXPECT_TRUE(glt.can_grant(1, 4, LockMode::kShared));
-  EXPECT_FALSE(glt.can_grant(1, 4, LockMode::kExclusive));
+  glt.add_holder(ObjectId{1}, ClientId{2}, LockMode::kShared);
+  glt.add_holder(ObjectId{1}, ClientId{3}, LockMode::kShared);
+  EXPECT_TRUE(glt.can_grant(ObjectId{1}, ClientId{4}, LockMode::kShared));
+  EXPECT_FALSE(glt.can_grant(ObjectId{1}, ClientId{4}, LockMode::kExclusive));
 }
 
 TEST(GlobalLocks, ExclusiveHolderBlocksOthers) {
   GlobalLockTable glt;
-  glt.add_holder(1, 2, LockMode::kExclusive);
-  EXPECT_FALSE(glt.can_grant(1, 3, LockMode::kShared));
+  glt.add_holder(ObjectId{1}, ClientId{2}, LockMode::kExclusive);
+  EXPECT_FALSE(glt.can_grant(ObjectId{1}, ClientId{3}, LockMode::kShared));
   // The holder itself is never its own conflict.
-  EXPECT_TRUE(glt.can_grant(1, 2, LockMode::kExclusive));
+  EXPECT_TRUE(glt.can_grant(ObjectId{1}, ClientId{2}, LockMode::kExclusive));
 }
 
 TEST(GlobalLocks, ConflictingHoldersExcludesRequester) {
   GlobalLockTable glt;
-  glt.add_holder(1, 2, LockMode::kShared);
-  glt.add_holder(1, 3, LockMode::kShared);
-  auto conflicts = glt.conflicting_holders(1, LockMode::kExclusive, 2);
-  EXPECT_EQ(conflicts, (std::vector<SiteId>{3}));
+  glt.add_holder(ObjectId{1}, ClientId{2}, LockMode::kShared);
+  glt.add_holder(ObjectId{1}, ClientId{3}, LockMode::kShared);
+  auto conflicts =
+      glt.conflicting_holders(ObjectId{1}, LockMode::kExclusive, ClientId{2});
+  EXPECT_EQ(conflicts, (std::vector<ClientId>{ClientId{3}}));
 }
 
 TEST(GlobalLocks, RemoveHolderReturnsMode) {
   GlobalLockTable glt;
-  glt.add_holder(1, 2, LockMode::kExclusive);
-  EXPECT_EQ(glt.remove_holder(1, 2), LockMode::kExclusive);
-  EXPECT_EQ(glt.remove_holder(1, 2), LockMode::kNone);
-  EXPECT_EQ(glt.lock_count(2), 0u);
+  glt.add_holder(ObjectId{1}, ClientId{2}, LockMode::kExclusive);
+  EXPECT_EQ(glt.remove_holder(ObjectId{1}, ClientId{2}), LockMode::kExclusive);
+  EXPECT_EQ(glt.remove_holder(ObjectId{1}, ClientId{2}), LockMode::kNone);
+  EXPECT_EQ(glt.lock_count(ClientId{2}), 0u);
   EXPECT_EQ(glt.tracked_objects(), 0u);  // quiescent state dropped
 }
 
 TEST(GlobalLocks, DowngradeExclusiveToShared) {
   GlobalLockTable glt;
-  glt.add_holder(1, 2, LockMode::kExclusive);
-  EXPECT_TRUE(glt.downgrade_holder(1, 2));
-  EXPECT_EQ(glt.holder_mode(1, 2), LockMode::kShared);
-  EXPECT_TRUE(glt.can_grant(1, 3, LockMode::kShared));
+  glt.add_holder(ObjectId{1}, ClientId{2}, LockMode::kExclusive);
+  EXPECT_TRUE(glt.downgrade_holder(ObjectId{1}, ClientId{2}));
+  EXPECT_EQ(glt.holder_mode(ObjectId{1}, ClientId{2}), LockMode::kShared);
+  EXPECT_TRUE(glt.can_grant(ObjectId{1}, ClientId{3}, LockMode::kShared));
   // Downgrading a SL or a non-holder fails.
-  EXPECT_FALSE(glt.downgrade_holder(1, 2));
-  EXPECT_FALSE(glt.downgrade_holder(1, 9));
+  EXPECT_FALSE(glt.downgrade_holder(ObjectId{1}, ClientId{2}));
+  EXPECT_FALSE(glt.downgrade_holder(ObjectId{1}, ClientId{9}));
 }
 
 TEST(GlobalLocks, ObjectsHeldBySite) {
   GlobalLockTable glt;
-  glt.add_holder(1, 2, LockMode::kShared);
-  glt.add_holder(5, 2, LockMode::kExclusive);
-  glt.add_holder(9, 3, LockMode::kShared);
-  auto objs = glt.objects_held_by(2);
+  glt.add_holder(ObjectId{1}, ClientId{2}, LockMode::kShared);
+  glt.add_holder(ObjectId{5}, ClientId{2}, LockMode::kExclusive);
+  glt.add_holder(ObjectId{9}, ClientId{3}, LockMode::kShared);
+  auto objs = glt.objects_held_by(ClientId{2});
   std::sort(objs.begin(), objs.end());
-  EXPECT_EQ(objs, (std::vector<ObjectId>{1, 5}));
-  EXPECT_TRUE(glt.objects_held_by(99).empty());
+  EXPECT_EQ(objs, (std::vector<ObjectId>{ObjectId{1}, ObjectId{5}}));
+  EXPECT_TRUE(glt.objects_held_by(ClientId{99}).empty());
 }
 
 TEST(GlobalLocks, RecallBookkeeping) {
   GlobalLockTable glt;
-  glt.add_holder(1, 2, LockMode::kExclusive);
-  EXPECT_FALSE(glt.recall_pending(1, 2));
-  glt.mark_recall_sent(1, 2);
-  EXPECT_TRUE(glt.recall_pending(1, 2));
-  EXPECT_EQ(glt.recalls_outstanding(1), 1u);
-  glt.clear_recall(1, 2);
-  EXPECT_FALSE(glt.recall_pending(1, 2));
-  EXPECT_EQ(glt.recalls_outstanding(1), 0u);
+  glt.add_holder(ObjectId{1}, ClientId{2}, LockMode::kExclusive);
+  EXPECT_FALSE(glt.recall_pending(ObjectId{1}, ClientId{2}));
+  glt.mark_recall_sent(ObjectId{1}, ClientId{2});
+  EXPECT_TRUE(glt.recall_pending(ObjectId{1}, ClientId{2}));
+  EXPECT_EQ(glt.recalls_outstanding(ObjectId{1}), 1u);
+  glt.clear_recall(ObjectId{1}, ClientId{2});
+  EXPECT_FALSE(glt.recall_pending(ObjectId{1}, ClientId{2}));
+  EXPECT_EQ(glt.recalls_outstanding(ObjectId{1}), 0u);
 }
 
 TEST(GlobalLocks, CirculationBlocksGrantsAndSetsLocation) {
   GlobalLockTable glt;
-  glt.set_circulating(7, /*last_site=*/5);
-  EXPECT_TRUE(glt.is_circulating(7));
-  EXPECT_FALSE(glt.can_grant(7, 2, LockMode::kShared));
-  EXPECT_EQ(glt.location_of(7), 5);
-  glt.clear_circulating(7);
-  EXPECT_FALSE(glt.is_circulating(7));
-  EXPECT_TRUE(glt.can_grant(7, 2, LockMode::kShared));
+  glt.set_circulating(ObjectId{7}, /*last_client=*/ClientId{5});
+  EXPECT_TRUE(glt.is_circulating(ObjectId{7}));
+  EXPECT_FALSE(glt.can_grant(ObjectId{7}, ClientId{2}, LockMode::kShared));
+  EXPECT_EQ(glt.location_of(ObjectId{7}), SiteId{5});
+  glt.clear_circulating(ObjectId{7});
+  EXPECT_FALSE(glt.is_circulating(ObjectId{7}));
+  EXPECT_TRUE(glt.can_grant(ObjectId{7}, ClientId{2}, LockMode::kShared));
   EXPECT_EQ(glt.tracked_objects(), 0u);
 }
 
 TEST(GlobalLocks, LocationPrefersExclusiveHolder) {
   GlobalLockTable glt;
-  glt.add_holder(1, 2, LockMode::kShared);
-  glt.add_holder(1, 3, LockMode::kExclusive);
-  EXPECT_EQ(glt.location_of(1), 3);
+  glt.add_holder(ObjectId{1}, ClientId{2}, LockMode::kShared);
+  glt.add_holder(ObjectId{1}, ClientId{3}, LockMode::kExclusive);
+  EXPECT_EQ(glt.location_of(ObjectId{1}), SiteId{3});
 }
 
 TEST(GlobalLocks, LocationFallsBackToSharedHolderThenServer) {
   GlobalLockTable glt;
-  glt.add_holder(1, 4, LockMode::kShared);
-  EXPECT_EQ(glt.location_of(1), 4);
-  glt.remove_holder(1, 4);
-  EXPECT_EQ(glt.location_of(1), kServerSite);
+  glt.add_holder(ObjectId{1}, ClientId{4}, LockMode::kShared);
+  EXPECT_EQ(glt.location_of(ObjectId{1}), SiteId{4});
+  glt.remove_holder(ObjectId{1}, ClientId{4});
+  EXPECT_EQ(glt.location_of(ObjectId{1}), kServerSite);
 }
 
 TEST(GlobalLocks, ConflictCountAtSite) {
   GlobalLockTable glt;
-  glt.add_holder(1, 2, LockMode::kExclusive);  // conflicts for anyone else
-  glt.add_holder(5, 3, LockMode::kShared);     // conflicts for EL needs
+  glt.add_holder(ObjectId{1}, ClientId{2}, LockMode::kExclusive);  // conflicts for anyone else
+  glt.add_holder(ObjectId{5}, ClientId{3}, LockMode::kShared);     // conflicts for EL needs
   std::vector<std::pair<ObjectId, LockMode>> needs{
-      {1, LockMode::kShared},     // blocked by site 2's EL
-      {5, LockMode::kExclusive},  // blocked by site 3's SL
-      {9, LockMode::kShared},     // free
+      {ObjectId{1}, LockMode::kShared},     // blocked by client 2's EL
+      {ObjectId{5}, LockMode::kExclusive},  // blocked by client 3's SL
+      {ObjectId{9}, LockMode::kShared},     // free
   };
-  EXPECT_EQ(glt.conflict_count_at(needs, 4), 2u);
-  // Site 2's own EL does not conflict with itself.
-  EXPECT_EQ(glt.conflict_count_at(needs, 2), 1u);
-  EXPECT_EQ(glt.conflict_count_at(needs, 3), 1u);
+  EXPECT_EQ(glt.conflict_count_at(needs, ClientId{4}), 2u);
+  // Client 2's own EL does not conflict with itself.
+  EXPECT_EQ(glt.conflict_count_at(needs, ClientId{2}), 1u);
+  EXPECT_EQ(glt.conflict_count_at(needs, ClientId{3}), 1u);
 }
 
 TEST(GlobalLocks, QueueIsPerObject) {
   GlobalLockTable glt;
   ForwardEntry e;
-  e.site = 2;
-  e.txn = 7;
+  e.client = ClientId{2};
+  e.txn = TxnId{7};
   e.mode = LockMode::kShared;
-  e.priority = 1;
-  e.expires = 99;
-  glt.queue(1).add(e);
-  EXPECT_EQ(glt.queue(1).size(), 1u);
-  EXPECT_TRUE(glt.queue(2).empty());
-  const ForwardList* q = glt.queue_if_any(1);
+  e.priority = sim::SimTime{1.0};
+  e.expires = sim::SimTime{99.0};
+  glt.queue(ObjectId{1}).add(e);
+  EXPECT_EQ(glt.queue(ObjectId{1}).size(), 1u);
+  EXPECT_TRUE(glt.queue(ObjectId{2}).empty());
+  const ForwardList* q = glt.queue_if_any(ObjectId{1});
   ASSERT_NE(q, nullptr);
   EXPECT_EQ(q->size(), 1u);
 }
 
 TEST(GlobalLocks, CompactDropsQuiescentOnly) {
   GlobalLockTable glt;
-  glt.queue(1);  // touched but empty
-  glt.add_holder(2, 3, LockMode::kShared);
+  glt.queue(ObjectId{1});  // touched but empty
+  glt.add_holder(ObjectId{2}, ClientId{3}, LockMode::kShared);
   glt.compact();
   EXPECT_EQ(glt.tracked_objects(), 1u);
-  EXPECT_EQ(glt.holder_mode(2, 3), LockMode::kShared);
+  EXPECT_EQ(glt.holder_mode(ObjectId{2}, ClientId{3}), LockMode::kShared);
 }
 
 }  // namespace

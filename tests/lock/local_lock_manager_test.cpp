@@ -11,192 +11,192 @@ using Outcome = LocalLockManager::Outcome;
 
 TEST(LocalLocks, FreshSharedGrantsImmediately) {
   LocalLockManager llm;
-  EXPECT_EQ(llm.acquire(1, 10, LockMode::kShared, 100, [](bool) {}),
+  EXPECT_EQ(llm.acquire(TxnId{1}, ObjectId{10}, LockMode::kShared, sim::SimTime{100}, [](bool) {}),
             Outcome::kGranted);
-  EXPECT_EQ(llm.held_mode(1, 10), LockMode::kShared);
+  EXPECT_EQ(llm.held_mode(TxnId{1}, ObjectId{10}), LockMode::kShared);
   EXPECT_EQ(llm.grants(), 1u);
 }
 
 TEST(LocalLocks, SharedReadersCoexist) {
   LocalLockManager llm;
-  EXPECT_EQ(llm.acquire(1, 10, LockMode::kShared, 100, [](bool) {}),
+  EXPECT_EQ(llm.acquire(TxnId{1}, ObjectId{10}, LockMode::kShared, sim::SimTime{100}, [](bool) {}),
             Outcome::kGranted);
-  EXPECT_EQ(llm.acquire(2, 10, LockMode::kShared, 100, [](bool) {}),
+  EXPECT_EQ(llm.acquire(TxnId{2}, ObjectId{10}, LockMode::kShared, sim::SimTime{100}, [](bool) {}),
             Outcome::kGranted);
-  EXPECT_EQ(llm.holders(10).size(), 2u);
+  EXPECT_EQ(llm.holders(ObjectId{10}).size(), 2u);
 }
 
 TEST(LocalLocks, WriterBlocksBehindReader) {
   LocalLockManager llm;
-  llm.acquire(1, 10, LockMode::kShared, 100, [](bool) {});
+  llm.acquire(TxnId{1}, ObjectId{10}, LockMode::kShared, sim::SimTime{100}, [](bool) {});
   bool granted = false;
-  EXPECT_EQ(llm.acquire(2, 10, LockMode::kExclusive, 200,
+  EXPECT_EQ(llm.acquire(TxnId{2}, ObjectId{10}, LockMode::kExclusive, sim::SimTime{200},
                         [&](bool ok) { granted = ok; }),
             Outcome::kQueued);
   EXPECT_FALSE(granted);
-  llm.release(1, 10);
+  llm.release(TxnId{1}, ObjectId{10});
   EXPECT_TRUE(granted);
-  EXPECT_EQ(llm.held_mode(2, 10), LockMode::kExclusive);
+  EXPECT_EQ(llm.held_mode(TxnId{2}, ObjectId{10}), LockMode::kExclusive);
 }
 
 TEST(LocalLocks, ReaderBlocksBehindWriter) {
   LocalLockManager llm;
-  llm.acquire(1, 10, LockMode::kExclusive, 100, [](bool) {});
+  llm.acquire(TxnId{1}, ObjectId{10}, LockMode::kExclusive, sim::SimTime{100}, [](bool) {});
   bool granted = false;
-  EXPECT_EQ(llm.acquire(2, 10, LockMode::kShared, 200,
+  EXPECT_EQ(llm.acquire(TxnId{2}, ObjectId{10}, LockMode::kShared, sim::SimTime{200},
                         [&](bool ok) { granted = ok; }),
             Outcome::kQueued);
-  llm.release_all(1);
+  llm.release_all(TxnId{1});
   EXPECT_TRUE(granted);
 }
 
 TEST(LocalLocks, RepeatedCoveredRequestIsGranted) {
   LocalLockManager llm;
-  llm.acquire(1, 10, LockMode::kExclusive, 100, [](bool) {});
-  EXPECT_EQ(llm.acquire(1, 10, LockMode::kShared, 100, [](bool) {}),
+  llm.acquire(TxnId{1}, ObjectId{10}, LockMode::kExclusive, sim::SimTime{100}, [](bool) {});
+  EXPECT_EQ(llm.acquire(TxnId{1}, ObjectId{10}, LockMode::kShared, sim::SimTime{100}, [](bool) {}),
             Outcome::kGranted);
-  EXPECT_EQ(llm.acquire(1, 10, LockMode::kExclusive, 100, [](bool) {}),
+  EXPECT_EQ(llm.acquire(TxnId{1}, ObjectId{10}, LockMode::kExclusive, sim::SimTime{100}, [](bool) {}),
             Outcome::kGranted);
 }
 
 TEST(LocalLocks, SoleReaderUpgradesInPlace) {
   LocalLockManager llm;
-  llm.acquire(1, 10, LockMode::kShared, 100, [](bool) {});
-  EXPECT_EQ(llm.acquire(1, 10, LockMode::kExclusive, 100, [](bool) {}),
+  llm.acquire(TxnId{1}, ObjectId{10}, LockMode::kShared, sim::SimTime{100}, [](bool) {});
+  EXPECT_EQ(llm.acquire(TxnId{1}, ObjectId{10}, LockMode::kExclusive, sim::SimTime{100}, [](bool) {}),
             Outcome::kGranted);
-  EXPECT_EQ(llm.held_mode(1, 10), LockMode::kExclusive);
+  EXPECT_EQ(llm.held_mode(TxnId{1}, ObjectId{10}), LockMode::kExclusive);
 }
 
 TEST(LocalLocks, UpgradeWaitsForOtherReaders) {
   LocalLockManager llm;
-  llm.acquire(1, 10, LockMode::kShared, 100, [](bool) {});
-  llm.acquire(2, 10, LockMode::kShared, 100, [](bool) {});
+  llm.acquire(TxnId{1}, ObjectId{10}, LockMode::kShared, sim::SimTime{100}, [](bool) {});
+  llm.acquire(TxnId{2}, ObjectId{10}, LockMode::kShared, sim::SimTime{100}, [](bool) {});
   bool upgraded = false;
-  EXPECT_EQ(llm.acquire(1, 10, LockMode::kExclusive, 50,
+  EXPECT_EQ(llm.acquire(TxnId{1}, ObjectId{10}, LockMode::kExclusive, sim::SimTime{50},
                         [&](bool ok) { upgraded = ok; }),
             Outcome::kQueued);
-  llm.release(2, 10);
+  llm.release(TxnId{2}, ObjectId{10});
   EXPECT_TRUE(upgraded);
-  EXPECT_EQ(llm.held_mode(1, 10), LockMode::kExclusive);
+  EXPECT_EQ(llm.held_mode(TxnId{1}, ObjectId{10}), LockMode::kExclusive);
 }
 
 TEST(LocalLocks, DoubleUpgradeDeadlockRefused) {
   LocalLockManager llm;
-  llm.acquire(1, 10, LockMode::kShared, 100, [](bool) {});
-  llm.acquire(2, 10, LockMode::kShared, 100, [](bool) {});
-  EXPECT_EQ(llm.acquire(1, 10, LockMode::kExclusive, 50, [](bool) {}),
+  llm.acquire(TxnId{1}, ObjectId{10}, LockMode::kShared, sim::SimTime{100}, [](bool) {});
+  llm.acquire(TxnId{2}, ObjectId{10}, LockMode::kShared, sim::SimTime{100}, [](bool) {});
+  EXPECT_EQ(llm.acquire(TxnId{1}, ObjectId{10}, LockMode::kExclusive, sim::SimTime{50}, [](bool) {}),
             Outcome::kQueued);
   // The second upgrade closes the classic SL/SL->EL cycle.
-  EXPECT_EQ(llm.acquire(2, 10, LockMode::kExclusive, 60, [](bool) {}),
+  EXPECT_EQ(llm.acquire(TxnId{2}, ObjectId{10}, LockMode::kExclusive, sim::SimTime{60}, [](bool) {}),
             Outcome::kDeadlock);
   EXPECT_EQ(llm.deadlocks_refused(), 1u);
 }
 
 TEST(LocalLocks, TwoObjectCycleRefused) {
   LocalLockManager llm;
-  llm.acquire(1, 10, LockMode::kExclusive, 100, [](bool) {});
-  llm.acquire(2, 20, LockMode::kExclusive, 100, [](bool) {});
-  EXPECT_EQ(llm.acquire(1, 20, LockMode::kExclusive, 100, [](bool) {}),
+  llm.acquire(TxnId{1}, ObjectId{10}, LockMode::kExclusive, sim::SimTime{100}, [](bool) {});
+  llm.acquire(TxnId{2}, ObjectId{20}, LockMode::kExclusive, sim::SimTime{100}, [](bool) {});
+  EXPECT_EQ(llm.acquire(TxnId{1}, ObjectId{20}, LockMode::kExclusive, sim::SimTime{100}, [](bool) {}),
             Outcome::kQueued);
-  EXPECT_EQ(llm.acquire(2, 10, LockMode::kExclusive, 100, [](bool) {}),
+  EXPECT_EQ(llm.acquire(TxnId{2}, ObjectId{10}, LockMode::kExclusive, sim::SimTime{100}, [](bool) {}),
             Outcome::kDeadlock);
 }
 
 TEST(LocalLocks, EdfOrderAmongWaiters) {
   LocalLockManager llm;
-  llm.acquire(1, 10, LockMode::kExclusive, 5, [](bool) {});
+  llm.acquire(TxnId{1}, ObjectId{10}, LockMode::kExclusive, sim::SimTime{5}, [](bool) {});
   std::vector<int> order;
-  llm.acquire(2, 10, LockMode::kExclusive, 300, [&](bool) { order.push_back(2); });
-  llm.acquire(3, 10, LockMode::kExclusive, 100, [&](bool) { order.push_back(3); });
-  llm.acquire(4, 10, LockMode::kExclusive, 200, [&](bool) { order.push_back(4); });
-  llm.release_all(1);
-  llm.release_all(3);
-  llm.release_all(4);
-  llm.release_all(2);
+  llm.acquire(TxnId{2}, ObjectId{10}, LockMode::kExclusive, sim::SimTime{300}, [&](bool) { order.push_back(2); });
+  llm.acquire(TxnId{3}, ObjectId{10}, LockMode::kExclusive, sim::SimTime{100}, [&](bool) { order.push_back(3); });
+  llm.acquire(TxnId{4}, ObjectId{10}, LockMode::kExclusive, sim::SimTime{200}, [&](bool) { order.push_back(4); });
+  llm.release_all(TxnId{1});
+  llm.release_all(TxnId{3});
+  llm.release_all(TxnId{4});
+  llm.release_all(TxnId{2});
   EXPECT_EQ(order, (std::vector<int>{3, 4, 2}));
 }
 
 TEST(LocalLocks, ReaderRunGrantedTogether) {
   LocalLockManager llm;
-  llm.acquire(1, 10, LockMode::kExclusive, 5, [](bool) {});
+  llm.acquire(TxnId{1}, ObjectId{10}, LockMode::kExclusive, sim::SimTime{5}, [](bool) {});
   int granted = 0;
-  llm.acquire(2, 10, LockMode::kShared, 10, [&](bool ok) { if (ok) ++granted; });
-  llm.acquire(3, 10, LockMode::kShared, 20, [&](bool ok) { if (ok) ++granted; });
-  llm.acquire(4, 10, LockMode::kExclusive, 30, [&](bool ok) { if (ok) ++granted; });
-  llm.release_all(1);
+  llm.acquire(TxnId{2}, ObjectId{10}, LockMode::kShared, sim::SimTime{10}, [&](bool ok) { if (ok) ++granted; });
+  llm.acquire(TxnId{3}, ObjectId{10}, LockMode::kShared, sim::SimTime{20}, [&](bool ok) { if (ok) ++granted; });
+  llm.acquire(TxnId{4}, ObjectId{10}, LockMode::kExclusive, sim::SimTime{30}, [&](bool ok) { if (ok) ++granted; });
+  llm.release_all(TxnId{1});
   EXPECT_EQ(granted, 2);  // both readers, writer still waits
-  EXPECT_EQ(llm.waiting_count(10), 1u);
+  EXPECT_EQ(llm.waiting_count(ObjectId{10}), 1u);
 }
 
 TEST(LocalLocks, NewReaderDoesNotJumpQueuedWriter) {
   LocalLockManager llm;
-  llm.acquire(1, 10, LockMode::kShared, 10, [](bool) {});
-  llm.acquire(2, 10, LockMode::kExclusive, 20, [](bool) {});  // queued
+  llm.acquire(TxnId{1}, ObjectId{10}, LockMode::kShared, sim::SimTime{10}, [](bool) {});
+  llm.acquire(TxnId{2}, ObjectId{10}, LockMode::kExclusive, sim::SimTime{20}, [](bool) {});  // queued
   // A later-deadline reader must wait behind the queued writer.
-  EXPECT_EQ(llm.acquire(3, 10, LockMode::kShared, 30, [](bool) {}),
+  EXPECT_EQ(llm.acquire(TxnId{3}, ObjectId{10}, LockMode::kShared, sim::SimTime{30}, [](bool) {}),
             Outcome::kQueued);
 }
 
 TEST(LocalLocks, EarlierDeadlineReaderMayJumpWriter) {
   LocalLockManager llm;
-  llm.acquire(1, 10, LockMode::kShared, 10, [](bool) {});
-  llm.acquire(2, 10, LockMode::kExclusive, 200, [](bool) {});
+  llm.acquire(TxnId{1}, ObjectId{10}, LockMode::kShared, sim::SimTime{10}, [](bool) {});
+  llm.acquire(TxnId{2}, ObjectId{10}, LockMode::kExclusive, sim::SimTime{200}, [](bool) {});
   // EDF: an urgent reader sorts ahead of the late writer and is compatible
   // with the current holder.
-  EXPECT_EQ(llm.acquire(3, 10, LockMode::kShared, 5, [](bool) {}),
+  EXPECT_EQ(llm.acquire(TxnId{3}, ObjectId{10}, LockMode::kShared, sim::SimTime{5}, [](bool) {}),
             Outcome::kGranted);
 }
 
 TEST(LocalLocks, CancelWaitsDropsQueuedRequests) {
   LocalLockManager llm;
-  llm.acquire(1, 10, LockMode::kExclusive, 10, [](bool) {});
+  llm.acquire(TxnId{1}, ObjectId{10}, LockMode::kExclusive, sim::SimTime{10}, [](bool) {});
   bool granted = false;
-  llm.acquire(2, 10, LockMode::kExclusive, 20, [&](bool ok) { granted = ok; });
-  llm.cancel_waits(2);
-  llm.release_all(1);
+  llm.acquire(TxnId{2}, ObjectId{10}, LockMode::kExclusive, sim::SimTime{20}, [&](bool ok) { granted = ok; });
+  llm.cancel_waits(TxnId{2});
+  llm.release_all(TxnId{1});
   EXPECT_FALSE(granted);
-  EXPECT_EQ(llm.waiting_count(10), 0u);
+  EXPECT_EQ(llm.waiting_count(ObjectId{10}), 0u);
 }
 
 TEST(LocalLocks, CancelMiddleWaiterUnblocksCompatibleFront) {
   LocalLockManager llm;
-  llm.acquire(1, 10, LockMode::kShared, 10, [](bool) {});
+  llm.acquire(TxnId{1}, ObjectId{10}, LockMode::kShared, sim::SimTime{10}, [](bool) {});
   bool writer_granted = false;
   bool reader_granted = false;
-  llm.acquire(2, 10, LockMode::kExclusive, 20,
+  llm.acquire(TxnId{2}, ObjectId{10}, LockMode::kExclusive, sim::SimTime{20},
               [&](bool ok) { writer_granted = ok; });
-  llm.acquire(3, 10, LockMode::kShared, 30, [&](bool ok) { reader_granted = ok; });
+  llm.acquire(TxnId{3}, ObjectId{10}, LockMode::kShared, sim::SimTime{30}, [&](bool ok) { reader_granted = ok; });
   // Cancelling the writer lets the queued reader join the current holder.
-  llm.cancel_waits(2);
+  llm.cancel_waits(TxnId{2});
   EXPECT_TRUE(reader_granted);
   EXPECT_FALSE(writer_granted);
 }
 
 TEST(LocalLocks, ReleaseAllReleasesEverything) {
   LocalLockManager llm;
-  llm.acquire(1, 10, LockMode::kShared, 10, [](bool) {});
-  llm.acquire(1, 20, LockMode::kExclusive, 10, [](bool) {});
-  llm.acquire(1, 30, LockMode::kShared, 10, [](bool) {});
-  EXPECT_EQ(llm.objects_held(1).size(), 3u);
-  llm.release_all(1);
-  EXPECT_TRUE(llm.objects_held(1).empty());
+  llm.acquire(TxnId{1}, ObjectId{10}, LockMode::kShared, sim::SimTime{10}, [](bool) {});
+  llm.acquire(TxnId{1}, ObjectId{20}, LockMode::kExclusive, sim::SimTime{10}, [](bool) {});
+  llm.acquire(TxnId{1}, ObjectId{30}, LockMode::kShared, sim::SimTime{10}, [](bool) {});
+  EXPECT_EQ(llm.objects_held(TxnId{1}).size(), 3u);
+  llm.release_all(TxnId{1});
+  EXPECT_TRUE(llm.objects_held(TxnId{1}).empty());
   EXPECT_TRUE(llm.idle());
 }
 
 TEST(LocalLocks, ConflictingHoldersQuery) {
   LocalLockManager llm;
-  llm.acquire(1, 10, LockMode::kShared, 10, [](bool) {});
-  llm.acquire(2, 10, LockMode::kShared, 10, [](bool) {});
-  auto c = llm.conflicting_holders(10, LockMode::kExclusive, 1);
-  EXPECT_EQ(c, (std::vector<TxnId>{2}));
-  EXPECT_TRUE(llm.conflicting_holders(10, LockMode::kShared, 1).empty());
+  llm.acquire(TxnId{1}, ObjectId{10}, LockMode::kShared, sim::SimTime{10}, [](bool) {});
+  llm.acquire(TxnId{2}, ObjectId{10}, LockMode::kShared, sim::SimTime{10}, [](bool) {});
+  auto c = llm.conflicting_holders(ObjectId{10}, LockMode::kExclusive, TxnId{1});
+  EXPECT_EQ(c, (std::vector<TxnId>{TxnId{2}}));
+  EXPECT_TRUE(llm.conflicting_holders(ObjectId{10}, LockMode::kShared, TxnId{1}).empty());
 }
 
 TEST(LocalLocks, ReleaseUnknownIsSafe) {
   LocalLockManager llm;
-  llm.release(99, 10);
-  llm.release_all(99);
-  llm.cancel_waits(99);
+  llm.release(TxnId{99}, ObjectId{10});
+  llm.release_all(TxnId{99});
+  llm.cancel_waits(TxnId{99});
   EXPECT_TRUE(llm.idle());
 }
 
@@ -204,25 +204,25 @@ TEST(LocalLocks, GrantCallbackCanReacquire) {
   // Reentrancy: a grant callback releasing and re-acquiring must not
   // corrupt the table.
   LocalLockManager llm;
-  llm.acquire(1, 10, LockMode::kExclusive, 10, [](bool) {});
+  llm.acquire(TxnId{1}, ObjectId{10}, LockMode::kExclusive, sim::SimTime{10}, [](bool) {});
   bool inner = false;
-  llm.acquire(2, 10, LockMode::kExclusive, 20, [&](bool ok) {
+  llm.acquire(TxnId{2}, ObjectId{10}, LockMode::kExclusive, sim::SimTime{20}, [&](bool ok) {
     if (!ok) return;
-    llm.release_all(2);
-    inner = llm.acquire(3, 10, LockMode::kShared, 30, [](bool) {}) ==
+    llm.release_all(TxnId{2});
+    inner = llm.acquire(TxnId{3}, ObjectId{10}, LockMode::kShared, sim::SimTime{30}, [](bool) {}) ==
             Outcome::kGranted;
   });
-  llm.release_all(1);
+  llm.release_all(TxnId{1});
   EXPECT_TRUE(inner);
-  EXPECT_EQ(llm.held_mode(3, 10), LockMode::kShared);
+  EXPECT_EQ(llm.held_mode(TxnId{3}, ObjectId{10}), LockMode::kShared);
 }
 
 TEST(LocalLocks, WaitGraphEmptiesWhenQuiescent) {
   LocalLockManager llm;
-  llm.acquire(1, 10, LockMode::kExclusive, 10, [](bool) {});
-  llm.acquire(2, 10, LockMode::kExclusive, 20, [](bool) {});
-  llm.release_all(1);
-  llm.release_all(2);
+  llm.acquire(TxnId{1}, ObjectId{10}, LockMode::kExclusive, sim::SimTime{10}, [](bool) {});
+  llm.acquire(TxnId{2}, ObjectId{10}, LockMode::kExclusive, sim::SimTime{20}, [](bool) {});
+  llm.release_all(TxnId{1});
+  llm.release_all(TxnId{2});
   EXPECT_TRUE(llm.idle());
   EXPECT_EQ(llm.wait_graph().edge_count(), 0u);
 }

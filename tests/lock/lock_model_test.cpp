@@ -28,12 +28,12 @@ TEST_P(LocalLockModel, InvariantsHoldUnderRandomTraffic) {
   sim::Rng rng(GetParam());
   LocalLockManager llm;
 
-  constexpr TxnId kTxns = 12;
-  constexpr ObjectId kObjects = 6;
+  constexpr TxnId::Rep kTxns = 12;
+  constexpr ObjectId::Rep kObjects = 6;
   std::set<TxnId> live;
 
   const auto check_invariants = [&] {
-    for (ObjectId obj = 0; obj < kObjects; ++obj) {
+    for (ObjectId obj{0}; obj < ObjectId{kObjects}; ++obj) {
       const auto holders = llm.holders(obj);
       // Invariant 1: no two holders with incompatible modes.
       for (std::size_t i = 0; i < holders.size(); ++i) {
@@ -56,13 +56,15 @@ TEST_P(LocalLockModel, InvariantsHoldUnderRandomTraffic) {
   };
 
   for (int step = 0; step < 3000; ++step) {
-    const TxnId txn = 1 + rng.uniform_int(0, kTxns - 1);
-    const ObjectId obj = static_cast<ObjectId>(rng.uniform_int(0, kObjects - 1));
+    const TxnId txn{1 + rng.uniform_int(0, kTxns - 1)};
+    const ObjectId obj{
+        static_cast<ObjectId::Rep>(rng.uniform_int(0, kObjects - 1))};
     const double dice = rng.uniform01();
     if (dice < 0.55) {
       const LockMode mode = rng.bernoulli(0.3) ? LockMode::kExclusive
                                                : LockMode::kShared;
-      llm.acquire(txn, obj, mode, rng.uniform(0, 1000), [](bool) {});
+      llm.acquire(txn, obj, mode, sim::SimTime{rng.uniform(0, 1000)},
+                  [](bool) {});
       live.insert(txn);
     } else if (dice < 0.8) {
       llm.release(txn, obj);
@@ -77,7 +79,7 @@ TEST_P(LocalLockModel, InvariantsHoldUnderRandomTraffic) {
   check_invariants();
 
   // Drain: releasing everything must leave the manager fully quiescent.
-  for (TxnId t = 1; t <= kTxns; ++t) llm.release_all(t);
+  for (TxnId t{1}; t <= TxnId{kTxns}; ++t) llm.release_all(t);
   EXPECT_TRUE(llm.idle());
   EXPECT_EQ(llm.wait_graph().edge_count(), 0u);
 }
@@ -100,12 +102,12 @@ TEST(LocalLockLiveness, EveryWaiterResolvesExactlyOnce) {
     int granted = 0;
     int resolved_not_granted = 0;
     std::map<TxnId, bool> queued;  // txn -> resolved?
-    for (TxnId txn = 1; txn <= 40; ++txn) {
-      const ObjectId obj = static_cast<ObjectId>(rng.uniform_int(0, 3));
+    for (TxnId txn{1}; txn <= TxnId{40}; ++txn) {
+      const ObjectId obj{static_cast<ObjectId::Rep>(rng.uniform_int(0, 3))};
       const LockMode mode = rng.bernoulli(0.5) ? LockMode::kExclusive
                                                : LockMode::kShared;
       const auto out = llm.acquire(
-          txn, obj, mode, rng.uniform(0, 100),
+          txn, obj, mode, sim::SimTime{rng.uniform(0, 100)},
           [&, txn](bool ok) {
             (ok ? granted : resolved_not_granted) += 1;
             queued[txn] = true;
@@ -115,12 +117,12 @@ TEST(LocalLockLiveness, EveryWaiterResolvesExactlyOnce) {
     // Release every transaction that holds something until quiescent;
     // waiters that get granted along the way are then released too.
     for (int round = 0; round < 50 && !llm.idle(); ++round) {
-      for (TxnId t = 1; t <= 40; ++t) {
+      for (TxnId t{1}; t <= TxnId{40}; ++t) {
         if (!llm.objects_held(t).empty()) llm.release_all(t);
       }
       // Anything still only-waiting by the last round gets cancelled.
       if (round == 48) {
-        for (TxnId t = 1; t <= 40; ++t) llm.cancel_waits(t);
+        for (TxnId t{1}; t <= TxnId{40}; ++t) llm.cancel_waits(t);
       }
     }
     EXPECT_TRUE(llm.idle()) << "seed " << seed;
@@ -141,14 +143,16 @@ TEST_P(GlobalLockModel, HolderBookkeepingMatchesReferenceModel) {
   sim::Rng rng(GetParam());
   GlobalLockTable glt;
   // Reference model: the straightforward map everyone can agree on.
-  std::map<ObjectId, std::map<SiteId, LockMode>> model;
+  std::map<ObjectId, std::map<ClientId, LockMode>> model;
 
-  constexpr int kSites = 8;
-  constexpr ObjectId kObjects = 5;
+  constexpr int kClients = 8;
+  constexpr ObjectId::Rep kObjects = 5;
 
   for (int step = 0; step < 4000; ++step) {
-    const auto site = static_cast<SiteId>(1 + rng.uniform_int(0, kSites - 1));
-    const auto obj = static_cast<ObjectId>(rng.uniform_int(0, kObjects - 1));
+    const ClientId site{
+        static_cast<ClientId::Rep>(1 + rng.uniform_int(0, kClients - 1))};
+    const ObjectId obj{
+        static_cast<ObjectId::Rep>(rng.uniform_int(0, kObjects - 1))};
     const double dice = rng.uniform01();
     if (dice < 0.5) {
       const LockMode mode = rng.bernoulli(0.3) ? LockMode::kExclusive
@@ -184,8 +188,8 @@ TEST_P(GlobalLockModel, HolderBookkeepingMatchesReferenceModel) {
 
     // Cross-check queries against the model.
     if (step % 32 == 0) {
-      for (ObjectId o = 0; o < kObjects; ++o) {
-        for (SiteId s = 1; s <= kSites; ++s) {
+      for (ObjectId o{0}; o < ObjectId{kObjects}; ++o) {
+        for (ClientId s{1}; s <= ClientId{kClients}; ++s) {
           LockMode expect = LockMode::kNone;
           auto it = model.find(o);
           if (it != model.end()) {
@@ -196,7 +200,7 @@ TEST_P(GlobalLockModel, HolderBookkeepingMatchesReferenceModel) {
               << "obj " << o << " site " << s << " step " << step;
         }
         // can_grant(EL) iff no *other* holder at all.
-        for (SiteId s = 1; s <= kSites; ++s) {
+        for (ClientId s{1}; s <= ClientId{kClients}; ++s) {
           bool other = false;
           auto it = model.find(o);
           if (it != model.end()) {
@@ -219,8 +223,9 @@ TEST(GlobalLockModel, ConflictCountMatchesBruteForce) {
   sim::Rng rng(77);
   GlobalLockTable glt;
   for (int i = 0; i < 60; ++i) {
-    glt.add_holder(static_cast<ObjectId>(rng.uniform_int(0, 9)),
-                   static_cast<SiteId>(1 + rng.uniform_int(0, 5)),
+    glt.add_holder(ObjectId{static_cast<ObjectId::Rep>(rng.uniform_int(0, 9))},
+                   ClientId{static_cast<ClientId::Rep>(
+                       1 + rng.uniform_int(0, 5))},
                    rng.bernoulli(0.4) ? LockMode::kExclusive
                                       : LockMode::kShared);
   }
@@ -228,11 +233,13 @@ TEST(GlobalLockModel, ConflictCountMatchesBruteForce) {
     std::vector<std::pair<ObjectId, LockMode>> needs;
     const auto n = 1 + rng.uniform_int(0, 7);
     for (std::uint64_t k = 0; k < n; ++k) {
-      needs.emplace_back(static_cast<ObjectId>(rng.uniform_int(0, 9)),
+      needs.emplace_back(
+          ObjectId{static_cast<ObjectId::Rep>(rng.uniform_int(0, 9))},
                          rng.bernoulli(0.4) ? LockMode::kExclusive
                                             : LockMode::kShared);
     }
-    const auto site = static_cast<SiteId>(1 + rng.uniform_int(0, 5));
+    const ClientId site{
+        static_cast<ClientId::Rep>(1 + rng.uniform_int(0, 5))};
     std::size_t brute = 0;
     for (const auto& [obj, mode] : needs) {
       if (!glt.conflicting_holders(obj, mode, site).empty()) ++brute;

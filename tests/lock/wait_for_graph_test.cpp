@@ -6,124 +6,147 @@ namespace rtdb::lock {
 namespace {
 
 TEST(WaitForGraph, EmptyHasNoCycle) {
-  WaitForGraph g;
+  WaitForGraph<TxnId> g;
   EXPECT_TRUE(g.empty());
   EXPECT_FALSE(g.has_cycle());
   EXPECT_EQ(g.edge_count(), 0u);
 }
 
 TEST(WaitForGraph, SelfWaitIsDeadlock) {
-  WaitForGraph g;
-  EXPECT_TRUE(g.would_deadlock(1, {1}));
+  WaitForGraph<TxnId> g;
+  EXPECT_TRUE(g.would_deadlock(TxnId{1}, {TxnId{1}}));
 }
 
 TEST(WaitForGraph, DirectCycleDetected) {
-  WaitForGraph g;
-  EXPECT_TRUE(g.try_add_edges(1, {2}));
-  EXPECT_TRUE(g.would_deadlock(2, {1}));
-  EXPECT_FALSE(g.try_add_edges(2, {1}));
+  WaitForGraph<TxnId> g;
+  EXPECT_TRUE(g.try_add_edges(TxnId{1}, {TxnId{2}}));
+  EXPECT_TRUE(g.would_deadlock(TxnId{2}, {TxnId{1}}));
+  EXPECT_FALSE(g.try_add_edges(TxnId{2}, {TxnId{1}}));
   EXPECT_FALSE(g.has_cycle());  // refused edge left no trace
 }
 
 TEST(WaitForGraph, TransitiveCycleDetected) {
-  WaitForGraph g;
-  EXPECT_TRUE(g.try_add_edges(1, {2}));
-  EXPECT_TRUE(g.try_add_edges(2, {3}));
-  EXPECT_TRUE(g.try_add_edges(3, {4}));
-  EXPECT_TRUE(g.would_deadlock(4, {1}));
-  EXPECT_FALSE(g.try_add_edges(4, {1}));
+  WaitForGraph<TxnId> g;
+  EXPECT_TRUE(g.try_add_edges(TxnId{1}, {TxnId{2}}));
+  EXPECT_TRUE(g.try_add_edges(TxnId{2}, {TxnId{3}}));
+  EXPECT_TRUE(g.try_add_edges(TxnId{3}, {TxnId{4}}));
+  EXPECT_TRUE(g.would_deadlock(TxnId{4}, {TxnId{1}}));
+  EXPECT_FALSE(g.try_add_edges(TxnId{4}, {TxnId{1}}));
 }
 
 TEST(WaitForGraph, DagIsAccepted) {
-  WaitForGraph g;
-  EXPECT_TRUE(g.try_add_edges(1, {2, 3}));
-  EXPECT_TRUE(g.try_add_edges(2, {4}));
-  EXPECT_TRUE(g.try_add_edges(3, {4}));
+  WaitForGraph<TxnId> g;
+  EXPECT_TRUE(g.try_add_edges(TxnId{1}, {TxnId{2}, TxnId{3}}));
+  EXPECT_TRUE(g.try_add_edges(TxnId{2}, {TxnId{4}}));
+  EXPECT_TRUE(g.try_add_edges(TxnId{3}, {TxnId{4}}));
   EXPECT_FALSE(g.has_cycle());
   EXPECT_EQ(g.edge_count(), 4u);
 }
 
 TEST(WaitForGraph, MultipleHoldersCheckedTogether) {
-  WaitForGraph g;
-  g.add_edges(5, {6});
+  WaitForGraph<TxnId> g;
+  g.add_edges(TxnId{5}, {TxnId{6}});
   // Waiting on {7, 5-reaching-node} deadlocks even though 7 alone is fine.
-  EXPECT_FALSE(g.would_deadlock(6, {7}));
-  EXPECT_TRUE(g.would_deadlock(6, {7, 5}));
+  EXPECT_FALSE(g.would_deadlock(TxnId{6}, {TxnId{7}}));
+  EXPECT_TRUE(g.would_deadlock(TxnId{6}, {TxnId{7}, TxnId{5}}));
 }
 
 TEST(WaitForGraph, RemoveEdgeBreaksCycleRisk) {
-  WaitForGraph g;
-  g.add_edges(1, {2});
-  g.remove_edge(1, 2);
-  EXPECT_TRUE(g.try_add_edges(2, {1}));
+  WaitForGraph<TxnId> g;
+  g.add_edges(TxnId{1}, {TxnId{2}});
+  g.remove_edge(TxnId{1}, TxnId{2});
+  EXPECT_TRUE(g.try_add_edges(TxnId{2}, {TxnId{1}}));
 }
 
 TEST(WaitForGraph, CountedEdgesNeedAllRemovals) {
-  WaitForGraph g;
+  WaitForGraph<TxnId> g;
   // The same waiter->holder pair justified by two different objects.
-  g.add_edges(1, {2});
-  g.add_edges(1, {2});
-  g.remove_edge(1, 2);
+  g.add_edges(TxnId{1}, {TxnId{2}});
+  g.add_edges(TxnId{1}, {TxnId{2}});
+  g.remove_edge(TxnId{1}, TxnId{2});
   // One justification remains: the reverse edge still deadlocks.
-  EXPECT_TRUE(g.would_deadlock(2, {1}));
-  g.remove_edge(1, 2);
-  EXPECT_FALSE(g.would_deadlock(2, {1}));
+  EXPECT_TRUE(g.would_deadlock(TxnId{2}, {TxnId{1}}));
+  g.remove_edge(TxnId{1}, TxnId{2});
+  EXPECT_FALSE(g.would_deadlock(TxnId{2}, {TxnId{1}}));
 }
 
 TEST(WaitForGraph, RemoveNodeClearsBothDirections) {
-  WaitForGraph g;
-  g.add_edges(1, {2});
-  g.add_edges(3, {1});
-  g.remove_node(1);
+  WaitForGraph<TxnId> g;
+  g.add_edges(TxnId{1}, {TxnId{2}});
+  g.add_edges(TxnId{3}, {TxnId{1}});
+  g.remove_node(TxnId{1});
   EXPECT_TRUE(g.empty() || g.edge_count() == 0u);
-  EXPECT_TRUE(g.try_add_edges(2, {3}));
+  EXPECT_TRUE(g.try_add_edges(TxnId{2}, {TxnId{3}}));
 }
 
 TEST(WaitForGraph, WaitsForLists) {
-  WaitForGraph g;
-  g.add_edges(1, {2, 3});
-  auto w = g.waits_for(1);
+  WaitForGraph<TxnId> g;
+  g.add_edges(TxnId{1}, {TxnId{2}, TxnId{3}});
+  auto w = g.waits_for(TxnId{1});
   std::sort(w.begin(), w.end());
-  EXPECT_EQ(w, (std::vector<WaitForGraph::Node>{2, 3}));
-  EXPECT_TRUE(g.waits_for(9).empty());
+  EXPECT_EQ(w, (std::vector<TxnId>{TxnId{2}, TxnId{3}}));
+  EXPECT_TRUE(g.waits_for(TxnId{9}).empty());
 }
 
 TEST(WaitForGraph, HasCycleDetectsForcedCycle) {
-  WaitForGraph g;
+  WaitForGraph<TxnId> g;
   // add_edges is unconditional; build a cycle deliberately.
-  g.add_edges(1, {2});
-  g.add_edges(2, {1});
+  g.add_edges(TxnId{1}, {TxnId{2}});
+  g.add_edges(TxnId{2}, {TxnId{1}});
   EXPECT_TRUE(g.has_cycle());
-  g.remove_edge(2, 1);
+  g.remove_edge(TxnId{2}, TxnId{1});
   EXPECT_FALSE(g.has_cycle());
 }
 
 TEST(WaitForGraph, LongChainNoFalsePositive) {
-  WaitForGraph g;
-  for (WaitForGraph::Node n = 0; n < 100; ++n) {
-    EXPECT_TRUE(g.try_add_edges(n, {n + 1}));
+  WaitForGraph<TxnId> g;
+  for (TxnId n{0}; n < TxnId{100}; ++n) {
+    EXPECT_TRUE(g.try_add_edges(n, {TxnId{n.value() + 1}}));
   }
   EXPECT_FALSE(g.has_cycle());
-  EXPECT_TRUE(g.would_deadlock(100, {0}));
-  EXPECT_FALSE(g.would_deadlock(100, {101}));
+  EXPECT_TRUE(g.would_deadlock(TxnId{100}, {TxnId{0}}));
+  EXPECT_FALSE(g.would_deadlock(TxnId{100}, {TxnId{101}}));
 }
 
 TEST(WaitForGraph, DuplicateHoldersInOneCall) {
-  WaitForGraph g;
-  g.add_edges(1, {2, 2, 2});
+  WaitForGraph<TxnId> g;
+  g.add_edges(TxnId{1}, {TxnId{2}, TxnId{2}, TxnId{2}});
   // Three justifications were recorded; removing once keeps the edge.
-  g.remove_edge(1, 2);
-  EXPECT_TRUE(g.would_deadlock(2, {1}));
-  g.remove_edge(1, 2);
-  g.remove_edge(1, 2);
-  EXPECT_FALSE(g.would_deadlock(2, {1}));
+  g.remove_edge(TxnId{1}, TxnId{2});
+  EXPECT_TRUE(g.would_deadlock(TxnId{2}, {TxnId{1}}));
+  g.remove_edge(TxnId{1}, TxnId{2});
+  g.remove_edge(TxnId{1}, TxnId{2});
+  EXPECT_FALSE(g.would_deadlock(TxnId{2}, {TxnId{1}}));
 }
 
 TEST(WaitForGraph, SelfEdgesIgnoredOnAdd) {
-  WaitForGraph g;
-  g.add_edges(1, {1});
+  WaitForGraph<TxnId> g;
+  g.add_edges(TxnId{1}, {TxnId{1}});
   EXPECT_EQ(g.edge_count(), 0u);
   EXPECT_FALSE(g.has_cycle());
+}
+
+TEST(WaitForGraph, MixedTxnClientNodesDetectCycles) {
+  // The server's graph mixes transaction and client nodes (a queued entry
+  // waits on holders identified by client). TxnOrClientNode keeps the two
+  // id spaces disjoint by construction, so txn 5 and client 5 are distinct
+  // vertices — a cycle through one must not leak into the other.
+  WaitForGraph<TxnOrClientNode> g;
+  const auto t5 = TxnOrClientNode::of_txn(TxnId{5});
+  const auto c5 = TxnOrClientNode::of_client(ClientId{5});
+  EXPECT_NE(t5, c5);
+
+  // txn5 -> client5 -> txn7 -> txn5 is a cycle; would_deadlock must refuse
+  // the closing edge and try_add_edges must reject it.
+  g.add_edges(t5, {c5});
+  g.add_edges(c5, {TxnOrClientNode::of_txn(TxnId{7})});
+  EXPECT_TRUE(g.would_deadlock(TxnOrClientNode::of_txn(TxnId{7}), {t5}));
+  EXPECT_FALSE(g.try_add_edges(TxnOrClientNode::of_txn(TxnId{7}), {t5}));
+  EXPECT_FALSE(g.has_cycle());
+
+  // A same-numbered node from the other family is NOT on the path.
+  EXPECT_FALSE(g.would_deadlock(TxnOrClientNode::of_txn(TxnId{7}),
+                                {TxnOrClientNode::of_client(ClientId{7})}));
 }
 
 }  // namespace

@@ -12,8 +12,8 @@ namespace {
 NetworkConfig cfg() {
   NetworkConfig c;
   c.bandwidth_bps = 10e6;
-  c.fixed_latency = 0.001;
-  c.directory_delay = 0.0005;
+  c.fixed_latency = sim::seconds(0.001);
+  c.directory_delay = sim::seconds(0.0005);
   c.header_bytes = 64;
   return c;
 }
@@ -21,15 +21,15 @@ NetworkConfig cfg() {
 TEST(NetworkEdge, DirectoryRelayCountedOnceButOccupiesWireTwice) {
   sim::Simulator sim;
   Network relay(sim, cfg());
-  relay.send(1, 2, MessageKind::kObjectForward, [] {});
-  sim.run_until(1.0);
+  relay.send<MessageKind::kObjectForward>(ClientId{1}, ClientId{2}, [] {});
+  sim.run_until(sim::SimTime{1.0});
   // One logical message...
   EXPECT_EQ(relay.stats().messages(MessageKind::kObjectForward), 1u);
-  // ...but roughly twice the wire time of a server-bound send.
+  // ...but roughly twice the wire time of a same-size server-bound send.
   sim::Simulator sim2;
   Network direct(sim2, cfg());
-  direct.send(1, kServerSite, MessageKind::kObjectForward, [] {});
-  sim2.run_until(1.0);
+  direct.send<MessageKind::kObjectReturn>(ClientId{1}, kServer, [] {});
+  sim2.run_until(sim::SimTime{1.0});
   EXPECT_NEAR(relay.utilization(), 2 * direct.utilization(), 1e-6);
 }
 
@@ -37,11 +37,11 @@ TEST(NetworkEdge, SaturationSerializesAndDelaysDelivery) {
   sim::Simulator sim;
   Network net(sim, cfg());
   // 2 KB objects take ~1.69 ms each on the wire: 1000 of them need ~1.7 s.
-  sim::SimTime last = 0;
+  sim::SimTime last{};
   for (int i = 0; i < 1000; ++i) {
-    last = net.send(kServerSite, 1, MessageKind::kObjectShip, [] {});
+    last = net.send<MessageKind::kObjectShip>(kServer, ClientId{1}, [] {});
   }
-  EXPECT_GT(last, 1.5);
+  EXPECT_GT(last, sim::SimTime{1.5});
   sim.run();
   EXPECT_NEAR(net.utilization(), 1.0, 0.05);
 }
@@ -51,41 +51,41 @@ TEST(NetworkEdge, ResetKeepsWireStateConsistent) {
   Network net(sim, cfg());
   int delivered = 0;
   for (int i = 0; i < 10; ++i) {
-    net.send(1, kServerSite, MessageKind::kObjectShip,
-             [&] { ++delivered; });
+    net.send<MessageKind::kObjectReturn>(ClientId{1}, kServer,
+                                         [&] { ++delivered; });
   }
   net.reset_stats();  // mid-flight
   sim.run();
   EXPECT_EQ(delivered, 10);  // deliveries unaffected
   EXPECT_EQ(net.stats().total_messages(), 0u);  // counters cleared
   // New traffic after the reset queues behind the drained wire correctly.
-  const auto t = net.send(1, kServerSite, MessageKind::kControl, [] {});
+  const auto t = net.send<MessageKind::kControl>(ClientId{1}, kServer, [] {});
   EXPECT_GE(t, sim.now());
 }
 
 TEST(NetworkEdge, BytesIncludeFrameHeader) {
   sim::Simulator sim;
   Network net(sim, cfg());
-  net.send(1, kServerSite, MessageKind::kControl, 100, [] {});
+  net.send<MessageKind::kControl>(ClientId{1}, kServer, 100, [] {});
   EXPECT_EQ(net.stats().bytes(MessageKind::kControl), 164u);
 }
 
 TEST(NetworkEdge, ZeroPayloadStillCostsHeader) {
   sim::Simulator sim;
   Network net(sim, cfg());
-  const auto t = net.send(1, kServerSite, MessageKind::kControl, 0, [] {});
+  const auto t = net.send<MessageKind::kControl>(ClientId{1}, kServer, 0, [] {});
   // 64 header bytes at 10 Mbps = 51.2 us, plus 1 ms latency.
-  EXPECT_NEAR(t, 0.0010512, 1e-7);
+  EXPECT_NEAR(t.sec(), 0.0010512, 1e-7);
 }
 
 TEST(NetworkEdge, ManySmallBeforeLargePreservesFifoPerWire) {
   sim::Simulator sim;
   Network net(sim, cfg());
   std::vector<int> order;
-  net.send(1, kServerSite, MessageKind::kObjectShip,
-           [&] { order.push_back(0); });  // large frame first
-  net.send(2, kServerSite, MessageKind::kControl,
-           [&] { order.push_back(1); });  // small one behind it
+  net.send<MessageKind::kObjectReturn>(ClientId{1}, kServer,
+                                       [&] { order.push_back(0); });
+  net.send<MessageKind::kControl>(ClientId{2}, kServer,
+                                  [&] { order.push_back(1); });
   sim.run();
   EXPECT_EQ(order, (std::vector<int>{0, 1}));
 }

@@ -10,8 +10,8 @@ namespace {
 NetworkConfig fast_config() {
   NetworkConfig c;
   c.bandwidth_bps = 10e6;
-  c.fixed_latency = 0.001;
-  c.directory_delay = 0.0005;
+  c.fixed_latency = sim::seconds(0.001);
+  c.directory_delay = sim::seconds(0.0005);
   c.header_bytes = 64;
   return c;
 }
@@ -48,10 +48,10 @@ TEST(Network, DeliveryTimeIncludesTransmissionAndLatency) {
   sim::Simulator sim;
   Network net(sim, fast_config());
   bool delivered = false;
-  const auto at = net.send(1, kServerSite, MessageKind::kControl, 936,
-                           [&] { delivered = true; });
+  const auto at = net.send<MessageKind::kControl>(
+      ClientId{1}, kServer, 936, [&] { delivered = true; });
   // (936 + 64 header) * 8 bits / 10 Mbps = 0.8 ms, + 1 ms fixed latency.
-  EXPECT_NEAR(at, 0.0018, 1e-9);
+  EXPECT_NEAR(at.sec(), 0.0018, 1e-9);
   sim.run();
   EXPECT_TRUE(delivered);
 }
@@ -61,19 +61,21 @@ TEST(Network, SharedWireSerializesTransmissions) {
   Network net(sim, fast_config());
   std::vector<double> deliveries;
   for (int i = 0; i < 3; ++i) {
-    net.send(1, kServerSite, MessageKind::kControl, 936, [] {});
+    net.send<MessageKind::kControl>(ClientId{1}, kServer, 936, [] {});
   }
   // Each frame occupies the wire 0.8 ms; the third completes transmission
   // at 2.4 ms + 1 ms latency.
-  const auto last = net.send(2, kServerSite, MessageKind::kControl, 936, [] {});
-  EXPECT_NEAR(last, 4 * 0.0008 + 0.001, 1e-9);
+  const auto last =
+      net.send<MessageKind::kControl>(ClientId{2}, kServer, 936, [] {});
+  EXPECT_NEAR(last.sec(), 4 * 0.0008 + 0.001, 1e-9);
 }
 
 TEST(Network, LoopbackIsFreeAndUncounted) {
   sim::Simulator sim;
   Network net(sim, fast_config());
   bool delivered = false;
-  net.send(3, 3, MessageKind::kObjectShip, [&] { delivered = true; });
+  net.send<MessageKind::kObjectForward>(ClientId{3}, ClientId{3},
+                                        [&] { delivered = true; });
   sim.run();
   EXPECT_TRUE(delivered);
   EXPECT_EQ(net.stats().total_messages(), 0u);
@@ -83,20 +85,21 @@ TEST(Network, ClientToClientRoutesViaDirectory) {
   sim::Simulator sim;
   Network net(sim, fast_config());
   const auto direct =
-      net.send(1, kServerSite, MessageKind::kControl, 936, [] {});
+      net.send<MessageKind::kControl>(ClientId{1}, kServer, 936, [] {});
   sim::Simulator sim2;
   Network net2(sim2, fast_config());
-  const auto relayed = net2.send(1, 2, MessageKind::kControl, 936, [] {});
+  const auto relayed =
+      net2.send<MessageKind::kControl>(ClientId{1}, ClientId{2}, 936, [] {});
   // Two wire occupancies + the directory forwarding delay.
-  EXPECT_GT(relayed, direct + 0.0008);
+  EXPECT_GT(relayed, direct + sim::seconds(0.0008));
 }
 
 TEST(Network, CountsByKind) {
   sim::Simulator sim;
   Network net(sim, fast_config());
-  net.send(1, kServerSite, MessageKind::kObjectRequest, [] {});
-  net.send(kServerSite, 1, MessageKind::kObjectShip, [] {});
-  net.send(kServerSite, 1, MessageKind::kObjectShip, [] {});
+  net.send<MessageKind::kObjectRequest>(ClientId{1}, kServer, [] {});
+  net.send<MessageKind::kObjectShip>(kServer, ClientId{1}, [] {});
+  net.send<MessageKind::kObjectShip>(kServer, ClientId{1}, [] {});
   EXPECT_EQ(net.stats().messages(MessageKind::kObjectRequest), 1u);
   EXPECT_EQ(net.stats().messages(MessageKind::kObjectShip), 2u);
 }
@@ -104,8 +107,8 @@ TEST(Network, CountsByKind) {
 TEST(Network, DefaultSizesVaryByKind) {
   sim::Simulator sim;
   Network net(sim, fast_config());
-  net.send(kServerSite, 1, MessageKind::kObjectShip, [] {});
-  net.send(1, kServerSite, MessageKind::kObjectRequest, [] {});
+  net.send<MessageKind::kObjectShip>(kServer, ClientId{1}, [] {});
+  net.send<MessageKind::kObjectRequest>(ClientId{1}, kServer, [] {});
   const auto ship_bytes = net.stats().bytes(MessageKind::kObjectShip);
   const auto req_bytes = net.stats().bytes(MessageKind::kObjectRequest);
   EXPECT_GT(ship_bytes, req_bytes);  // a 2 KB object vs a small request
@@ -115,8 +118,8 @@ TEST(Network, SendBatchCountsEachFrameDeliversOnce) {
   sim::Simulator sim;
   Network net(sim, fast_config());
   int deliveries = 0;
-  net.send_batch(1, kServerSite, MessageKind::kObjectRequest, 5,
-                 [&] { ++deliveries; });
+  net.send_batch<MessageKind::kObjectRequest>(ClientId{1}, kServer, 5,
+                                              [&] { ++deliveries; });
   sim.run();
   EXPECT_EQ(deliveries, 1);
   EXPECT_EQ(net.stats().messages(MessageKind::kObjectRequest), 5u);
@@ -126,8 +129,8 @@ TEST(Network, SendBatchZeroBehavesAsOne) {
   sim::Simulator sim;
   Network net(sim, fast_config());
   int deliveries = 0;
-  net.send_batch(1, kServerSite, MessageKind::kControl, 0,
-                 [&] { ++deliveries; });
+  net.send_batch<MessageKind::kControl>(ClientId{1}, kServer, 0,
+                                        [&] { ++deliveries; });
   sim.run();
   EXPECT_EQ(deliveries, 1);
   EXPECT_EQ(net.stats().messages(MessageKind::kControl), 1u);
@@ -137,9 +140,9 @@ TEST(Network, UtilizationGrowsWithTraffic) {
   sim::Simulator sim;
   Network net(sim, fast_config());
   for (int i = 0; i < 100; ++i) {
-    net.send(1, kServerSite, MessageKind::kObjectShip, [] {});
+    net.send<MessageKind::kObjectReturn>(ClientId{1}, kServer, [] {});
   }
-  sim.run_until(1.0);
+  sim.run_until(sim::SimTime{1.0});
   EXPECT_GT(net.utilization(), 0.1);
   EXPECT_LE(net.utilization(), 1.0);
 }
@@ -148,7 +151,8 @@ TEST(Network, ResetStatsClearsCountersKeepsInFlight) {
   sim::Simulator sim;
   Network net(sim, fast_config());
   bool delivered = false;
-  net.send(1, kServerSite, MessageKind::kControl, [&] { delivered = true; });
+  net.send<MessageKind::kControl>(ClientId{1}, kServer,
+                                  [&] { delivered = true; });
   net.reset_stats();
   EXPECT_EQ(net.stats().total_messages(), 0u);
   sim.run();
@@ -159,8 +163,10 @@ TEST(Network, MessagesDeliverInSendOrderBetweenSamePair) {
   sim::Simulator sim;
   Network net(sim, fast_config());
   std::vector<int> order;
-  net.send(1, kServerSite, MessageKind::kControl, [&] { order.push_back(1); });
-  net.send(1, kServerSite, MessageKind::kControl, [&] { order.push_back(2); });
+  net.send<MessageKind::kControl>(ClientId{1}, kServer,
+                                  [&] { order.push_back(1); });
+  net.send<MessageKind::kControl>(ClientId{1}, kServer,
+                                  [&] { order.push_back(2); });
   sim.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }

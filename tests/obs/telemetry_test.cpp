@@ -19,10 +19,11 @@ TelemetryConfig spans_on() {
 
 TEST(TelemetrySpan, DisabledRecordsNothing) {
   Telemetry tel;  // default config: everything off
-  tel.txn_admit(1, 2, 0.0, 5.0, 0.0);
-  tel.txn_ready(1, 1.0);
-  tel.txn_end(1, Outcome::kCommitted, 2.0);
-  tel.event(EventKind::kTxnCommit, 2.0, 2, 1);
+  tel.txn_admit(TxnId{1}, SiteId{2}, sim::SimTime{0.0},
+                sim::SimTime{5.0}, sim::SimTime{0.0});
+  tel.txn_ready(TxnId{1}, sim::SimTime{1.0});
+  tel.txn_end(TxnId{1}, Outcome::kCommitted, sim::SimTime{2.0});
+  tel.event(EventKind::kTxnCommit, sim::SimTime{2.0}, SiteId{2}, TxnId{1});
   EXPECT_EQ(tel.span_count(), 0u);
   EXPECT_TRUE(tel.events().empty());
 }
@@ -30,48 +31,53 @@ TEST(TelemetrySpan, DisabledRecordsNothing) {
 TEST(TelemetrySpan, AdmitIsIdempotent) {
   Telemetry tel;
   tel.configure(spans_on());
-  tel.txn_admit(7, 3, 0.0, 9.0, 0.5);
-  tel.txn_admit(7, 4, 1.0, 8.0, 1.5);  // remote re-admission: ignored
+  tel.txn_admit(TxnId{7}, SiteId{3}, sim::SimTime{0.0},
+                sim::SimTime{9.0}, sim::SimTime{0.5});
+  tel.txn_admit(TxnId{7}, SiteId{4}, sim::SimTime{1.0},
+                sim::SimTime{8.0}, sim::SimTime{1.5});  // remote re-admission: ignored
   ASSERT_EQ(tel.span_count(), 1u);
   const TxnSpan* s = tel.spans_sorted()[0];
-  EXPECT_EQ(s->origin, 3);
-  EXPECT_DOUBLE_EQ(s->admit, 0.5);
-  EXPECT_DOUBLE_EQ(s->deadline, 9.0);
+  EXPECT_EQ(s->origin, SiteId{3});
+  EXPECT_DOUBLE_EQ(s->admit.sec(), 0.5);
+  EXPECT_DOUBLE_EQ(s->deadline.sec(), 9.0);
 }
 
 TEST(TelemetrySpan, QueueWaitAccumulatesAcrossEpisodes) {
   Telemetry tel;
   tel.configure(spans_on());
-  tel.txn_admit(1, 2, 0.0, 100.0, 0.0);
-  tel.txn_ready(1, 1.0);
-  tel.txn_exec_start(1, 3.0);  // 2s queued
-  tel.txn_ready(1, 5.0);       // restarted, queued again
-  tel.txn_exec_start(1, 6.5);  // +1.5s
-  tel.txn_end(1, Outcome::kCommitted, 8.0);
+  tel.txn_admit(TxnId{1}, SiteId{2}, sim::SimTime{0.0},
+                sim::SimTime{100.0}, sim::SimTime{0.0});
+  tel.txn_ready(TxnId{1}, sim::SimTime{1.0});
+  tel.txn_exec_start(TxnId{1}, sim::SimTime{3.0});  // 2s queued
+  tel.txn_ready(TxnId{1}, sim::SimTime{5.0});       // restarted, queued again
+  tel.txn_exec_start(TxnId{1}, sim::SimTime{6.5});  // +1.5s
+  tel.txn_end(TxnId{1}, Outcome::kCommitted, sim::SimTime{8.0});
   const TxnSpan* s = tel.spans_sorted()[0];
   EXPECT_DOUBLE_EQ(s->wait[static_cast<int>(WaitBucket::kQueue)], 3.5);
-  EXPECT_DOUBLE_EQ(s->first_ready, 1.0);
-  EXPECT_DOUBLE_EQ(s->first_exec, 3.0);
+  EXPECT_DOUBLE_EQ(s->first_ready.sec(), 1.0);
+  EXPECT_DOUBLE_EQ(s->first_exec.sec(), 3.0);
   EXPECT_EQ(s->outcome, Outcome::kCommitted);
 }
 
 TEST(TelemetrySpan, DequeuedClosesEpisodeWithoutMarkingExec) {
   Telemetry tel;
   tel.configure(spans_on());
-  tel.txn_admit(1, 2, 0.0, 100.0, 0.0);
-  tel.txn_ready(1, 1.0);
-  tel.txn_dequeued(1, 4.0);  // left an admission queue, not an executor
+  tel.txn_admit(TxnId{1}, SiteId{2}, sim::SimTime{0.0},
+                sim::SimTime{100.0}, sim::SimTime{0.0});
+  tel.txn_ready(TxnId{1}, sim::SimTime{1.0});
+  tel.txn_dequeued(TxnId{1}, sim::SimTime{4.0});  // left an admission queue, not an executor
   const TxnSpan* s = tel.spans_sorted()[0];
   EXPECT_DOUBLE_EQ(s->wait[static_cast<int>(WaitBucket::kQueue)], 3.0);
-  EXPECT_DOUBLE_EQ(s->first_exec, -1.0);
+  EXPECT_DOUBLE_EQ(s->first_exec.sec(), -1.0);
 }
 
 TEST(TelemetrySpan, DyingInReadyQueueCountsAsQueueWait) {
   Telemetry tel;
   tel.configure(spans_on());
-  tel.txn_admit(1, 2, 0.0, 10.0, 0.0);
-  tel.txn_ready(1, 2.0);
-  tel.txn_end(1, Outcome::kMissed, 10.0);  // never executed
+  tel.txn_admit(TxnId{1}, SiteId{2}, sim::SimTime{0.0},
+                sim::SimTime{10.0}, sim::SimTime{0.0});
+  tel.txn_ready(TxnId{1}, sim::SimTime{2.0});
+  tel.txn_end(TxnId{1}, Outcome::kMissed, sim::SimTime{10.0});  // never executed
   const TxnSpan* s = tel.spans_sorted()[0];
   EXPECT_DOUBLE_EQ(s->wait[static_cast<int>(WaitBucket::kQueue)], 8.0);
   EXPECT_EQ(s->dominant_wait(), WaitBucket::kQueue);
@@ -80,38 +86,42 @@ TEST(TelemetrySpan, DyingInReadyQueueCountsAsQueueWait) {
 TEST(TelemetrySpan, EndIsFirstWins) {
   Telemetry tel;
   tel.configure(spans_on());
-  tel.txn_admit(1, 2, 0.0, 10.0, 0.0);
-  tel.txn_end(1, Outcome::kCommitted, 4.0);
-  tel.txn_end(1, Outcome::kAborted, 5.0);  // late speculation loser: ignored
+  tel.txn_admit(TxnId{1}, SiteId{2}, sim::SimTime{0.0},
+                sim::SimTime{10.0}, sim::SimTime{0.0});
+  tel.txn_end(TxnId{1}, Outcome::kCommitted, sim::SimTime{4.0});
+  tel.txn_end(TxnId{1}, Outcome::kAborted, sim::SimTime{5.0});  // late speculation loser: ignored
   const TxnSpan* s = tel.spans_sorted()[0];
   EXPECT_EQ(s->outcome, Outcome::kCommitted);
-  EXPECT_DOUBLE_EQ(s->end, 4.0);
+  EXPECT_DOUBLE_EQ(s->end.sec(), 4.0);
 }
 
 TEST(TelemetryWait, LockQueueServedSplitsRoundTrip) {
   Telemetry tel;
   tel.configure(spans_on());
-  tel.txn_admit(1, 2, 0.0, 100.0, 0.0);
+  tel.txn_admit(TxnId{1}, SiteId{2}, sim::SimTime{0.0},
+                sim::SimTime{100.0}, sim::SimTime{0.0});
   // Server: queued at t=1 behind site 5, served at t=4 (3s lock wait).
-  tel.lock_queued(1, 42, 5, 1.0);
-  tel.lock_served(1, 42, 4.0);
+  tel.lock_queued(TxnId{1}, ObjectId{42}, SiteId{5},
+                  sim::SimTime{1.0});
+  tel.lock_served(TxnId{1}, ObjectId{42}, sim::SimTime{4.0});
   // Client: whole object round trip took 5s -> 3s lock + 2s network.
-  tel.object_wait(1, 42, 5.0);
+  tel.object_wait(TxnId{1}, ObjectId{42}, sim::seconds(5.0));
   const TxnSpan* s = tel.spans_sorted()[0];
   EXPECT_DOUBLE_EQ(s->wait[static_cast<int>(WaitBucket::kLock)], 3.0);
   EXPECT_DOUBLE_EQ(s->wait[static_cast<int>(WaitBucket::kNet)], 2.0);
-  EXPECT_EQ(s->worst_object, 42u);
-  EXPECT_EQ(s->worst_holder, 5);
+  EXPECT_EQ(s->worst_object, ObjectId{42});
+  EXPECT_EQ(s->worst_holder, SiteId{5});
   EXPECT_DOUBLE_EQ(s->worst_object_wait, 3.0);
 }
 
 TEST(TelemetryWait, ServerDiskWaitIsNotDoubleCountedAsNetwork) {
   Telemetry tel;
   tel.configure(spans_on());
-  tel.txn_admit(1, 2, 0.0, 100.0, 0.0);
+  tel.txn_admit(TxnId{1}, SiteId{2}, sim::SimTime{0.0},
+                sim::SimTime{100.0}, sim::SimTime{0.0});
   // Instant grant, but the page read before shipping took 0.4s.
-  tel.server_disk_wait(1, 42, 0.4);
-  tel.object_wait(1, 42, 1.0);  // client saw 1.0s total
+  tel.server_disk_wait(TxnId{1}, ObjectId{42}, sim::seconds(0.4));
+  tel.object_wait(TxnId{1}, ObjectId{42}, sim::seconds(1.0));  // client saw 1.0s total
   const TxnSpan* s = tel.spans_sorted()[0];
   EXPECT_DOUBLE_EQ(s->wait[static_cast<int>(WaitBucket::kDisk)], 0.4);
   EXPECT_DOUBLE_EQ(s->wait[static_cast<int>(WaitBucket::kNet)], 0.6);
@@ -121,13 +131,15 @@ TEST(TelemetryWait, ServerDiskWaitIsNotDoubleCountedAsNetwork) {
 TEST(TelemetryWait, StillQueuedLocksChargedAtDeath) {
   Telemetry tel;
   tel.configure(spans_on());
-  tel.txn_admit(1, 2, 0.0, 10.0, 0.0);
-  tel.lock_queued(1, 7, 9, 2.0);  // never served
-  tel.txn_end(1, Outcome::kMissed, 10.0);
+  tel.txn_admit(TxnId{1}, SiteId{2}, sim::SimTime{0.0},
+                sim::SimTime{10.0}, sim::SimTime{0.0});
+  tel.lock_queued(TxnId{1}, ObjectId{7}, SiteId{9},
+                  sim::SimTime{2.0});  // never served
+  tel.txn_end(TxnId{1}, Outcome::kMissed, sim::SimTime{10.0});
   const TxnSpan* s = tel.spans_sorted()[0];
   EXPECT_DOUBLE_EQ(s->wait[static_cast<int>(WaitBucket::kLock)], 8.0);
-  EXPECT_EQ(s->worst_object, 7u);
-  EXPECT_EQ(s->worst_holder, 9);
+  EXPECT_EQ(s->worst_object, ObjectId{7});
+  EXPECT_EQ(s->worst_holder, SiteId{9});
   EXPECT_EQ(s->dominant_wait(), WaitBucket::kLock);
 }
 
@@ -135,13 +147,16 @@ TEST(TelemetryAttribution, TotalsReconcile) {
   Telemetry tel;
   tel.configure(spans_on());
   // One lock-dominated miss, one no-wait abort, one straggler.
-  tel.txn_admit(1, 2, 0.0, 10.0, 0.0);
-  tel.lock_queued(1, 7, 9, 0.0);
-  tel.txn_end(1, Outcome::kMissed, 10.0);
-  tel.attribute_outcome(1, Outcome::kMissed);
-  tel.txn_admit(2, 3, 0.0, 10.0, 0.0);
-  tel.txn_end(2, Outcome::kAborted, 1.0);
-  tel.attribute_outcome(2, Outcome::kAborted);
+  tel.txn_admit(TxnId{1}, SiteId{2}, sim::SimTime{0.0},
+                sim::SimTime{10.0}, sim::SimTime{0.0});
+  tel.lock_queued(TxnId{1}, ObjectId{7}, SiteId{9},
+                  sim::SimTime{0.0});
+  tel.txn_end(TxnId{1}, Outcome::kMissed, sim::SimTime{10.0});
+  tel.attribute_outcome(TxnId{1}, Outcome::kMissed);
+  tel.txn_admit(TxnId{2}, SiteId{3}, sim::SimTime{0.0},
+                sim::SimTime{10.0}, sim::SimTime{0.0});
+  tel.txn_end(TxnId{2}, Outcome::kAborted, sim::SimTime{1.0});
+  tel.attribute_outcome(TxnId{2}, Outcome::kAborted);
   tel.add_unattributed(1);
   const MissAttribution& at = tel.attribution();
   EXPECT_EQ(at.misses[static_cast<int>(WaitBucket::kLock)], 1u);
@@ -150,7 +165,7 @@ TEST(TelemetryAttribution, TotalsReconcile) {
   EXPECT_EQ(at.total(), 3u);
   const auto blockers = tel.top_blockers(4);
   ASSERT_EQ(blockers.size(), 1u);
-  EXPECT_EQ(blockers[0].object, 7u);
+  EXPECT_EQ(blockers[0].object, ObjectId{7});
   EXPECT_EQ(blockers[0].txns, 1u);
 }
 
@@ -161,27 +176,29 @@ TEST(TelemetryEvents, RingDropsOldestAtCapacity) {
   cfg.event_capacity = 3;
   tel.configure(cfg);
   for (int i = 0; i < 5; ++i) {
-    tel.event(EventKind::kMsgSend, static_cast<double>(i), 0, 100 + i);
+    tel.event(EventKind::kMsgSend, sim::SimTime{static_cast<double>(i)},
+              SiteId{0}, TxnId{static_cast<TxnId::Rep>(100 + i)});
   }
   EXPECT_EQ(tel.events().size(), 3u);
   EXPECT_EQ(tel.events_dropped(), 2u);
-  EXPECT_EQ(tel.events().front().txn, 102u);  // 100 and 101 were dropped
-  EXPECT_EQ(tel.events().back().txn, 104u);
+  // 100 and 101 were dropped
+  EXPECT_EQ(tel.events().front().txn, TxnId{102});
+  EXPECT_EQ(tel.events().back().txn, TxnId{104});
 }
 
 TEST(TelemetrySampler, BackfillsLateSeriesAndPadsFrames) {
   Telemetry tel;
   TelemetryConfig cfg;
-  cfg.sample_interval = 1.0;
+  cfg.sample_interval = sim::seconds(1.0);
   tel.configure(cfg);
-  tel.begin_frame(0.0);
+  tel.begin_frame(sim::SimTime{0.0});
   tel.sample("a", 1.0);
   tel.end_frame();
-  tel.begin_frame(1.0);
+  tel.begin_frame(sim::SimTime{1.0});
   tel.sample("a", 2.0);
   tel.sample("b", 9.0);  // first seen in frame 2: frame 1 back-filled with 0
   tel.end_frame();
-  tel.begin_frame(2.0);
+  tel.begin_frame(sim::SimTime{2.0});
   tel.sample("b", 10.0);  // "a" missing: padded with 0 at end_frame
   tel.end_frame();
   ASSERT_EQ(tel.sample_times().size(), 3u);
@@ -195,8 +212,9 @@ TEST(TelemetrySampler, BackfillsLateSeriesAndPadsFrames) {
 TEST(TelemetryDigest, SensitiveToRecordsAndStableOnReplay) {
   const auto record = [](Telemetry& tel) {
     tel.configure(spans_on());
-    tel.txn_admit(1, 2, 0.0, 5.0, 0.0);
-    tel.txn_end(1, Outcome::kCommitted, 3.0);
+    tel.txn_admit(TxnId{1}, SiteId{2}, sim::SimTime{0.0},
+                sim::SimTime{5.0}, sim::SimTime{0.0});
+    tel.txn_end(TxnId{1}, Outcome::kCommitted, sim::SimTime{3.0});
   };
   Telemetry a, b, c;
   record(a);
@@ -228,14 +246,17 @@ TEST(Export, PerfettoSpansBalanceAndNameSites) {
   cfg.spans = true;
   cfg.events = true;
   tel.configure(cfg);
-  tel.txn_admit(1, 1, 0.0, 5.0, 0.0);
-  tel.txn_ready(1, 1.0);
-  tel.txn_exec_start(1, 2.0);
-  tel.txn_end(1, Outcome::kCommitted, 3.0);
-  tel.txn_admit(2, 2, 0.0, 5.0, 0.5);  // still open at export: closed+flagged
-  tel.event(EventKind::kLockGrant, 1.5, kServerSite, 1, 42, 1, 1, 0);
+  tel.txn_admit(TxnId{1}, SiteId{1}, sim::SimTime{0.0},
+                sim::SimTime{5.0}, sim::SimTime{0.0});
+  tel.txn_ready(TxnId{1}, sim::SimTime{1.0});
+  tel.txn_exec_start(TxnId{1}, sim::SimTime{2.0});
+  tel.txn_end(TxnId{1}, Outcome::kCommitted, sim::SimTime{3.0});
+  tel.txn_admit(TxnId{2}, SiteId{2}, sim::SimTime{0.0},
+                sim::SimTime{5.0}, sim::SimTime{0.5});  // still open at export: closed+flagged
+  tel.event(EventKind::kLockGrant, sim::SimTime{1.5}, kServerSite, TxnId{1},
+            ObjectId{42}, 1, 1, 0);
   std::ostringstream os;
-  write_perfetto(os, tel, /*num_sites=*/3, /*end_time=*/4.0);
+  write_perfetto(os, tel, /*num_sites=*/3, /*end_time=*/sim::SimTime{4.0});
   const std::string t = os.str();
   std::size_t begins = 0, ends = 0, pos = 0;
   while ((pos = t.find("\"ph\":\"b\"", pos)) != std::string::npos) {
@@ -262,9 +283,10 @@ TEST(Export, JsonlWritesOneObjectPerLine) {
   cfg.spans = true;
   cfg.events = true;
   tel.configure(cfg);
-  tel.txn_admit(1, 1, 0.0, 5.0, 0.0);
-  tel.txn_end(1, Outcome::kCommitted, 3.0);
-  tel.event(EventKind::kTxnCommit, 3.0, 1, 1);
+  tel.txn_admit(TxnId{1}, SiteId{1}, sim::SimTime{0.0},
+                sim::SimTime{5.0}, sim::SimTime{0.0});
+  tel.txn_end(TxnId{1}, Outcome::kCommitted, sim::SimTime{3.0});
+  tel.event(EventKind::kTxnCommit, sim::SimTime{3.0}, SiteId{1}, TxnId{1});
   std::ostringstream os;
   write_jsonl(os, tel);
   std::istringstream is(os.str());

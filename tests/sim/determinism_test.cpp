@@ -20,7 +20,7 @@ std::vector<std::uint64_t> run_web(std::uint64_t seed) {
   std::uint64_t next_tag = 0;
   std::function<void(int)> spawn = [&](int depth) {
     const std::uint64_t tag = next_tag++;
-    sim.after(rng.exponential(1.0), [&, tag, depth] {
+    sim.after(seconds(rng.exponential(1.0)), [&, tag, depth] {
       order.push_back(tag);
       if (depth < 3) {
         const int fanout = static_cast<int>(rng.uniform_int(0, 2));
@@ -52,7 +52,7 @@ TEST(Determinism, CancellationInterleavesDeterministically) {
     std::vector<int> fired;
     std::vector<EventId> ids;
     for (int i = 0; i < 500; ++i) {
-      ids.push_back(sim.after(rng.uniform(0, 10), [&fired, i] {
+      ids.push_back(sim.after(seconds(rng.uniform(0, 10)), [&fired, i] {
         fired.push_back(i);
       }));
     }

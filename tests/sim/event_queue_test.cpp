@@ -17,11 +17,11 @@ TEST(EventQueue, StartsEmpty) {
 TEST(EventQueue, ScheduleAndPopSingle) {
   EventQueue q;
   bool fired = false;
-  q.schedule(5.0, [&] { fired = true; });
+  q.schedule(SimTime{5.0}, [&] { fired = true; });
   EXPECT_FALSE(q.empty());
-  EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+  EXPECT_DOUBLE_EQ(q.next_time().sec(), 5.0);
   auto e = q.pop();
-  EXPECT_DOUBLE_EQ(e.time, 5.0);
+  EXPECT_DOUBLE_EQ(e.time.sec(), 5.0);
   e.fn();
   EXPECT_TRUE(fired);
   EXPECT_TRUE(q.empty());
@@ -30,9 +30,9 @@ TEST(EventQueue, ScheduleAndPopSingle) {
 TEST(EventQueue, PopsInTimeOrder) {
   EventQueue q;
   std::vector<int> order;
-  q.schedule(3.0, [&] { order.push_back(3); });
-  q.schedule(1.0, [&] { order.push_back(1); });
-  q.schedule(2.0, [&] { order.push_back(2); });
+  q.schedule(SimTime{3.0}, [&] { order.push_back(3); });
+  q.schedule(SimTime{1.0}, [&] { order.push_back(1); });
+  q.schedule(SimTime{2.0}, [&] { order.push_back(2); });
   while (!q.empty()) q.pop().fn();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
@@ -41,7 +41,7 @@ TEST(EventQueue, EqualTimesFireInScheduleOrder) {
   EventQueue q;
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
-    q.schedule(7.0, [&order, i] { order.push_back(i); });
+    q.schedule(SimTime{7.0}, [&order, i] { order.push_back(i); });
   }
   while (!q.empty()) q.pop().fn();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
@@ -50,7 +50,7 @@ TEST(EventQueue, EqualTimesFireInScheduleOrder) {
 TEST(EventQueue, CancelPreventsFiring) {
   EventQueue q;
   bool fired = false;
-  const EventId id = q.schedule(1.0, [&] { fired = true; });
+  const EventId id = q.schedule(SimTime{1.0}, [&] { fired = true; });
   EXPECT_TRUE(q.cancel(id));
   EXPECT_TRUE(q.empty());
   EXPECT_FALSE(fired);
@@ -58,14 +58,14 @@ TEST(EventQueue, CancelPreventsFiring) {
 
 TEST(EventQueue, CancelTwiceFails) {
   EventQueue q;
-  const EventId id = q.schedule(1.0, [] {});
+  const EventId id = q.schedule(SimTime{1.0}, [] {});
   EXPECT_TRUE(q.cancel(id));
   EXPECT_FALSE(q.cancel(id));
 }
 
 TEST(EventQueue, CancelAfterFireFails) {
   EventQueue q;
-  const EventId id = q.schedule(1.0, [] {});
+  const EventId id = q.schedule(SimTime{1.0}, [] {});
   q.pop().fn();
   EXPECT_FALSE(q.cancel(id));
 }
@@ -79,9 +79,9 @@ TEST(EventQueue, CancelUnknownIdFails) {
 TEST(EventQueue, CancelMiddleKeepsOthers) {
   EventQueue q;
   std::vector<int> order;
-  q.schedule(1.0, [&] { order.push_back(1); });
-  const EventId mid = q.schedule(2.0, [&] { order.push_back(2); });
-  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(SimTime{1.0}, [&] { order.push_back(1); });
+  const EventId mid = q.schedule(SimTime{2.0}, [&] { order.push_back(2); });
+  q.schedule(SimTime{3.0}, [&] { order.push_back(3); });
   q.cancel(mid);
   EXPECT_EQ(q.size(), 2u);
   while (!q.empty()) q.pop().fn();
@@ -90,16 +90,16 @@ TEST(EventQueue, CancelMiddleKeepsOthers) {
 
 TEST(EventQueue, CancelHeadAdvancesNextTime) {
   EventQueue q;
-  const EventId head = q.schedule(1.0, [] {});
-  q.schedule(9.0, [] {});
+  const EventId head = q.schedule(SimTime{1.0}, [] {});
+  q.schedule(SimTime{9.0}, [] {});
   q.cancel(head);
-  EXPECT_DOUBLE_EQ(q.next_time(), 9.0);
+  EXPECT_DOUBLE_EQ(q.next_time().sec(), 9.0);
 }
 
 TEST(EventQueue, SizeTracksLiveEvents) {
   EventQueue q;
-  const EventId a = q.schedule(1.0, [] {});
-  q.schedule(2.0, [] {});
+  const EventId a = q.schedule(SimTime{1.0}, [] {});
+  q.schedule(SimTime{2.0}, [] {});
   EXPECT_EQ(q.size(), 2u);
   q.cancel(a);
   EXPECT_EQ(q.size(), 1u);
@@ -112,7 +112,7 @@ TEST(EventQueue, ManyInterleavedCancelsKeepOrdering) {
   std::vector<EventId> ids;
   std::vector<int> fired;
   for (int i = 0; i < 100; ++i) {
-    ids.push_back(q.schedule(static_cast<SimTime>(i), [&fired, i] {
+    ids.push_back(q.schedule(SimTime{static_cast<double>(i)}, [&fired, i] {
       fired.push_back(i);
     }));
   }
@@ -128,7 +128,7 @@ TEST(EventQueue, IdsAreUniqueAndMonotonic) {
   EventQueue q;
   EventId prev = kNoEvent;
   for (int i = 0; i < 20; ++i) {
-    const EventId id = q.schedule(1.0, [] {});
+    const EventId id = q.schedule(SimTime{1.0}, [] {});
     EXPECT_GT(id, prev);
     prev = id;
   }

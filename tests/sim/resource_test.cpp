@@ -10,79 +10,79 @@ namespace {
 TEST(SerialResource, ImmediateServiceWhenIdle) {
   Simulator sim;
   SerialResource res(sim);
-  SimTime done_at = -1;
-  sim.after(1.0, [&] {
-    res.submit(2.0, [&] { done_at = sim.now(); });
+  SimTime done_at{-1.0};
+  sim.after(seconds(1.0), [&] {
+    res.submit(seconds(2.0), [&] { done_at = sim.now(); });
   });
   sim.run();
-  EXPECT_DOUBLE_EQ(done_at, 3.0);
+  EXPECT_DOUBLE_EQ(done_at.sec(), 3.0);
 }
 
 TEST(SerialResource, FifoQueueing) {
   Simulator sim;
   SerialResource res(sim);
   std::vector<SimTime> done;
-  sim.after(0.0, [&] {
-    res.submit(1.0, [&] { done.push_back(sim.now()); });
-    res.submit(1.0, [&] { done.push_back(sim.now()); });
-    res.submit(1.0, [&] { done.push_back(sim.now()); });
+  sim.after(seconds(0.0), [&] {
+    res.submit(seconds(1.0), [&] { done.push_back(sim.now()); });
+    res.submit(seconds(1.0), [&] { done.push_back(sim.now()); });
+    res.submit(seconds(1.0), [&] { done.push_back(sim.now()); });
   });
   sim.run();
-  EXPECT_EQ(done, (std::vector<SimTime>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(done, (std::vector<SimTime>{SimTime{1.0}, SimTime{2.0}, SimTime{3.0}}));
 }
 
 TEST(SerialResource, BacklogReflectsQueuedWork) {
   Simulator sim;
   SerialResource res(sim);
-  res.submit(5.0);
-  EXPECT_DOUBLE_EQ(res.backlog(), 5.0);
-  res.submit(3.0);
-  EXPECT_DOUBLE_EQ(res.backlog(), 8.0);
+  res.submit(seconds(5.0));
+  EXPECT_DOUBLE_EQ(res.backlog().sec(), 5.0);
+  res.submit(seconds(3.0));
+  EXPECT_DOUBLE_EQ(res.backlog().sec(), 8.0);
 }
 
 TEST(SerialResource, SubmitReturnsCompletionTime) {
   Simulator sim;
   SerialResource res(sim);
-  EXPECT_DOUBLE_EQ(res.submit(4.0), 4.0);
-  EXPECT_DOUBLE_EQ(res.submit(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(res.submit(seconds(4.0)).sec(), 4.0);
+  EXPECT_DOUBLE_EQ(res.submit(seconds(1.0)).sec(), 5.0);
 }
 
 TEST(SerialResource, UtilizationFraction) {
   Simulator sim;
   SerialResource res(sim);
-  res.submit(2.0);
-  sim.run_until(10.0);
+  res.submit(seconds(2.0));
+  sim.run_until(SimTime{10.0});
   EXPECT_NEAR(res.utilization(), 0.2, 1e-9);
 }
 
 TEST(SerialResource, UtilizationCapsAtOne) {
   Simulator sim;
   SerialResource res(sim);
-  res.submit(50.0);
-  sim.run_until(10.0);
+  res.submit(seconds(50.0));
+  sim.run_until(SimTime{10.0});
   EXPECT_DOUBLE_EQ(res.utilization(), 1.0);
 }
 
 TEST(SerialResource, ResetStatsStartsNewWindow) {
   Simulator sim;
   SerialResource res(sim);
-  res.submit(10.0);
-  sim.run_until(10.0);
+  res.submit(seconds(10.0));
+  sim.run_until(SimTime{10.0});
   res.reset_stats();
-  sim.run_until(20.0);
+  sim.run_until(SimTime{20.0});
   EXPECT_NEAR(res.utilization(), 0.0, 1e-9);
 }
 
 TEST(SerialResource, WorkAfterIdleGapDoesNotBackdate) {
   Simulator sim;
   SerialResource res(sim);
-  SimTime done_at = -1;
-  res.submit(1.0);
-  sim.after(5.0, [&] {
-    res.submit(1.0, [&] { done_at = sim.now(); });
+  SimTime done_at{-1.0};
+  res.submit(seconds(1.0));
+  sim.after(seconds(5.0), [&] {
+    res.submit(seconds(1.0), [&] { done_at = sim.now(); });
   });
   sim.run();
-  EXPECT_DOUBLE_EQ(done_at, 6.0);  // starts at 5, not queued behind t=1
+  EXPECT_DOUBLE_EQ(done_at.sec(), 6.0);  // starts at 5, not queued behind t=1
 }
 
 }  // namespace

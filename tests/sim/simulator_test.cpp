@@ -9,101 +9,101 @@ namespace {
 
 TEST(Simulator, ClockStartsAtZero) {
   Simulator sim;
-  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_DOUBLE_EQ(sim.now().sec(), 0.0);
   EXPECT_EQ(sim.pending_events(), 0u);
 }
 
 TEST(Simulator, AfterAdvancesClockToEventTime) {
   Simulator sim;
-  SimTime seen = -1;
-  sim.after(2.5, [&] { seen = sim.now(); });
+  SimTime seen{-1.0};
+  sim.after(seconds(2.5), [&] { seen = sim.now(); });
   sim.run();
-  EXPECT_DOUBLE_EQ(seen, 2.5);
-  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+  EXPECT_DOUBLE_EQ(seen.sec(), 2.5);
+  EXPECT_DOUBLE_EQ(sim.now().sec(), 2.5);
 }
 
 TEST(Simulator, AtSchedulesAbsolute) {
   Simulator sim;
-  sim.after(1.0, [&] {
-    sim.at(5.0, [] {});
+  sim.after(seconds(1.0), [&] {
+    sim.at(SimTime{5.0}, [] {});
   });
   sim.run();
-  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_DOUBLE_EQ(sim.now().sec(), 5.0);
 }
 
 TEST(Simulator, NegativeDelayClampsToNow) {
   Simulator sim;
-  SimTime seen = -1;
-  sim.after(3.0, [&] {
-    sim.after(-10.0, [&] { seen = sim.now(); });
+  SimTime seen{-1.0};
+  sim.after(seconds(3.0), [&] {
+    sim.after(seconds(-10.0), [&] { seen = sim.now(); });
   });
   sim.run();
-  EXPECT_DOUBLE_EQ(seen, 3.0);
+  EXPECT_DOUBLE_EQ(seen.sec(), 3.0);
 }
 
 TEST(Simulator, PastAbsoluteTimeClampsToNow) {
   Simulator sim;
-  SimTime seen = -1;
-  sim.after(3.0, [&] {
-    sim.at(1.0, [&] { seen = sim.now(); });
+  SimTime seen{-1.0};
+  sim.after(seconds(3.0), [&] {
+    sim.at(SimTime{1.0}, [&] { seen = sim.now(); });
   });
   sim.run();
-  EXPECT_DOUBLE_EQ(seen, 3.0);
+  EXPECT_DOUBLE_EQ(seen.sec(), 3.0);
 }
 
 TEST(Simulator, RunUntilStopsAtHorizon) {
   Simulator sim;
   int fired = 0;
   for (int i = 1; i <= 10; ++i) {
-    sim.after(static_cast<Duration>(i), [&] { ++fired; });
+    sim.after(seconds(static_cast<double>(i)), [&] { ++fired; });
   }
-  const auto ran = sim.run_until(5.0);
+  const auto ran = sim.run_until(SimTime{5.0});
   EXPECT_EQ(ran, 5u);
   EXPECT_EQ(fired, 5);
-  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_DOUBLE_EQ(sim.now().sec(), 5.0);
   EXPECT_EQ(sim.pending_events(), 5u);
 }
 
 TEST(Simulator, EventExactlyAtHorizonFires) {
   Simulator sim;
   bool fired = false;
-  sim.at(5.0, [&] { fired = true; });
-  sim.run_until(5.0);
+  sim.at(SimTime{5.0}, [&] { fired = true; });
+  sim.run_until(SimTime{5.0});
   EXPECT_TRUE(fired);
 }
 
 TEST(Simulator, RunUntilAdvancesClockThroughQuietPeriod) {
   Simulator sim;
-  sim.run_until(100.0);
-  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+  sim.run_until(SimTime{100.0});
+  EXPECT_DOUBLE_EQ(sim.now().sec(), 100.0);
 }
 
 TEST(Simulator, BackToBackRunUntilIsContinuous) {
   Simulator sim;
   std::vector<SimTime> seen;
-  sim.at(3.0, [&] { seen.push_back(sim.now()); });
-  sim.at(7.0, [&] { seen.push_back(sim.now()); });
-  sim.run_until(5.0);
-  sim.run_until(10.0);
-  EXPECT_EQ(seen, (std::vector<SimTime>{3.0, 7.0}));
+  sim.at(SimTime{3.0}, [&] { seen.push_back(sim.now()); });
+  sim.at(SimTime{7.0}, [&] { seen.push_back(sim.now()); });
+  sim.run_until(SimTime{5.0});
+  sim.run_until(SimTime{10.0});
+  EXPECT_EQ(seen, (std::vector<SimTime>{SimTime{3.0}, SimTime{7.0}}));
 }
 
 TEST(Simulator, EventsScheduleMoreEvents) {
   Simulator sim;
   int depth = 0;
   std::function<void()> chain = [&] {
-    if (++depth < 50) sim.after(1.0, chain);
+    if (++depth < 50) sim.after(seconds(1.0), chain);
   };
-  sim.after(1.0, chain);
+  sim.after(seconds(1.0), chain);
   sim.run();
   EXPECT_EQ(depth, 50);
-  EXPECT_DOUBLE_EQ(sim.now(), 50.0);
+  EXPECT_DOUBLE_EQ(sim.now().sec(), 50.0);
 }
 
 TEST(Simulator, CancelledEventNeverRuns) {
   Simulator sim;
   bool fired = false;
-  const EventId id = sim.after(1.0, [&] { fired = true; });
+  const EventId id = sim.after(seconds(1.0), [&] { fired = true; });
   EXPECT_TRUE(sim.cancel(id));
   sim.run();
   EXPECT_FALSE(fired);
@@ -112,8 +112,8 @@ TEST(Simulator, CancelledEventNeverRuns) {
 TEST(Simulator, StepExecutesExactlyOne) {
   Simulator sim;
   int fired = 0;
-  sim.after(1.0, [&] { ++fired; });
-  sim.after(2.0, [&] { ++fired; });
+  sim.after(seconds(1.0), [&] { ++fired; });
+  sim.after(seconds(2.0), [&] { ++fired; });
   EXPECT_TRUE(sim.step());
   EXPECT_EQ(fired, 1);
   EXPECT_TRUE(sim.step());
@@ -123,7 +123,7 @@ TEST(Simulator, StepExecutesExactlyOne) {
 
 TEST(Simulator, EventsExecutedCounts) {
   Simulator sim;
-  for (int i = 0; i < 7; ++i) sim.after(1.0, [] {});
+  for (int i = 0; i < 7; ++i) sim.after(seconds(1.0), [] {});
   sim.run();
   EXPECT_EQ(sim.events_executed(), 7u);
 }
@@ -131,8 +131,8 @@ TEST(Simulator, EventsExecutedCounts) {
 TEST(Simulator, EventLimitThrows) {
   Simulator sim;
   sim.set_event_limit(10);
-  std::function<void()> forever = [&] { sim.after(0.1, forever); };
-  sim.after(0.1, forever);
+  std::function<void()> forever = [&] { sim.after(seconds(0.1), forever); };
+  sim.after(seconds(0.1), forever);
   EXPECT_THROW(sim.run(), std::runtime_error);
 }
 
@@ -140,7 +140,7 @@ TEST(Simulator, SimultaneousEventsRunInScheduleOrder) {
   Simulator sim;
   std::vector<int> order;
   for (int i = 0; i < 5; ++i) {
-    sim.at(1.0, [&order, i] { order.push_back(i); });
+    sim.at(SimTime{1.0}, [&order, i] { order.push_back(i); });
   }
   sim.run();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));

@@ -192,34 +192,34 @@ TEST(SampleStats, ResetClearsEverything) {
 
 TEST(TimeWeighted, ConstantSignal) {
   TimeWeighted tw(3.0);
-  EXPECT_DOUBLE_EQ(tw.average(10.0), 3.0);
+  EXPECT_DOUBLE_EQ(tw.average(SimTime{10.0}), 3.0);
 }
 
 TEST(TimeWeighted, StepSignal) {
   TimeWeighted tw(0.0);
-  tw.set(10.0, 5.0);  // 0 for [0,5), 10 for [5,10)
-  EXPECT_DOUBLE_EQ(tw.average(10.0), 5.0);
+  tw.set(10.0, SimTime{5.0});  // 0 for [0,5), 10 for [5,10)
+  EXPECT_DOUBLE_EQ(tw.average(SimTime{10.0}), 5.0);
 }
 
 TEST(TimeWeighted, AddDeltaTracksQueueLength) {
   TimeWeighted tw(0.0);
-  tw.add(1, 0.0);   // 1 in [0,2)
-  tw.add(1, 2.0);   // 2 in [2,4)
-  tw.add(-2, 4.0);  // 0 in [4,8)
-  EXPECT_DOUBLE_EQ(tw.average(8.0), (1 * 2 + 2 * 2 + 0 * 4) / 8.0);
+  tw.add(1, SimTime{0.0});   // 1 in [0,2)
+  tw.add(1, SimTime{2.0});   // 2 in [2,4)
+  tw.add(-2, SimTime{4.0});  // 0 in [4,8)
+  EXPECT_DOUBLE_EQ(tw.average(SimTime{8.0}), (1 * 2 + 2 * 2 + 0 * 4) / 8.0);
   EXPECT_DOUBLE_EQ(tw.current(), 0.0);
 }
 
 TEST(TimeWeighted, ResetWindowRestartsAveraging) {
   TimeWeighted tw(0.0);
-  tw.set(100.0, 0.0);
-  tw.reset_window(10.0);
-  EXPECT_DOUBLE_EQ(tw.average(20.0), 100.0);
+  tw.set(100.0, SimTime{0.0});
+  tw.reset_window(SimTime{10.0});
+  EXPECT_DOUBLE_EQ(tw.average(SimTime{20.0}), 100.0);
 }
 
 TEST(TimeWeighted, AverageAtWindowStartUsesCurrentValue) {
-  TimeWeighted tw(7.0, 3.0);
-  EXPECT_DOUBLE_EQ(tw.average(3.0), 7.0);
+  TimeWeighted tw(7.0, SimTime{3.0});
+  EXPECT_DOUBLE_EQ(tw.average(SimTime{3.0}), 7.0);
 }
 
 }  // namespace

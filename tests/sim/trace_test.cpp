@@ -40,11 +40,11 @@ TEST(Trace, AllCoversEverything) {
 TEST(Trace, EmitRecordsInOrder) {
   TraceLog log;
   log.enable(TraceCategory::kAll);
-  log.emit(1.0, TraceCategory::kLock, 3, "first");
-  log.emitf(2.5, TraceCategory::kTxn, 4, "txn=%d done", 42);
+  log.emit(SimTime{1.0}, TraceCategory::kLock, SiteId{3}, "first");
+  log.emitf(SimTime{2.5}, TraceCategory::kTxn, SiteId{4}, "txn=%d done", 42);
   ASSERT_EQ(log.events().size(), 2u);
-  EXPECT_DOUBLE_EQ(log.events()[0].time, 1.0);
-  EXPECT_EQ(log.events()[0].site, 3);
+  EXPECT_DOUBLE_EQ(log.events()[0].time.sec(), 1.0);
+  EXPECT_EQ(log.events()[0].site, SiteId{3});
   EXPECT_EQ(log.events()[0].text, "first");
   EXPECT_EQ(log.events()[1].text, "txn=42 done");
 }
@@ -53,7 +53,7 @@ TEST(Trace, RingDropsOldest) {
   TraceLog log(3);
   log.enable(TraceCategory::kAll);
   for (int i = 0; i < 5; ++i) {
-    log.emitf(i, TraceCategory::kLock, 0, "e%d", i);
+    log.emitf(SimTime{static_cast<double>(i)}, TraceCategory::kLock, SiteId{0}, "e%d", i);
   }
   ASSERT_EQ(log.events().size(), 3u);
   EXPECT_EQ(log.events().front().text, "e2");
@@ -64,8 +64,8 @@ TEST(Trace, RingDropsOldest) {
 TEST(Trace, DumpFormatsTail) {
   TraceLog log;
   log.enable(TraceCategory::kAll);
-  log.emit(0.5, TraceCategory::kWindow, 7, "window open obj=9");
-  log.emit(0.7, TraceCategory::kLock, 0, "grant obj=9");
+  log.emit(SimTime{0.5}, TraceCategory::kWindow, SiteId{7}, "window open obj=9");
+  log.emit(SimTime{0.7}, TraceCategory::kLock, SiteId{0}, "grant obj=9");
   std::ostringstream os;
   log.dump(os, 1);  // only the last event
   const std::string text = os.str();
@@ -77,9 +77,9 @@ TEST(Trace, DumpFormatsTail) {
 TEST(Trace, ClearResets) {
   TraceLog log(2);
   log.enable(TraceCategory::kAll);
-  log.emit(0, TraceCategory::kLock, 0, "a");
-  log.emit(0, TraceCategory::kLock, 0, "b");
-  log.emit(0, TraceCategory::kLock, 0, "c");
+  log.emit(SimTime{}, TraceCategory::kLock, SiteId{0}, "a");
+  log.emit(SimTime{}, TraceCategory::kLock, SiteId{0}, "b");
+  log.emit(SimTime{}, TraceCategory::kLock, SiteId{0}, "c");
   log.clear();
   EXPECT_TRUE(log.events().empty());
   EXPECT_EQ(log.dropped(), 0u);

@@ -11,47 +11,47 @@ TEST(BufferManager, RejectsZeroCapacity) {
 
 TEST(BufferManager, InsertMakesResident) {
   BufferManager bm(2);
-  EXPECT_FALSE(bm.contains(1));
-  bm.insert(1);
-  EXPECT_TRUE(bm.contains(1));
+  EXPECT_FALSE(bm.contains(PageId{1}));
+  bm.insert(PageId{1});
+  EXPECT_TRUE(bm.contains(PageId{1}));
   EXPECT_EQ(bm.size(), 1u);
 }
 
 TEST(BufferManager, EvictsLruWhenFull) {
   BufferManager bm(2);
-  bm.insert(1);
-  bm.insert(2);
-  auto evicted = bm.insert(3);
+  bm.insert(PageId{1});
+  bm.insert(PageId{2});
+  auto evicted = bm.insert(PageId{3});
   ASSERT_TRUE(evicted.has_value());
-  EXPECT_EQ(evicted->id, 1u);
-  EXPECT_FALSE(bm.contains(1));
-  EXPECT_TRUE(bm.contains(2));
-  EXPECT_TRUE(bm.contains(3));
+  EXPECT_EQ(evicted->id, PageId{1});
+  EXPECT_FALSE(bm.contains(PageId{1}));
+  EXPECT_TRUE(bm.contains(PageId{2}));
+  EXPECT_TRUE(bm.contains(PageId{3}));
 }
 
 TEST(BufferManager, ReferencePromotesToMru) {
   BufferManager bm(2);
-  bm.insert(1);
-  bm.insert(2);
-  EXPECT_TRUE(bm.reference(1));  // 1 becomes MRU; 2 is now LRU
-  auto evicted = bm.insert(3);
+  bm.insert(PageId{1});
+  bm.insert(PageId{2});
+  EXPECT_TRUE(bm.reference(PageId{1}));  // 1 becomes MRU; 2 is now LRU
+  auto evicted = bm.insert(PageId{3});
   ASSERT_TRUE(evicted.has_value());
-  EXPECT_EQ(evicted->id, 2u);
+  EXPECT_EQ(evicted->id, PageId{2});
 }
 
 TEST(BufferManager, ReferenceMissCountsAndReturnsFalse) {
   BufferManager bm(2);
-  EXPECT_FALSE(bm.reference(42));
+  EXPECT_FALSE(bm.reference(PageId{42}));
   EXPECT_EQ(bm.misses(), 1u);
   EXPECT_EQ(bm.hits(), 0u);
 }
 
 TEST(BufferManager, HitRate) {
   BufferManager bm(4);
-  bm.insert(1);
-  bm.reference(1);
-  bm.reference(1);
-  bm.reference(2);  // miss
+  bm.insert(PageId{1});
+  bm.reference(PageId{1});
+  bm.reference(PageId{1});
+  bm.reference(PageId{2});  // miss
   EXPECT_DOUBLE_EQ(bm.hit_rate(), 2.0 / 3.0);
 }
 
@@ -62,69 +62,69 @@ TEST(BufferManager, HitRateZeroWithNoReferences) {
 
 TEST(BufferManager, DirtyTrackedThroughEviction) {
   BufferManager bm(1);
-  bm.insert(1, /*dirty=*/true);
-  auto evicted = bm.insert(2);
+  bm.insert(PageId{1}, /*dirty=*/true);
+  auto evicted = bm.insert(PageId{2});
   ASSERT_TRUE(evicted.has_value());
-  EXPECT_EQ(evicted->id, 1u);
+  EXPECT_EQ(evicted->id, PageId{1});
   EXPECT_TRUE(evicted->dirty);
 }
 
 TEST(BufferManager, MarkDirtyOnResident) {
   BufferManager bm(2);
-  bm.insert(1);
-  EXPECT_FALSE(bm.is_dirty(1));
-  EXPECT_TRUE(bm.mark_dirty(1));
-  EXPECT_TRUE(bm.is_dirty(1));
-  EXPECT_FALSE(bm.mark_dirty(99));
+  bm.insert(PageId{1});
+  EXPECT_FALSE(bm.is_dirty(PageId{1}));
+  EXPECT_TRUE(bm.mark_dirty(PageId{1}));
+  EXPECT_TRUE(bm.is_dirty(PageId{1}));
+  EXPECT_FALSE(bm.mark_dirty(PageId{99}));
 }
 
 TEST(BufferManager, ReinsertKeepsDirtyBitSticky) {
   BufferManager bm(2);
-  bm.insert(1, true);
-  bm.insert(1, false);  // recency bump must not launder the dirty bit
-  EXPECT_TRUE(bm.is_dirty(1));
+  bm.insert(PageId{1}, true);
+  bm.insert(PageId{1}, false);  // recency bump must not launder the dirty bit
+  EXPECT_TRUE(bm.is_dirty(PageId{1}));
 }
 
 TEST(BufferManager, ReinsertBumpsRecency) {
   BufferManager bm(2);
-  bm.insert(1);
-  bm.insert(2);
-  bm.insert(1);  // 1 MRU again
-  auto evicted = bm.insert(3);
+  bm.insert(PageId{1});
+  bm.insert(PageId{2});
+  bm.insert(PageId{1});  // 1 MRU again
+  auto evicted = bm.insert(PageId{3});
   ASSERT_TRUE(evicted.has_value());
-  EXPECT_EQ(evicted->id, 2u);
+  EXPECT_EQ(evicted->id, PageId{2});
 }
 
 TEST(BufferManager, EraseReturnsDirtyState) {
   BufferManager bm(2);
-  bm.insert(1, true);
-  bm.insert(2, false);
-  auto d1 = bm.erase(1);
+  bm.insert(PageId{1}, true);
+  bm.insert(PageId{2}, false);
+  auto d1 = bm.erase(PageId{1});
   ASSERT_TRUE(d1.has_value());
   EXPECT_TRUE(*d1);
-  auto d2 = bm.erase(2);
+  auto d2 = bm.erase(PageId{2});
   ASSERT_TRUE(d2.has_value());
   EXPECT_FALSE(*d2);
-  EXPECT_FALSE(bm.erase(3).has_value());
+  EXPECT_FALSE(bm.erase(PageId{3}).has_value());
   EXPECT_EQ(bm.size(), 0u);
 }
 
 TEST(BufferManager, LruVictimPeek) {
   BufferManager bm(3);
   EXPECT_FALSE(bm.lru_victim().has_value());
-  bm.insert(1);
-  bm.insert(2);
-  EXPECT_EQ(bm.lru_victim().value(), 1u);
-  bm.reference(1);
-  EXPECT_EQ(bm.lru_victim().value(), 2u);
+  bm.insert(PageId{1});
+  bm.insert(PageId{2});
+  EXPECT_EQ(bm.lru_victim().value(), PageId{1});
+  bm.reference(PageId{1});
+  EXPECT_EQ(bm.lru_victim().value(), PageId{2});
 }
 
 TEST(BufferManager, FullScanWorkload) {
   // Sequential scan over 3x capacity: every access misses (classic LRU
   // sequential-flooding behaviour).
   BufferManager bm(10);
-  for (ObjectId round = 0; round < 3; ++round) {
-    for (ObjectId i = 0; i < 30; ++i) {
+  for (int round = 0; round < 3; ++round) {
+    for (PageId i{0}; i < PageId{30}; ++i) {
       if (!bm.reference(i)) bm.insert(i);
     }
   }
@@ -134,9 +134,9 @@ TEST(BufferManager, FullScanWorkload) {
 
 TEST(BufferManager, HotSetStaysResident) {
   BufferManager bm(5);
-  for (ObjectId i = 0; i < 5; ++i) bm.insert(i);
+  for (PageId i{0}; i < PageId{5}; ++i) bm.insert(i);
   for (int round = 0; round < 100; ++round) {
-    for (ObjectId i = 0; i < 5; ++i) EXPECT_TRUE(bm.reference(i));
+    for (PageId i{0}; i < PageId{5}; ++i) EXPECT_TRUE(bm.reference(i));
   }
   EXPECT_EQ(bm.misses(), 0u);
 }

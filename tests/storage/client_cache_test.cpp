@@ -11,37 +11,37 @@ ClientCacheConfig cfg(std::size_t mem = 2, std::size_t disk = 2) {
   ClientCacheConfig c;
   c.memory_capacity = mem;
   c.disk_capacity = disk;
-  c.memory_access_time = 0.0001;
-  c.disk.read_time = 0.008;
-  c.disk.write_time = 0.008;
+  c.memory_access_time = sim::seconds(0.0001);
+  c.disk.read_time = sim::seconds(0.008);
+  c.disk.write_time = sim::seconds(0.008);
   return c;
 }
 
 TEST(ClientCache, InsertLandsInMemoryTier) {
   sim::Simulator sim;
   ClientCache cache(sim, cfg());
-  cache.insert(1);
-  EXPECT_EQ(cache.tier_of(1), CacheTier::kMemory);
-  EXPECT_TRUE(cache.contains(1));
+  cache.insert(ObjectId{1});
+  EXPECT_EQ(cache.tier_of(ObjectId{1}), CacheTier::kMemory);
+  EXPECT_TRUE(cache.contains(ObjectId{1}));
 }
 
 TEST(ClientCache, MemoryOverflowDemotesToDiskTier) {
   sim::Simulator sim;
   ClientCache cache(sim, cfg(2, 2));
-  cache.insert(1);
-  cache.insert(2);
-  cache.insert(3);  // 1 demotes to disk tier
-  EXPECT_EQ(cache.tier_of(1), CacheTier::kDisk);
-  EXPECT_EQ(cache.tier_of(2), CacheTier::kMemory);
-  EXPECT_EQ(cache.tier_of(3), CacheTier::kMemory);
+  cache.insert(ObjectId{1});
+  cache.insert(ObjectId{2});
+  cache.insert(ObjectId{3});  // 1 demotes to disk tier
+  EXPECT_EQ(cache.tier_of(ObjectId{1}), CacheTier::kDisk);
+  EXPECT_EQ(cache.tier_of(ObjectId{2}), CacheTier::kMemory);
+  EXPECT_EQ(cache.tier_of(ObjectId{3}), CacheTier::kMemory);
   EXPECT_EQ(cache.size(), 3u);
 }
 
 TEST(ClientCache, DemotionWritesLocalDisk) {
   sim::Simulator sim;
   ClientCache cache(sim, cfg(1, 2));
-  cache.insert(1);
-  cache.insert(2);
+  cache.insert(ObjectId{1});
+  cache.insert(ObjectId{2});
   EXPECT_EQ(cache.disk().writes(), 1u);
 }
 
@@ -51,36 +51,36 @@ TEST(ClientCache, FullEvictionFiresHook) {
   std::vector<std::pair<ObjectId, bool>> evicted;
   cache.set_eviction_hook(
       [&](ObjectId id, bool dirty) { evicted.emplace_back(id, dirty); });
-  cache.insert(1, /*dirty=*/true);
-  cache.insert(2);
-  cache.insert(3);  // 1 falls off the disk tier, dirty
+  cache.insert(ObjectId{1}, /*dirty=*/true);
+  cache.insert(ObjectId{2});
+  cache.insert(ObjectId{3});  // 1 falls off the disk tier, dirty
   ASSERT_EQ(evicted.size(), 1u);
-  EXPECT_EQ(evicted[0].first, 1u);
+  EXPECT_EQ(evicted[0].first, ObjectId{1});
   EXPECT_TRUE(evicted[0].second);
-  EXPECT_FALSE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(ObjectId{1}));
 }
 
 TEST(ClientCache, AccessMemoryHitIsFast) {
   sim::Simulator sim;
   ClientCache cache(sim, cfg());
-  cache.insert(5);
-  double done = -1;
-  EXPECT_TRUE(cache.access(5, false, [&] { done = sim.now(); }));
+  cache.insert(ObjectId{5});
+  sim::SimTime done{-1.0};
+  EXPECT_TRUE(cache.access(ObjectId{5}, false, [&] { done = sim.now(); }));
   sim.run();
-  EXPECT_DOUBLE_EQ(done, 0.0001);
+  EXPECT_DOUBLE_EQ(done.sec(), 0.0001);
   EXPECT_EQ(cache.hits(), 1u);
 }
 
 TEST(ClientCache, AccessDiskTierPromotesAndPaysRead) {
   sim::Simulator sim;
   ClientCache cache(sim, cfg(1, 2));
-  cache.insert(1);
-  cache.insert(2);  // 1 -> disk tier
-  double done = -1;
-  EXPECT_TRUE(cache.access(1, false, [&] { done = sim.now(); }));
+  cache.insert(ObjectId{1});
+  cache.insert(ObjectId{2});  // 1 -> disk tier
+  sim::SimTime done{-1.0};
+  EXPECT_TRUE(cache.access(ObjectId{1}, false, [&] { done = sim.now(); }));
   sim.run();
-  EXPECT_GT(done, 0.0);
-  EXPECT_EQ(cache.tier_of(1), CacheTier::kMemory);
+  EXPECT_GT(done.sec(), 0.0);
+  EXPECT_EQ(cache.tier_of(ObjectId{1}), CacheTier::kMemory);
   EXPECT_GE(cache.disk().reads(), 1u);
   EXPECT_EQ(cache.hits(), 1u);
 }
@@ -89,7 +89,7 @@ TEST(ClientCache, AccessMissCountsWithoutCallback) {
   sim::Simulator sim;
   ClientCache cache(sim, cfg());
   bool called = false;
-  EXPECT_FALSE(cache.access(9, false, [&] { called = true; }));
+  EXPECT_FALSE(cache.access(ObjectId{9}, false, [&] { called = true; }));
   sim.run();
   EXPECT_FALSE(called);
   EXPECT_EQ(cache.misses(), 1u);
@@ -98,73 +98,73 @@ TEST(ClientCache, AccessMissCountsWithoutCallback) {
 TEST(ClientCache, WriteAccessDirties) {
   sim::Simulator sim;
   ClientCache cache(sim, cfg());
-  cache.insert(1);
-  cache.access(1, true, [] {});
+  cache.insert(ObjectId{1});
+  cache.access(ObjectId{1}, true, [] {});
   sim.run();
-  EXPECT_TRUE(cache.is_dirty(1));
+  EXPECT_TRUE(cache.is_dirty(ObjectId{1}));
 }
 
 TEST(ClientCache, DirtySurvivesDemotion) {
   sim::Simulator sim;
   ClientCache cache(sim, cfg(1, 2));
-  cache.insert(1, true);
-  cache.insert(2);
-  EXPECT_EQ(cache.tier_of(1), CacheTier::kDisk);
-  EXPECT_TRUE(cache.is_dirty(1));
+  cache.insert(ObjectId{1}, true);
+  cache.insert(ObjectId{2});
+  EXPECT_EQ(cache.tier_of(ObjectId{1}), CacheTier::kDisk);
+  EXPECT_TRUE(cache.is_dirty(ObjectId{1}));
   // And back up on access.
-  cache.access(1, false, [] {});
+  cache.access(ObjectId{1}, false, [] {});
   sim.run();
-  EXPECT_EQ(cache.tier_of(1), CacheTier::kMemory);
-  EXPECT_TRUE(cache.is_dirty(1));
+  EXPECT_EQ(cache.tier_of(ObjectId{1}), CacheTier::kMemory);
+  EXPECT_TRUE(cache.is_dirty(ObjectId{1}));
 }
 
 TEST(ClientCache, DropRemovesAndReportsDirty) {
   sim::Simulator sim;
   ClientCache cache(sim, cfg());
-  cache.insert(1, true);
-  auto dirty = cache.drop(1);
+  cache.insert(ObjectId{1}, true);
+  auto dirty = cache.drop(ObjectId{1});
   ASSERT_TRUE(dirty.has_value());
   EXPECT_TRUE(*dirty);
-  EXPECT_FALSE(cache.contains(1));
-  EXPECT_FALSE(cache.drop(1).has_value());
+  EXPECT_FALSE(cache.contains(ObjectId{1}));
+  EXPECT_FALSE(cache.drop(ObjectId{1}).has_value());
 }
 
 TEST(ClientCache, MarkCleanClearsDirty) {
   sim::Simulator sim;
   ClientCache cache(sim, cfg());
-  cache.insert(1, true);
-  cache.mark_clean(1);
-  EXPECT_FALSE(cache.is_dirty(1));
-  EXPECT_TRUE(cache.contains(1));
+  cache.insert(ObjectId{1}, true);
+  cache.mark_clean(ObjectId{1});
+  EXPECT_FALSE(cache.is_dirty(ObjectId{1}));
+  EXPECT_TRUE(cache.contains(ObjectId{1}));
 }
 
 TEST(ClientCache, MarkCleanPreservesTier) {
   sim::Simulator sim;
   ClientCache cache(sim, cfg(1, 2));
-  cache.insert(1, true);
-  cache.insert(2);  // 1 -> disk tier
-  cache.mark_clean(1);
-  EXPECT_EQ(cache.tier_of(1), CacheTier::kDisk);
-  EXPECT_FALSE(cache.is_dirty(1));
+  cache.insert(ObjectId{1}, true);
+  cache.insert(ObjectId{2});  // 1 -> disk tier
+  cache.mark_clean(ObjectId{1});
+  EXPECT_EQ(cache.tier_of(ObjectId{1}), CacheTier::kDisk);
+  EXPECT_FALSE(cache.is_dirty(ObjectId{1}));
 }
 
 TEST(ClientCache, ReinsertRefreshesWithoutDuplicating) {
   sim::Simulator sim;
   ClientCache cache(sim, cfg(2, 2));
-  cache.insert(1);
-  cache.insert(1, true);
+  cache.insert(ObjectId{1});
+  cache.insert(ObjectId{1}, true);
   EXPECT_EQ(cache.size(), 1u);
-  EXPECT_TRUE(cache.is_dirty(1));
+  EXPECT_TRUE(cache.is_dirty(ObjectId{1}));
 }
 
 TEST(ClientCache, HitRateAggregatesTiers) {
   sim::Simulator sim;
   ClientCache cache(sim, cfg(1, 1));
-  cache.insert(1);
-  cache.insert(2);          // 1 -> disk tier
-  cache.access(2, false, [] {});  // memory hit
-  cache.access(1, false, [] {});  // disk-tier hit
-  cache.access(9, false, [] {});  // miss
+  cache.insert(ObjectId{1});
+  cache.insert(ObjectId{2});          // 1 -> disk tier
+  cache.access(ObjectId{2}, false, [] {});  // memory hit
+  cache.access(ObjectId{1}, false, [] {});  // disk-tier hit
+  cache.access(ObjectId{9}, false, [] {});  // miss
   sim.run();
   EXPECT_EQ(cache.hits(), 2u);
   EXPECT_EQ(cache.misses(), 1u);
@@ -174,12 +174,12 @@ TEST(ClientCache, HitRateAggregatesTiers) {
 TEST(ClientCache, ResetStatsKeepsContents) {
   sim::Simulator sim;
   ClientCache cache(sim, cfg());
-  cache.insert(1);
-  cache.access(1, false, [] {});
+  cache.insert(ObjectId{1});
+  cache.access(ObjectId{1}, false, [] {});
   sim.run();
   cache.reset_stats();
   EXPECT_EQ(cache.hits(), 0u);
-  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(ObjectId{1}));
 }
 
 TEST(ClientCache, PaperCapacities) {
@@ -190,10 +190,10 @@ TEST(ClientCache, PaperCapacities) {
   int evictions = 0;
   ClientCache cache(sim, c);
   cache.set_eviction_hook([&](ObjectId, bool) { ++evictions; });
-  for (ObjectId i = 0; i < 1000; ++i) cache.insert(i);
+  for (ObjectId i{0}; i < ObjectId{1000}; ++i) cache.insert(i);
   EXPECT_EQ(evictions, 0);
   EXPECT_EQ(cache.size(), 1000u);
-  cache.insert(1000);
+  cache.insert(ObjectId{1000});
   EXPECT_EQ(evictions, 1);
 }
 

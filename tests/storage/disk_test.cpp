@@ -9,29 +9,31 @@ namespace {
 
 DiskConfig cfg(double rt = 0.008, double wt = 0.008) {
   DiskConfig c;
-  c.read_time = rt;
-  c.write_time = wt;
+  c.read_time = sim::seconds(rt);
+  c.write_time = sim::seconds(wt);
   return c;
 }
 
 TEST(Disk, ReadCompletesAfterServiceTime) {
   sim::Simulator sim;
   Disk disk(sim, cfg());
-  double done_at = -1;
+  sim::SimTime done_at{-1.0};
   disk.read([&] { done_at = sim.now(); });
   sim.run();
-  EXPECT_DOUBLE_EQ(done_at, 0.008);
+  EXPECT_DOUBLE_EQ(done_at.sec(), 0.008);
 }
 
 TEST(Disk, RequestsServeFifo) {
   sim::Simulator sim;
   Disk disk(sim, cfg());
-  std::vector<double> done;
+  std::vector<sim::SimTime> done;
   disk.read([&] { done.push_back(sim.now()); });
   disk.write([&] { done.push_back(sim.now()); });
   disk.read([&] { done.push_back(sim.now()); });
   sim.run();
-  EXPECT_EQ(done, (std::vector<double>{0.008, 0.016, 0.024}));
+  EXPECT_EQ(done, (std::vector<sim::SimTime>{sim::SimTime{0.008},
+                                           sim::SimTime{0.016},
+                                           sim::SimTime{0.024}}));
 }
 
 TEST(Disk, CountsReadsAndWrites) {
@@ -47,31 +49,31 @@ TEST(Disk, CountsReadsAndWrites) {
 TEST(Disk, DistinctReadWriteTimes) {
   sim::Simulator sim;
   Disk disk(sim, cfg(0.004, 0.010));
-  EXPECT_DOUBLE_EQ(disk.read(), 0.004);
-  EXPECT_DOUBLE_EQ(disk.write(), 0.014);
+  EXPECT_DOUBLE_EQ(disk.read().sec(), 0.004);
+  EXPECT_DOUBLE_EQ(disk.write().sec(), 0.014);
 }
 
 TEST(Disk, IdleGapDoesNotAccumulate) {
   sim::Simulator sim;
   Disk disk(sim, cfg());
   disk.read();
-  double done_at = -1;
-  sim.after(1.0, [&] {
+  sim::SimTime done_at{-1.0};
+  sim.after(sim::seconds(1.0), [&] {
     disk.read([&] { done_at = sim.now(); });
   });
   sim.run();
-  EXPECT_DOUBLE_EQ(done_at, 1.008);
+  EXPECT_DOUBLE_EQ(done_at.sec(), 1.008);
 }
 
 TEST(Disk, UtilizationAndReset) {
   sim::Simulator sim;
   Disk disk(sim, cfg(0.5, 0.5));
   disk.read();
-  sim.run_until(1.0);
+  sim.run_until(sim::SimTime{1.0});
   EXPECT_NEAR(disk.utilization(), 0.5, 1e-9);
   disk.reset_stats();
   EXPECT_EQ(disk.reads(), 0u);
-  sim.run_until(2.0);
+  sim.run_until(sim::SimTime{2.0});
   EXPECT_NEAR(disk.utilization(), 0.0, 1e-9);
 }
 

@@ -8,30 +8,30 @@ namespace {
 PagedFileConfig small_cfg(std::size_t cap = 2) {
   PagedFileConfig c;
   c.buffer_capacity = cap;
-  c.memory_access_time = 0.0001;
-  c.disk.read_time = 0.008;
-  c.disk.write_time = 0.008;
+  c.memory_access_time = sim::seconds(0.0001);
+  c.disk.read_time = sim::seconds(0.008);
+  c.disk.write_time = sim::seconds(0.008);
   return c;
 }
 
 TEST(PagedFile, MissReadsFromDisk) {
   sim::Simulator sim;
   PagedFile pf(sim, small_cfg());
-  double done = -1;
-  pf.access(1, false, [&] { done = sim.now(); });
+  sim::SimTime done{-1.0};
+  pf.access(ObjectId{1}, false, [&] { done = sim.now(); });
   sim.run();
-  EXPECT_DOUBLE_EQ(done, 0.008);
+  EXPECT_DOUBLE_EQ(done.sec(), 0.008);
   EXPECT_EQ(pf.disk().reads(), 1u);
 }
 
 TEST(PagedFile, HitServedAtMemorySpeed) {
   sim::Simulator sim;
   PagedFile pf(sim, small_cfg());
-  pf.preload(1);
-  double done = -1;
-  pf.access(1, false, [&] { done = sim.now(); });
+  pf.preload(ObjectId{1});
+  sim::SimTime done{-1.0};
+  pf.access(ObjectId{1}, false, [&] { done = sim.now(); });
   sim.run();
-  EXPECT_DOUBLE_EQ(done, 0.0001);
+  EXPECT_DOUBLE_EQ(done.sec(), 0.0001);
   EXPECT_EQ(pf.disk().reads(), 0u);
   EXPECT_EQ(pf.buffer().hits(), 1u);
 }
@@ -39,18 +39,18 @@ TEST(PagedFile, HitServedAtMemorySpeed) {
 TEST(PagedFile, WriteAccessDirtiesPage) {
   sim::Simulator sim;
   PagedFile pf(sim, small_cfg());
-  pf.preload(1);
-  pf.access(1, true, [] {});
+  pf.preload(ObjectId{1});
+  pf.access(ObjectId{1}, true, [] {});
   sim.run();
-  EXPECT_TRUE(pf.buffer().is_dirty(1));
+  EXPECT_TRUE(pf.buffer().is_dirty(PageId{1}));
 }
 
 TEST(PagedFile, DirtyEvictionQueuesWriteBack) {
   sim::Simulator sim;
   PagedFile pf(sim, small_cfg(1));
-  pf.access(1, true, [] {});   // miss, becomes dirty resident
+  pf.access(ObjectId{1}, true, [] {});   // miss, becomes dirty resident
   sim.run();
-  pf.access(2, false, [] {});  // evicts dirty page 1 -> write-back + read
+  pf.access(ObjectId{2}, false, [] {});  // evicts dirty page 1 -> write-back + read
   sim.run();
   EXPECT_EQ(pf.disk().writes(), 1u);
   EXPECT_EQ(pf.disk().reads(), 2u);
@@ -59,9 +59,9 @@ TEST(PagedFile, DirtyEvictionQueuesWriteBack) {
 TEST(PagedFile, CleanEvictionSkipsWriteBack) {
   sim::Simulator sim;
   PagedFile pf(sim, small_cfg(1));
-  pf.access(1, false, [] {});
+  pf.access(ObjectId{1}, false, [] {});
   sim.run();
-  pf.access(2, false, [] {});
+  pf.access(ObjectId{2}, false, [] {});
   sim.run();
   EXPECT_EQ(pf.disk().writes(), 0u);
 }
@@ -69,38 +69,38 @@ TEST(PagedFile, CleanEvictionSkipsWriteBack) {
 TEST(PagedFile, WriteBackDelaysSubsequentRead) {
   sim::Simulator sim;
   PagedFile pf(sim, small_cfg(1));
-  pf.access(1, true, [] {});
+  pf.access(ObjectId{1}, true, [] {});
   sim.run();
-  double done = -1;
-  pf.access(2, false, [&] { done = sim.now(); });
+  sim::SimTime done{-1.0};
+  pf.access(ObjectId{2}, false, [&] { done = sim.now(); });
   sim.run();
   // Write-back of page 1 (8 ms) occupies the disk before the read of 2.
-  EXPECT_DOUBLE_EQ(done, 0.008 + 0.008 + 0.008);
+  EXPECT_DOUBLE_EQ(done.sec(), 0.008 + 0.008 + 0.008);
 }
 
 TEST(PagedFile, InstallPlacesPageWithoutRead) {
   sim::Simulator sim;
   PagedFile pf(sim, small_cfg());
-  pf.install(7, /*dirty=*/true);
-  EXPECT_TRUE(pf.buffer().contains(7));
-  EXPECT_TRUE(pf.buffer().is_dirty(7));
+  pf.install(ObjectId{7}, /*dirty=*/true);
+  EXPECT_TRUE(pf.buffer().contains(PageId{7}));
+  EXPECT_TRUE(pf.buffer().is_dirty(PageId{7}));
   EXPECT_EQ(pf.disk().reads(), 0u);
 }
 
 TEST(PagedFile, InstallEvictionWritesBackDirtyVictim) {
   sim::Simulator sim;
   PagedFile pf(sim, small_cfg(1));
-  pf.install(1, true);
-  pf.install(2, false);
+  pf.install(ObjectId{1}, true);
+  pf.install(ObjectId{2}, false);
   EXPECT_EQ(pf.disk().writes(), 1u);
-  EXPECT_FALSE(pf.buffer().contains(1));
-  EXPECT_TRUE(pf.buffer().contains(2));
+  EXPECT_FALSE(pf.buffer().contains(PageId{1}));
+  EXPECT_TRUE(pf.buffer().contains(PageId{2}));
 }
 
 TEST(PagedFile, ResetStatsClearsCounters) {
   sim::Simulator sim;
   PagedFile pf(sim, small_cfg());
-  pf.access(1, false, [] {});
+  pf.access(ObjectId{1}, false, [] {});
   sim.run();
   pf.reset_stats();
   EXPECT_EQ(pf.disk().reads(), 0u);

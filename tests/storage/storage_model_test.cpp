@@ -22,13 +22,13 @@ class ReferenceLru {
  public:
   explicit ReferenceLru(std::size_t capacity) : capacity_(capacity) {}
 
-  bool contains(ObjectId id) const {
+  bool contains(PageId id) const {
     return std::find_if(items_.begin(), items_.end(), [&](const auto& p) {
              return p.first == id;
            }) != items_.end();
   }
 
-  bool reference(ObjectId id) {
+  bool reference(PageId id) {
     auto it = std::find_if(items_.begin(), items_.end(),
                            [&](const auto& p) { return p.first == id; });
     if (it == items_.end()) return false;
@@ -37,7 +37,7 @@ class ReferenceLru {
   }
 
   // Returns the evicted (id, dirty) if any.
-  std::optional<std::pair<ObjectId, bool>> insert(ObjectId id, bool dirty) {
+  std::optional<std::pair<PageId, bool>> insert(PageId id, bool dirty) {
     auto it = std::find_if(items_.begin(), items_.end(),
                            [&](const auto& p) { return p.first == id; });
     if (it != items_.end()) {
@@ -45,7 +45,7 @@ class ReferenceLru {
       items_.splice(items_.begin(), items_, it);
       return std::nullopt;
     }
-    std::optional<std::pair<ObjectId, bool>> evicted;
+    std::optional<std::pair<PageId, bool>> evicted;
     if (items_.size() >= capacity_) {
       evicted = items_.back();
       items_.pop_back();
@@ -54,7 +54,7 @@ class ReferenceLru {
     return evicted;
   }
 
-  std::optional<bool> erase(ObjectId id) {
+  std::optional<bool> erase(PageId id) {
     auto it = std::find_if(items_.begin(), items_.end(),
                            [&](const auto& p) { return p.first == id; });
     if (it == items_.end()) return std::nullopt;
@@ -63,14 +63,14 @@ class ReferenceLru {
     return dirty;
   }
 
-  bool dirty(ObjectId id) const {
+  bool dirty(PageId id) const {
     auto it = std::find_if(items_.begin(), items_.end(),
                            [&](const auto& p) { return p.first == id; });
     return it != items_.end() && it->second;
   }
 
   /// In-place dirty mark: recency untouched (BufferManager semantics).
-  bool mark_dirty(ObjectId id) {
+  bool mark_dirty(PageId id) {
     auto it = std::find_if(items_.begin(), items_.end(),
                            [&](const auto& p) { return p.first == id; });
     if (it == items_.end()) return false;
@@ -82,7 +82,7 @@ class ReferenceLru {
 
  private:
   std::size_t capacity_;
-  std::list<std::pair<ObjectId, bool>> items_;  // front = MRU
+  std::list<std::pair<PageId, bool>> items_;  // front = MRU
 };
 
 class BufferModel : public ::testing::TestWithParam<std::uint64_t> {};
@@ -93,7 +93,7 @@ TEST_P(BufferModel, MatchesReferenceLruExactly) {
   ReferenceLru ref(8);
 
   for (int step = 0; step < 5000; ++step) {
-    const ObjectId id = static_cast<ObjectId>(rng.uniform_int(0, 19));
+    const PageId id{static_cast<PageId::Rep>(rng.uniform_int(0, 19))};
     const double dice = rng.uniform01();
     if (dice < 0.4) {
       ASSERT_EQ(bm.reference(id), ref.reference(id)) << "step " << step;
@@ -174,11 +174,11 @@ TEST(CacheModel, HitRateNeverCountsInsertsAsAccesses) {
   cfg.memory_capacity = 2;
   cfg.disk_capacity = 2;
   ClientCache cache(sim, cfg);
-  cache.insert(1);
-  cache.insert(2);
+  cache.insert(ObjectId{1});
+  cache.insert(ObjectId{2});
   EXPECT_EQ(cache.hits() + cache.misses(), 0u);
-  cache.access(1, false, [] {});
-  cache.access(9, false, [] {});
+  cache.access(ObjectId{1}, false, [] {});
+  cache.access(ObjectId{9}, false, [] {});
   sim.run();
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(cache.misses(), 1u);

@@ -9,19 +9,21 @@ namespace {
 
 Transaction decomposable(std::vector<Operation> ops, double length = 10) {
   Transaction t;
-  t.id = 42;
-  t.origin = 1;
-  t.deadline = 20;
-  t.length = length;
+  t.id = TxnId{42};
+  t.origin = SiteId{1};
+  t.deadline = sim::SimTime{20};
+  t.length = sim::seconds(length);
   t.decomposable = true;
   t.ops = std::move(ops);
   return t;
 }
 
-SiteId locate_mod3(ObjectId obj) { return static_cast<SiteId>(obj % 3 + 1); }
+SiteId locate_mod3(ObjectId obj) {
+  return SiteId{static_cast<SiteId::Rep>(obj.value() % 3 + 1)};
+}
 
 TEST(Decompose, NonDecomposableReturnsEmpty) {
-  auto t = decomposable({{0, false}, {1, false}});
+  auto t = decomposable({{ObjectId{0}, false}, {ObjectId{1}, false}});
   t.decomposable = false;
   EXPECT_TRUE(decompose(t, locate_mod3).empty());
 }
@@ -33,56 +35,56 @@ TEST(Decompose, EmptyOpsReturnsEmpty) {
 
 TEST(Decompose, SingleSiteReturnsEmpty) {
   // All objects map to one site: nothing to disassemble.
-  auto t = decomposable({{0, false}, {3, false}, {6, false}});
+  auto t = decomposable({{ObjectId{0}, false}, {ObjectId{3}, false}, {ObjectId{6}, false}});
   EXPECT_TRUE(decompose(t, locate_mod3).empty());
 }
 
 TEST(Decompose, GroupsByLocation) {
-  auto t = decomposable({{0, false}, {1, false}, {3, true}, {4, false}});
+  auto t = decomposable({{ObjectId{0}, false}, {ObjectId{1}, false}, {ObjectId{3}, true}, {ObjectId{4}, false}});
   auto subs = decompose(t, locate_mod3);
   ASSERT_EQ(subs.size(), 2u);  // sites 1 (0,3) and 2 (1,4)
-  EXPECT_EQ(subs[0].site, 1);
-  EXPECT_EQ(subs[1].site, 2);
+  EXPECT_EQ(subs[0].site, SiteId{1});
+  EXPECT_EQ(subs[1].site, SiteId{2});
   ASSERT_EQ(subs[0].ops.size(), 2u);
-  EXPECT_EQ(subs[0].ops[0].object, 0u);
-  EXPECT_EQ(subs[0].ops[1].object, 3u);
+  EXPECT_EQ(subs[0].ops[0].object, ObjectId{0});
+  EXPECT_EQ(subs[0].ops[1].object, ObjectId{3});
   EXPECT_TRUE(subs[0].ops[1].is_update);
 }
 
 TEST(Decompose, SubtasksInheritParentAndDeadline) {
-  auto t = decomposable({{0, false}, {1, false}});
+  auto t = decomposable({{ObjectId{0}, false}, {ObjectId{1}, false}});
   auto subs = decompose(t, locate_mod3);
   ASSERT_EQ(subs.size(), 2u);
   for (const auto& s : subs) {
-    EXPECT_EQ(s.parent, 42u);
-    EXPECT_DOUBLE_EQ(s.deadline, 20.0);
+    EXPECT_EQ(s.parent, TxnId{42});
+    EXPECT_DOUBLE_EQ(s.deadline.sec(), 20.0);
   }
   EXPECT_EQ(subs[0].index, 0u);
   EXPECT_EQ(subs[1].index, 1u);
 }
 
 TEST(Decompose, LengthSplitProportionalToOps) {
-  auto t = decomposable({{0, false}, {3, false}, {6, false}, {1, false}},
+  auto t = decomposable({{ObjectId{0}, false}, {ObjectId{3}, false}, {ObjectId{6}, false}, {ObjectId{1}, false}},
                         /*length=*/12);
   auto subs = decompose(t, locate_mod3);
   ASSERT_EQ(subs.size(), 2u);
   // Site 1 gets 3 of 4 ops -> 9s; site 2 gets 1 of 4 -> 3s.
-  EXPECT_DOUBLE_EQ(subs[0].length, 9.0);
-  EXPECT_DOUBLE_EQ(subs[1].length, 3.0);
+  EXPECT_DOUBLE_EQ(subs[0].length.sec(), 9.0);
+  EXPECT_DOUBLE_EQ(subs[1].length.sec(), 3.0);
 }
 
 TEST(Decompose, LengthsSumToParentLength) {
   auto t = decomposable(
-      {{0, false}, {1, true}, {2, false}, {4, false}, {5, true}}, 10);
+      {{ObjectId{0}, false}, {ObjectId{1}, true}, {ObjectId{2}, false}, {ObjectId{4}, false}, {ObjectId{5}, true}}, 10);
   auto subs = decompose(t, locate_mod3);
   double sum = 0;
-  for (const auto& s : subs) sum += s.length;
+  for (const auto& s : subs) sum += s.length.sec();
   EXPECT_NEAR(sum, 10.0, 1e-9);
 }
 
 TEST(Decompose, EveryOpAppearsExactlyOnce) {
   auto t = decomposable(
-      {{0, false}, {1, false}, {2, false}, {3, true}, {4, false}, {5, true}});
+      {{ObjectId{0}, false}, {ObjectId{1}, false}, {ObjectId{2}, false}, {ObjectId{3}, true}, {ObjectId{4}, false}, {ObjectId{5}, true}});
   auto subs = decompose(t, locate_mod3);
   std::unordered_map<ObjectId, int> seen;
   for (const auto& s : subs) {
@@ -96,7 +98,7 @@ TEST(Decompose, EveryOpAppearsExactlyOnce) {
 }
 
 TEST(Decompose, DeterministicSiteOrder) {
-  auto t = decomposable({{2, false}, {1, false}, {0, false}});
+  auto t = decomposable({{ObjectId{2}, false}, {ObjectId{1}, false}, {ObjectId{0}, false}});
   auto subs = decompose(t, locate_mod3);
   ASSERT_EQ(subs.size(), 3u);
   EXPECT_LT(subs[0].site, subs[1].site);

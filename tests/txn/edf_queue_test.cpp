@@ -10,9 +10,9 @@ namespace {
 
 TEST(EdfQueue, PopsEarliestDeadlineFirst) {
   EdfQueue<int> q;
-  q.push(3, 30);
-  q.push(1, 10);
-  q.push(2, 20);
+  q.push(3, sim::SimTime{30});
+  q.push(1, sim::SimTime{10});
+  q.push(2, sim::SimTime{20});
   EXPECT_EQ(q.pop().value(), 1);
   EXPECT_EQ(q.pop().value(), 2);
   EXPECT_EQ(q.pop().value(), 3);
@@ -21,9 +21,9 @@ TEST(EdfQueue, PopsEarliestDeadlineFirst) {
 
 TEST(EdfQueue, TiesServeInInsertionOrder) {
   EdfQueue<int> q;
-  q.push(1, 10);
-  q.push(2, 10);
-  q.push(3, 10);
+  q.push(1, sim::SimTime{10});
+  q.push(2, sim::SimTime{10});
+  q.push(3, sim::SimTime{10});
   EXPECT_EQ(q.pop().value(), 1);
   EXPECT_EQ(q.pop().value(), 2);
   EXPECT_EQ(q.pop().value(), 3);
@@ -31,10 +31,10 @@ TEST(EdfQueue, TiesServeInInsertionOrder) {
 
 TEST(EdfQueue, PopReadyDropsExpired) {
   EdfQueue<int> q;
-  q.push(1, 10);
-  q.push(2, 20);
+  q.push(1, sim::SimTime{10});
+  q.push(2, sim::SimTime{20});
   std::vector<int> expired;
-  auto got = q.pop_ready(15.0, &expired);
+  auto got = q.pop_ready(sim::SimTime{15.0}, &expired);
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(*got, 2);
   EXPECT_EQ(expired, (std::vector<int>{1}));
@@ -42,16 +42,16 @@ TEST(EdfQueue, PopReadyDropsExpired) {
 
 TEST(EdfQueue, PopReadyAtExactDeadlineServes) {
   EdfQueue<int> q;
-  q.push(1, 10);
-  EXPECT_EQ(q.pop_ready(10.0).value(), 1);
+  q.push(1, sim::SimTime{10});
+  EXPECT_EQ(q.pop_ready(sim::SimTime{10.0}).value(), 1);
 }
 
 TEST(EdfQueue, PopReadyEmptiesWhenAllExpired) {
   EdfQueue<int> q;
-  q.push(1, 1);
-  q.push(2, 2);
+  q.push(1, sim::SimTime{1});
+  q.push(2, sim::SimTime{2});
   std::vector<int> expired;
-  EXPECT_FALSE(q.pop_ready(100.0, &expired).has_value());
+  EXPECT_FALSE(q.pop_ready(sim::SimTime{100.0}, &expired).has_value());
   EXPECT_EQ(expired.size(), 2u);
   EXPECT_TRUE(q.empty());
 }
@@ -59,16 +59,16 @@ TEST(EdfQueue, PopReadyEmptiesWhenAllExpired) {
 TEST(EdfQueue, NextDeadline) {
   EdfQueue<int> q;
   EXPECT_EQ(q.next_deadline(), sim::kTimeInfinity);
-  q.push(1, 42);
-  q.push(2, 7);
-  EXPECT_DOUBLE_EQ(q.next_deadline(), 7.0);
+  q.push(1, sim::SimTime{42});
+  q.push(2, sim::SimTime{7});
+  EXPECT_DOUBLE_EQ(q.next_deadline().sec(), 7.0);
 }
 
 TEST(EdfQueue, RemoveIfExtractsMatching) {
   EdfQueue<std::string> q;
-  q.push("a", 1);
-  q.push("b", 2);
-  q.push("c", 3);
+  q.push("a", sim::SimTime{1});
+  q.push("b", sim::SimTime{2});
+  q.push("c", sim::SimTime{3});
   auto removed = q.remove_if([](const std::string& s) { return s == "b"; });
   ASSERT_TRUE(removed.has_value());
   EXPECT_EQ(*removed, "b");
@@ -79,20 +79,20 @@ TEST(EdfQueue, RemoveIfExtractsMatching) {
 
 TEST(EdfQueue, CountAheadOfImplementsH1sN) {
   EdfQueue<int> q;
-  q.push(1, 10);
-  q.push(2, 20);
-  q.push(3, 30);
-  EXPECT_EQ(q.count_ahead_of(5), 0u);
-  EXPECT_EQ(q.count_ahead_of(15), 1u);
-  EXPECT_EQ(q.count_ahead_of(25), 2u);
-  EXPECT_EQ(q.count_ahead_of(35), 3u);
+  q.push(1, sim::SimTime{10});
+  q.push(2, sim::SimTime{20});
+  q.push(3, sim::SimTime{30});
+  EXPECT_EQ(q.count_ahead_of(sim::SimTime{5}), 0u);
+  EXPECT_EQ(q.count_ahead_of(sim::SimTime{15}), 1u);
+  EXPECT_EQ(q.count_ahead_of(sim::SimTime{25}), 2u);
+  EXPECT_EQ(q.count_ahead_of(sim::SimTime{35}), 3u);
   // Ties count as "before" (they'd be served first, insertion order).
-  EXPECT_EQ(q.count_ahead_of(20), 2u);
+  EXPECT_EQ(q.count_ahead_of(sim::SimTime{20}), 2u);
 }
 
 TEST(EdfQueue, ClearEmpties) {
   EdfQueue<int> q;
-  q.push(1, 1);
+  q.push(1, sim::SimTime{1});
   q.clear();
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.size(), 0u);
@@ -100,7 +100,7 @@ TEST(EdfQueue, ClearEmpties) {
 
 TEST(EdfQueue, MoveOnlyPayloadWorks) {
   EdfQueue<std::unique_ptr<int>> q;
-  q.push(std::make_unique<int>(5), 1);
+  q.push(std::make_unique<int>(5), sim::SimTime{1});
   auto p = q.pop();
   ASSERT_TRUE(p.has_value());
   EXPECT_EQ(**p, 5);

@@ -7,46 +7,48 @@ namespace {
 
 Transaction make(std::vector<Operation> ops) {
   Transaction t;
-  t.id = 1;
-  t.origin = 2;
-  t.arrival = 0;
-  t.deadline = 20;
-  t.length = 10;
+  t.id = TxnId{1};
+  t.origin = SiteId{2};
+  t.arrival = sim::SimTime{0};
+  t.deadline = sim::SimTime{20};
+  t.length = sim::seconds(10);
   t.ops = std::move(ops);
   return t;
 }
 
 TEST(Transaction, OperationModeByUpdateFlag) {
-  Operation read{7, false};
-  Operation write{7, true};
+  Operation read{ObjectId{7}, false};
+  Operation write{ObjectId{7}, true};
   EXPECT_EQ(read.mode(), lock::LockMode::kShared);
   EXPECT_EQ(write.mode(), lock::LockMode::kExclusive);
 }
 
 TEST(Transaction, IsUpdateDetectsAnyWrite) {
-  EXPECT_FALSE(make({{1, false}, {2, false}}).is_update());
-  EXPECT_TRUE(make({{1, false}, {2, true}}).is_update());
+  EXPECT_FALSE(make({{ObjectId{1}, false}, {ObjectId{2}, false}}).is_update());
+  EXPECT_TRUE(make({{ObjectId{1}, false}, {ObjectId{2}, true}}).is_update());
   EXPECT_FALSE(make({}).is_update());
 }
 
 TEST(Transaction, MissedAndSlack) {
-  const auto t = make({{1, false}});
-  EXPECT_FALSE(t.missed(20.0));  // exactly at deadline: still ok
-  EXPECT_TRUE(t.missed(20.01));
-  EXPECT_DOUBLE_EQ(t.slack(5.0), 15.0);
-  EXPECT_LT(t.slack(25.0), 0.0);
+  const auto t = make({{ObjectId{1}, false}});
+  // exactly at deadline: still ok
+  EXPECT_FALSE(t.missed(sim::SimTime{20.0}));
+  EXPECT_TRUE(t.missed(sim::SimTime{20.01}));
+  EXPECT_DOUBLE_EQ(t.slack(sim::SimTime{5.0}).sec(), 15.0);
+  EXPECT_LT(t.slack(sim::SimTime{25.0}), sim::Duration::zero());
 }
 
 TEST(Transaction, LockNeedsDeduplicates) {
-  const auto t = make({{1, false}, {1, false}, {2, false}});
+  const auto t = make({{ObjectId{1}, false}, {ObjectId{1}, false}, {ObjectId{2}, false}});
   const auto needs = t.lock_needs();
   ASSERT_EQ(needs.size(), 2u);
-  EXPECT_EQ(needs[0].first, 1u);
-  EXPECT_EQ(needs[1].first, 2u);
+  EXPECT_EQ(needs[0].first, ObjectId{1});
+  EXPECT_EQ(needs[1].first, ObjectId{2});
 }
 
 TEST(Transaction, LockNeedsKeepStrongerMode) {
-  const auto t = make({{1, false}, {1, true}, {2, true}, {2, false}});
+  const auto t = make({{ObjectId{1}, false}, {ObjectId{1}, true}, {ObjectId{2}, true},
+               {ObjectId{2}, false}});
   const auto needs = t.lock_needs();
   ASSERT_EQ(needs.size(), 2u);
   EXPECT_EQ(needs[0].second, lock::LockMode::kExclusive);
@@ -54,12 +56,12 @@ TEST(Transaction, LockNeedsKeepStrongerMode) {
 }
 
 TEST(Transaction, LockNeedsSortedByObject) {
-  const auto t = make({{9, false}, {3, false}, {7, true}});
+  const auto t = make({{ObjectId{9}, false}, {ObjectId{3}, false}, {ObjectId{7}, true}});
   const auto needs = t.lock_needs();
   ASSERT_EQ(needs.size(), 3u);
-  EXPECT_EQ(needs[0].first, 3u);
-  EXPECT_EQ(needs[1].first, 7u);
-  EXPECT_EQ(needs[2].first, 9u);
+  EXPECT_EQ(needs[0].first, ObjectId{3});
+  EXPECT_EQ(needs[1].first, ObjectId{7});
+  EXPECT_EQ(needs[2].first, ObjectId{9});
 }
 
 TEST(Transaction, StateLiveness) {

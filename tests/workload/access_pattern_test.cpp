@@ -15,7 +15,7 @@ TEST(UniformPattern, SamplesWholeRange) {
   UniformPattern p(100);
   sim::Rng rng(1);
   std::vector<int> counts(100, 0);
-  for (int i = 0; i < 100000; ++i) ++counts[p.sample(0, rng)];
+  for (int i = 0; i < 100000; ++i) ++counts[p.sample(0, rng).value()];
   for (int c : counts) EXPECT_GT(c, 0);
 }
 
@@ -33,12 +33,12 @@ TEST(LocalizedRw, ValidatesArguments) {
 TEST(LocalizedRw, RegionsCarvedFromTopAndDisjoint) {
   LocalizedRwPattern p(1000, 4, 100, 0.75, 0.86);
   // Client 0 owns [900,1000), client 1 [800,900), ...
-  EXPECT_EQ(p.region_first(0), 900u);
-  EXPECT_EQ(p.region_first(1), 800u);
-  EXPECT_EQ(p.region_first(3), 600u);
-  EXPECT_TRUE(p.in_region(0, 950));
-  EXPECT_FALSE(p.in_region(0, 899));
-  EXPECT_FALSE(p.in_region(1, 950));
+  EXPECT_EQ(p.region_first(0), ObjectId{900});
+  EXPECT_EQ(p.region_first(1), ObjectId{800});
+  EXPECT_EQ(p.region_first(3), ObjectId{600});
+  EXPECT_TRUE(p.in_region(0, ObjectId{950}));
+  EXPECT_FALSE(p.in_region(0, ObjectId{899}));
+  EXPECT_FALSE(p.in_region(1, ObjectId{950}));
 }
 
 TEST(LocalizedRw, LocalityFractionRespected) {
@@ -66,7 +66,7 @@ TEST(LocalizedRw, SamplesAlwaysInDatabase) {
   LocalizedRwPattern p(500, 5, 50, 0.75, 1.2);
   sim::Rng rng(13);
   for (int i = 0; i < 50000; ++i) {
-    EXPECT_LT(p.sample(4, rng), 500u);
+    EXPECT_LT(p.sample(4, rng), ObjectId{500});
   }
 }
 
@@ -76,7 +76,7 @@ TEST(LocalizedRw, SharedHotHeadIsObjectZero) {
   LocalizedRwPattern p(10000, 10, 100, 0.0, 1.2);
   sim::Rng rng(17);
   std::vector<std::uint64_t> counts(10000, 0);
-  for (int i = 0; i < 200000; ++i) ++counts[p.sample(0, rng)];
+  for (int i = 0; i < 200000; ++i) ++counts[p.sample(0, rng).value()];
   const auto hottest =
       std::max_element(counts.begin(), counts.end()) - counts.begin();
   EXPECT_EQ(hottest, 0);
@@ -89,8 +89,8 @@ TEST(LocalizedRw, CrossClientSharingOfHotObjects) {
   sim::Rng rng(19);
   std::vector<bool> hit_by_0(10000, false), hit_by_7(10000, false);
   for (int i = 0; i < 50000; ++i) {
-    hit_by_0[p.sample(0, rng)] = true;
-    hit_by_7[p.sample(7, rng)] = true;
+    hit_by_0[p.sample(0, rng).value()] = true;
+    hit_by_7[p.sample(7, rng).value()] = true;
   }
   int shared = 0;
   for (int i = 0; i < 10000; ++i) {
@@ -106,7 +106,7 @@ TEST(LocalizedRw, UniformWithinOwnRegion) {
   for (int i = 0; i < 200000; ++i) {
     const ObjectId id = p.sample(0, rng);
     ASSERT_TRUE(p.in_region(0, id));
-    ++counts[id - p.region_first(0)];
+    ++counts[id.value() - p.region_first(0).value()];
   }
   for (int c : counts) EXPECT_NEAR(c, 1000, 200);
 }
@@ -125,7 +125,7 @@ TEST(HotCold, EightyTwentyRule) {
   int hot = 0;
   const int n = 100000;
   for (int i = 0; i < n; ++i) {
-    if (p.sample(0, rng) < 200u) ++hot;
+    if (p.sample(0, rng) < ObjectId{200}) ++hot;
   }
   EXPECT_NEAR(static_cast<double>(hot) / n, 0.8, 0.01);
 }
@@ -136,8 +136,8 @@ TEST(HotCold, AllClientsShareTheHotSet) {
   // Two different clients both concentrate on the same leading ids.
   int hot0 = 0, hot7 = 0;
   for (int i = 0; i < 20000; ++i) {
-    if (p.sample(0, rng) < p.hot_count()) ++hot0;
-    if (p.sample(7, rng) < p.hot_count()) ++hot7;
+    if (p.sample(0, rng).value() < p.hot_count()) ++hot0;
+    if (p.sample(7, rng).value() < p.hot_count()) ++hot7;
   }
   EXPECT_GT(hot0, 17000);
   EXPECT_GT(hot7, 17000);
@@ -149,9 +149,9 @@ TEST(HotCold, ColdAccessesCoverTheRemainder) {
   std::vector<bool> seen(50, false);
   for (int i = 0; i < 20000; ++i) {
     const ObjectId id = p.sample(0, rng);
-    ASSERT_GE(id, p.hot_count());
-    ASSERT_LT(id, 50u);
-    seen[id] = true;
+    ASSERT_GE(id.value(), p.hot_count());
+    ASSERT_LT(id, ObjectId{50});
+    seen[id.value()] = true;
   }
   for (std::size_t i = p.hot_count(); i < 50; ++i) {
     EXPECT_TRUE(seen[i]) << i;
@@ -164,7 +164,7 @@ TEST(HotCold, DegenerateHotFractionClamped) {
   EXPECT_EQ(p.hot_count(), 1u);
   sim::Rng rng(43);
   for (int i = 0; i < 100; ++i) {
-    EXPECT_LT(p.sample(0, rng), 2u);
+    EXPECT_LT(p.sample(0, rng), ObjectId{2});
   }
 }
 

@@ -36,7 +36,7 @@ TEST(WorkloadSuite, BuildsRequestedClients) {
   WorkloadSuite suite(cfg, 20, 42);
   EXPECT_EQ(suite.num_clients(), 20u);
   EXPECT_EQ(suite.client(0).site(), kFirstClientSite);
-  EXPECT_EQ(suite.client(19).site(), kFirstClientSite + 19);
+  EXPECT_EQ(suite.client(19).site(), SiteId{kFirstClientSite.value() + 19});
 }
 
 TEST(WorkloadSuite, DisjointAutoRegionSizeDividesDb) {
@@ -71,7 +71,8 @@ TEST(WorkloadSuite, OverlappingRegionsShareObjects) {
   WorkloadSuite suite(cfg, 100, 42);
   const auto& p = dynamic_cast<const LocalizedRwPattern&>(suite.pattern());
   bool found_shared = false;
-  for (ObjectId obj = 0; obj < 10000 && !found_shared; obj += 37) {
+  for (ObjectId obj{0}; obj < ObjectId{10000} && !found_shared;
+       obj = ObjectId{obj.value() + 37}) {
     int owners = 0;
     for (std::size_t c = 0; c < 100; ++c) {
       if (p.in_region(c, obj)) ++owners;
@@ -99,12 +100,12 @@ TEST(WorkloadSuite, DeterministicForSeed) {
   WorkloadConfig cfg;
   WorkloadSuite a(cfg, 5, 7), b(cfg, 5, 7);
   for (int i = 0; i < 20; ++i) {
-    EXPECT_DOUBLE_EQ(a.client(2).next_interarrival(),
-                     b.client(2).next_interarrival());
-    auto ta = a.client(2).make_transaction(1, 0);
-    auto tb = b.client(2).make_transaction(1, 0);
-    EXPECT_DOUBLE_EQ(ta.length, tb.length);
-    EXPECT_DOUBLE_EQ(ta.deadline, tb.deadline);
+    EXPECT_DOUBLE_EQ(a.client(2).next_interarrival().sec(),
+                     b.client(2).next_interarrival().sec());
+    auto ta = a.client(2).make_transaction(TxnId{1}, sim::SimTime{0});
+    auto tb = b.client(2).make_transaction(TxnId{1}, sim::SimTime{0});
+    EXPECT_DOUBLE_EQ(ta.length.sec(), tb.length.sec());
+    EXPECT_DOUBLE_EQ(ta.deadline.sec(), tb.deadline.sec());
     ASSERT_EQ(ta.ops.size(), tb.ops.size());
     for (std::size_t k = 0; k < ta.ops.size(); ++k) {
       EXPECT_EQ(ta.ops[k], tb.ops[k]);
@@ -115,8 +116,8 @@ TEST(WorkloadSuite, DeterministicForSeed) {
 TEST(WorkloadSuite, ClientsHaveIndependentStreams) {
   WorkloadConfig cfg;
   WorkloadSuite suite(cfg, 2, 7);
-  auto t0 = suite.client(0).make_transaction(1, 0);
-  auto t1 = suite.client(1).make_transaction(2, 0);
+  auto t0 = suite.client(0).make_transaction(TxnId{1}, sim::SimTime{0});
+  auto t1 = suite.client(1).make_transaction(TxnId{2}, sim::SimTime{0});
   EXPECT_NE(t0.length, t1.length);
 }
 
@@ -125,7 +126,9 @@ TEST(ClientWorkload, InterarrivalMeanTenSeconds) {
   WorkloadSuite suite(cfg, 1, 11);
   double sum = 0;
   const int n = 20000;
-  for (int i = 0; i < n; ++i) sum += suite.client(0).next_interarrival();
+  for (int i = 0; i < n; ++i) {
+    sum += suite.client(0).next_interarrival().sec();
+  }
   EXPECT_NEAR(sum / n, 10.0, 0.3);
 }
 
@@ -138,12 +141,12 @@ TEST(ClientWorkload, TransactionFieldsFollowTable1) {
   const int n = 20000;
   for (int i = 0; i < n; ++i) {
     auto t = suite.client(i % 4).make_transaction(
-        static_cast<TxnId>(i + 1), 100.0);
-    EXPECT_EQ(t.arrival, 100.0);
+        TxnId{static_cast<TxnId::Rep>(i + 1)}, sim::SimTime{100.0});
+    EXPECT_EQ(t.arrival, sim::SimTime{100.0});
     EXPECT_GT(t.deadline, t.arrival + t.length);
     EXPECT_GE(t.ops.size(), 1u);
-    length.add(t.length);
-    deadline_slack.add(t.deadline - t.arrival);
+    length.add(t.length.sec());
+    deadline_slack.add((t.deadline - t.arrival).sec());
     nops.add(static_cast<double>(t.ops.size()));
     for (const auto& op : t.ops) {
       ++accesses;
@@ -166,7 +169,8 @@ TEST(ClientWorkload, ObjectsComeFromClientsPattern) {
       dynamic_cast<const LocalizedRwPattern&>(suite.pattern());
   int in_region = 0, total = 0;
   for (int i = 0; i < 2000; ++i) {
-    auto t = suite.client(3).make_transaction(static_cast<TxnId>(i + 1), 0);
+    auto t = suite.client(3).make_transaction(
+        TxnId{static_cast<TxnId::Rep>(i + 1)}, sim::SimTime{0});
     for (const auto& op : t.ops) {
       ++total;
       if (pattern.in_region(3, op.object)) ++in_region;
@@ -178,9 +182,9 @@ TEST(ClientWorkload, ObjectsComeFromClientsPattern) {
 TEST(ClientWorkload, OriginMatchesSite) {
   WorkloadConfig cfg;
   WorkloadSuite suite(cfg, 3, 19);
-  auto t = suite.client(2).make_transaction(9, 5.0);
+  auto t = suite.client(2).make_transaction(TxnId{9}, sim::SimTime{5.0});
   EXPECT_EQ(t.origin, suite.client(2).site());
-  EXPECT_EQ(t.id, 9u);
+  EXPECT_EQ(t.id, TxnId{9});
   EXPECT_EQ(t.state, txn::TxnState::kPending);
 }
 

@@ -152,8 +152,8 @@ core::SystemConfig make_config(const Options& opt) {
   cfg.num_clients = opt.clients;
   cfg.workload.update_fraction = opt.updates / 100.0;
   cfg.seed = opt.seed;
-  cfg.duration = opt.duration;
-  cfg.warmup = opt.warmup;
+  cfg.duration = sim::seconds(opt.duration);
+  cfg.warmup = sim::seconds(opt.warmup);
   cfg.audit_interval = opt.audit_interval;
   return cfg;
 }

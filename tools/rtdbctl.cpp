@@ -135,11 +135,11 @@ bool parse(int argc, char** argv, Options& opt) {
     } else if (!std::strcmp(a, "--warmup")) {
       opt.warmup = std::atof(need(i));
     } else if (!std::strcmp(a, "--interarrival")) {
-      opt.base.workload.mean_interarrival = std::atof(need(i));
+      opt.base.workload.mean_interarrival = sim::seconds(std::atof(need(i)));
     } else if (!std::strcmp(a, "--length")) {
-      opt.base.workload.mean_length = std::atof(need(i));
+      opt.base.workload.mean_length = sim::seconds(std::atof(need(i)));
     } else if (!std::strcmp(a, "--slack")) {
-      opt.base.workload.mean_slack = std::atof(need(i));
+      opt.base.workload.mean_slack = sim::seconds(std::atof(need(i)));
     } else if (!std::strcmp(a, "--ops")) {
       opt.base.workload.mean_ops = std::atof(need(i));
     } else if (!std::strcmp(a, "--db")) {
@@ -151,7 +151,7 @@ bool parse(int argc, char** argv, Options& opt) {
     } else if (!std::strcmp(a, "--zipf")) {
       opt.base.workload.zipf_theta = std::atof(need(i));
     } else if (!std::strcmp(a, "--window")) {
-      opt.base.ls.collection_window = std::atof(need(i));
+      opt.base.ls.collection_window = sim::seconds(std::atof(need(i)));
     } else if (!std::strcmp(a, "--no-h1")) {
       opt.base.ls.enable_h1 = false;
     } else if (!std::strcmp(a, "--no-h2")) {
@@ -219,16 +219,16 @@ int main(int argc, char** argv) {
       core::SystemConfig cfg = opt.base;
       cfg.workload.update_fraction = opt.updates / 100.0;
       cfg.num_clients = n;
-      cfg.duration = opt.duration;
-      cfg.warmup = opt.warmup;
+      cfg.duration = sim::seconds(opt.duration);
+      cfg.warmup = sim::seconds(opt.warmup);
       cfg.seed = opt.base_seed;
       if (want_telemetry) {
         cfg.telemetry.spans = true;
         cfg.telemetry.events = !opt.trace_out.empty();
         if (!opt.metrics_out.empty() || opt.sample_interval > 0) {
-          cfg.telemetry.sample_interval = opt.sample_interval > 0
-                                              ? opt.sample_interval
-                                              : opt.duration / 100.0;
+          cfg.telemetry.sample_interval =
+              opt.sample_interval > 0 ? sim::seconds(opt.sample_interval)
+                                      : sim::seconds(opt.duration / 100.0);
         }
       }
       core::MetricsAggregator agg;
