@@ -14,8 +14,9 @@ if [ ! -x "$VERIFY" ]; then
   exit 2
 fi
 
+# Fault-free lines carry no ':'; chaos lines are <prototype>:<schedule>.
 actual=$("$VERIFY" | awk '/determinism/ {sub(/^digest=/, "", $4); print $2, $4}')
-golden=$(grep -v '^#' scripts/golden_digests.txt | awk 'NF {print $1, $2}')
+golden=$(grep -v '^#' scripts/golden_digests.txt | awk 'NF && $1 !~ /:/ {print $1, $2}')
 
 if [ "$actual" != "$golden" ]; then
   echo "compare_digests: determinism digest drift detected" >&2
@@ -25,3 +26,16 @@ if [ "$actual" != "$golden" ]; then
   exit 1
 fi
 echo "compare_digests: all prototype digests match golden"
+
+chaos_golden=$(grep -v '^#' scripts/golden_digests.txt | awk 'NF && $1 ~ /:/ {print $1, $2}')
+if [ -n "$chaos_golden" ]; then
+  chaos_actual=$("$VERIFY" --chaos | awk '/ chaos /  {sub(/^digest=/, "", $4); print $2, $4}')
+  if [ "$chaos_actual" != "$chaos_golden" ]; then
+    echo "compare_digests: chaos digest drift detected" >&2
+    diff <(printf '%s\n' "$chaos_golden") <(printf '%s\n' "$chaos_actual") >&2
+    echo "(golden on the left, this build on the right; chaos digests fold the" \
+         "fault/recovery counters — drift means injection or recovery changed)" >&2
+    exit 1
+  fi
+  echo "compare_digests: all chaos digests match golden"
+fi

@@ -114,6 +114,32 @@ class ConsistencyAuditor {
     return it == committed_.end() ? 0 : it->second;
   }
 
+  /// Fault-injection accounting: committed versions of `object` newer than
+  /// `surviving_version` were destroyed before reaching stable storage (a
+  /// crashed client's dirty cache, a forward list repaired by re-shipping
+  /// the server's older copy). Rolls the ledger back to the version that
+  /// actually survived so subsequent reads of it are not misreported as
+  /// stale, and counts the loss — the chaos verifier proves every rollback
+  /// is matched by an injected fault. Returns true if anything was rolled
+  /// back. Never called on fault-free runs.
+  bool rollback_committed(ObjectId object, std::uint64_t surviving_version,
+                          sim::SimTime when) {
+    auto it = committed_.find(object);
+    if (it == committed_.end() || it->second <= surviving_version) {
+      return false;
+    }
+    trace(object, "accounted-loss", kServerSite, surviving_version, when);
+    it->second = surviving_version;
+    ++accounted_losses_;
+    return true;
+  }
+
+  /// Versions destroyed by injected faults and accounted via
+  /// rollback_committed (0 on fault-free runs).
+  [[nodiscard]] std::uint64_t accounted_losses() const {
+    return accounted_losses_;
+  }
+
   /// Human-readable one-line description of a violation (test diagnostics).
   static std::string describe(const Violation& v);
 
@@ -122,6 +148,7 @@ class ConsistencyAuditor {
   std::vector<Violation> violations_;
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
+  std::uint64_t accounted_losses_ = 0;
 };
 
 }  // namespace rtdb::core

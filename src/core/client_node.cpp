@@ -75,7 +75,146 @@ void ClientNode::update_atl(const txn::Transaction& t,
 // ---------------------------------------------------------------------------
 
 void ClientNode::on_new_transaction(txn::Transaction t) {
+  if (crashed_) {
+    // Manual-driver path only: System gates workload arrivals while the
+    // site is down, but a bootstrap harness may inject directly.
+    sys_.note_miss(t);
+    return;
+  }
   begin(std::move(t), site_, /*remote=*/false, /*ships=*/0);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: crash / recover / return acknowledgments
+// ---------------------------------------------------------------------------
+
+void ClientNode::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  const sim::SimTime now = sys_.sim().now();
+
+  // Live transactions die with the site. No protocol traffic leaves a
+  // crashing node: origin-owned work records its miss directly; work run on
+  // another site's behalf simply vanishes (the origin's own deadline timer
+  // accounts it, so nothing is lost silently and nothing double-counts).
+  for (auto& [id, live] : live_) {
+    sys_.sim().cancel(live->deadline_timer);
+    sys_.sim().cancel(live->retry_timer);
+    llm_.release_all(id);
+    if (sys_.telemetry().spans_enabled()) {
+      sys_.telemetry().txn_end(id, obs::Outcome::kMissed, now);
+    }
+    const bool origin_owned = !live->remote && !live->is_subtask &&
+                              live->spec_parent == kInvalidTxn;
+    if (origin_owned) sys_.note_miss(live->t);
+  }
+  live_.clear();
+  ready_.clear();
+  busy_slots_ = 0;
+
+  // Origin-side records of work running elsewhere: the answers will never
+  // be received here, so their outcomes resolve now.
+  for (auto& [id, rec] : shipped_) {
+    (void)id;
+    sys_.sim().cancel(rec.deadline_timer);
+    sys_.note_miss(rec.t);
+  }
+  shipped_.clear();
+  for (auto& [id, rec] : parents_) {
+    (void)id;
+    sys_.sim().cancel(rec.deadline_timer);
+    sys_.note_miss(rec.t);
+  }
+  parents_.clear();
+  for (auto& [id, rec] : spec_) {
+    (void)id;
+    sys_.sim().cancel(rec.deadline_timer);
+    sys_.note_miss(rec.t);
+  }
+  spec_.clear();
+
+  // Dirty returns still awaiting their ack: the retransmission state dies
+  // with the site, so those versions are lost for good — account them.
+  std::vector<ObjectId> unacked;
+  for (auto& [obj, rec] : pending_returns_) {
+    sys_.sim().cancel(rec.timer);
+    unacked.push_back(obj);
+  }
+  pending_returns_.clear();
+  std::sort(unacked.begin(), unacked.end());
+  for (ObjectId obj : unacked) sys_.accounted_loss(obj);
+
+  // The volatile dataspace: both cache tiers, the mirrored server locks,
+  // the copy versions, travelling forward duties, deferred callbacks.
+  auto& stats = sys_.injector()->stats();
+  stats.crash_wiped_pages += cache_.size();
+  std::vector<ObjectId> dirty = cache_.clear();
+  std::sort(dirty.begin(), dirty.end());
+  for (ObjectId obj : dirty) sys_.accounted_loss(obj);
+  server_mode_.clear();
+  version_.clear();
+  duties_.clear();
+  deferred_recalls_.clear();
+  atl_.reset();
+}
+
+void ClientNode::recover() { crashed_ = false; }
+
+void ClientNode::on_return_acked(ObjectId obj, std::uint64_t version) {
+  auto it = pending_returns_.find(obj);
+  if (it == pending_returns_.end() || it->second.ret.version != version) {
+    return;
+  }
+  sys_.sim().cancel(it->second.timer);
+  pending_returns_.erase(it);
+}
+
+void ClientNode::send_return(ObjectReturn ret) {
+  if (sys_.faults_active() && ret.dirty && !ret.from_circulation) {
+    // This frame carries the only up-to-date copy of a committed version;
+    // track it until the server acknowledges. (Circulation returns are
+    // covered by the server's circulation watchdog instead.)
+    auto old = pending_returns_.find(ret.object);
+    if (old != pending_returns_.end()) sys_.sim().cancel(old->second.timer);
+    PendingReturn rec;
+    rec.ret = ret;
+    pending_returns_[ret.object] = std::move(rec);
+    arm_return_retry(ret.object);
+  }
+  sys_.net().send<net::MessageKind::kObjectReturn>(
+      id_, net::kServer, [this, ret] { sys_.server().on_object_return(ret); });
+}
+
+void ClientNode::arm_return_retry(ObjectId obj) {
+  auto it = pending_returns_.find(obj);
+  if (it == pending_returns_.end()) return;
+  it->second.timer =
+      sys_.sim().after(sys_.injector()->plan().return_timeout, [this, obj] {
+        auto pit = pending_returns_.find(obj);
+        if (pit == pending_returns_.end() || crashed_) return;
+        PendingReturn& rec = pit->second;
+        if (rec.tries >= sys_.injector()->plan().max_retransmits) {
+          // Budget spent (a long partition): the server never heard us and
+          // the version this copy carried is gone — account it so the
+          // consistency ledger stays truthful instead of silently
+          // diverging.
+          const ObjectId lost = obj;
+          pending_returns_.erase(pit);
+          sys_.accounted_loss(lost);
+          return;
+        }
+        ++rec.tries;
+        ++sys_.injector()->stats().return_retransmits;
+        if (sys_.telemetry().events_enabled()) {
+          sys_.telemetry().event(obs::EventKind::kRetransmit, sys_.sim().now(),
+                                 site_, kInvalidTxn, obj);
+        }
+        const ObjectReturn ret = rec.ret;
+        sys_.net().send<net::MessageKind::kObjectReturn>(
+            id_, net::kServer,
+            [this, ret] { sys_.server().on_object_return(ret); });
+        arm_return_retry(obj);
+      });
 }
 
 void ClientNode::warm_insert(ObjectId obj) {
@@ -227,8 +366,18 @@ void ClientNode::decide_placement(Live& live, const LocationReply& reply) {
                            -static_cast<long>(c.objects_held),
                            c.live_txns, c.client);
   };
+  const bool chaos = sys_.faults_active();
   for (const auto& c : reply.candidates) {
     if (c.client == id_) continue;
+    // Never ship into a site that is down or unreachable right now — the
+    // transaction would die waiting for a host that cannot answer. (The
+    // server filters too, but its reply may predate the crash window.)
+    if (chaos && (sys_.injector()->down(c.client, sys_.sim().now()) ||
+                  sys_.injector()->partitioned(site_of(c.client), kServerSite,
+                                               sys_.sim().now()))) {
+      ++sys_.injector()->stats().candidates_filtered;
+      continue;
+    }
     if (!best || rank(c) < rank(*best)) best = &c;
   }
 
@@ -328,6 +477,7 @@ void ClientNode::ship_txn(TxnId id, ClientId to) {
 
   // Undo any local acquisition state; the origin only tracks the outcome.
   sys_.sim().cancel(live->deadline_timer);
+  sys_.sim().cancel(live->retry_timer);
   llm_.release_all(id);
   live_.erase(id);
 
@@ -350,6 +500,7 @@ void ClientNode::ship_txn(TxnId id, ClientId to) {
 void ClientNode::on_shipped_txn(ShippedTxn shipped) {
   cpu_.submit(sys_.cfg().client_msg_overhead,
               [this, shipped = std::move(shipped)] {
+                if (crashed_) return;
                 begin(shipped.t, site_of(shipped.origin), /*remote=*/true,
                       shipped.ships);
                 if (shipped.spec_of != kInvalidTxn) {
@@ -480,6 +631,7 @@ void ClientNode::handle_spec_deadline(TxnId orig) {
 void ClientNode::on_spec_commit_request(TxnId orig, ClientId from,
                                         TxnId copy_id) {
   cpu_.submit(sys_.cfg().client_msg_overhead, [this, orig, from, copy_id] {
+    if (crashed_) return;
     const bool granted = spec_claim(orig, /*local=*/false);
     sys_.net().send<net::MessageKind::kControl>(
         id_, from, [this, from, copy_id, granted] {
@@ -513,7 +665,15 @@ void ClientNode::start_decomposition(Live& live, const LocationReply& reply) {
     auto it = where.find(obj);
     const SiteId loc = it == where.end() ? kServerSite : it->second;
     // Server-resident objects materialize at the originating client.
-    return loc == kServerSite ? site_ : loc;
+    if (loc == kServerSite) return site_;
+    // Graceful degradation: never decompose toward a crashed site — run
+    // that piece locally instead.
+    if (loc != site_ && sys_.faults_active() &&
+        sys_.injector()->down(client_of(loc), sys_.sim().now())) {
+      ++sys_.injector()->stats().local_fallbacks;
+      return site_;
+    }
+    return loc;
   };
 
   auto subtasks = txn::decompose(live.t, locate);
@@ -551,6 +711,7 @@ void ClientNode::start_decomposition(Live& live, const LocationReply& reply) {
   // The original's Live entry dissolves into sub-tasks; its outcome is
   // tracked through parents_.
   sys_.sim().cancel(live.deadline_timer);
+  sys_.sim().cancel(live.retry_timer);
   live_.erase(parent_id);
   parents_.emplace(parent_id, std::move(parent));
 
@@ -585,6 +746,7 @@ void ClientNode::start_decomposition(Live& live, const LocationReply& reply) {
 void ClientNode::on_shipped_subtask(ShippedSubtask shipped) {
   cpu_.submit(sys_.cfg().client_msg_overhead,
               [this, shipped = std::move(shipped)] {
+                if (crashed_) return;
                 begin(shipped.work, site_of(shipped.origin), /*remote=*/true,
                       sys_.ls().max_ships, /*is_subtask=*/true,
                       shipped.parent, shipped.index);
@@ -593,6 +755,7 @@ void ClientNode::on_shipped_subtask(ShippedSubtask shipped) {
 
 void ClientNode::on_remote_result(RemoteResult result) {
   cpu_.submit(sys_.cfg().client_msg_overhead, [this, result] {
+    if (crashed_) return;
     if (result.spec) {
       spec_report(result.id, /*local=*/false, result.success);
       return;
@@ -701,6 +864,7 @@ void ClientNode::restart_after_deadlock(TxnId id) {
   }
   const std::uint32_t epoch = live->epoch;
   llm_.release_all(id);
+  sys_.sim().cancel(live->retry_timer);
   live->t.state = txn::TxnState::kPending;
   live->awaiting.clear();
   live->cache_ios = 0;
@@ -772,13 +936,14 @@ void ClientNode::evaluate_objects(TxnId id) {
 }
 
 void ClientNode::send_batch(Live& live, const std::vector<ObjectNeed>& missing,
-                            bool auto_proceed) {
+                            bool auto_proceed, bool retransmit) {
   ObjectRequestBatch batch;
   batch.txn = live.t.id;
   batch.client = id_;
   batch.deadline = live.t.deadline;
   batch.needs = missing;
   batch.auto_proceed = auto_proceed;
+  batch.retransmit = retransmit;
   batch.load = current_load();
 
   const sim::SimTime now = sys_.sim().now();
@@ -790,6 +955,48 @@ void ClientNode::send_batch(Live& live, const std::vector<ObjectNeed>& missing,
   sys_.net().send_batch<net::MessageKind::kObjectRequest>(
       id_, net::kServer, missing.size(), [this, batch = std::move(batch)] {
         sys_.server().on_request_batch(batch);
+      });
+  if (sys_.faults_active()) arm_request_retry(live.t.id);
+}
+
+void ClientNode::arm_request_retry(TxnId id) {
+  Live* live = find(id);
+  if (!live) return;
+  sys_.sim().cancel(live->retry_timer);
+  const std::uint32_t epoch = live->epoch;
+  live->retry_timer = sys_.sim().after(
+      sys_.injector()->plan().request_timeout, [this, id, epoch] {
+        Live* l = find(id);
+        if (!l || l->epoch != epoch || !txn::is_live(l->t.state)) return;
+        if (l->awaiting.empty()) return;  // everything arrived meanwhile
+        if (l->req_retries >= sys_.injector()->plan().max_retransmits) {
+          return;  // budget spent: the deadline timer accounts the miss
+        }
+        ++l->req_retries;
+        ++sys_.injector()->stats().retransmits;
+        if (sys_.telemetry().events_enabled()) {
+          sys_.telemetry().event(obs::EventKind::kRetransmit, sys_.sim().now(),
+                                 site_, id);
+        }
+        // A conflict reply that never arrived no longer steers this txn:
+        // the retransmission queues directly (the original batch was only
+        // parked at the server, so nothing double-enqueues; a late reply
+        // finds pending_query cleared and is dropped as stale).
+        l->pending_query = QueryPurpose::kNone;
+        // Rebuild the outstanding needs from `awaiting`, sorted — the
+        // set's iteration order must not leak into the message stream.
+        std::vector<ObjectId> objs(l->awaiting.begin(), l->awaiting.end());
+        std::sort(objs.begin(), objs.end());
+        std::vector<ObjectNeed> again;
+        again.reserve(objs.size());
+        for (ObjectId obj : objs) {
+          LockMode mode = LockMode::kShared;
+          for (const auto& [o, m] : l->needs) {
+            if (o == obj) mode = m;
+          }
+          again.push_back({obj, mode, cache_.contains(obj)});
+        }
+        send_batch(*l, again, /*auto_proceed=*/true, /*retransmit=*/true);
       });
 }
 
@@ -920,6 +1127,7 @@ void ClientNode::finish(TxnId id, txn::TxnState final_state) {
   const bool was_executing = live->t.state == txn::TxnState::kExecuting;
   live->t.state = final_state;
   sys_.sim().cancel(live->deadline_timer);
+  sys_.sim().cancel(live->retry_timer);
 
   // The origin-side speculation contender shares the original's id; its
   // local outcome must not close the original's span — the arbitration
@@ -1040,6 +1248,7 @@ void ClientNode::on_forwarded_object(Grant g) {
 }
 
 void ClientNode::handle_incoming_object(Grant g, bool via_forward) {
+  if (crashed_) return;  // work queued before the crash: dropped on the floor
   if (via_forward) ++sys_.live_metrics().forward_list_satisfactions;
   Live* live = find(g.txn);
 
@@ -1136,8 +1345,19 @@ void ClientNode::handle_incoming_object(Grant g, bool via_forward) {
   }
 
   if (g.with_data) {
-    cache_.insert(g.object, /*dirty=*/false);
-    version_[g.object] = g.version;
+    // Under faults a duplicate grant (our retransmission racing the
+    // original, or a server re-grant after a lost one) can arrive carrying
+    // a payload older than the copy we already hold — never let it clobber
+    // a dirty page or roll the local version back.
+    const bool stale = sys_.faults_active() && cache_.contains(g.object) &&
+                       (cache_.is_dirty(g.object) ||
+                        version_of(g.object) > g.version);
+    if (stale) {
+      ++sys_.injector()->stats().stale_grants_ignored;
+    } else {
+      cache_.insert(g.object, /*dirty=*/false);
+      version_[g.object] = g.version;
+    }
   }
   server_mode_[g.object] =
       lock::stronger(cached_server_mode(g.object), g.mode);
@@ -1169,16 +1389,31 @@ void ClientNode::fulfil_forward_duty(ObjectId obj) {
   // Skip exclusive entries whose transactions already missed — there is
   // nothing to execute there. Shared entries are delivered regardless:
   // the server registered their SL holds when the list shipped, so the
-  // copy must land (it simply becomes cached data).
+  // copy must land (it simply becomes cached data). Under faults, entries
+  // whose site is down are re-routed around: forwarding into a crashed
+  // client would strand the whole remaining list (the server's stale SL
+  // registration is repaired by the was_held=false path or reclamation).
   std::size_t next_idx = 0;
   const sim::SimTime now = sys_.sim().now();
-  while (next_idx < duty.rest.size() &&
-         duty.rest[next_idx].mode == lock::LockMode::kExclusive &&
-         duty.rest[next_idx].expires < now) {
-    ++sys_.live_metrics().expired_requests_skipped;
-    if (sys_.telemetry().events_enabled()) {
-      sys_.telemetry().event(obs::EventKind::kExpiredSkip, now, site_,
-                             duty.rest[next_idx].txn, obj);
+  const bool chaos = sys_.faults_active();
+  while (next_idx < duty.rest.size()) {
+    const lock::ForwardEntry& e = duty.rest[next_idx];
+    const bool expired =
+        e.mode == lock::LockMode::kExclusive && e.expires < now;
+    const bool unreachable = chaos && sys_.injector()->down(e.client, now);
+    if (!expired && !unreachable) break;
+    if (expired) {
+      ++sys_.live_metrics().expired_requests_skipped;
+      if (sys_.telemetry().events_enabled()) {
+        sys_.telemetry().event(obs::EventKind::kExpiredSkip, now, site_,
+                               e.txn, obj);
+      }
+    } else {
+      ++sys_.injector()->stats().forward_reroutes;
+      if (sys_.telemetry().events_enabled()) {
+        sys_.telemetry().event(obs::EventKind::kFaultReroute, now, site_,
+                               e.txn, obj, site_of(e.client).value());
+      }
     }
     ++next_idx;
   }
@@ -1192,9 +1427,7 @@ void ClientNode::fulfil_forward_duty(ObjectId obj) {
     ret.version = duty.version;
     ret.from_circulation = true;
     ret.load = current_load();
-    sys_.net().send<net::MessageKind::kObjectReturn>(
-        id_, net::kServer,
-        [this, ret] { sys_.server().on_object_return(ret); });
+    send_return(ret);
     return;
   }
 
@@ -1226,6 +1459,7 @@ void ClientNode::on_recall(Recall r) {
 }
 
 void ClientNode::process_recall(ObjectId obj, LockMode wanted) {
+  if (crashed_) return;
   const LockMode held = cached_server_mode(obj);
   if (held == LockMode::kNone) {
     // The lock was already returned voluntarily (eviction) — tell the
@@ -1235,9 +1469,7 @@ void ClientNode::process_recall(ObjectId obj, LockMode wanted) {
     ret.object = obj;
     ret.was_held = false;
     ret.load = current_load();
-    sys_.net().send<net::MessageKind::kObjectReturn>(
-        id_, net::kServer,
-        [this, ret] { sys_.server().on_object_return(ret); });
+    send_return(ret);
     return;
   }
 
@@ -1282,8 +1514,7 @@ void ClientNode::process_recall(ObjectId obj, LockMode wanted) {
     version_.erase(obj);
     cache_.drop(obj);
   }
-  sys_.net().send<net::MessageKind::kObjectReturn>(
-      id_, net::kServer, [this, ret] { sys_.server().on_object_return(ret); });
+  send_return(ret);
 }
 
 void ClientNode::check_deferred_recalls(const std::vector<ObjectId>& objs) {
@@ -1322,8 +1553,7 @@ void ClientNode::on_cache_eviction(ObjectId obj, bool dirty) {
   ret.version = version_of(obj);
   version_.erase(obj);
   ret.load = current_load();
-  sys_.net().send<net::MessageKind::kObjectReturn>(
-      id_, net::kServer, [this, ret] { sys_.server().on_object_return(ret); });
+  send_return(ret);
 }
 
 void ClientNode::on_denied(TxnId txn) {

@@ -34,6 +34,23 @@ class ClientNode {
   /// A user transaction submitted at this client (origin here).
   void on_new_transaction(txn::Transaction t);
 
+  // --- fault injection ------------------------------------------------------
+
+  /// Crash: the site loses all volatile state — live transactions, both
+  /// cache tiers, cached server locks, local locks, forward duties.
+  /// Origin-owned work is recorded as missed; dirty pages become accounted
+  /// version losses. No protocol traffic leaves a crashing node.
+  void crash();
+
+  /// Rejoins the site cold after a crash window ends.
+  void recover();
+
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
+  /// Server acknowledgment for a dirty object return (faults-active only):
+  /// stops the bounded retransmission of that return.
+  void on_return_acked(ObjectId obj, std::uint64_t version);
+
   /// Warm-start install: the object is cached (clean) and the server has
   /// already registered our SL. No timing, no messages; call before the
   /// simulation starts.
@@ -115,6 +132,10 @@ class ClientNode {
     std::uint32_t epoch = 0;
     std::uint32_t restarts = 0;
 
+    /// Bounded retransmission of the outstanding request batch (faults).
+    std::uint32_t req_retries = 0;
+    sim::EventId retry_timer = sim::kNoEvent;
+
     /// Speculation extension: the original transaction this copy contends
     /// for (set on both the origin-side contender and the shipped copy).
     TxnId spec_parent = kInvalidTxn;
@@ -163,7 +184,9 @@ class ClientNode {
   void on_local_locks(TxnId id);
   void evaluate_objects(TxnId id);
   void send_batch(Live& live, const std::vector<ObjectNeed>& missing,
-                  bool auto_proceed);
+                  bool auto_proceed, bool retransmit = false);
+  /// Arms the bounded request-retransmission timer (faults-active only).
+  void arm_request_retry(TxnId id);
   void need_satisfied(TxnId id, ObjectId obj);
   void maybe_ready(TxnId id);
   void pump_executor();
@@ -206,6 +229,13 @@ class ClientNode {
   void handle_incoming_object(Grant g, bool via_forward);
   void on_cache_eviction(ObjectId obj, bool dirty);
 
+  /// Every ObjectReturn leaves through here. While faults are active, a
+  /// dirty non-circulation return (the only copy of a committed version)
+  /// is tracked until the server acknowledges it, retransmitted on timeout,
+  /// and accounted as a lost version when the budget runs dry.
+  void send_return(ObjectReturn ret);
+  void arm_return_retry(ObjectId obj);
+
   Live* find(TxnId id);
   void update_atl(const txn::Transaction& t, sim::SimTime commit_time);
 
@@ -235,6 +265,18 @@ class ClientNode {
   std::unordered_map<TxnId, Spec> spec_;
   std::unordered_map<ObjectId, ForwardDuty> duties_;
   std::unordered_map<ObjectId, lock::LockMode> deferred_recalls_;
+
+  /// Unacknowledged dirty returns awaiting the server's ack (faults only).
+  struct PendingReturn {
+    ObjectReturn ret;
+    std::uint32_t tries = 0;
+    sim::EventId timer = sim::kNoEvent;
+  };
+  std::unordered_map<ObjectId, PendingReturn> pending_returns_;
+
+  /// The site is inside a crash window: volatile state is gone and every
+  /// handler drops incoming work on the floor.
+  bool crashed_ = false;
 
   txn::EdfQueue<TxnId> ready_;
   std::size_t busy_slots_ = 0;

@@ -59,6 +59,28 @@ void ClientServerSystem::on_arrival(std::size_t client_index,
   clients_[client_index]->on_new_transaction(std::move(txn));
 }
 
+void ClientServerSystem::on_site_crash(std::size_t client_index) {
+  if (client_index < clients_.size()) clients_[client_index]->crash();
+}
+
+void ClientServerSystem::on_site_recover(std::size_t client_index) {
+  if (client_index < clients_.size()) clients_[client_index]->recover();
+}
+
+void ClientServerSystem::on_site_declared_dead(std::size_t client_index) {
+  if (!server_ || client_index >= clients_.size()) return;
+  server_->reclaim_client(
+      ClientId{static_cast<ClientId::Rep>(client_index + 1)});
+}
+
+void ClientServerSystem::accounted_loss(ObjectId obj) {
+  if (!faults_active()) return;
+  const std::uint64_t surviving = server_ ? server_->stored_version(obj) : 0;
+  if (auditor().rollback_committed(obj, surviving, sim_.now())) {
+    ++injector()->stats().lost_versions;
+  }
+}
+
 void ClientServerSystem::on_measurement_start() {
   System::on_measurement_start();
   server_->reset_stats();

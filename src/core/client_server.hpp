@@ -49,6 +49,13 @@ class ClientServerSystem final : public System {
 
   [[nodiscard]] std::size_t num_clients() const { return clients_.size(); }
 
+  /// Fault accounting: a committed version of `obj` was irrecoverably lost
+  /// (crash wiped the only dirty copy, a return never got through, or a
+  /// circulating copy vanished). Rolls the consistency ledger back to the
+  /// server's surviving version so later audits compare against what the
+  /// system can actually still produce. No-op on fault-free runs.
+  void accounted_loss(ObjectId obj);
+
   /// Manual-driving mode (scenario tests, custom harnesses): wires up the
   /// nodes without starting workload arrivals. Inject transactions with
   /// client(id).on_new_transaction(...) and advance simulator() yourself.
@@ -64,6 +71,11 @@ class ClientServerSystem final : public System {
   void finalize(RunMetrics& m) override;
   void audit_structures() const override;
   void sample_gauges() override;
+
+  // Fault-plan hooks (never invoked on fault-free runs).
+  void on_site_crash(std::size_t client_index) override;
+  void on_site_recover(std::size_t client_index) override;
+  void on_site_declared_dead(std::size_t client_index) override;
 
  private:
   std::unique_ptr<ServerNode> server_;

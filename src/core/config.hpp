@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <string>
 
+#include "fault/fault.hpp"
 #include "net/network.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/time.hpp"
@@ -197,6 +198,13 @@ struct SystemConfig {
   // --- optimistic extension ----------------------------------------------------
   OccOptions occ;
 
+  // --- fault injection ---------------------------------------------------------
+  /// Deterministic chaos schedule (src/fault). Empty (the default) installs
+  /// nothing: runs stay byte-identical to a fault-free build. Non-empty
+  /// plans arm the recovery machinery (timeouts, retransmission, orphan
+  /// reclamation, forward-list repair) in every prototype.
+  fault::FaultPlan fault;
+
   /// Convenience: the horizon the simulation runs to (runs start at t=0).
   [[nodiscard]] sim::SimTime horizon() const {
     return sim::SimTime::zero() + warmup + duration + drain;
@@ -212,6 +220,13 @@ struct SystemConfig {
 
   /// Table-1 defaults for the given update percentage (1, 5 or 20).
   static SystemConfig paper_defaults(double update_percent);
+
+  /// Returns an empty string when the configuration is runnable, else a
+  /// human-readable description of the first problem (zero clients,
+  /// non-positive durations, invalid network or fault parameters).
+  /// rtdbctl prints the message and exits non-zero instead of running a
+  /// nonsense simulation.
+  [[nodiscard]] std::string validate() const;
 };
 
 }  // namespace rtdb::core

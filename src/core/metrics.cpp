@@ -22,6 +22,35 @@ SystemConfig SystemConfig::paper_defaults(double update_percent) {
   return cfg;
 }
 
+std::string SystemConfig::validate() const {
+  if (num_clients == 0) return "num_clients must be at least 1";
+  if (duration <= sim::Duration::zero()) {
+    return "duration must be positive";
+  }
+  if (warmup < sim::Duration::zero()) return "warmup must be non-negative";
+  if (drain < sim::Duration::zero()) return "drain must be non-negative";
+  if (workload.update_fraction < 0.0 || workload.update_fraction > 1.0) {
+    return "workload.update_fraction must lie in [0, 1]";
+  }
+  if (!(workload.mean_interarrival > sim::Duration::zero())) {
+    return "workload.mean_interarrival must be positive";
+  }
+  if (workload.db_size == 0) return "workload.db_size must be at least 1";
+  if (auto err = network.validate(); !err.empty()) return err;
+  if (auto err = fault.validate(); !err.empty()) return err;
+  for (const auto& w : fault.crashes) {
+    if (static_cast<std::size_t>(w.client.value()) > num_clients) {
+      return "fault.crash names a client beyond num_clients";
+    }
+  }
+  for (const auto& w : fault.partitions) {
+    if (static_cast<std::size_t>(w.client.value()) > num_clients) {
+      return "fault.partition names a client beyond num_clients";
+    }
+  }
+  return {};
+}
+
 void MetricsAggregator::add(const RunMetrics& run) {
   ++runs_;
   success_.add(run.success_percent());

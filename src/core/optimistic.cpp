@@ -195,33 +195,72 @@ void OptimisticSystem::validate(TxnId id) {
   Live* live = find(id);
   if (!live || !txn::is_live(live->t.state)) return;
   live->t.state = txn::TxnState::kAcquiring;  // awaiting the verdict
+  live->val_retries = 0;
+  send_validate(*live);
+}
+
+void OptimisticSystem::send_validate(Live& live) {
+  const TxnId id = live.t.id;
   std::vector<ObjectId> writes;
-  for (const auto& [obj, mode] : live->t.lock_needs()) {
+  for (const auto& [obj, mode] : live.t.lock_needs()) {
     if (mode == lock::LockMode::kExclusive) writes.push_back(obj);
   }
   // The request carries the read-set versions plus the updated objects.
   const std::uint64_t bytes =
       net_.config().control_bytes +
       static_cast<std::uint64_t>(writes.size()) * net_.config().object_bytes;
-  const SiteId site = live->t.origin;
+  const SiteId site = live.t.origin;
   net_.send<net::MessageKind::kValidateRequest>(
       client_of(site), net::kServer, bytes,
-      [this, id, site, reads = live->read_set, writes,
-       deadline = live->t.deadline]() mutable {
+      [this, id, site, epoch = live.epoch, reads = live.read_set, writes,
+       deadline = live.t.deadline]() mutable {
               server_cpu_->submit(
                   config_.server_msg_overhead,
-                  [this, id, site, reads = std::move(reads),
+                  [this, id, epoch, site, reads = std::move(reads),
                    writes = std::move(writes), deadline]() mutable {
-                    server_validate(id, site, std::move(reads),
+                    server_validate(id, epoch, site, std::move(reads),
                                     std::move(writes), deadline);
                   });
             });
+  if (!faults_active()) return;
+  // A lost request or verdict must not strand the commit point until the
+  // deadline: retransmit (bounded); the server answers idempotently.
+  sim_.cancel(live.val_timer);
+  const std::uint32_t epoch = live.epoch;
+  live.val_timer =
+      sim_.after(injector()->plan().request_timeout, [this, id, epoch] {
+        Live* l = find(id);
+        // Same epoch + still live means the verdict never arrived (an
+        // accept erases the record, a reject bumps the epoch).
+        if (!l || l->epoch != epoch || !txn::is_live(l->t.state)) return;
+        if (l->val_retries >= injector()->plan().max_retransmits) return;
+        ++l->val_retries;
+        ++injector()->stats().retransmits;
+        if (tel_.events_enabled()) {
+          tel_.event(obs::EventKind::kRetransmit, sim_.now(), l->t.origin,
+                     id);
+        }
+        send_validate(*l);
+      });
 }
 
 void OptimisticSystem::server_validate(
-    TxnId id, SiteId client,
+    TxnId id, std::uint32_t epoch, SiteId client,
     std::vector<std::pair<ObjectId, std::uint64_t>> reads,
     std::vector<ObjectId> writes, sim::SimTime deadline) {
+  if (faults_active()) {
+    // Retransmitted request for an attempt we already accepted: re-send the
+    // verdict, never re-apply the writes (a double install would double-
+    // commit the transaction's versions).
+    const auto seen = validated_ok_.find(id);
+    if (seen != validated_ok_.end() && seen->second == epoch) {
+      ++injector()->stats().duplicate_validates_ignored;
+      net_.send<net::MessageKind::kValidateReply>(
+          net::kServer, client_of(client), net_.config().control_bytes,
+          [this, id] { on_verdict(id, /*accepted=*/true, {}); });
+      return;
+    }
+  }
   ++validations_;
   // Stale transactions are not worth validating (paper §3.3's rule applied
   // to the OCC commit point).
@@ -240,6 +279,7 @@ void OptimisticSystem::server_validate(
                ObjectId{}, client.value(), accepted ? 0 : 1);
   }
   if (accepted) {
+    if (faults_active()) validated_ok_[id] = epoch;
     const sim::SimTime now = sim_.now();
     for (const ObjectId obj : writes) {
       pf_->install(obj, /*dirty=*/true);
@@ -278,6 +318,8 @@ void OptimisticSystem::on_verdict(
     finish(id, txn::TxnState::kCommitted);
     return;
   }
+  sim_.cancel(live->val_timer);
+  live->val_timer = sim::kNoEvent;
   // Invalidated: refresh the stale copies and try again while the deadline
   // and the restart budget allow.
   ClientState& cs = state_of(*live);
@@ -317,6 +359,8 @@ void OptimisticSystem::finish(TxnId id, txn::TxnState final_state) {
   const bool was_executing = live->t.state == txn::TxnState::kExecuting;
   live->t.state = final_state;
   sim_.cancel(live->deadline_timer);
+  sim_.cancel(live->val_timer);
+  if (faults_active()) validated_ok_.erase(id);
   if (tel_.events_enabled()) {
     const obs::EventKind k =
         final_state == txn::TxnState::kCommitted ? obs::EventKind::kTxnCommit
@@ -342,6 +386,39 @@ void OptimisticSystem::finish(TxnId id, txn::TxnState final_state) {
   const std::size_t client_index = live->client_index;
   live_.erase(id);
   pump_executor(client_index);
+}
+
+void OptimisticSystem::on_site_crash(std::size_t client_index) {
+  if (client_index >= clients_.size()) return;
+  ClientState& cs = *clients_[client_index];
+  // Every transaction hosted here dies with the workstation. Collect and
+  // sort first: unordered_map iteration order must not leak into the
+  // miss-record (and hence telemetry) order.
+  std::vector<TxnId> gone;
+  for (const auto& [id, l] : live_) {
+    if (l->client_index == client_index) gone.push_back(id);
+  }
+  std::sort(gone.begin(), gone.end());
+  for (const TxnId id : gone) {
+    Live* l = find(id);
+    sim_.cancel(l->deadline_timer);
+    sim_.cancel(l->val_timer);
+    if (tel_.events_enabled()) {
+      tel_.event(obs::EventKind::kTxnMiss, sim_.now(), l->t.origin, id);
+    }
+    record_miss(l->t);
+    validated_ok_.erase(id);
+    live_.erase(id);
+  }
+  injector()->stats().crash_wiped_pages += cs.cache.size();
+  // OCC caches hold plain copies (never dirty): wiping them loses no
+  // committed version, only warmth.
+  const auto dirty = cs.cache.clear();
+  assert(dirty.empty());
+  (void)dirty;
+  cs.version.clear();
+  cs.ready.clear();
+  cs.busy_slots = 0;
 }
 
 void OptimisticSystem::on_measurement_start() {

@@ -46,6 +46,12 @@ class OptimisticSystem final : public System {
   void audit_structures() const override;
   void sample_gauges() override;
 
+  /// Fault-plan hooks: a crash wipes the workstation's caches, versions and
+  /// every live transaction it hosted (OCC copies are never dirty, so no
+  /// committed version is lost). Recovery rejoins it cold; there is no
+  /// server-side client state to reclaim beyond the verdict cache.
+  void on_site_crash(std::size_t client_index) override;
+
  private:
   /// Per-workstation execution state (no lock manager — that is the point).
   struct ClientState {
@@ -71,15 +77,24 @@ class OptimisticSystem final : public System {
     std::uint32_t restarts = 0;
     std::uint32_t epoch = 0;
     sim::EventId deadline_timer = sim::kNoEvent;
+    /// Bounded retransmission of the validate request (faults only): a lost
+    /// request or verdict would otherwise strand the commit point.
+    std::uint32_t val_retries = 0;
+    sim::EventId val_timer = sim::kNoEvent;
   };
 
   void begin_attempt(TxnId id);
   void on_all_fetched(TxnId id);
   void pump_executor(std::size_t client_index);
   void validate(TxnId id);
+  /// Ships the validate request for the current attempt and (faults only)
+  /// arms the bounded retransmission timer.
+  void send_validate(Live& live);
   /// Server-side backward validation; runs after the request message and
-  /// the server CPU slice.
-  void server_validate(TxnId id, SiteId client,
+  /// the server CPU slice. Idempotent per (txn, epoch) while faults are
+  /// active: a retransmitted request re-sends the accept verdict without
+  /// re-applying the writes.
+  void server_validate(TxnId id, std::uint32_t epoch, SiteId client,
                        std::vector<std::pair<ObjectId, std::uint64_t>> reads,
                        std::vector<ObjectId> writes, sim::SimTime deadline);
   void on_verdict(TxnId id, bool accepted,
@@ -96,6 +111,9 @@ class OptimisticSystem final : public System {
   std::unordered_map<ObjectId, std::uint64_t> committed_;  // server versions
   std::vector<std::unique_ptr<ClientState>> clients_;
   std::unordered_map<TxnId, std::unique_ptr<Live>> live_;
+  /// Accepted validations by attempt (faults only): the duplicate-
+  /// suppression key for retransmitted validate requests.
+  std::unordered_map<TxnId, std::uint32_t> validated_ok_;
   std::uint64_t validations_ = 0;
   std::uint64_t rejections_ = 0;
 };

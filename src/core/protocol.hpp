@@ -45,6 +45,10 @@ struct ObjectRequestBatch {
   /// Skip the LS location-reply detour: queue + recall on conflict (always
   /// set in the basic CS system and for already-shipped transactions).
   bool auto_proceed = true;
+  /// Fault recovery: this batch re-sends needs whose answers never arrived.
+  /// The server answers idempotently (re-grant covered needs, skip already
+  /// queued ones) instead of double-queueing.
+  bool retransmit = false;
   LoadInfo load;
 };
 

@@ -66,6 +66,23 @@ void ServerNode::on_request_batch(ObjectRequestBatch batch) {
 }
 
 void ServerNode::process_batch(const ObjectRequestBatch& batch) {
+  const bool chaos = sys_.faults_active();
+  // Duplicate-delivery suppression (faults only): a retransmitted need
+  // whose entry already waits in the object's queue must not enqueue twice
+  // — it would double its wait-for edges and unbalance the queue audit.
+  std::vector<ObjectNeed> surviving;
+  if (chaos) {
+    for (const auto& need : batch.needs) {
+      if (request_queued(batch.txn, batch.client, need.object)) {
+        ++sys_.injector()->stats().duplicate_requests_ignored;
+        continue;
+      }
+      surviving.push_back(need);
+    }
+    if (surviving.empty()) return;
+  }
+  const std::vector<ObjectNeed>& needs = chaos ? surviving : batch.needs;
+
   // Partition the needs: already covered (raced with an earlier grant —
   // answer immediately) versus pending. A pending need is "conflicted"
   // when it cannot be served this instant: incompatible holders, a
@@ -75,7 +92,7 @@ void ServerNode::process_batch(const ObjectRequestBatch& batch) {
   std::vector<ObjectNeed> covered;
   std::vector<ObjectNeed> pending;
   std::vector<ObjectNeed> conflicted;
-  for (const auto& need : batch.needs) {
+  for (const auto& need : needs) {
     const LockMode held = glt_.holder_mode(need.object, batch.client);
     if (lock::covers(held, need.mode)) {
       covered.push_back(need);
@@ -118,6 +135,11 @@ void ServerNode::process_batch(const ObjectRequestBatch& batch) {
   // re-acknowledged immediately; everything else goes through the queue,
   // whose pump grants in policy order and calls back the blockers.
   for (const auto& need : covered) {
+    // A retransmitted batch hitting a covered need means the original
+    // grant was lost on the wire: re-ship it.
+    if (chaos && batch.retransmit) {
+      ++sys_.injector()->stats().duplicate_grants;
+    }
     grant_now(batch.txn, batch.client, need);
   }
   if (!pending.empty()) {
@@ -292,7 +314,40 @@ void ServerNode::send_recalls(ObjectId obj) {
     sys_.net().send<net::MessageKind::kObjectRecall>(
         net::kServer, hold.client,
         [this, client = hold.client, r] { sys_.client(client).on_recall(r); });
+    if (sys_.faults_active()) {
+      ++recall_tries_[obj][hold.client];
+      arm_recall_watchdog(obj, hold.client);
+    }
   }
+}
+
+void ServerNode::arm_recall_watchdog(ObjectId obj, ClientId client) {
+  // A dropped recall (or a dropped return answering it) leaves the callback
+  // pending forever and the waiters starved. Re-send until the recall
+  // clears — normally (answer arrives), by reclamation (holder declared
+  // dead), or because nobody waits any more.
+  sys_.sim().after(sys_.injector()->plan().recall_timeout,
+                   [this, obj, client] {
+    if (!glt_.recall_pending(obj, client)) return;
+    const LockMode wanted = strongest_queued_mode(obj);
+    if (wanted == LockMode::kNone) {
+      // Every waiter expired meanwhile: the callback is moot.
+      glt_.clear_recall(obj, client);
+      return;
+    }
+    ++sys_.injector()->stats().recall_retransmits;
+    if (sys_.telemetry().events_enabled()) {
+      sys_.telemetry().event(obs::EventKind::kRetransmit, sys_.sim().now(),
+                             kServerSite, kInvalidTxn, obj,
+                             site_of(client).value());
+    }
+    Recall r{obj, wanted};
+    sys_.net().send<net::MessageKind::kObjectRecall>(
+        net::kServer, client,
+        [this, client, r] { sys_.client(client).on_recall(r); });
+    ++recall_tries_[obj][client];
+    arm_recall_watchdog(obj, client);
+  });
 }
 
 std::size_t ServerNode::groupable_prefix(ObjectId obj) {
@@ -427,6 +482,7 @@ void ServerNode::pump_object(ObjectId obj) {
             }
           }
           glt_.set_circulating(obj, list.back().client);
+          if (sys_.faults_active()) arm_circulation_watchdog(obj, list);
           if (sys_.trace().enabled(sim::TraceCategory::kWindow)) {
             sys_.trace().emitf(sys_.sim().now(), sim::TraceCategory::kWindow,
                                kServerSite,
@@ -551,14 +607,31 @@ void ServerNode::on_object_return(ObjectReturn ret) {
                              site_of(ret.client).value(),
                              ret.dirty ? 1 : 0);
     }
+    const bool chaos = sys_.faults_active();
+    if (chaos && ret.dirty && ret.version <= version_of(ret.object)) {
+      // Duplicate of an already-applied dirty return (a retransmission, or
+      // a late copy racing a watchdog repair): acknowledge so the sender
+      // stops, but change nothing — re-installing would regress the
+      // server's committed version.
+      ++sys_.injector()->stats().duplicate_returns_ignored;
+      ack_return(ret);
+      if (ret.from_circulation) glt_.clear_circulating(ret.object);
+      glt_.clear_recall(ret.object, ret.client);
+      maybe_close_window_early(ret.object);
+      pump_object(ret.object);
+      return;
+    }
     if (ret.from_circulation) {
       pf_.install(ret.object, ret.dirty);
       if (ret.dirty) {
         versions_[ret.object] = ret.version;
-      } else {
+      } else if (!chaos || ret.version == version_of(ret.object)) {
         sys_.auditor().on_clean_return(ret.object, site_of(ret.client),
                                        ret.version, version_of(ret.object),
                                        sys_.sim().now());
+      } else {
+        // Stale clean copy from a repaired circulation: already accounted.
+        ++sys_.injector()->stats().duplicate_returns_ignored;
       }
       glt_.clear_circulating(ret.object);
       // A window may have opened for requests that arrived mid-circulation.
@@ -572,19 +645,139 @@ void ServerNode::on_object_return(ObjectReturn ret) {
       } else {
         glt_.remove_holder(ret.object, ret.client);
       }
+      if (chaos) clear_recall_tries(ret.object, ret.client);
       if (ret.dirty) {
         pf_.install(ret.object, /*dirty=*/true);
         versions_[ret.object] = ret.version;
-      } else {
+        ack_return(ret);
+      } else if (!chaos || ret.version == version_of(ret.object)) {
         sys_.auditor().on_clean_return(ret.object, site_of(ret.client),
                                        ret.version, version_of(ret.object),
                                        sys_.sim().now());
+      } else {
+        ++sys_.injector()->stats().duplicate_returns_ignored;
       }
+    } else if (chaos && recall_tries(ret.object, ret.client) >= 2) {
+      // Repeated recalls keep coming back "not held": the grant really was
+      // lost and the registration is a phantom that would wedge every
+      // future writer — drop it. (A single "not held" is usually just the
+      // small recall frame overtaking its own large data grant; keeping
+      // the registration lets the next pump re-recall and resolve it.)
+      glt_.remove_holder(ret.object, ret.client);
+      clear_recall_tries(ret.object, ret.client);
+      ++sys_.injector()->stats().orphan_locks_reclaimed;
     }
     glt_.clear_recall(ret.object, ret.client);
     maybe_close_window_early(ret.object);
     pump_object(ret.object);
   });
+}
+
+void ServerNode::ack_return(const ObjectReturn& ret) {
+  if (!sys_.faults_active() || !ret.dirty || ret.from_circulation) return;
+  sys_.net().send<net::MessageKind::kControl>(
+      net::kServer, ret.client,
+      [this, client = ret.client, obj = ret.object, v = ret.version] {
+        sys_.client(client).on_return_acked(obj, v);
+      });
+}
+
+std::uint32_t ServerNode::recall_tries(ObjectId obj, ClientId client) const {
+  const auto it = recall_tries_.find(obj);
+  if (it == recall_tries_.end()) return 0;
+  const auto c = it->second.find(client);
+  return c == it->second.end() ? 0 : c->second;
+}
+
+void ServerNode::clear_recall_tries(ObjectId obj, ClientId client) {
+  const auto it = recall_tries_.find(obj);
+  if (it == recall_tries_.end()) return;
+  it->second.erase(client);
+  if (it->second.empty()) recall_tries_.erase(it);
+}
+
+bool ServerNode::request_queued(TxnId txn, ClientId client,
+                                ObjectId obj) const {
+  // Keyed on (txn, client): a transaction shipped elsewhere after a
+  // retransmission re-requests under a different client and must not be
+  // mistaken for its own ghost.
+  const lock::ForwardList* q = glt_.queue_if_any(obj);
+  if (!q) return false;
+  for (const auto& e : q->entries()) {
+    if (e.txn == txn && e.client == client) return true;
+  }
+  return false;
+}
+
+void ServerNode::arm_circulation_watchdog(
+    ObjectId obj, const std::vector<lock::ForwardEntry>& list) {
+  sim::SimTime last = sys_.sim().now();
+  for (const auto& e : list) {
+    if (e.expires.finite() && e.expires > last) last = e.expires;
+  }
+  const std::uint64_t seq = ++circ_seq_[obj];
+  sys_.sim().at(last + sys_.injector()->plan().circulation_grace,
+                [this, obj, seq] {
+    auto it = circ_seq_.find(obj);
+    if (it == circ_seq_.end() || it->second != seq) return;
+    if (!glt_.is_circulating(obj)) return;
+    // The travelling copy never came home: a dropped forward hop or a
+    // crashed holder. The server's own copy becomes authoritative again;
+    // whatever update the lost copy carried is an accounted loss.
+    ++sys_.injector()->stats().circulation_repairs;
+    if (sys_.telemetry().events_enabled()) {
+      sys_.telemetry().event(obs::EventKind::kFaultRepair, sys_.sim().now(),
+                             kServerSite, kInvalidTxn, obj);
+    }
+    glt_.clear_circulating(obj);
+    sys_.accounted_loss(obj);
+    maybe_close_window_early(obj);
+    pump_object(obj);
+  });
+}
+
+void ServerNode::reclaim_client(ClientId client) {
+  auto& stats = sys_.injector()->stats();
+  if (sys_.telemetry().events_enabled()) {
+    sys_.telemetry().event(obs::EventKind::kSiteDead, sys_.sim().now(),
+                           kServerSite, kInvalidTxn, ObjectId{},
+                           site_of(client).value());
+  }
+  // Orphaned holds: the dead site can neither answer recalls nor return
+  // copies. Its cached data (and any update it carried) died with it —
+  // the crash wipe already accounted the versions.
+  std::vector<ObjectId> touched = glt_.objects_held_by(client);
+  std::sort(touched.begin(), touched.end());
+  for (ObjectId obj : touched) {
+    glt_.remove_holder(obj, client);
+    glt_.clear_recall(obj, client);
+    ++stats.orphan_locks_reclaimed;
+  }
+  for (auto it = recall_tries_.begin(); it != recall_tries_.end();) {
+    it->second.erase(client);
+    it = it->second.empty() ? recall_tries_.erase(it) : std::next(it);
+  }
+  // Queued requests from the dead site would be granted into the void, and
+  // their wait-for edges would pin the graph: sweep them out, keeping the
+  // queue/record balance the invariant audit checks.
+  for (const auto& [obj, txn] : glt_.entries_of_client(client)) {
+    const std::size_t removed = glt_.queue(obj).remove_txn(txn);
+    for (std::size_t i = 0; i < removed; ++i) note_entry_gone(txn, obj);
+    stats.queue_entries_reclaimed += removed;
+    touched.push_back(obj);
+  }
+  wfg_.remove_node(lock::TxnOrClientNode::of_client(client));
+  loads_.erase(client);
+  for (auto it = parked_.begin(); it != parked_.end();) {
+    it = it->second.client == client ? parked_.erase(it) : std::next(it);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (ObjectId obj : touched) {
+    maybe_close_window_early(obj);
+    pump_object(obj);
+  }
+  glt_.compact();
 }
 
 // ---------------------------------------------------------------------------
@@ -637,6 +830,16 @@ std::vector<LocationReply::Candidate> ServerNode::build_candidates(
   std::vector<LocationReply::Candidate> result;
   result.reserve(clients.size());
   for (ClientId client : clients) {
+    // LS degradation under faults: H1/H2 must stop proposing sites that are
+    // down or cut off — shipping there just converts the miss into a
+    // guaranteed one plus wasted wire time.
+    if (sys_.faults_active() &&
+        (sys_.injector()->down(client, sys_.sim().now()) ||
+         sys_.injector()->partitioned(site_of(client), kServerSite,
+                                      sys_.sim().now()))) {
+      ++sys_.injector()->stats().candidates_filtered;
+      continue;
+    }
     LocationReply::Candidate c;
     c.client = client;
     c.conflict_count = glt_.conflict_count_at(needs, client);

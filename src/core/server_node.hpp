@@ -47,6 +47,18 @@ class ServerNode {
   /// shipping elsewhere or died).
   void on_proceed_decision(ProceedDecision decision);
 
+  // --- fault recovery (active only while a FaultPlan is installed) --------
+
+  /// Declared-dead reclamation: removes every lock the client cached,
+  /// sweeps its queued requests (and their wait-for edges), drops its
+  /// parked batches and load entry, and re-pumps the affected objects.
+  void reclaim_client(ClientId client);
+
+  /// Version of the server's committed copy (fault-loss accounting).
+  [[nodiscard]] std::uint64_t stored_version(ObjectId obj) const {
+    return version_of(obj);
+  }
+
   // --- load table -----------------------------------------------------------
 
   /// Piggybacked load refresh (free: rides on every client->server message).
@@ -146,6 +158,31 @@ class ServerNode {
   void note_skipped(const std::vector<lock::ForwardEntry>& skipped,
                     ObjectId obj);
 
+  // --- fault recovery internals (no-ops on fault-free runs) ---------------
+
+  /// True when (txn, client) already has a queued entry on `obj` — the
+  /// duplicate-suppression key for retransmitted request batches.
+  [[nodiscard]] bool request_queued(TxnId txn, ClientId client,
+                                    ObjectId obj) const;
+
+  /// Re-sends a recall that was never answered (the callback or its return
+  /// was dropped); disarms itself once the recall clears.
+  void arm_recall_watchdog(ObjectId obj, ClientId client);
+
+  /// Repairs a circulating forward list that never came home: past the last
+  /// entry's deadline plus a grace, the server's copy becomes authoritative
+  /// again and any update the lost copy carried is an accounted loss.
+  void arm_circulation_watchdog(ObjectId obj,
+                                const std::vector<lock::ForwardEntry>& list);
+
+  /// Acknowledges a dirty (non-circulation) return so the client stops
+  /// retransmitting it.
+  void ack_return(const ObjectReturn& ret);
+
+  /// Recall-attempt bookkeeping (faults-active only; see recall_tries_).
+  [[nodiscard]] std::uint32_t recall_tries(ObjectId obj, ClientId client) const;
+  void clear_recall_tries(ObjectId obj, ClientId client);
+
   ClientServerSystem& sys_;
   lock::GlobalLockTable glt_;
   storage::PagedFile pf_;
@@ -168,6 +205,19 @@ class ServerNode {
 
   /// Version of the server's copy of each object (0 = never written).
   std::unordered_map<ObjectId, std::uint64_t> versions_;
+
+  /// Circulation generation per object: a watchdog only repairs the
+  /// circulation it was armed for (faults-active only).
+  std::unordered_map<ObjectId, std::uint64_t> circ_seq_;
+
+  /// Recalls sent per (object, holder) without a was-held answer (faults-
+  /// active only). A "not held" reply to the FIRST recall is usually the
+  /// benign wire race — the small recall frame overtaking its own large
+  /// data grant — so the registration is kept and the next pump re-recalls.
+  /// Only a repeated recall answered "not held" proves the grant was lost
+  /// and the registration is a phantom worth dropping.
+  std::unordered_map<ObjectId, std::unordered_map<ClientId, std::uint32_t>>
+      recall_tries_;
 
   [[nodiscard]] std::uint64_t version_of(ObjectId obj) const {
     const auto it = versions_.find(obj);

@@ -25,6 +25,48 @@ System::System(SystemConfig config)
                  static_cast<double>(frame_bytes));
     });
   }
+  if (!config_.fault.empty()) {
+    // Chaos run: install the deterministic injector as the network's fault
+    // seam. Empty plans install nothing — faults_active() stays false and
+    // the run is byte-identical to a fault-free build.
+    injector_ = std::make_unique<fault::FaultInjector>(config_.fault);
+    net_.set_fault_hook(injector_.get());
+  }
+}
+
+void System::arm_fault_schedule() {
+  if (!faults_active()) return;
+  const fault::FaultPlan& plan = injector_->plan();
+  for (const auto& w : plan.crashes) {
+    const auto index = static_cast<std::size_t>(w.client.value() - 1);
+    if (index >= config_.num_clients) continue;
+    sim_.at(w.start, [this, index] {
+      ++injector_->stats().crashes;
+      if (tel_.events_enabled()) {
+        tel_.event(obs::EventKind::kSiteCrash, sim_.now(),
+                   site_of(ClientId{static_cast<ClientId::Rep>(index + 1)}),
+                   kInvalidTxn);
+      }
+      on_site_crash(index);
+    });
+    if (w.start + plan.detection_delay < w.end) {
+      // The site stays down past the detection lag: the server declares it
+      // dead and reclaims its orphaned locks / queue entries.
+      sim_.at(w.start + plan.detection_delay,
+              [this, index] { on_site_declared_dead(index); });
+    }
+    if (w.end.finite()) {
+      sim_.at(w.end, [this, index] {
+        ++injector_->stats().recoveries;
+        if (tel_.events_enabled()) {
+          tel_.event(obs::EventKind::kSiteRecover, sim_.now(),
+                     site_of(ClientId{static_cast<ClientId::Rep>(index + 1)}),
+                     kInvalidTxn);
+        }
+        on_site_recover(index);
+      });
+    }
+  }
 }
 
 void System::schedule_next_arrival(std::size_t client_index) {
@@ -39,6 +81,19 @@ void System::schedule_next_arrival(std::size_t client_index) {
     txn::Transaction t = src.make_transaction(next_txn_id(), sim_.now());
     record_generated(t);
     schedule_next_arrival(client_index);
+    if (faults_active() &&
+        injector_->down(
+            ClientId{static_cast<ClientId::Rep>(client_index + 1)},
+            sim_.now())) {
+      // The originating site is crashed: the transaction is lost with it.
+      // Account it immediately so nothing disappears silently.
+      ++injector_->stats().arrivals_while_down;
+      if (tel_.events_enabled()) {
+        tel_.event(obs::EventKind::kTxnMiss, sim_.now(), t.origin, t.id);
+      }
+      record_miss(t);
+      return;
+    }
     on_arrival(client_index, std::move(t));
   });
 }
@@ -81,6 +136,7 @@ RunMetrics System::run() {
   arm_structure_audit();
   arm_sampler();
   start();
+  arm_fault_schedule();
   for (std::size_t i = 0; i < suite_.num_clients(); ++i) {
     schedule_next_arrival(i);
   }

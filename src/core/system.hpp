@@ -7,6 +7,7 @@
 #include "core/auditor.hpp"
 #include "core/config.hpp"
 #include "core/metrics.hpp"
+#include "fault/fault.hpp"
 #include "net/network.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/simulator.hpp"
@@ -57,6 +58,17 @@ class System {
   [[nodiscard]] obs::Telemetry& telemetry() { return tel_; }
   [[nodiscard]] const obs::Telemetry& telemetry() const { return tel_; }
 
+  /// True when a non-empty FaultPlan is installed. Every recovery code
+  /// path (retransmission timers, watchdogs, reclamation, acks) is gated
+  /// on this so fault-free runs stay byte-identical to the golden digests.
+  [[nodiscard]] bool faults_active() const { return injector_ != nullptr; }
+
+  /// The run's fault injector (nullptr on fault-free runs).
+  [[nodiscard]] fault::FaultInjector* injector() { return injector_.get(); }
+  [[nodiscard]] const fault::FaultInjector* injector() const {
+    return injector_.get();
+  }
+
  protected:
   /// Subclass hook: wire up nodes before arrivals start.
   virtual void start() = 0;
@@ -83,6 +95,20 @@ class System {
   /// to simulation behaviour — it must not schedule events or mutate any
   /// scheduling state.
   virtual void sample_gauges() {}
+
+  /// Fault-schedule hooks (fired only while a plan is active). A crash
+  /// wipes the site's volatile state; recovery rejoins it cold; the
+  /// declared-dead hook fires detection_delay after a crash that outlasts
+  /// it, letting the server reclaim orphaned locks and queue entries.
+  virtual void on_site_crash(std::size_t client_index) {
+    (void)client_index;
+  }
+  virtual void on_site_recover(std::size_t client_index) {
+    (void)client_index;
+  }
+  virtual void on_site_declared_dead(std::size_t client_index) {
+    (void)client_index;
+  }
 
   /// True if the transaction arrived inside the measurement window and its
   /// outcome must be counted.
@@ -131,6 +157,7 @@ class System {
  private:
   void schedule_next_arrival(std::size_t client_index);
   void schedule_sample(sim::SimTime when);
+  void arm_fault_schedule();
 
   /// Returns false (and counts) when the transaction already has an
   /// outcome; callers must then drop the duplicate record.
@@ -139,6 +166,7 @@ class System {
   TxnId next_txn_id_{1};
   std::unordered_set<TxnId> resolved_;
   std::uint64_t double_records_ = 0;
+  std::unique_ptr<fault::FaultInjector> injector_;
 };
 
 }  // namespace rtdb::core

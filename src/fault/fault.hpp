@@ -1,0 +1,199 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "net/fault_hook.hpp"
+#include "net/message.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+/// \file fault.hpp
+/// Deterministic fault injection: what can go wrong, when, and how often.
+///
+/// A FaultPlan is pure data — probabilities per message kind, timed
+/// client<->server partitions, scheduled client crash/recover windows, and
+/// the recovery-protocol tuning (timeouts, retry budgets). A FaultInjector
+/// turns a plan into per-send verdicts from its *own* seeded stream, so a
+/// given (plan, seed) perturbs a run identically every time: chaos runs are
+/// replayable and their determinism digests are pinned just like the
+/// fault-free ones. An empty plan installs nothing and the run is
+/// byte-identical to a fault-free build (scripts/golden_digests.txt).
+
+namespace rtdb::fault {
+
+/// Perturbation probabilities for one message kind.
+struct KindFaults {
+  double drop = 0.0;       ///< P(frame transmitted but lost)
+  double duplicate = 0.0;  ///< P(a second copy crosses the wire)
+  double delay = 0.0;      ///< P(delivery delayed by FaultPlan::extra_delay)
+
+  [[nodiscard]] bool any() const {
+    return drop > 0 || duplicate > 0 || delay > 0;
+  }
+};
+
+/// One timed client<->server partition: messages between the client and the
+/// server (either direction) are dropped while now is in [start, end).
+struct PartitionWindow {
+  ClientId client = kInvalidClient;
+  sim::SimTime start{};
+  sim::SimTime end = sim::kTimeInfinity;
+};
+
+/// One scheduled client crash: at `start` the site loses all volatile state
+/// (cache, local locks, in-flight transactions); at `end` it rejoins cold.
+/// end == kTimeInfinity means the site never recovers.
+struct CrashWindow {
+  ClientId client = kInvalidClient;
+  sim::SimTime start{};
+  sim::SimTime end = sim::kTimeInfinity;
+};
+
+/// The full, deterministic schedule of everything that will go wrong.
+struct FaultPlan {
+  /// Seed of the injector's private random stream (independent of the
+  /// workload seed: the same chaos hits runs of different workloads).
+  std::uint64_t seed = 1;
+
+  /// Baseline probabilities applied to every message kind; per-kind
+  /// overrides below replace the baseline for that kind.
+  KindFaults all_kinds;
+  std::array<KindFaults, net::kMessageKindCount> per_kind{};
+  std::array<bool, net::kMessageKindCount> per_kind_set{};
+
+  /// Extra delivery delay applied when a delay fault fires.
+  sim::Duration extra_delay = sim::msec(20);
+
+  std::vector<PartitionWindow> partitions;
+  std::vector<CrashWindow> crashes;
+
+  /// Treat the plan as active even when it injects nothing. Exercises the
+  /// recovery machinery (timers, acks, idempotent handlers) on a healthy
+  /// network — the "null chaos" gate.
+  bool force_active = false;
+
+  // --- recovery-protocol tuning (used only while a plan is active) --------
+  /// Client re-sends an unanswered object-request batch after this long.
+  sim::Duration request_timeout = sim::msec(400);
+  /// Bounded retransmission budget per request/return.
+  std::uint32_t max_retransmits = 3;
+  /// Server re-sends an unanswered recall (callback) after this long.
+  sim::Duration recall_timeout = sim::msec(600);
+  /// Client re-sends an unacknowledged dirty object return after this long.
+  sim::Duration return_timeout = sim::msec(400);
+  /// Crash-to-declared-dead lag at the server (orphan-lock reclamation).
+  sim::Duration detection_delay = sim::msec(800);
+  /// Grace beyond the last entry's deadline before the server repairs a
+  /// circulating forward list by re-shipping its own copy.
+  sim::Duration circulation_grace = sim::msec(500);
+
+  /// Sets a per-kind override.
+  void set_kind(net::MessageKind kind, KindFaults f) {
+    per_kind[static_cast<std::size_t>(kind)] = f;
+    per_kind_set[static_cast<std::size_t>(kind)] = true;
+  }
+
+  /// True when the plan perturbs nothing and force_active is off: no
+  /// injector is installed and runs are byte-identical to fault-free ones.
+  [[nodiscard]] bool empty() const;
+
+  /// Empty string when the plan is well-formed, else the first problem
+  /// (probabilities outside [0,1], negative durations, inverted windows).
+  [[nodiscard]] std::string validate() const;
+};
+
+/// Counters for every injected fault and every recovery action. The chaos
+/// verifier proves each perturbed run accounts its faults here; the digest
+/// folds into the run digest so chaos runs pin cross-build determinism.
+struct FaultStats {
+  // Injection side (counted by the injector).
+  std::array<std::uint64_t, net::kMessageKindCount> drops_by_kind{};
+  std::uint64_t dropped = 0;                ///< probabilistic wire losses
+  std::uint64_t partition_drops = 0;        ///< losses due to partitions
+  std::uint64_t crash_drops = 0;            ///< deliveries to a down site
+  std::uint64_t duplicates = 0;             ///< duplicate frames transmitted
+  std::uint64_t duplicates_suppressed = 0;  ///< dedup'd at the receiver
+  std::uint64_t delays = 0;                 ///< delayed deliveries
+  std::uint64_t crashes = 0;                ///< crash windows entered
+  std::uint64_t recoveries = 0;             ///< crash windows left
+
+  // Recovery side (counted by the protocol layers).
+  std::uint64_t retransmits = 0;            ///< request batches re-sent
+  std::uint64_t recall_retransmits = 0;     ///< recalls re-sent by server
+  std::uint64_t return_retransmits = 0;     ///< dirty returns re-sent
+  std::uint64_t duplicate_grants = 0;       ///< re-grants for lost grants
+  std::uint64_t stale_grants_ignored = 0;   ///< grant payload older than cache
+  std::uint64_t duplicate_requests_ignored = 0;
+  std::uint64_t duplicate_returns_ignored = 0;
+  std::uint64_t duplicate_validates_ignored = 0;
+  std::uint64_t orphan_locks_reclaimed = 0;
+  std::uint64_t queue_entries_reclaimed = 0;
+  std::uint64_t forward_reroutes = 0;       ///< chain hops around dead sites
+  std::uint64_t circulation_repairs = 0;    ///< watchdog re-ships
+  std::uint64_t lost_versions = 0;          ///< accounted dirty-data losses
+  std::uint64_t crash_wiped_pages = 0;
+  std::uint64_t arrivals_while_down = 0;
+  std::uint64_t candidates_filtered = 0;    ///< H1/H2 skipped dead sites
+  std::uint64_t local_fallbacks = 0;        ///< ship/subtask ran locally
+
+  /// Total perturbations injected into the run.
+  [[nodiscard]] std::uint64_t injected() const {
+    return dropped + partition_drops + crash_drops + duplicates + delays +
+           crashes;
+  }
+
+  /// FNV-1a over every counter (order-stable).
+  [[nodiscard]] std::uint64_t digest() const;
+};
+
+/// Turns a FaultPlan into deterministic per-send verdicts; implements the
+/// network's fault seam and carries the run's fault/recovery counters.
+class FaultInjector final : public net::FaultHook {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  // net::FaultHook
+  net::FaultVerdict judge(SiteId src, SiteId dst, net::MessageKind kind,
+                          sim::SimTime now) override;
+  bool judge_delivery(SiteId dst, sim::SimTime when) override;
+  void on_duplicate_suppressed() override { ++stats_.duplicates_suppressed; }
+
+  /// True while `site` is inside one of its crash windows.
+  [[nodiscard]] bool down(SiteId site, sim::SimTime t) const;
+  [[nodiscard]] bool down(ClientId client, sim::SimTime t) const {
+    return down(site_of(client), t);
+  }
+
+  /// True while messages between `a` and `b` are partitioned away.
+  [[nodiscard]] bool partitioned(SiteId a, SiteId b, sim::SimTime t) const;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] FaultStats& stats() { return stats_; }
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] const KindFaults& faults_for(net::MessageKind kind) const;
+
+  FaultPlan plan_;
+  sim::Rng rng_;
+  FaultStats stats_;
+};
+
+/// Named chaos schedules used by rtdb_verify --chaos and the ctest gates.
+/// `t0`/`t1` bound the measurement window so crash/partition windows land
+/// inside it. Throws std::invalid_argument for an unknown name.
+FaultPlan make_chaos_plan(std::string_view name, std::size_t num_clients,
+                          sim::SimTime t0, sim::SimTime t1);
+
+/// The library's schedule names, in a stable order.
+std::vector<std::string_view> chaos_schedule_names();
+
+/// One-line human description of a plan (schedule dumps in CI artifacts).
+std::string describe(const FaultPlan& plan);
+
+}  // namespace rtdb::fault

@@ -163,6 +163,18 @@ const ForwardList* GlobalLockTable::queue_if_any(ObjectId obj) const {
   return st ? &st->queue : nullptr;
 }
 
+std::vector<std::pair<ObjectId, TxnId>> GlobalLockTable::entries_of_client(
+    ClientId client) const {
+  std::vector<std::pair<ObjectId, TxnId>> out;
+  for (const auto& [obj, st] : objects_) {
+    for (const auto& e : st.queue.entries()) {
+      if (e.client == client) out.emplace_back(obj, e.txn);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 void GlobalLockTable::mark_recall_sent(ObjectId obj, ClientId client) {
   state(obj).recalls.insert(client);
 }

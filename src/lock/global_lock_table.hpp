@@ -91,6 +91,12 @@ class GlobalLockTable {
     for (const auto& [obj, st] : objects_) fn(obj, st.queue);
   }
 
+  /// Every queued (object, txn) request entry belonging to `client`, in a
+  /// deterministic (object-then-txn) order — the server's dead-client
+  /// reclamation sweeps these out of the wait queues.
+  [[nodiscard]] std::vector<std::pair<ObjectId, TxnId>> entries_of_client(
+      ClientId client) const;
+
   // --- recall (callback) bookkeeping --------------------------------------
 
   void mark_recall_sent(ObjectId obj, ClientId client);

@@ -40,6 +40,19 @@ std::uint64_t MessageStats::total_bytes() const {
   return total;
 }
 
+std::string NetworkConfig::validate() const {
+  if (!(bandwidth_bps > 0)) {
+    return "network.bandwidth_bps must be positive";
+  }
+  if (fixed_latency < sim::Duration::zero()) {
+    return "network.fixed_latency must be non-negative";
+  }
+  if (directory_delay < sim::Duration::zero()) {
+    return "network.directory_delay must be non-negative";
+  }
+  return {};
+}
+
 sim::SimTime Network::occupy_wire(sim::Duration tx) {
   const sim::SimTime start = std::max(sim_.now(), wire_free_at_);
   wire_free_at_ = start + tx;
@@ -98,6 +111,24 @@ sim::SimTime Network::send_raw(SiteId src, SiteId dst, MessageKind kind,
     wire_free_at_ = start + tx_time(frame);
     busy_accum_ += tx_time(frame);
     delivery = wire_free_at_ + config_.fixed_latency;
+  }
+
+  if (fault_ != nullptr) {
+    const FaultVerdict v = fault_->judge(src, dst, kind, sim_.now());
+    if (v.duplicate) {
+      // A second copy of the frame crosses the wire (counted, occupies the
+      // segment); receiver-side sequence dedup discards it on arrival.
+      stats_.record(kind, frame);
+      if (send_hook_) send_hook_(src, dst, kind, frame);
+      const sim::SimTime dup_done = occupy_wire(tx_time(frame));
+      sim_.at(dup_done + config_.fixed_latency,
+              [f = fault_] { f->on_duplicate_suppressed(); });
+    }
+    if (v.drop) return delivery;  // transmitted but lost: never delivered
+    delivery = delivery + v.extra_delay;
+    if (!fault_->judge_delivery(dst, delivery)) {
+      return delivery;  // destination down at the delivery instant
+    }
   }
 
   sim_.at(delivery, std::move(on_delivery));

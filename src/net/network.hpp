@@ -3,7 +3,10 @@
 #include <cstdint>
 #include <functional>
 
+#include <string>
+
 #include "common/ids.hpp"
+#include "net/fault_hook.hpp"
 #include "net/message.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -42,6 +45,12 @@ struct NetworkConfig {
   std::uint64_t control_bytes = 64;    ///< requests, grants, recalls
   std::uint64_t txn_bytes = 512;       ///< a shipped transaction descriptor
   std::uint64_t result_bytes = 256;    ///< transaction / sub-task results
+
+  /// Returns an empty string when the configuration is physically
+  /// meaningful, else a human-readable description of the first problem
+  /// (non-positive bandwidth, negative durations). rtdbctl refuses to run
+  /// with an invalid configuration.
+  [[nodiscard]] std::string validate() const;
 };
 
 /// One shared Ethernet segment with per-kind message accounting.
@@ -119,6 +128,12 @@ class Network {
                                       std::uint64_t frame_bytes)>;
   void set_send_hook(SendHook hook) { send_hook_ = std::move(hook); }
 
+  /// Installs the fault-injection seam (see net/fault_hook.hpp). Not owned.
+  /// Unset (the default) costs one branch per send and leaves every
+  /// delivery schedule bit-identical to the fault-free model.
+  void set_fault_hook(FaultHook* hook) { fault_ = hook; }
+  [[nodiscard]] bool faults_enabled() const { return fault_ != nullptr; }
+
  private:
   /// The compile-time direction gate shared by every typed entry point.
   template <MessageKind K, class Src, class Dst>
@@ -159,6 +174,7 @@ class Network {
   NetworkConfig config_;
   MessageStats stats_;
   SendHook send_hook_;
+  FaultHook* fault_ = nullptr;
   sim::SimTime wire_free_at_{};
   sim::Duration busy_accum_{};  ///< total wire-busy time
   sim::SimTime stats_epoch_{};  ///< start of the current accounting window

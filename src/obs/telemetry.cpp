@@ -80,6 +80,12 @@ const char* to_string(EventKind k) {
     case EventKind::kSpecLaunch: return "spec_launch";
     case EventKind::kOccValidate: return "occ_validate";
     case EventKind::kCacheEvict: return "cache_evict";
+    case EventKind::kSiteCrash: return "site_crash";
+    case EventKind::kSiteRecover: return "site_recover";
+    case EventKind::kSiteDead: return "site_dead";
+    case EventKind::kRetransmit: return "retransmit";
+    case EventKind::kFaultReroute: return "fault_reroute";
+    case EventKind::kFaultRepair: return "fault_repair";
   }
   return "?";
 }

@@ -113,6 +113,13 @@ enum class EventKind : std::uint8_t {
   kSpecLaunch,   ///< speculative copy launched at site a
   kOccValidate,  ///< validation performed; b = 1 rejected
   kCacheEvict,   ///< client cache evicted object
+  // Fault injection / recovery (only emitted while a FaultPlan is active).
+  kSiteCrash,    ///< scheduled client crash window entered
+  kSiteRecover,  ///< crashed client rejoined cold
+  kSiteDead,     ///< server declared the client dead; a = locks reclaimed
+  kRetransmit,   ///< request/recall/return re-sent; a = kind discriminator
+  kFaultReroute, ///< forward list re-routed around a dead/expired hop
+  kFaultRepair,  ///< circulation watchdog re-shipped the server copy
 };
 
 const char* to_string(EventKind k);

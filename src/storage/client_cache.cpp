@@ -86,6 +86,19 @@ void ClientCache::mark_clean(ObjectId id) {
   }
 }
 
+std::vector<ObjectId> ClientCache::clear() {
+  std::vector<ObjectId> dirty;
+  for (const ObjectId id : memory_.resident_pages()) {
+    if (memory_.is_dirty(id)) dirty.push_back(id);
+  }
+  for (const ObjectId id : disk_tier_.resident_pages()) {
+    if (disk_tier_.is_dirty(id)) dirty.push_back(id);
+  }
+  for (const ObjectId id : memory_.resident_pages()) memory_.erase(id);
+  for (const ObjectId id : disk_tier_.resident_pages()) disk_tier_.erase(id);
+  return dirty;
+}
+
 void ClientCache::validate_invariants() const {
   memory_.validate_invariants();
   disk_tier_.validate_invariants();

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "common/ids.hpp"
 #include "sim/simulator.hpp"
@@ -80,6 +81,12 @@ class ClientCache {
 
   /// Clears the dirty bit (after the update was returned to the server).
   void mark_clean(ObjectId id);
+
+  /// Crash wipe (fault injection): empties both tiers at once, without
+  /// firing the eviction hook — the site lost its volatile state, nothing
+  /// orderly happens. Returns the dirty objects that were destroyed so the
+  /// caller can account the lost versions.
+  std::vector<ObjectId> clear();
 
   /// Cache-level accounting for the paper's Table 2: a hit is an access
   /// satisfied by either tier.

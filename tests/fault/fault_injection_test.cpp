@@ -1,0 +1,141 @@
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rtdb::fault {
+namespace {
+
+using net::MessageKind;
+using sim::msec;
+using sim::seconds;
+
+sim::SimTime at(double s) { return sim::SimTime{} + seconds(s); }
+
+TEST(FaultInjector, SameSeedSameVerdictStream) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.all_kinds = {0.3, 0.2, 0.25};
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  for (int i = 0; i < 2000; ++i) {
+    const auto va = a.judge(kServerSite, SiteId{1}, MessageKind::kObjectShip,
+                            at(i * 0.01));
+    const auto vb = b.judge(kServerSite, SiteId{1}, MessageKind::kObjectShip,
+                            at(i * 0.01));
+    ASSERT_EQ(va.drop, vb.drop) << i;
+    ASSERT_EQ(va.duplicate, vb.duplicate) << i;
+    ASSERT_EQ(va.extra_delay, vb.extra_delay) << i;
+  }
+  EXPECT_EQ(a.stats().digest(), b.stats().digest());
+  EXPECT_EQ(a.stats().injected(), b.stats().injected());
+  EXPECT_GT(a.stats().injected(), 0u);
+}
+
+TEST(FaultInjector, CertainDropAlwaysDrops) {
+  FaultPlan plan;
+  plan.all_kinds.drop = 1.0;
+  FaultInjector inj(plan);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(
+        inj.judge(kServerSite, SiteId{2}, MessageKind::kControl, at(i)).drop);
+  }
+  EXPECT_EQ(inj.stats().dropped, 100u);
+  EXPECT_EQ(
+      inj.stats().drops_by_kind[static_cast<std::size_t>(MessageKind::kControl)],
+      100u);
+}
+
+TEST(FaultInjector, ZeroProbabilitiesNeverFire) {
+  FaultInjector inj(FaultPlan{});
+  for (int i = 0; i < 500; ++i) {
+    const auto v =
+        inj.judge(SiteId{3}, kServerSite, MessageKind::kObjectRequest, at(i));
+    ASSERT_FALSE(v.drop);
+    ASSERT_FALSE(v.duplicate);
+    ASSERT_EQ(v.extra_delay, sim::Duration::zero());
+  }
+  EXPECT_EQ(inj.stats().injected(), 0u);
+}
+
+TEST(FaultInjector, PerKindOverrideReplacesBaseline) {
+  FaultPlan plan;
+  plan.all_kinds.drop = 1.0;
+  plan.set_kind(MessageKind::kObjectShip, {});  // ships are spared
+  FaultInjector inj(plan);
+  EXPECT_FALSE(
+      inj.judge(kServerSite, SiteId{1}, MessageKind::kObjectShip, at(0)).drop);
+  EXPECT_TRUE(
+      inj.judge(kServerSite, SiteId{1}, MessageKind::kControl, at(0)).drop);
+}
+
+TEST(FaultInjector, DelayedFrameCarriesExtraDelay) {
+  FaultPlan plan;
+  plan.all_kinds.delay = 1.0;
+  plan.extra_delay = msec(25);
+  FaultInjector inj(plan);
+  const auto v =
+      inj.judge(kServerSite, SiteId{1}, MessageKind::kLockGrant, at(0));
+  EXPECT_EQ(v.extra_delay, msec(25));
+  EXPECT_EQ(inj.stats().delays, 1u);
+}
+
+TEST(FaultInjector, PartitionWindowDropsBothDirections) {
+  FaultPlan plan;
+  plan.partitions.push_back({ClientId{2}, at(10), at(20)});
+  FaultInjector inj(plan);
+  const SiteId client = site_of(ClientId{2});
+  EXPECT_TRUE(inj.partitioned(client, kServerSite, at(15)));
+  EXPECT_TRUE(inj.partitioned(kServerSite, client, at(15)));
+  EXPECT_FALSE(inj.partitioned(client, kServerSite, at(5)));
+  EXPECT_FALSE(inj.partitioned(client, kServerSite, at(20)));  // half-open
+  EXPECT_TRUE(
+      inj.judge(client, kServerSite, MessageKind::kObjectRequest, at(15)).drop);
+  EXPECT_EQ(inj.stats().partition_drops, 1u);
+  // Another client is unaffected.
+  EXPECT_FALSE(inj.partitioned(site_of(ClientId{3}), kServerSite, at(15)));
+}
+
+TEST(FaultInjector, CrashWindowGatesDelivery) {
+  FaultPlan plan;
+  plan.crashes.push_back({ClientId{1}, at(10), at(20)});
+  plan.crashes.push_back({ClientId{4}, at(30), sim::kTimeInfinity});
+  FaultInjector inj(plan);
+  EXPECT_FALSE(inj.down(ClientId{1}, at(9)));
+  EXPECT_TRUE(inj.down(ClientId{1}, at(10)));
+  EXPECT_TRUE(inj.down(ClientId{1}, at(19)));
+  EXPECT_FALSE(inj.down(ClientId{1}, at(20)));  // recovered
+  EXPECT_TRUE(inj.down(ClientId{4}, at(1000)));  // never recovers
+  EXPECT_FALSE(inj.down(kServerSite, at(15)));   // the server never crashes
+
+  EXPECT_TRUE(inj.judge_delivery(site_of(ClientId{1}), at(5)));
+  EXPECT_FALSE(inj.judge_delivery(site_of(ClientId{1}), at(15)));
+  EXPECT_EQ(inj.stats().crash_drops, 1u);
+}
+
+TEST(FaultInjector, DuplicateSuppressionIsCounted) {
+  FaultPlan plan;
+  plan.all_kinds.duplicate = 1.0;
+  FaultInjector inj(plan);
+  const auto v =
+      inj.judge(kServerSite, SiteId{1}, MessageKind::kObjectShip, at(0));
+  EXPECT_TRUE(v.duplicate);
+  inj.on_duplicate_suppressed();
+  EXPECT_EQ(inj.stats().duplicates, 1u);
+  EXPECT_EQ(inj.stats().duplicates_suppressed, 1u);
+}
+
+TEST(FaultStats, DigestReflectsEveryCounter) {
+  FaultStats a;
+  FaultStats b;
+  EXPECT_EQ(a.digest(), b.digest());
+  b.stale_grants_ignored = 1;
+  EXPECT_NE(a.digest(), b.digest());
+  b = FaultStats{};
+  b.orphan_locks_reclaimed = 1;
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+}  // namespace
+}  // namespace rtdb::fault

@@ -160,6 +160,35 @@ TEST(ForwardList, ExpiryComparesDeadlineAgainstTypedNow) {
   EXPECT_EQ(skipped[0].txn, TxnId{40});
 }
 
+TEST(ForwardList, ExpiredDroppedAccumulatesUnderDeliveryDelay) {
+  // A chaos-delayed hop delivers the object later than planned: every entry
+  // whose firm deadline fell inside the added delay is dropped, and the
+  // cumulative counter keeps growing across pops (it feeds the sampler
+  // gauge and the chaos accounting).
+  ForwardList fl;
+  fl.add(entry(1, 10, LockMode::kExclusive, 1, /*expires=*/20));
+  fl.add(entry(2, 20, LockMode::kExclusive, 2, /*expires=*/21));
+  fl.add(entry(3, 30, LockMode::kExclusive, 3, /*expires=*/99));
+
+  // On-time delivery at t=19 would have served txn 10; the injector's
+  // extra delay pushes the hop past both leading deadlines.
+  const sim::SimTime nominal{19.0};
+  const sim::SimTime delayed = nominal + sim::seconds(3);
+  auto next = fl.pop_next(delayed);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->txn, TxnId{30});
+  EXPECT_EQ(fl.expired_dropped(), 2u);
+
+  // Later expiries on the same list keep accumulating.
+  fl.add(entry(4, 40, LockMode::kShared, 4, /*expires=*/25));
+  EXPECT_FALSE(fl.pop_next(delayed + sim::seconds(10)).has_value());
+  EXPECT_EQ(fl.expired_dropped(), 3u);
+
+  // clear() empties the queue but not the lifetime counter.
+  fl.clear();
+  EXPECT_EQ(fl.expired_dropped(), 3u);
+}
+
 TEST(MessageEconomy, PaperFormulas) {
   // Paper §3.4: standard 2PL needs 3n messages (4n with per-object
   // callbacks); lock grouping needs 2n+1.

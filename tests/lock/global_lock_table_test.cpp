@@ -165,5 +165,39 @@ TEST(GlobalLocks, CompactDropsQuiescentOnly) {
   EXPECT_EQ(glt.holder_mode(ObjectId{2}, ClientId{3}), LockMode::kShared);
 }
 
+TEST(GlobalLocks, ExpiredDroppedSurvivesStateRetirement) {
+  // total_expired_dropped() must stay cumulative when a quiescent object
+  // state is retired — both via compact() and via the drop_if_quiescent
+  // path that runs after the last holder/recall/queue entry clears.
+  GlobalLockTable glt;
+  ForwardEntry e;
+  e.client = ClientId{4};
+  e.txn = TxnId{7};
+  e.mode = LockMode::kExclusive;
+  e.priority = sim::SimTime{1.0};
+  e.expires = sim::SimTime{5.0};
+  glt.queue(ObjectId{1}).add(e);
+  EXPECT_FALSE(glt.queue(ObjectId{1}).pop_next(sim::SimTime{6.0}).has_value());
+  EXPECT_EQ(glt.total_expired_dropped(), 1u);
+
+  // The state is now quiescent; compact() retires it but keeps the count.
+  glt.compact();
+  EXPECT_EQ(glt.tracked_objects(), 0u);
+  EXPECT_EQ(glt.total_expired_dropped(), 1u);
+
+  // A fresh round on the same object accumulates on top.
+  e.txn = TxnId{8};
+  glt.queue(ObjectId{1}).add(e);
+  EXPECT_FALSE(glt.queue(ObjectId{1}).pop_next(sim::SimTime{6.0}).has_value());
+  EXPECT_EQ(glt.total_expired_dropped(), 2u);
+
+  // Retirement through the release path (remove_holder -> quiescent) also
+  // folds the live queue's count into the retired total.
+  glt.add_holder(ObjectId{1}, ClientId{4}, LockMode::kShared);
+  glt.remove_holder(ObjectId{1}, ClientId{4});
+  EXPECT_EQ(glt.tracked_objects(), 0u);
+  EXPECT_EQ(glt.total_expired_dropped(), 2u);
+}
+
 }  // namespace
 }  // namespace rtdb::lock

@@ -38,11 +38,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/runner.hpp"
+#include "fault/fault.hpp"
 
 namespace {
 
@@ -126,6 +128,11 @@ std::uint64_t run_digest(const core::System& sys, const core::RunMetrics& m) {
   for (std::size_t obj = 0; obj < sys.config().workload.db_size; ++obj) {
     d.u64(auditor.committed_version(static_cast<ObjectId>(obj)));
   }
+  // Chaos runs fold every injection/recovery counter in: a replay must
+  // inject the same faults and recover the same way, not merely land on
+  // the same outcomes. Fault-free runs skip this, keeping their digests
+  // byte-identical to pre-fault-subsystem builds.
+  if (sys.injector() != nullptr) d.u64(sys.injector()->stats().digest());
   return d.value();
 }
 
@@ -144,6 +151,8 @@ struct Options {
   bool check_determinism = true;
   bool check_consistency = true;
   bool check_telemetry = true;
+  bool check_chaos = false;
+  std::string dump_schedules;  ///< write schedule descriptions here ("" = off)
 };
 
 core::SystemConfig make_config(const Options& opt) {
@@ -171,7 +180,15 @@ struct Run {
 Run run_one(core::SystemKind kind, const core::SystemConfig& cfg) {
   Run r;
   r.sys = core::make_system(kind, cfg);
+  // Debug affordance: RTDB_TRACE=lock,... fills the in-memory trace ring
+  // so a failing proof can be diagnosed (dump via RTDB_TRACE_DUMP=FILE).
+  r.sys->trace().enable_from_env();
   r.metrics = r.sys->run();
+  if (const char* dump = std::getenv("RTDB_TRACE_DUMP");
+      dump != nullptr && r.sys->trace().active()) {
+    std::ofstream os(dump, std::ios::app);
+    r.sys->trace().dump(os);
+  }
   r.base_digest = run_digest(*r.sys, r.metrics);
   Digest d;
   d.u64(r.base_digest);
@@ -283,6 +300,112 @@ bool prove_consistency(core::SystemKind kind, const Run& r) {
   return ok;
 }
 
+/// Chaos gate: for every named fault schedule, the perturbed run must (a)
+/// replay bit-identically from the same seeds — including every injection
+/// and recovery counter, (b) keep the consistency ledger clean, (c) account
+/// every transaction exactly once, and (d) actually inject faults (except
+/// the null-active schedule, which must inject none: it proves the armed
+/// recovery machinery is harmless on a healthy network).
+bool prove_chaos(core::SystemKind kind, const core::SystemConfig& cfg) {
+  bool all_ok = true;
+  for (const auto name : fault::chaos_schedule_names()) {
+    core::SystemConfig ccfg = cfg;
+    ccfg.fault = fault::make_chaos_plan(name, cfg.num_clients,
+                                        sim::SimTime{} + cfg.warmup,
+                                        cfg.horizon());
+    const std::string label =
+        core::to_string(kind) + ":" + std::string(name);
+    const Run r1 = run_one(kind, ccfg);
+    const Run r2 = run_one(kind, ccfg);
+    const fault::FaultStats& st = r1.sys->injector()->stats();
+    bool ok = true;
+
+    if (r1.digest != r2.digest) {
+      ok = false;
+      std::printf(
+          "FAIL  %-24s chaos  nondeterministic: run1=%016llx run2=%016llx\n",
+          label.c_str(), static_cast<unsigned long long>(r1.digest),
+          static_cast<unsigned long long>(r2.digest));
+    }
+    const auto& violations = r1.sys->auditor().violations();
+    if (!violations.empty()) {
+      ok = false;
+      std::printf("FAIL  %-24s chaos  %zu consistency violation(s)\n",
+                  label.c_str(), violations.size());
+      const std::size_t show = violations.size() < 5 ? violations.size() : 5;
+      for (std::size_t i = 0; i < show; ++i) {
+        std::printf("      %s\n",
+                    core::ConsistencyAuditor::describe(violations[i]).c_str());
+      }
+    }
+    if (r1.sys->double_records() != 0) {
+      ok = false;
+      std::printf(
+          "FAIL  %-24s chaos  %llu double-recorded outcome(s): a "
+          "transaction was both committed and missed/aborted\n",
+          label.c_str(),
+          static_cast<unsigned long long>(r1.sys->double_records()));
+    }
+    if (!r1.metrics.accounted()) {
+      ok = false;
+      std::printf(
+          "FAIL  %-24s chaos  lost transactions: generated=%llu "
+          "committed=%llu missed=%llu aborted=%llu\n",
+          label.c_str(),
+          static_cast<unsigned long long>(r1.metrics.generated),
+          static_cast<unsigned long long>(r1.metrics.committed),
+          static_cast<unsigned long long>(r1.metrics.missed),
+          static_cast<unsigned long long>(r1.metrics.aborted));
+    }
+    const bool null_plan = name == "null-active";
+    if (null_plan && st.injected() != 0) {
+      ok = false;
+      std::printf(
+          "FAIL  %-24s chaos  null schedule injected %llu fault(s)\n",
+          label.c_str(), static_cast<unsigned long long>(st.injected()));
+    }
+    if (!null_plan && st.injected() == 0) {
+      ok = false;
+      std::printf("FAIL  %-24s chaos  schedule injected nothing\n",
+                  label.c_str());
+    }
+    if (ok) {
+      std::printf(
+          "PASS  %-24s chaos  digest=%016llx injected=%llu retx=%llu "
+          "reclaimed=%llu repairs=%llu lost=%llu\n",
+          label.c_str(), static_cast<unsigned long long>(r1.digest),
+          static_cast<unsigned long long>(st.injected()),
+          static_cast<unsigned long long>(st.retransmits +
+                                          st.recall_retransmits +
+                                          st.return_retransmits),
+          static_cast<unsigned long long>(st.orphan_locks_reclaimed +
+                                          st.queue_entries_reclaimed),
+          static_cast<unsigned long long>(st.forward_reroutes +
+                                          st.circulation_repairs),
+          static_cast<unsigned long long>(st.lost_versions));
+    }
+    all_ok = all_ok && ok;
+  }
+  return all_ok;
+}
+
+/// CI artifact: a human-readable description of every schedule a chaos run
+/// exercises (written on request so failures are reproducible offline).
+void dump_schedules(const std::string& path, const core::SystemConfig& cfg) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return;
+  }
+  for (const auto name : fault::chaos_schedule_names()) {
+    const auto plan = fault::make_chaos_plan(name, cfg.num_clients,
+                                             sim::SimTime{} + cfg.warmup,
+                                             cfg.horizon());
+    os << "## " << name << "\n" << fault::describe(plan) << "\n";
+  }
+  std::fprintf(stderr, "chaos schedules: %s\n", path.c_str());
+}
+
 // ------------------------------------------------------------------- flags
 
 void usage() {
@@ -299,6 +422,12 @@ void usage() {
       "  --warmup S                  warm-up seconds (default 30)\n"
       "  --audit N                   structure-audit interval in events\n"
       "                              (default 2048; 0 = build default)\n"
+      "  --chaos                     run the fault-injection gate instead:\n"
+      "                              every named fault schedule must replay\n"
+      "                              deterministically, keep the consistency\n"
+      "                              ledger clean, and account every fault\n"
+      "  --dump-schedules FILE       write the chaos schedule library to\n"
+      "                              FILE (CI failure artifact)\n"
       "  --help                      this text\n"
       "\n"
       "Exit status: 0 iff every requested proof holds.");
@@ -354,6 +483,13 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.warmup = std::atof(need(i));
     } else if (!std::strcmp(a, "--audit")) {
       opt.audit_interval = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (!std::strcmp(a, "--chaos")) {
+      opt.check_chaos = true;
+      opt.check_determinism = false;
+      opt.check_consistency = false;
+      opt.check_telemetry = false;
+    } else if (!std::strcmp(a, "--dump-schedules")) {
+      opt.dump_schedules = need(i);
     } else {
       std::fprintf(stderr, "unknown flag '%s' (see --help)\n", a);
       return false;
@@ -369,8 +505,13 @@ int main(int argc, char** argv) {
   if (!parse(argc, argv, opt)) return 2;
 
   const core::SystemConfig cfg = make_config(opt);
+  if (!opt.dump_schedules.empty()) dump_schedules(opt.dump_schedules, cfg);
   int failures = 0;
   for (const auto kind : opt.systems) {
+    if (opt.check_chaos) {
+      if (!prove_chaos(kind, cfg)) ++failures;
+      continue;
+    }
     const Run first = run_one(kind, cfg);
     if (opt.check_consistency && !prove_consistency(kind, first)) ++failures;
     if (opt.check_determinism && !prove_determinism(kind, first, cfg)) {

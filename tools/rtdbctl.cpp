@@ -11,6 +11,7 @@
 ///
 /// Run with --help for the full flag list.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +21,7 @@
 
 #include "core/metrics_json.hpp"
 #include "core/runner.hpp"
+#include "fault/fault.hpp"
 #include "obs/export.hpp"
 
 namespace {
@@ -39,8 +41,56 @@ struct Options {
   std::string trace_format = "perfetto";
   std::string metrics_out;             ///< metrics JSON file ("" = off)
   double sample_interval = 0;          ///< 0 = auto (duration / 100)
+  std::string chaos;                   ///< named fault schedule ("" = off)
   core::SystemConfig base;  // receives the technique/parameter overrides
 };
+
+/// Strict numeric parsing: the whole value must convert, or the run exits
+/// instead of silently treating "10x" (or "oops") as a number.
+double parse_f64(const char* flag, const char* value) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  if (end == value || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "rtdbctl: bad numeric value '%s' for %s\n", value,
+                 flag);
+    std::exit(2);
+  }
+  return v;
+}
+
+std::uint64_t parse_u64(const char* flag, const char* value) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE || value[0] == '-') {
+    std::fprintf(stderr, "rtdbctl: bad integer value '%s' for %s\n", value,
+                 flag);
+    std::exit(2);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+/// Parses a "client:start:end" window spec (end may be "inf").
+void parse_window(const char* flag, const char* value, ClientId& client,
+                  sim::SimTime& start, sim::SimTime& end) {
+  const std::string v = value;
+  const auto c1 = v.find(':');
+  const auto c2 = c1 == std::string::npos ? c1 : v.find(':', c1 + 1);
+  if (c1 == std::string::npos || c2 == std::string::npos) {
+    std::fprintf(stderr, "rtdbctl: %s wants CLIENT:START:END, got '%s'\n",
+                 flag, value);
+    std::exit(2);
+  }
+  client = ClientId{static_cast<ClientId::Rep>(
+      parse_u64(flag, v.substr(0, c1).c_str()))};
+  start = sim::SimTime{} + sim::seconds(parse_f64(
+                               flag, v.substr(c1 + 1, c2 - c1 - 1).c_str()));
+  const std::string tail = v.substr(c2 + 1);
+  end = tail == "inf" ? sim::kTimeInfinity
+                      : sim::SimTime{} + sim::seconds(parse_f64(
+                                             flag, tail.c_str()));
+}
 
 void usage() {
   std::puts(
@@ -66,6 +116,19 @@ void usage() {
       "                              disable one LS technique\n"
       "  --cold                      disable the warm start\n"
       "  --csv                       machine-readable output\n"
+      "\n"
+      "Fault injection (deterministic chaos; see docs/analysis.md):\n"
+      "  --chaos NAME                named schedule: null-active, lossy,\n"
+      "                              partition, crashes, mixed\n"
+      "  --fault-seed S              injector stream seed (default 1)\n"
+      "  --drop P                    per-message drop probability\n"
+      "  --dup P                     per-message duplication probability\n"
+      "  --delay-prob P              per-message extra-delay probability\n"
+      "  --extra-delay S             extra delivery delay when it fires\n"
+      "  --crash C:T0:T1             client C down in [T0,T1) (T1 may be\n"
+      "                              'inf'; repeatable)\n"
+      "  --partition C:T0:T1         client C cut off from the server in\n"
+      "                              [T0,T1) (repeatable)\n"
       "\n"
       "Observability (see docs/observability.md):\n"
       "  --trace-out FILE            write an execution trace of the last\n"
@@ -113,45 +176,46 @@ bool parse(int argc, char** argv, Options& opt) {
         return false;
       }
     } else if (!std::strcmp(a, "--clients")) {
-      opt.clients = {static_cast<std::size_t>(std::atoll(need(i)))};
+      opt.clients = {static_cast<std::size_t>(parse_u64(a, need(i)))};
     } else if (!std::strcmp(a, "--sweep")) {
       opt.clients.clear();
       std::string v = need(i);
       for (std::size_t pos = 0; pos < v.size();) {
         const auto comma = v.find(',', pos);
         opt.clients.push_back(static_cast<std::size_t>(
-            std::atoll(v.substr(pos, comma - pos).c_str())));
+            parse_u64(a, v.substr(pos, comma - pos).c_str())));
         if (comma == std::string::npos) break;
         pos = comma + 1;
       }
     } else if (!std::strcmp(a, "--updates")) {
-      opt.updates = std::atof(need(i));
+      opt.updates = parse_f64(a, need(i));
     } else if (!std::strcmp(a, "--seeds")) {
-      opt.seeds = static_cast<std::size_t>(std::atoll(need(i)));
+      opt.seeds = static_cast<std::size_t>(parse_u64(a, need(i)));
     } else if (!std::strcmp(a, "--seed")) {
-      opt.base_seed = static_cast<std::uint64_t>(std::atoll(need(i)));
+      opt.base_seed = parse_u64(a, need(i));
     } else if (!std::strcmp(a, "--duration")) {
-      opt.duration = std::atof(need(i));
+      opt.duration = parse_f64(a, need(i));
     } else if (!std::strcmp(a, "--warmup")) {
-      opt.warmup = std::atof(need(i));
+      opt.warmup = parse_f64(a, need(i));
     } else if (!std::strcmp(a, "--interarrival")) {
-      opt.base.workload.mean_interarrival = sim::seconds(std::atof(need(i)));
+      opt.base.workload.mean_interarrival =
+          sim::seconds(parse_f64(a, need(i)));
     } else if (!std::strcmp(a, "--length")) {
-      opt.base.workload.mean_length = sim::seconds(std::atof(need(i)));
+      opt.base.workload.mean_length = sim::seconds(parse_f64(a, need(i)));
     } else if (!std::strcmp(a, "--slack")) {
-      opt.base.workload.mean_slack = sim::seconds(std::atof(need(i)));
+      opt.base.workload.mean_slack = sim::seconds(parse_f64(a, need(i)));
     } else if (!std::strcmp(a, "--ops")) {
-      opt.base.workload.mean_ops = std::atof(need(i));
+      opt.base.workload.mean_ops = parse_f64(a, need(i));
     } else if (!std::strcmp(a, "--db")) {
       opt.base.workload.db_size =
-          static_cast<std::size_t>(std::atoll(need(i)));
+          static_cast<std::size_t>(parse_u64(a, need(i)));
     } else if (!std::strcmp(a, "--region")) {
       opt.base.workload.region_size =
-          static_cast<std::size_t>(std::atoll(need(i)));
+          static_cast<std::size_t>(parse_u64(a, need(i)));
     } else if (!std::strcmp(a, "--zipf")) {
-      opt.base.workload.zipf_theta = std::atof(need(i));
+      opt.base.workload.zipf_theta = parse_f64(a, need(i));
     } else if (!std::strcmp(a, "--window")) {
-      opt.base.ls.collection_window = sim::seconds(std::atof(need(i)));
+      opt.base.ls.collection_window = sim::seconds(parse_f64(a, need(i)));
     } else if (!std::strcmp(a, "--no-h1")) {
       opt.base.ls.enable_h1 = false;
     } else if (!std::strcmp(a, "--no-h2")) {
@@ -178,7 +242,36 @@ bool parse(int argc, char** argv, Options& opt) {
     } else if (!std::strcmp(a, "--metrics-out")) {
       opt.metrics_out = need(i);
     } else if (!std::strcmp(a, "--sample-interval")) {
-      opt.sample_interval = std::atof(need(i));
+      opt.sample_interval = parse_f64(a, need(i));
+    } else if (!std::strcmp(a, "--chaos")) {
+      opt.chaos = need(i);
+      bool known = false;
+      for (const auto n : fault::chaos_schedule_names()) {
+        known = known || n == opt.chaos;
+      }
+      if (!known) {
+        std::fprintf(stderr, "unknown chaos schedule '%s'\n",
+                     opt.chaos.c_str());
+        return false;
+      }
+    } else if (!std::strcmp(a, "--fault-seed")) {
+      opt.base.fault.seed = parse_u64(a, need(i));
+    } else if (!std::strcmp(a, "--drop")) {
+      opt.base.fault.all_kinds.drop = parse_f64(a, need(i));
+    } else if (!std::strcmp(a, "--dup")) {
+      opt.base.fault.all_kinds.duplicate = parse_f64(a, need(i));
+    } else if (!std::strcmp(a, "--delay-prob")) {
+      opt.base.fault.all_kinds.delay = parse_f64(a, need(i));
+    } else if (!std::strcmp(a, "--extra-delay")) {
+      opt.base.fault.extra_delay = sim::seconds(parse_f64(a, need(i)));
+    } else if (!std::strcmp(a, "--crash")) {
+      fault::CrashWindow w;
+      parse_window(a, need(i), w.client, w.start, w.end);
+      opt.base.fault.crashes.push_back(w);
+    } else if (!std::strcmp(a, "--partition")) {
+      fault::PartitionWindow w;
+      parse_window(a, need(i), w.client, w.start, w.end);
+      opt.base.fault.partitions.push_back(w);
     } else {
       std::fprintf(stderr, "unknown flag '%s' (see --help)\n", a);
       return false;
@@ -194,6 +287,32 @@ int main(int argc, char** argv) {
   // Technique flags refine the full LS set.
   opt.base.ls = core::LsOptions::all();
   if (!parse(argc, argv, opt)) return 2;
+
+  const auto resolve_cfg = [&opt](std::size_t n) {
+    core::SystemConfig cfg = opt.base;
+    cfg.workload.update_fraction = opt.updates / 100.0;
+    cfg.num_clients = n;
+    cfg.duration = sim::seconds(opt.duration);
+    cfg.warmup = sim::seconds(opt.warmup);
+    cfg.seed = opt.base_seed;
+    if (!opt.chaos.empty()) {
+      // Named schedules scale with the cluster size and run length, so
+      // they resolve per configuration. Manual --drop/--crash/... flags
+      // (already in cfg.fault) survive only when no name is given.
+      cfg.fault = fault::make_chaos_plan(opt.chaos, n,
+                                         sim::SimTime{} + cfg.warmup,
+                                         cfg.horizon());
+    }
+    return cfg;
+  };
+  // Reject bad input before any table output reaches stdout.
+  for (const std::size_t n : opt.clients) {
+    if (const std::string err = resolve_cfg(n).validate(); !err.empty()) {
+      std::fprintf(stderr, "rtdbctl: invalid configuration: %s\n",
+                   err.c_str());
+      return 2;
+    }
+  }
 
   if (opt.csv) {
     std::puts(
@@ -216,12 +335,7 @@ int main(int argc, char** argv) {
 
   for (const std::size_t n : opt.clients) {
     for (const auto kind : opt.systems) {
-      core::SystemConfig cfg = opt.base;
-      cfg.workload.update_fraction = opt.updates / 100.0;
-      cfg.num_clients = n;
-      cfg.duration = sim::seconds(opt.duration);
-      cfg.warmup = sim::seconds(opt.warmup);
-      cfg.seed = opt.base_seed;
+      core::SystemConfig cfg = resolve_cfg(n);
       if (want_telemetry) {
         cfg.telemetry.spans = true;
         cfg.telemetry.events = !opt.trace_out.empty();
