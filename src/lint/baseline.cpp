@@ -1,0 +1,67 @@
+#include "lint/baseline.hpp"
+
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace rtdb::lint {
+
+std::vector<BaselineEntry> parse_baseline(std::string_view text,
+                                          std::vector<std::string>& errors) {
+  std::vector<BaselineEntry> out;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    BaselineEntry e;
+    if (!(fields >> e.rule >> e.file >> e.count) || e.count <= 0) {
+      errors.push_back("baseline line " + std::to_string(lineno) +
+                       ": expected '<rule> <file> <count>', got: " + line);
+      continue;
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+void apply_baseline(const std::vector<BaselineEntry>& baseline,
+                    std::vector<Finding>& findings,
+                    std::vector<Finding>& baselined) {
+  if (baseline.empty()) return;
+  std::map<std::pair<std::string, std::string>, int> budget;
+  for (const BaselineEntry& e : baseline) {
+    budget[{e.rule, e.file}] += e.count;
+  }
+  std::vector<Finding> kept;
+  kept.reserve(findings.size());
+  for (Finding& f : findings) {
+    const auto it = budget.find({f.rule, f.file});
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+      baselined.push_back(std::move(f));
+    } else {
+      kept.push_back(std::move(f));
+    }
+  }
+  findings = std::move(kept);
+}
+
+std::string format_baseline(const std::vector<Finding>& findings) {
+  std::map<std::pair<std::string, std::string>, int> counts;
+  for (const Finding& f : findings) ++counts[{f.rule, f.file}];
+  std::string out =
+      "# rtdb_lint baseline — grandfathered findings (see "
+      "docs/static_analysis.md).\n"
+      "# <rule> <file> <count>; the gate fails on anything beyond these "
+      "counts.\n";
+  for (const auto& [key, n] : counts) {
+    out += key.first + " " + key.second + " " + std::to_string(n) + "\n";
+  }
+  return out;
+}
+
+}  // namespace rtdb::lint

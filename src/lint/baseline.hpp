@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/rule.hpp"
+
+/// \file baseline.hpp
+/// The checked-in debt ledger (scripts/lint_baseline.txt). Format — one
+/// entry per line, `#` comments and blank lines ignored:
+///
+///     <rule> <repo-relative-file> <count>
+///
+/// An entry grandfathers up to `count` findings of `rule` in `file`
+/// (matched in line order); anything beyond the count fails the gate, so
+/// the debt can only shrink. Counts (not line numbers) keep the file stable
+/// across unrelated edits.
+
+namespace rtdb::lint {
+
+struct BaselineEntry {
+  std::string rule;
+  std::string file;
+  int count = 0;
+};
+
+/// Parses baseline text; malformed lines are reported into `errors`
+/// (1-based line numbers) and skipped.
+std::vector<BaselineEntry> parse_baseline(std::string_view text,
+                                          std::vector<std::string>& errors);
+
+/// Splits `findings` (pre-sorted by file/line) into surviving findings
+/// (returned in `findings`) and grandfathered ones (appended to
+/// `baselined`).
+void apply_baseline(const std::vector<BaselineEntry>& baseline,
+                    std::vector<Finding>& findings,
+                    std::vector<Finding>& baselined);
+
+/// Renders `findings` as baseline text (for --write-baseline).
+std::string format_baseline(const std::vector<Finding>& findings);
+
+}  // namespace rtdb::lint

@@ -1,0 +1,218 @@
+#include "lint/engine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "lint/baseline.hpp"
+#include "lint/rules.hpp"
+
+namespace rtdb::lint {
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+/// Repo-relative path with forward slashes.
+std::string rel_to(const fs::path& root, const fs::path& p) {
+  std::string s = p.lexically_relative(root).generic_string();
+  return s;
+}
+
+std::vector<fs::path> discover(const LintOptions& opts,
+                               std::vector<std::string>& errors) {
+  std::vector<fs::path> files;
+  const fs::path root(opts.root);
+  std::vector<std::string> paths = opts.paths;
+  const bool defaulted = paths.empty();
+  if (defaulted) paths = {"src", "tools", "bench"};
+  for (const std::string& p : paths) {
+    const fs::path full = root / p;
+    std::error_code ec;
+    if (fs::is_regular_file(full, ec)) {
+      files.push_back(full);
+      continue;
+    }
+    if (!fs::is_directory(full, ec)) {
+      // A default dir a small tree simply doesn't have is fine; a path the
+      // caller asked for by name is not.
+      if (!defaulted) {
+        errors.push_back("path not found: " + full.generic_string());
+      }
+      continue;
+    }
+    for (fs::recursive_directory_iterator it(full, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) {
+        errors.push_back("walk failed under " + full.generic_string() + ": " +
+                         ec.message());
+        break;
+      }
+      const fs::path& entry = it->path();
+      const std::string fname = entry.filename().string();
+      if (it->is_directory() && !fname.empty() && fname.front() == '.') {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && lintable(entry)) files.push_back(entry);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_findings_json(std::string& out, const std::vector<Finding>& fs,
+                          std::string_view status, bool& first) {
+  for (const Finding& f : fs) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\"file\": \"" + json_escape(f.file) +
+           "\", \"line\": " + std::to_string(f.line) + ", \"rule\": \"" +
+           json_escape(f.rule) + "\", \"severity\": \"" +
+           std::string(to_string(f.severity)) + "\", \"status\": \"" +
+           std::string(status) + "\", \"message\": \"" +
+           json_escape(f.message) + "\"}";
+  }
+}
+
+void sort_findings(std::vector<Finding>& v) {
+  std::sort(v.begin(), v.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  });
+}
+
+}  // namespace
+
+LintReport run_lint(const LintOptions& opts) {
+  LintReport report;
+  const auto rules = make_default_rules();
+  const fs::path root(opts.root);
+
+  // Pass 1: lex everything into the corpus (rules need cross-file facts,
+  // e.g. members declared in a .cpp's companion header).
+  Corpus corpus;
+  for (const fs::path& path : discover(opts, report.errors)) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      report.errors.push_back("cannot read " + path.generic_string());
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    corpus.add(SourceFile::from_string(rel_to(root, path), buf.str()));
+    ++report.files_scanned;
+  }
+
+  // Pass 2: run every rule over every file, then split off suppressions.
+  for (const SourceFile& file : corpus.files()) {
+    std::vector<Finding> raw;
+    for (const auto& rule : rules) rule->check(file, corpus, raw);
+    for (Finding& f : raw) {
+      if (file.suppressed(f.rule, f.line)) {
+        report.suppressed.push_back(std::move(f));
+      } else {
+        report.active.push_back(std::move(f));
+      }
+    }
+  }
+
+  sort_findings(report.active);
+  sort_findings(report.suppressed);
+
+  if (!opts.baseline_path.empty()) {
+    std::ifstream in(opts.baseline_path, std::ios::binary);
+    if (!in) {
+      report.errors.push_back("cannot read baseline " + opts.baseline_path);
+    } else {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      const auto baseline = parse_baseline(buf.str(), report.errors);
+      apply_baseline(baseline, report.active, report.baselined);
+    }
+  }
+  return report;
+}
+
+std::string render_text(const LintReport& report, bool verbose) {
+  std::string out;
+  for (const std::string& e : report.errors) {
+    out += "rtdb_lint: error: " + e + "\n";
+  }
+  for (const Finding& f : report.active) {
+    out += f.file + ":" + std::to_string(f.line) + ": " +
+           std::string(to_string(f.severity)) + "[" + f.rule + "] " +
+           f.message + "\n";
+  }
+  if (verbose) {
+    for (const Finding& f : report.suppressed) {
+      out += f.file + ":" + std::to_string(f.line) + ": suppressed[" +
+             f.rule + "]\n";
+    }
+    for (const Finding& f : report.baselined) {
+      out += f.file + ":" + std::to_string(f.line) + ": baselined[" +
+             f.rule + "]\n";
+    }
+  }
+  out += "rtdb_lint: " + std::to_string(report.files_scanned) + " file(s), " +
+         std::to_string(report.active.size()) + " finding(s) (" +
+         std::to_string(report.suppressed.size()) + " suppressed, " +
+         std::to_string(report.baselined.size()) + " baselined)\n";
+  return out;
+}
+
+std::string render_json(const LintReport& report) {
+  std::string out = "{\n  \"files_scanned\": " +
+                    std::to_string(report.files_scanned) +
+                    ",\n  \"active\": " + std::to_string(report.active.size()) +
+                    ",\n  \"suppressed\": " +
+                    std::to_string(report.suppressed.size()) +
+                    ",\n  \"baselined\": " +
+                    std::to_string(report.baselined.size()) +
+                    ",\n  \"findings\": [\n";
+  bool first = true;
+  append_findings_json(out, report.active, "active", first);
+  append_findings_json(out, report.suppressed, "suppressed", first);
+  append_findings_json(out, report.baselined, "baselined", first);
+  out += first ? "  ]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+int exit_code(const LintReport& report) {
+  if (!report.errors.empty()) return 2;
+  return report.active.empty() ? 0 : 1;
+}
+
+}  // namespace rtdb::lint

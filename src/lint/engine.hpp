@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/rule.hpp"
+
+/// \file engine.hpp
+/// Drives the analyzer end to end: discover files, lex, run every rule,
+/// apply inline suppressions and the checked-in baseline, and render the
+/// results as human text and machine JSON. tools/rtdb_lint.cpp is a thin
+/// argv shell around this; tests call it directly on fixture trees.
+
+namespace rtdb::lint {
+
+struct LintOptions {
+  /// Repo root all scan paths and reported paths are relative to.
+  std::string root = ".";
+
+  /// Files or directories (relative to root). Empty -> {"src", "tools",
+  /// "bench"}, the first-party surface the rules are scoped to.
+  std::vector<std::string> paths;
+
+  /// Baseline file path (relative to cwd or absolute); empty = none.
+  std::string baseline_path;
+};
+
+struct LintReport {
+  std::vector<Finding> active;      ///< fail the gate
+  std::vector<Finding> suppressed;  ///< waived by inline annotations
+  std::vector<Finding> baselined;   ///< grandfathered by the baseline file
+  std::vector<std::string> errors;  ///< IO/baseline-parse problems
+  int files_scanned = 0;
+};
+
+/// Runs the default rule catalog. Never throws; problems land in errors.
+LintReport run_lint(const LintOptions& opts);
+
+/// `path:line: severity[rule] message` lines plus a summary tail.
+std::string render_text(const LintReport& report, bool verbose);
+
+/// One JSON object: scan stats plus every finding with its status
+/// ("active" | "suppressed" | "baselined").
+std::string render_json(const LintReport& report);
+
+/// 0 = clean, 1 = active findings, 2 = engine errors (unreadable input,
+/// malformed baseline).
+int exit_code(const LintReport& report);
+
+}  // namespace rtdb::lint

@@ -1,0 +1,65 @@
+#include "lint/include_graph.hpp"
+
+namespace rtdb::lint {
+namespace {
+
+/// The subsystem DAG. Keep in sync with src/*/CMakeLists.txt link edges and
+/// the diagram in docs/static_analysis.md.
+const std::map<std::string, std::set<std::string>>& dag() {
+  static const std::map<std::string, std::set<std::string>> kDag = {
+      {"common", {}},
+      {"sim", {"common"}},
+      {"net", {"common", "sim"}},
+      {"fault", {"common", "net", "sim"}},
+      {"obs", {"common", "net", "sim"}},
+      {"storage", {"common", "sim"}},
+      {"lock", {"common", "sim"}},
+      {"txn", {"common", "lock", "sim"}},
+      {"workload", {"common", "sim", "txn"}},
+      {"core",
+       {"common", "sim", "net", "fault", "obs", "storage", "lock", "txn",
+        "workload"}},
+      {"lint", {}},
+  };
+  return kDag;
+}
+
+const std::set<std::string>& empty_set() {
+  static const std::set<std::string> kEmpty;
+  return kEmpty;
+}
+
+}  // namespace
+
+bool is_subsystem(std::string_view name) {
+  return dag().count(std::string(name)) > 0;
+}
+
+const std::set<std::string>& allowed_deps(std::string_view from) {
+  const auto it = dag().find(std::string(from));
+  return it == dag().end() ? empty_set() : it->second;
+}
+
+bool layer_allowed(std::string_view from, std::string_view to) {
+  if (from == to) return true;
+  return allowed_deps(from).count(std::string(to)) > 0;
+}
+
+void IncludeGraph::add(const SourceFile& f) {
+  const std::string& from = f.subsystem();
+  if (from.empty()) return;
+  for (const Include& inc : f.includes()) {
+    if (inc.angled) continue;  // system/third-party headers carry no layer
+    const auto slash = inc.path.find('/');
+    if (slash == std::string::npos) continue;
+    const std::string to = inc.path.substr(0, slash);
+    if (!is_subsystem(to)) continue;
+    deps_[from].insert(to);
+    if (!layer_allowed(from, to)) {
+      violations_.push_back(
+          Violation{f.rel_path(), inc.line, from, to, inc.path});
+    }
+  }
+}
+
+}  // namespace rtdb::lint

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/source_file.hpp"
+
+/// \file include_graph.hpp
+/// The subsystem layering contract, derived from real `#include` edges.
+///
+/// The architecture is a DAG (lower layers never see higher ones):
+///
+///   common  ← sim ← net ← {fault, obs}
+///             sim ← {storage, lock}
+///             lock ← txn ← workload
+///             everything ← core
+///   lint depends on nothing (it must lint a broken tree).
+///
+/// The table below is the single source of truth the `layering` rule
+/// enforces; growing a new edge means editing it *here*, in review, instead
+/// of discovering the cycle at link time three PRs later. This is what
+/// keeps `src/lock` from ever growing a dependency on `src/core` while the
+/// partitioned multi-server lock table lands.
+
+namespace rtdb::lint {
+
+/// True when `name` is one of the src/ subsystems in the table.
+[[nodiscard]] bool is_subsystem(std::string_view name);
+
+/// Direct dependencies subsystem `from` is allowed (empty set for unknown).
+[[nodiscard]] const std::set<std::string>& allowed_deps(std::string_view from);
+
+/// True when `from` may include headers of `to` (self-includes allowed).
+[[nodiscard]] bool layer_allowed(std::string_view from, std::string_view to);
+
+/// Cross-file aggregate built from lexed sources: which subsystems each
+/// file and subsystem actually reaches. Used by tests and tooling; the
+/// per-file `layering` rule needs only layer_allowed().
+class IncludeGraph {
+ public:
+  void add(const SourceFile& f);
+
+  /// subsystem -> set of subsystems it includes (directly), from real edges.
+  [[nodiscard]] const std::map<std::string, std::set<std::string>>&
+  subsystem_deps() const {
+    return deps_;
+  }
+
+  struct Violation {
+    std::string file;
+    int line;
+    std::string from;
+    std::string to;
+    std::string include;  ///< the offending include path as written
+  };
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return violations_;
+  }
+
+ private:
+  std::map<std::string, std::set<std::string>> deps_;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace rtdb::lint

@@ -1,0 +1,284 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace rtdb::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Byte cursor with logical-character access that transparently skips
+/// backslash-newline splices (standard translation phase 2) while keeping
+/// the physical line counter honest. Raw access (no splice handling) exists
+/// for raw string literals, where splices are not spliced.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view s) : s_(s) {}
+
+  [[nodiscard]] bool eof() const { return spliced_pos(pos_) >= s_.size(); }
+
+  /// Logical lookahead `k` characters ahead, '\0' past the end.
+  [[nodiscard]] char peek(std::size_t k = 0) const {
+    std::size_t p = spliced_pos(pos_);
+    while (k > 0 && p < s_.size()) {
+      p = spliced_pos(p + 1);
+      --k;
+    }
+    return p < s_.size() ? s_[p] : '\0';
+  }
+
+  /// Consumes one logical character.
+  char get() {
+    // Count the line breaks of any splices we jump over.
+    std::size_t p = pos_;
+    while (is_splice(p)) {
+      ++line_;
+      p += splice_len(p);
+    }
+    pos_ = p;
+    if (pos_ >= s_.size()) return '\0';
+    const char c = s_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  /// Raw (splice-blind) accessors for raw string literals.
+  [[nodiscard]] char raw_peek(std::size_t k = 0) const {
+    return pos_ + k < s_.size() ? s_[pos_ + k] : '\0';
+  }
+  char raw_get() {
+    if (pos_ >= s_.size()) return '\0';
+    const char c = s_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  [[nodiscard]] bool is_splice(std::size_t p) const {
+    if (p + 1 >= s_.size() || s_[p] != '\\') return false;
+    if (s_[p + 1] == '\n') return true;
+    return s_[p + 1] == '\r' && p + 2 < s_.size() && s_[p + 2] == '\n';
+  }
+  [[nodiscard]] std::size_t splice_len(std::size_t p) const {
+    return s_[p + 1] == '\n' ? 2 : 3;
+  }
+  /// First non-splice position at or after `p`.
+  [[nodiscard]] std::size_t spliced_pos(std::size_t p) const {
+    while (is_splice(p)) p += splice_len(p);
+    return p;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+constexpr const char* kPunct3[] = {"<<=", ">>=", "->*", "...", "<=>"};
+constexpr const char* kPunct2[] = {"::", "->", "<<", ">>", "<=", ">=", "==",
+                                   "!=", "&&", "||", "+=", "-=", "*=", "/=",
+                                   "%=", "&=", "|=", "^=", "++", "--", ".*",
+                                   "##"};
+
+bool is_raw_prefix(std::string_view id) {
+  return id == "R" || id == "u8R" || id == "uR" || id == "UR" || id == "LR";
+}
+bool is_str_prefix(std::string_view id) {
+  return id == "u8" || id == "u" || id == "U" || id == "L";
+}
+
+}  // namespace
+
+LexResult lex(std::string_view src) {
+  LexResult out;
+  Cursor cur(src);
+  // Line of the last emitted code token's *end*; comments/directives check
+  // it to decide whether code precedes them on their starting line.
+  int last_code_line = 0;
+
+  auto emit = [&](TokKind kind, std::string text, int line) {
+    out.tokens.push_back(Token{kind, std::move(text), line});
+    last_code_line = cur.line();
+  };
+
+  auto lex_quoted = [&](char quote) {
+    // Opening quote already inspected, not consumed.
+    const int start = cur.line();
+    cur.get();
+    std::string body;
+    while (!cur.eof()) {
+      const char c = cur.get();
+      if (c == '\\') {
+        body += c;
+        if (!cur.eof()) body += cur.get();
+        continue;
+      }
+      if (c == quote || c == '\n') break;  // '\n': unterminated, recover
+      body += c;
+    }
+    emit(quote == '"' ? TokKind::kString : TokKind::kCharLit, std::move(body),
+         start);
+  };
+
+  auto lex_raw_string = [&] {
+    // At the '"' of R"delim( ... )delim". No splice handling inside.
+    const int start = cur.line();
+    cur.raw_get();  // "
+    std::string delim;
+    while (!cur.eof() && cur.raw_peek() != '(' && cur.raw_peek() != '\n') {
+      delim += cur.raw_get();
+    }
+    if (cur.raw_peek() == '(') cur.raw_get();
+    const std::string close = ")" + delim + "\"";
+    std::string body;
+    while (!cur.eof()) {
+      bool match = true;
+      for (std::size_t k = 0; k < close.size(); ++k) {
+        if (cur.raw_peek(k) != close[k]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        for (std::size_t k = 0; k < close.size(); ++k) cur.raw_get();
+        break;
+      }
+      body += cur.raw_get();
+    }
+    emit(TokKind::kString, std::move(body), start);
+  };
+
+  while (!cur.eof()) {
+    const char c = cur.peek();
+
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+      cur.get();
+      continue;
+    }
+
+    // ---- comments (kept aside; never become code tokens) ----
+    if (c == '/' && cur.peek(1) == '/') {
+      const int start = cur.line();
+      const bool own = start != last_code_line;
+      cur.get();
+      cur.get();
+      std::string text;
+      while (!cur.eof() && cur.peek() != '\n') text += cur.get();
+      out.comments.push_back(Comment{std::move(text), start, cur.line(), own});
+      continue;
+    }
+    if (c == '/' && cur.peek(1) == '*') {
+      const int start = cur.line();
+      const bool own = start != last_code_line;
+      cur.get();
+      cur.get();
+      std::string text;
+      while (!cur.eof() && !(cur.peek() == '*' && cur.peek(1) == '/')) {
+        text += cur.get();
+      }
+      const int end = cur.line();
+      if (!cur.eof()) {
+        cur.get();
+        cur.get();
+      }
+      out.comments.push_back(Comment{std::move(text), start, end, own});
+      continue;
+    }
+
+    // ---- preprocessor directive: swallow the whole logical line ----
+    if (c == '#' && cur.line() != last_code_line) {
+      const int start = cur.line();
+      std::string text;
+      while (!cur.eof() && cur.peek() != '\n') text += cur.get();
+      emit(TokKind::kDirective, std::move(text), start);
+      continue;
+    }
+
+    if (c == '"') {
+      lex_quoted('"');
+      continue;
+    }
+    if (c == '\'') {
+      lex_quoted('\'');
+      continue;
+    }
+
+    if (ident_start(c)) {
+      const int start = cur.line();
+      std::string id;
+      while (!cur.eof() && ident_char(cur.peek())) id += cur.get();
+      if (is_raw_prefix(id) && cur.peek() == '"') {
+        lex_raw_string();
+        continue;
+      }
+      if (is_str_prefix(id) && (cur.peek() == '"' || cur.peek() == '\'')) {
+        lex_quoted(cur.peek());
+        continue;
+      }
+      emit(TokKind::kIdentifier, std::move(id), start);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(cur.peek(1))))) {
+      const int start = cur.line();
+      std::string num;
+      num += cur.get();
+      while (!cur.eof()) {
+        const char n = cur.peek();
+        if (ident_char(n) || n == '.' || n == '\'') {
+          num += cur.get();
+          // pp-number: a sign directly after an exponent char sticks.
+          const char last = num.back();
+          if ((last == 'e' || last == 'E' || last == 'p' || last == 'P') &&
+              (cur.peek() == '+' || cur.peek() == '-')) {
+            num += cur.get();
+          }
+          continue;
+        }
+        break;
+      }
+      emit(TokKind::kNumber, std::move(num), start);
+      continue;
+    }
+
+    // ---- punctuation, maximal munch ----
+    {
+      const int start = cur.line();
+      bool matched = false;
+      for (const char* op : kPunct3) {
+        if (cur.peek() == op[0] && cur.peek(1) == op[1] &&
+            cur.peek(2) == op[2]) {
+          cur.get();
+          cur.get();
+          cur.get();
+          emit(TokKind::kPunct, op, start);
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      for (const char* op : kPunct2) {
+        if (cur.peek() == op[0] && cur.peek(1) == op[1]) {
+          cur.get();
+          cur.get();
+          emit(TokKind::kPunct, op, start);
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      emit(TokKind::kPunct, std::string(1, cur.get()), start);
+    }
+  }
+  return out;
+}
+
+}  // namespace rtdb::lint

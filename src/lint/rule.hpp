@@ -1,0 +1,84 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/source_file.hpp"
+
+/// \file rule.hpp
+/// The pluggable rule engine: a rule inspects one lexed SourceFile and
+/// appends findings. Rules are registered in make_default_rules()
+/// (rules_*.cpp); docs/static_analysis.md carries the human catalog and
+/// must gain a row whenever a rule is added here.
+
+namespace rtdb::lint {
+
+/// Severity ordering matters only for display/JSON; the gate policy is
+/// zero-finding: every non-suppressed, non-baselined finding fails the run
+/// regardless of severity (see docs/static_analysis.md).
+enum class Severity { kWarn, kError };
+
+[[nodiscard]] constexpr std::string_view to_string(Severity s) {
+  return s == Severity::kError ? "error" : "warn";
+}
+
+struct Finding {
+  std::string file;  ///< repo-relative path
+  int line = 0;
+  std::string rule;
+  Severity severity = Severity::kError;
+  std::string message;
+};
+
+/// Every file in the scan, indexed by repo-relative path. Rules get the
+/// whole corpus so cross-file facts work — e.g. the determinism rules look
+/// up members declared in a .cpp's companion header.
+class Corpus {
+ public:
+  void add(SourceFile f) {
+    index_.emplace(f.rel_path(), files_.size());
+    files_.push_back(std::move(f));
+  }
+  [[nodiscard]] const SourceFile* find(std::string_view rel_path) const {
+    const auto it = index_.find(rel_path);
+    return it == index_.end() ? nullptr : &files_[it->second];
+  }
+  [[nodiscard]] const std::vector<SourceFile>& files() const { return files_; }
+
+ private:
+  std::vector<SourceFile> files_;
+  std::map<std::string, std::size_t, std::less<>> index_;
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual Severity severity() const = 0;
+  /// One-line description for --list-rules and the docs.
+  [[nodiscard]] virtual std::string_view summary() const = 0;
+
+  /// Appends raw findings for `f` (suppressions/baseline applied later by
+  /// the engine). Implementations must scope themselves via f.rel_path() —
+  /// the engine feeds every scanned file to every rule. `corpus` holds all
+  /// scanned files for cross-file lookups.
+  virtual void check(const SourceFile& f, const Corpus& corpus,
+                     std::vector<Finding>& out) const = 0;
+
+ protected:
+  void add(const SourceFile& f, int line, std::string message,
+           std::vector<Finding>& out) const {
+    out.push_back(
+        Finding{f.rel_path(), line, std::string(name()), severity(),
+                std::move(message)});
+  }
+};
+
+/// The shipped rule set, in catalog order.
+std::vector<std::unique_ptr<Rule>> make_default_rules();
+
+}  // namespace rtdb::lint

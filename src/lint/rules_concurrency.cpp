@@ -1,0 +1,77 @@
+#include "lint/rules.hpp"
+#include "lint/rules_util.hpp"
+
+/// \file rules_concurrency.cpp
+/// Concurrency-readiness pre-flags. The simulator is single-threaded today;
+/// the multi-server roadmap ends that. Mutable static state is the thing
+/// that silently breaks first when a second thread (or a second System in
+/// one process) appears, so every non-const static is surfaced *now* —
+/// each one must become const, move into its owning object, or carry an
+/// explicit justification before the refactor starts.
+
+namespace rtdb::lint {
+namespace {
+
+using detail::is_id;
+using detail::is_punct;
+
+bool is_const_marker(const Token& t) {
+  return is_id(t, "const") || is_id(t, "constexpr") || is_id(t, "constinit");
+}
+
+class MutableStaticRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "mutable-static";
+  }
+  [[nodiscard]] Severity severity() const override { return Severity::kError; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "non-const static/global state in src/ — hidden shared state "
+           "that breaks once multiple servers/threads exist";
+  }
+
+  void check(const SourceFile& f, const Corpus& /*corpus*/,
+             std::vector<Finding>& out) const override {
+    if (!f.under("src")) return;
+    const auto& ts = f.tokens();
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (!is_id(ts[i], "static")) continue;
+      // `const static` / `constexpr static` — qualifier may precede.
+      bool const_qualified = false;
+      for (std::size_t b = i; b > 0 && b + 3 > i; --b) {
+        if (is_const_marker(ts[b - 1])) const_qualified = true;
+        else if (!is_id(ts[b - 1], "inline")) break;
+      }
+      // Scan the declaration head: stop at the declarator's end or at an
+      // argument list (a function — stateless, fine).
+      bool function_like = false;
+      for (std::size_t j = i + 1; j < ts.size() && j < i + 40; ++j) {
+        const Token& t = ts[j];
+        if (is_const_marker(t)) {
+          const_qualified = true;
+          continue;
+        }
+        if (is_punct(t, "(")) {
+          function_like = true;
+          break;
+        }
+        if (is_punct(t, ";") || is_punct(t, "=") || is_punct(t, "{")) break;
+        if (j + 1 == ts.size() || j + 1 == i + 40) function_like = true;
+      }
+      if (const_qualified || function_like) continue;
+      add(f, ts[i].line,
+          "non-const static — shared mutable state; make it "
+          "const/constexpr, move it into the owning object, or annotate "
+          "with a justification for the multi-server refactor to audit",
+          out);
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_mutable_static_rule() {
+  return std::make_unique<MutableStaticRule>();
+}
+
+}  // namespace rtdb::lint

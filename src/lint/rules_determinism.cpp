@@ -1,0 +1,201 @@
+#include <string>
+
+#include "lint/rules.hpp"
+#include "lint/rules_util.hpp"
+
+/// \file rules_determinism.cpp
+/// Determinism rules the grep approach could never express: they need to
+/// know what is an unordered container, what is a range-for, and which
+/// files feed the replay digests. The replay property these protect:
+/// tools/rtdb_verify re-runs a seed and demands bit-identical digests, and
+/// unordered-container iteration order is the classic way to lose that
+/// (and the first thing that changes under a different standard library).
+
+namespace rtdb::lint {
+namespace {
+
+using detail::is_id;
+using detail::is_punct;
+using detail::npos;
+
+/// Files whose output feeds replay digests, metrics JSON, trace export or
+/// the invariant audits: everything under src/obs plus the files whose name
+/// marks them as digest/export/audit code, wherever they live.
+bool digest_context(const SourceFile& f) {
+  if (f.under("src/obs")) return true;
+  const std::string base = f.basename();
+  for (const char* marker :
+       {"digest", "export", "telemetry", "trace", "metrics", "auditor",
+        "verify", "stats"}) {
+    if (base.find(marker) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Unordered-container names visible to `f`: declared in the file itself or
+/// in its companion header (x.cpp -> x.hpp/x.h), where members usually live.
+std::set<std::string> visible_unordered_vars(const SourceFile& f,
+                                             const Corpus& corpus) {
+  std::set<std::string> vars = detail::collect_unordered_vars(f);
+  const std::string& p = f.rel_path();
+  for (const char* src_ext : {".cpp", ".cc"}) {
+    const std::size_t n = std::string(src_ext).size();
+    if (p.size() <= n || p.substr(p.size() - n) != src_ext) continue;
+    for (const char* hdr_ext : {".hpp", ".h"}) {
+      const SourceFile* hdr = corpus.find(p.substr(0, p.size() - n) + hdr_ext);
+      if (!hdr) continue;
+      const auto more = detail::collect_unordered_vars(*hdr);
+      vars.insert(more.begin(), more.end());
+    }
+  }
+  return vars;
+}
+
+class UnorderedIterRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "unordered-iter";
+  }
+  [[nodiscard]] Severity severity() const override { return Severity::kError; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "iterating an unordered container on a digest/export/audit path "
+           "— sort first, or annotate order-insensitive with a reason";
+  }
+
+  void check(const SourceFile& f, const Corpus& corpus,
+             std::vector<Finding>& out) const override {
+    if ((!f.under("src") && !f.under("tools")) || !digest_context(f)) return;
+    const auto vars = visible_unordered_vars(f, corpus);
+    if (vars.empty()) return;
+    const auto& ts = f.tokens();
+    for (const detail::RangeFor& rf : detail::find_range_fors(ts)) {
+      for (std::size_t i = rf.range_begin; i < rf.range_end; ++i) {
+        if (ts[i].kind == TokKind::kIdentifier && vars.count(ts[i].text)) {
+          add(f, ts[rf.kw].line,
+              "range-for over unordered container '" + ts[i].text +
+                  "' on a digest/export path — iteration order is not part "
+                  "of the replay contract; sort into a vector first or "
+                  "annotate order-insensitive",
+              out);
+          break;
+        }
+      }
+    }
+    // Explicit iterator walks: `var.begin()` / `var.cbegin()`.
+    for (std::size_t i = 0; i + 3 < ts.size(); ++i) {
+      if (ts[i].kind == TokKind::kIdentifier && vars.count(ts[i].text) &&
+          is_punct(ts[i + 1], ".") &&
+          (is_id(ts[i + 2], "begin") || is_id(ts[i + 2], "cbegin")) &&
+          is_punct(ts[i + 3], "(")) {
+        add(f, ts[i].line,
+            "iterator walk over unordered container '" + ts[i].text +
+                "' on a digest/export path — sort first or annotate "
+                "order-insensitive",
+            out);
+      }
+    }
+  }
+};
+
+class PtrKeyRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "ptr-key"; }
+  [[nodiscard]] Severity severity() const override { return Severity::kError; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "container keyed on a pointer (or std::less<T*>) — ordering and "
+           "hashing follow allocation addresses, which never replay";
+  }
+
+  void check(const SourceFile& f, const Corpus& /*corpus*/,
+             std::vector<Finding>& out) const override {
+    if (!f.under("src") && !f.under("tools")) return;
+    const auto& ts = f.tokens();
+    for (std::size_t i = 1; i + 1 < ts.size(); ++i) {
+      if (ts[i].kind != TokKind::kIdentifier || !is_punct(ts[i - 1], "::") ||
+          !is_punct(ts[i + 1], "<")) {
+        continue;
+      }
+      const std::string& id = ts[i].text;
+      const bool keyed = id == "map" || id == "set" || id == "multimap" ||
+                         id == "multiset" || id == "unordered_map" ||
+                         id == "unordered_set" || id == "unordered_multimap" ||
+                         id == "unordered_multiset";
+      const bool cmp = id == "less" || id == "greater";
+      if (!keyed && !cmp) continue;
+      const std::size_t close = detail::match_angle(ts, i + 1);
+      if (close == npos) continue;
+      // Scan the first template argument (the key / compared type).
+      int depth = 0;
+      for (std::size_t j = i + 1; j <= close; ++j) {
+        if (is_punct(ts[j], "<")) ++depth;
+        else if (is_punct(ts[j], ">")) --depth;
+        else if (is_punct(ts[j], ">>")) depth -= 2;
+        else if (depth == 1 && is_punct(ts[j], ",")) break;
+        else if (depth == 1 && is_punct(ts[j], "*")) {
+          add(f, ts[i].line,
+              "'" + id + "' keyed/ordered on a raw pointer — iteration "
+              "order follows heap addresses and differs run to run; key on "
+              "a strong id instead",
+              out);
+          break;
+        }
+      }
+    }
+  }
+};
+
+class FloatAccumRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "float-accum";
+  }
+  [[nodiscard]] Severity severity() const override { return Severity::kWarn; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "float/double += inside a loop over an unordered container — "
+           "FP addition does not commute, so the sum depends on hash order";
+  }
+
+  void check(const SourceFile& f, const Corpus& corpus,
+             std::vector<Finding>& out) const override {
+    if (!f.under("src") && !f.under("tools")) return;
+    const auto uvars = visible_unordered_vars(f, corpus);
+    if (uvars.empty()) return;
+    const auto fvars = detail::collect_float_vars(f);
+    if (fvars.empty()) return;
+    const auto& ts = f.tokens();
+    for (const detail::RangeFor& rf : detail::find_range_fors(ts)) {
+      bool unordered = false;
+      for (std::size_t i = rf.range_begin; i < rf.range_end && !unordered;
+           ++i) {
+        unordered = ts[i].kind == TokKind::kIdentifier &&
+                    uvars.count(ts[i].text) > 0;
+      }
+      if (!unordered) continue;
+      for (std::size_t i = rf.body_begin;
+           i + 1 < ts.size() && i < rf.body_end; ++i) {
+        if (ts[i].kind == TokKind::kIdentifier && fvars.count(ts[i].text) &&
+            is_punct(ts[i + 1], "+=")) {
+          add(f, ts[i].line,
+              "floating-point accumulation into '" + ts[i].text +
+                  "' over unordered iteration order — sum into a sorted "
+                  "sequence (or integers) to keep replays bit-identical",
+              out);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_unordered_iter_rule() {
+  return std::make_unique<UnorderedIterRule>();
+}
+std::unique_ptr<Rule> make_ptr_key_rule() {
+  return std::make_unique<PtrKeyRule>();
+}
+std::unique_ptr<Rule> make_float_accum_rule() {
+  return std::make_unique<FloatAccumRule>();
+}
+
+}  // namespace rtdb::lint

@@ -1,0 +1,53 @@
+#include <numeric>
+
+#include "lint/include_graph.hpp"
+#include "lint/rules.hpp"
+
+/// \file rules_layering.cpp
+/// Enforces the subsystem DAG (include_graph.hpp) on every real `#include`
+/// edge under src/. Violations name the allowed dependency set so the fix
+/// (or the deliberate table edit) is obvious from the finding alone.
+
+namespace rtdb::lint {
+namespace {
+
+class LayeringRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "layering"; }
+  [[nodiscard]] Severity severity() const override { return Severity::kError; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "subsystem DAG violation — a src/ layer includes a layer it is "
+           "not allowed to depend on (see src/lint/include_graph.hpp)";
+  }
+
+  void check(const SourceFile& f, const Corpus& /*corpus*/,
+             std::vector<Finding>& out) const override {
+    if (f.subsystem().empty()) return;
+    IncludeGraph g;
+    g.add(f);
+    for (const IncludeGraph::Violation& v : g.violations()) {
+      const auto& allowed = allowed_deps(v.from);
+      const std::string allowed_list =
+          allowed.empty()
+              ? std::string("nothing")
+              : std::accumulate(std::next(allowed.begin()), allowed.end(),
+                                *allowed.begin(),
+                                [](std::string acc, const std::string& s) {
+                                  return std::move(acc) + ", " + s;
+                                });
+      add(f, v.line,
+          "src/" + v.from + " may not include \"" + v.include + "\" — " +
+              v.from + " -> " + v.to + " is not an edge of the subsystem "
+              "DAG (allowed deps: " + allowed_list + ")",
+          out);
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_layering_rule() {
+  return std::make_unique<LayeringRule>();
+}
+
+}  // namespace rtdb::lint

@@ -1,0 +1,61 @@
+#include "lint/rules.hpp"
+#include "lint/rules_util.hpp"
+
+/// \file rules_seam.cpp
+/// The protocol seam: every cross-site message crosses Network::send (the
+/// typed, direction-checked front door) and is judged by net::FaultHook.
+/// The chaos gates and the message tables are only sound if nothing slips
+/// around that seam, so the raw internals and the hook wiring points are
+/// pinned here.
+
+namespace rtdb::lint {
+namespace {
+
+using detail::is_id;
+
+class NetSeamRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "net-seam"; }
+  [[nodiscard]] Severity severity() const override { return Severity::kError; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "message delivery bypassing the Network::send / net::FaultHook "
+           "seam (raw send internals, hook wiring outside core::System)";
+  }
+
+  void check(const SourceFile& f, const Corpus& /*corpus*/,
+             std::vector<Finding>& out) const override {
+    if (!f.under("src") || f.under("src/net")) return;
+    const bool wiring_site = f.rel_path() == "src/core/system.cpp" ||
+                             f.rel_path() == "src/core/system.hpp";
+    const bool fault_layer = f.under("src/fault");
+    for (const Token& t : f.tokens()) {
+      if (t.kind != TokKind::kIdentifier) continue;
+      if (t.text == "send_raw" || t.text == "send_batch_raw") {
+        add(f, t.line,
+            "'" + t.text + "' bypasses the typed Network::send front door — "
+            "messages must go through send<K>() so direction checks, "
+            "counters and fault injection all see them",
+            out);
+      } else if ((t.text == "set_fault_hook" || t.text == "set_send_hook") &&
+                 !wiring_site) {
+        add(f, t.line,
+            "'" + t.text + "' outside core::System — network hooks are "
+            "wired exactly once so chaos and telemetry observe every send",
+            out);
+      } else if (t.text == "FaultVerdict" && !fault_layer) {
+        add(f, t.line,
+            "FaultVerdict fabricated outside the net/fault seam — fault "
+            "decisions belong to net::FaultHook implementations",
+            out);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_net_seam_rule() {
+  return std::make_unique<NetSeamRule>();
+}
+
+}  // namespace rtdb::lint

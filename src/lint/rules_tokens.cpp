@@ -1,0 +1,150 @@
+#include "lint/rules.hpp"
+#include "lint/rules_util.hpp"
+
+/// \file rules_tokens.cpp
+/// Token-correct ports of the grep lints that used to live in
+/// scripts/check.sh. Working on tokens (not text) means a banned name inside
+/// a comment, string literal or raw string can no longer produce a false
+/// positive — and no sed pipeline can mangle a URL on the way.
+
+namespace rtdb::lint {
+namespace {
+
+using detail::is_id;
+using detail::is_punct;
+
+class RawNewDeleteRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "raw-new-delete";
+  }
+  [[nodiscard]] Severity severity() const override { return Severity::kError; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "raw new/delete expressions banned in src/ and tools/ — every "
+           "heap object is owned by a unique_ptr or a container";
+  }
+
+  void check(const SourceFile& f, const Corpus& /*corpus*/,
+             std::vector<Finding>& out) const override {
+    if (!f.under("src") && !f.under("tools")) return;
+    const auto& ts = f.tokens();
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      const bool after_operator = i > 0 && is_id(ts[i - 1], "operator");
+      if (after_operator) continue;  // operator new/delete declarations
+      if (is_id(ts[i], "new")) {
+        if (i + 1 < ts.size() && ts[i + 1].kind == TokKind::kIdentifier) {
+          add(f, ts[i].line, "raw new banned — use std::make_unique or a "
+                             "container",
+              out);
+        }
+      } else if (is_id(ts[i], "delete")) {
+        if (i > 0 && is_punct(ts[i - 1], "=")) continue;  // = delete
+        std::size_t j = i + 1;
+        if (j + 1 < ts.size() && is_punct(ts[j], "[") &&
+            is_punct(ts[j + 1], "]")) {
+          j += 2;  // delete[] p
+        }
+        if (j < ts.size() && (ts[j].kind == TokKind::kIdentifier ||
+                              is_id(ts[j], "this"))) {
+          add(f, ts[i].line, "raw delete banned — ownership belongs to "
+                             "unique_ptr / containers",
+              out);
+        }
+      }
+    }
+  }
+};
+
+class NondetRngRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "nondet-rng"; }
+  [[nodiscard]] Severity severity() const override { return Severity::kError; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "non-deterministic RNG (rand, random_device, default-seeded "
+           "engines) banned — seed rtdb::sim::Rng from config";
+  }
+
+  void check(const SourceFile& f, const Corpus& /*corpus*/,
+             std::vector<Finding>& out) const override {
+    if (!f.under("src") && !f.under("tools") && !f.under("bench")) return;
+    const auto& ts = f.tokens();
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (ts[i].kind != TokKind::kIdentifier) continue;
+      const std::string& id = ts[i].text;
+      const bool member = i > 0 && (is_punct(ts[i - 1], ".") ||
+                                    is_punct(ts[i - 1], "->"));
+      if (id == "random_device" || id == "mt19937" || id == "mt19937_64" ||
+          id == "default_random_engine" || id == "minstd_rand" ||
+          id == "minstd_rand0") {
+        add(f, ts[i].line,
+            "non-deterministic/default-seeded RNG '" + id +
+                "' — runs must replay bit-identically from the config seed",
+            out);
+      } else if ((id == "rand" || id == "srand") && !member &&
+                 i + 1 < ts.size() && is_punct(ts[i + 1], "(")) {
+        add(f, ts[i].line,
+            "C '" + id + "()' banned — seed rtdb::sim::Rng from config", out);
+      }
+    }
+  }
+};
+
+class WallClockRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "wall-clock"; }
+  [[nodiscard]] Severity severity() const override { return Severity::kError; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "wall-clock reads banned in src/ — simulated time "
+           "(sim::Simulator::now) is the only clock";
+  }
+
+  void check(const SourceFile& f, const Corpus& /*corpus*/,
+             std::vector<Finding>& out) const override {
+    if (!f.under("src")) return;
+    const auto& ts = f.tokens();
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (ts[i].kind != TokKind::kIdentifier) continue;
+      const std::string& id = ts[i].text;
+      if (id == "system_clock" || id == "steady_clock" ||
+          id == "high_resolution_clock" || id == "gettimeofday" ||
+          id == "clock_gettime") {
+        add(f, ts[i].line,
+            "wall-clock source '" + id + "' — use sim::Simulator::now()",
+            out);
+        continue;
+      }
+      if ((id == "time" || id == "clock") && i + 1 < ts.size() &&
+          is_punct(ts[i + 1], "(")) {
+        const bool member = i > 0 && (is_punct(ts[i - 1], ".") ||
+                                      is_punct(ts[i - 1], "->"));
+        if (member) continue;
+        // `time(NULL)` / `time(nullptr)` / `time(0)` / `clock()` — the C
+        // entry points; an argument list with anything else is a local
+        // function with a coincidental name.
+        const Token& arg = ts[i + 2 < ts.size() ? i + 2 : i + 1];
+        const bool c_call = is_punct(arg, ")") || is_id(arg, "NULL") ||
+                            is_id(arg, "nullptr") ||
+                            (arg.kind == TokKind::kNumber && arg.text == "0");
+        if (c_call) {
+          add(f, ts[i].line,
+              "C '" + id + "()' wall-clock call — use sim::Simulator::now()",
+              out);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_raw_new_delete_rule() {
+  return std::make_unique<RawNewDeleteRule>();
+}
+std::unique_ptr<Rule> make_nondet_rng_rule() {
+  return std::make_unique<NondetRngRule>();
+}
+std::unique_ptr<Rule> make_wall_clock_rule() {
+  return std::make_unique<WallClockRule>();
+}
+
+}  // namespace rtdb::lint

@@ -1,0 +1,109 @@
+#include "lint/rules_util.hpp"
+
+namespace rtdb::lint::detail {
+
+std::vector<RangeFor> find_range_fors(const std::vector<Token>& ts) {
+  std::vector<RangeFor> out;
+  for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+    if (!is_id(ts[i], "for") || !is_punct(ts[i + 1], "(")) continue;
+    const std::size_t close = match_paren(ts, i + 1, "(", ")");
+    if (close == npos) continue;
+
+    // The range separator is a top-level `:` that is not the second half of
+    // a `?:` conditional. With an init-statement present, the `:` after the
+    // last top-level `;` is the separator.
+    std::size_t colon = npos;
+    int depth = 0;
+    int ternary = 0;
+    for (std::size_t j = i + 2; j < close; ++j) {
+      const Token& t = ts[j];
+      if (is_punct(t, "(") || is_punct(t, "[") || is_punct(t, "{")) ++depth;
+      else if (is_punct(t, ")") || is_punct(t, "]") || is_punct(t, "}")) {
+        --depth;
+      } else if (depth == 0 && is_punct(t, "?")) {
+        ++ternary;
+      } else if (depth == 0 && is_punct(t, ":")) {
+        if (ternary > 0) {
+          --ternary;
+        } else {
+          colon = j;
+          break;
+        }
+      }
+    }
+    if (colon == npos) continue;
+
+    RangeFor rf;
+    rf.kw = i;
+    rf.range_begin = colon + 1;
+    rf.range_end = close;
+    if (close + 1 < ts.size() && is_punct(ts[close + 1], "{")) {
+      const std::size_t end = match_paren(ts, close + 1, "{", "}");
+      rf.body_begin = close + 2;
+      rf.body_end = end == npos ? ts.size() : end;
+    } else {
+      rf.body_begin = close + 1;
+      std::size_t j = rf.body_begin;
+      int d = 0;
+      for (; j < ts.size(); ++j) {
+        if (is_punct(ts[j], "(") || is_punct(ts[j], "{")) ++d;
+        else if (is_punct(ts[j], ")") || is_punct(ts[j], "}")) --d;
+        else if (d == 0 && is_punct(ts[j], ";")) break;
+      }
+      rf.body_end = j;
+    }
+    out.push_back(rf);
+  }
+  return out;
+}
+
+namespace {
+
+bool is_unordered_container(std::string_view id) {
+  return id == "unordered_map" || id == "unordered_set" ||
+         id == "unordered_multimap" || id == "unordered_multiset";
+}
+
+}  // namespace
+
+std::set<std::string> collect_unordered_vars(const SourceFile& f) {
+  const auto& ts = f.tokens();
+  std::set<std::string> vars;
+  for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+    if (ts[i].kind != TokKind::kIdentifier ||
+        !is_unordered_container(ts[i].text) || !is_punct(ts[i + 1], "<")) {
+      continue;
+    }
+    const std::size_t close = match_angle(ts, i + 1);
+    if (close == npos) continue;
+    // `unordered_map<K, V> name` — allow ref/pointer declarators between.
+    std::size_t j = close + 1;
+    while (j < ts.size() &&
+           (is_punct(ts[j], "&") || is_punct(ts[j], "*") ||
+            is_id(ts[j], "const"))) {
+      ++j;
+    }
+    if (j < ts.size() && ts[j].kind == TokKind::kIdentifier) {
+      vars.insert(ts[j].text);
+    }
+  }
+  return vars;
+}
+
+std::set<std::string> collect_float_vars(const SourceFile& f) {
+  const auto& ts = f.tokens();
+  std::set<std::string> vars;
+  for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+    if (!is_id(ts[i], "float") && !is_id(ts[i], "double")) continue;
+    std::size_t j = i + 1;
+    while (j < ts.size() && (is_punct(ts[j], "&") || is_punct(ts[j], "*"))) {
+      ++j;
+    }
+    if (j < ts.size() && ts[j].kind == TokKind::kIdentifier) {
+      vars.insert(ts[j].text);
+    }
+  }
+  return vars;
+}
+
+}  // namespace rtdb::lint::detail

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/source_file.hpp"
+#include "lint/token.hpp"
+
+/// \file rules_util.hpp
+/// Token-stream helpers shared by the rule implementations: identifier /
+/// punctuator matching, bracket matching (with C++ `>>` closing two template
+/// lists), range-for extraction, and declared-variable collection for the
+/// determinism rules.
+
+namespace rtdb::lint::detail {
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+inline bool is_id(const Token& t, std::string_view s) {
+  return t.kind == TokKind::kIdentifier && t.text == s;
+}
+inline bool is_punct(const Token& t, std::string_view s) {
+  return t.kind == TokKind::kPunct && t.text == s;
+}
+
+/// Index of the `)`/`}`/`]` matching the opener at `open`, or npos.
+inline std::size_t match_paren(const std::vector<Token>& ts, std::size_t open,
+                               std::string_view o, std::string_view c) {
+  int depth = 0;
+  for (std::size_t i = open; i < ts.size(); ++i) {
+    if (is_punct(ts[i], o)) ++depth;
+    if (is_punct(ts[i], c) && --depth == 0) return i;
+  }
+  return npos;
+}
+
+/// Matches the template-argument list opened by `<` at `open`; returns the
+/// index of the closing token (`>` or a `>>` that closes two lists), or npos
+/// when the bracket does not close before `;`/`{` — i.e. when the `<` was a
+/// comparison, not a template list.
+inline std::size_t match_angle(const std::vector<Token>& ts,
+                               std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < ts.size(); ++i) {
+    const Token& t = ts[i];
+    if (is_punct(t, "<")) ++depth;
+    else if (is_punct(t, ">")) {
+      if (--depth <= 0) return i;
+    } else if (is_punct(t, ">>")) {
+      depth -= 2;
+      if (depth <= 0) return i;
+    } else if (is_punct(t, ";") || is_punct(t, "{")) {
+      return npos;
+    }
+  }
+  return npos;
+}
+
+/// One `for (... : range)` statement.
+struct RangeFor {
+  std::size_t kw;          ///< index of the `for`
+  std::size_t range_begin; ///< first token of the range expression
+  std::size_t range_end;   ///< one past the last range token (the `)`)
+  std::size_t body_begin;  ///< first token of the body
+  std::size_t body_end;    ///< one past the body (matching `}` or the `;`)
+};
+
+/// Extracts all range-based for statements (including the C++20
+/// init-statement form). A `:` inside a top-level conditional expression is
+/// not treated as the range separator.
+std::vector<RangeFor> find_range_fors(const std::vector<Token>& ts);
+
+/// Names of variables/members declared with an unordered associative
+/// container type in this file (heuristic: `unordered_xxx<...> name`).
+/// Misses `using Alias = std::unordered_map<...>` indirections — see
+/// docs/static_analysis.md for the documented envelope.
+std::set<std::string> collect_unordered_vars(const SourceFile& f);
+
+/// Names declared with `float`/`double` (variables, members, parameters).
+std::set<std::string> collect_float_vars(const SourceFile& f);
+
+}  // namespace rtdb::lint::detail

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file token.hpp
+/// Token model for the rtdb_lint C++ tokenizer (see lexer.hpp).
+///
+/// The lexer is deliberately not a compiler front end: it produces exactly
+/// the granularity the lint rules need — identifiers, literals, punctuation
+/// and whole preprocessor directives — while being *correct* about the two
+/// things grep-based lints get wrong: comments and string literals. A banned
+/// identifier inside a comment, a string (including raw strings) or a char
+/// literal is never tokenized as code.
+
+namespace rtdb::lint {
+
+enum class TokKind {
+  kIdentifier,  ///< identifiers and keywords (no keyword table needed)
+  kNumber,      ///< numeric literal incl. separators/suffixes/exponents
+  kString,      ///< string literal body (prefix + quotes stripped)
+  kCharLit,     ///< character literal body (quotes stripped)
+  kPunct,       ///< operator/punctuator, maximal munch ("::", "->", "+=", …)
+  kDirective,   ///< one whole preprocessor line ("#include \"x\"", spliced)
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;  ///< normalized spelling (directives: splices collapsed)
+  int line;          ///< 1-based physical line where the token starts
+};
+
+/// A comment, kept out of the token stream but retained for suppression
+/// parsing (syntax in source_file.hpp).
+struct Comment {
+  std::string text;  ///< body without the // or /* */ markers
+  int line;          ///< 1-based line where the comment starts
+  int end_line;      ///< last line the comment spans (== line for //)
+  bool own_line;     ///< no code precedes the comment on its starting line
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+}  // namespace rtdb::lint

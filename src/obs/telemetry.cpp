@@ -329,6 +329,8 @@ void Telemetry::end_frame() {
 std::vector<const TxnSpan*> Telemetry::spans_sorted() const {
   std::vector<const TxnSpan*> out;
   out.reserve(spans_.size());
+  // rtdb-lint: allow(unordered-iter) order-insensitive: collected into a
+  // vector and sorted by txn id below before anything downstream reads it
   for (const auto& [id, span] : spans_) out.push_back(&span);
   std::sort(out.begin(), out.end(),
             [](const TxnSpan* a, const TxnSpan* b) { return a->id < b->id; });
@@ -338,6 +340,9 @@ std::vector<const TxnSpan*> Telemetry::spans_sorted() const {
 std::vector<BlockerRow> Telemetry::top_blockers(std::size_t n) const {
   std::vector<BlockerRow> rows;
   rows.reserve(blockers_.size());
+  // rtdb-lint: allow(unordered-iter) order-insensitive: rows are sorted by
+  // (total_wait, object, holder) below — a total order, since (object,
+  // holder) is the map key
   for (const auto& [key, row] : blockers_) rows.push_back(row);
   std::sort(rows.begin(), rows.end(),
             [](const BlockerRow& a, const BlockerRow& b) {

@@ -1,0 +1,2 @@
+static int g_grandfathered = 0;
+static int g_new_debt = 0;

@@ -1,0 +1,18 @@
+#include <map>
+#include <memory>
+#include <vector>
+
+struct Txn {};
+
+struct Pool {
+  std::vector<std::unique_ptr<Txn>> live_;
+  std::map<int, int> ordered_;
+
+  void admit() { live_.push_back(std::make_unique<Txn>()); }
+
+  int sum() const {
+    int n = 0;
+    for (const auto& [k, v] : ordered_) n += v;
+    return n;
+  }
+};

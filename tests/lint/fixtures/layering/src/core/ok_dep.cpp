@@ -1,0 +1,3 @@
+#include "lock/modes.hpp"
+#include "sim/time.hpp"
+#include "workload/generator.hpp"

@@ -1,0 +1,5 @@
+#include <vector>
+
+#include "core/runner.hpp"
+#include "lock/modes.hpp"
+#include "sim/time.hpp"

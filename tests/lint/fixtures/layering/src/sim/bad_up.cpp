@@ -1,0 +1,2 @@
+#include "common/ids.hpp"
+#include "storage/disk.hpp"

@@ -1,0 +1,21 @@
+#include <cstdint>
+#include <string>
+
+static int g_run_count = 0;
+static const int kLimit = 8;
+static constexpr double kPi = 3.14159;
+static std::string g_current_phase;
+static int helper(int x) { return x; }
+
+struct Node {
+  static std::uint64_t live_nodes_;
+  static const int kArity = 2;
+};
+
+int bump() {
+  static int calls = 0;
+  return ++calls;
+}
+
+// rtdb-lint: allow(mutable-static) fixture: written once during setup
+static int g_waived = 1;

@@ -1,0 +1,11 @@
+struct FakeNet {
+  void send_raw(int bytes);
+  void set_fault_hook(void* hook);
+};
+
+void bypass(FakeNet& n) {
+  n.send_raw(64);
+  n.set_fault_hook(nullptr);
+}
+
+struct FaultVerdict;

@@ -1,0 +1,5 @@
+// Inside src/net the raw internals are exactly where they belong.
+struct Network {
+  void send_raw(int bytes);
+  void send_batch_raw(int count);
+};

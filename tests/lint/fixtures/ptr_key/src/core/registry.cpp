@@ -1,0 +1,14 @@
+#include <functional>
+#include <map>
+#include <set>
+
+struct Session {};
+
+struct Registry {
+  std::map<Session*, int> by_ptr_;
+  std::set<const Session*> seen_;
+  std::map<int, Session*> by_id_;  // pointer *values* are fine
+};
+
+template <class K, class Cmp = std::less<Session*>>
+struct AddressOrdered {};

@@ -1,0 +1,26 @@
+#include <memory>
+
+// Comment mentions of new Foo / delete p are not findings, and neither are
+// string literals or deleted special members.
+struct Widget {
+  Widget(const Widget&) = delete;
+  const char* doc = "call new Widget(...) via make()";
+};
+
+Widget* make() {
+  return new Widget;
+}
+
+void destroy(Widget* w) {
+  delete w;
+}
+
+void destroy_array(Widget** ws) {
+  delete[] ws[0];
+}
+
+void arena_escape() {
+  // rtdb-lint: allow(raw-new-delete) fixture: a justified waiver parses
+  Widget* w = new Widget;
+  delete w;
+}

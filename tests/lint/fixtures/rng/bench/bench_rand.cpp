@@ -1,0 +1,2 @@
+// bench/ is covered by the RNG ban too.
+void reseed() { srand(42); }

@@ -1,0 +1,14 @@
+#include <random>
+
+// A comment naming mt19937 or std::random_device is not a finding.
+const char* kDoc = "std::random_device is banned; seed sim::Rng instead";
+
+unsigned bad_seed() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return gen();
+}
+
+int c_style() { return rand(); }
+
+int fine(int strand) { return strand; }

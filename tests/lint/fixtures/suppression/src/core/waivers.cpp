@@ -1,0 +1,11 @@
+static int g_trailing = 0;  // rtdb-lint: allow(mutable-static) trailing waiver with a reason
+
+// rtdb-lint: allow(mutable-static)
+static int g_missing_reason = 0;
+
+// rtdb-lint: allow(no-such-rule) the rule name does not exist
+static int g_unknown_rule = 0;
+
+// rtdb-lint: allow(mutable-static, unordered-iter) multi-rule waiver with a
+// continuation comment line before the code it annotates
+static int g_multi = 0;

@@ -1,0 +1,12 @@
+#include <unordered_map>
+
+// Not a digest/export/audit file: order-insensitive integer counting over
+// an unordered container is fine here.
+struct Table {
+  std::unordered_map<int, int> held_;
+  int total() {
+    int n = 0;
+    for (const auto& [k, v] : held_) n += v;
+    return n;
+  }
+};

@@ -1,0 +1,28 @@
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+struct Exporter {
+  std::unordered_map<int, double> cells_;
+
+  double raw_dump() {
+    double sum = 0;
+    for (const auto& [k, v] : cells_) {
+      sum += v;
+    }
+    return sum;
+  }
+
+  std::vector<int> sorted_keys() {
+    std::vector<int> keys;
+    // rtdb-lint: allow(unordered-iter) order-insensitive: sorted just below
+    for (const auto& [k, v] : cells_) keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
+  int walk() {
+    auto it = cells_.begin();
+    return it == cells_.end() ? 0 : it->first;
+  }
+};

@@ -1,0 +1,6 @@
+// std::chrono::steady_clock in a comment is not a finding.
+long bad_epoch() { return static_cast<long>(time(nullptr)); }
+long bad_cpu() { return clock(); }
+double bad_mono() { return std::chrono::steady_clock::now().time_since_epoch().count(); }
+double sim_time(double t) { return t; }
+long fine(long timeout) { return timeout; }

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "lint/include_graph.hpp"
+#include "lint/rules.hpp"
+#include "lint/source_file.hpp"
+
+namespace rtdb::lint {
+namespace {
+
+TEST(Layering, SubsystemTable) {
+  EXPECT_TRUE(is_subsystem("core"));
+  EXPECT_TRUE(is_subsystem("lock"));
+  EXPECT_TRUE(is_subsystem("lint"));
+  EXPECT_FALSE(is_subsystem("gui"));
+}
+
+TEST(Layering, DagDirection) {
+  // core sits on top and may reach everything; nothing reaches back up.
+  EXPECT_TRUE(layer_allowed("core", "lock"));
+  EXPECT_TRUE(layer_allowed("core", "workload"));
+  EXPECT_FALSE(layer_allowed("lock", "core"));
+  EXPECT_FALSE(layer_allowed("sim", "storage"));
+  EXPECT_TRUE(layer_allowed("txn", "lock"));
+  EXPECT_FALSE(layer_allowed("lock", "txn"));
+  // Self-includes are always fine; lint depends on nothing.
+  EXPECT_TRUE(layer_allowed("net", "net"));
+  EXPECT_FALSE(layer_allowed("lint", "common"));
+}
+
+TEST(Layering, AllowedDepsMatchTable) {
+  const auto& lock = allowed_deps("lock");
+  EXPECT_TRUE(lock.count("common"));
+  EXPECT_TRUE(lock.count("sim"));
+  EXPECT_FALSE(lock.count("core"));
+  EXPECT_TRUE(allowed_deps("lint").empty());
+  EXPECT_TRUE(allowed_deps("nonesuch").empty());
+}
+
+TEST(Layering, IncludeGraphRecordsEdgesAndViolations) {
+  IncludeGraph g;
+  g.add(SourceFile::from_string("src/lock/table.cpp",
+                                "#include \"core/runner.hpp\"\n"
+                                "#include \"sim/time.hpp\"\n"
+                                "#include <vector>\n"));
+  g.add(SourceFile::from_string("src/core/system.cpp",
+                                "#include \"lock/table.hpp\"\n"));
+  const auto& deps = g.subsystem_deps();
+  ASSERT_TRUE(deps.count("lock"));
+  EXPECT_TRUE(deps.at("lock").count("sim"));
+  EXPECT_TRUE(deps.at("lock").count("core"));  // recorded even though illegal
+  ASSERT_EQ(g.violations().size(), 1u);
+  EXPECT_EQ(g.violations()[0].file, "src/lock/table.cpp");
+  EXPECT_EQ(g.violations()[0].line, 1);
+  EXPECT_EQ(g.violations()[0].from, "lock");
+  EXPECT_EQ(g.violations()[0].to, "core");
+}
+
+TEST(Layering, RuleFlagsOnlyIllegalFirstPartyEdges) {
+  const auto rule = make_layering_rule();
+  const Corpus corpus;
+  std::vector<Finding> out;
+
+  // Angled includes and intra-subsystem includes never fire.
+  const auto ok = SourceFile::from_string("src/lock/modes.cpp",
+                                          "#include <unordered_map>\n"
+                                          "#include \"lock/table.hpp\"\n"
+                                          "#include \"sim/time.hpp\"\n");
+  rule->check(ok, corpus, out);
+  EXPECT_TRUE(out.empty());
+
+  const auto bad = SourceFile::from_string(
+      "src/lock/modes.cpp", "#include \"txn/manager.hpp\"\n");
+  rule->check(bad, corpus, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule, "layering");
+  EXPECT_EQ(out[0].line, 1);
+}
+
+TEST(Layering, FilesOutsideSrcAreExempt) {
+  const auto rule = make_layering_rule();
+  const Corpus corpus;
+  std::vector<Finding> out;
+  // Tests/tools may include anything — they sit outside the DAG.
+  const auto f = SourceFile::from_string("tools/rtdb_verify.cpp",
+                                         "#include \"core/runner.hpp\"\n"
+                                         "#include \"lock/table.hpp\"\n");
+  rule->check(f, corpus, out);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace rtdb::lint

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace rtdb::lint {
+namespace {
+
+std::vector<std::string> texts(const LexResult& r) {
+  std::vector<std::string> out;
+  out.reserve(r.tokens.size());
+  for (const Token& t : r.tokens) out.push_back(t.text);
+  return out;
+}
+
+TEST(Lexer, LineCommentIsNotCode) {
+  const auto r = lex("int x;  // new Foo; delete p; rand();\n");
+  EXPECT_EQ(texts(r), (std::vector<std::string>{"int", "x", ";"}));
+  ASSERT_EQ(r.comments.size(), 1u);
+  // The body after // is kept verbatim (suppression parsing trims later).
+  EXPECT_EQ(r.comments[0].text, " new Foo; delete p; rand();");
+  EXPECT_EQ(r.comments[0].line, 1);
+  EXPECT_FALSE(r.comments[0].own_line);
+}
+
+TEST(Lexer, BlockCommentSpansLinesAndTracksOwnLine) {
+  const auto r = lex("/* rand()\n   time(nullptr) */\nint y;\n");
+  EXPECT_EQ(texts(r), (std::vector<std::string>{"int", "y", ";"}));
+  ASSERT_EQ(r.comments.size(), 1u);
+  EXPECT_EQ(r.comments[0].line, 1);
+  EXPECT_EQ(r.comments[0].end_line, 2);
+  EXPECT_TRUE(r.comments[0].own_line);
+  EXPECT_EQ(r.tokens[0].line, 3);
+}
+
+TEST(Lexer, StringLiteralsSwallowCommentMarkers) {
+  const auto r = lex("const char* u = \"http://host/a\";\n");
+  EXPECT_TRUE(r.comments.empty());
+  ASSERT_EQ(r.tokens.size(), 7u);
+  EXPECT_EQ(r.tokens[5].kind, TokKind::kString);
+  EXPECT_EQ(r.tokens[5].text, "http://host/a");
+}
+
+TEST(Lexer, EscapedQuotesStayInsideTheString) {
+  const auto r = lex(R"(auto s = "say \"new Foo\" now";)");
+  ASSERT_EQ(r.tokens.size(), 5u);
+  EXPECT_EQ(r.tokens[3].kind, TokKind::kString);
+  EXPECT_EQ(r.tokens[3].text, "say \\\"new Foo\\\" now");
+}
+
+TEST(Lexer, RawStringsHonorTheDelimiter) {
+  // The )x" inside the body must not close an R"xy(...)xy" literal, and
+  // comment markers inside raw strings are not comments.
+  const auto r = lex("auto s = R\"xy(a // )x\" */ b)xy\";\nint z;\n");
+  EXPECT_TRUE(r.comments.empty());
+  ASSERT_GE(r.tokens.size(), 4u);
+  EXPECT_EQ(r.tokens[3].kind, TokKind::kString);
+  EXPECT_EQ(r.tokens[3].text, "a // )x\" */ b");
+  EXPECT_EQ(r.tokens.back().text, ";");
+}
+
+TEST(Lexer, CharLiteralWithEscape) {
+  const auto r = lex("char c = '\\'';");
+  ASSERT_EQ(r.tokens.size(), 5u);
+  EXPECT_EQ(r.tokens[3].kind, TokKind::kCharLit);
+}
+
+TEST(Lexer, LineContinuationExtendsALineComment) {
+  // The backslash-newline splices the second physical line into the
+  // comment; `int x;` only starts on line 3.
+  const auto r = lex("// part one \\\nstill the comment\nint x;\n");
+  EXPECT_EQ(texts(r), (std::vector<std::string>{"int", "x", ";"}));
+  ASSERT_EQ(r.comments.size(), 1u);
+  EXPECT_EQ(r.tokens[0].line, 3);
+}
+
+TEST(Lexer, LineContinuationInsideAnIdentifier) {
+  const auto r = lex("in\\\nt x;");
+  ASSERT_GE(r.tokens.size(), 1u);
+  EXPECT_EQ(r.tokens[0].text, "int");
+  EXPECT_EQ(r.tokens[0].line, 1);
+}
+
+TEST(Lexer, DirectiveIsOneToken) {
+  const auto r = lex("#include \"core/runner.hpp\"\nint x;\n");
+  ASSERT_GE(r.tokens.size(), 1u);
+  EXPECT_EQ(r.tokens[0].kind, TokKind::kDirective);
+  EXPECT_EQ(r.tokens[0].text, "#include \"core/runner.hpp\"");
+  EXPECT_EQ(r.tokens[1].text, "int");
+}
+
+TEST(Lexer, SplicedDirectiveCollapsesToOneToken) {
+  const auto r = lex("#define TWO \\\n  2\nint x;\n");
+  ASSERT_GE(r.tokens.size(), 2u);
+  EXPECT_EQ(r.tokens[0].kind, TokKind::kDirective);
+  EXPECT_EQ(r.tokens[1].text, "int");
+  EXPECT_EQ(r.tokens[1].line, 3);
+}
+
+TEST(Lexer, MaximalMunchPunctuators) {
+  const auto r = lex("a->b; c::d >>= e; f <=> g;");
+  const auto t = texts(r);
+  EXPECT_NE(std::find(t.begin(), t.end(), "->"), t.end());
+  EXPECT_NE(std::find(t.begin(), t.end(), "::"), t.end());
+  EXPECT_NE(std::find(t.begin(), t.end(), ">>="), t.end());
+  EXPECT_NE(std::find(t.begin(), t.end(), "<=>"), t.end());
+}
+
+TEST(Lexer, NumbersWithSeparatorsAndExponents) {
+  const auto r = lex("auto a = 1'000; auto b = 1.5e+10; auto c = 0x1Fu;");
+  int numbers = 0;
+  for (const Token& t : r.tokens) {
+    if (t.kind == TokKind::kNumber) ++numbers;
+  }
+  EXPECT_EQ(numbers, 3);
+  EXPECT_EQ(r.tokens[3].text, "1'000");
+}
+
+}  // namespace
+}  // namespace rtdb::lint

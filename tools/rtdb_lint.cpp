@@ -1,0 +1,140 @@
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint/baseline.hpp"
+#include "lint/engine.hpp"
+#include "lint/rules.hpp"
+
+/// \file rtdb_lint.cpp
+/// CLI shell around the src/lint analyzer. scripts/check.sh and the CI
+/// lint job call this; humans use the same entry point:
+///
+///   rtdb_lint                             # lint src/ tools/ bench/
+///   rtdb_lint --list-rules                # the catalog with severities
+///   rtdb_lint --json findings.json        # machine-readable findings
+///   rtdb_lint --baseline scripts/lint_baseline.txt
+///   rtdb_lint --write-baseline new.txt    # grandfather current findings
+///
+/// Exit codes: 0 clean, 1 non-baselined findings, 2 usage/IO errors.
+
+namespace {
+
+int usage(const char* argv0, bool error) {
+  std::FILE* out = error ? stderr : stdout;
+  std::fprintf(
+      out,
+      "usage: %s [options] [path...]\n"
+      "Token-level static analyzer for the rtdb determinism, layering and\n"
+      "concurrency-readiness invariants (docs/static_analysis.md).\n"
+      "\n"
+      "  path...                files or directories relative to --root\n"
+      "                         (default: src tools bench)\n"
+      "  --root <dir>           repo root paths are reported relative to\n"
+      "                         (default: .)\n"
+      "  --baseline <file>      grandfathered-findings ledger (default:\n"
+      "                         <root>/scripts/lint_baseline.txt when it\n"
+      "                         exists; --no-baseline to ignore it)\n"
+      "  --no-baseline          ignore any baseline file\n"
+      "  --json <file>          also write findings as JSON\n"
+      "  --write-baseline <file>  write the active findings as a baseline\n"
+      "  --list-rules           print the rule catalog and exit\n"
+      "  --verbose              also list suppressed/baselined findings\n"
+      "  --help                 this text\n",
+      argv0);
+  return error ? 2 : 0;
+}
+
+int list_rules() {
+  for (const auto& rule : rtdb::lint::make_default_rules()) {
+    std::printf("%-16s %-5s %s\n", std::string(rule->name()).c_str(),
+                std::string(to_string(rule->severity())).c_str(),
+                std::string(rule->summary()).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rtdb::lint::LintOptions opts;
+  std::string json_out;
+  std::string write_baseline;
+  bool no_baseline = false;
+  bool verbose = false;
+
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: %s needs a value\n", argv[0], argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0) return usage(argv[0], false);
+    if (std::strcmp(arg, "--list-rules") == 0) return list_rules();
+    if (std::strcmp(arg, "--no-baseline") == 0) {
+      no_baseline = true;
+    } else if (std::strcmp(arg, "--verbose") == 0) {
+      verbose = true;
+    } else if (std::strcmp(arg, "--root") == 0) {
+      const char* v = need_value(i);
+      if (!v) return 2;
+      opts.root = v;
+    } else if (std::strcmp(arg, "--baseline") == 0) {
+      const char* v = need_value(i);
+      if (!v) return 2;
+      opts.baseline_path = v;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      const char* v = need_value(i);
+      if (!v) return 2;
+      json_out = v;
+    } else if (std::strcmp(arg, "--write-baseline") == 0) {
+      const char* v = need_value(i);
+      if (!v) return 2;
+      write_baseline = v;
+    } else if (arg[0] == '-' ) {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg);
+      return usage(argv[0], true);
+    } else {
+      opts.paths.emplace_back(arg);
+    }
+  }
+
+  if (no_baseline) {
+    opts.baseline_path.clear();
+  } else if (opts.baseline_path.empty()) {
+    const std::string candidate = opts.root + "/scripts/lint_baseline.txt";
+    if (std::ifstream(candidate).good()) opts.baseline_path = candidate;
+  }
+
+  const rtdb::lint::LintReport report = rtdb::lint::run_lint(opts);
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "%s: cannot write %s\n", argv[0],
+                   json_out.c_str());
+      return 2;
+    }
+    out << rtdb::lint::render_json(report);
+  }
+  if (!write_baseline.empty()) {
+    std::ofstream out(write_baseline, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "%s: cannot write %s\n", argv[0],
+                   write_baseline.c_str());
+      return 2;
+    }
+    out << rtdb::lint::format_baseline(report.active);
+  }
+
+  const std::string text = rtdb::lint::render_text(report, verbose);
+  std::fputs(text.c_str(), rtdb::lint::exit_code(report) == 0 ? stdout
+                                                              : stderr);
+  return rtdb::lint::exit_code(report);
+}
