@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace rtdb;
   const bool quick = bench::quick_mode(argc, argv);
+  bench::ResultSink sink(argc, argv, "ablation_locality", quick);
   const std::size_t clients = quick ? 30 : 60;
 
   std::printf("=== Locality premise sweep (%zu clients, 5%% updates) ===\n\n",
@@ -27,6 +28,11 @@ int main(int argc, char** argv) {
     std::printf("%10.2f %11.2f%% %11.2f%% %13.2f%% %9.2f%%\n", locality,
                 ce.success_percent(), cs.success_percent(),
                 ls.success_percent(), cs.cache_hit_percent());
+    sink.row({{"locality", locality},
+              {"ce_success_pct", ce.success_percent()},
+              {"cs_success_pct", cs.success_percent()},
+              {"ls_success_pct", ls.success_percent()},
+              {"cs_cache_hit_pct", cs.cache_hit_percent()}});
     std::fflush(stdout);
   }
   std::printf(

@@ -30,6 +30,7 @@ rtdb::core::LsOptions only(void (*on)(rtdb::core::LsOptions&)) {
 int main(int argc, char** argv) {
   using namespace rtdb;
   const bool quick = bench::quick_mode(argc, argv);
+  bench::ResultSink sink(argc, argv, "ablation_techniques", quick);
   const std::size_t clients = quick ? 40 : 100;
   auto cfg = bench::experiment_config(clients, 20.0, quick);
 
@@ -74,6 +75,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(m.decomposed_txns),
                 static_cast<unsigned long long>(m.forward_list_satisfactions),
                 static_cast<unsigned long long>(m.messages.total_messages()));
+    sink.row({{"variant", v.name},
+              {"success_pct", m.success_percent()},
+              {"shipped", m.shipped_txns},
+              {"decomposed", m.decomposed_txns},
+              {"fwd_satisfied", m.forward_list_satisfactions},
+              {"messages", m.messages.total_messages()}});
     std::fflush(stdout);
   }
   return 0;

@@ -9,6 +9,7 @@
 int main(int argc, char** argv) {
   using namespace rtdb;
   const bool quick = bench::quick_mode(argc, argv);
+  bench::ResultSink sink(argc, argv, "ablation_window", quick);
   const std::size_t clients = quick ? 40 : 100;
 
   std::printf(
@@ -26,6 +27,11 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(m.forward_list_satisfactions),
                 m.object_response_exclusive.mean(),
                 m.object_response_shared.mean());
+    sink.row({{"window_s", window},
+              {"success_pct", m.success_percent()},
+              {"fwd_satisfied", m.forward_list_satisfactions},
+              {"exclusive_resp_s", m.object_response_exclusive.mean()},
+              {"shared_resp_s", m.object_response_shared.mean()}});
     std::fflush(stdout);
   }
   return 0;

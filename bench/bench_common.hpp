@@ -4,7 +4,9 @@
 /// Shared plumbing for the table/figure harnesses: paper-default configs,
 /// client-count sweeps, and result-row printing. Every binary regenerates
 /// one table or figure of the paper (see DESIGN.md §4) and prints the same
-/// rows/series the paper reports.
+/// rows/series the paper reports — and, with --json FILE, also emits the
+/// rows as machine-readable JSON through the shared ResultSink
+/// (see json_writer.hpp for the schema).
 
 #include <cstdio>
 #include <cstdlib>
@@ -13,6 +15,7 @@
 #include <vector>
 
 #include "core/runner.hpp"
+#include "json_writer.hpp"
 
 namespace rtdb::bench {
 
@@ -48,9 +51,10 @@ inline core::SystemConfig experiment_config(std::size_t clients,
 /// methodology. --quick keeps one.
 inline std::size_t replications(bool quick) { return quick ? 1 : 3; }
 
-/// Runs the success-percentage sweep of one figure (Figs 3-5).
+/// Runs the success-percentage sweep of one figure (Figs 3-5). When `sink`
+/// is non-null every table line also lands there as a JSON row.
 inline void run_deadline_figure(const char* title, double update_pct,
-                                bool quick) {
+                                bool quick, ResultSink* sink = nullptr) {
   std::printf("%s\n", title);
   std::printf(
       "Percentage of transactions completed within their deadlines\n");
@@ -70,6 +74,12 @@ inline void run_deadline_figure(const char* title, double update_pct,
     std::printf("%8zu %11.2f%% %11.2f%% %13.2f%%\n", n,
                 ce.mean_success_percent(), cs.mean_success_percent(),
                 ls.mean_success_percent());
+    if (sink) {
+      sink->row({{"clients", n},
+                 {"ce_success_pct", ce.mean_success_percent()},
+                 {"cs_success_pct", cs.mean_success_percent()},
+                 {"ls_success_pct", ls.mean_success_percent()}});
+    }
     std::fflush(stdout);
   }
   std::printf("\n");

@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace rtdb;
   const bool quick = bench::quick_mode(argc, argv);
+  bench::ResultSink sink(argc, argv, "ext_occ_comparison", quick);
   const std::vector<std::size_t> clients =
       quick ? std::vector<std::size_t>{20, 60}
             : std::vector<std::size_t>{20, 60, 100};
@@ -34,6 +35,13 @@ int main(int argc, char** argv) {
                   occ.success_percent(),
                   static_cast<unsigned long long>(occ.occ_validations),
                   static_cast<unsigned long long>(occ.occ_rejections));
+      sink.row({{"clients", n},
+                {"updates_pct", upd},
+                {"cs_success_pct", cs.success_percent()},
+                {"ls_success_pct", ls.success_percent()},
+                {"occ_success_pct", occ.success_percent()},
+                {"occ_validations", occ.occ_validations},
+                {"occ_rejections", occ.occ_rejections}});
       std::fflush(stdout);
     }
   }

@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace rtdb;
   const bool quick = bench::quick_mode(argc, argv);
+  bench::ResultSink sink(argc, argv, "ext_speculation", quick);
   const std::vector<std::size_t> clients =
       quick ? std::vector<std::size_t>{40} : std::vector<std::size_t>{40, 100};
 
@@ -37,6 +38,15 @@ int main(int argc, char** argv) {
                                static_cast<double>(
                                    plain.messages.total_messages()) -
                            1.0));
+      sink.row({{"clients", n},
+                {"updates_pct", upd},
+                {"ls_success_pct", plain.success_percent()},
+                {"spec_success_pct", spec.success_percent()},
+                {"spec_launched", spec.spec_launched},
+                {"spec_local_wins", spec.spec_local_wins},
+                {"spec_remote_wins", spec.spec_remote_wins},
+                {"ls_messages", plain.messages.total_messages()},
+                {"spec_messages", spec.messages.total_messages()}});
       std::fflush(stdout);
     }
   }

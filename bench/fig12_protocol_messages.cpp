@@ -42,8 +42,10 @@ std::uint64_t handoff_messages(rtdb::core::SystemKind kind) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rtdb;
+  bench::ResultSink sink(argc, argv, "fig12_protocol_messages",
+                         bench::quick_mode(argc, argv));
   std::printf("=== Figures 1 & 2 (ICDCS'99 reproduction) ===\n");
   std::printf("Lock protocol message economy\n\n");
 
@@ -59,6 +61,10 @@ int main() {
                     lock::messages_standard_2pl(n, true)),
                 static_cast<unsigned long long>(
                     lock::messages_lock_grouping(n)));
+    sink.row({{"n", n},
+              {"msgs_2pl", lock::messages_standard_2pl(n, false)},
+              {"msgs_2pl_callbacks", lock::messages_standard_2pl(n, true)},
+              {"msgs_grouping", lock::messages_lock_grouping(n)}});
   }
   std::printf("\nPaper's 2-client example: 2PL=7 messages, grouping=5.\n\n");
 
@@ -73,5 +79,8 @@ int main() {
   std::printf("Grouping reduction: %.1f%%\n",
               100.0 * (1.0 - static_cast<double>(ls) /
                                  static_cast<double>(cs)));
+  sink.row({{"handoff", "simulated"},
+            {"cs_messages", cs},
+            {"ls_messages", ls}});
   return 0;
 }

@@ -8,7 +8,8 @@
 
 int main(int argc, char** argv) {
   const bool quick = rtdb::bench::quick_mode(argc, argv);
+  rtdb::bench::ResultSink sink(argc, argv, "fig3_deadline_1pct", quick);
   rtdb::bench::run_deadline_figure(
-      "=== Figure 3 (ICDCS'99 reproduction) ===", 1.0, quick);
+      "=== Figure 3 (ICDCS'99 reproduction) ===", 1.0, quick, &sink);
   return 0;
 }

@@ -7,7 +7,8 @@
 
 int main(int argc, char** argv) {
   const bool quick = rtdb::bench::quick_mode(argc, argv);
+  rtdb::bench::ResultSink sink(argc, argv, "fig4_deadline_5pct", quick);
   rtdb::bench::run_deadline_figure(
-      "=== Figure 4 (ICDCS'99 reproduction) ===", 5.0, quick);
+      "=== Figure 4 (ICDCS'99 reproduction) ===", 5.0, quick, &sink);
   return 0;
 }

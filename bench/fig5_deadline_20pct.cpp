@@ -8,7 +8,8 @@
 
 int main(int argc, char** argv) {
   const bool quick = rtdb::bench::quick_mode(argc, argv);
+  rtdb::bench::ResultSink sink(argc, argv, "fig5_deadline_20pct", quick);
   rtdb::bench::run_deadline_figure(
-      "=== Figure 5 (ICDCS'99 reproduction) ===", 20.0, quick);
+      "=== Figure 5 (ICDCS'99 reproduction) ===", 20.0, quick, &sink);
   return 0;
 }

@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace rtdb;
   const bool quick = bench::quick_mode(argc, argv);
+  bench::ResultSink sink(argc, argv, "table2_cache_hits", quick);
   const std::vector<std::size_t> clients =
       quick ? std::vector<std::size_t>{20, 100}
             : std::vector<std::size_t>{20, 60, 100};
@@ -35,6 +36,13 @@ int main(int argc, char** argv) {
     }
     std::printf("%8zu | %8.2f %8.2f %8.2f | %8.2f %8.2f %8.2f\n", n, cs[0],
                 cs[1], cs[2], ls[0], ls[1], ls[2]);
+    sink.row({{"clients", n},
+              {"cs_hit_pct_upd1", cs[0]},
+              {"cs_hit_pct_upd5", cs[1]},
+              {"cs_hit_pct_upd20", cs[2]},
+              {"ls_hit_pct_upd1", ls[0]},
+              {"ls_hit_pct_upd5", ls[1]},
+              {"ls_hit_pct_upd20", ls[2]}});
     std::fflush(stdout);
   }
   std::printf("\n");

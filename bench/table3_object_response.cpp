@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace rtdb;
   const bool quick = bench::quick_mode(argc, argv);
+  bench::ResultSink sink(argc, argv, "table3_object_response", quick);
   const std::vector<std::size_t> clients =
       quick ? std::vector<std::size_t>{20, 100}
             : std::vector<std::size_t>{20, 60, 100};
@@ -34,6 +35,11 @@ int main(int argc, char** argv) {
                 cs.mean_object_response_exclusive(),
                 ls.mean_object_response_shared(),
                 ls.mean_object_response_exclusive());
+    sink.row({{"clients", n},
+              {"cs_shared_s", cs.mean_object_response_shared()},
+              {"cs_exclusive_s", cs.mean_object_response_exclusive()},
+              {"ls_shared_s", ls.mean_object_response_shared()},
+              {"ls_exclusive_s", ls.mean_object_response_exclusive()}});
     std::fflush(stdout);
   }
   std::printf("\n");

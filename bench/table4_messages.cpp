@@ -17,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace rtdb;
   const bool quick = bench::quick_mode(argc, argv);
+  bench::ResultSink sink(argc, argv, "table4_messages", quick);
   const std::size_t clients = 100;
   const auto cfg = bench::experiment_config(clients, 1.0, quick);
 
@@ -28,10 +29,12 @@ int main(int argc, char** argv) {
     if (cs_na) {
       std::printf("%-52s %10s %12llu\n", label, "-",
                   static_cast<unsigned long long>(b));
+      sink.row({{"metric", label}, {"ls", b}});
     } else {
       std::printf("%-52s %10llu %12llu\n", label,
                   static_cast<unsigned long long>(a),
                   static_cast<unsigned long long>(b));
+      sink.row({{"metric", label}, {"cs", a}, {"ls", b}});
     }
   };
 

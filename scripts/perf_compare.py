@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_perf_core.json files (baseline vs candidate).
+
+Two modes, matching the two kinds of figures perf_core emits:
+
+* --events-only (the ctest `perf_compare_events` gate): compares only the
+  deterministic simulation facts -- "events", "generated", "committed",
+  "messages" and the full "counters" catalog -- for every (system, clients)
+  point present in BOTH files. These are machine-independent: a mismatch
+  means the simulation's behavior changed (which must show up here and in
+  the golden digests together), never that the machine was slow.
+
+* full mode (the CI perf-smoke job): additionally gates wall-clock
+  throughput -- a candidate point whose events/sec drops more than
+  --max-regress (default 0.30, i.e. 30%) below the baseline fails.
+  Only meaningful when baseline and candidate ran on comparable hardware
+  (in CI: the same runner class).
+
+Exit status: 0 = comparable and within bounds, 1 = regression/mismatch,
+2 = structural problem (unreadable file, schema violation, no shared
+points).
+
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+REQUIRED_POINT_KEYS = (
+    "system",
+    "clients",
+    "wall_s",
+    "events",
+    "events_per_sec",
+    "generated",
+    "committed",
+    "messages",
+    "counters",
+)
+EXACT_KEYS = ("events", "generated", "committed", "messages")
+
+
+def load(path):
+    """Loads and schema-checks one BENCH_perf_core.json; exits 2 on error."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"perf_compare: cannot read {path}: {e}")
+    if doc.get("bench") != "perf_core":
+        sys.exit(f"perf_compare: {path}: not a perf_core result "
+                 f"(bench={doc.get('bench')!r})")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        sys.exit(f"perf_compare: {path}: schema_version "
+                 f"{doc.get('schema_version')!r}, expected {SCHEMA_VERSION}")
+    points = doc.get("points")
+    if not isinstance(points, list) or not points:
+        sys.exit(f"perf_compare: {path}: no points")
+    for p in points:
+        missing = [k for k in REQUIRED_POINT_KEYS if k not in p]
+        if missing:
+            sys.exit(f"perf_compare: {path}: point missing keys {missing}")
+    return doc
+
+
+def index(doc):
+    return {(p["system"], p["clients"]): p for p in doc["points"]}
+
+
+def compare_events(base, cand, shared):
+    """Exact comparison of the deterministic fields; returns failure count."""
+    failures = 0
+    for key in shared:
+        b, c = base[key], cand[key]
+        label = f"{key[0]}@{key[1]}"
+        for field in EXACT_KEYS:
+            if b[field] != c[field]:
+                print(f"FAIL {label}: {field} {b[field]} -> {c[field]} "
+                      f"(deterministic field moved)")
+                failures += 1
+        bc, cc = b["counters"], c["counters"]
+        for name in sorted(set(bc) | set(cc)):
+            if bc.get(name) != cc.get(name):
+                print(f"FAIL {label}: counter {name} "
+                      f"{bc.get(name)} -> {cc.get(name)}")
+                failures += 1
+    return failures
+
+
+def compare_throughput(base, cand, shared, max_regress):
+    """events/sec ratio gate; returns failure count."""
+    failures = 0
+    print(f"{'point':>10} {'base ev/s':>12} {'cand ev/s':>12} {'ratio':>7}")
+    for key in sorted(shared):
+        b, c = base[key], cand[key]
+        label = f"{key[0]}@{key[1]}"
+        base_eps = b["events_per_sec"]
+        cand_eps = c["events_per_sec"]
+        if base_eps <= 0:
+            print(f"{label:>10} {base_eps:12.0f} {cand_eps:12.0f}    skip"
+                  " (baseline has no throughput figure)")
+            continue
+        ratio = cand_eps / base_eps
+        verdict = ""
+        if ratio < 1.0 - max_regress:
+            verdict = f"  FAIL (> {100 * max_regress:.0f}% slower)"
+            failures += 1
+        print(f"{label:>10} {base_eps:12.0f} {cand_eps:12.0f} {ratio:7.2f}"
+              f"{verdict}")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="committed BENCH_perf_core.json")
+    ap.add_argument("candidate", help="freshly generated result")
+    ap.add_argument("--events-only", action="store_true",
+                    help="compare only deterministic simulation facts")
+    ap.add_argument("--max-regress", type=float, default=0.30,
+                    help="allowed events/sec drop as a fraction "
+                         "(default 0.30)")
+    args = ap.parse_args()
+
+    base = index(load(args.baseline))
+    cand = index(load(args.candidate))
+    shared = sorted(set(base) & set(cand))
+    if not shared:
+        sys.exit("perf_compare: no (system, clients) points in common")
+    print(f"comparing {len(shared)} shared point(s): "
+          + ", ".join(f"{s}@{n}" for s, n in shared))
+
+    failures = compare_events(base, cand, shared)
+    if not args.events_only:
+        failures += compare_throughput(base, cand, shared, args.max_regress)
+
+    if failures:
+        print(f"perf_compare: {failures} failure(s)")
+        return 1
+    print("perf_compare: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/perf.hpp"
 
 namespace rtdb::lock {
 
@@ -23,6 +24,8 @@ void ForwardList::validate_invariants() const {
 }
 
 void ForwardList::add(const ForwardEntry& entry) {
+  RTDB_PERF_TIMER(kFwdList);
+  RTDB_PERF_COUNT(kFwdListInserts);
   // Stable insertion before the first strictly-later priority.
   auto it = std::upper_bound(
       entries_.begin(), entries_.end(), entry,
@@ -34,11 +37,16 @@ void ForwardList::add(const ForwardEntry& entry) {
 
 std::optional<ForwardEntry> ForwardList::pop_next(
     sim::SimTime now, std::vector<ForwardEntry>* skipped) {
+  RTDB_PERF_TIMER(kFwdList);
   while (!entries_.empty()) {
     ForwardEntry front = entries_.front();
     entries_.pop_front();
-    if (front.expires >= now) return front;
+    if (front.expires >= now) {
+      RTDB_PERF_COUNT(kFwdListPops);
+      return front;
+    }
     ++expired_dropped_;
+    RTDB_PERF_COUNT(kFwdListExpiredDrops);
     if (skipped) skipped->push_back(front);
   }
   return std::nullopt;
@@ -49,6 +57,7 @@ const ForwardEntry* ForwardList::peek_next(
   while (!entries_.empty()) {
     if (entries_.front().expires >= now) return &entries_.front();
     ++expired_dropped_;
+    RTDB_PERF_COUNT(kFwdListExpiredDrops);
     if (skipped) skipped->push_back(entries_.front());
     entries_.pop_front();
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/perf.hpp"
 
 namespace rtdb::lock {
 
@@ -81,6 +82,7 @@ std::vector<GlobalHold> GlobalLockTable::holders(ObjectId obj) const {
 
 std::vector<ClientId> GlobalLockTable::conflicting_holders(
     ObjectId obj, LockMode mode, ClientId requester) const {
+  RTDB_PERF_COUNT(kGltConflictScans);
   std::vector<ClientId> result;
   const State* st = state_if_any(obj);
   if (!st) return result;
@@ -94,6 +96,7 @@ std::vector<ClientId> GlobalLockTable::conflicting_holders(
 
 bool GlobalLockTable::can_grant(ObjectId obj, ClientId client,
                                 LockMode mode) const {
+  RTDB_PERF_COUNT(kGltConflictScans);
   const State* st = state_if_any(obj);
   if (!st) return true;
   if (st->circulating) return false;  // the object is out on a forward list
@@ -105,6 +108,7 @@ bool GlobalLockTable::can_grant(ObjectId obj, ClientId client,
 
 void GlobalLockTable::add_holder(ObjectId obj, ClientId client,
                                  LockMode mode) {
+  RTDB_PERF_COUNT(kGltGrants);
   State& st = state(obj);
   for (auto& h : st.holders) {
     if (h.client == client) {
@@ -124,6 +128,7 @@ LockMode GlobalLockTable::remove_holder(ObjectId obj, ClientId client) {
     return g.client == client;
   });
   if (h == hs.end()) return LockMode::kNone;
+  RTDB_PERF_COUNT(kGltReleases);
   const LockMode mode = h->mode;
   hs.erase(h);
   auto bt = by_client_.find(client);
@@ -216,6 +221,7 @@ bool GlobalLockTable::is_circulating(ObjectId obj) const {
 }
 
 SiteId GlobalLockTable::location_of(ObjectId obj) const {
+  RTDB_PERF_COUNT(kGltLocationQueries);
   const State* st = state_if_any(obj);
   if (!st) return kServerSite;
   if (st->circulating && st->circulating_last != kInvalidClient) {
@@ -231,6 +237,7 @@ SiteId GlobalLockTable::location_of(ObjectId obj) const {
 std::size_t GlobalLockTable::conflict_count_at(
     const std::vector<std::pair<ObjectId, LockMode>>& needs,
     ClientId client) const {
+  RTDB_PERF_TIMER(kGltQuery);
   std::size_t conflicts = 0;
   for (const auto& [obj, mode] : needs) {
     if (!conflicting_holders(obj, mode, client).empty()) ++conflicts;

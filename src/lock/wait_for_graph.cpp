@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/perf.hpp"
 
 namespace rtdb::lock {
 
@@ -68,6 +69,8 @@ bool WaitForGraph<NodeT>::reachable(Node from, Node to) const {
 template <class NodeT>
 bool WaitForGraph<NodeT>::would_deadlock(
     Node waiter, const std::vector<Node>& holders) const {
+  RTDB_PERF_TIMER(kWfgCycleCheck);
+  RTDB_PERF_COUNT(kWfgCycleChecks);
   // A new edge waiter->h closes a cycle iff h can already reach waiter.
   return std::any_of(holders.begin(), holders.end(), [&](Node h) {
     return h == waiter || reachable(h, waiter);
@@ -79,6 +82,7 @@ void WaitForGraph<NodeT>::add_edges(Node waiter,
                                     const std::vector<Node>& holders) {
   for (Node h : holders) {
     if (h == waiter) continue;  // self-waits are meaningless
+    RTDB_PERF_COUNT(kWfgEdgesAdded);
     ++out_[waiter][h];
     in_[h].insert(waiter);
   }
@@ -110,6 +114,7 @@ void WaitForGraph<NodeT>::remove_edge(Node waiter, Node holder) {
 
 template <class NodeT>
 void WaitForGraph<NodeT>::remove_node(Node node) {
+  RTDB_PERF_COUNT(kWfgNodesRemoved);
   if (auto it = out_.find(node); it != out_.end()) {
     for (const auto& [h, count] : it->second) {
       (void)count;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/perf.hpp"
+
 namespace rtdb::net {
 
 std::string_view to_string(MessageKind kind) {
@@ -84,15 +86,19 @@ sim::SimTime Network::send_raw(SiteId src, SiteId dst, MessageKind kind,
                                std::uint64_t payload_bytes,
                                std::function<void()> on_delivery) {
   assert(on_delivery && "message without a delivery action");
+  RTDB_PERF_TIMER(kNetSend);
   if (src == dst) {
     // Loopback: same-site "delivery" costs only a scheduling epsilon and is
     // never counted as wire traffic.
+    RTDB_PERF_COUNT(kNetLoopbackSends);
     const sim::SimTime when = sim_.now() + sim::kTimeEpsilon;
     sim_.at(when, std::move(on_delivery));
     return when;
   }
 
   const std::uint64_t frame = payload_bytes + config_.header_bytes;
+  RTDB_PERF_COUNT(kNetMessages);
+  RTDB_PERF_ADD(kNetBytes, frame);
   const bool client_to_client =
       src != kServerSite && dst != kServerSite;
 
@@ -139,6 +145,7 @@ sim::SimTime Network::send_batch_raw(SiteId src, SiteId dst, MessageKind kind,
                                      std::size_t count,
                                      std::function<void()> on_delivery) {
   if (count == 0) count = 1;
+  RTDB_PERF_COUNT(kNetBatchSends);
   // First count-1 frames only occupy the wire and bump counters; the last
   // frame carries the delivery action.
   for (std::size_t i = 0; i + 1 < count; ++i) {

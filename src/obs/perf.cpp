@@ -1,0 +1,68 @@
+#include "obs/perf.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <string_view>
+
+#include "obs/wall_clock.hpp"
+
+namespace rtdb::obs {
+
+void perf_enable_timing() { perf::set_timing(true, &WallClock::now_ns); }
+
+void perf_disable_timing() { perf::set_timing(false); }
+
+void write_perf_text(std::ostream& os, const perf::Snapshot& snap) {
+  os << "perf counters (zero rows elided)\n";
+  const char* group = "";
+  bool any = false;
+  for (std::size_t i = 0; i < perf::kCounterCount; ++i) {
+    const auto c = static_cast<perf::Counter>(i);
+    const std::uint64_t v = snap.counter(c);
+    if (v == 0) continue;
+    any = true;
+    const char* sub = perf::subsystem_of(c);
+    if (std::string_view(sub) != group) {
+      group = sub;
+      os << "  [" << sub << "]\n";
+    }
+    os << "    " << std::left << std::setw(26) << perf::to_string(c)
+       << std::right << std::setw(14) << v << "\n";
+  }
+  if (!any) os << "  (all zero)\n";
+
+  os << "perf sections (timing "
+     << (perf::timing_enabled() ? "armed" : "disarmed") << ")\n";
+  any = false;
+  for (std::size_t i = 0; i < perf::kSectionCount; ++i) {
+    const auto s = static_cast<perf::Section>(i);
+    const std::uint64_t hits = snap.hits(s);
+    if (hits == 0) continue;
+    any = true;
+    const std::uint64_t ns = snap.ns(s);
+    os << "    " << std::left << std::setw(26) << perf::to_string(s)
+       << std::right << std::setw(12) << (ns / 1000000) << " ms"
+       << std::setw(14) << hits << " hits"
+       << std::setw(10) << (ns / hits) << " ns/hit\n";
+  }
+  if (!any) os << "    (no timed sections recorded)\n";
+}
+
+void write_perf_json(std::ostream& os, const perf::Snapshot& snap) {
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < perf::kCounterCount; ++i) {
+    const auto c = static_cast<perf::Counter>(i);
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << perf::to_string(c)
+       << "\": " << snap.counter(c);
+  }
+  os << "\n  },\n  \"sections\": {";
+  for (std::size_t i = 0; i < perf::kSectionCount; ++i) {
+    const auto s = static_cast<perf::Section>(i);
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << perf::to_string(s)
+       << "\": { \"ns\": " << snap.ns(s) << ", \"hits\": " << snap.hits(s)
+       << " }";
+  }
+  os << "\n  }\n}\n";
+}
+
+}  // namespace rtdb::obs

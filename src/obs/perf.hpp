@@ -1,0 +1,40 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "common/perf.hpp"
+
+/// \file perf.hpp
+/// Reporting layer over the common/perf.hpp primitives: arming section
+/// timers against the audited WallClock seam, and rendering a Snapshot as
+/// a human table or stable-key JSON.
+///
+/// The split exists because of the subsystem DAG: sim/net/lock/txn may not
+/// include obs, so the counters they increment live in common/, while
+/// everything that touches real time or output formatting lives here.
+///
+/// JSON shape (stable keys, see docs/observability.md):
+///
+///     {
+///       "counters": { "sim_events_scheduled": 123, ... },
+///       "sections": { "net_send": { "ns": 456, "hits": 7 }, ... }
+///     }
+
+namespace rtdb::obs {
+
+/// Arms perf section timing using WallClock::now_ns. Until this is called
+/// every RTDB_PERF_TIMER is a one-branch no-op.
+void perf_enable_timing();
+
+/// Disarms section timing (accumulated figures are kept until perf::reset).
+void perf_disable_timing();
+
+/// Renders a snapshot as an aligned human table: counters grouped by
+/// subsystem (zero rows elided), then timed sections with ns/hit rates.
+void write_perf_text(std::ostream& os, const perf::Snapshot& snap);
+
+/// Renders a snapshot as the JSON object documented above. Emission order
+/// is the enum order — deterministic and diff-stable.
+void write_perf_json(std::ostream& os, const perf::Snapshot& snap);
+
+}  // namespace rtdb::obs

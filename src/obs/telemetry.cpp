@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/perf.hpp"
+
 namespace rtdb::obs {
 
 namespace {
@@ -116,6 +118,8 @@ TxnSpan* Telemetry::find_span(TxnId id) {
 void Telemetry::txn_admit(TxnId id, SiteId origin, sim::SimTime arrival,
                           sim::SimTime deadline, sim::SimTime now) {
   if (!config_.spans) return;
+  RTDB_PERF_TIMER(kTelemetry);
+  RTDB_PERF_COUNT(kTelSpanOps);
   auto [it, inserted] = spans_.try_emplace(id);
   if (!inserted) return;  // re-admission at a remote site; txn_hop covers it
   TxnSpan& s = it->second;
@@ -170,6 +174,8 @@ void Telemetry::txn_restart(TxnId id, sim::SimTime now) {
 
 void Telemetry::txn_end(TxnId id, Outcome outcome, sim::SimTime now) {
   if (!config_.spans) return;
+  RTDB_PERF_TIMER(kTelemetry);
+  RTDB_PERF_COUNT(kTelSpanOps);
   TxnSpan* s = find_span(id);
   if (!s || s->outcome != Outcome::kOpen) return;
   s->outcome = outcome;
@@ -302,6 +308,8 @@ void Telemetry::event(EventKind kind, sim::SimTime t, SiteId site, TxnId txn,
                       ObjectId object, std::int32_t a, std::int32_t b,
                       double v) {
   if (!config_.events) return;
+  RTDB_PERF_TIMER(kTelemetry);
+  RTDB_PERF_COUNT(kTelEventsRecorded);
   if (events_.size() >= config_.event_capacity) {
     events_.pop_front();
     ++dropped_;
@@ -312,6 +320,8 @@ void Telemetry::event(EventKind kind, sim::SimTime t, SiteId site, TxnId txn,
 void Telemetry::begin_frame(sim::SimTime t) { sample_times_.push_back(t); }
 
 void Telemetry::sample(const char* series, double value) {
+  RTDB_PERF_TIMER(kTelemetry);
+  RTDB_PERF_COUNT(kTelSamples);
   const auto [it, inserted] = series_index_.try_emplace(series, series_.size());
   if (inserted) series_.push_back(Series{series, {}});
   auto& s = series_[it->second];

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/check.hpp"
+#include "common/perf.hpp"
 
 namespace rtdb::sim {
 
@@ -21,6 +22,8 @@ void EventQueue::validate_invariants() const {
 
 EventId EventQueue::schedule(SimTime at, Callback fn) {
   assert(fn && "scheduling an empty callback");
+  RTDB_PERF_TIMER(kSimSchedule);
+  RTDB_PERF_COUNT(kSimEventsScheduled);
   const EventId id = next_id_++;
   heap_.push(Entry{at, id, std::move(fn)});
   pending_.insert(id);
@@ -30,6 +33,7 @@ EventId EventQueue::schedule(SimTime at, Callback fn) {
 
 bool EventQueue::cancel(EventId id) {
   if (pending_.erase(id) == 0) return false;  // fired, cancelled, or unknown
+  RTDB_PERF_COUNT(kSimEventsCancelled);
   cancelled_.insert(id);
   --live_;
   return true;
@@ -40,6 +44,7 @@ void EventQueue::drop_dead_head() {
     const Entry& head = heap_.top();
     auto it = cancelled_.find(head.id);
     if (it == cancelled_.end()) return;
+    RTDB_PERF_COUNT(kSimDeadHeadDrops);
     cancelled_.erase(it);
     heap_.pop();
   }
@@ -55,6 +60,8 @@ SimTime EventQueue::next_time() const {
 }
 
 EventQueue::Fired EventQueue::pop() {
+  RTDB_PERF_TIMER(kSimPop);
+  RTDB_PERF_COUNT(kSimEventsFired);
   drop_dead_head();
   assert(!heap_.empty() && "pop() on empty EventQueue");
   // priority_queue::top() returns const&; moving the callback out is safe

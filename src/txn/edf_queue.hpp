@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/perf.hpp"
 #include "sim/time.hpp"
 
 /// \file edf_queue.hpp
@@ -33,6 +34,8 @@ class EdfQueue {
 
   /// Inserts in deadline order (stable for equal deadlines).
   void push(T item, sim::SimTime deadline) {
+    RTDB_PERF_TIMER(kEdfQueue);
+    RTDB_PERF_COUNT(kEdfPushes);
     auto it = std::upper_bound(
         entries_.begin(), entries_.end(), deadline,
         [](sim::SimTime d, const Entry& e) { return d < e.deadline; });
@@ -44,9 +47,11 @@ class EdfQueue {
   /// nullopt when nothing serviceable remains.
   std::optional<T> pop_ready(sim::SimTime now,
                              std::vector<T>* expired = nullptr) {
+    RTDB_PERF_TIMER(kEdfQueue);
     while (!entries_.empty()) {
       Entry front = std::move(entries_.front());
       entries_.pop_front();
+      RTDB_PERF_COUNT(kEdfPops);
       if (front.deadline >= now) return std::move(front.item);
       if (expired) expired->push_back(std::move(front.item));
     }
@@ -56,6 +61,7 @@ class EdfQueue {
   /// Pops the front regardless of expiry.
   std::optional<T> pop() {
     if (entries_.empty()) return std::nullopt;
+    RTDB_PERF_COUNT(kEdfPops);
     T item = std::move(entries_.front().item);
     entries_.pop_front();
     return item;

@@ -1,0 +1,60 @@
+/// \file perf_compiled_out_test.cpp
+/// Proves the RTDB_PERF=0 tier: this TU is compiled with -DRTDB_PERF=0
+/// (see tests/CMakeLists.txt) while the rtdb_core library it links against
+/// keeps the default RTDB_PERF=1. That is exactly the supported mixed
+/// configuration — perf.hpp's types and inline functions are identical
+/// across settings (no ODR hazard); only the macros change meaning.
+///
+/// Two claims:
+///  * compile-out is total — every macro expands to a constant expression
+///    (`((void)0)`), provable with static_assert, so instrumented hot paths
+///    carry zero perf code in an RTDB_PERF=0 build;
+///  * the macros touch no runtime state, while the underlying API remains
+///    present and callable (reporting tools still link).
+
+#include <gtest/gtest.h>
+
+#include "common/perf.hpp"
+
+static_assert(RTDB_PERF == 0,
+              "this TU must be built with -DRTDB_PERF=0 (CMake sets it)");
+
+namespace rtdb {
+namespace {
+
+// Every macro usable in a constexpr function == expands to no runtime code.
+constexpr bool macros_are_constant_expressions() {
+  RTDB_PERF_COUNT(kSimEventsFired);
+  RTDB_PERF_ADD(kNetBytes, 123);
+  RTDB_PERF_TIMER(kSimPop);
+  return true;
+}
+static_assert(macros_are_constant_expressions(),
+              "RTDB_PERF=0 macros must compile out to constant expressions");
+
+TEST(PerfCompiledOut, MacrosTouchNoCounterState) {
+  perf::reset();
+  const perf::Snapshot before = perf::snapshot();
+  RTDB_PERF_COUNT(kSimEventsScheduled);
+  RTDB_PERF_ADD(kNetBytes, 999);
+  {
+    RTDB_PERF_TIMER(kNetSend);
+  }
+  const perf::Snapshot after = perf::snapshot();
+  EXPECT_EQ(before.counters, after.counters);
+  EXPECT_EQ(before.section_ns, after.section_ns);
+  EXPECT_EQ(before.section_hits, after.section_hits);
+}
+
+TEST(PerfCompiledOut, ApiStaysPresentAndCallable) {
+  // API parity across settings: direct calls still work (the compiled-in
+  // rtdb_core and the reporting layer share this registry).
+  perf::reset();
+  perf::count(perf::Counter::kGltGrants);
+  EXPECT_EQ(perf::counter_value(perf::Counter::kGltGrants), 1u);
+  perf::reset();
+  EXPECT_EQ(perf::counter_value(perf::Counter::kGltGrants), 0u);
+}
+
+}  // namespace
+}  // namespace rtdb

@@ -1,0 +1,192 @@
+/// \file perf_test.cpp
+/// Unit tests of the perf counter/timer primitives (common/perf.hpp) and
+/// the obs reporting layer (obs/perf.hpp): counter monotonicity, scoped
+/// timer nesting against a deterministic fake clock, arm/disarm semantics,
+/// snapshot/reset, stable-name coverage and JSON/text structure.
+///
+/// The registry is process-global, so every test begins with perf::reset()
+/// and timing tests disarm before returning.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "common/perf.hpp"
+#include "obs/perf.hpp"
+
+namespace rtdb {
+namespace {
+
+std::uint64_t g_fake_now = 0;
+std::uint64_t fake_now() { return g_fake_now; }
+
+TEST(PerfCounters, CountAndAddAreMonotonic) {
+  perf::reset();
+  EXPECT_EQ(perf::counter_value(perf::Counter::kGltGrants), 0u);
+  perf::count(perf::Counter::kGltGrants);
+  perf::count(perf::Counter::kGltGrants);
+  EXPECT_EQ(perf::counter_value(perf::Counter::kGltGrants), 2u);
+  perf::add(perf::Counter::kNetBytes, 512);
+  perf::add(perf::Counter::kNetBytes, 512);
+  EXPECT_EQ(perf::counter_value(perf::Counter::kNetBytes), 1024u);
+  // Other cells untouched.
+  EXPECT_EQ(perf::counter_value(perf::Counter::kSimEventsFired), 0u);
+}
+
+TEST(PerfCounters, MacrosCountWhenCompiledIn) {
+  static_assert(RTDB_PERF == 1, "default build keeps counters compiled in");
+  perf::reset();
+  RTDB_PERF_COUNT(kNetBatchSends);
+  RTDB_PERF_ADD(kNetBytes, 64);
+  EXPECT_EQ(perf::counter_value(perf::Counter::kNetBatchSends), 1u);
+  EXPECT_EQ(perf::counter_value(perf::Counter::kNetBytes), 64u);
+}
+
+TEST(PerfTimers, DisarmedTimersRecordNothing) {
+  perf::reset();
+  perf::set_timing(false);
+  {
+    perf::ScopedTimer t(perf::Section::kNetSend);
+  }
+  EXPECT_EQ(perf::section_hits(perf::Section::kNetSend), 0u);
+  EXPECT_EQ(perf::section_ns(perf::Section::kNetSend), 0u);
+}
+
+TEST(PerfTimers, ArmingRequiresAClock) {
+  perf::set_timing(true, nullptr);
+  EXPECT_FALSE(perf::timing_enabled());
+  perf::set_timing(true, &fake_now);
+  EXPECT_TRUE(perf::timing_enabled());
+  perf::set_timing(false);
+  EXPECT_FALSE(perf::timing_enabled());
+}
+
+TEST(PerfTimers, NestedScopesAttributeToBothSections) {
+  perf::reset();
+  perf::set_timing(true, &fake_now);
+  g_fake_now = 100;
+  {
+    perf::ScopedTimer outer(perf::Section::kSimPop);
+    g_fake_now = 140;
+    {
+      perf::ScopedTimer inner(perf::Section::kGltQuery);
+      g_fake_now = 150;
+    }
+    g_fake_now = 170;
+  }
+  perf::set_timing(false);
+  // Inner section: 150-140. Outer: 170-100, *including* the nested 10ns
+  // (self-time is not subtracted — documented in docs/observability.md).
+  EXPECT_EQ(perf::section_ns(perf::Section::kGltQuery), 10u);
+  EXPECT_EQ(perf::section_hits(perf::Section::kGltQuery), 1u);
+  EXPECT_EQ(perf::section_ns(perf::Section::kSimPop), 70u);
+  EXPECT_EQ(perf::section_hits(perf::Section::kSimPop), 1u);
+}
+
+TEST(PerfTimers, SameSectionAccumulatesAcrossScopes) {
+  perf::reset();
+  perf::set_timing(true, &fake_now);
+  for (int i = 0; i < 3; ++i) {
+    perf::ScopedTimer t(perf::Section::kEdfQueue);
+    g_fake_now += 7;
+  }
+  perf::set_timing(false);
+  EXPECT_EQ(perf::section_ns(perf::Section::kEdfQueue), 21u);
+  EXPECT_EQ(perf::section_hits(perf::Section::kEdfQueue), 3u);
+}
+
+TEST(PerfTimers, DisarmMidScopeDropsTheSample) {
+  perf::reset();
+  perf::set_timing(true, &fake_now);
+  g_fake_now = 10;
+  {
+    perf::ScopedTimer t(perf::Section::kFwdList);
+    perf::set_timing(false);  // clock could be torn down here
+    g_fake_now = 99;
+  }
+  EXPECT_EQ(perf::section_hits(perf::Section::kFwdList), 0u);
+  EXPECT_EQ(perf::section_ns(perf::Section::kFwdList), 0u);
+}
+
+TEST(PerfSnapshot, SnapshotCopiesAndResetZeroes) {
+  perf::reset();
+  perf::count(perf::Counter::kWfgCycleChecks);
+  const perf::Snapshot snap = perf::snapshot();
+  EXPECT_EQ(snap.counter(perf::Counter::kWfgCycleChecks), 1u);
+  perf::count(perf::Counter::kWfgCycleChecks);
+  // Snapshot is a copy, not a view.
+  EXPECT_EQ(snap.counter(perf::Counter::kWfgCycleChecks), 1u);
+  EXPECT_EQ(perf::counter_value(perf::Counter::kWfgCycleChecks), 2u);
+  perf::reset();
+  EXPECT_EQ(perf::counter_value(perf::Counter::kWfgCycleChecks), 0u);
+}
+
+TEST(PerfNames, EveryCounterHasAUniqueStableName) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < perf::kCounterCount; ++i) {
+    const auto c = static_cast<perf::Counter>(i);
+    const std::string name = perf::to_string(c);
+    EXPECT_NE(name, "unknown") << "counter index " << i;
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+    EXPECT_STRNE(perf::subsystem_of(c), "unknown") << name;
+  }
+}
+
+TEST(PerfNames, EverySectionHasAUniqueStableName) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < perf::kSectionCount; ++i) {
+    const auto s = static_cast<perf::Section>(i);
+    const std::string name = perf::to_string(s);
+    EXPECT_NE(name, "unknown") << "section index " << i;
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+    EXPECT_STRNE(perf::subsystem_of(s), "unknown") << name;
+  }
+}
+
+TEST(PerfReport, JsonHasTheDocumentedShape) {
+  perf::reset();
+  perf::count(perf::Counter::kSimEventsFired);
+  perf::add(perf::Counter::kNetBytes, 4096);
+  std::ostringstream os;
+  obs::write_perf_json(os, perf::snapshot());
+  const std::string json = os.str();
+  // Top-level objects.
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"sections\""), std::string::npos);
+  // Every stable key appears exactly once, even at zero (schema stability).
+  for (std::size_t i = 0; i < perf::kCounterCount; ++i) {
+    const auto c = static_cast<perf::Counter>(i);
+    EXPECT_NE(json.find('"' + std::string(perf::to_string(c)) + '"'),
+              std::string::npos)
+        << perf::to_string(c);
+  }
+  for (std::size_t i = 0; i < perf::kSectionCount; ++i) {
+    const auto s = static_cast<perf::Section>(i);
+    EXPECT_NE(json.find('"' + std::string(perf::to_string(s)) + '"'),
+              std::string::npos)
+        << perf::to_string(s);
+  }
+  // Recorded values round-trip.
+  EXPECT_NE(json.find("\"sim_events_fired\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"net_bytes\": 4096"), std::string::npos);
+  // Balanced braces (structural sanity without a JSON parser).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(PerfReport, TextElidesZeroCounterRows) {
+  perf::reset();
+  perf::count(perf::Counter::kGltGrants);
+  std::ostringstream os;
+  obs::write_perf_text(os, perf::snapshot());
+  const std::string text = os.str();
+  EXPECT_NE(text.find("glt_grants"), std::string::npos);
+  EXPECT_EQ(text.find("net_bytes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtdb

@@ -22,6 +22,15 @@
 ///    agree on the full digest including Telemetry::digest() (every span,
 ///    event, attribution row and sample replayed bit-identically).
 ///
+///  * perf — the performance-observability layer (common/perf.hpp) is
+///    passive: arming the wall-clock section timers must leave the outcome
+///    digest byte-identical to the plain run, two armed runs must agree on
+///    the full digest, and the counter stream itself must replay exactly
+///    (same seed, same counts — perf counters are simulation facts, not
+///    wall-clock facts). With RTDB_PERF compiled out the digest comparison
+///    still holds trivially; with it compiled in the proof also demands the
+///    instrumentation is live (events were actually counted).
+///
 /// Exits 0 only when every requested proof holds; violations are printed
 /// with enough detail to start debugging. The periodic structure audit
 /// (validate_invariants() sweeps) is armed for every run, so a verify run
@@ -43,8 +52,10 @@
 #include <string>
 #include <vector>
 
+#include "common/perf.hpp"
 #include "core/runner.hpp"
 #include "fault/fault.hpp"
+#include "obs/perf.hpp"
 
 namespace {
 
@@ -151,6 +162,7 @@ struct Options {
   bool check_determinism = true;
   bool check_consistency = true;
   bool check_telemetry = true;
+  bool check_perf = true;
   bool check_chaos = false;
   std::string dump_schedules;  ///< write schedule descriptions here ("" = off)
 };
@@ -257,6 +269,74 @@ bool prove_telemetry(core::SystemKind kind, const Run& first,
       core::to_string(kind).c_str(), tel.span_count(), tel.events().size(),
       tel.sample_times().size(),
       static_cast<unsigned long long>(t1.digest));
+  return true;
+}
+
+/// Perf passivity: arming the section timers (real wall-clock reads inside
+/// the hot paths) must not move the outcome digest, armed runs must replay
+/// bit-identically, and the counter stream must replay exactly too.
+bool prove_perf(core::SystemKind kind, const Run& first,
+                const core::SystemConfig& cfg) {
+  perf::reset();
+  obs::perf_enable_timing();
+  const Run p1 = run_one(kind, cfg);
+  const perf::Snapshot s1 = perf::snapshot();
+  perf::reset();
+  const Run p2 = run_one(kind, cfg);
+  const perf::Snapshot s2 = perf::snapshot();
+  obs::perf_disable_timing();
+  perf::reset();
+
+  if (p1.base_digest != first.base_digest) {
+    std::printf(
+        "FAIL  %-13s perf         armed timers perturbed the run: "
+        "plain=%016llx armed=%016llx\n",
+        core::to_string(kind).c_str(),
+        static_cast<unsigned long long>(first.base_digest),
+        static_cast<unsigned long long>(p1.base_digest));
+    return false;
+  }
+  if (p1.digest != p2.digest) {
+    std::printf(
+        "FAIL  %-13s perf         nondeterministic under armed timers: "
+        "run1=%016llx run2=%016llx\n",
+        core::to_string(kind).c_str(),
+        static_cast<unsigned long long>(p1.digest),
+        static_cast<unsigned long long>(p2.digest));
+    return false;
+  }
+  if (s1.counters != s2.counters) {
+    for (std::size_t i = 0; i < perf::kCounterCount; ++i) {
+      const auto c = static_cast<perf::Counter>(i);
+      if (s1.counter(c) != s2.counter(c)) {
+        std::printf(
+            "FAIL  %-13s perf         counter '%s' did not replay: "
+            "run1=%llu run2=%llu\n",
+            core::to_string(kind).c_str(), perf::to_string(c),
+            static_cast<unsigned long long>(s1.counter(c)),
+            static_cast<unsigned long long>(s2.counter(c)));
+      }
+    }
+    return false;
+  }
+#if RTDB_PERF
+  if (s1.counter(perf::Counter::kSimEventsFired) == 0) {
+    std::printf(
+        "FAIL  %-13s perf         instrumentation dead: RTDB_PERF=1 but "
+        "no events were counted\n",
+        core::to_string(kind).c_str());
+    return false;
+  }
+#endif
+  std::printf(
+      "PASS  %-13s perf         events=%llu msgs=%llu grants=%llu "
+      "digest=%016llx\n",
+      core::to_string(kind).c_str(),
+      static_cast<unsigned long long>(
+          s1.counter(perf::Counter::kSimEventsFired)),
+      static_cast<unsigned long long>(s1.counter(perf::Counter::kNetMessages)),
+      static_cast<unsigned long long>(s1.counter(perf::Counter::kGltGrants)),
+      static_cast<unsigned long long>(p1.digest));
   return true;
 }
 
@@ -413,7 +493,7 @@ void usage() {
       "rtdb_verify — determinism and consistency proofs over the prototypes\n"
       "\n"
       "  --system ce|cs|ls|occ|all   prototype(s) to verify (default all)\n"
-      "  --mode determinism|consistency|telemetry|all\n"
+      "  --mode determinism|consistency|telemetry|perf|all\n"
       "                              which proofs to run (default all)\n"
       "  --clients N                 cluster size (default 16)\n"
       "  --updates P                 update percentage (default 20)\n"
@@ -461,12 +541,19 @@ bool parse(int argc, char** argv, Options& opt) {
       if (v == "determinism") {
         opt.check_consistency = false;
         opt.check_telemetry = false;
+        opt.check_perf = false;
       } else if (v == "consistency") {
         opt.check_determinism = false;
         opt.check_telemetry = false;
+        opt.check_perf = false;
       } else if (v == "telemetry") {
         opt.check_determinism = false;
         opt.check_consistency = false;
+        opt.check_perf = false;
+      } else if (v == "perf") {
+        opt.check_determinism = false;
+        opt.check_consistency = false;
+        opt.check_telemetry = false;
       } else if (v != "all") {
         std::fprintf(stderr, "unknown mode '%s'\n", v.c_str());
         return false;
@@ -488,6 +575,7 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.check_determinism = false;
       opt.check_consistency = false;
       opt.check_telemetry = false;
+      opt.check_perf = false;
     } else if (!std::strcmp(a, "--dump-schedules")) {
       opt.dump_schedules = need(i);
     } else {
@@ -520,6 +608,7 @@ int main(int argc, char** argv) {
     if (opt.check_telemetry && !prove_telemetry(kind, first, cfg)) {
       ++failures;
     }
+    if (opt.check_perf && !prove_perf(kind, first, cfg)) ++failures;
   }
   if (failures) {
     std::printf("rtdb_verify: %d proof(s) FAILED\n", failures);

@@ -16,13 +16,16 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/perf.hpp"
 #include "core/metrics_json.hpp"
 #include "core/runner.hpp"
 #include "fault/fault.hpp"
 #include "obs/export.hpp"
+#include "obs/perf.hpp"
 
 namespace {
 
@@ -42,6 +45,8 @@ struct Options {
   std::string metrics_out;             ///< metrics JSON file ("" = off)
   double sample_interval = 0;          ///< 0 = auto (duration / 100)
   std::string chaos;                   ///< named fault schedule ("" = off)
+  bool perf_report = false;            ///< text perf summary after the sweep
+  std::string perf_json;               ///< perf JSON file ("" = off)
   core::SystemConfig base;  // receives the technique/parameter overrides
 };
 
@@ -143,6 +148,11 @@ void usage() {
       "  --sample-interval S         gauge sampling period in sim seconds\n"
       "                              (default duration/100 when metrics\n"
       "                              are requested)\n"
+      "  --perf-report               after the sweep, print the perf\n"
+      "                              counter/section-timer summary (the\n"
+      "                              layer bench/perf_core measures; arms\n"
+      "                              wall-clock section timing)\n"
+      "  --perf-json FILE            write the same perf summary as JSON\n"
       "  --help                      this text");
 }
 
@@ -243,6 +253,10 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.metrics_out = need(i);
     } else if (!std::strcmp(a, "--sample-interval")) {
       opt.sample_interval = parse_f64(a, need(i));
+    } else if (!std::strcmp(a, "--perf-report")) {
+      opt.perf_report = true;
+    } else if (!std::strcmp(a, "--perf-json")) {
+      opt.perf_json = need(i);
     } else if (!std::strcmp(a, "--chaos")) {
       opt.chaos = need(i);
       bool known = false;
@@ -323,6 +337,12 @@ int main(int argc, char** argv) {
     std::printf("%-13s %8s %8s | %8s %9s %9s %8s %9s\n", "system", "clients",
                 "updates", "success", "cachehit", "EL resp", "shipped",
                 "messages");
+  }
+
+  const bool want_perf = opt.perf_report || !opt.perf_json.empty();
+  if (want_perf) {
+    perf::reset();
+    obs::perf_enable_timing();
   }
 
   const bool want_telemetry =
@@ -419,6 +439,28 @@ int main(int argc, char** argv) {
                                &last_sys->telemetry());
       std::fprintf(stderr, "metrics: %s\n", opt.metrics_out.c_str());
     }
+  }
+
+  if (want_perf) {
+    // The snapshot covers every run of the sweep (counters accumulate from
+    // the reset above; timers were armed the whole time).
+    const perf::Snapshot snap = perf::snapshot();
+    if (opt.perf_report) {
+      std::fflush(stdout);
+      std::ostringstream report;
+      obs::write_perf_text(report, snap);
+      std::fputs(report.str().c_str(), stdout);
+    }
+    if (!opt.perf_json.empty()) {
+      std::ofstream os(opt.perf_json);
+      if (!os) {
+        std::fprintf(stderr, "cannot open %s\n", opt.perf_json.c_str());
+        return 1;
+      }
+      obs::write_perf_json(os, snap);
+      std::fprintf(stderr, "perf: %s\n", opt.perf_json.c_str());
+    }
+    obs::perf_disable_timing();
   }
   return 0;
 }
