@@ -23,6 +23,9 @@
 ///                     "events_per_sec": r, "generated": n, "committed": n,
 ///                     "messages": n, "peak_rss_kb": n, "alloc_count": n,
 ///                     "alloc_bytes": n,
+///                     "alloc_by_subsystem": { "sim": {"count": n,
+///                                                     "bytes": n}, ...,
+///                                             "untagged": {...} },
 ///                     "counters": { <counter>: n, ... },
 ///                     "subsystem_ns": { "sim": n, ... },
 ///                     "sections": { <section>: {"ns": n, "hits": n},
@@ -57,18 +60,27 @@ namespace {
 
 // Allocation pressure counters, fed by the replaced global operator new
 // below. Plain namespace-scope cells: the process is single-threaded.
+// Buckets: one per tagged subsystem scope (see perf::AllocScopeId) plus a
+// trailing "untagged" bucket for allocations outside every tagged scope.
+constexpr std::size_t kAllocBuckets = rtdb::perf::kAllocScopeCount + 1;
 std::uint64_t g_alloc_count = 0;
 std::uint64_t g_alloc_bytes = 0;
+std::uint64_t g_alloc_count_by[kAllocBuckets] = {};
+std::uint64_t g_alloc_bytes_by[kAllocBuckets] = {};
 
 }  // namespace
 
 // Counting allocator seams. Replacing global operator new is legitimate in
 // a bench TU (the raw-new-delete lint rule covers src/ and tools/ only):
 // every container the simulation touches funnels through here, giving an
-// exact, deterministic-per-machine allocation census per run.
+// exact, deterministic-per-machine allocation census per run, attributed
+// to the innermost RTDB_PERF_ALLOC_SCOPE on the stack at allocation time.
 void* operator new(std::size_t n) {
   ++g_alloc_count;
   g_alloc_bytes += n;
+  const auto scope = static_cast<std::size_t>(rtdb::perf::alloc_scope());
+  ++g_alloc_count_by[scope];
+  g_alloc_bytes_by[scope] += n;
   if (void* p = std::malloc(n ? n : 1)) return p;
   throw std::bad_alloc{};
 }
@@ -125,6 +137,8 @@ struct Point {
   std::uint64_t peak_rss_kb = 0;
   std::uint64_t alloc_count = 0;
   std::uint64_t alloc_bytes = 0;
+  std::uint64_t alloc_count_by[kAllocBuckets] = {};
+  std::uint64_t alloc_bytes_by[kAllocBuckets] = {};
   core::RunMetrics metrics;
   perf::Snapshot perf;
 
@@ -152,11 +166,19 @@ Point measure(const SystemUnderTest& sut, std::size_t clients) {
   obs::perf_enable_timing();
   const std::uint64_t allocs_before = g_alloc_count;
   const std::uint64_t bytes_before = g_alloc_bytes;
+  std::uint64_t count_by_before[kAllocBuckets];
+  std::uint64_t bytes_by_before[kAllocBuckets];
+  std::memcpy(count_by_before, g_alloc_count_by, sizeof(count_by_before));
+  std::memcpy(bytes_by_before, g_alloc_bytes_by, sizeof(bytes_by_before));
   const double t0 = obs::WallClock::now_sec();
   p.metrics = core::run_once(sut.kind, cfg);
   p.wall_s = obs::WallClock::now_sec() - t0;
   p.alloc_count = g_alloc_count - allocs_before;
   p.alloc_bytes = g_alloc_bytes - bytes_before;
+  for (std::size_t i = 0; i < kAllocBuckets; ++i) {
+    p.alloc_count_by[i] = g_alloc_count_by[i] - count_by_before[i];
+    p.alloc_bytes_by[i] = g_alloc_bytes_by[i] - bytes_by_before[i];
+  }
   p.perf = perf::snapshot();
   obs::perf_disable_timing();
   p.peak_rss_kb = peak_rss_kb();
@@ -215,6 +237,15 @@ void write_json(std::ostream& os, const std::vector<Point>& points,
     w.key("peak_rss_kb").value(p.peak_rss_kb);
     w.key("alloc_count").value(p.alloc_count);
     w.key("alloc_bytes").value(p.alloc_bytes);
+    w.key("alloc_by_subsystem").begin_object();
+    for (std::size_t i = 0; i < kAllocBuckets; ++i) {
+      const auto scope = static_cast<perf::AllocScopeId>(i);
+      w.key(perf::to_string(scope)).begin_object();
+      w.key("count").value(p.alloc_count_by[i]);
+      w.key("bytes").value(p.alloc_bytes_by[i]);
+      w.end_object();
+    }
+    w.end_object();
     w.key("counters").begin_object();
     for (std::size_t i = 0; i < perf::kCounterCount; ++i) {
       const auto c = static_cast<perf::Counter>(i);

@@ -12,13 +12,18 @@ Two modes, matching the two kinds of figures perf_core emits:
 
 * full mode (the CI perf-smoke job): additionally gates wall-clock
   throughput -- a candidate point whose events/sec drops more than
-  --max-regress (default 0.30, i.e. 30%) below the baseline fails.
-  Only meaningful when baseline and candidate ran on comparable hardware
-  (in CI: the same runner class).
+  --max-regress (default 0.30, i.e. 30%) below the baseline fails --
+  and prints an informational per-section wall-time delta table showing
+  where attributed time moved. Only meaningful when baseline and candidate
+  ran on comparable hardware (in CI: the same runner class).
+
+Point-set rules: candidate points must be a subset of the baseline's
+(a --quick candidate against a full baseline is the normal shape); a
+candidate-only point is a gate hole and a structural error.
 
 Exit status: 0 = comparable and within bounds, 1 = regression/mismatch,
-2 = structural problem (unreadable file, schema violation, no shared
-points).
+2 = structural problem (unreadable file, schema violation, mismatched
+point sets).
 
 Stdlib only; no third-party imports.
 """
@@ -28,6 +33,12 @@ import json
 import sys
 
 SCHEMA_VERSION = 1
+
+
+def die(msg):
+    """Structural problem: print a one-line diagnosis and exit 2."""
+    print(f"perf_compare: {msg}", file=sys.stderr)
+    sys.exit(2)
 REQUIRED_POINT_KEYS = (
     "system",
     "clients",
@@ -48,20 +59,28 @@ def load(path):
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        sys.exit(f"perf_compare: cannot read {path}: {e}")
+        die(f"cannot read {path}: {e}")
+    if not isinstance(doc, dict):
+        die(f"{path}: top level is {type(doc).__name__}, expected an object")
     if doc.get("bench") != "perf_core":
-        sys.exit(f"perf_compare: {path}: not a perf_core result "
-                 f"(bench={doc.get('bench')!r})")
+        die(f"{path}: not a perf_core result (bench={doc.get('bench')!r})")
     if doc.get("schema_version") != SCHEMA_VERSION:
-        sys.exit(f"perf_compare: {path}: schema_version "
-                 f"{doc.get('schema_version')!r}, expected {SCHEMA_VERSION}")
+        die(f"{path}: schema_version {doc.get('schema_version')!r}, "
+            f"expected {SCHEMA_VERSION} — baseline and harness disagree; "
+            f"regenerate the older file with the current perf_core")
     points = doc.get("points")
     if not isinstance(points, list) or not points:
-        sys.exit(f"perf_compare: {path}: no points")
+        die(f"{path}: no points")
     for p in points:
+        if not isinstance(p, dict):
+            die(f"{path}: point is {type(p).__name__}, expected an object")
         missing = [k for k in REQUIRED_POINT_KEYS if k not in p]
         if missing:
-            sys.exit(f"perf_compare: {path}: point missing keys {missing}")
+            sk = p.get("system"), p.get("clients")
+            die(f"{path}: point {sk[0]}@{sk[1]} missing keys {missing}")
+        if not isinstance(p["counters"], dict):
+            die(f"{path}: point {p['system']}@{p['clients']}: 'counters' is "
+                f"{type(p['counters']).__name__}, expected an object")
     return doc
 
 
@@ -87,6 +106,30 @@ def compare_events(base, cand, shared):
                       f"{bc.get(name)} -> {cc.get(name)}")
                 failures += 1
     return failures
+
+
+def compare_sections(base, cand, shared):
+    """Per-section wall-time deltas, summed over the shared points.
+
+    Informational only (never fails): section times are machine-local, and
+    nested sections double-count into their parents by design. The table
+    shows where attributed wall time moved between baseline and candidate.
+    """
+    base_ns, cand_ns = {}, {}
+    for key in shared:
+        for name, s in base[key].get("sections", {}).items():
+            base_ns[name] = base_ns.get(name, 0) + s.get("ns", 0)
+        for name, s in cand[key].get("sections", {}).items():
+            cand_ns[name] = cand_ns.get(name, 0) + s.get("ns", 0)
+    names = sorted(set(base_ns) | set(cand_ns))
+    if not names:
+        return
+    print(f"{'section':>16} {'base ms':>10} {'cand ms':>10} {'ratio':>7}")
+    for name in names:
+        b = base_ns.get(name, 0)
+        c = cand_ns.get(name, 0)
+        ratio = f"{c / b:7.2f}" if b else "    n/a"
+        print(f"{name:>16} {b / 1e6:10.1f} {c / 1e6:10.1f} {ratio}")
 
 
 def compare_throughput(base, cand, shared, max_regress):
@@ -127,13 +170,27 @@ def main():
     cand = index(load(args.candidate))
     shared = sorted(set(base) & set(cand))
     if not shared:
-        sys.exit("perf_compare: no (system, clients) points in common")
+        die("no (system, clients) points in common — baseline has "
+            + ", ".join(f"{s}@{n}" for s, n in sorted(base)) + "; candidate "
+            "has " + ", ".join(f"{s}@{n}" for s, n in sorted(cand)))
+    # A candidate-only point is a gate hole: nothing pins it. (The reverse —
+    # baseline-only points — is the normal --quick-vs-full shape.)
+    cand_only = sorted(set(cand) - set(base))
+    if cand_only:
+        die("candidate has point(s) absent from the baseline: "
+            + ", ".join(f"{s}@{n}" for s, n in cand_only)
+            + " — refresh the committed baseline with a full-mode run")
+    base_only = sorted(set(base) - set(cand))
+    if base_only:
+        print("note: baseline-only point(s) not compared: "
+              + ", ".join(f"{s}@{n}" for s, n in base_only))
     print(f"comparing {len(shared)} shared point(s): "
           + ", ".join(f"{s}@{n}" for s, n in shared))
 
     failures = compare_events(base, cand, shared)
     if not args.events_only:
         failures += compare_throughput(base, cand, shared, args.max_regress)
+        compare_sections(base, cand, shared)
 
     if failures:
         print(f"perf_compare: {failures} failure(s)")

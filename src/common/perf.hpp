@@ -190,6 +190,38 @@ constexpr const char* subsystem_of(Section s) {
   return "unknown";
 }
 
+/// Allocation-attribution scopes. Subsystem entry points mark themselves
+/// with RTDB_PERF_ALLOC_SCOPE so a counting allocator (bench/perf_core.cpp
+/// replaces global operator new in its own TU) can bucket every heap
+/// allocation by the subsystem that was on the stack. Always-on — one byte
+/// store on entry and exit — because the census must not depend on the
+/// runtime-gated section timers being armed. Like the counters, the scope
+/// cell is write-only for the simulation itself: nothing in src/ reads it,
+/// so it cannot affect determinism.
+enum class AllocScopeId : std::uint8_t {
+  kSim = 0,
+  kNet,
+  kLock,
+  kTxn,
+  kObs,
+  kNone,  ///< no tagged subsystem on the stack (protocol/core code)
+};
+
+/// Number of *tagged* scopes (excludes kNone).
+inline constexpr std::size_t kAllocScopeCount = 5;
+
+constexpr const char* to_string(AllocScopeId s) {
+  switch (s) {
+    case AllocScopeId::kSim: return "sim";
+    case AllocScopeId::kNet: return "net";
+    case AllocScopeId::kLock: return "lock";
+    case AllocScopeId::kTxn: return "txn";
+    case AllocScopeId::kObs: return "obs";
+    case AllocScopeId::kNone: break;
+  }
+  return "untagged";
+}
+
 namespace detail {
 
 /// Clock signature: monotonic nanoseconds. Installed by the reporting
@@ -209,6 +241,7 @@ struct Registry {
   std::array<std::uint64_t, kSectionCount> section_hits{};
   ClockFn clock = nullptr;
   bool timing = false;
+  AllocScopeId alloc_scope = AllocScopeId::kNone;
 };
 
 inline Registry g_registry{};
@@ -236,6 +269,12 @@ inline void add(Counter c, std::uint64_t n) {
 }
 [[nodiscard]] inline bool timing_enabled() {
   return detail::g_registry.timing;
+}
+
+/// The innermost tagged subsystem on the current call stack (kNone outside
+/// every tagged scope). Read by counting allocators; never by src/ code.
+[[nodiscard]] inline AllocScopeId alloc_scope() {
+  return detail::g_registry.alloc_scope;
 }
 
 /// Arms/disarms section timing. `clock` must be non-null when arming;
@@ -309,6 +348,23 @@ class ScopedTimer {
   bool armed_ = false;
 };
 
+/// RAII allocation-attribution scope: tags allocations made while it lives
+/// with a subsystem (see AllocScopeId). Nesting is innermost-wins, restored
+/// on exit. Unconditional — two byte stores per scope — so the census works
+/// without arming the timers.
+class AllocScope {
+ public:
+  explicit AllocScope(AllocScopeId s) : prev_(detail::g_registry.alloc_scope) {
+    detail::g_registry.alloc_scope = s;
+  }
+  ~AllocScope() { detail::g_registry.alloc_scope = prev_; }
+  AllocScope(const AllocScope&) = delete;
+  AllocScope& operator=(const AllocScope&) = delete;
+
+ private:
+  AllocScopeId prev_;
+};
+
 }  // namespace rtdb::perf
 
 // The instrumentation macros. Call sites use these (never the functions
@@ -325,8 +381,14 @@ class ScopedTimer {
                                           __LINE__) {       \
     ::rtdb::perf::Section::section                          \
   }
+#define RTDB_PERF_ALLOC_SCOPE(scope)                            \
+  ::rtdb::perf::AllocScope RTDB_PERF_CAT(rtdb_perf_alloc_,     \
+                                         __LINE__) {           \
+    ::rtdb::perf::AllocScopeId::scope                          \
+  }
 #else
 #define RTDB_PERF_COUNT(counter) ((void)0)
 #define RTDB_PERF_ADD(counter, n) ((void)0)
 #define RTDB_PERF_TIMER(section) ((void)0)
+#define RTDB_PERF_ALLOC_SCOPE(scope) ((void)0)
 #endif

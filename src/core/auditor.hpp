@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/dense_map.hpp"
 #include "common/ids.hpp"
 #include "sim/time.hpp"
 
@@ -52,7 +53,7 @@ class ConsistencyAuditor {
   /// `new_version` (its base + 1).
   void on_write_commit(ObjectId object, SiteId site, std::uint64_t new_version,
                        sim::SimTime when) {
-    auto& committed = committed_[object];
+    auto& committed = committed_.slot(object);
     ++writes_;
     trace(object, "write", site, new_version, when);
     if (new_version != committed + 1) {
@@ -68,8 +69,7 @@ class ConsistencyAuditor {
                       sim::SimTime when) {
     ++reads_;
     trace(object, "read", site, version_read, when);
-    const auto it = committed_.find(object);
-    const std::uint64_t current = it == committed_.end() ? 0 : it->second;
+    const std::uint64_t current = committed_.value_or_default(object);
     if (version_read != current) {
       violations_.push_back({Violation::Kind::kStaleRead, object, site,
                              current, version_read, when});
@@ -110,8 +110,7 @@ class ConsistencyAuditor {
 
   /// Latest committed version of an object (0 if never written).
   [[nodiscard]] std::uint64_t committed_version(ObjectId object) const {
-    const auto it = committed_.find(object);
-    return it == committed_.end() ? 0 : it->second;
+    return committed_.value_or_default(object);
   }
 
   /// Fault-injection accounting: committed versions of `object` newer than
@@ -124,12 +123,11 @@ class ConsistencyAuditor {
   /// back. Never called on fault-free runs.
   bool rollback_committed(ObjectId object, std::uint64_t surviving_version,
                           sim::SimTime when) {
-    auto it = committed_.find(object);
-    if (it == committed_.end() || it->second <= surviving_version) {
+    if (committed_.value_or_default(object) <= surviving_version) {
       return false;
     }
     trace(object, "accounted-loss", kServerSite, surviving_version, when);
-    it->second = surviving_version;
+    committed_.slot(object) = surviving_version;
     ++accounted_losses_;
     return true;
   }
@@ -144,7 +142,7 @@ class ConsistencyAuditor {
   static std::string describe(const Violation& v);
 
  private:
-  std::unordered_map<ObjectId, std::uint64_t> committed_;
+  common::DenseArray<ObjectId, std::uint64_t> committed_;
   std::vector<Violation> violations_;
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;

@@ -267,12 +267,11 @@ void CentralizedSystem::commit(TxnId id) {
   // makes this trivially serial, which is exactly what the audit confirms).
   for (const auto& [obj, mode] : live->t.lock_needs()) {
     if (mode == lock::LockMode::kExclusive) {
-      auditor().on_write_commit(obj, kServerSite, ++versions_[obj],
+      auditor().on_write_commit(obj, kServerSite, ++versions_.slot(obj),
                                 sim_.now());
     } else {
-      const auto it = versions_.find(obj);
       auditor().on_read_commit(obj, kServerSite,
-                               it == versions_.end() ? 0 : it->second,
+                               versions_.value_or_default(obj),
                                sim_.now());
     }
   }

@@ -3,6 +3,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/dense_map.hpp"
 #include "core/system.hpp"
 #include "lock/local_lock_manager.hpp"
 #include "sim/resource.hpp"
@@ -87,7 +88,7 @@ class CentralizedSystem final : public System {
   std::unordered_map<TxnId, std::unique_ptr<Live>> live_;
   std::size_t busy_slots_ = 0;
   /// Object versions (all server-side here); feeds the consistency auditor.
-  std::unordered_map<ObjectId, std::uint64_t> versions_;
+  common::DenseArray<ObjectId, std::uint64_t> versions_;
 };
 
 }  // namespace rtdb::core

@@ -29,8 +29,7 @@ ClientNode::Live* ClientNode::find(TxnId id) {
 }
 
 lock::LockMode ClientNode::cached_server_mode(ObjectId obj) const {
-  auto it = server_mode_.find(obj);
-  return it == server_mode_.end() ? LockMode::kNone : it->second;
+  return server_mode_.value_or_default(obj);
 }
 
 LoadInfo ClientNode::current_load() const {
@@ -219,8 +218,8 @@ void ClientNode::arm_return_retry(ObjectId obj) {
 
 void ClientNode::warm_insert(ObjectId obj) {
   cache_.insert(obj, /*dirty=*/false);
-  server_mode_[obj] = LockMode::kShared;
-  version_[obj] = 0;
+  server_mode_.slot(obj) = LockMode::kShared;
+  version_.slot(obj) = 0;
 }
 
 void ClientNode::begin(txn::Transaction t, SiteId origin, bool remote,
@@ -1090,7 +1089,7 @@ void ClientNode::commit(TxnId id) {
         sys_.auditor().on_write_commit(obj, site_, duty->second.version, now);
       } else {
         cache_.mark_dirty(obj);
-        const std::uint64_t v = ++version_[obj];
+        const std::uint64_t v = ++version_.slot(obj);
         sys_.auditor().on_write_commit(obj, site_, v, now);
       }
     } else {
@@ -1257,9 +1256,9 @@ void ClientNode::handle_incoming_object(Grant g, bool via_forward) {
     // our SL when the list shipped) and the remainder of the list is
     // served immediately — readers overlap instead of serializing.
     cache_.insert(g.object, /*dirty=*/false);
-    server_mode_[g.object] =
+    server_mode_.slot(g.object) =
         lock::stronger(cached_server_mode(g.object), LockMode::kShared);
-    version_[g.object] = g.version;
+    version_.slot(g.object) = g.version;
     if (live && txn::is_live(live->t.state) &&
         live->awaiting.count(g.object)) {
       auto mark = live->request_marks.find(g.object);
@@ -1293,8 +1292,8 @@ void ClientNode::handle_incoming_object(Grant g, bool via_forward) {
     // our registration when it built the list, so keeping it would leave
     // a stale reader.
     cache_.drop(g.object);
-    server_mode_.erase(g.object);
-    version_.erase(g.object);
+    server_mode_.slot(g.object) = LockMode::kNone;
+    version_.slot(g.object) = 0;
     ForwardDuty duty;
     duty.rest = std::move(g.forward_list);
     duty.dirty = g.dirty;
@@ -1330,7 +1329,7 @@ void ClientNode::handle_incoming_object(Grant g, bool via_forward) {
   if (!g.with_data && !cache_.contains(g.object)) {
     // Benign race: our copy was evicted while the lock-only grant was in
     // flight. Keep the lock and fetch the data explicitly.
-    server_mode_[g.object] =
+    server_mode_.slot(g.object) =
         lock::stronger(cached_server_mode(g.object), g.mode);
     if (live && txn::is_live(live->t.state) &&
         live->awaiting.count(g.object)) {
@@ -1356,10 +1355,10 @@ void ClientNode::handle_incoming_object(Grant g, bool via_forward) {
       ++sys_.injector()->stats().stale_grants_ignored;
     } else {
       cache_.insert(g.object, /*dirty=*/false);
-      version_[g.object] = g.version;
+      version_.slot(g.object) = g.version;
     }
   }
-  server_mode_[g.object] =
+  server_mode_.slot(g.object) =
       lock::stronger(cached_server_mode(g.object), g.mode);
 
   if (live && txn::is_live(live->t.state) && live->awaiting.count(g.object)) {
@@ -1505,13 +1504,13 @@ void ClientNode::process_recall(ObjectId obj, LockMode wanted) {
     // downgrade to a SL — both clients then share read access.
     ret.dirty = cache_.is_dirty(obj);
     ret.downgraded = true;
-    server_mode_[obj] = LockMode::kShared;
+    server_mode_.slot(obj) = LockMode::kShared;
     cache_.mark_clean(obj);
   } else {
     ret.dirty = cache_.is_dirty(obj);
     ret.downgraded = false;
-    server_mode_.erase(obj);
-    version_.erase(obj);
+    server_mode_.slot(obj) = LockMode::kNone;
+    version_.slot(obj) = 0;
     cache_.drop(obj);
   }
   send_return(ret);
@@ -1545,13 +1544,13 @@ void ClientNode::on_cache_eviction(ObjectId obj, bool dirty) {
     sys_.telemetry().event(obs::EventKind::kCacheEvict, sys_.sim().now(),
                            site_, kInvalidTxn, obj, 0, dirty ? 1 : 0);
   }
-  server_mode_.erase(obj);
+  server_mode_.slot(obj) = LockMode::kNone;
   ObjectReturn ret;
   ret.client = id_;
   ret.object = obj;
   ret.dirty = dirty;
   ret.version = version_of(obj);
-  version_.erase(obj);
+  version_.slot(obj) = 0;
   ret.load = current_load();
   send_return(ret);
 }

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/dense_map.hpp"
 #include "core/protocol.hpp"
 #include "lock/local_lock_manager.hpp"
 #include "sim/resource.hpp"
@@ -249,14 +250,20 @@ class ClientNode {
 
   /// Lock mode this client caches per object, mirroring the server's
   /// global lock table ("clients cache the locks for objects as well").
-  std::unordered_map<ObjectId, lock::LockMode> server_mode_;
+  /// Object ids are dense (0..db_size-1), so this is a directly-indexed
+  /// array grown on first write; an out-of-range or defaulted slot means
+  /// "no cached lock" (kNone), exactly like the absent map entry it
+  /// replaced. cached_server_mode() is the hottest single lookup in the
+  /// whole client (every need evaluation hits it) — a vector load beats
+  /// the former unordered_map probe by an order of magnitude.
+  common::DenseArray<ObjectId, lock::LockMode> server_mode_;
 
   /// Version of each cached copy (consistency auditing; see auditor.hpp).
-  std::unordered_map<ObjectId, std::uint64_t> version_;
+  /// Same dense indexing; slot value 0 == "no recorded version".
+  common::DenseArray<ObjectId, std::uint64_t> version_;
 
   [[nodiscard]] std::uint64_t version_of(ObjectId obj) const {
-    const auto it = version_.find(obj);
-    return it == version_.end() ? 0 : it->second;
+    return version_.value_or_default(obj);
   }
 
   std::unordered_map<TxnId, std::unique_ptr<Live>> live_;

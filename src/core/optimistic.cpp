@@ -110,8 +110,7 @@ void OptimisticSystem::begin_attempt(TxnId id) {
                                                      epoch, fetch_start,
                                                      io_start] {
                     const std::uint64_t v = [&] {
-                      const auto it = committed_.find(obj);
-                      return it == committed_.end() ? 0ull : it->second;
+                      return committed_.value_or_default(obj);
                     }();
                     const sim::Duration disk_d = sim_.now() - io_start;
                     net_.send<net::MessageKind::kObjectShip>(
@@ -268,8 +267,7 @@ void OptimisticSystem::server_validate(
 
   std::vector<std::pair<ObjectId, std::uint64_t>> stale;
   for (const auto& [obj, v] : reads) {
-    const auto it = committed_.find(obj);
-    const std::uint64_t current = it == committed_.end() ? 0 : it->second;
+    const std::uint64_t current = committed_.value_or_default(obj);
     if (v != current) stale.emplace_back(obj, current);
   }
 
@@ -283,7 +281,7 @@ void OptimisticSystem::server_validate(
     const sim::SimTime now = sim_.now();
     for (const ObjectId obj : writes) {
       pf_->install(obj, /*dirty=*/true);
-      auditor().on_write_commit(obj, client, ++committed_[obj], now);
+      auditor().on_write_commit(obj, client, ++committed_.slot(obj), now);
     }
     for (const auto& [obj, v] : reads) {
       if (std::find(writes.begin(), writes.end(), obj) == writes.end()) {

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/dense_map.hpp"
 #include "core/system.hpp"
 #include "sim/resource.hpp"
 #include "storage/client_cache.hpp"
@@ -108,7 +109,7 @@ class OptimisticSystem final : public System {
   OccOptions occ_;
   std::unique_ptr<storage::PagedFile> pf_;      // server paged file
   std::unique_ptr<sim::SerialResource> server_cpu_;
-  std::unordered_map<ObjectId, std::uint64_t> committed_;  // server versions
+  common::DenseArray<ObjectId, std::uint64_t> committed_;  // server versions
   std::vector<std::unique_ptr<ClientState>> clients_;
   std::unordered_map<TxnId, std::unique_ptr<Live>> live_;
   /// Accepted validations by attempt (faults only): the duplicate-

@@ -624,7 +624,7 @@ void ServerNode::on_object_return(ObjectReturn ret) {
     if (ret.from_circulation) {
       pf_.install(ret.object, ret.dirty);
       if (ret.dirty) {
-        versions_[ret.object] = ret.version;
+        versions_.slot(ret.object) = ret.version;
       } else if (!chaos || ret.version == version_of(ret.object)) {
         sys_.auditor().on_clean_return(ret.object, site_of(ret.client),
                                        ret.version, version_of(ret.object),
@@ -648,7 +648,7 @@ void ServerNode::on_object_return(ObjectReturn ret) {
       if (chaos) clear_recall_tries(ret.object, ret.client);
       if (ret.dirty) {
         pf_.install(ret.object, /*dirty=*/true);
-        versions_[ret.object] = ret.version;
+        versions_.slot(ret.object) = ret.version;
         ack_return(ret);
       } else if (!chaos || ret.version == version_of(ret.object)) {
         sys_.auditor().on_clean_return(ret.object, site_of(ret.client),
@@ -715,11 +715,10 @@ void ServerNode::arm_circulation_watchdog(
   for (const auto& e : list) {
     if (e.expires.finite() && e.expires > last) last = e.expires;
   }
-  const std::uint64_t seq = ++circ_seq_[obj];
+  const std::uint64_t seq = ++circ_seq_.slot(obj);
   sys_.sim().at(last + sys_.injector()->plan().circulation_grace,
                 [this, obj, seq] {
-    auto it = circ_seq_.find(obj);
-    if (it == circ_seq_.end() || it->second != seq) return;
+    if (circ_seq_.value_or_default(obj) != seq) return;
     if (!glt_.is_circulating(obj)) return;
     // The travelling copy never came home: a dropped forward hop or a
     // crashed holder. The server's own copy becomes authoritative again;

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "common/dense_map.hpp"
 #include "core/protocol.hpp"
 #include "net/message.hpp"
 #include "lock/global_lock_table.hpp"
@@ -204,11 +205,12 @@ class ServerNode {
   std::unordered_map<TxnId, ObjectRequestBatch> parked_;
 
   /// Version of the server's copy of each object (0 = never written).
-  std::unordered_map<ObjectId, std::uint64_t> versions_;
+  /// Dense ids -> directly-indexed array (absent == 0, as before).
+  common::DenseArray<ObjectId, std::uint64_t> versions_;
 
   /// Circulation generation per object: a watchdog only repairs the
   /// circulation it was armed for (faults-active only).
-  std::unordered_map<ObjectId, std::uint64_t> circ_seq_;
+  common::DenseArray<ObjectId, std::uint64_t> circ_seq_;
 
   /// Recalls sent per (object, holder) without a was-held answer (faults-
   /// active only). A "not held" reply to the FIRST recall is usually the
@@ -220,8 +222,7 @@ class ServerNode {
       recall_tries_;
 
   [[nodiscard]] std::uint64_t version_of(ObjectId obj) const {
-    const auto it = versions_.find(obj);
-    return it == versions_.end() ? 0 : it->second;
+    return versions_.value_or_default(obj);
   }
 };
 

@@ -25,6 +25,7 @@ void ForwardList::validate_invariants() const {
 
 void ForwardList::add(const ForwardEntry& entry) {
   RTDB_PERF_TIMER(kFwdList);
+  RTDB_PERF_ALLOC_SCOPE(kLock);
   RTDB_PERF_COUNT(kFwdListInserts);
   // Stable insertion before the first strictly-later priority.
   auto it = std::upper_bound(
@@ -38,9 +39,10 @@ void ForwardList::add(const ForwardEntry& entry) {
 std::optional<ForwardEntry> ForwardList::pop_next(
     sim::SimTime now, std::vector<ForwardEntry>* skipped) {
   RTDB_PERF_TIMER(kFwdList);
+  RTDB_PERF_ALLOC_SCOPE(kLock);
   while (!entries_.empty()) {
     ForwardEntry front = entries_.front();
-    entries_.pop_front();
+    entries_.erase(entries_.begin());
     if (front.expires >= now) {
       RTDB_PERF_COUNT(kFwdListPops);
       return front;
@@ -59,7 +61,7 @@ const ForwardEntry* ForwardList::peek_next(
     ++expired_dropped_;
     RTDB_PERF_COUNT(kFwdListExpiredDrops);
     if (skipped) skipped->push_back(entries_.front());
-    entries_.pop_front();
+    entries_.erase(entries_.begin());
   }
   return nullptr;
 }

@@ -1,8 +1,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -74,8 +74,8 @@ class ForwardList {
 
   [[nodiscard]] bool empty() const { return entries_.empty(); }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
-  [[nodiscard]] const std::deque<ForwardEntry>& entries() const {
-    return entries_;
+  [[nodiscard]] std::span<const ForwardEntry> entries() const {
+    return {entries_.data(), entries_.size()};
   }
 
   /// Cumulative count of expired entries dropped by pop_next/peek_next over
@@ -86,13 +86,20 @@ class ForwardList {
 
   void clear() { entries_.clear(); }
 
+  /// Full reset for slot recycling: clears entries AND the lifetime expiry
+  /// counter (the owner has already accumulated it), keeping capacity.
+  void reset() {
+    entries_.clear();
+    expired_dropped_ = 0;
+  }
+
   /// Invariant audit: priorities non-decreasing (deadline-ordered service),
   /// every entry names a real requester with a real lock mode. Aborts on
   /// violation.
   void validate_invariants() const;
 
  private:
-  std::deque<ForwardEntry> entries_;
+  std::vector<ForwardEntry> entries_;
   std::uint64_t expired_dropped_ = 0;
 };
 

@@ -3,11 +3,10 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "common/flat_hash.hpp"
 #include "common/ids.hpp"
 #include "lock/forward_list.hpp"
 #include "lock/modes.hpp"
@@ -31,6 +30,14 @@
 /// set of outstanding recalls, and — while a shipped forward list circulates
 /// among clients — the identity of the list's final client, which the server
 /// reports as the object's location.
+///
+/// Storage: object ids are dense (the workload numbers the database
+/// 0..db_size-1), so per-object state lives in a directly-indexed slab —
+/// no hashing anywhere on the grant/release path — with a side list of
+/// *tracked* (non-retired) objects for iteration. The per-client reverse
+/// index is a flat open-addressing set per client. Iteration order of
+/// either structure never feeds an ordered decision: every consumer
+/// aggregates, audits, or sorts (see objects_held_by's caller).
 
 namespace rtdb::lock {
 
@@ -72,7 +79,8 @@ class GlobalLockTable {
   /// false if the client held no EL.
   bool downgrade_holder(ObjectId obj, ClientId client);
 
-  /// Objects a client currently holds locks on.
+  /// Objects a client currently holds locks on (unordered; the caller
+  /// sorts when order matters).
   [[nodiscard]] std::vector<ObjectId> objects_held_by(ClientId client) const;
 
   /// Count of locks a client holds (load/diagnostics).
@@ -88,7 +96,9 @@ class GlobalLockTable {
   /// Calls fn(obj, queue) for every tracked object (audits/diagnostics).
   void for_each_queue(
       const std::function<void(ObjectId, const ForwardList&)>& fn) const {
-    for (const auto& [obj, st] : objects_) fn(obj, st.queue);
+    for (const std::uint32_t obj : tracked_) {
+      fn(ObjectId{obj}, slots_[obj].queue);
+    }
   }
 
   /// Every queued (object, txn) request entry belonging to `client`, in a
@@ -134,7 +144,9 @@ class GlobalLockTable {
   /// Drops empty per-object states (call after bursts of releases).
   void compact();
 
-  [[nodiscard]] std::size_t tracked_objects() const { return objects_.size(); }
+  [[nodiscard]] std::size_t tracked_objects() const {
+    return tracked_.size();
+  }
 
   // --- telemetry gauges -----------------------------------------------------
 
@@ -150,17 +162,19 @@ class GlobalLockTable {
   /// Invariant audit: per-object holder sets have distinct clients with real
   /// modes and are pairwise compatible (the lock-mode compatibility matrix
   /// the whole callback scheme rests on); wait queues are priority-ordered;
-  /// the by-client index mirrors the holder sets exactly. Aborts on
-  /// violation.
+  /// the by-client index mirrors the holder sets exactly; the tracked list
+  /// names exactly the non-retired slots. Aborts on violation.
   void validate_invariants() const;
 
  private:
   struct State {
     std::vector<GlobalHold> holders;
     ForwardList queue;
-    std::unordered_set<ClientId> recalls;
+    std::vector<ClientId> recalls;  ///< deduplicated; a handful of entries
     bool circulating = false;
+    bool tracked = false;
     ClientId circulating_last = kInvalidClient;
+    std::uint32_t tracked_pos = 0;  ///< index into tracked_ while tracked
 
     [[nodiscard]] bool quiescent() const {
       return holders.empty() && queue.empty() && recalls.empty() &&
@@ -168,12 +182,20 @@ class GlobalLockTable {
     }
   };
 
-  State& state(ObjectId obj) { return objects_[obj]; }
+  /// Creates/revives the slot for `obj` (the map operator[] idiom).
+  State& state(ObjectId obj);
   [[nodiscard]] const State* state_if_any(ObjectId obj) const;
   void drop_if_quiescent(ObjectId obj);
+  /// Retires one tracked slot: accumulates its expiry counter, resets the
+  /// state in place (capacity kept) and swap-removes it from tracked_.
+  void untrack(std::uint32_t obj);
 
-  std::unordered_map<ObjectId, State> objects_;
-  std::unordered_map<ClientId, std::unordered_set<ObjectId>> by_client_;
+  common::FlatSet<ObjectId>& by_client(ClientId client);
+
+  std::vector<State> slots_;            ///< directly indexed by ObjectId
+  std::vector<std::uint32_t> tracked_;  ///< object ids of tracked slots
+  /// Reverse index, directly indexed by ClientId (ids are dense 1..N).
+  std::vector<common::FlatSet<ObjectId>> by_client_;
 
   /// Expired-drop counts of queues whose object state was already retired
   /// (dropped when quiescent) — keeps total_expired_dropped() cumulative.

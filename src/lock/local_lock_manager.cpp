@@ -4,13 +4,15 @@
 #include <cassert>
 
 #include "common/check.hpp"
+#include "common/perf.hpp"
 
 namespace rtdb::lock {
 
 void LocalLockManager::validate_invariants() const {
   graph_.validate_invariants();
+  objects_.validate_invariants();
   std::size_t holds_total = 0;
-  for (const auto& [obj, st] : objects_) {
+  objects_.for_each([&](ObjectId obj, const ObjectState& st) {
     RTDB_CHECK(!st.holders.empty() || !st.queue.empty(),
                "quiescent obj %u not dropped", obj.value());
     for (std::size_t i = 0; i < st.holders.size(); ++i) {
@@ -48,7 +50,7 @@ void LocalLockManager::validate_invariants() const {
                  "waiter (txn %llu, obj %u) missing from waiting index",
                  static_cast<unsigned long long>(w.txn.value()), obj.value());
     }
-  }
+  });
   std::size_t indexed_holds = 0;
   for (const auto& [txn, objs] : held_by_txn_) {
     RTDB_CHECK(!objs.empty(), "empty held bucket for txn %llu",
@@ -65,10 +67,10 @@ void LocalLockManager::validate_invariants() const {
              holds_total);
   for (const auto& [txn, objs] : waiting_on_) {
     for (const ObjectId obj : objs) {
-      const auto it = objects_.find(obj);
+      const ObjectState* st = objects_.find(obj);
       const bool queued =
-          it != objects_.end() &&
-          std::any_of(it->second.queue.begin(), it->second.queue.end(),
+          st != nullptr &&
+          std::any_of(st->queue.begin(), st->queue.end(),
                       [txn = txn](const Waiter& w) { return w.txn == txn; });
       RTDB_CHECK(queued,
                  "waiting index names (txn %llu, obj %u) without a waiter",
@@ -86,9 +88,9 @@ bool LocalLockManager::grantable(const ObjectState& st, TxnId txn,
 }
 
 LockMode LocalLockManager::held_mode(TxnId txn, ObjectId obj) const {
-  auto it = objects_.find(obj);
-  if (it == objects_.end()) return LockMode::kNone;
-  for (const auto& h : it->second.holders) {
+  const ObjectState* st = objects_.find(obj);
+  if (st == nullptr) return LockMode::kNone;
+  for (const auto& h : st->holders) {
     if (h.txn == txn) return h.mode;
   }
   return LockMode::kNone;
@@ -96,10 +98,10 @@ LockMode LocalLockManager::held_mode(TxnId txn, ObjectId obj) const {
 
 std::vector<TxnId> LocalLockManager::holders(ObjectId obj) const {
   std::vector<TxnId> result;
-  auto it = objects_.find(obj);
-  if (it == objects_.end()) return result;
-  result.reserve(it->second.holders.size());
-  for (const auto& h : it->second.holders) result.push_back(h.txn);
+  const ObjectState* st = objects_.find(obj);
+  if (st == nullptr) return result;
+  result.reserve(st->holders.size());
+  for (const auto& h : st->holders) result.push_back(h.txn);
   return result;
 }
 
@@ -107,17 +109,17 @@ std::vector<TxnId> LocalLockManager::conflicting_holders(ObjectId obj,
                                                          LockMode mode,
                                                          TxnId txn) const {
   std::vector<TxnId> result;
-  auto it = objects_.find(obj);
-  if (it == objects_.end()) return result;
-  for (const auto& h : it->second.holders) {
+  const ObjectState* st = objects_.find(obj);
+  if (st == nullptr) return result;
+  for (const auto& h : st->holders) {
     if (h.txn != txn && !compatible(h.mode, mode)) result.push_back(h.txn);
   }
   return result;
 }
 
 std::size_t LocalLockManager::waiting_count(ObjectId obj) const {
-  auto it = objects_.find(obj);
-  return it == objects_.end() ? 0 : it->second.queue.size();
+  const ObjectState* st = objects_.find(obj);
+  return st == nullptr ? 0 : st->queue.size();
 }
 
 std::vector<ObjectId> LocalLockManager::objects_held(TxnId txn) const {
@@ -126,10 +128,10 @@ std::vector<ObjectId> LocalLockManager::objects_held(TxnId txn) const {
   return {it->second.begin(), it->second.end()};
 }
 
-std::vector<TxnId> LocalLockManager::blockers_of(
-    const ObjectState& st, TxnId txn, LockMode mode,
-    sim::SimTime deadline) const {
-  std::vector<TxnId> blockers;
+void LocalLockManager::blockers_into(const ObjectState& st, TxnId txn,
+                                     LockMode mode, sim::SimTime deadline,
+                                     std::vector<TxnId>& blockers) const {
+  blockers.clear();
   for (const auto& h : st.holders) {
     if (h.txn != txn && !compatible(h.mode, mode)) blockers.push_back(h.txn);
   }
@@ -139,7 +141,6 @@ std::vector<TxnId> LocalLockManager::blockers_of(
     if (w.deadline > deadline) break;  // insertion point reached
     if (w.txn != txn && !compatible(w.mode, mode)) blockers.push_back(w.txn);
   }
-  return blockers;
 }
 
 void LocalLockManager::grant(ObjectState& st, TxnId txn, LockMode mode) {
@@ -159,7 +160,8 @@ LocalLockManager::Outcome LocalLockManager::acquire(TxnId txn, ObjectId obj,
                                                     sim::SimTime deadline,
                                                     GrantFn on_grant) {
   assert(mode != LockMode::kNone);
-  auto& st = objects_[obj];
+  RTDB_PERF_ALLOC_SCOPE(kLock);
+  auto& st = objects_.get_or_insert(obj);
 
   if (covers(held_mode(txn, obj), mode)) {
     drop_object_if_quiescent(obj);
@@ -168,7 +170,8 @@ LocalLockManager::Outcome LocalLockManager::acquire(TxnId txn, ObjectId obj,
 
   // Immediate grant only when EDF order is respected: compatible with all
   // holders AND no conflicting request is already queued ahead.
-  const auto blockers = blockers_of(st, txn, mode, deadline);
+  blockers_into(st, txn, mode, deadline, scratch_blockers_);
+  const auto& blockers = scratch_blockers_;
   if (blockers.empty() && grantable(st, txn, mode)) {
     grant(st, txn, mode);
     held_by_txn_[txn].insert(obj);
@@ -199,9 +202,8 @@ void LocalLockManager::unindex_wait_if_none(TxnId txn, ObjectId obj) {
   // A txn can have several queued requests on one object (e.g. a shared
   // request plus an upgrade); the index entry may only go when the last
   // one leaves the queue.
-  auto it = objects_.find(obj);
-  if (it != objects_.end()) {
-    for (const auto& w : it->second.queue) {
+  if (const ObjectState* st = objects_.find(obj)) {
+    for (const auto& w : st->queue) {
       if (w.txn == txn) return;
     }
   }
@@ -218,13 +220,16 @@ void LocalLockManager::refresh_wait_edges(ObjectId obj) {
   // (its callback fires with granted=false) and the refresh restarts.
   for (bool changed = true; changed;) {
     changed = false;
-    auto it = objects_.find(obj);
-    if (it == objects_.end()) return;
-    auto& st = it->second;
+    ObjectState* stp = objects_.find(obj);
+    if (stp == nullptr) return;
+    auto& st = *stp;
     for (auto qit = st.queue.begin(); qit != st.queue.end(); ++qit) {
       auto& w = *qit;
-      auto fresh = blockers_of(st, w.txn, w.mode, w.deadline);
-      // blockers_of stops at the first strictly-later deadline, which
+      // Computed into a reused scratch buffer: edges are unchanged for the
+      // vast majority of refreshes, and the common path must not allocate.
+      auto& fresh = scratch_blockers_;
+      blockers_into(st, w.txn, w.mode, w.deadline, fresh);
+      // blockers_into stops at the first strictly-later deadline, which
       // includes the waiter itself; drop self entries.
       fresh.erase(std::remove(fresh.begin(), fresh.end(), w.txn),
                   fresh.end());
@@ -233,7 +238,7 @@ void LocalLockManager::refresh_wait_edges(ObjectId obj) {
       if (fresh == w.edges) continue;
       for (auto h : w.edges) graph_.remove_edge(w.txn, h);
       graph_.add_edges(w.txn, fresh);
-      w.edges = std::move(fresh);
+      w.edges = fresh;  // copy-assign: reuses the waiter's existing capacity
       if (!graph_.has_cycle()) continue;
 
       // This waiter's new edges closed a cycle: abort it.
@@ -256,15 +261,15 @@ void LocalLockManager::pump(ObjectId obj) {
   // the state mutation so reentrant acquire/release calls observe a
   // consistent table.
   for (;;) {
-    auto it = objects_.find(obj);
-    if (it == objects_.end() || it->second.queue.empty()) break;
-    auto& st = it->second;
+    ObjectState* stp = objects_.find(obj);
+    if (stp == nullptr || stp->queue.empty()) break;
+    auto& st = *stp;
     Waiter& front = st.queue.front();
     if (!grantable(st, front.txn, front.mode)) break;
     // An upgrade blocked by other SL holders is handled by grantable();
     // reaching here means it can proceed.
     Waiter granted = std::move(front);
-    st.queue.pop_front();
+    st.queue.erase(st.queue.begin());
     for (auto h : granted.edges) graph_.remove_edge(granted.txn, h);
     grant(st, granted.txn, granted.mode);
     held_by_txn_[granted.txn].insert(obj);
@@ -277,9 +282,10 @@ void LocalLockManager::pump(ObjectId obj) {
 }
 
 void LocalLockManager::release(TxnId txn, ObjectId obj) {
-  auto it = objects_.find(obj);
-  if (it == objects_.end()) return;
-  auto& st = it->second;
+  RTDB_PERF_ALLOC_SCOPE(kLock);
+  ObjectState* stp = objects_.find(obj);
+  if (stp == nullptr) return;
+  auto& st = *stp;
   auto h = std::find_if(st.holders.begin(), st.holders.end(),
                         [&](const Hold& hold) { return hold.txn == txn; });
   if (h == st.holders.end()) return;
@@ -293,14 +299,15 @@ void LocalLockManager::release(TxnId txn, ObjectId obj) {
 }
 
 void LocalLockManager::cancel_waits(TxnId txn) {
+  RTDB_PERF_ALLOC_SCOPE(kLock);
   auto wt = waiting_on_.find(txn);
   if (wt == waiting_on_.end()) return;
   const auto objs = wt->second;  // copy: we mutate the index below
   waiting_on_.erase(wt);
   for (ObjectId obj : objs) {
-    auto it = objects_.find(obj);
-    if (it == objects_.end()) continue;
-    auto& q = it->second.queue;
+    ObjectState* stp = objects_.find(obj);
+    if (stp == nullptr) continue;
+    auto& q = stp->queue;
     for (auto qit = q.begin(); qit != q.end();) {
       if (qit->txn == txn) {
         for (auto h : qit->edges) graph_.remove_edge(txn, h);
@@ -315,6 +322,7 @@ void LocalLockManager::cancel_waits(TxnId txn) {
 }
 
 void LocalLockManager::release_all(TxnId txn) {
+  RTDB_PERF_ALLOC_SCOPE(kLock);
   cancel_waits(txn);
   auto ht = held_by_txn_.find(txn);
   if (ht == held_by_txn_.end()) return;
@@ -324,10 +332,9 @@ void LocalLockManager::release_all(TxnId txn) {
 }
 
 void LocalLockManager::drop_object_if_quiescent(ObjectId obj) {
-  auto it = objects_.find(obj);
-  if (it != objects_.end() && it->second.holders.empty() &&
-      it->second.queue.empty()) {
-    objects_.erase(it);
+  const ObjectState* st = objects_.find(obj);
+  if (st != nullptr && st->holders.empty() && st->queue.empty()) {
+    objects_.erase(obj);
   }
 }
 

@@ -1,14 +1,14 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/flat_hash.hpp"
 #include "common/ids.hpp"
+#include "common/small_function.hpp"
 #include "lock/modes.hpp"
 #include "lock/wait_for_graph.hpp"
 #include "sim/stats.hpp"
@@ -43,7 +43,7 @@ class LocalLockManager {
 
   /// Invoked when a queued request resolves: granted=true on grant,
   /// granted=false when the waiter was aborted as a late-deadlock victim.
-  using GrantFn = std::function<void(bool granted)>;
+  using GrantFn = common::SmallFunction<void(bool granted)>;
 
   /// Requests `mode` on `obj` for `txn` (deadline used for queue order).
   /// SL->EL upgrades are supported and take priority appropriate to their
@@ -113,7 +113,10 @@ class LocalLockManager {
   };
   struct ObjectState {
     std::vector<Hold> holders;
-    std::deque<Waiter> queue;  // EDF order
+    // EDF order. A vector, not a deque: queues are short (front-erase is a
+    // small memmove) and a default-constructed deque heap-allocates its
+    // spine, which would tax every slot of the flat table's rehash.
+    std::vector<Waiter> queue;
   };
 
   /// Could (txn, mode) be granted right now given current holders?
@@ -126,9 +129,11 @@ class LocalLockManager {
   void refresh_wait_edges(ObjectId obj);
 
   /// Blockers of a request: conflicting holders plus conflicting waiters
-  /// that would sit ahead of it in EDF order.
-  std::vector<TxnId> blockers_of(const ObjectState& st, TxnId txn,
-                                 LockMode mode, sim::SimTime deadline) const;
+  /// that would sit ahead of it in EDF order. Clears and fills `blockers`
+  /// (a caller-owned buffer, so the hot path reuses one allocation).
+  void blockers_into(const ObjectState& st, TxnId txn, LockMode mode,
+                     sim::SimTime deadline,
+                     std::vector<TxnId>& blockers) const;
 
   void grant(ObjectState& st, TxnId txn, LockMode mode);
   void drop_object_if_quiescent(ObjectId obj);
@@ -137,10 +142,20 @@ class LocalLockManager {
   /// of that txn remains on the object.
   void unindex_wait_if_none(TxnId txn, ObjectId obj);
 
-  std::unordered_map<ObjectId, ObjectState> objects_;
+  /// Per-object lock state in a flat open-addressing table (hot: every
+  /// acquire/release probes it). Iteration only feeds the invariant audit,
+  /// which is order-independent. The per-txn indexes below deliberately
+  /// stay `unordered_*`: release_all/cancel_waits iterate copies of them
+  /// and fire grant callbacks in that order, so swapping the container
+  /// would reorder observable protocol traffic.
+  common::FlatMap<ObjectId, ObjectState> objects_;
   std::unordered_map<TxnId, std::unordered_set<ObjectId>> held_by_txn_;
   std::unordered_map<TxnId, std::unordered_set<ObjectId>> waiting_on_;
   WaitForGraph<TxnId> graph_;
+  /// Reused by acquire/refresh_wait_edges for blocker computation (the
+  /// manager is single-threaded and neither path re-enters before its last
+  /// read of the buffer).
+  std::vector<TxnId> scratch_blockers_;
   sim::Counter grants_;
   sim::Counter waits_;
   sim::Counter deadlocks_;

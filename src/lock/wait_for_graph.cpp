@@ -17,50 +17,122 @@ unsigned long long fmt(Node n) {
 
 template <class NodeT>
 void WaitForGraph<NodeT>::validate_invariants() const {
-  std::size_t forward_edges = 0;
-  for (const auto& [waiter, outs] : out_) {
-    RTDB_CHECK(!outs.empty(), "empty out-bucket for node %llu", fmt(waiter));
-    for (const auto& [holder, count] : outs) {
-      RTDB_CHECK(holder != waiter, "self-edge on node %llu", fmt(waiter));
-      RTDB_CHECK(count > 0, "edge %llu->%llu has count %d", fmt(waiter),
-                 fmt(holder), count);
-      const auto it = in_.find(holder);
-      RTDB_CHECK(it != in_.end() && it->second.count(waiter) != 0,
-                 "edge %llu->%llu missing from reverse map", fmt(waiter),
-                 fmt(holder));
+  index_.validate_invariants();
+  std::size_t active = 0, forward_edges = 0, reverse_edges = 0;
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    if (!s.active) {
+      RTDB_CHECK(s.out.empty() && s.in.empty(),
+                 "free slot %u keeps adjacency", i);
+      continue;
+    }
+    ++active;
+    const std::uint32_t* idx = index_.find(s.node.value());
+    RTDB_CHECK(idx != nullptr && *idx == i,
+               "active node %llu not indexed at its slot %u", fmt(s.node), i);
+    RTDB_CHECK(!s.out.empty() || !s.in.empty(),
+               "edge-less node %llu still active", fmt(s.node));
+    for (const OutEdge& e : s.out) {
+      RTDB_CHECK(e.to < slots_.size() && slots_[e.to].active,
+                 "edge %llu-> targets dead slot %u", fmt(s.node), e.to);
+      RTDB_CHECK(e.to != i, "self-edge on node %llu", fmt(s.node));
+      RTDB_CHECK(e.count > 0, "edge %llu->%llu has count %d", fmt(s.node),
+                 fmt(slots_[e.to].node), e.count);
+      const auto& rin = slots_[e.to].in;
+      RTDB_CHECK(std::count(rin.begin(), rin.end(), i) == 1,
+                 "edge %llu->%llu not mirrored exactly once", fmt(s.node),
+                 fmt(slots_[e.to].node));
       ++forward_edges;
     }
-  }
-  std::size_t reverse_edges = 0;
-  for (const auto& [holder, waiters] : in_) {
-    RTDB_CHECK(!waiters.empty(), "empty in-bucket for node %llu", fmt(holder));
-    for (const Node waiter : waiters) {
-      const auto it = out_.find(waiter);
-      RTDB_CHECK(it != out_.end() && it->second.count(holder) != 0,
-                 "reverse edge %llu<-%llu missing from forward map",
-                 fmt(holder), fmt(waiter));
+    for (const std::uint32_t w : s.in) {
+      RTDB_CHECK(w < slots_.size() && slots_[w].active,
+                 "reverse edge from dead slot %u", w);
+      const auto& wout = slots_[w].out;
+      RTDB_CHECK(std::any_of(wout.begin(), wout.end(),
+                             [&](const OutEdge& e) { return e.to == i; }),
+                 "reverse edge %llu<-%llu missing from forward adjacency",
+                 fmt(s.node), fmt(slots_[w].node));
       ++reverse_edges;
     }
   }
+  RTDB_CHECK(active == active_, "active count %zu != active slots %zu",
+             active_, active);
+  RTDB_CHECK(index_.size() == active_,
+             "index holds %zu nodes, %zu slots active", index_.size(),
+             active_);
+  RTDB_CHECK(forward_edges == edges_, "edge count %zu != forward edges %zu",
+             edges_, forward_edges);
   RTDB_CHECK(forward_edges == reverse_edges,
              "forward/reverse edge counts differ: %zu vs %zu", forward_edges,
              reverse_edges);
+  std::size_t free_walked = 0;
+  for (std::uint32_t s = free_head_; s != kNoSlot;
+       s = slots_[s].next_free) {
+    RTDB_CHECK(s < slots_.size(), "free list names slot %u of %zu", s,
+               slots_.size());
+    RTDB_CHECK(!slots_[s].active, "free list holds active slot %u", s);
+    ++free_walked;
+    RTDB_CHECK(free_walked <= slots_.size(), "free list cycle detected");
+  }
+  RTDB_CHECK(free_walked == slots_.size() - active_,
+             "free list holds %zu slots, %zu are free", free_walked,
+             slots_.size() - active_);
 }
 
 template <class NodeT>
-bool WaitForGraph<NodeT>::reachable(Node from, Node to) const {
+std::uint32_t WaitForGraph<NodeT>::get_or_create(Node n) {
+  std::uint32_t& slot = index_.get_or_insert(n.value());
+  // FlatMap default-initializes new values to 0 — disambiguate "new entry"
+  // from "slot 0" by checking the occupant.
+  if (slot < slots_.size() && slots_[slot].active &&
+      slots_[slot].node == n) {
+    return slot;
+  }
+  if (free_head_ != kNoSlot) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+    seen_epoch_.push_back(0);
+  }
+  Slot& s = slots_[slot];
+  s.node = n;
+  s.active = true;
+  s.next_free = kNoSlot;
+  ++active_;
+  return slot;
+}
+
+template <class NodeT>
+void WaitForGraph<NodeT>::release_if_isolated(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  if (!s.active || !s.out.empty() || !s.in.empty()) return;
+  index_.erase(s.node.value());
+  s.node = Node{};
+  s.active = false;
+  s.next_free = free_head_;
+  free_head_ = slot;
+  --active_;
+}
+
+template <class NodeT>
+bool WaitForGraph<NodeT>::reachable(std::uint32_t from,
+                                    std::uint32_t to) const {
   if (from == to) return true;
-  std::vector<Node> stack{from};
-  std::unordered_set<Node> seen{from};
-  while (!stack.empty()) {
-    const Node n = stack.back();
-    stack.pop_back();
-    auto it = out_.find(n);
-    if (it == out_.end()) continue;
-    for (const auto& [next, count] : it->second) {
-      (void)count;
-      if (next == to) return true;
-      if (seen.insert(next).second) stack.push_back(next);
+  ++epoch_;
+  stack_.clear();
+  stack_.push_back(from);
+  seen_epoch_[from] = epoch_;
+  while (!stack_.empty()) {
+    const std::uint32_t n = stack_.back();
+    stack_.pop_back();
+    for (const OutEdge& e : slots_[n].out) {
+      if (e.to == to) return true;
+      if (seen_epoch_[e.to] != epoch_) {
+        seen_epoch_[e.to] = epoch_;
+        stack_.push_back(e.to);
+      }
     }
   }
   return false;
@@ -70,10 +142,15 @@ template <class NodeT>
 bool WaitForGraph<NodeT>::would_deadlock(
     Node waiter, const std::vector<Node>& holders) const {
   RTDB_PERF_TIMER(kWfgCycleCheck);
+  RTDB_PERF_ALLOC_SCOPE(kLock);
   RTDB_PERF_COUNT(kWfgCycleChecks);
   // A new edge waiter->h closes a cycle iff h can already reach waiter.
+  const std::uint32_t w = slot_of(waiter);
   return std::any_of(holders.begin(), holders.end(), [&](Node h) {
-    return h == waiter || reachable(h, waiter);
+    if (h == waiter) return true;
+    if (w == kNoSlot) return false;  // waiter unknown: nothing reaches it
+    const std::uint32_t hs = slot_of(h);
+    return hs != kNoSlot && reachable(hs, w);
   });
 }
 
@@ -83,8 +160,18 @@ void WaitForGraph<NodeT>::add_edges(Node waiter,
   for (Node h : holders) {
     if (h == waiter) continue;  // self-waits are meaningless
     RTDB_PERF_COUNT(kWfgEdgesAdded);
-    ++out_[waiter][h];
-    in_[h].insert(waiter);
+    const std::uint32_t w = get_or_create(waiter);
+    const std::uint32_t t = get_or_create(h);
+    auto& out = slots_[w].out;
+    auto it = std::find_if(out.begin(), out.end(),
+                           [&](const OutEdge& e) { return e.to == t; });
+    if (it != out.end()) {
+      ++it->count;
+    } else {
+      out.push_back(OutEdge{t, 1});
+      slots_[t].in.push_back(w);
+      ++edges_;
+    }
   }
 }
 
@@ -97,106 +184,92 @@ bool WaitForGraph<NodeT>::try_add_edges(Node waiter,
 }
 
 template <class NodeT>
-void WaitForGraph<NodeT>::remove_edge(Node waiter, Node holder) {
-  auto it = out_.find(waiter);
-  if (it == out_.end()) return;
-  auto et = it->second.find(holder);
-  if (et == it->second.end()) return;
-  if (--et->second > 0) return;  // other objects still justify this edge
-  it->second.erase(et);
-  if (it->second.empty()) out_.erase(it);
-  auto jt = in_.find(holder);
-  if (jt != in_.end()) {
-    jt->second.erase(waiter);
-    if (jt->second.empty()) in_.erase(jt);
+void WaitForGraph<NodeT>::drop_pair(std::uint32_t waiter,
+                                    std::uint32_t holder) {
+  auto& out = slots_[waiter].out;
+  auto it = std::find_if(out.begin(), out.end(),
+                         [&](const OutEdge& e) { return e.to == holder; });
+  if (it == out.end()) return;
+  *it = out.back();
+  out.pop_back();
+  auto& in = slots_[holder].in;
+  auto jt = std::find(in.begin(), in.end(), waiter);
+  if (jt != in.end()) {
+    *jt = in.back();
+    in.pop_back();
   }
+  --edges_;
+}
+
+template <class NodeT>
+void WaitForGraph<NodeT>::remove_edge(Node waiter, Node holder) {
+  const std::uint32_t w = slot_of(waiter);
+  if (w == kNoSlot) return;
+  const std::uint32_t t = slot_of(holder);
+  if (t == kNoSlot) return;
+  auto& out = slots_[w].out;
+  auto it = std::find_if(out.begin(), out.end(),
+                         [&](const OutEdge& e) { return e.to == t; });
+  if (it == out.end()) return;
+  if (--it->count > 0) return;  // other objects still justify this edge
+  drop_pair(w, t);
+  release_if_isolated(w);
+  release_if_isolated(t);
 }
 
 template <class NodeT>
 void WaitForGraph<NodeT>::remove_node(Node node) {
   RTDB_PERF_COUNT(kWfgNodesRemoved);
-  if (auto it = out_.find(node); it != out_.end()) {
-    for (const auto& [h, count] : it->second) {
-      (void)count;
-      auto jt = in_.find(h);
-      if (jt != in_.end()) {
-        jt->second.erase(node);
-        if (jt->second.empty()) in_.erase(jt);
-      }
-    }
-    out_.erase(it);
+  const std::uint32_t n = slot_of(node);
+  if (n == kNoSlot) return;
+  Slot& s = slots_[n];
+  while (!s.out.empty()) {
+    const std::uint32_t t = s.out.back().to;
+    drop_pair(n, t);
+    release_if_isolated(t);
   }
-  if (auto it = in_.find(node); it != in_.end()) {
-    for (Node w : it->second) {
-      auto jt = out_.find(w);
-      if (jt != out_.end()) {
-        jt->second.erase(node);
-        if (jt->second.empty()) out_.erase(jt);
-      }
-    }
-    in_.erase(it);
+  while (!s.in.empty()) {
+    const std::uint32_t w = s.in.back();
+    drop_pair(w, n);
+    release_if_isolated(w);
   }
+  release_if_isolated(n);
 }
 
 template <class NodeT>
 std::vector<NodeT> WaitForGraph<NodeT>::waits_for(Node waiter) const {
-  auto it = out_.find(waiter);
-  if (it == out_.end()) return {};
+  const std::uint32_t w = slot_of(waiter);
+  if (w == kNoSlot) return {};
   std::vector<Node> result;
-  result.reserve(it->second.size());
-  for (const auto& [h, count] : it->second) {
-    (void)count;
-    result.push_back(h);
-  }
+  result.reserve(slots_[w].out.size());
+  for (const OutEdge& e : slots_[w].out) result.push_back(slots_[e.to].node);
   return result;
 }
 
 template <class NodeT>
 bool WaitForGraph<NodeT>::has_cycle() const {
   // Kahn-style: repeatedly strip nodes with zero in-degree; leftovers are
-  // in cycles.
-  std::unordered_map<Node, std::size_t> indeg;
-  for (const auto& [n, outs] : out_) {
-    indeg.emplace(n, 0);
-    for (const auto& [h, count] : outs) {
-      (void)count;
-      indeg.emplace(h, 0);
-    }
-  }
-  for (const auto& [n, outs] : out_) {
-    (void)n;
-    for (const auto& [h, count] : outs) {
-      (void)count;
-      ++indeg[h];
-    }
-  }
-  std::vector<Node> ready;
-  for (const auto& [n, d] : indeg) {
-    if (d == 0) ready.push_back(n);
+  // in cycles. (Every active node touches an edge, so the node set here is
+  // exactly the active slots.)
+  std::vector<std::size_t> indeg(slots_.size(), 0);
+  std::vector<std::uint32_t> ready;
+  std::size_t total = 0;
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].active) continue;
+    ++total;
+    indeg[i] = slots_[i].in.size();
+    if (indeg[i] == 0) ready.push_back(i);
   }
   std::size_t removed = 0;
   while (!ready.empty()) {
-    const Node n = ready.back();
+    const std::uint32_t n = ready.back();
     ready.pop_back();
     ++removed;
-    auto it = out_.find(n);
-    if (it == out_.end()) continue;
-    for (const auto& [h, count] : it->second) {
-      (void)count;
-      if (--indeg[h] == 0) ready.push_back(h);
+    for (const OutEdge& e : slots_[n].out) {
+      if (--indeg[e.to] == 0) ready.push_back(e.to);
     }
   }
-  return removed != indeg.size();
-}
-
-template <class NodeT>
-std::size_t WaitForGraph<NodeT>::edge_count() const {
-  std::size_t count = 0;
-  for (const auto& [n, outs] : out_) {
-    (void)n;
-    count += outs.size();
-  }
-  return count;
+  return removed != total;
 }
 
 template class WaitForGraph<TxnId>;

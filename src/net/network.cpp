@@ -84,9 +84,10 @@ std::uint64_t Network::default_bytes(MessageKind kind) const {
 
 sim::SimTime Network::send_raw(SiteId src, SiteId dst, MessageKind kind,
                                std::uint64_t payload_bytes,
-                               std::function<void()> on_delivery) {
+                               sim::Simulator::Callback on_delivery) {
   assert(on_delivery && "message without a delivery action");
   RTDB_PERF_TIMER(kNetSend);
+  RTDB_PERF_ALLOC_SCOPE(kNet);
   if (src == dst) {
     // Loopback: same-site "delivery" costs only a scheduling epsilon and is
     // never counted as wire traffic.
@@ -143,7 +144,7 @@ sim::SimTime Network::send_raw(SiteId src, SiteId dst, MessageKind kind,
 
 sim::SimTime Network::send_batch_raw(SiteId src, SiteId dst, MessageKind kind,
                                      std::size_t count,
-                                     std::function<void()> on_delivery) {
+                                     sim::Simulator::Callback on_delivery) {
   if (count == 0) count = 1;
   RTDB_PERF_COUNT(kNetBatchSends);
   // First count-1 frames only occupy the wire and bump counters; the last

@@ -78,7 +78,7 @@ class Network {
   /// compile. Raw SiteId endpoints are rejected (no EndpointTraits).
   template <MessageKind K, TypedEndpoint Src, TypedEndpoint Dst>
   sim::SimTime send(Src src, Dst dst, std::uint64_t payload_bytes,
-                    std::function<void()> on_delivery) {
+                    sim::Simulator::Callback on_delivery) {
     check_direction<K, Src, Dst>();
     return send_raw(EndpointTraits<Src>::site(src),
                     EndpointTraits<Dst>::site(dst), K, payload_bytes,
@@ -87,7 +87,7 @@ class Network {
 
   /// Convenience overload picking the configured size for the kind.
   template <MessageKind K, TypedEndpoint Src, TypedEndpoint Dst>
-  sim::SimTime send(Src src, Dst dst, std::function<void()> on_delivery) {
+  sim::SimTime send(Src src, Dst dst, sim::Simulator::Callback on_delivery) {
     check_direction<K, Src, Dst>();
     return send_raw(EndpointTraits<Src>::site(src),
                     EndpointTraits<Dst>::site(dst), K, default_bytes(K),
@@ -100,7 +100,7 @@ class Network {
   /// unit: `on_delivery` fires once, when the last frame lands.
   template <MessageKind K, TypedEndpoint Src, TypedEndpoint Dst>
   sim::SimTime send_batch(Src src, Dst dst, std::size_t count,
-                          std::function<void()> on_delivery) {
+                          sim::Simulator::Callback on_delivery) {
     check_direction<K, Src, Dst>();
     return send_batch_raw(EndpointTraits<Src>::site(src),
                           EndpointTraits<Dst>::site(dst), K, count,
@@ -152,11 +152,11 @@ class Network {
   /// `send<K>` front door is the only way to choose a kind from outside.
   sim::SimTime send_raw(SiteId src, SiteId dst, MessageKind kind,
                         std::uint64_t payload_bytes,
-                        std::function<void()> on_delivery);
+                        sim::Simulator::Callback on_delivery);
 
   sim::SimTime send_batch_raw(SiteId src, SiteId dst, MessageKind kind,
                               std::size_t count,
-                              std::function<void()> on_delivery);
+                              sim::Simulator::Callback on_delivery);
 
   /// Seconds the wire is occupied transmitting `bytes`.
   sim::Duration tx_time(std::uint64_t bytes) const {

@@ -119,6 +119,7 @@ void Telemetry::txn_admit(TxnId id, SiteId origin, sim::SimTime arrival,
                           sim::SimTime deadline, sim::SimTime now) {
   if (!config_.spans) return;
   RTDB_PERF_TIMER(kTelemetry);
+  RTDB_PERF_ALLOC_SCOPE(kObs);
   RTDB_PERF_COUNT(kTelSpanOps);
   auto [it, inserted] = spans_.try_emplace(id);
   if (!inserted) return;  // re-admission at a remote site; txn_hop covers it
@@ -175,6 +176,7 @@ void Telemetry::txn_restart(TxnId id, sim::SimTime now) {
 void Telemetry::txn_end(TxnId id, Outcome outcome, sim::SimTime now) {
   if (!config_.spans) return;
   RTDB_PERF_TIMER(kTelemetry);
+  RTDB_PERF_ALLOC_SCOPE(kObs);
   RTDB_PERF_COUNT(kTelSpanOps);
   TxnSpan* s = find_span(id);
   if (!s || s->outcome != Outcome::kOpen) return;
@@ -309,6 +311,7 @@ void Telemetry::event(EventKind kind, sim::SimTime t, SiteId site, TxnId txn,
                       double v) {
   if (!config_.events) return;
   RTDB_PERF_TIMER(kTelemetry);
+  RTDB_PERF_ALLOC_SCOPE(kObs);
   RTDB_PERF_COUNT(kTelEventsRecorded);
   if (events_.size() >= config_.event_capacity) {
     events_.pop_front();
@@ -321,6 +324,7 @@ void Telemetry::begin_frame(sim::SimTime t) { sample_times_.push_back(t); }
 
 void Telemetry::sample(const char* series, double value) {
   RTDB_PERF_TIMER(kTelemetry);
+  RTDB_PERF_ALLOC_SCOPE(kObs);
   RTDB_PERF_COUNT(kTelSamples);
   const auto [it, inserted] = series_index_.try_emplace(series, series_.size());
   if (inserted) series_.push_back(Series{series, {}});

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <algorithm>
-#include <functional>
 
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
@@ -23,7 +22,7 @@ class SerialResource {
 
   /// Enqueues `service` seconds of work; `done` (optional) runs at
   /// completion. Returns the completion instant.
-  SimTime submit(Duration service, std::function<void()> done = {}) {
+  SimTime submit(Duration service, Simulator::Callback done = {}) {
     const SimTime start = std::max(sim_.now(), free_at_);
     free_at_ = start + service;
     busy_accum_ += service;

@@ -8,17 +8,42 @@ namespace rtdb::storage {
 
 template <class Id>
 void LruBuffer<Id>::validate_invariants() const {
-  RTDB_CHECK(lru_.size() <= capacity_, "%zu resident pages exceed capacity %zu",
-             lru_.size(), capacity_);
-  RTDB_CHECK(index_.size() == lru_.size(),
-             "index tracks %zu pages, LRU list holds %zu", index_.size(),
-             lru_.size());
-  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
-    const auto idx = index_.find(it->id);
-    RTDB_CHECK(idx != index_.end() && idx->second == it,
+  RTDB_CHECK(index_.size() <= capacity_,
+             "%zu resident pages exceed capacity %zu", index_.size(),
+             capacity_);
+  index_.validate_invariants();
+  // Walk MRU -> LRU: every linked frame is indexed at its slot, links are
+  // mutually consistent, and the walk covers exactly the resident count.
+  std::size_t walked = 0;
+  std::uint32_t prev = kNull;
+  for (std::uint32_t s = head_; s != kNull; s = frames_[s].next) {
+    RTDB_CHECK(s < frames_.size(), "LRU list names slot %u of %zu", s,
+               frames_.size());
+    const Frame& f = frames_[s];
+    RTDB_CHECK(f.prev == prev, "LRU back-link broken at slot %u", s);
+    const std::uint32_t* idx = index_.find(f.id);
+    RTDB_CHECK(idx != nullptr && *idx == s,
                "page %llu resident but mis-indexed",
-               static_cast<unsigned long long>(it->id.value()));
+               static_cast<unsigned long long>(f.id.value()));
+    prev = s;
+    ++walked;
+    RTDB_CHECK(walked <= frames_.size(), "LRU list cycle detected");
   }
+  RTDB_CHECK(prev == tail_, "LRU tail %u does not terminate the list",
+             tail_);
+  RTDB_CHECK(walked == index_.size(),
+             "index tracks %zu pages, LRU list holds %zu", index_.size(),
+             walked);
+  std::size_t free_walked = 0;
+  for (std::uint32_t s = free_head_; s != kNull; s = frames_[s].next) {
+    RTDB_CHECK(s < frames_.size(), "free list names slot %u of %zu", s,
+               frames_.size());
+    ++free_walked;
+    RTDB_CHECK(free_walked <= frames_.size(), "free list cycle detected");
+  }
+  RTDB_CHECK(walked + free_walked == frames_.size(),
+             "%zu resident + %zu free != %zu slab frames", walked,
+             free_walked, frames_.size());
 }
 
 template <class Id>
@@ -29,64 +54,107 @@ LruBuffer<Id>::LruBuffer(std::size_t capacity) : capacity_(capacity) {
 }
 
 template <class Id>
-void LruBuffer<Id>::touch(typename LruList::iterator it) {
-  lru_.splice(lru_.begin(), lru_, it);
+void LruBuffer<Id>::unlink(std::uint32_t slot) {
+  Frame& f = frames_[slot];
+  if (f.prev != kNull) {
+    frames_[f.prev].next = f.next;
+  } else {
+    head_ = f.next;
+  }
+  if (f.next != kNull) {
+    frames_[f.next].prev = f.prev;
+  } else {
+    tail_ = f.prev;
+  }
+}
+
+template <class Id>
+void LruBuffer<Id>::link_front(std::uint32_t slot) {
+  Frame& f = frames_[slot];
+  f.prev = kNull;
+  f.next = head_;
+  if (head_ != kNull) frames_[head_].prev = slot;
+  head_ = slot;
+  if (tail_ == kNull) tail_ = slot;
+}
+
+template <class Id>
+void LruBuffer<Id>::touch(std::uint32_t slot) {
+  if (head_ == slot) return;
+  unlink(slot);
+  link_front(slot);
 }
 
 template <class Id>
 bool LruBuffer<Id>::reference(Id id) {
-  auto it = index_.find(id);
-  if (it == index_.end()) {
+  const std::uint32_t* slot = index_.find(id);
+  if (slot == nullptr) {
     misses_.inc();
     return false;
   }
   hits_.inc();
-  touch(it->second);
+  touch(*slot);
   return true;
 }
 
 template <class Id>
 std::optional<typename LruBuffer<Id>::Evicted> LruBuffer<Id>::insert(
     Id id, bool dirty) {
-  auto it = index_.find(id);
-  if (it != index_.end()) {
-    touch(it->second);
-    it->second->dirty = it->second->dirty || dirty;
+  if (const std::uint32_t* slot = index_.find(id)) {
+    touch(*slot);
+    Frame& f = frames_[*slot];
+    f.dirty = f.dirty || dirty;
     return std::nullopt;
   }
   std::optional<Evicted> evicted;
-  if (lru_.size() >= capacity_) {
-    const Frame& victim = lru_.back();
-    evicted = Evicted{victim.id, victim.dirty};
-    index_.erase(victim.id);
-    lru_.pop_back();
+  if (index_.size() >= capacity_) {
+    const std::uint32_t victim = tail_;
+    Frame& v = frames_[victim];
+    evicted = Evicted{v.id, v.dirty};
+    index_.erase(v.id);
+    unlink(victim);
+    v.next = free_head_;
+    free_head_ = victim;
   }
-  lru_.push_front(Frame{id, dirty});
-  index_[id] = lru_.begin();
+  std::uint32_t slot;
+  if (free_head_ != kNull) {
+    slot = free_head_;
+    free_head_ = frames_[slot].next;
+  } else {
+    slot = static_cast<std::uint32_t>(frames_.size());
+    frames_.emplace_back();
+  }
+  frames_[slot].id = id;
+  frames_[slot].dirty = dirty;
+  link_front(slot);
+  index_.get_or_insert(id) = slot;
   return evicted;
 }
 
 template <class Id>
 bool LruBuffer<Id>::mark_dirty(Id id) {
-  auto it = index_.find(id);
-  if (it == index_.end()) return false;
-  it->second->dirty = true;
+  const std::uint32_t* slot = index_.find(id);
+  if (slot == nullptr) return false;
+  frames_[*slot].dirty = true;
   return true;
 }
 
 template <class Id>
 bool LruBuffer<Id>::is_dirty(Id id) const {
-  auto it = index_.find(id);
-  return it != index_.end() && it->second->dirty;
+  const std::uint32_t* slot = index_.find(id);
+  return slot != nullptr && frames_[*slot].dirty;
 }
 
 template <class Id>
 std::optional<bool> LruBuffer<Id>::erase(Id id) {
-  auto it = index_.find(id);
-  if (it == index_.end()) return std::nullopt;
-  const bool dirty = it->second->dirty;
-  lru_.erase(it->second);
-  index_.erase(it);
+  const std::uint32_t* slot = index_.find(id);
+  if (slot == nullptr) return std::nullopt;
+  const std::uint32_t s = *slot;
+  const bool dirty = frames_[s].dirty;
+  unlink(s);
+  frames_[s].next = free_head_;
+  free_head_ = s;
+  index_.erase(id);
   return dirty;
 }
 
@@ -100,15 +168,17 @@ double LruBuffer<Id>::hit_rate() const {
 
 template <class Id>
 std::optional<Id> LruBuffer<Id>::lru_victim() const {
-  if (lru_.empty()) return std::nullopt;
-  return lru_.back().id;
+  if (tail_ == kNull) return std::nullopt;
+  return frames_[tail_].id;
 }
 
 template <class Id>
 std::vector<Id> LruBuffer<Id>::resident_pages() const {
   std::vector<Id> pages;
-  pages.reserve(lru_.size());
-  for (const Frame& f : lru_) pages.push_back(f.id);
+  pages.reserve(index_.size());
+  for (std::uint32_t s = head_; s != kNull; s = frames_[s].next) {
+    pages.push_back(frames_[s].id);
+  }
   return pages;
 }
 

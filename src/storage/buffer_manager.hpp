@@ -1,11 +1,10 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.hpp"
 #include "common/ids.hpp"
 #include "sim/stats.hpp"
 
@@ -43,7 +42,9 @@ class LruBuffer {
   explicit LruBuffer(std::size_t capacity);
 
   /// True if the entry is resident. Does not affect recency or counters.
-  [[nodiscard]] bool contains(Id id) const { return index_.count(id) != 0; }
+  [[nodiscard]] bool contains(Id id) const {
+    return index_.find(id) != nullptr;
+  }
 
   /// References an entry: records a hit (promoting it to MRU) or a miss.
   /// Returns true on hit.
@@ -63,7 +64,7 @@ class LruBuffer {
   /// removal means). Returns the entry's dirty state, or nullopt if absent.
   std::optional<bool> erase(Id id);
 
-  [[nodiscard]] std::size_t size() const { return lru_.size(); }
+  [[nodiscard]] std::size_t size() const { return index_.size(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
   [[nodiscard]] std::uint64_t hits() const { return hits_.value(); }
@@ -90,17 +91,32 @@ class LruBuffer {
   void validate_invariants() const;
 
  private:
-  struct Frame {
-    Id id;
-    bool dirty;
-  };
-  using LruList = std::list<Frame>;
+  /// Frames live in a recycled slab threaded into an intrusive doubly
+  /// linked LRU list (head = MRU, tail = LRU); the id index is a flat
+  /// open-addressing map onto slab slots. Identical recency/eviction
+  /// semantics to the former std::list + unordered_map pair, with zero
+  /// node allocations in steady state (the slab never exceeds `capacity`
+  /// frames and free slots are reused).
+  static constexpr std::uint32_t kNull = 0xffffffffu;
 
-  void touch(typename LruList::iterator it);
+  struct Frame {
+    Id id{};
+    bool dirty = false;
+    std::uint32_t prev = kNull;
+    std::uint32_t next = kNull;
+  };
+
+  /// Moves a resident frame to the MRU position.
+  void touch(std::uint32_t slot);
+  void unlink(std::uint32_t slot);
+  void link_front(std::uint32_t slot);
 
   std::size_t capacity_;
-  LruList lru_;  // front = MRU, back = LRU
-  std::unordered_map<Id, typename LruList::iterator> index_;
+  std::vector<Frame> frames_;
+  std::uint32_t head_ = kNull;  ///< MRU
+  std::uint32_t tail_ = kNull;  ///< LRU (next eviction victim)
+  std::uint32_t free_head_ = kNull;
+  common::FlatMap<Id, std::uint32_t> index_;
   sim::Counter hits_;
   sim::Counter misses_;
 };

@@ -21,7 +21,7 @@ void ClientCache::place_in_memory(ObjectId id, bool dirty) {
   if (evicted && on_evict_) on_evict_(evicted->id, evicted->dirty);
 }
 
-bool ClientCache::access(ObjectId id, bool write, std::function<void()> done) {
+bool ClientCache::access(ObjectId id, bool write, sim::Simulator::Callback done) {
   assert(done);
   switch (tier_of(id)) {
     case CacheTier::kMemory: {

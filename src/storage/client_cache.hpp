@@ -62,7 +62,7 @@ class ClientCache {
   /// runs when the object is in memory. Returns false — and counts a miss,
   /// without invoking `done` — if the object is not cached; the caller then
   /// fetches it from the server and insert()s it.
-  bool access(ObjectId id, bool write, std::function<void()> done);
+  bool access(ObjectId id, bool write, sim::Simulator::Callback done);
 
   /// Installs an object fetched from the server into the memory tier,
   /// cascading demotions/evictions.

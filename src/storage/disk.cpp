@@ -4,7 +4,7 @@
 
 namespace rtdb::storage {
 
-sim::SimTime Disk::submit(sim::Duration service, std::function<void()> done) {
+sim::SimTime Disk::submit(sim::Duration service, sim::Simulator::Callback done) {
   const sim::SimTime start = std::max(sim_.now(), free_at_);
   free_at_ = start + service;
   busy_accum_ += service;
@@ -12,12 +12,12 @@ sim::SimTime Disk::submit(sim::Duration service, std::function<void()> done) {
   return free_at_;
 }
 
-sim::SimTime Disk::read(std::function<void()> done) {
+sim::SimTime Disk::read(sim::Simulator::Callback done) {
   reads_.inc();
   return submit(config_.read_time, std::move(done));
 }
 
-sim::SimTime Disk::write(std::function<void()> done) {
+sim::SimTime Disk::write(sim::Simulator::Callback done) {
   writes_.inc();
   return submit(config_.write_time, std::move(done));
 }

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -35,10 +34,10 @@ class Disk {
   Disk& operator=(const Disk&) = delete;
 
   /// Queues one page read; `done` (optional) runs at completion.
-  sim::SimTime read(std::function<void()> done = {});
+  sim::SimTime read(sim::Simulator::Callback done = {});
 
   /// Queues one page write; `done` (optional) runs at completion.
-  sim::SimTime write(std::function<void()> done = {});
+  sim::SimTime write(sim::Simulator::Callback done = {});
 
   /// Pages read / written since construction or reset_stats().
   [[nodiscard]] std::uint64_t reads() const { return reads_.value(); }
@@ -52,7 +51,7 @@ class Disk {
   [[nodiscard]] const DiskConfig& config() const { return config_; }
 
  private:
-  sim::SimTime submit(sim::Duration service, std::function<void()> done);
+  sim::SimTime submit(sim::Duration service, sim::Simulator::Callback done);
 
   sim::Simulator& sim_;
   DiskConfig config_;

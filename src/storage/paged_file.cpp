@@ -11,7 +11,7 @@ void PagedFile::install(ObjectId id, bool dirty) {
   }
 }
 
-void PagedFile::access(ObjectId id, bool write, std::function<void()> done) {
+void PagedFile::access(ObjectId id, bool write, sim::Simulator::Callback done) {
   assert(done);
   const PageId page = page_of(id);
   if (buffer_.reference(page)) {

@@ -1,7 +1,5 @@
 #pragma once
 
-#include <functional>
-
 #include "common/ids.hpp"
 #include "sim/simulator.hpp"
 #include "storage/buffer_manager.hpp"
@@ -44,7 +42,7 @@ class PagedFile {
   /// Reads (or updates, when `write`) one page; `done` runs when the page
   /// is available in memory. Buffer hit: memory_access_time. Miss: queue a
   /// disk read; a displaced dirty page also queues its write-back.
-  void access(ObjectId id, bool write, std::function<void()> done);
+  void access(ObjectId id, bool write, sim::Simulator::Callback done);
 
   /// Pre-loads a page as resident and clean without any timing (used to
   /// model a warm server at the start of a run).

@@ -1,19 +1,34 @@
 #include "txn/decompose.hpp"
 
-#include <map>
+#include <algorithm>
+#include <utility>
+
+#include "common/perf.hpp"
 
 namespace rtdb::txn {
 
 std::vector<Subtask> decompose(
     const Transaction& txn, const std::function<SiteId(ObjectId)>& locate) {
   if (!txn.decomposable || txn.ops.empty()) return {};
+  RTDB_PERF_ALLOC_SCOPE(kTxn);
 
-  // Group operations by the site currently holding each object; std::map
-  // keeps sub-task order deterministic.
-  std::map<SiteId, std::vector<Operation>> groups;
+  // Group operations by the site currently holding each object. A txn
+  // touches a handful of sites at most, so a flat vector with a linear
+  // membership scan beats a node-based map; the final sort emits sub-tasks
+  // in ascending SiteId order, exactly the order std::map used to give.
+  std::vector<std::pair<SiteId, std::vector<Operation>>> groups;
   for (const auto& op : txn.ops) {
-    groups[locate(op.object)].push_back(op);
+    const SiteId s = locate(op.object);
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == s; });
+    if (it == groups.end()) {
+      groups.emplace_back(s, std::vector<Operation>{});
+      it = std::prev(groups.end());
+    }
+    it->second.push_back(op);
   }
+  std::sort(groups.begin(), groups.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   if (groups.size() < 2) return {};  // all at one site: nothing to split
 
   std::vector<Subtask> subtasks;

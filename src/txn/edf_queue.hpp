@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/check.hpp"
@@ -24,6 +24,11 @@ namespace rtdb::txn {
 /// deadlines are not processed at all" — pop_ready() discards expired
 /// entries, reporting them through an out-parameter so the caller can
 /// account for the misses.
+///
+/// Backing store: a contiguous vector with a popped-prefix head index
+/// (compacted once the dead prefix dominates), replacing the former
+/// std::deque — pops stay O(1) without the deque's per-block allocations,
+/// and ordered inserts move contiguous memory instead of chasing blocks.
 template <typename T>
 class EdfQueue {
  public:
@@ -35,9 +40,11 @@ class EdfQueue {
   /// Inserts in deadline order (stable for equal deadlines).
   void push(T item, sim::SimTime deadline) {
     RTDB_PERF_TIMER(kEdfQueue);
+    RTDB_PERF_ALLOC_SCOPE(kTxn);
     RTDB_PERF_COUNT(kEdfPushes);
     auto it = std::upper_bound(
-        entries_.begin(), entries_.end(), deadline,
+        entries_.begin() + static_cast<std::ptrdiff_t>(head_), entries_.end(),
+        deadline,
         [](sim::SimTime d, const Entry& e) { return d < e.deadline; });
     entries_.insert(it, Entry{std::move(item), deadline});
   }
@@ -48,9 +55,10 @@ class EdfQueue {
   std::optional<T> pop_ready(sim::SimTime now,
                              std::vector<T>* expired = nullptr) {
     RTDB_PERF_TIMER(kEdfQueue);
-    while (!entries_.empty()) {
-      Entry front = std::move(entries_.front());
-      entries_.pop_front();
+    RTDB_PERF_ALLOC_SCOPE(kTxn);
+    while (head_ < entries_.size()) {
+      Entry front = std::move(entries_[head_]);
+      advance_head();
       RTDB_PERF_COUNT(kEdfPops);
       if (front.deadline >= now) return std::move(front.item);
       if (expired) expired->push_back(std::move(front.item));
@@ -60,22 +68,23 @@ class EdfQueue {
 
   /// Pops the front regardless of expiry.
   std::optional<T> pop() {
-    if (entries_.empty()) return std::nullopt;
+    if (head_ >= entries_.size()) return std::nullopt;
     RTDB_PERF_COUNT(kEdfPops);
-    T item = std::move(entries_.front().item);
-    entries_.pop_front();
+    T item = std::move(entries_[head_].item);
+    advance_head();
     return item;
   }
 
   /// Earliest deadline in the queue (kTimeInfinity when empty).
   [[nodiscard]] sim::SimTime next_deadline() const {
-    return entries_.empty() ? sim::kTimeInfinity : entries_.front().deadline;
+    return empty() ? sim::kTimeInfinity : entries_[head_].deadline;
   }
 
   /// Removes the first entry matching `pred`. Returns it if found.
   template <typename Pred>
   std::optional<T> remove_if(Pred pred) {
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    for (auto it = entries_.begin() + static_cast<std::ptrdiff_t>(head_);
+         it != entries_.end(); ++it) {
       if (pred(it->item)) {
         T item = std::move(it->item);
         entries_.erase(it);
@@ -88,23 +97,32 @@ class EdfQueue {
   /// Number of entries whose deadline sorts before `deadline` — the `n` of
   /// heuristic H1 ("n transactions before T in its priority queue").
   [[nodiscard]] std::size_t count_ahead_of(sim::SimTime deadline) const {
+    const auto first = entries_.begin() + static_cast<std::ptrdiff_t>(head_);
     return static_cast<std::size_t>(
-        std::upper_bound(entries_.begin(), entries_.end(), deadline,
+        std::upper_bound(first, entries_.end(), deadline,
                          [](sim::SimTime d, const Entry& e) {
                            return d < e.deadline;
                          }) -
-        entries_.begin());
+        first);
   }
 
-  [[nodiscard]] bool empty() const { return entries_.empty(); }
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
-  [[nodiscard]] const std::deque<Entry>& entries() const { return entries_; }
-  void clear() { entries_.clear(); }
+  [[nodiscard]] bool empty() const { return head_ >= entries_.size(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size() - head_; }
+  [[nodiscard]] std::span<const Entry> entries() const {
+    return {entries_.data() + head_, size()};
+  }
+  void clear() {
+    entries_.clear();
+    head_ = 0;
+  }
 
   /// Invariant audit: deadlines are non-decreasing front to back (the EDF
-  /// property every pop/count relies on). Aborts on violation.
+  /// property every pop/count relies on) and the popped prefix never
+  /// outruns the store. Aborts on violation.
   void validate_invariants() const {
-    for (std::size_t i = 1; i < entries_.size(); ++i) {
+    RTDB_CHECK(head_ <= entries_.size(), "EdfQueue head %zu past size %zu",
+               head_, entries_.size());
+    for (std::size_t i = head_ + 1; i < entries_.size(); ++i) {
       RTDB_CHECK(entries_[i - 1].deadline <= entries_[i].deadline,
                  "EdfQueue out of order at %zu: %.9f > %.9f", i,
                  entries_[i - 1].deadline.sec(), entries_[i].deadline.sec());
@@ -112,7 +130,22 @@ class EdfQueue {
   }
 
  private:
-  std::deque<Entry> entries_;
+  /// Drops the front entry; reclaims the dead prefix once it dominates the
+  /// store (amortized O(1), keeps memory bounded under sustained load).
+  void advance_head() {
+    ++head_;
+    if (head_ == entries_.size()) {
+      entries_.clear();
+      head_ = 0;
+    } else if (head_ >= 64 && head_ * 2 >= entries_.size()) {
+      entries_.erase(entries_.begin(),
+                     entries_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+  std::vector<Entry> entries_;
+  std::size_t head_ = 0;  ///< logical front: entries_[0..head_) are popped
 };
 
 }  // namespace rtdb::txn

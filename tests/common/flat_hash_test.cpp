@@ -1,0 +1,178 @@
+#include "common/flat_hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace rtdb::common {
+namespace {
+
+using Key = std::uint64_t;
+
+// Home bucket of `key` in a table of capacity `cap` (mirrors find_index's
+// first probe). Used to construct collision/adjacency scenarios on purpose
+// instead of hoping a fixed key set happens to collide.
+std::size_t home(Key key, std::size_t cap) {
+  return flat_detail::mix(key) & (cap - 1);
+}
+
+// A key whose home bucket equals `slot` in a capacity-`cap` table, searched
+// from `start` upward. The search space is tiny (cap slots to hit).
+Key key_with_home(std::size_t slot, std::size_t cap, Key start = 0) {
+  for (Key k = start;; ++k) {
+    if (home(k, cap) == slot) return k;
+  }
+}
+
+TEST(FlatMap, InsertFindErase) {
+  FlatMap<Key, int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(7), nullptr);
+  m.get_or_insert(7) = 70;
+  m.get_or_insert(8) = 80;
+  EXPECT_EQ(m.size(), 2u);
+  ASSERT_NE(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(7), 70);
+  EXPECT_TRUE(m.erase(7));
+  EXPECT_FALSE(m.erase(7));
+  EXPECT_EQ(m.find(7), nullptr);
+  ASSERT_NE(m.find(8), nullptr);
+  m.validate_invariants();
+}
+
+TEST(FlatMap, GetOrInsertDefaultConstructs) {
+  FlatMap<Key, int> m;
+  EXPECT_EQ(m.get_or_insert(3), 0);
+  m.get_or_insert(3) = 5;
+  EXPECT_EQ(m.get_or_insert(3), 5);  // existing value, not reset
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, LoneTombstoneRevertsToEmpty) {
+  FlatMap<Key, int> m;
+  m.get_or_insert(42) = 1;
+  EXPECT_TRUE(m.erase(42));
+  // The slot after the erased one is empty (only key in the table), so the
+  // tombstone must revert to empty rather than linger until a rehash.
+  EXPECT_EQ(m.tombstones(), 0u);
+  m.validate_invariants();
+}
+
+TEST(FlatMap, InsertEraseChurnAccumulatesNoTombstones) {
+  FlatMap<Key, int> m;
+  const std::size_t cap0 = [] {
+    FlatMap<Key, int> probe;
+    probe.get_or_insert(0);
+    return probe.capacity();
+  }();
+  // One key live at a time, a different key every round: without the
+  // erase-time reversion each round would strand a tombstone and the
+  // tombstone share of the load factor would force periodic rehashes.
+  for (Key k = 0; k < 1000; ++k) {
+    m.get_or_insert(k) = static_cast<int>(k);
+    EXPECT_TRUE(m.erase(k));
+    EXPECT_EQ(m.tombstones(), 0u) << "round " << k;
+  }
+  EXPECT_EQ(m.capacity(), cap0);  // churn never grew the table
+  m.validate_invariants();
+}
+
+TEST(FlatMap, TombstoneInProbeChainIsKeptAndReused) {
+  FlatMap<Key, int> m;
+  m.get_or_insert(0);  // size the table
+  const std::size_t cap = m.capacity();
+  m.erase(0);
+  // Two colliding keys: b probes through a's home slot and lands after it.
+  const Key a = key_with_home(3, cap);
+  const Key b = key_with_home(3, cap, a + 1);
+  m.get_or_insert(a) = 1;
+  m.get_or_insert(b) = 2;
+  EXPECT_TRUE(m.erase(a));
+  // b's probe chain passes through a's slot, so the tombstone must stay.
+  EXPECT_EQ(m.tombstones(), 1u);
+  ASSERT_NE(m.find(b), nullptr);
+  EXPECT_EQ(*m.find(b), 2);
+  m.validate_invariants();
+  // A third colliding key reuses the tombstoned slot instead of extending
+  // the chain.
+  const Key c = key_with_home(3, cap, b + 1);
+  m.get_or_insert(c) = 3;
+  EXPECT_EQ(m.tombstones(), 0u);
+  ASSERT_NE(m.find(c), nullptr);
+  m.validate_invariants();
+}
+
+TEST(FlatMap, GrowthRehashKeepsEveryLiveKey) {
+  FlatMap<Key, int> m;
+  for (Key k = 0; k < 100; ++k) m.get_or_insert(k) = static_cast<int>(k);
+  for (Key k = 0; k < 100; k += 2) EXPECT_TRUE(m.erase(k));
+  m.validate_invariants();
+  for (Key k = 100; k < 300; ++k) m.get_or_insert(k) = static_cast<int>(k);
+  m.validate_invariants();
+  for (Key k = 0; k < 300; ++k) {
+    const bool erased = k < 100 && k % 2 == 0;
+    if (erased) {
+      EXPECT_EQ(m.find(k), nullptr) << k;
+    } else {
+      ASSERT_NE(m.find(k), nullptr) << k;
+      EXPECT_EQ(*m.find(k), static_cast<int>(k));
+    }
+  }
+  EXPECT_EQ(m.size(), 250u);
+}
+
+TEST(FlatMap, MoveOnlyValuesSurviveRehash) {
+  FlatMap<Key, std::unique_ptr<int>> m;
+  for (Key k = 0; k < 50; ++k) {
+    m.get_or_insert(k) = std::make_unique<int>(static_cast<int>(k));
+  }
+  m.validate_invariants();
+  for (Key k = 0; k < 50; ++k) {
+    auto* v = m.find(k);
+    ASSERT_NE(v, nullptr);
+    ASSERT_NE(v->get(), nullptr);
+    EXPECT_EQ(**v, static_cast<int>(k));
+  }
+  EXPECT_TRUE(m.erase(25));
+  EXPECT_EQ(m.find(25), nullptr);  // erase released the pointer
+  m.validate_invariants();
+}
+
+TEST(FlatMap, EraseDoesNotInvalidateOtherReferences) {
+  FlatMap<Key, int> m;
+  for (Key k = 0; k < 10; ++k) m.get_or_insert(k) = static_cast<int>(k);
+  int* five = m.find(5);
+  ASSERT_NE(five, nullptr);
+  // erase tombstones in place (no rehash), so other references stay valid.
+  EXPECT_TRUE(m.erase(6));
+  EXPECT_EQ(*five, 5);
+  m.validate_invariants();
+}
+
+TEST(FlatSet, InsertContainsErase) {
+  FlatSet<Key> s;
+  EXPECT_TRUE(s.insert(1));
+  EXPECT_FALSE(s.insert(1));
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_FALSE(s.contains(2));
+  EXPECT_TRUE(s.erase(1));
+  EXPECT_FALSE(s.erase(1));
+  EXPECT_TRUE(s.empty());
+  s.validate_invariants();
+}
+
+TEST(FlatSet, ForEachVisitsExactlyTheLiveKeys) {
+  FlatSet<Key> s;
+  for (Key k = 0; k < 40; ++k) s.insert(k);
+  for (Key k = 0; k < 40; k += 4) s.erase(k);
+  std::vector<Key> seen;
+  s.for_each([&](Key k) { seen.push_back(k); });
+  EXPECT_EQ(seen.size(), 30u);
+  for (Key k : seen) EXPECT_NE(k % 4, 0u);
+  s.validate_invariants();
+}
+
+}  // namespace
+}  // namespace rtdb::common

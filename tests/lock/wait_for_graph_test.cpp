@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
 namespace rtdb::lock {
 namespace {
 
@@ -147,6 +152,71 @@ TEST(WaitForGraph, MixedTxnClientNodesDetectCycles) {
   // A same-numbered node from the other family is NOT on the path.
   EXPECT_FALSE(g.would_deadlock(TxnOrClientNode::of_txn(TxnId{7}),
                                 {TxnOrClientNode::of_client(ClientId{7})}));
+}
+
+// The graph's internal tables (flat id index, per-slot adjacency vectors)
+// iterate in a history-dependent order. This test pins the determinism
+// contract the flat containers document: no observable answer may depend on
+// that order. The same logical graph is built under several permutations of
+// the edge list (with interleaved removals), and every query must agree.
+TEST(WaitForGraph, AnswersAreInsertionOrderIndependent) {
+  // waiter -> holder justifications, with a repeated pair (counted edge).
+  const std::vector<std::pair<TxnId, TxnId>> edges = {
+      {TxnId{1}, TxnId{2}}, {TxnId{1}, TxnId{3}}, {TxnId{2}, TxnId{4}},
+      {TxnId{3}, TxnId{4}}, {TxnId{4}, TxnId{5}}, {TxnId{6}, TxnId{1}},
+      {TxnId{2}, TxnId{4}}, {TxnId{5}, TxnId{7}}, {TxnId{8}, TxnId{5}},
+  };
+  // After building, drop one justification of the doubled edge and a whole
+  // node, again in permutation order.
+  const std::vector<std::size_t> perm_a = {0, 1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<std::size_t> perm_b = {8, 7, 6, 5, 4, 3, 2, 1, 0};
+  const std::vector<std::size_t> perm_c = {4, 0, 8, 2, 6, 1, 5, 3, 7};
+
+  auto build = [&](const std::vector<std::size_t>& perm) {
+    WaitForGraph<TxnId> g;
+    for (const std::size_t i : perm) {
+      g.add_edges(edges[i].first, {edges[i].second});
+    }
+    g.remove_edge(TxnId{2}, TxnId{4});  // one justification remains
+    g.remove_node(TxnId{8});
+    g.validate_invariants();
+    return g;
+  };
+  const auto ga = build(perm_a);
+  const auto gb = build(perm_b);
+  const auto gc = build(perm_c);
+
+  EXPECT_EQ(ga.edge_count(), gb.edge_count());
+  EXPECT_EQ(ga.edge_count(), gc.edge_count());
+  EXPECT_EQ(ga.has_cycle(), gb.has_cycle());
+  EXPECT_EQ(ga.has_cycle(), gc.has_cycle());
+
+  // Every single-holder admission question answers identically.
+  for (std::uint64_t w = 1; w <= 9; ++w) {
+    for (std::uint64_t h = 1; h <= 9; ++h) {
+      const bool a = ga.would_deadlock(TxnId{w}, {TxnId{h}});
+      EXPECT_EQ(a, gb.would_deadlock(TxnId{w}, {TxnId{h}})) << w << "->" << h;
+      EXPECT_EQ(a, gc.would_deadlock(TxnId{w}, {TxnId{h}})) << w << "->" << h;
+    }
+  }
+  // Multi-holder questions too (the admission path's real shape).
+  const std::vector<TxnId> holders = {TxnId{6}, TxnId{9}};
+  EXPECT_EQ(ga.would_deadlock(TxnId{5}, holders),
+            gb.would_deadlock(TxnId{5}, holders));
+  EXPECT_EQ(ga.would_deadlock(TxnId{5}, holders),
+            gc.would_deadlock(TxnId{5}, holders));
+
+  // waits_for is unordered by contract: compare as sorted sets.
+  for (std::uint64_t w = 1; w <= 9; ++w) {
+    auto wa = ga.waits_for(TxnId{w});
+    auto wb = gb.waits_for(TxnId{w});
+    auto wc = gc.waits_for(TxnId{w});
+    std::sort(wa.begin(), wa.end());
+    std::sort(wb.begin(), wb.end());
+    std::sort(wc.begin(), wc.end());
+    EXPECT_EQ(wa, wb) << "waits_for(" << w << ")";
+    EXPECT_EQ(wa, wc) << "waits_for(" << w << ")";
+  }
 }
 
 }  // namespace

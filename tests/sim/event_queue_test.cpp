@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 namespace rtdb::sim {
@@ -132,6 +134,97 @@ TEST(EventQueue, IdsAreUniqueAndMonotonic) {
     EXPECT_GT(id, prev);
     prev = id;
   }
+}
+
+// --- slab recycling & generation tags -------------------------------------
+// EventId encodes (generation << 32) | (slot + 1); the low half names the
+// slab slot. These tests pin the recycling contract: slots are reused, and
+// an id from a slot's previous tenancy can never touch the next one.
+
+namespace {
+std::uint32_t slot_of(EventId id) {
+  return static_cast<std::uint32_t>(id & 0xffffffffu);
+}
+}  // namespace
+
+TEST(EventQueue, CancelledSlotIsReusedWithFreshGeneration) {
+  EventQueue q;
+  const EventId id1 = q.schedule(SimTime{1.0}, [] {});
+  EXPECT_TRUE(q.cancel(id1));
+  // The cancelled entry still sits in the heap; the head purge behind
+  // next_time() recycles its slot.
+  EXPECT_EQ(q.next_time(), kTimeInfinity);
+  const EventId id2 = q.schedule(SimTime{2.0}, [] {});
+  EXPECT_EQ(slot_of(id2), slot_of(id1));  // same slab slot...
+  EXPECT_NE(id2, id1);                    // ...different generation
+  // The stale handle must not cancel the slot's new tenant.
+  EXPECT_FALSE(q.cancel(id1));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(id2));
+  q.validate_invariants();
+}
+
+TEST(EventQueue, StaleIdAfterPopCannotCancelNewTenant) {
+  EventQueue q;
+  const EventId id1 = q.schedule(SimTime{1.0}, [] {});
+  (void)q.pop();  // frees the slot
+  const EventId id2 = q.schedule(SimTime{2.0}, [] {});
+  ASSERT_EQ(slot_of(id2), slot_of(id1));
+  bool fired = false;
+  EXPECT_FALSE(q.cancel(id1));
+  auto e = q.pop();
+  EXPECT_EQ(e.id, id2);
+  e.fn = [&] { fired = true; };
+  (void)fired;
+  q.validate_invariants();
+}
+
+TEST(EventQueue, SteadyStateChurnStaysWithinTheWarmSlotSet) {
+  EventQueue q;
+  // Warm the slab with 8 concurrent events and record their slots.
+  std::vector<EventId> ids;
+  std::vector<std::uint32_t> warm;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(q.schedule(SimTime{static_cast<double>(i)}, [] {}));
+    warm.push_back(slot_of(ids.back()));
+  }
+  // 200 rounds of pop-one/schedule-one: every new event must land in one
+  // of the warm slots (zero slab growth in steady state).
+  for (int round = 0; round < 200; ++round) {
+    (void)q.pop();
+    const EventId id =
+        q.schedule(SimTime{100.0 + round}, [] {});
+    EXPECT_NE(std::find(warm.begin(), warm.end(), slot_of(id)), warm.end())
+        << "round " << round << " grew the slab";
+    if (round % 50 == 0) q.validate_invariants();
+  }
+  q.validate_invariants();
+}
+
+TEST(EventQueue, RescheduleAfterCancelChurnKeepsInvariants) {
+  EventQueue q;
+  // Interleave schedule/cancel/reschedule so slots cycle through
+  // live -> cancelled -> free -> live while the heap still references them.
+  std::vector<EventId> live;
+  for (int i = 0; i < 50; ++i) {
+    const auto t = SimTime{static_cast<double>(i % 7)};
+    live.push_back(q.schedule(t, [] {}));
+    if (i % 3 == 0 && !live.empty()) {
+      EXPECT_TRUE(q.cancel(live.front()));
+      live.erase(live.begin());
+    }
+    if (i % 5 == 0) q.validate_invariants();
+  }
+  // Stale ids (already cancelled) stay dead through the churn.
+  std::vector<EventId> stale;
+  for (int i = 0; i < 10; ++i) {
+    const EventId id = q.schedule(SimTime{50.0}, [] {});
+    EXPECT_TRUE(q.cancel(id));
+    stale.push_back(id);
+  }
+  while (!q.empty()) (void)q.pop();
+  for (const EventId id : stale) EXPECT_FALSE(q.cancel(id));
+  q.validate_invariants();
 }
 
 }  // namespace
