@@ -38,10 +38,12 @@ fi
 if [ -x "$LINT_BIN" ]; then
   note "rtdb_lint: $LINT_BIN"
   if "$LINT_BIN" --baseline scripts/lint_baseline.txt \
-                 --json "$BUILD_DIR/lint_findings.json"; then
+                 --check-stale-baseline \
+                 --json "$BUILD_DIR/lint_findings.json" \
+                 --dump-callgraph "$BUILD_DIR/callgraph.json"; then
     note 'lint/rtdb_lint: clean'
   else
-    fail 'rtdb_lint reported findings (see above; JSON in '"$BUILD_DIR"'/lint_findings.json)'
+    fail 'rtdb_lint reported findings or stale baseline entries (see above; JSON in '"$BUILD_DIR"'/lint_findings.json)'
   fi
 else
   # Fallback: the legacy grep lints, so the gate still has teeth when the

@@ -244,6 +244,8 @@ struct Registry {
   AllocScopeId alloc_scope = AllocScopeId::kNone;
 };
 
+// rtdb-lint: allow(mutable-static) the process-wide perf registry is the
+// audited observability seam; the sharding PR gives each shard its own
 inline Registry g_registry{};
 
 constexpr std::size_t idx(Counter c) { return static_cast<std::size_t>(c); }

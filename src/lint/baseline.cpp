@@ -28,10 +28,11 @@ std::vector<BaselineEntry> parse_baseline(std::string_view text,
   return out;
 }
 
-void apply_baseline(const std::vector<BaselineEntry>& baseline,
-                    std::vector<Finding>& findings,
-                    std::vector<Finding>& baselined) {
-  if (baseline.empty()) return;
+std::vector<std::string> apply_baseline(
+    const std::vector<BaselineEntry>& baseline, std::vector<Finding>& findings,
+    std::vector<Finding>& baselined) {
+  std::vector<std::string> stale;
+  if (baseline.empty()) return stale;
   std::map<std::pair<std::string, std::string>, int> budget;
   for (const BaselineEntry& e : baseline) {
     budget[{e.rule, e.file}] += e.count;
@@ -48,6 +49,24 @@ void apply_baseline(const std::vector<BaselineEntry>& baseline,
     }
   }
   findings = std::move(kept);
+  // Leftover budget = stale debt (the map iterates sorted, so the report
+  // order is deterministic).
+  for (const auto& [key, remaining] : budget) {
+    if (remaining <= 0) continue;
+    const int granted = [&] {
+      int n = 0;
+      for (const BaselineEntry& e : baseline) {
+        if (e.rule == key.first && e.file == key.second) n += e.count;
+      }
+      return n;
+    }();
+    stale.push_back("stale baseline entry: " + key.first + " " + key.second +
+                    " grandfathers " + std::to_string(granted) +
+                    " finding(s) but only " +
+                    std::to_string(granted - remaining) +
+                    " matched — prune it");
+  }
+  return stale;
 }
 
 std::string format_baseline(const std::vector<Finding>& findings) {

@@ -32,10 +32,13 @@ std::vector<BaselineEntry> parse_baseline(std::string_view text,
 
 /// Splits `findings` (pre-sorted by file/line) into surviving findings
 /// (returned in `findings`) and grandfathered ones (appended to
-/// `baselined`).
-void apply_baseline(const std::vector<BaselineEntry>& baseline,
-                    std::vector<Finding>& findings,
-                    std::vector<Finding>& baselined);
+/// `baselined`). Returns one description per *stale* (rule, file) budget —
+/// entries whose count exceeds the findings actually matched: dead debt
+/// that reads as live and must be pruned (`--check-stale-baseline` turns
+/// these into gate failures).
+std::vector<std::string> apply_baseline(
+    const std::vector<BaselineEntry>& baseline, std::vector<Finding>& findings,
+    std::vector<Finding>& baselined);
 
 /// Renders `findings` as baseline text (for --write-baseline).
 std::string format_baseline(const std::vector<Finding>& findings);

@@ -1,0 +1,431 @@
+#include "lint/call_graph.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string_view>
+
+#include "lint/rules_util.hpp"
+
+namespace rtdb::lint {
+namespace {
+
+using detail::is_id;
+using detail::is_punct;
+using detail::match_angle;
+using detail::npos;
+
+/// Basenames (no directory, no extension) of the PR 8 hot-path files whose
+/// RTDB_PERF_TIMER regions must stay allocation-free.
+constexpr std::string_view kHotBasenames[] = {
+    "event_queue", "network", "global_lock_table", "forward_list",
+    "wait_for_graph"};
+
+/// Unresolved callee names assumed to allocate (growth ops of the standard
+/// containers, the factory functions, std::function, std::to_string and the
+/// std::string producers). A call resolving to a *project* definition of the
+/// same name — e.g. common::FlatMap::insert — uses that definition's
+/// computed capability instead.
+constexpr std::string_view kAllocCatalog[] = {
+    "push_back", "emplace_back", "push_front", "emplace_front", "insert",
+    "emplace",   "insert_or_assign", "try_emplace", "resize", "reserve",
+    "append",    "assign", "push", "make_unique", "make_shared",
+    "to_string", "substr", "str", "function"};
+
+/// Keywords/control constructs that look like `name (` but are not calls.
+constexpr std::string_view kNotACall[] = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof", "catch",
+    "throw", "co_return", "co_await", "co_yield", "and", "or", "not",
+    "defined", "alignas", "decltype", "static_assert"};
+
+/// Allocating types whose by-value construction with an initializer is a
+/// direct allocation source (`std::string s = name();`).
+constexpr std::string_view kAllocTypes[] = {
+    "string", "vector", "deque", "map", "set", "multimap", "multiset",
+    "unordered_map", "unordered_set", "function", "stringstream",
+    "ostringstream"};
+
+template <std::size_t N>
+bool contains(const std::string_view (&arr)[N], std::string_view s) {
+  return std::find(std::begin(arr), std::end(arr), s) != std::end(arr);
+}
+
+/// The written `Class::`/`ns::` qualification ending just before token `at`,
+/// whether the chain is reached through `.`/`->`, and — for member access —
+/// the receiver identifier ("sim_" in `sim_.at(...)`, "this" for `this->`).
+void written_qualifier(const std::vector<Token>& ts, std::size_t at,
+                       std::string& written_class, bool& member_access,
+                       std::string& receiver) {
+  written_class.clear();
+  receiver.clear();
+  member_access = false;
+  if (at >= 2 && is_punct(ts[at - 1], "::")) {
+    std::size_t j = at - 2;
+    if (is_punct(ts[j], ">")) {  // Class<T>::name — walk back over the args
+      int depth = 0;
+      while (true) {
+        if (is_punct(ts[j], ">")) ++depth;
+        else if (is_punct(ts[j], ">>")) depth += 2;
+        else if (is_punct(ts[j], "<")) --depth;
+        if (depth <= 0 || j == 0) break;
+        --j;
+      }
+      if (j == 0) return;
+      --j;
+    }
+    if (ts[j].kind == TokKind::kIdentifier) {
+      written_class = ts[j].text;
+      if (j >= 1 && (is_punct(ts[j - 1], ".") || is_punct(ts[j - 1], "->"))) {
+        member_access = true;
+      }
+    }
+    return;
+  }
+  if (at >= 1 && (is_punct(ts[at - 1], ".") || is_punct(ts[at - 1], "->"))) {
+    member_access = true;
+    if (at >= 2 && ts[at - 2].kind == TokKind::kIdentifier) {
+      receiver = ts[at - 2].text;
+    }
+  }
+}
+
+}  // namespace
+
+bool is_hot_path_file(std::string_view rel_path) {
+  if (rel_path.substr(0, 4) != "src/") return false;
+  std::string_view base = rel_path;
+  if (const auto slash = base.rfind('/'); slash != std::string_view::npos) {
+    base = base.substr(slash + 1);
+  }
+  if (const auto dot = base.rfind('.'); dot != std::string_view::npos) {
+    base = base.substr(0, dot);
+  }
+  for (std::string_view h : kHotBasenames) {
+    if (base == h) return true;
+  }
+  return false;
+}
+
+CallGraph CallGraph::build(const Corpus& corpus) {
+  CallGraph g;
+
+  // Pass 1: every function definition in the corpus becomes a node.
+  struct FileScopes {
+    const SourceFile* file;
+    ScopeInfo scopes;
+  };
+  std::vector<FileScopes> per_file;
+  for (const SourceFile& f : corpus.files()) {
+    per_file.push_back({&f, extract_scopes(f)});
+    for (const FunctionDef& d : per_file.back().scopes.functions) {
+      CgFunction fn;
+      fn.file = f.rel_path();
+      fn.qualified_name = d.qualified_name;
+      fn.name = d.name;
+      fn.class_name = d.class_name;
+      fn.line = d.line;
+      g.fns_.push_back(std::move(fn));
+    }
+  }
+
+  // Name indexes for resolution.
+  std::map<std::string, std::vector<std::size_t>, std::less<>> by_name;
+  for (std::size_t i = 0; i < g.fns_.size(); ++i) {
+    by_name[g.fns_[i].name].push_back(i);
+  }
+
+  // Receiver typing: variable/member name -> declared principal types,
+  // corpus-wide (a .cpp's member calls type against its header's decls).
+  // Collisions union conservatively.
+  std::map<std::string, std::set<std::string>, std::less<>> recv_types;
+  for (const FileScopes& fs : per_file) {
+    for (const MemberDecl& m : fs.scopes.members) {
+      if (!m.type.empty()) recv_types[m.name].insert(m.type);
+    }
+    for (const NamespaceVar& v : fs.scopes.namespace_vars) {
+      if (!v.type.empty()) recv_types[v.name].insert(v.type);
+    }
+  }
+
+  // Pass 2: body scans — perf-timer regions, direct allocation sources and
+  // call sites, resolved against the name indexes.
+  std::size_t node = 0;
+  for (const FileScopes& fs : per_file) {
+    const std::vector<Token>& ts = fs.file->tokens();
+    for (const FunctionDef& d : fs.scopes.functions) {
+      CgFunction& fn = g.fns_[node++];
+      const std::size_t end = std::min(d.body_end, ts.size());
+      for (std::size_t j = d.body_begin; j < end; ++j) {
+        const Token& t = ts[j];
+        if (is_id(t, "RTDB_PERF_TIMER")) fn.has_perf_timer = true;
+
+        // Direct source: raw new (operator-new declarations have no body
+        // here; `new` in a function body is an allocation).
+        if (is_id(t, "new") && !fn.direct_alloc) {
+          fn.direct_alloc = true;
+          fn.direct_alloc_what = "raw `new`";
+          fn.direct_alloc_line = t.line;
+        }
+
+        // Direct source: string-literal concatenation.
+        if (is_punct(t, "+") && !fn.direct_alloc &&
+            ((j > d.body_begin && ts[j - 1].kind == TokKind::kString) ||
+             (j + 1 < end && ts[j + 1].kind == TokKind::kString))) {
+          fn.direct_alloc = true;
+          fn.direct_alloc_what = "string concatenation with `+`";
+          fn.direct_alloc_line = t.line;
+        }
+
+        // Direct source: by-value construction of an allocating type with
+        // an initializer (`std::string s = ...`, `std::vector<T> v{...}`).
+        if (t.kind == TokKind::kIdentifier && contains(kAllocTypes, t.text) &&
+            !fn.direct_alloc) {
+          std::size_t k = j + 1;
+          if (k < end && is_punct(ts[k], "<")) {
+            const std::size_t c = match_angle(ts, k);
+            if (c == npos || c + 1 >= end) continue;
+            k = c + 1;
+          }
+          if (k + 1 < end && ts[k].kind == TokKind::kIdentifier &&
+              !contains(kNotACall, ts[k].text) &&
+              (is_punct(ts[k + 1], "=") || is_punct(ts[k + 1], "{") ||
+               is_punct(ts[k + 1], "("))) {
+            fn.direct_alloc = true;
+            fn.direct_alloc_what =
+                "by-value " + t.text + " construction of `" + ts[k].text + "`";
+            fn.direct_alloc_line = t.line;
+          }
+        }
+
+        // Call sites: `name (` and the template form `name<...>(`.
+        if (t.kind != TokKind::kIdentifier || contains(kNotACall, t.text)) {
+          continue;
+        }
+        std::size_t open = npos;
+        if (j + 1 < end && is_punct(ts[j + 1], "(")) {
+          open = j + 1;
+        } else if (j + 1 < end && is_punct(ts[j + 1], "<")) {
+          const std::size_t c = match_angle(ts, j + 1);
+          if (c != npos && c + 1 < end && is_punct(ts[c + 1], "(")) open = c + 1;
+        }
+        if (open == npos) continue;
+
+        CallSite site;
+        site.name = t.text;
+        site.line = t.line;
+        std::string receiver;
+        written_qualifier(ts, j, site.written_class, site.member_access,
+                          receiver);
+
+        const auto it = by_name.find(site.name);
+        const std::vector<std::size_t> no_cands;
+        const std::vector<std::size_t>& cands =
+            it == by_name.end() ? no_cands : it->second;
+        if (!site.written_class.empty()) {
+          // Explicit `Class::name` / `ns::name`: class or qualified-suffix
+          // match only.
+          const std::string tail = site.written_class + "::" + site.name;
+          for (std::size_t cand : cands) {
+            const CgFunction& callee = g.fns_[cand];
+            const bool class_match = callee.class_name == site.written_class;
+            const bool suffix_match =
+                callee.qualified_name.size() >= tail.size() &&
+                callee.qualified_name.compare(
+                    callee.qualified_name.size() - tail.size(), tail.size(),
+                    tail) == 0;
+            if (class_match || suffix_match) site.resolved.push_back(cand);
+          }
+        } else if (site.member_access) {
+          // `obj.name(...)`: type the receiver via the corpus-wide
+          // declaration map. A std-container receiver types to no project
+          // class and falls through to the catalog — which is exactly the
+          // conservative answer for container growth ops.
+          const std::set<std::string>* types = nullptr;
+          std::set<std::string> self_type;
+          if (receiver == "this" && !fn.class_name.empty()) {
+            self_type.insert(fn.class_name);
+            types = &self_type;
+          } else if (const auto rt = recv_types.find(receiver);
+                     rt != recv_types.end()) {
+            types = &rt->second;
+          }
+          if (types != nullptr) {
+            for (std::size_t cand : cands) {
+              if (types->count(g.fns_[cand].class_name) != 0) {
+                site.resolved.push_back(cand);
+              }
+            }
+          } else {
+            // Untypable receiver (chained call, local, parameter): resolve
+            // only when the name is unambiguous project-wide — all
+            // definitions in one class — else fall to the catalog.
+            std::set<std::string> classes;
+            for (std::size_t cand : cands) {
+              classes.insert(g.fns_[cand].class_name);
+            }
+            if (classes.size() == 1) {
+              site.resolved = cands;
+            }
+          }
+        } else {
+          // Unqualified `name(...)`: prefer the caller's own class (a
+          // this-call), else every project definition of the name.
+          if (!fn.class_name.empty()) {
+            for (std::size_t cand : cands) {
+              if (g.fns_[cand].class_name == fn.class_name) {
+                site.resolved.push_back(cand);
+              }
+            }
+          }
+          if (site.resolved.empty()) site.resolved = cands;
+        }
+        if (site.resolved.empty() && contains(kAllocCatalog, site.name)) {
+          site.catalog_alloc = true;
+        }
+        fn.calls.push_back(std::move(site));
+      }
+
+      fn.hot_root = fn.has_perf_timer && is_hot_path_file(fn.file);
+
+      // Fold catalog hits into the node's direct capability so propagation
+      // only has to look at resolved edges.
+      if (!fn.direct_alloc) {
+        for (const CallSite& c : fn.calls) {
+          if (c.catalog_alloc) {
+            fn.direct_alloc = true;
+            fn.direct_alloc_is_catalog = true;
+            fn.direct_alloc_what =
+                "call to `" + (c.member_access ? "." + c.name : c.name) +
+                "(...)` (allocation catalog)";
+            fn.direct_alloc_line = c.line;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Pass 3: fixpoint — a function is allocation-capable when it has a
+  // direct source or any resolved callee is capable. Iterate in index order
+  // until stable (graph is small; determinism over speed).
+  for (std::size_t i = 0; i < g.fns_.size(); ++i) {
+    g.fns_[i].alloc_capable = g.fns_[i].direct_alloc;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (CgFunction& fn : g.fns_) {
+      if (fn.alloc_capable) continue;
+      for (const CallSite& c : fn.calls) {
+        for (std::size_t callee : c.resolved) {
+          if (callee < g.fns_.size() && g.fns_[callee].alloc_capable) {
+            fn.alloc_capable = true;
+            fn.alloc_via = callee;
+            fn.alloc_via_line = c.line;
+            changed = true;
+            break;
+          }
+        }
+        if (fn.alloc_capable) break;
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<std::size_t> CallGraph::functions_in(
+    std::string_view rel_path) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < fns_.size(); ++i) {
+    if (fns_[i].file == rel_path) out.push_back(i);
+  }
+  return out;
+}
+
+std::string CallGraph::alloc_path(std::size_t fn) const {
+  if (fn >= fns_.size() || !fns_[fn].alloc_capable) return {};
+  std::string path;
+  std::set<std::size_t> visited;
+  std::size_t cur = fn;
+  while (visited.insert(cur).second) {
+    const CgFunction& f = fns_[cur];
+    if (!path.empty()) path += " -> ";
+    path += f.qualified_name.empty() ? f.name : f.qualified_name;
+    if (f.direct_alloc) {
+      path += " [" + f.file + ":" + std::to_string(f.direct_alloc_line) +
+              ": " + f.direct_alloc_what + "]";
+      return path;
+    }
+    if (f.alloc_via >= fns_.size()) break;
+    cur = f.alloc_via;
+  }
+  return path;
+}
+
+namespace {
+void json_escape(const std::string& s, std::string& out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+}  // namespace
+
+std::string CallGraph::to_json() const {
+  std::string j;
+  j += "{\n  \"schema\": 1,\n  \"functions\": [\n";
+  for (std::size_t i = 0; i < fns_.size(); ++i) {
+    const CgFunction& f = fns_[i];
+    j += "    {\"id\": " + std::to_string(i) + ", \"name\": \"";
+    json_escape(f.qualified_name, j);
+    j += "\", \"file\": \"";
+    json_escape(f.file, j);
+    j += "\", \"line\": " + std::to_string(f.line);
+    j += std::string(", \"hot_root\": ") + (f.hot_root ? "true" : "false");
+    j += std::string(", \"alloc_capable\": ") +
+         (f.alloc_capable ? "true" : "false");
+    if (f.direct_alloc) {
+      j += ", \"direct_alloc\": \"";
+      json_escape(f.direct_alloc_what, j);
+      j += "\", \"direct_alloc_line\": " + std::to_string(f.direct_alloc_line);
+    }
+    j += ", \"calls\": [";
+    bool first = true;
+    for (const CallSite& c : f.calls) {
+      if (!first) j += ", ";
+      first = false;
+      j += "{\"name\": \"";
+      json_escape(c.name, j);
+      j += "\", \"line\": " + std::to_string(c.line);
+      if (!c.resolved.empty()) {
+        j += ", \"resolved\": [";
+        for (std::size_t r = 0; r < c.resolved.size(); ++r) {
+          if (r) j += ", ";
+          j += std::to_string(c.resolved[r]);
+        }
+        j += "]";
+      }
+      if (c.catalog_alloc) j += ", \"catalog_alloc\": true";
+      j += "}";
+    }
+    j += "]}";
+    j += i + 1 < fns_.size() ? ",\n" : "\n";
+  }
+  j += "  ]\n}\n";
+  return j;
+}
+
+}  // namespace rtdb::lint

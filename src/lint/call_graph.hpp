@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/rule.hpp"
+#include "lint/scopes.hpp"
+
+/// \file call_graph.hpp
+/// The semantic layer's second floor: a cross-TU call graph over every
+/// function definition the scope extractor finds in the corpus, with an
+/// allocation-capability bit propagated transitively through the edges.
+///
+/// Resolution is *name-based and conservative*: a call written
+/// `Class::name(...)` resolves to project definitions of `name` in `Class`;
+/// an unqualified or member-access call resolves to every project definition
+/// of that name. A call that resolves to nothing is checked against the
+/// allocation catalog (container growth ops, make_unique/make_shared,
+/// std::function construction, std::to_string, ...). Over-approximation is
+/// the point — the hot-path-alloc rule wants "provably allocation-free",
+/// so any possibly-allocating interpretation must count.
+///
+/// The graph is also persisted as a queryable artifact:
+/// `rtdb_lint --dump-callgraph callgraph.json` (schema in
+/// docs/static_analysis.md).
+
+namespace rtdb::lint {
+
+/// One call site inside a function body.
+struct CallSite {
+  std::string name;           ///< callee as written, last component ("schedule")
+  std::string written_class;  ///< explicit `Class::` qualification, or ""
+  int line = 0;
+  bool member_access = false;  ///< written `obj.name(...)` / `ptr->name(...)`
+  std::vector<std::size_t> resolved;  ///< indices of matching project defs
+  bool catalog_alloc = false;  ///< unresolved and in the allocation catalog
+};
+
+/// One function definition node.
+struct CgFunction {
+  std::string file;  ///< repo-relative path of the defining file
+  std::string qualified_name;
+  std::string name;
+  std::string class_name;
+  int line = 0;
+
+  bool has_perf_timer = false;  ///< body contains RTDB_PERF_TIMER(...)
+  bool hot_root = false;  ///< perf-timer region in a PR 8 hot-path file
+
+  /// Direct allocation capability of the body itself (before propagation).
+  bool direct_alloc = false;
+  std::string direct_alloc_what;  ///< human description of the first source
+  int direct_alloc_line = 0;
+  /// True when direct_alloc was folded in from a catalog call site (the
+  /// hot-path rule reports those per call site instead).
+  bool direct_alloc_is_catalog = false;
+
+  std::vector<CallSite> calls;
+
+  /// After propagation: this function may allocate, directly or via any
+  /// resolvable callee chain.
+  bool alloc_capable = false;
+  /// Index of the callee that first made this node capable (npos when the
+  /// capability is direct). Used to reconstruct one example path.
+  std::size_t alloc_via = static_cast<std::size_t>(-1);
+  int alloc_via_line = 0;  ///< line of that call site
+};
+
+class CallGraph {
+ public:
+  /// Builds the graph over every file in the corpus (scope extraction +
+  /// call-site extraction + allocation fixpoint). Deterministic: nodes in
+  /// corpus file order, then body order.
+  static CallGraph build(const Corpus& corpus);
+
+  [[nodiscard]] const std::vector<CgFunction>& functions() const {
+    return fns_;
+  }
+
+  /// Indices of functions defined in `rel_path`, in body order.
+  [[nodiscard]] std::vector<std::size_t> functions_in(
+      std::string_view rel_path) const;
+
+  /// One example call chain explaining why `fn` is allocation-capable:
+  /// "a() -> b() [file:line] -> ... -> <direct source>". Empty when the
+  /// function is not capable.
+  [[nodiscard]] std::string alloc_path(std::size_t fn) const;
+
+  /// The whole graph as a JSON document (schema 1, see docs).
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::vector<CgFunction> fns_;
+};
+
+/// True when `rel_path` is one of the PR 8 hot-path files whose
+/// RTDB_PERF_TIMER regions the hot-path-alloc rule guards.
+[[nodiscard]] bool is_hot_path_file(std::string_view rel_path);
+
+}  // namespace rtdb::lint

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "lint/baseline.hpp"
+#include "lint/call_graph.hpp"
 #include "lint/rules.hpp"
 
 namespace rtdb::lint {
@@ -160,7 +161,18 @@ LintReport run_lint(const LintOptions& opts) {
       std::ostringstream buf;
       buf << in.rdbuf();
       const auto baseline = parse_baseline(buf.str(), report.errors);
-      apply_baseline(baseline, report.active, report.baselined);
+      report.stale_baseline =
+          apply_baseline(baseline, report.active, report.baselined);
+    }
+  }
+  report.fail_on_stale = opts.check_stale_baseline;
+
+  if (!opts.callgraph_path.empty()) {
+    std::ofstream out(opts.callgraph_path, std::ios::binary);
+    if (!out) {
+      report.errors.push_back("cannot write callgraph " + opts.callgraph_path);
+    } else {
+      out << CallGraph::build(corpus).to_json();
     }
   }
   return report;
@@ -170,6 +182,10 @@ std::string render_text(const LintReport& report, bool verbose) {
   std::string out;
   for (const std::string& e : report.errors) {
     out += "rtdb_lint: error: " + e + "\n";
+  }
+  for (const std::string& s : report.stale_baseline) {
+    out += std::string("rtdb_lint: ") +
+           (report.fail_on_stale ? "error: " : "warning: ") + s + "\n";
   }
   for (const Finding& f : report.active) {
     out += f.file + ":" + std::to_string(f.line) + ": " +
@@ -201,7 +217,12 @@ std::string render_json(const LintReport& report) {
                     std::to_string(report.suppressed.size()) +
                     ",\n  \"baselined\": " +
                     std::to_string(report.baselined.size()) +
-                    ",\n  \"findings\": [\n";
+                    ",\n  \"stale_baseline\": [";
+  for (std::size_t i = 0; i < report.stale_baseline.size(); ++i) {
+    out += std::string(i ? ", " : "") + "\"" +
+           json_escape(report.stale_baseline[i]) + "\"";
+  }
+  out += "],\n  \"findings\": [\n";
   bool first = true;
   append_findings_json(out, report.active, "active", first);
   append_findings_json(out, report.suppressed, "suppressed", first);
@@ -212,6 +233,7 @@ std::string render_json(const LintReport& report) {
 
 int exit_code(const LintReport& report) {
   if (!report.errors.empty()) return 2;
+  if (report.fail_on_stale && !report.stale_baseline.empty()) return 1;
   return report.active.empty() ? 0 : 1;
 }
 

@@ -23,6 +23,14 @@ struct LintOptions {
 
   /// Baseline file path (relative to cwd or absolute); empty = none.
   std::string baseline_path;
+
+  /// When set, stale baseline entries (dead debt) fail the gate instead of
+  /// only being reported.
+  bool check_stale_baseline = false;
+
+  /// When non-empty, the cross-TU call graph (call_graph.hpp) is written
+  /// here as JSON after the scan.
+  std::string callgraph_path;
 };
 
 struct LintReport {
@@ -30,6 +38,8 @@ struct LintReport {
   std::vector<Finding> suppressed;  ///< waived by inline annotations
   std::vector<Finding> baselined;   ///< grandfathered by the baseline file
   std::vector<std::string> errors;  ///< IO/baseline-parse problems
+  std::vector<std::string> stale_baseline;  ///< dead-debt ledger entries
+  bool fail_on_stale = false;  ///< from LintOptions.check_stale_baseline
   int files_scanned = 0;
 };
 

@@ -193,7 +193,8 @@ LexResult lex(std::string_view src) {
     }
 
     // ---- preprocessor directive: swallow the whole logical line ----
-    if (c == '#' && cur.line() != last_code_line) {
+    if ((c == '#' || (c == '%' && cur.peek(1) == ':')) &&
+        cur.line() != last_code_line) {
       const int start = cur.line();
       std::string text;
       while (!cur.eof() && cur.peek() != '\n') text += cur.get();
@@ -247,6 +248,43 @@ LexResult lex(std::string_view src) {
       }
       emit(TokKind::kNumber, std::move(num), start);
       continue;
+    }
+
+    // ---- digraphs, translated to their primary spellings ----
+    // ([lex.digraph]; checked before maximal munch so `<%` does not decay
+    // to a lone `<`). The one subtlety is `<::`: unless followed by `:` or
+    // `>`, the `<` stands alone so `vector<::Global>` keeps its `<` `::`.
+    {
+      const int start = cur.line();
+      auto emit_digraph = [&](std::size_t len, const char* spelled) {
+        for (std::size_t k = 0; k < len; ++k) cur.get();
+        emit(TokKind::kPunct, spelled, start);
+      };
+      if (c == '%' && cur.peek(1) == ':') {
+        if (cur.peek(2) == '%' && cur.peek(3) == ':') {
+          emit_digraph(4, "##");
+        } else {
+          emit_digraph(2, "#");
+        }
+        continue;
+      }
+      if (c == '<' && cur.peek(1) == '%') {
+        emit_digraph(2, "{");
+        continue;
+      }
+      if (c == '%' && cur.peek(1) == '>') {
+        emit_digraph(2, "}");
+        continue;
+      }
+      if (c == '<' && cur.peek(1) == ':' &&
+          !(cur.peek(2) == ':' && cur.peek(3) != ':' && cur.peek(3) != '>')) {
+        emit_digraph(2, "[");
+        continue;
+      }
+      if (c == ':' && cur.peek(1) == '>') {
+        emit_digraph(2, "]");
+        continue;
+      }
     }
 
     // ---- punctuation, maximal munch ----

@@ -25,11 +25,19 @@ std::unique_ptr<Rule> make_float_accum_rule();
 // rules_layering.cpp — the subsystem DAG, from real #include edges.
 std::unique_ptr<Rule> make_layering_rule();
 
-// rules_concurrency.cpp — shared-mutable-state pre-flags.
+// rules_concurrency.cpp — concurrency-readiness (scope-aware, scopes.hpp).
 std::unique_ptr<Rule> make_mutable_static_rule();
+std::unique_ptr<Rule> make_shared_state_rule();
 
 // rules_seam.cpp — protocol traffic goes through Network::send/FaultHook.
 std::unique_ptr<Rule> make_net_seam_rule();
+
+// rules_hotpath.cpp — call-graph allocation prover (call_graph.hpp).
+std::unique_ptr<Rule> make_hot_path_alloc_rule();
+
+// rules_protocol.cpp — MessageKind switch totality + dispatch coverage.
+std::unique_ptr<Rule> make_protocol_totality_rule();
+std::unique_ptr<Rule> make_protocol_dispatch_rule();
 
 // rules.cpp — suppression hygiene (needs the full catalog's names).
 std::unique_ptr<Rule> make_suppression_hygiene_rule(

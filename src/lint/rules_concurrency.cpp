@@ -1,13 +1,21 @@
 #include "lint/rules.hpp"
 #include "lint/rules_util.hpp"
+#include "lint/scopes.hpp"
 
 /// \file rules_concurrency.cpp
-/// Concurrency-readiness pre-flags. The simulator is single-threaded today;
-/// the multi-server roadmap ends that. Mutable static state is the thing
-/// that silently breaks first when a second thread (or a second System in
-/// one process) appears, so every non-const static is surfaced *now* —
-/// each one must become const, move into its owning object, or carry an
-/// explicit justification before the refactor starts.
+/// Concurrency-readiness rules. The simulator is single-threaded today; the
+/// sharded multi-server roadmap ends that. Two rules guard the transition:
+///
+///  * mutable-static — scope-aware (via the scopes.hpp extractor): non-const
+///    namespace-scope state (static or not), non-const static data members,
+///    and function-local mutable statics. Each one must become const, move
+///    into its owning object, or carry a justification.
+///  * shared-state — `mutable` members of classes in the lock/net/core
+///    subsystems must declare their discipline with a `shared(<discipline>)`
+///    annotation after the `rtdb-lint` marker (grammar in source_file.hpp);
+///    the sharding PR will check the declared disciplines against real
+///    thread boundaries. Malformed annotations are findings wherever they
+///    appear.
 
 namespace rtdb::lint {
 namespace {
@@ -19,6 +27,10 @@ bool is_const_marker(const Token& t) {
   return is_id(t, "const") || is_id(t, "constexpr") || is_id(t, "constinit");
 }
 
+bool in_lint_scope(const SourceFile& f) {
+  return f.under("src") || f.under("tools") || f.under("bench");
+}
+
 class MutableStaticRule final : public Rule {
  public:
   [[nodiscard]] std::string_view name() const override {
@@ -26,43 +38,101 @@ class MutableStaticRule final : public Rule {
   }
   [[nodiscard]] Severity severity() const override { return Severity::kError; }
   [[nodiscard]] std::string_view summary() const override {
-    return "non-const static/global state in src/ — hidden shared state "
+    return "non-const namespace-scope/static state — hidden shared state "
            "that breaks once multiple servers/threads exist";
   }
 
   void check(const SourceFile& f, const Corpus& /*corpus*/,
              std::vector<Finding>& out) const override {
-    if (!f.under("src")) return;
+    if (!in_lint_scope(f)) return;
+    const ScopeInfo scopes = extract_scopes(f);
+
+    for (const NamespaceVar& v : scopes.namespace_vars) {
+      if (v.is_const) continue;
+      add(f, v.line,
+          "non-const namespace-scope state `" + v.name +
+              "` — shared mutable state; make it const/constexpr, move it "
+              "into the owning object, or annotate with a justification "
+              "for the multi-server refactor to audit",
+          out);
+    }
+
+    for (const MemberDecl& m : scopes.members) {
+      if (!m.is_static || m.is_const) continue;
+      add(f, m.line,
+          "non-const static data member `" + m.class_name + "::" + m.name +
+              "` — one instance shared by every object and every future "
+              "server; make it const or per-instance",
+          out);
+    }
+
+    // Function-local mutable statics: a `static` inside a recorded body
+    // whose declaration head carries no const qualifier.
     const auto& ts = f.tokens();
-    for (std::size_t i = 0; i < ts.size(); ++i) {
-      if (!is_id(ts[i], "static")) continue;
-      // `const static` / `constexpr static` — qualifier may precede.
-      bool const_qualified = false;
-      for (std::size_t b = i; b > 0 && b + 3 > i; --b) {
-        if (is_const_marker(ts[b - 1])) const_qualified = true;
-        else if (!is_id(ts[b - 1], "inline")) break;
-      }
-      // Scan the declaration head: stop at the declarator's end or at an
-      // argument list (a function — stateless, fine).
-      bool function_like = false;
-      for (std::size_t j = i + 1; j < ts.size() && j < i + 40; ++j) {
-        const Token& t = ts[j];
-        if (is_const_marker(t)) {
-          const_qualified = true;
-          continue;
+    for (const FunctionDef& fn : scopes.functions) {
+      const std::size_t end = std::min(fn.body_end, ts.size());
+      for (std::size_t i = fn.body_begin; i < end; ++i) {
+        if (!is_id(ts[i], "static")) continue;
+        bool const_qualified = false;
+        for (std::size_t j = i + 1; j < end && j < i + 40; ++j) {
+          const Token& t = ts[j];
+          if (is_const_marker(t)) {
+            const_qualified = true;
+            break;
+          }
+          if (is_punct(t, ";") || is_punct(t, "=") || is_punct(t, "{") ||
+              is_punct(t, "(")) {
+            break;
+          }
         }
-        if (is_punct(t, "(")) {
-          function_like = true;
-          break;
-        }
-        if (is_punct(t, ";") || is_punct(t, "=") || is_punct(t, "{")) break;
-        if (j + 1 == ts.size() || j + 1 == i + 40) function_like = true;
+        if (const_qualified) continue;
+        add(f, ts[i].line,
+            "function-local mutable static in `" + fn.name +
+                "` — per-process state that aliases across servers/threads; "
+                "hoist it into the owning object or make it const",
+            out);
       }
-      if (const_qualified || function_like) continue;
-      add(f, ts[i].line,
-          "non-const static — shared mutable state; make it "
-          "const/constexpr, move it into the owning object, or annotate "
-          "with a justification for the multi-server refactor to audit",
+    }
+  }
+};
+
+class SharedStateRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "shared-state";
+  }
+  [[nodiscard]] Severity severity() const override { return Severity::kError; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "mutable member in a lock/net/core class without a "
+           "rtdb-lint: shared(<discipline>) annotation";
+  }
+
+  void check(const SourceFile& f, const Corpus& /*corpus*/,
+             std::vector<Finding>& out) const override {
+    if (!in_lint_scope(f)) return;
+
+    // Grammar hygiene applies everywhere an annotation appears.
+    for (const SharedAnnotation& a : f.shared_annotations()) {
+      if (!a.malformed) continue;
+      add(f, a.first_line,
+          "malformed shared(...) annotation — syntax is `// rtdb-lint: "
+          "shared(<discipline>) <note>` with discipline one of "
+          "single-thread, guarded-by:<name>, atomic, read-only, "
+          "partitioned, and the note is mandatory",
+          out);
+    }
+
+    const std::string& sub = f.subsystem();
+    if (sub != "lock" && sub != "net" && sub != "core") return;
+    const ScopeInfo scopes = extract_scopes(f);
+    for (const MemberDecl& m : scopes.members) {
+      if (!m.is_mutable || f.shared_annotated(m.line)) continue;
+      add(f, m.line,
+          "mutable member `" + m.class_name + "::" + m.name +
+              "` in the " + sub +
+              " subsystem without a shared(<discipline>) annotation — "
+              "declare how it stays safe before the sharding refactor "
+              "(see docs/static_analysis.md)",
           out);
     }
   }
@@ -72,6 +142,10 @@ class MutableStaticRule final : public Rule {
 
 std::unique_ptr<Rule> make_mutable_static_rule() {
   return std::make_unique<MutableStaticRule>();
+}
+
+std::unique_ptr<Rule> make_shared_state_rule() {
+  return std::make_unique<SharedStateRule>();
 }
 
 }  // namespace rtdb::lint

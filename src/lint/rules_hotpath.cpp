@@ -1,0 +1,80 @@
+#include "lint/call_graph.hpp"
+#include "lint/rules.hpp"
+
+/// \file rules_hotpath.cpp
+/// hot-path-alloc: the static counterpart of PR 8's runtime allocation
+/// census. PR 8 hand-audited the RTDB_PERF_TIMER regions in
+/// event_queue/network/global_lock_table/forward_list/wait_for_graph to be
+/// allocation-free in steady state; the runtime census only sees the paths
+/// a given sweep exercises. This rule proves the property over the whole
+/// call graph: every function containing an RTDB_PERF_TIMER in one of the
+/// hot files is a *hot root*, and every allocation capability reachable
+/// from it — a direct source in its body, a call into the allocation
+/// catalog, or a call resolving to any project function that is
+/// transitively allocation-capable — is a finding.
+///
+/// Conservative by construction (see call_graph.hpp): name-based resolution
+/// over-approximates, and the timer is treated as scoping the whole
+/// function body. Deliberate high-water growth (slab/heap/scratch vectors
+/// that reach steady state and then recycle) is waived per call site with
+/// an `allow(hot-path-alloc)` suppression carrying the justification.
+
+namespace rtdb::lint {
+namespace {
+
+class HotPathAllocRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "hot-path-alloc";
+  }
+  [[nodiscard]] Severity severity() const override { return Severity::kError; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "allocation capability reachable from an RTDB_PERF_TIMER region "
+           "in a hot-path file (transitive, via the call graph)";
+  }
+
+  void check(const SourceFile& f, const Corpus& corpus,
+             std::vector<Finding>& out) const override {
+    if (!is_hot_path_file(f.rel_path())) return;
+    // Rebuilt per hot file: the graph is corpus-wide but cheap (a handful
+    // of hot files per scan), and rules are stateless by contract.
+    const CallGraph graph = CallGraph::build(corpus);
+    for (const std::size_t idx : graph.functions_in(f.rel_path())) {
+      const CgFunction& fn = graph.functions()[idx];
+      if (!fn.hot_root) continue;
+
+      if (fn.direct_alloc && !fn.direct_alloc_is_catalog) {
+        add(f, fn.direct_alloc_line,
+            "hot region `" + fn.name + "` allocates: " + fn.direct_alloc_what,
+            out);
+      }
+      for (const CallSite& c : fn.calls) {
+        if (c.catalog_alloc) {
+          add(f, c.line,
+              "allocating call `" + c.name +
+                  "(...)` (allocation catalog) inside the RTDB_PERF_TIMER "
+                  "region of `" +
+                  fn.name + "`",
+              out);
+          continue;
+        }
+        for (const std::size_t callee : c.resolved) {
+          if (!graph.functions()[callee].alloc_capable) continue;
+          add(f, c.line,
+              "call from hot region `" + fn.name +
+                  "` may allocate: " + graph.alloc_path(callee),
+              out);
+          break;  // one finding per call site, first capable resolution
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_hot_path_alloc_rule() {
+  return std::make_unique<HotPathAllocRule>();
+}
+
+}  // namespace rtdb::lint

@@ -1,0 +1,241 @@
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+#include "lint/rules_util.hpp"
+
+/// \file rules_protocol.cpp
+/// Protocol-totality rules for the typed message layer (PR 3). The
+/// MessageKind enum is the protocol's spine: the direction table, the
+/// to_string coverage and every per-kind dispatch switch must stay total as
+/// kinds are added — especially once the sharded topology multiplies the
+/// protocol surface. Two rules:
+///
+///  * protocol-totality — every `switch` whose case labels name
+///    net::MessageKind must enumerate kinds explicitly: a `default:` label
+///    is a finding (it swallows future kinds instead of failing
+///    compilation), and any kind missing from the switch is a finding
+///    (kKindCount itself is optional — it is the sentinel).
+///  * protocol-dispatch — every kind in the enum must have at least one
+///    typed `send<MessageKind::kX>(...)` site somewhere in the scan; a kind
+///    nobody can send is dead protocol surface (or a forgotten handler).
+///    Skipped when the scan contains no send<> sites at all (partial
+///    scans of a single subsystem are not dispatch-complete by design).
+///
+/// Both rules locate the enum by path (a file ending in "net/message.hpp"),
+/// so fixture corpora can carry their own miniature protocol.
+
+namespace rtdb::lint {
+namespace {
+
+using detail::is_id;
+using detail::is_punct;
+using detail::match_paren;
+using detail::npos;
+
+struct EnumKind {
+  std::string name;
+  int line = 0;
+};
+
+/// Finds `enum class MessageKind { ... }` in `f`; returns the enumerators.
+std::vector<EnumKind> parse_message_kinds(const SourceFile& f) {
+  std::vector<EnumKind> kinds;
+  const auto& ts = f.tokens();
+  for (std::size_t i = 0; i + 2 < ts.size(); ++i) {
+    if (!is_id(ts[i], "enum") || !is_id(ts[i + 1], "class") ||
+        !is_id(ts[i + 2], "MessageKind")) {
+      continue;
+    }
+    std::size_t j = i + 3;
+    while (j < ts.size() && !is_punct(ts[j], "{") && !is_punct(ts[j], ";")) {
+      ++j;  // skip the underlying-type clause
+    }
+    if (j >= ts.size() || !is_punct(ts[j], "{")) return kinds;
+    const std::size_t close = match_paren(ts, j, "{", "}");
+    if (close == npos) return kinds;
+    // Enumerators: an identifier at list position (start or after a comma).
+    bool at_item = true;
+    for (std::size_t k = j + 1; k < close; ++k) {
+      if (at_item && ts[k].kind == TokKind::kIdentifier) {
+        kinds.push_back({ts[k].text, ts[k].line});
+        at_item = false;
+      }
+      if (is_punct(ts[k], ",")) at_item = true;
+    }
+    return kinds;
+  }
+  return kinds;
+}
+
+/// The corpus file defining the MessageKind enum (path ends in
+/// "net/message.hpp"), or nullptr.
+const SourceFile* find_protocol_header(const Corpus& corpus) {
+  for (const SourceFile& f : corpus.files()) {
+    const std::string& p = f.rel_path();
+    constexpr std::string_view kTail = "net/message.hpp";
+    if (p.size() >= kTail.size() &&
+        p.compare(p.size() - kTail.size(), kTail.size(), kTail) == 0) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+class ProtocolTotalityRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "protocol-totality";
+  }
+  [[nodiscard]] Severity severity() const override { return Severity::kError; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "switch over net::MessageKind with a default: label or with "
+           "kinds missing — future kinds must fail compilation, not fall "
+           "through";
+  }
+
+  void check(const SourceFile& f, const Corpus& corpus,
+             std::vector<Finding>& out) const override {
+    if (!f.under("src") && !f.under("tools") && !f.under("bench")) return;
+    const auto& ts = f.tokens();
+
+    std::vector<EnumKind> all_kinds;
+    if (const SourceFile* hdr = find_protocol_header(corpus)) {
+      all_kinds = parse_message_kinds(*hdr);
+    }
+
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (!is_id(ts[i], "switch")) continue;
+      std::size_t j = i + 1;
+      if (j >= ts.size() || !is_punct(ts[j], "(")) continue;
+      const std::size_t cond_close = match_paren(ts, j, "(", ")");
+      if (cond_close == npos) continue;
+      std::size_t body_open = cond_close + 1;
+      if (body_open >= ts.size() || !is_punct(ts[body_open], "{")) continue;
+      const std::size_t body_close = match_paren(ts, body_open, "{", "}");
+      if (body_close == npos) continue;
+
+      // Collect this switch's own labels, skipping nested switch bodies.
+      bool mentions_kind = false;
+      bool has_default = false;
+      int default_line = 0;
+      std::vector<std::string> cases;
+      for (std::size_t k = body_open + 1; k < body_close; ++k) {
+        if (is_id(ts[k], "switch")) {
+          std::size_t n = k + 1;
+          while (n < body_close && !is_punct(ts[n], "{")) ++n;
+          const std::size_t nested_close = match_paren(ts, n, "{", "}");
+          if (nested_close == npos) break;
+          k = nested_close;
+          continue;
+        }
+        if (is_id(ts[k], "default") && k + 1 < body_close &&
+            is_punct(ts[k + 1], ":")) {
+          has_default = true;
+          default_line = ts[k].line;
+          continue;
+        }
+        if (!is_id(ts[k], "case")) continue;
+        // Label tokens up to the single `:` (the `::` punct is distinct,
+        // so qualified enumerators scan cleanly).
+        std::string last_ident;
+        std::size_t n = k + 1;
+        for (; n < body_close && !is_punct(ts[n], ":"); ++n) {
+          if (is_id(ts[n], "MessageKind")) mentions_kind = true;
+          if (ts[n].kind == TokKind::kIdentifier) last_ident = ts[n].text;
+        }
+        if (!last_ident.empty()) cases.push_back(std::move(last_ident));
+        k = n;
+      }
+      if (!mentions_kind) continue;
+
+      if (has_default) {
+        add(f, default_line,
+            "switch over net::MessageKind has a `default:` — it swallows "
+            "future kinds silently; enumerate every kind so additions fail "
+            "compilation here",
+            out);
+      }
+      for (const EnumKind& kind : all_kinds) {
+        if (kind.name == "kKindCount") continue;  // sentinel is optional
+        if (std::find(cases.begin(), cases.end(), kind.name) != cases.end()) {
+          continue;
+        }
+        // A defaulted switch already fails above; missing kinds without a
+        // default would not even compile under -Wswitch, but macros or
+        // non-enum conditions can hide that — report regardless.
+        add(f, ts[i].line,
+            "switch over net::MessageKind does not handle " + kind.name,
+            out);
+      }
+    }
+  }
+};
+
+class ProtocolDispatchRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "protocol-dispatch";
+  }
+  [[nodiscard]] Severity severity() const override { return Severity::kError; }
+  [[nodiscard]] std::string_view summary() const override {
+    return "MessageKind with no typed send<MessageKind::kX>() dispatch site "
+           "anywhere in the scan — dead or unroutable protocol surface";
+  }
+
+  void check(const SourceFile& f, const Corpus& corpus,
+             std::vector<Finding>& out) const override {
+    // Anchored to the protocol header so the findings appear on the enum.
+    if (find_protocol_header(corpus) != &f) return;
+    const std::vector<EnumKind> kinds = parse_message_kinds(f);
+    if (kinds.empty()) return;
+
+    // Every `send < ... MessageKind :: kX ... > (` site in the corpus.
+    std::vector<std::string> dispatched;
+    bool any_send = false;
+    for (const SourceFile& file : corpus.files()) {
+      const auto& ts = file.tokens();
+      for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+        if (!is_id(ts[i], "send") || !is_punct(ts[i + 1], "<")) continue;
+        const std::size_t close = detail::match_angle(ts, i + 1);
+        if (close == npos) continue;
+        any_send = true;
+        for (std::size_t k = i + 2; k < close; ++k) {
+          if (is_id(ts[k], "MessageKind") && k + 2 < close &&
+              is_punct(ts[k + 1], "::")) {
+            dispatched.push_back(ts[k + 2].text);
+          }
+        }
+      }
+    }
+    // Partial scans (a single subsystem) see no dispatch sites; only a
+    // corpus that sends at all is expected to be dispatch-complete.
+    if (!any_send) return;
+
+    for (const EnumKind& kind : kinds) {
+      if (kind.name == "kKindCount") continue;
+      if (std::find(dispatched.begin(), dispatched.end(), kind.name) !=
+          dispatched.end()) {
+        continue;
+      }
+      add(f, kind.line,
+          "MessageKind::" + kind.name +
+              " has no typed dispatch site (Network::send<MessageKind::" +
+              kind.name + ">) anywhere in the scan",
+          out);
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> make_protocol_totality_rule() {
+  return std::make_unique<ProtocolTotalityRule>();
+}
+
+std::unique_ptr<Rule> make_protocol_dispatch_rule() {
+  return std::make_unique<ProtocolDispatchRule>();
+}
+
+}  // namespace rtdb::lint

@@ -1,0 +1,559 @@
+#include "lint/scopes.hpp"
+
+#include <algorithm>
+
+#include "lint/rules_util.hpp"
+
+namespace rtdb::lint {
+namespace {
+
+using detail::is_id;
+using detail::is_punct;
+using detail::match_angle;
+using detail::match_paren;
+using detail::npos;
+
+bool is_const_marker(const Token& t) {
+  return is_id(t, "const") || is_id(t, "constexpr") || is_id(t, "constinit");
+}
+
+bool is_access_spec(const Token& t) {
+  return is_id(t, "public") || is_id(t, "private") || is_id(t, "protected");
+}
+
+/// Identifiers that can never start a variable/function declarator we care
+/// about; a declaration led by one is skipped to its `;`.
+bool is_skip_decl_keyword(const Token& t) {
+  return is_id(t, "using") || is_id(t, "typedef") || is_id(t, "friend") ||
+         is_id(t, "static_assert") || is_id(t, "concept") ||
+         is_id(t, "goto") || is_id(t, "asm");
+}
+
+/// The walker: one pass over the token stream with an explicit scope stack.
+/// Function bodies are skipped wholesale (call extraction happens later, in
+/// call_graph.cpp, over the recorded body ranges).
+class ScopeWalker {
+ public:
+  explicit ScopeWalker(const SourceFile& f) : ts_(f.tokens()) {}
+
+  ScopeInfo run() {
+    std::size_t i = 0;
+    while (i < ts_.size()) i = step(i);
+    return std::move(info_);
+  }
+
+ private:
+  enum class ScopeKind { kNamespace, kClass, kOpaque };
+  struct Scope {
+    ScopeKind kind;
+    std::string name;  ///< namespace or class name ("" for anonymous)
+  };
+
+  [[nodiscard]] bool in_class() const {
+    return !stack_.empty() && stack_.back().kind == ScopeKind::kClass;
+  }
+
+  [[nodiscard]] std::string current_class() const {
+    return in_class() ? stack_.back().name : std::string();
+  }
+
+  /// Scope-qualified prefix ("rtdb::sim::EventQueue::") from the stack.
+  [[nodiscard]] std::string qualifier() const {
+    std::string q;
+    for (const Scope& s : stack_) {
+      if (s.kind == ScopeKind::kOpaque || s.name.empty()) continue;
+      q += s.name;
+      q += "::";
+    }
+    return q;
+  }
+
+  /// Index one past a balanced `{...}` group opening at `open`.
+  [[nodiscard]] std::size_t past_braces(std::size_t open) const {
+    const std::size_t close = match_paren(ts_, open, "{", "}");
+    return close == npos ? ts_.size() : close + 1;
+  }
+
+  /// Index one past the next top-level `;` (balanced through all brackets).
+  [[nodiscard]] std::size_t past_semicolon(std::size_t from) const {
+    int depth = 0;
+    for (std::size_t j = from; j < ts_.size(); ++j) {
+      const Token& t = ts_[j];
+      if (is_punct(t, "(") || is_punct(t, "{") || is_punct(t, "[")) ++depth;
+      else if (is_punct(t, ")") || is_punct(t, "}") || is_punct(t, "]")) {
+        --depth;
+      } else if (depth <= 0 && is_punct(t, ";")) {
+        return j + 1;
+      }
+    }
+    return ts_.size();
+  }
+
+  /// Dispatches one construct at declaration scope; returns the next index.
+  std::size_t step(std::size_t i) {
+    const Token& t = ts_[i];
+    if (t.kind == TokKind::kDirective || is_punct(t, ";")) return i + 1;
+
+    if (is_punct(t, "}")) {
+      if (!stack_.empty()) stack_.pop_back();
+      return i + 1;
+    }
+
+    if (is_id(t, "template")) {
+      // Skip the parameter list; the following declaration parses normally.
+      if (i + 1 < ts_.size() && is_punct(ts_[i + 1], "<")) {
+        const std::size_t close = match_angle(ts_, i + 1);
+        if (close != npos) return close + 1;
+      }
+      return i + 1;
+    }
+
+    if (is_id(t, "namespace")) return enter_namespace(i);
+    if (is_id(t, "class") || is_id(t, "struct") || is_id(t, "union")) {
+      return enter_class(i);
+    }
+    if (is_id(t, "enum")) return skip_enum(i);
+    if (is_skip_decl_keyword(t)) return past_semicolon(i);
+
+    if (is_id(t, "extern")) {
+      // `extern "C" { ... }` is transparent; `extern "C" decl;` and plain
+      // `extern` declarations parse as the declaration they prefix.
+      if (i + 1 < ts_.size() && ts_[i + 1].kind == TokKind::kString &&
+          i + 2 < ts_.size() && is_punct(ts_[i + 2], "{")) {
+        stack_.push_back({ScopeKind::kNamespace, ""});
+        return i + 3;
+      }
+      return parse_declaration(i);
+    }
+
+    if (in_class() && is_access_spec(t) && i + 1 < ts_.size() &&
+        is_punct(ts_[i + 1], ":")) {
+      return i + 2;
+    }
+
+    // A stray opener we cannot classify: stay safe, skip it balanced.
+    if (is_punct(t, "{")) return past_braces(i);
+
+    return parse_declaration(i);
+  }
+
+  std::size_t enter_namespace(std::size_t i) {
+    std::size_t j = i + 1;
+    std::vector<std::string> parts;
+    while (j < ts_.size() && ts_[j].kind == TokKind::kIdentifier) {
+      // Alias (`namespace fs = std::filesystem;`): not a scope.
+      if (j + 1 < ts_.size() && is_punct(ts_[j + 1], "=")) {
+        return past_semicolon(j);
+      }
+      parts.push_back(ts_[j].text);
+      if (j + 1 < ts_.size() && is_punct(ts_[j + 1], "::")) {
+        j += 2;
+        continue;
+      }
+      ++j;
+      break;
+    }
+    if (j < ts_.size() && is_punct(ts_[j], "{")) {
+      if (parts.empty()) parts.emplace_back();  // anonymous namespace
+      // The C++17 compact form `namespace a::b {` has ONE closing brace, so
+      // it gets one stack entry carrying the joined name.
+      std::string joined;
+      for (const std::string& p : parts) {
+        if (!joined.empty()) joined += "::";
+        joined += p;
+      }
+      stack_.push_back({ScopeKind::kNamespace, joined});
+      return j + 1;
+    }
+    return past_semicolon(i);
+  }
+
+  std::size_t enter_class(std::size_t i) {
+    std::size_t j = i + 1;
+    std::string name;
+    while (j < ts_.size()) {
+      const Token& t = ts_[j];
+      if (is_punct(t, ";")) return j + 1;  // forward declaration
+      if (is_punct(t, "{")) break;
+      if (is_punct(t, "(")) {
+        // `struct` used in a declarator (`struct stat st;` style) or a
+        // macro — not a definition we can enter. Reparse as declaration.
+        return parse_declaration(j);
+      }
+      if (is_punct(t, ":")) {
+        // Base list: skip to the body brace, stepping over template args.
+        while (j < ts_.size() && !is_punct(ts_[j], "{")) {
+          if (is_punct(ts_[j], "<")) {
+            const std::size_t close = match_angle(ts_, j);
+            if (close == npos) break;
+            j = close;
+          }
+          ++j;
+        }
+        break;
+      }
+      if (t.kind == TokKind::kIdentifier && !is_id(t, "final") &&
+          !is_id(t, "alignas")) {
+        name = t.text;
+      }
+      if (is_punct(t, "<")) {  // explicit specialization args
+        const std::size_t close = match_angle(ts_, j);
+        if (close == npos) return past_semicolon(j);
+        j = close;
+      }
+      ++j;
+    }
+    if (j < ts_.size() && is_punct(ts_[j], "{")) {
+      stack_.push_back({ScopeKind::kClass, name});
+      return j + 1;
+    }
+    return past_semicolon(i);
+  }
+
+  std::size_t skip_enum(std::size_t i) {
+    std::size_t j = i + 1;
+    while (j < ts_.size() && !is_punct(ts_[j], "{") &&
+           !is_punct(ts_[j], ";")) {
+      ++j;
+    }
+    if (j < ts_.size() && is_punct(ts_[j], "{")) {
+      const std::size_t past = past_braces(j);
+      return past < ts_.size() && is_punct(ts_[past], ";") ? past + 1 : past;
+    }
+    return j < ts_.size() ? j + 1 : j;
+  }
+
+  /// After a parameter list closed at `close`, walks the trailing
+  /// qualifiers (const/noexcept/&/&&/override/final/trailing return) and
+  /// a constructor initializer list. Returns the index of the body `{`,
+  /// or npos when this is not a function definition.
+  [[nodiscard]] std::size_t find_body_brace(std::size_t close) const {
+    std::size_t j = close + 1;
+    while (j < ts_.size()) {
+      const Token& t = ts_[j];
+      if (is_punct(t, "{")) return j;
+      if (is_punct(t, ";") || is_punct(t, ",") || is_punct(t, ")") ||
+          is_punct(t, "=")) {
+        return npos;  // declaration / `= default` / part of an expression
+      }
+      if (is_punct(t, ":")) return find_body_after_ctor_init(j);
+      if (is_id(t, "noexcept") && j + 1 < ts_.size() &&
+          is_punct(ts_[j + 1], "(")) {
+        const std::size_t c = match_paren(ts_, j + 1, "(", ")");
+        if (c == npos) return npos;
+        j = c + 1;
+        continue;
+      }
+      if (is_punct(t, "->")) {
+        // Trailing return type: scan to the body/terminator, stepping over
+        // template argument lists.
+        ++j;
+        while (j < ts_.size() && !is_punct(ts_[j], "{") &&
+               !is_punct(ts_[j], ";") && !is_punct(ts_[j], "=")) {
+          if (is_punct(ts_[j], "<")) {
+            const std::size_t c = match_angle(ts_, j);
+            if (c == npos) return npos;
+            j = c;
+          }
+          ++j;
+        }
+        return j < ts_.size() && is_punct(ts_[j], "{") ? j : npos;
+      }
+      if (t.kind == TokKind::kIdentifier || is_punct(t, "&") ||
+          is_punct(t, "&&")) {
+        ++j;  // const, noexcept, override, final, ref-qualifiers, macros
+        continue;
+      }
+      return npos;
+    }
+    return npos;
+  }
+
+  /// At the `:` of a constructor initializer list: walks
+  /// `member(init), base<T>{init}, ...` and returns the body `{`, or npos.
+  [[nodiscard]] std::size_t find_body_after_ctor_init(std::size_t colon) const {
+    std::size_t j = colon + 1;
+    while (j < ts_.size()) {
+      // One initializer: qualified-id (with optional template args) then a
+      // balanced (...) or {...} group.
+      while (j < ts_.size() &&
+             (ts_[j].kind == TokKind::kIdentifier || is_punct(ts_[j], "::") ||
+              is_punct(ts_[j], "~"))) {
+        ++j;
+        if (j < ts_.size() && is_punct(ts_[j], "<")) {
+          const std::size_t c = match_angle(ts_, j);
+          if (c == npos) return npos;
+          j = c + 1;
+        }
+      }
+      if (j >= ts_.size()) return npos;
+      if (is_punct(ts_[j], "(")) {
+        const std::size_t c = match_paren(ts_, j, "(", ")");
+        if (c == npos) return npos;
+        j = c + 1;
+      } else if (is_punct(ts_[j], "{")) {
+        const std::size_t c = match_paren(ts_, j, "{", "}");
+        if (c == npos) return npos;
+        j = c + 1;
+      } else if (is_punct(ts_[j], "...")) {
+        ++j;  // pack expansion after the init group — tolerated either side
+        continue;
+      } else {
+        return npos;
+      }
+      if (j < ts_.size() && is_punct(ts_[j], "...")) ++j;
+      if (j < ts_.size() && is_punct(ts_[j], ",")) {
+        ++j;
+        continue;
+      }
+      return j < ts_.size() && is_punct(ts_[j], "{") ? j : npos;
+    }
+    return npos;
+  }
+
+  /// Reads the declarator name ending just before the `(` at `paren`,
+  /// walking back over `A::B<T>::` qualification. Returns false when the
+  /// token before `(` cannot name a function.
+  bool read_callable_name(std::size_t paren, std::string& name,
+                          std::string& written_class, int& line) const {
+    if (paren == 0) return false;
+    std::size_t j = paren - 1;
+
+    // `operator@` / `operator()` / `operator[]` / `operator bool`.
+    for (std::size_t back = (j >= 4 ? j - 4 : 0); back <= j; ++back) {
+      if (is_id(ts_[back], "operator")) {
+        name = "operator";
+        for (std::size_t k = back + 1; k <= j; ++k) name += ts_[k].text;
+        line = ts_[back].line;
+        // Qualification before `operator` (rare out-of-line case).
+        written_class = written_class_before(back);
+        return true;
+      }
+    }
+
+    if (ts_[j].kind != TokKind::kIdentifier) return false;
+    name = ts_[j].text;
+    line = ts_[j].line;
+    if (j > 0 && is_punct(ts_[j - 1], "~")) {
+      name = "~" + name;
+      --j;
+    }
+    written_class = written_class_before(j);
+    return true;
+  }
+
+  /// The class name written immediately before token `at` as a
+  /// `Class::`/`Class<T>::` qualifier, or "".
+  [[nodiscard]] std::string written_class_before(std::size_t at) const {
+    if (at < 2 || !is_punct(ts_[at - 1], "::")) return {};
+    std::size_t j = at - 2;
+    if (is_punct(ts_[j], ">")) {
+      // Walk back over the template argument list to its `<`.
+      int depth = 0;
+      while (true) {
+        if (is_punct(ts_[j], ">")) ++depth;
+        else if (is_punct(ts_[j], ">>")) depth += 2;
+        else if (is_punct(ts_[j], "<")) --depth;
+        if (depth == 0 || j == 0) break;
+        --j;
+      }
+      if (j == 0) return {};
+      --j;
+    }
+    return ts_[j].kind == TokKind::kIdentifier ? ts_[j].text : std::string();
+  }
+
+  /// Parses one declaration at namespace or class scope starting at `i`.
+  /// Records a FunctionDef (and skips the body), a MemberDecl, or a
+  /// NamespaceVar; returns the index after the construct.
+  std::size_t parse_declaration(std::size_t i) {
+    bool saw_const = false;
+    bool saw_static = false;
+    bool saw_mutable = false;
+    bool saw_paren = false;
+    bool saw_extern = false;
+    std::size_t j = i;
+    while (j < ts_.size()) {
+      const Token& t = ts_[j];
+      if (is_const_marker(t)) saw_const = true;
+      if (is_id(t, "static")) saw_static = true;
+      if (is_id(t, "mutable")) saw_mutable = true;
+      if (is_id(t, "extern")) saw_extern = true;
+      if (is_id(t, "template") && j + 1 < ts_.size() &&
+          is_punct(ts_[j + 1], "<")) {
+        const std::size_t c = match_angle(ts_, j + 1);
+        if (c == npos) return past_semicolon(j);
+        j = c + 1;
+        continue;
+      }
+      if (is_punct(t, "<")) {
+        const std::size_t c = match_angle(ts_, j);
+        if (c == npos) {
+          ++j;  // a stray comparison — not at decl scope in practice
+          continue;
+        }
+        j = c + 1;
+        continue;
+      }
+      if (is_punct(t, "[") && j + 1 < ts_.size() && is_punct(ts_[j + 1], "[")) {
+        // [[attribute]]
+        const std::size_t c = match_paren(ts_, j, "[", "]");
+        if (c == npos) return past_semicolon(j);
+        j = c + 1;
+        continue;
+      }
+      if (is_punct(t, "=")) {
+        // An initializer — unless a parameter list came first, in which
+        // case this is `= default` / `= delete` on a function, not a var.
+        const std::size_t end = past_semicolon(j);
+        if (!saw_paren && !saw_extern) {
+          record_variable(i, end, saw_const, saw_static, saw_mutable);
+        }
+        return end;
+      }
+      if (is_punct(t, "{")) {
+        if (saw_paren) {
+          // A brace after a parameter list that find_body_brace rejected:
+          // a function definition shape we could not classify. Skip it
+          // balanced and record nothing — prefer a miss over a wrong range.
+          return past_braces(j);
+        }
+        // Brace initializer of a variable.
+        const std::size_t end = past_semicolon(j);
+        if (!saw_extern) {
+          record_variable(i, end, saw_const, saw_static, saw_mutable);
+        }
+        return end;
+      }
+      if (is_punct(t, ";")) {
+        if (!saw_paren && !saw_extern) {
+          record_variable(i, j + 1, saw_const, saw_static, saw_mutable);
+        }
+        return j + 1;
+      }
+      if (is_punct(t, "(")) {
+        saw_paren = true;
+        const std::size_t close = match_paren(ts_, j, "(", ")");
+        if (close == npos) return ts_.size();
+        std::string name, written_class;
+        int line = 0;
+        const bool callable =
+            read_callable_name(j, name, written_class, line);
+        const std::size_t body = callable ? find_body_brace(close) : npos;
+        if (body != npos) {
+          record_function(name, written_class, line, body);
+          return past_braces(body);
+        }
+        // Not a definition: a declaration, a ctor-style init, or a macro
+        // invocation. Skip past the group and keep scanning (a `;` or an
+        // initializer will terminate the declaration).
+        j = close + 1;
+        continue;
+      }
+      ++j;
+    }
+    return ts_.size();
+  }
+
+  void record_function(const std::string& name,
+                       const std::string& written_class, int line,
+                       std::size_t body_brace) {
+    FunctionDef fn;
+    fn.name = name;
+    fn.line = line;
+    fn.class_name = !written_class.empty() ? written_class : current_class();
+    std::string q = qualifier();
+    if (!written_class.empty()) q += written_class + "::";
+    fn.qualified_name = q + name;
+    fn.body_begin = body_brace + 1;
+    const std::size_t close = match_paren(ts_, body_brace, "{", "}");
+    fn.body_end = close == npos ? ts_.size() : close;
+    info_.functions.push_back(std::move(fn));
+  }
+
+  /// Records a member/namespace variable from the declaration tokens in
+  /// [begin, end). `end` is one past the `;`.
+  void record_variable(std::size_t begin, std::size_t end, bool is_const,
+                       bool is_static, bool is_mutable) {
+    if (end <= begin + 2) return;  // need at least `type name ;`
+    // The declared name: last top-level identifier before the terminator
+    // (`=`, brace-init, bitfield `:`, or the final `;`).
+    std::string name;
+    std::size_t name_idx = ts_.size();
+    int line = 0;
+    int ident_run = 0;
+    int depth = 0;
+    for (std::size_t j = begin; j + 1 < end; ++j) {
+      const Token& t = ts_[j];
+      if (is_punct(t, "(") || is_punct(t, "{") || is_punct(t, "[")) ++depth;
+      else if (is_punct(t, ")") || is_punct(t, "}") || is_punct(t, "]")) {
+        --depth;
+      }
+      if (depth > 0) continue;
+      if (is_punct(t, "=") || is_punct(t, "{") || is_punct(t, ":")) break;
+      if (t.kind == TokKind::kIdentifier) {
+        ++ident_run;
+        if (!is_const_marker(t) && !is_id(t, "static") &&
+            !is_id(t, "mutable") && !is_id(t, "inline") &&
+            !is_id(t, "extern") && !is_id(t, "thread_local") &&
+            !is_id(t, "volatile") && !is_id(t, "unsigned") &&
+            !is_id(t, "signed")) {
+          name = t.text;
+          name_idx = j;
+          line = t.line;
+        }
+      }
+    }
+    if (name.empty() || ident_run < 2) return;  // macro line / stray token
+    const std::string type = principal_type_before(name_idx, begin);
+    if (in_class()) {
+      info_.members.push_back(
+          MemberDecl{current_class(), name, type, line, is_mutable,
+                     is_static, is_const});
+    } else {
+      info_.namespace_vars.push_back(
+          NamespaceVar{name, type, line, is_const, is_static});
+    }
+  }
+
+  /// The principal type identifier of a declaration whose declared name sits
+  /// at `name_idx`: walk back over ref/pointer punctuation and one template
+  /// argument list to the type's last identifier ("vector" in
+  /// `std::vector<Entry> entries_`).
+  [[nodiscard]] std::string principal_type_before(std::size_t name_idx,
+                                                  std::size_t begin) const {
+    std::size_t j = name_idx;
+    while (j > begin) {
+      --j;
+      const Token& t = ts_[j];
+      if (is_punct(t, "&") || is_punct(t, "*") || is_punct(t, "&&")) continue;
+      if (is_punct(t, ">") || is_punct(t, ">>")) {
+        int depth = 0;
+        while (true) {
+          if (is_punct(ts_[j], ">")) ++depth;
+          else if (is_punct(ts_[j], ">>")) depth += 2;
+          else if (is_punct(ts_[j], "<")) --depth;
+          if (depth <= 0 || j == begin) break;
+          --j;
+        }
+        continue;
+      }
+      if (t.kind == TokKind::kIdentifier) {
+        if (is_const_marker(t) || is_id(t, "volatile")) continue;
+        return t.text;
+      }
+      break;
+    }
+    return {};
+  }
+
+  const std::vector<Token>& ts_;
+  std::vector<Scope> stack_;
+  ScopeInfo info_;
+};
+
+}  // namespace
+
+ScopeInfo extract_scopes(const SourceFile& f) { return ScopeWalker(f).run(); }
+
+}  // namespace rtdb::lint

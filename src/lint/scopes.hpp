@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/source_file.hpp"
+
+/// \file scopes.hpp
+/// The semantic layer's first floor: a per-file scope/function extractor
+/// built on the lexer's token stream. It recovers exactly the structure the
+/// semantic rules need — namespaces, class bodies, function definitions
+/// with their body token ranges, class data members, and namespace-scope
+/// variable definitions — without becoming a C++ parser.
+///
+/// Documented envelope (docs/static_analysis.md):
+///  * macro-generated functions are invisible (no preprocessing);
+///  * function *declarations* are not recorded, only definitions;
+///  * K&R-grade obfuscation (function-try-blocks, `auto f() -> type` with
+///    a body-shaped trailing return) may be skipped, never misattributed —
+///    the extractor prefers a miss over a wrong body range.
+
+namespace rtdb::lint {
+
+/// One function (or member function) definition found in a file.
+struct FunctionDef {
+  /// Scope-qualified name without template arguments:
+  /// "rtdb::sim::EventQueue::schedule". Out-of-line member definitions are
+  /// qualified by the written class path, so the .cpp definition and an
+  /// inline header definition of the same member agree.
+  std::string qualified_name;
+  std::string name;        ///< last component ("schedule")
+  std::string class_name;  ///< enclosing/written class ("EventQueue"), or ""
+  int line = 0;            ///< line of the declarator name
+
+  /// Token-index range of the body: [body_begin, body_end) brackets the
+  /// tokens between (not including) the braces.
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+};
+
+/// One class data member declaration (function members are FunctionDefs).
+struct MemberDecl {
+  std::string class_name;
+  std::string name;
+  /// Principal type identifier of the declaration, without qualification or
+  /// template arguments: "vector" for `std::vector<Entry> entries_`,
+  /// "Simulator" for `sim::Simulator& sim_`. Empty when unrecoverable.
+  /// The call graph uses this to type member-call receivers.
+  std::string type;
+  int line = 0;
+  bool is_mutable = false;  ///< declared with the `mutable` keyword
+  bool is_static = false;
+  bool is_const = false;  ///< const/constexpr/constinit qualified
+};
+
+/// One namespace-scope (or global-scope) variable *definition*.
+struct NamespaceVar {
+  std::string name;
+  std::string type;  ///< principal type identifier (see MemberDecl::type)
+  int line = 0;
+  bool is_const = false;   ///< const/constexpr/constinit qualified
+  bool is_static = false;  ///< declared with the `static` keyword
+};
+
+struct ScopeInfo {
+  std::vector<FunctionDef> functions;
+  std::vector<MemberDecl> members;
+  std::vector<NamespaceVar> namespace_vars;
+};
+
+/// Extracts the file's scope structure. Never fails; unparsable regions are
+/// skipped (see the envelope above).
+ScopeInfo extract_scopes(const SourceFile& f);
+
+}  // namespace rtdb::lint

@@ -33,6 +33,8 @@ void ForwardList::add(const ForwardEntry& entry) {
       [](const ForwardEntry& a, const ForwardEntry& b) {
         return a.priority < b.priority;
       });
+  // rtdb-lint: allow(hot-path-alloc) sorted-insert into the entries vector;
+  // capacity grows to the list's high-water mark then is reused
   entries_.insert(it, entry);
 }
 
@@ -49,6 +51,8 @@ std::optional<ForwardEntry> ForwardList::pop_next(
     }
     ++expired_dropped_;
     RTDB_PERF_COUNT(kFwdListExpiredDrops);
+    // rtdb-lint: allow(hot-path-alloc) expired entries spill into the
+    // caller's reusable scratch vector; bounded by the list's high-water
     if (skipped) skipped->push_back(front);
   }
   return std::nullopt;

@@ -151,6 +151,17 @@ std::vector<ClientId> GlobalLockTable::conflicting_holders(
   return result;
 }
 
+bool GlobalLockTable::has_conflict(ObjectId obj, LockMode mode,
+                                   ClientId requester) const {
+  RTDB_PERF_COUNT(kGltConflictScans);
+  const State* st = state_if_any(obj);
+  if (!st) return false;
+  for (const auto& h : st->holders) {
+    if (h.client != requester && !compatible(h.mode, mode)) return true;
+  }
+  return false;
+}
+
 bool GlobalLockTable::can_grant(ObjectId obj, ClientId client,
                                 LockMode mode) const {
   RTDB_PERF_COUNT(kGltConflictScans);
@@ -303,7 +314,7 @@ std::size_t GlobalLockTable::conflict_count_at(
   RTDB_PERF_ALLOC_SCOPE(kLock);
   std::size_t conflicts = 0;
   for (const auto& [obj, mode] : needs) {
-    if (!conflicting_holders(obj, mode, client).empty()) ++conflicts;
+    if (has_conflict(obj, mode, client)) ++conflicts;
   }
   return conflicts;
 }

@@ -63,6 +63,12 @@ class GlobalLockTable {
   [[nodiscard]] std::vector<ClientId> conflicting_holders(
       ObjectId obj, LockMode mode, ClientId requester) const;
 
+  /// True if any other holder's mode conflicts with `mode` on `obj`.
+  /// Allocation-free existence test — use this instead of
+  /// `!conflicting_holders(...).empty()` on query paths.
+  [[nodiscard]] bool has_conflict(ObjectId obj, LockMode mode,
+                                  ClientId requester) const;
+
   /// True if granting (client, mode) needs no callback: every other holder
   /// is compatible with `mode`.
   [[nodiscard]] bool can_grant(ObjectId obj, ClientId client,

@@ -150,6 +150,8 @@ bool WaitForGraph<NodeT>::would_deadlock(
     if (h == waiter) return true;
     if (w == kNoSlot) return false;  // waiter unknown: nothing reaches it
     const std::uint32_t hs = slot_of(h);
+    // rtdb-lint: allow(hot-path-alloc) reachable() pushes onto the reused
+    // epoch-stamped scratch stack: grows to high-water once, then reuses
     return hs != kNoSlot && reachable(hs, w);
   });
 }

@@ -157,8 +157,14 @@ class WaitForGraph {
   std::size_t edges_ = 0;  ///< distinct (waiter, holder) pairs
 
   // Cycle-check scratch, reused across calls (logically const queries).
+  // rtdb-lint: shared(single-thread) DFS scratch; a sharded table must give
+  // each shard its own graph instance or make the scratch thread_local
   mutable std::vector<std::uint32_t> stack_;
+  // rtdb-lint: shared(single-thread) epoch-stamped visited set, same
+  // per-shard/thread_local plan as stack_
   mutable std::vector<std::uint64_t> seen_epoch_;
+  // rtdb-lint: shared(single-thread) generation counter for seen_epoch_;
+  // goes per-shard together with the scratch vectors
   mutable std::uint64_t epoch_ = 0;
 };
 

@@ -77,9 +77,17 @@ std::uint64_t Network::default_bytes(MessageKind kind) const {
       return config_.result_bytes;
     case MessageKind::kLocationReply:
       return 4 * config_.control_bytes;  // holders + load table
-    default:
+    case MessageKind::kObjectRequest:
+    case MessageKind::kObjectRecall:
+    case MessageKind::kLockGrant:
+    case MessageKind::kLocationQuery:
+    case MessageKind::kValidateRequest:
+    case MessageKind::kValidateReply:
+    case MessageKind::kControl:
+    case MessageKind::kKindCount:
       return config_.control_bytes;
   }
+  return config_.control_bytes;
 }
 
 sim::SimTime Network::send_raw(SiteId src, SiteId dst, MessageKind kind,
@@ -93,6 +101,8 @@ sim::SimTime Network::send_raw(SiteId src, SiteId dst, MessageKind kind,
     // never counted as wire traffic.
     RTDB_PERF_COUNT(kNetLoopbackSends);
     const sim::SimTime when = sim_.now() + sim::kTimeEpsilon;
+    // rtdb-lint: allow(hot-path-alloc) scheduling reuses slab/heap slots
+    // after warm-up; growth only to high-water (census: zero steady-state)
     sim_.at(when, std::move(on_delivery));
     return when;
   }
@@ -128,6 +138,8 @@ sim::SimTime Network::send_raw(SiteId src, SiteId dst, MessageKind kind,
       stats_.record(kind, frame);
       if (send_hook_) send_hook_(src, dst, kind, frame);
       const sim::SimTime dup_done = occupy_wire(tx_time(frame));
+      // rtdb-lint: allow(hot-path-alloc) scheduling reuses slab/heap slots
+      // after warm-up; growth only to high-water (census: zero steady-state)
       sim_.at(dup_done + config_.fixed_latency,
               [f = fault_] { f->on_duplicate_suppressed(); });
     }
@@ -138,6 +150,8 @@ sim::SimTime Network::send_raw(SiteId src, SiteId dst, MessageKind kind,
     }
   }
 
+  // rtdb-lint: allow(hot-path-alloc) scheduling reuses slab/heap slots
+  // after warm-up; growth only to high-water (census: zero steady-state)
   sim_.at(delivery, std::move(on_delivery));
   return delivery;
 }

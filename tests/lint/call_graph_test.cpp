@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "lint/call_graph.hpp"
+#include "lint/rule.hpp"
+#include "lint/source_file.hpp"
+
+namespace rtdb::lint {
+namespace {
+
+const CgFunction* fn(const CallGraph& g, const std::string& qualified) {
+  const auto it = std::find_if(
+      g.functions().begin(), g.functions().end(),
+      [&](const CgFunction& f) { return f.qualified_name == qualified; });
+  return it == g.functions().end() ? nullptr : &*it;
+}
+
+TEST(CallGraph, HotRootRequiresTimerAndHotFile) {
+  Corpus corpus;
+  corpus.add(SourceFile::from_string(
+      "src/sim/event_queue.cpp",
+      "namespace rtdb::sim {\n"
+      "void hot() { RTDB_PERF_TIMER(kX); }\n"
+      "void cold() { int a = 0; }\n"
+      "}\n"));
+  corpus.add(SourceFile::from_string(
+      "src/core/runner.cpp",
+      "namespace rtdb::core {\n"
+      "void timed_but_not_hot_file() { RTDB_PERF_TIMER(kY); }\n"
+      "}\n"));
+  const CallGraph g = CallGraph::build(corpus);
+  EXPECT_TRUE(fn(g, "rtdb::sim::hot")->hot_root);
+  EXPECT_FALSE(fn(g, "rtdb::sim::cold")->hot_root);
+  EXPECT_FALSE(fn(g, "rtdb::core::timed_but_not_hot_file")->hot_root);
+}
+
+TEST(CallGraph, AllocationPropagatesTransitively) {
+  Corpus corpus;
+  corpus.add(SourceFile::from_string(
+      "src/core/chain.cpp",
+      "#include <vector>\n"
+      "namespace rtdb::core {\n"
+      "class C {\n"
+      " public:\n"
+      "  void a();\n"
+      "  void b();\n"
+      "  void c();\n"
+      " private:\n"
+      "  std::vector<int> v_;\n"
+      "};\n"
+      "void C::c() { v_.push_back(1); }\n"
+      "void C::b() { c(); }\n"
+      "void C::a() { b(); }\n"
+      "}\n"));
+  const CallGraph g = CallGraph::build(corpus);
+  const CgFunction* a = fn(g, "rtdb::core::C::a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(a->alloc_capable);
+  // The rendered path walks the chain down to the allocating call.
+  const std::string path = g.alloc_path(
+      static_cast<std::size_t>(a - g.functions().data()));
+  EXPECT_NE(path.find("C::a"), std::string::npos);
+  EXPECT_NE(path.find("C::c"), std::string::npos);
+  EXPECT_NE(path.find("push_back"), std::string::npos);
+}
+
+TEST(CallGraph, ReceiverTypingStopsFalsePositives) {
+  // x_.clear() must resolve against the *declared type* of x_, not against
+  // every project class that happens to have a clear() that allocates.
+  Corpus corpus;
+  corpus.add(SourceFile::from_string(
+      "src/core/two.cpp",
+      "#include <vector>\n"
+      "namespace rtdb::core {\n"
+      "class Cache {\n"
+      " public:\n"
+      "  void clear();\n"
+      " private:\n"
+      "  std::vector<int> big_;\n"
+      "};\n"
+      "void Cache::clear() { big_.resize(64); }\n"
+      "class Dense {\n"
+      " public:\n"
+      "  void clear();\n"
+      "  void wipe();\n"
+      " private:\n"
+      "  int n_ = 0;\n"
+      "  Dense* peer_ = nullptr;\n"
+      "};\n"
+      "void Dense::clear() { n_ = 0; }\n"
+      "void Dense::wipe() { peer_->clear(); }\n"
+      "}\n"));
+  const CallGraph g = CallGraph::build(corpus);
+  EXPECT_TRUE(fn(g, "rtdb::core::Cache::clear")->alloc_capable);
+  // peer_ is a Dense, whose clear() does not allocate — Cache::clear must
+  // not bleed in through the shared method name.
+  EXPECT_FALSE(fn(g, "rtdb::core::Dense::wipe")->alloc_capable);
+}
+
+TEST(CallGraph, RawNewIsADirectSource) {
+  Corpus corpus;
+  corpus.add(SourceFile::from_string(
+      "src/core/raw.cpp",
+      "namespace rtdb::core {\n"
+      "int* make() { return new int(7); }\n"
+      "}\n"));
+  const CallGraph g = CallGraph::build(corpus);
+  const CgFunction* f = fn(g, "rtdb::core::make");
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->direct_alloc);
+  EXPECT_TRUE(f->alloc_capable);
+}
+
+TEST(CallGraph, JsonDumpCarriesSchemaAndFunctions) {
+  Corpus corpus;
+  corpus.add(SourceFile::from_string(
+      "src/sim/event_queue.cpp",
+      "namespace rtdb::sim {\n"
+      "void hot() { RTDB_PERF_TIMER(kX); }\n"
+      "}\n"));
+  const CallGraph g = CallGraph::build(corpus);
+  const std::string json = g.to_json();
+  EXPECT_NE(json.find("\"schema\": 1"), std::string::npos);
+  EXPECT_NE(json.find("rtdb::sim::hot"), std::string::npos);
+  EXPECT_NE(json.find("\"hot_root\": true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtdb::lint

@@ -1,0 +1,27 @@
+#include <string>
+#include <vector>
+
+namespace rtdb::lock {
+
+class ForwardList {
+ public:
+  void add(int v);
+  std::string debug() const;
+
+ private:
+  std::vector<int> entries_;
+};
+
+void ForwardList::add(int v) {
+  RTDB_PERF_TIMER(kFwdList);
+  // rtdb-lint: allow(hot-path-alloc) fixture: grows to high-water only
+  entries_.push_back(v);
+}
+
+std::string ForwardList::debug() const {
+  RTDB_PERF_TIMER(kFwdListDebug);
+  std::string out = "fl:";
+  return out;
+}
+
+}  // namespace rtdb::lock

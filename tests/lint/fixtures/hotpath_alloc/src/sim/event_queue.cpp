@@ -1,0 +1,33 @@
+#include <vector>
+
+namespace rtdb::sim {
+
+class EventQueue {
+ public:
+  void schedule(int ev);
+  void drain();
+  int peek() const;
+
+ private:
+  void grow();
+  std::vector<int> heap_;
+};
+
+// Allocates, but is not itself a hot root (no RTDB_PERF_TIMER): only the
+// hot callers that reach it are findings.
+void EventQueue::grow() { heap_.push_back(0); }
+
+void EventQueue::schedule(int ev) {
+  RTDB_PERF_TIMER(kSimSchedule);
+  heap_.push_back(ev);
+}
+
+void EventQueue::drain() {
+  RTDB_PERF_TIMER(kSimDrain);
+  grow();
+}
+
+// No timer: allocation here is not a finding.
+int EventQueue::peek() const { return heap_.empty() ? -1 : heap_[0]; }
+
+}  // namespace rtdb::sim

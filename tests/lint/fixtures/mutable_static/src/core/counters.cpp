@@ -19,3 +19,7 @@ int bump() {
 
 // rtdb-lint: allow(mutable-static) fixture: written once during setup
 static int g_waived = 1;
+
+// Non-static namespace-scope state: just as shared as a static — the
+// scope-aware rule catches it without the `static` keyword.
+int g_plain_global = 0;

@@ -1,0 +1,39 @@
+#include "net/message.hpp"
+
+namespace rtdb::net {
+
+template <MessageKind K>
+void send(int payload);
+
+int handle(MessageKind k) {
+  switch (k) {
+    case MessageKind::kPing:
+      return 1;
+    case MessageKind::kPong:
+      return 2;
+    default:
+      return 0;
+  }
+}
+
+// A total switch (sentinel omitted — that is allowed) is clean.
+int cost(MessageKind k) {
+  switch (k) {
+    case MessageKind::kPing:
+      return 1;
+    case MessageKind::kPong:
+      return 1;
+    case MessageKind::kData:
+      return 8;
+    case MessageKind::kKindCount:
+      break;
+  }
+  return 0;
+}
+
+void pump() {
+  send<MessageKind::kPing>(1);
+  send<MessageKind::kPong>(2);
+}
+
+}  // namespace rtdb::net

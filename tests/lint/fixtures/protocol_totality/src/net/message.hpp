@@ -1,0 +1,12 @@
+#pragma once
+
+namespace rtdb::net {
+
+enum class MessageKind {
+  kPing,
+  kPong,
+  kData,
+  kKindCount,
+};
+
+}  // namespace rtdb::net

@@ -1,0 +1,17 @@
+#pragma once
+
+namespace rtdb::lock {
+
+class Table {
+ public:
+  int lookup(int k) const;
+
+ private:
+  // rtdb-lint: shared(guarded-by:mu_) cache of the last lookup result
+  mutable int cached_ = 0;
+  mutable int misses_ = 0;
+  // rtdb-lint: shared(sometimes) not a known discipline
+  mutable int hits_ = 0;
+};
+
+}  // namespace rtdb::lock

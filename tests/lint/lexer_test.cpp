@@ -108,6 +108,84 @@ TEST(Lexer, MaximalMunchPunctuators) {
   EXPECT_NE(std::find(t.begin(), t.end(), "<=>"), t.end());
 }
 
+TEST(Lexer, RawStringKeepsSpliceLiterally) {
+  // Inside a raw string, backslash-newline is NOT a splice: both
+  // characters belong to the body ([lex.phases]p1 reversal for raw
+  // literals). The delimiter search must also be splice-blind.
+  const auto r = lex("auto s = R\"zz(a\\\nb)zz\";\nint x;\n");
+  ASSERT_GE(r.tokens.size(), 4u);
+  EXPECT_EQ(r.tokens[3].kind, TokKind::kString);
+  EXPECT_EQ(r.tokens[3].text, "a\\\nb");
+  EXPECT_EQ(r.tokens.back().text, ";");
+}
+
+TEST(Lexer, AdjacentStringLiteralsStaySeparateTokens) {
+  // Phase-6 concatenation is the compiler's business; the lexer keeps the
+  // pieces as individual kString tokens so line attribution stays honest.
+  const auto r = lex("auto s = \"ab\" \"cd\"\n    \"ef\";\n");
+  std::vector<std::string> strings;
+  for (const Token& t : r.tokens) {
+    if (t.kind == TokKind::kString) strings.push_back(t.text);
+  }
+  EXPECT_EQ(strings, (std::vector<std::string>{"ab", "cd", "ef"}));
+  ASSERT_EQ(r.tokens.size(), 7u);
+  EXPECT_EQ(r.tokens[5].line, 2);  // the third piece sits on line 2
+}
+
+TEST(Lexer, EncodingPrefixedAdjacentConcatenation) {
+  const auto r = lex("auto s = u8\"ab\" L\"cd\";");
+  int strings = 0;
+  for (const Token& t : r.tokens) {
+    if (t.kind == TokKind::kString) ++strings;
+  }
+  EXPECT_EQ(strings, 2);
+}
+
+TEST(Lexer, DigraphsTranslateToPrimarySpellings) {
+  const auto r = lex("int a<:3:> = <%1, 2, 3%>;");
+  EXPECT_EQ(texts(r), (std::vector<std::string>{
+                          "int", "a", "[", "3", "]", "=", "{", "1", ",", "2",
+                          ",", "3", "}", ";"}));
+}
+
+TEST(Lexer, DigraphHashAndHashHash) {
+  // %: opening a line is a directive; mid-line (here: after code on the
+  // same line via a macro-ish context) %:%: is the ## token.
+  const auto r = lex("%:include <x.h>\nint a; a %:%: b;");
+  ASSERT_GE(r.tokens.size(), 1u);
+  EXPECT_EQ(r.tokens[0].kind, TokKind::kDirective);
+  const auto t = texts(r);
+  EXPECT_NE(std::find(t.begin(), t.end(), "##"), t.end());
+}
+
+TEST(Lexer, DigraphLessColonColonException) {
+  // `<::` followed by neither `:` nor `>` keeps the lone `<` so
+  // `vector<::Global>` parses as < :: Global > ([lex.pptoken]p3).
+  const auto r = lex("std::vector<::Global> v;");
+  const auto t = texts(r);
+  ASSERT_GE(t.size(), 7u);
+  EXPECT_EQ(t[3], "<");
+  EXPECT_EQ(t[4], "::");
+  EXPECT_EQ(t[5], "Global");
+  EXPECT_EQ(t[6], ">");
+}
+
+TEST(Lexer, DigraphLessColonColonColonIsStillABracket) {
+  // `<:::` = `<:` `::` — the exception only fires when the third char is
+  // neither ':' nor '>'.
+  const auto r = lex("a<:::b:>;");
+  EXPECT_EQ(texts(r),
+            (std::vector<std::string>{"a", "[", "::", "b", "]", ";"}));
+}
+
+TEST(Lexer, SpliceInsideADigraph) {
+  // Phase 2 runs before tokenization, so a splice between '%' and ':'
+  // still forms the digraph.
+  const auto r = lex("int a; a %\\\n:%: b;");
+  const auto t = texts(r);
+  EXPECT_NE(std::find(t.begin(), t.end(), "##"), t.end());
+}
+
 TEST(Lexer, NumbersWithSeparatorsAndExponents) {
   const auto r = lex("auto a = 1'000; auto b = 1.5e+10; auto c = 0x1Fu;");
   int numbers = 0;

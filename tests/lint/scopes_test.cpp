@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "lint/scopes.hpp"
+#include "lint/source_file.hpp"
+
+namespace rtdb::lint {
+namespace {
+
+ScopeInfo scopes_of(const char* src) {
+  return extract_scopes(SourceFile::from_string("src/core/x.cpp", src));
+}
+
+const FunctionDef* fn(const ScopeInfo& s, const std::string& qualified) {
+  const auto it =
+      std::find_if(s.functions.begin(), s.functions.end(),
+                   [&](const FunctionDef& f) {
+                     return f.qualified_name == qualified;
+                   });
+  return it == s.functions.end() ? nullptr : &*it;
+}
+
+TEST(Scopes, FreeFunctionAndNamespaceQualification) {
+  const auto s = scopes_of(
+      "namespace rtdb::sim {\n"
+      "int add(int a, int b) { return a + b; }\n"
+      "}  // namespace rtdb::sim\n");
+  ASSERT_EQ(s.functions.size(), 1u);
+  EXPECT_EQ(s.functions[0].qualified_name, "rtdb::sim::add");
+  EXPECT_EQ(s.functions[0].name, "add");
+  EXPECT_EQ(s.functions[0].class_name, "");
+  EXPECT_EQ(s.functions[0].line, 2);
+}
+
+TEST(Scopes, InlineAndOutOfLineMemberAgreeOnQualifiedName) {
+  const auto s = scopes_of(
+      "namespace rtdb {\n"
+      "class Queue {\n"
+      " public:\n"
+      "  int size() const { return n_; }\n"
+      "  void push(int v);\n"  // declaration: not recorded
+      " private:\n"
+      "  int n_ = 0;\n"
+      "};\n"
+      "void Queue::push(int v) { n_ += v; }\n"
+      "}  // namespace rtdb\n");
+  ASSERT_EQ(s.functions.size(), 2u);
+  EXPECT_NE(fn(s, "rtdb::Queue::size"), nullptr);
+  const FunctionDef* push = fn(s, "rtdb::Queue::push");
+  ASSERT_NE(push, nullptr);
+  EXPECT_EQ(push->class_name, "Queue");
+}
+
+TEST(Scopes, CtorInitializerListDoesNotHideTheBody) {
+  const auto s = scopes_of(
+      "struct P {\n"
+      "  P(int a, int b) : a_{a}, b_(b + 1) { a_ += b_; }\n"
+      "  int a_;\n"
+      "  int b_;\n"
+      "};\n");
+  ASSERT_NE(fn(s, "P::P"), nullptr);
+  EXPECT_GT(fn(s, "P::P")->body_end, fn(s, "P::P")->body_begin);
+}
+
+TEST(Scopes, MembersCarryQualifiersAndPrincipalType) {
+  const auto s = scopes_of(
+      "#include <vector>\n"
+      "namespace rtdb::lock {\n"
+      "class Table {\n"
+      "  std::vector<int> entries_;\n"
+      "  mutable int cached_ = 0;\n"
+      "  static const int kArity = 2;\n"
+      "  sim::Simulator& sim_;\n"
+      "};\n"
+      "}  // namespace rtdb::lock\n");
+  ASSERT_EQ(s.members.size(), 4u);
+  EXPECT_EQ(s.members[0].name, "entries_");
+  EXPECT_EQ(s.members[0].type, "vector");
+  EXPECT_TRUE(s.members[1].is_mutable);
+  EXPECT_TRUE(s.members[2].is_static);
+  EXPECT_TRUE(s.members[2].is_const);
+  EXPECT_EQ(s.members[3].type, "Simulator");
+}
+
+TEST(Scopes, NamespaceVarsButNotExternTemplatesOrDefaultedFns) {
+  const auto s = scopes_of(
+      "namespace rtdb {\n"
+      "int g_count = 0;\n"
+      "constexpr double kPi = 3.14;\n"
+      "extern template class Graph<int>;\n"
+      "struct D { ~D(); };\n"
+      "D::~D() = default;\n"
+      "}  // namespace rtdb\n");
+  ASSERT_EQ(s.namespace_vars.size(), 2u);
+  EXPECT_EQ(s.namespace_vars[0].name, "g_count");
+  EXPECT_FALSE(s.namespace_vars[0].is_const);
+  EXPECT_EQ(s.namespace_vars[1].name, "kPi");
+  EXPECT_TRUE(s.namespace_vars[1].is_const);
+}
+
+TEST(Scopes, BodyRangeBracketsTheTokensBetweenBraces) {
+  const SourceFile f = SourceFile::from_string(
+      "src/core/x.cpp", "int f() { return 42; }\n");
+  const auto s = extract_scopes(f);
+  ASSERT_EQ(s.functions.size(), 1u);
+  const FunctionDef& d = s.functions[0];
+  ASSERT_LT(d.body_begin, d.body_end);
+  EXPECT_EQ(f.tokens()[d.body_begin].text, "return");
+  EXPECT_EQ(f.tokens()[d.body_end - 1].text, ";");
+}
+
+}  // namespace
+}  // namespace rtdb::lint

@@ -118,6 +118,62 @@ TEST(Baseline, GrandfathersUpToCountInLineOrder) {
   EXPECT_EQ(findings[0].line, 9);
 }
 
+TEST(Baseline, ReportsStaleEntriesWithLeftoverBudget) {
+  std::vector<BaselineEntry> bl{
+      {"mutable-static", "src/core/a.cpp", 3},  // only 1 matches: stale
+      {"unordered-iter", "src/obs/gone.cpp", 2},  // none match: stale
+      {"mutable-static", "src/core/b.cpp", 1},  // fully consumed: fine
+  };
+  std::vector<Finding> findings{
+      {"src/core/a.cpp", 1, "mutable-static", Severity::kError, "m"},
+      {"src/core/b.cpp", 4, "mutable-static", Severity::kError, "m"},
+  };
+  std::vector<Finding> baselined;
+  const std::vector<std::string> stale =
+      apply_baseline(bl, findings, baselined);
+  ASSERT_EQ(stale.size(), 2u);
+  EXPECT_NE(stale[0].find("src/core/a.cpp"), std::string::npos);
+  EXPECT_NE(stale[0].find("only 1 matched"), std::string::npos);
+  EXPECT_NE(stale[1].find("src/obs/gone.cpp"), std::string::npos);
+}
+
+TEST(Baseline, NoStaleReportWhenBudgetsAreExact) {
+  std::vector<BaselineEntry> bl{{"mutable-static", "src/core/a.cpp", 2}};
+  std::vector<Finding> findings{
+      {"src/core/a.cpp", 1, "mutable-static", Severity::kError, "m"},
+      {"src/core/a.cpp", 5, "mutable-static", Severity::kError, "m"},
+  };
+  std::vector<Finding> baselined;
+  EXPECT_TRUE(apply_baseline(bl, findings, baselined).empty());
+}
+
+TEST(SharedAnnotation, ParsesDisciplineAndCoversTheNextCodeLine) {
+  const auto f = SourceFile::from_string(
+      "src/lock/x.hpp",
+      "// rtdb-lint: shared(guarded-by:mu_) last-lookup cache\n"
+      "mutable int cached_ = 0;\n"
+      "mutable int misses_ = 0;\n");
+  ASSERT_EQ(f.shared_annotations().size(), 1u);
+  EXPECT_FALSE(f.shared_annotations()[0].malformed);
+  EXPECT_EQ(f.shared_annotations()[0].discipline, "guarded-by:mu_");
+  EXPECT_TRUE(f.shared_annotated(2));
+  EXPECT_FALSE(f.shared_annotated(3));
+}
+
+TEST(SharedAnnotation, UnknownDisciplineOrMissingNoteIsMalformed) {
+  const auto f = SourceFile::from_string(
+      "src/lock/x.hpp",
+      "// rtdb-lint: shared(sometimes) vague\n"
+      "mutable int a_ = 0;\n"
+      "// rtdb-lint: shared(atomic)\n"
+      "mutable int b_ = 0;\n");
+  ASSERT_EQ(f.shared_annotations().size(), 2u);
+  EXPECT_TRUE(f.shared_annotations()[0].malformed);
+  EXPECT_TRUE(f.shared_annotations()[1].malformed);
+  EXPECT_FALSE(f.shared_annotated(2));
+  EXPECT_FALSE(f.shared_annotated(4));
+}
+
 TEST(Baseline, FormatRoundTrips) {
   std::vector<Finding> findings{
       {"src/core/a.cpp", 1, "mutable-static", Severity::kError, "m"},

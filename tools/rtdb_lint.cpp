@@ -38,7 +38,12 @@ int usage(const char* argv0, bool error) {
       "                         <root>/scripts/lint_baseline.txt when it\n"
       "                         exists; --no-baseline to ignore it)\n"
       "  --no-baseline          ignore any baseline file\n"
+      "  --check-stale-baseline fail when a baseline entry grandfathers\n"
+      "                         more findings than actually match (dead\n"
+      "                         debt reads as live — prune the ledger)\n"
       "  --json <file>          also write findings as JSON\n"
+      "  --dump-callgraph <file>  write the cross-TU call graph (schema in\n"
+      "                         docs/static_analysis.md) as JSON\n"
       "  --write-baseline <file>  write the active findings as a baseline\n"
       "  --list-rules           print the rule catalog and exit\n"
       "  --verbose              also list suppressed/baselined findings\n"
@@ -79,6 +84,12 @@ int main(int argc, char** argv) {
     if (std::strcmp(arg, "--list-rules") == 0) return list_rules();
     if (std::strcmp(arg, "--no-baseline") == 0) {
       no_baseline = true;
+    } else if (std::strcmp(arg, "--check-stale-baseline") == 0) {
+      opts.check_stale_baseline = true;
+    } else if (std::strcmp(arg, "--dump-callgraph") == 0) {
+      const char* v = need_value(i);
+      if (!v) return 2;
+      opts.callgraph_path = v;
     } else if (std::strcmp(arg, "--verbose") == 0) {
       verbose = true;
     } else if (std::strcmp(arg, "--root") == 0) {
