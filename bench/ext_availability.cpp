@@ -1,0 +1,100 @@
+/// \file ext_availability.cpp
+/// Extension experiment — server availability. The paper's server is
+/// immortal; this harness asks what each prototype's deadline-hit rate
+/// costs when it is not. A periodic outage schedule (MTBF between crash
+/// starts, MTTR of downtime) hits the measured window, and every
+/// architecture rides it out with its own recovery story:
+///
+///  * CE       — the server IS the system: arrivals defer or early-abort.
+///  * CS / LS  — epoch-leased grace rebuild: surviving clients re-assert
+///               their cached locks; LS additionally falls back to local
+///               decomposition while the server is away.
+///  * OCC      — reads stall (fetch deferral) and validations park.
+///
+/// Each point then re-runs with the warm standby armed: the mirrored lock
+/// table is promoted ~50 ms after the crash instead of waiting out
+/// MTTR + grace, isolating what the outage *length* (vs the crash itself)
+/// costs — and zeroing the mid-commit version losses the cold rebuild
+/// concedes.
+
+#include "bench_common.hpp"
+
+namespace {
+
+/// Periodic outage plan: down for `mttr` every `mtbf` seconds, first crash
+/// one MTBF past the warm-up so the steady state is established.
+rtdb::fault::FaultPlan outage_plan(const rtdb::core::SystemConfig& cfg,
+                                   double mtbf, double mttr, bool standby) {
+  using namespace rtdb;
+  fault::FaultPlan plan;
+  plan.allow_server_crash = true;
+  plan.warm_standby = standby;
+  const sim::SimTime t0 = sim::SimTime{} + cfg.warmup;
+  const sim::SimTime stop = sim::SimTime{} + cfg.warmup + cfg.duration;
+  for (sim::SimTime start = t0 + sim::seconds(mtbf); start < stop;
+       start = start + sim::seconds(mtbf)) {
+    plan.server_crashes.push_back({start, start + sim::seconds(mttr)});
+  }
+  return plan;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rtdb;
+  const bool quick = bench::quick_mode(argc, argv);
+  bench::ResultSink sink(argc, argv, "ext_availability", quick);
+  const std::vector<double> mtbfs =
+      quick ? std::vector<double>{150} : std::vector<double>{200, 400, 800};
+  const std::vector<double> mttrs =
+      quick ? std::vector<double>{10} : std::vector<double>{5, 20};
+  const std::size_t clients = quick ? 16 : 40;
+  const double updates = 5.0;
+
+  std::printf("=== Extension: deadline hits under server outages ===\n");
+  std::printf("(%zu clients, %.0f%% updates, MTBF/MTTR in sim seconds)\n\n",
+              clients, updates);
+  std::printf("%6s %6s %9s | %8s %8s %8s %8s | %6s\n", "MTBF", "MTTR",
+              "recovery", "CE", "CS", "LS", "OCC", "lost");
+  for (const double mtbf : mtbfs) {
+    for (const double mttr : mttrs) {
+      for (const bool standby : {false, true}) {
+        const auto base = bench::experiment_config(clients, updates, quick);
+        double success[4] = {};
+        std::uint64_t lost = 0;
+        const core::SystemKind kinds[] = {
+            core::SystemKind::kCentralized, core::SystemKind::kClientServer,
+            core::SystemKind::kLoadSharing, core::SystemKind::kOptimistic};
+        for (std::size_t k = 0; k < 4; ++k) {
+          core::SystemConfig cfg = base;
+          cfg.fault = outage_plan(cfg, mtbf, mttr, standby);
+          auto system = core::make_system(kinds[k], cfg);
+          const auto m = system->run();
+          success[k] = m.success_percent();
+          lost += system->injector()->stats().lost_versions;
+        }
+        std::printf("%6.0f %6.0f %9s | %7.2f%% %7.2f%% %7.2f%% %7.2f%% | %6llu\n",
+                    mtbf, mttr, standby ? "standby" : "rebuild", success[0],
+                    success[1], success[2], success[3],
+                    static_cast<unsigned long long>(lost));
+        sink.row({{"mtbf_s", mtbf},
+                  {"mttr_s", mttr},
+                  {"standby", standby},
+                  {"ce_success_pct", success[0]},
+                  {"cs_success_pct", success[1]},
+                  {"ls_success_pct", success[2]},
+                  {"occ_success_pct", success[3]},
+                  {"lost_versions", lost}});
+        std::fflush(stdout);
+      }
+    }
+  }
+  std::printf(
+      "\nReading: availability is an architecture property. CE pays for\n"
+      "every second of MTTR (nothing runs without the server); CS/LS keep\n"
+      "serving cache hits through the outage and re-assert afterwards, so\n"
+      "they degrade with MTTR, not MTBF; the warm standby collapses the\n"
+      "effective MTTR to the failover delay and zeroes the version losses\n"
+      "the cold rebuild concedes.\n");
+  return 0;
+}

@@ -27,7 +27,7 @@ if [ "$actual" != "$golden" ]; then
 fi
 echo "compare_digests: all prototype digests match golden"
 
-chaos_golden=$(grep -v '^#' scripts/golden_digests.txt | awk 'NF && $1 ~ /:/ {print $1, $2}')
+chaos_golden=$(grep -v '^#' scripts/golden_digests.txt | awk 'NF && $1 ~ /:/ && $1 !~ /:server-/ {print $1, $2}')
 if [ -n "$chaos_golden" ]; then
   chaos_actual=$("$VERIFY" --chaos | awk '/ chaos /  {sub(/^digest=/, "", $4); print $2, $4}')
   if [ "$chaos_actual" != "$chaos_golden" ]; then
@@ -38,4 +38,17 @@ if [ -n "$chaos_golden" ]; then
     exit 1
   fi
   echo "compare_digests: all chaos digests match golden"
+fi
+
+server_golden=$(grep -v '^#' scripts/golden_digests.txt | awk 'NF && $1 ~ /:server-/ {print $1, $2}')
+if [ -n "$server_golden" ]; then
+  server_actual=$("$VERIFY" --chaos-server | awk '/ chaos /  {sub(/^digest=/, "", $4); print $2, $4}')
+  if [ "$server_actual" != "$server_golden" ]; then
+    echo "compare_digests: server-chaos digest drift detected" >&2
+    diff <(printf '%s\n' "$server_golden") <(printf '%s\n' "$server_actual") >&2
+    echo "(golden on the left, this build on the right; server-chaos digests" \
+         "cover the crash/epoch-recovery/standby paths)" >&2
+    exit 1
+  fi
+  echo "compare_digests: all server-chaos digests match golden"
 fi

@@ -22,10 +22,46 @@ CentralizedSystem::Live* CentralizedSystem::find(TxnId id) {
 }
 
 void CentralizedSystem::on_arrival(std::size_t, txn::Transaction txn) {
+  submit_to_server(std::move(txn), 0);
+}
+
+void CentralizedSystem::submit_to_server(txn::Transaction txn,
+                                         std::uint64_t attempt) {
+  const sim::SimTime now = sim_.now();
+  if (faults_active() && injector()->server_down(now)) {
+    const fault::FaultPlan& plan = injector()->plan();
+    const sim::SimTime restart = plan.server_restart_time(now);
+    if (restart.finite() &&
+        txn.deadline <= restart + config_.ce_txn_overhead) {
+      // The outage alone outlasts the deadline: account the miss at the
+      // terminal instead of shipping a transaction that cannot finish.
+      ++injector()->stats().deadline_early_aborts;
+      txn.state = txn::TxnState::kMissed;
+      if (tel_.events_enabled()) {
+        tel_.event(obs::EventKind::kTxnMiss, now, txn.origin, txn.id);
+      }
+      record_miss(txn);
+      return;
+    }
+    // Hold the submit at the terminal until the server is back — jittered,
+    // so the parked backlog does not arrive as one synchronized spike.
+    ++injector()->stats().outage_deferrals;
+    const sim::Duration gap = restart.finite() && restart > now
+                                  ? restart - now
+                                  : plan.request_timeout;
+    const std::uint64_t salt = (std::uint64_t{txn.origin.value()} << 40) ^
+                               (txn.id.value() << 8) ^ 3u;
+    sim_.after(gap + fault::outage_jitter(config_.seed, salt, attempt + 1,
+                                          plan.outage_jitter_bound),
+               [this, attempt, txn = std::move(txn)]() mutable {
+                 submit_to_server(std::move(txn), attempt + 1);
+               });
+    return;
+  }
   // Terminal -> server: the transaction travels as a message; execution is
   // entirely server-side.
   const ClientId origin = client_of(txn.origin);
-  const sim::SimTime sent = sim_.now();
+  const sim::SimTime sent = now;
   net_.send<net::MessageKind::kTxnSubmit>(
       origin, net::kServer, [this, sent, txn = std::move(txn)]() mutable {
               if (tel_.spans_enabled()) {
@@ -77,12 +113,26 @@ void CentralizedSystem::pump_admission() {
   admission_busy_ = true;
   // Serial per-transaction server overhead (thread dispatch, parsing,
   // logging) precedes scheduling.
-  overhead_cpu_.submit(config_.ce_txn_overhead,
-                       [this, txn = std::move(*next)]() mutable {
-                         admission_busy_ = false;
-                         admit(std::move(txn));
-                         pump_admission();
-                       });
+  overhead_cpu_.submit(
+      config_.ce_txn_overhead,
+      [this, inc = server_inc_, txn = std::move(*next)]() mutable {
+        if (inc != server_inc_) {
+          // The server crashed while this admission sat on the serial CPU:
+          // the transaction died with it. Do not touch admission_busy_ —
+          // the crash reset it, and the restarted incarnation may already
+          // own it again.
+          txn.state = txn::TxnState::kMissed;
+          if (tel_.events_enabled()) {
+            tel_.event(obs::EventKind::kTxnMiss, sim_.now(), kServerSite,
+                       txn.id);
+          }
+          record_miss(txn);
+          return;
+        }
+        admission_busy_ = false;
+        admit(std::move(txn));
+        pump_admission();
+      });
 }
 
 void CentralizedSystem::admit(txn::Transaction txn) {
@@ -303,6 +353,51 @@ void CentralizedSystem::handle_deadline(TxnId id) {
 }
 
 void CentralizedSystem::destroy(TxnId id) { live_.erase(id); }
+
+void CentralizedSystem::on_server_crash() {
+  ++server_inc_;
+  admission_busy_ = false;
+  busy_slots_ = 0;
+  // The admission queue lived in server memory: every parked transaction
+  // dies here and is accounted immediately.
+  while (auto t = admission_.pop()) {
+    t->state = txn::TxnState::kMissed;
+    if (tel_.events_enabled()) {
+      tel_.event(obs::EventKind::kTxnMiss, sim_.now(), kServerSite, t->id);
+    }
+    record_miss(*t);
+  }
+  // Every in-flight transaction dies with the server. Sweep in sorted id
+  // order so the miss records (and their telemetry events) are independent
+  // of hash-map iteration order.
+  std::vector<TxnId> ids;
+  ids.reserve(live_.size());
+  for (const auto& [id, l] : live_) {
+    (void)l;
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (TxnId id : ids) {
+    Live* l = find(id);
+    sim_.cancel(l->deadline_timer);
+    if (txn::is_live(l->t.state)) {
+      l->t.state = txn::TxnState::kMissed;
+      if (tel_.events_enabled()) {
+        tel_.event(obs::EventKind::kTxnMiss, sim_.now(), kServerSite, id);
+      }
+      record_miss(l->t);
+    }
+  }
+  for (TxnId id : ids) live_.erase(id);
+  // Release the lock table only after the records are gone: a waiter's
+  // grant callback fires into the find() guard instead of resurrecting a
+  // transaction the crash already killed.
+  for (TxnId id : ids) locks_.release_all(id);
+  ready_.clear();
+  // The buffer pool (pf_) and versions_ survive: stable storage. Stale
+  // continuations — lock grants, disk completions, execution timers, the
+  // admission overhead — all bail on find()/server_inc_ guards.
+}
 
 void CentralizedSystem::on_measurement_start() {
   System::on_measurement_start();

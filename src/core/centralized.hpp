@@ -39,6 +39,12 @@ class CentralizedSystem final : public System {
   void audit_structures() const override;
   void sample_gauges() override;
 
+  /// Server crash: the admission queue, the lock table, the ready queue and
+  /// every in-flight transaction are volatile — all of it dies (recorded as
+  /// misses). The buffer pool and the version array survive (stable
+  /// storage), matching the CS/LS server.
+  void on_server_crash() override;
+
  private:
   struct Live {
     txn::Transaction t;
@@ -50,6 +56,12 @@ class CentralizedSystem final : public System {
     std::uint32_t epoch = 0;
     std::uint32_t restarts = 0;
   };
+
+  /// Terminal-side submit with outage awareness: while the server is down
+  /// the submit is held back (jittered past the projected restart) or — when
+  /// the outage alone outlasts the deadline — accounted as a miss at the
+  /// terminal without ever hitting the wire.
+  void submit_to_server(txn::Transaction txn, std::uint64_t attempt);
 
   /// Transaction admitted at the server (after the submit message and the
   /// serial per-transaction overhead).
@@ -87,6 +99,10 @@ class CentralizedSystem final : public System {
   txn::EdfQueue<TxnId> ready_;
   std::unordered_map<TxnId, std::unique_ptr<Live>> live_;
   std::size_t busy_slots_ = 0;
+  /// Server incarnation guard: the serial admission overhead captures the
+  /// value and, when the server crashed underneath it, accounts the miss
+  /// instead of admitting a transaction the crash already killed.
+  std::uint64_t server_inc_ = 0;
   /// Object versions (all server-side here); feeds the consistency auditor.
   common::DenseArray<ObjectId, std::uint64_t> versions_;
 };

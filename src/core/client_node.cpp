@@ -155,9 +155,238 @@ void ClientNode::crash() {
   duties_.clear();
   deferred_recalls_.clear();
   atl_.reset();
+
+  // An in-flight re-assertion dies with the site: those leases were the
+  // volatile lock cache, which is gone anyway.
+  sys_.sim().cancel(reassert_.timer);
+  reassert_ = PendingReassert{};
 }
 
 void ClientNode::recover() { crashed_ = false; }
+
+// ---------------------------------------------------------------------------
+// Server crash / epoch-leased recovery (client side)
+// ---------------------------------------------------------------------------
+
+void ClientNode::on_server_crash() {
+  server_down_ = true;
+  if (crashed_) return;  // nothing here survives anyway
+  const fault::FaultPlan& plan = sys_.injector()->plan();
+  if (plan.warm_standby) return;  // promotion is moments away: leases hold
+  auto& stats = sys_.injector()->stats();
+  const sim::SimTime now = sys_.sim().now();
+
+  // Travelling forward duties are orphaned: the server's circulation state
+  // died with it, so nothing will ever expect these copies home. A bound
+  // duty (a local transaction is using the copy) converts to a retained
+  // exclusive hold — re-asserted at restart like any cached lock. An
+  // unbound duty is released; a dirty one carried the only copy of a
+  // committed version, which is now an accounted loss.
+  std::vector<ObjectId> duty_objs;
+  duty_objs.reserve(duties_.size());
+  for (const auto& [obj, duty] : duties_) {
+    (void)duty;
+    duty_objs.push_back(obj);
+  }
+  std::sort(duty_objs.begin(), duty_objs.end());
+  for (ObjectId obj : duty_objs) {
+    auto it = duties_.find(obj);
+    ForwardDuty& duty = it->second;
+    if (duty.bound != kInvalidTxn) {
+      cache_.insert(obj, /*dirty=*/false);
+      if (duty.dirty) cache_.mark_dirty(obj);
+      server_mode_.slot(obj) = LockMode::kExclusive;
+      version_.slot(obj) = duty.version;
+    } else if (duty.dirty) {
+      sys_.accounted_loss(obj);
+    }
+    duties_.erase(it);
+  }
+  // Callbacks from the dead incarnation are moot: the rebuilt table tracks
+  // no recalls, and answering one would return copies the new epoch still
+  // leases to us.
+  deferred_recalls_.clear();
+
+  // Deadline-aware early abort: a transaction blocked on the dead server
+  // whose deadline cannot outlive the outage plus one request round trip
+  // has no path to commit — miss it now instead of wasting retransmissions.
+  const sim::SimTime restart = plan.server_restart_time(now);
+  if (restart.finite()) {
+    const sim::SimTime horizon = restart + plan.request_timeout;
+    std::vector<TxnId> doomed;
+    for (const auto& [id, live] : live_) {
+      if (txn::is_live(live->t.state) && !live->awaiting.empty() &&
+          live->t.deadline <= horizon) {
+        doomed.push_back(id);
+      }
+    }
+    std::sort(doomed.begin(), doomed.end());
+    for (TxnId id : doomed) {
+      ++stats.deadline_early_aborts;
+      finish(id, txn::TxnState::kMissed);
+    }
+  }
+}
+
+void ClientNode::on_server_restart(bool failover) {
+  server_down_ = false;
+  ++server_epoch_;
+  if (crashed_) return;   // a crashed site holds nothing to re-assert
+  if (failover) return;   // the promoted standby mirrored every lease
+  if (!sys_.faults_active()) return;
+
+  // Grace rebuild: re-register every retained server lock under the new
+  // epoch. Iterating the dense lock-cache array walks objects in id order,
+  // so the batch (and hence the wire stream) is deterministic.
+  std::vector<ReassertEntry> entries;
+  for (std::size_t i = 0; i < server_mode_.extent(); ++i) {
+    const ObjectId obj{static_cast<ObjectId::Rep>(i)};
+    const LockMode mode = cached_server_mode(obj);
+    if (mode == LockMode::kNone) continue;
+    ReassertEntry e;
+    e.object = obj;
+    e.mode = mode;
+    e.dirty = cache_.contains(obj) && cache_.is_dirty(obj);
+    e.version = version_of(obj);
+    entries.push_back(e);
+  }
+  sys_.sim().cancel(reassert_.timer);
+  reassert_ = PendingReassert{};
+  if (entries.empty()) return;
+  reassert_.entries = std::move(entries);
+  send_reassert(/*retransmit=*/false);
+  arm_reassert_retry(sys_.injector()->plan().request_timeout);
+}
+
+void ClientNode::send_reassert(bool retransmit) {
+  if (reassert_.entries.empty()) return;
+  ++sys_.injector()->stats().reasserts_sent;
+  ReassertBatch batch;
+  batch.client = id_;
+  batch.epoch = server_epoch_;
+  batch.entries = reassert_.entries;
+  batch.retransmit = retransmit;
+  batch.load = current_load();
+  sys_.net().send_batch<net::MessageKind::kLockReassert>(
+      id_, net::kServer, batch.entries.size(),
+      [this, batch = std::move(batch)] { sys_.server().on_reassert(batch); });
+}
+
+void ClientNode::arm_reassert_retry(sim::Duration delay) {
+  sys_.sim().cancel(reassert_.timer);
+  reassert_.timer =
+      sys_.sim().after(delay, [this] { reassert_timer_fired(); });
+}
+
+void ClientNode::reassert_timer_fired() {
+  if (crashed_ || reassert_.entries.empty()) return;
+  auto& stats = sys_.injector()->stats();
+  const fault::FaultPlan& plan = sys_.injector()->plan();
+  const sim::SimTime now = sys_.sim().now();
+  if (sys_.injector()->server_down(now)) {
+    // A second crash overtook the rebuild. Defer past the projected
+    // restart (jittered, so the fleet does not stampede the new
+    // incarnation) without spending the retransmit budget.
+    ++stats.outage_deferrals;
+    const sim::SimTime restart = plan.server_restart_time(now);
+    const sim::Duration gap = restart.finite() && restart > now
+                                  ? restart - now
+                                  : plan.request_timeout;
+    arm_reassert_retry(gap + fault::outage_jitter(
+                                 sys_.cfg().seed, id_.value(),
+                                 ++reassert_.deferrals,
+                                 plan.outage_jitter_bound));
+    return;
+  }
+  if (reassert_.tries >= plan.max_retransmits) {
+    // The ack never came: every outstanding lease is gone.
+    std::vector<ReassertEntry> dead = std::move(reassert_.entries);
+    reassert_.entries.clear();
+    reassert_.timer = sim::kNoEvent;
+    for (const auto& e : dead) expire_lease(e.object);
+    return;
+  }
+  ++reassert_.tries;
+  send_reassert(/*retransmit=*/true);
+  arm_reassert_retry(plan.request_timeout);
+}
+
+void ClientNode::late_reassert(ObjectId obj) {
+  // A forward hop converted to a retained hold after the restart batch
+  // already went out: register the straggler under the running mechanism.
+  ReassertEntry e;
+  e.object = obj;
+  e.mode = cached_server_mode(obj);
+  e.dirty = cache_.contains(obj) && cache_.is_dirty(obj);
+  e.version = version_of(obj);
+  bool found = false;
+  for (auto& existing : reassert_.entries) {
+    if (existing.object == obj) {
+      existing = e;
+      found = true;
+    }
+  }
+  if (!found) reassert_.entries.push_back(e);
+  ++sys_.injector()->stats().reasserts_sent;
+  ReassertBatch batch;
+  batch.client = id_;
+  batch.epoch = server_epoch_;
+  batch.entries.push_back(e);
+  batch.load = current_load();
+  sys_.net().send_batch<net::MessageKind::kLockReassert>(
+      id_, net::kServer, 1,
+      [this, batch = std::move(batch)] { sys_.server().on_reassert(batch); });
+  if (reassert_.timer == sim::kNoEvent) {
+    reassert_.tries = 0;
+    arm_reassert_retry(sys_.injector()->plan().request_timeout);
+  }
+}
+
+void ClientNode::expire_lease(ObjectId obj) {
+  auto& stats = sys_.injector()->stats();
+  ++stats.lease_expiries;
+  if (cached_server_mode(obj) == LockMode::kNone) return;  // already gone
+  const bool dirty = cache_.contains(obj) && cache_.is_dirty(obj);
+  server_mode_.slot(obj) = LockMode::kNone;
+  version_.slot(obj) = 0;
+  cache_.drop(obj);
+  if (dirty) sys_.accounted_loss(obj);
+  // Local transactions using the object lost their data (and possibly read
+  // a version another site may now overwrite): abort them rather than let
+  // a stale access reach the consistency auditor.
+  std::vector<TxnId> holders = llm_.holders(obj);
+  std::sort(holders.begin(), holders.end());
+  for (TxnId id : holders) {
+    Live* l = find(id);
+    if (l && txn::is_live(l->t.state)) finish(id, txn::TxnState::kAborted);
+  }
+}
+
+void ClientNode::on_reassert_ack(const ReassertAck& ack) {
+  cpu_.submit(sys_.cfg().client_msg_overhead, [this, ack] {
+    if (crashed_) return;
+    if (ack.epoch != server_epoch_) return;  // verdict of a dead incarnation
+    if (reassert_.entries.empty()) return;   // already resolved
+    const auto take = [this](ObjectId obj) {
+      auto& es = reassert_.entries;
+      for (auto it = es.begin(); it != es.end(); ++it) {
+        if (it->object == obj) {
+          es.erase(it);
+          return true;
+        }
+      }
+      return false;
+    };
+    for (ObjectId obj : ack.accepted) take(obj);
+    for (ObjectId obj : ack.rejected) {
+      if (take(obj)) expire_lease(obj);
+    }
+    if (reassert_.entries.empty()) {
+      sys_.sim().cancel(reassert_.timer);
+      reassert_.timer = sim::kNoEvent;
+    }
+  });
+}
 
 void ClientNode::on_return_acked(ObjectId obj, std::uint64_t version) {
   auto it = pending_returns_.find(obj);
@@ -188,32 +417,55 @@ void ClientNode::arm_return_retry(ObjectId obj) {
   auto it = pending_returns_.find(obj);
   if (it == pending_returns_.end()) return;
   it->second.timer =
-      sys_.sim().after(sys_.injector()->plan().return_timeout, [this, obj] {
-        auto pit = pending_returns_.find(obj);
-        if (pit == pending_returns_.end() || crashed_) return;
-        PendingReturn& rec = pit->second;
-        if (rec.tries >= sys_.injector()->plan().max_retransmits) {
-          // Budget spent (a long partition): the server never heard us and
-          // the version this copy carried is gone — account it so the
-          // consistency ledger stays truthful instead of silently
-          // diverging.
-          const ObjectId lost = obj;
-          pending_returns_.erase(pit);
-          sys_.accounted_loss(lost);
-          return;
-        }
-        ++rec.tries;
-        ++sys_.injector()->stats().return_retransmits;
-        if (sys_.telemetry().events_enabled()) {
-          sys_.telemetry().event(obs::EventKind::kRetransmit, sys_.sim().now(),
-                                 site_, kInvalidTxn, obj);
-        }
-        const ObjectReturn ret = rec.ret;
-        sys_.net().send<net::MessageKind::kObjectReturn>(
-            id_, net::kServer,
-            [this, ret] { sys_.server().on_object_return(ret); });
-        arm_return_retry(obj);
-      });
+      sys_.sim().after(sys_.injector()->plan().return_timeout,
+                       [this, obj] { return_retry_fired(obj); });
+}
+
+void ClientNode::return_retry_fired(ObjectId obj) {
+  auto pit = pending_returns_.find(obj);
+  if (pit == pending_returns_.end() || crashed_) return;
+  PendingReturn& rec = pit->second;
+  const fault::FaultPlan& plan = sys_.injector()->plan();
+  const sim::SimTime now = sys_.sim().now();
+  if (sys_.injector()->server_down(now)) {
+    // The server is inside a crash window: every retransmission would be a
+    // guaranteed drop charged against the bounded budget — and losing the
+    // budget here turns a survivable outage into a version loss. Defer
+    // (jittered) past the projected restart instead.
+    ++sys_.injector()->stats().outage_deferrals;
+    const sim::SimTime restart = plan.server_restart_time(now);
+    const sim::Duration gap = restart.finite() && restart > now
+                                  ? restart - now
+                                  : plan.return_timeout;
+    const std::uint64_t salt = (std::uint64_t{id_.value()} << 40) ^
+                               (std::uint64_t{obj.value()} << 8) ^ 1u;
+    rec.timer = sys_.sim().after(
+        gap + fault::outage_jitter(sys_.cfg().seed, salt, ++rec.deferrals,
+                                   plan.outage_jitter_bound),
+        [this, obj] { return_retry_fired(obj); });
+    return;
+  }
+  if (rec.tries >= plan.max_retransmits) {
+    // Budget spent (a long partition): the server never heard us and
+    // the version this copy carried is gone — account it so the
+    // consistency ledger stays truthful instead of silently
+    // diverging.
+    const ObjectId lost = obj;
+    pending_returns_.erase(pit);
+    sys_.accounted_loss(lost);
+    return;
+  }
+  ++rec.tries;
+  ++sys_.injector()->stats().return_retransmits;
+  if (sys_.telemetry().events_enabled()) {
+    sys_.telemetry().event(obs::EventKind::kRetransmit, sys_.sim().now(),
+                           site_, kInvalidTxn, obj);
+  }
+  const ObjectReturn ret = rec.ret;
+  sys_.net().send<net::MessageKind::kObjectReturn>(
+      id_, net::kServer,
+      [this, ret] { sys_.server().on_object_return(ret); });
+  arm_return_retry(obj);
 }
 
 void ClientNode::warm_insert(ObjectId obj) {
@@ -268,6 +520,18 @@ void ClientNode::begin(txn::Transaction t, SiteId origin, bool remote,
                           ships < ls.max_ships && !h1_admits(ref.t);
   if (overloaded) {
     ++sys_.live_metrics().h1_rejections;
+    const bool srv_down =
+        sys_.faults_active() &&
+        sys_.injector()->server_down(sys_.sim().now());
+    if (srv_down) {
+      // The location service lives on the crashed server: H2 placement and
+      // decomposition both need it, so an overloaded origin falls back to
+      // local execution rather than parking the transaction behind an
+      // outage of unknown length.
+      ++sys_.injector()->stats().local_fallbacks;
+      admit_local(id);
+      return;
+    }
     if (ls.enable_decomposition && ref.t.decomposable &&
         ref.needs.size() >= 2) {
       query_locations(ref, QueryPurpose::kDecompose);
@@ -911,6 +1175,25 @@ void ClientNode::evaluate_objects(TxnId id) {
 
   if (!missing.empty()) {
     const LsOptions& ls = sys_.ls();
+    const bool srv_down =
+        sys_.faults_active() &&
+        sys_.injector()->server_down(sys_.sim().now());
+    if (srv_down && !sys_.injector()->plan().warm_standby) {
+      // Grace-rebuild mode: the needs sent now park behind an outage plus
+      // the grace window. When the transaction's slack cannot absorb that
+      // whole detour, abort immediately — the miss is inevitable and the
+      // early exit frees its local locks for transactions that can still
+      // make it.
+      const fault::FaultPlan& plan = sys_.injector()->plan();
+      const sim::SimTime restart =
+          plan.server_restart_time(sys_.sim().now());
+      if (restart.finite() &&
+          live->t.deadline <= restart + plan.request_timeout) {
+        ++sys_.injector()->stats().deadline_early_aborts;
+        finish(id, txn::TxnState::kMissed);
+        return;
+      }
+    }
     // Client-side prefilter for the H2 detour: when this client already
     // caches most of the transaction's data, no other site can come out
     // ahead on data availability, so the ship-or-stay answer is known to
@@ -923,9 +1206,15 @@ void ClientNode::evaluate_objects(TxnId id) {
     }
     const bool mostly_local =
         2 * (live->needs.size() - data_absent) >= live->needs.size();
-    const bool want_locations = ls.enable_h2 && !live->remote &&
-                                !live->is_subtask &&
-                                live->ships < ls.max_ships && !mostly_local;
+    bool want_locations = ls.enable_h2 && !live->remote &&
+                          !live->is_subtask &&
+                          live->ships < ls.max_ships && !mostly_local;
+    if (want_locations && srv_down) {
+      // The H2 location service is down with the server: execute where we
+      // stand instead of waiting on a ship-or-stay answer that cannot come.
+      want_locations = false;
+      ++sys_.injector()->stats().local_fallbacks;
+    }
     send_batch(*live, missing, /*auto_proceed=*/!want_locations);
     // A conflict reply (if the server cannot grant everything) will be
     // dispatched to decide_placement via this marker.
@@ -963,40 +1252,63 @@ void ClientNode::arm_request_retry(TxnId id) {
   if (!live) return;
   sys_.sim().cancel(live->retry_timer);
   const std::uint32_t epoch = live->epoch;
-  live->retry_timer = sys_.sim().after(
-      sys_.injector()->plan().request_timeout, [this, id, epoch] {
-        Live* l = find(id);
-        if (!l || l->epoch != epoch || !txn::is_live(l->t.state)) return;
-        if (l->awaiting.empty()) return;  // everything arrived meanwhile
-        if (l->req_retries >= sys_.injector()->plan().max_retransmits) {
-          return;  // budget spent: the deadline timer accounts the miss
-        }
-        ++l->req_retries;
-        ++sys_.injector()->stats().retransmits;
-        if (sys_.telemetry().events_enabled()) {
-          sys_.telemetry().event(obs::EventKind::kRetransmit, sys_.sim().now(),
-                                 site_, id);
-        }
-        // A conflict reply that never arrived no longer steers this txn:
-        // the retransmission queues directly (the original batch was only
-        // parked at the server, so nothing double-enqueues; a late reply
-        // finds pending_query cleared and is dropped as stale).
-        l->pending_query = QueryPurpose::kNone;
-        // Rebuild the outstanding needs from `awaiting`, sorted — the
-        // set's iteration order must not leak into the message stream.
-        std::vector<ObjectId> objs(l->awaiting.begin(), l->awaiting.end());
-        std::sort(objs.begin(), objs.end());
-        std::vector<ObjectNeed> again;
-        again.reserve(objs.size());
-        for (ObjectId obj : objs) {
-          LockMode mode = LockMode::kShared;
-          for (const auto& [o, m] : l->needs) {
-            if (o == obj) mode = m;
-          }
-          again.push_back({obj, mode, cache_.contains(obj)});
-        }
-        send_batch(*l, again, /*auto_proceed=*/true, /*retransmit=*/true);
-      });
+  live->retry_timer =
+      sys_.sim().after(sys_.injector()->plan().request_timeout,
+                       [this, id, epoch] { request_retry_fired(id, epoch); });
+}
+
+void ClientNode::request_retry_fired(TxnId id, std::uint32_t epoch) {
+  Live* l = find(id);
+  if (!l || l->epoch != epoch || !txn::is_live(l->t.state)) return;
+  if (l->awaiting.empty()) return;  // everything arrived meanwhile
+  const fault::FaultPlan& plan = sys_.injector()->plan();
+  const sim::SimTime now = sys_.sim().now();
+  if (sys_.injector()->server_down(now)) {
+    // Outage-aware backoff: retransmitting into a crashed server burns the
+    // bounded budget on guaranteed drops. Defer past the projected restart
+    // — jittered, so the whole fleet's retries do not land on the fresh
+    // incarnation in one spike — without charging the budget.
+    ++sys_.injector()->stats().outage_deferrals;
+    const sim::SimTime restart = plan.server_restart_time(now);
+    const sim::Duration gap = restart.finite() && restart > now
+                                  ? restart - now
+                                  : plan.request_timeout;
+    const std::uint64_t salt = (std::uint64_t{id_.value()} << 40) ^
+                               (id.value() << 8) ^ 2u;
+    l->retry_timer = sys_.sim().after(
+        gap + fault::outage_jitter(sys_.cfg().seed, salt, ++l->outage_attempts,
+                                   plan.outage_jitter_bound),
+        [this, id, epoch] { request_retry_fired(id, epoch); });
+    return;
+  }
+  if (l->req_retries >= plan.max_retransmits) {
+    return;  // budget spent: the deadline timer accounts the miss
+  }
+  ++l->req_retries;
+  ++sys_.injector()->stats().retransmits;
+  if (sys_.telemetry().events_enabled()) {
+    sys_.telemetry().event(obs::EventKind::kRetransmit, sys_.sim().now(),
+                           site_, id);
+  }
+  // A conflict reply that never arrived no longer steers this txn:
+  // the retransmission queues directly (the original batch was only
+  // parked at the server, so nothing double-enqueues; a late reply
+  // finds pending_query cleared and is dropped as stale).
+  l->pending_query = QueryPurpose::kNone;
+  // Rebuild the outstanding needs from `awaiting`, sorted — the
+  // set's iteration order must not leak into the message stream.
+  std::vector<ObjectId> objs(l->awaiting.begin(), l->awaiting.end());
+  std::sort(objs.begin(), objs.end());
+  std::vector<ObjectNeed> again;
+  again.reserve(objs.size());
+  for (ObjectId obj : objs) {
+    LockMode mode = LockMode::kShared;
+    for (const auto& [o, m] : l->needs) {
+      if (o == obj) mode = m;
+    }
+    again.push_back({obj, mode, cache_.contains(obj)});
+  }
+  send_batch(*l, again, /*auto_proceed=*/true, /*retransmit=*/true);
 }
 
 void ClientNode::need_satisfied(TxnId id, ObjectId obj) {
@@ -1250,6 +1562,39 @@ void ClientNode::handle_incoming_object(Grant g, bool via_forward) {
   if (crashed_) return;  // work queued before the crash: dropped on the floor
   if (via_forward) ++sys_.live_metrics().forward_list_satisfactions;
   Live* live = find(g.txn);
+  const bool chaos = sys_.faults_active();
+
+  if (chaos && g.circulating && !sys_.injector()->plan().warm_standby &&
+      (server_down_ || g.epoch != server_epoch_)) {
+    // The forward list was built by an incarnation that no longer exists
+    // (or the server is down right now): the circulation bookkeeping that
+    // would receive this list's homecoming is gone. Convert the hop into a
+    // plain retained hold — the copy and lock stay here, the rest of the
+    // list is abandoned (each skipped entry's client re-requests through
+    // its own retry path), and once the server is back the hold is folded
+    // into the rebuilt table by a late re-assertion.
+    cache_.insert(g.object, /*dirty=*/false);
+    if (g.dirty) cache_.mark_dirty(g.object);
+    server_mode_.slot(g.object) =
+        lock::stronger(cached_server_mode(g.object), g.mode);
+    version_.slot(g.object) = g.version;
+    if (live && txn::is_live(live->t.state) &&
+        live->awaiting.count(g.object)) {
+      need_satisfied(g.txn, g.object);
+    }
+    if (!server_down_) late_reassert(g.object);
+    return;
+  }
+
+  if (chaos && !g.circulating && g.epoch != 0 && g.epoch != server_epoch_) {
+    // A grant shipped by a dead incarnation: its lock-table registration
+    // did not survive the crash, so acting on it would leave this client
+    // holding a lock the rebuilt table never heard of. Dropping it is
+    // lossless — the transaction's retry timer re-requests from the live
+    // incarnation.
+    ++sys_.injector()->stats().stale_epoch_rejected;
+    return;
+  }
 
   if (g.circulating && g.mode == LockMode::kShared) {
     // Shared fan-out hop: the copy is ours to keep (the server registered
@@ -1279,6 +1624,7 @@ void ClientNode::handle_incoming_object(Grant g, bool via_forward) {
     duty.dirty = g.dirty;
     duty.bound = kInvalidTxn;
     duty.version = g.version;
+    duty.epoch = g.epoch;
     duties_[g.object] = std::move(duty);
     fulfil_forward_duty(g.object);
     return;
@@ -1299,6 +1645,7 @@ void ClientNode::handle_incoming_object(Grant g, bool via_forward) {
     duty.dirty = g.dirty;
     duty.bound = g.txn;
     duty.version = g.version;
+    duty.epoch = g.epoch;
     duties_[g.object] = std::move(duty);
 
     if (live && txn::is_live(live->t.state) &&
@@ -1445,6 +1792,7 @@ void ClientNode::fulfil_forward_duty(ObjectId obj) {
   g.circulating = true;
   g.dirty = duty.dirty;
   g.version = duty.version;
+  g.epoch = duty.epoch;
   g.forward_list.assign(duty.rest.begin() + next_idx + 1, duty.rest.end());
   sys_.net().send<net::MessageKind::kObjectForward>(
       id_, next.client, [this, to = next.client, g = std::move(g)] {
@@ -1453,8 +1801,16 @@ void ClientNode::fulfil_forward_duty(ObjectId obj) {
 }
 
 void ClientNode::on_recall(Recall r) {
-  cpu_.submit(sys_.cfg().client_msg_overhead,
-              [this, r] { process_recall(r.object, r.wanted); });
+  cpu_.submit(sys_.cfg().client_msg_overhead, [this, r] {
+    if (sys_.faults_active() && r.epoch != 0 && r.epoch != server_epoch_) {
+      // Callback from a dead incarnation: the queue entry it served no
+      // longer exists, and answering it would return a lock the rebuilt
+      // table believes we still hold.
+      ++sys_.injector()->stats().stale_epoch_rejected;
+      return;
+    }
+    process_recall(r.object, r.wanted);
+  });
 }
 
 void ClientNode::process_recall(ObjectId obj, LockMode wanted) {

@@ -52,6 +52,25 @@ class ClientNode {
   /// stops the bounded retransmission of that return.
   void on_return_acked(ObjectId obj, std::uint64_t version);
 
+  // --- server crash / epoch-leased recovery -------------------------------
+
+  /// The server crashed (perfect failure detection, as for client crashes).
+  /// Grace-rebuild mode: server-blocked transactions whose slack cannot
+  /// survive the outage miss immediately, and travelling forward duties
+  /// convert to retained holds (the chain died with the server's
+  /// circulation state). Warm-standby mode: only notes the outage — the
+  /// standby promotes in moments and every lease carries over.
+  void on_server_crash();
+
+  /// The server is back under a new epoch. After a grace rebuild this
+  /// client re-asserts every retained server lock (bounded retransmission
+  /// until acked); after a failover the mirrored table already holds them.
+  void on_server_restart(bool failover);
+
+  /// The server's verdict on a re-assertion batch: accepted entries are
+  /// leased under the new epoch, rejected ones are expired leases.
+  void on_reassert_ack(const ReassertAck& ack);
+
   /// Warm-start install: the object is cached (clean) and the server has
   /// already registered our SL. No timing, no messages; call before the
   /// simulation starts.
@@ -136,6 +155,8 @@ class ClientNode {
     /// Bounded retransmission of the outstanding request batch (faults).
     std::uint32_t req_retries = 0;
     sim::EventId retry_timer = sim::kNoEvent;
+    /// Server-outage deferrals of that timer (jitter salt; budget-free).
+    std::uint32_t outage_attempts = 0;
 
     /// Speculation extension: the original transaction this copy contends
     /// for (set on both the origin-side contender and the shipped copy).
@@ -175,6 +196,7 @@ class ClientNode {
     bool dirty = false;                    ///< object updated on this hop
     TxnId bound = kInvalidTxn;             ///< local txn using the object
     std::uint64_t version = 0;             ///< version of the carried copy
+    std::uint32_t epoch = 0;               ///< server epoch the list shipped under
   };
 
   // --- pipeline ---------------------------------------------------------
@@ -188,6 +210,8 @@ class ClientNode {
                   bool auto_proceed, bool retransmit = false);
   /// Arms the bounded request-retransmission timer (faults-active only).
   void arm_request_retry(TxnId id);
+  /// Timer body: retransmits, or defers past a server outage (budget-free).
+  void request_retry_fired(TxnId id, std::uint32_t epoch);
   void need_satisfied(TxnId id, ObjectId obj);
   void maybe_ready(TxnId id);
   void pump_executor();
@@ -236,6 +260,20 @@ class ClientNode {
   /// and accounted as a lost version when the budget runs dry.
   void send_return(ObjectReturn ret);
   void arm_return_retry(ObjectId obj);
+  void return_retry_fired(ObjectId obj);
+
+  // --- epoch-leased re-assertion (server crash recovery) ------------------
+  /// Sends the outstanding re-assertion batch (kLockReassert).
+  void send_reassert(bool retransmit);
+  void arm_reassert_retry(sim::Duration delay);
+  void reassert_timer_fired();
+  /// A single-object re-assertion after the initial restart batch (a
+  /// forward hop converted to a retained hold post-restart).
+  void late_reassert(ObjectId obj);
+  /// The server refused (or never acknowledged) a re-assertion: the lease
+  /// is gone. Releases the lock and copy; a dirty copy is an accounted
+  /// version loss, and local transactions using the object abort.
+  void expire_lease(ObjectId obj);
 
   Live* find(TxnId id);
   void update_atl(const txn::Transaction& t, sim::SimTime commit_time);
@@ -277,6 +315,7 @@ class ClientNode {
   struct PendingReturn {
     ObjectReturn ret;
     std::uint32_t tries = 0;
+    std::uint32_t deferrals = 0;
     sim::EventId timer = sim::kNoEvent;
   };
   std::unordered_map<ObjectId, PendingReturn> pending_returns_;
@@ -284,6 +323,22 @@ class ClientNode {
   /// The site is inside a crash window: volatile state is gone and every
   /// handler drops incoming work on the floor.
   bool crashed_ = false;
+
+  /// Server-crash tracking (quiescent on fault-free runs). server_epoch_
+  /// mirrors the server's recovery epoch — messages stamped with an older
+  /// epoch came from a dead incarnation and are rejected.
+  std::uint32_t server_epoch_ = 1;
+  bool server_down_ = false;
+
+  /// Outstanding re-assertion batch (empty == idle). Retransmitted on the
+  /// request timeout, bounded by the plan's retransmit budget.
+  struct PendingReassert {
+    std::vector<ReassertEntry> entries;
+    std::uint32_t tries = 0;
+    std::uint32_t deferrals = 0;
+    sim::EventId timer = sim::kNoEvent;
+  };
+  PendingReassert reassert_;
 
   txn::EdfQueue<TxnId> ready_;
   std::size_t busy_slots_ = 0;

@@ -67,6 +67,23 @@ void ClientServerSystem::on_site_recover(std::size_t client_index) {
   if (client_index < clients_.size()) clients_[client_index]->recover();
 }
 
+void ClientServerSystem::on_server_crash() {
+  if (!server_) return;
+  server_->crash();
+  // Deterministic fan-out in client-id order: each surviving client
+  // converts its forward duties to retained holds, clears deferred recalls
+  // and early-aborts transactions the outage already doomed.
+  for (auto& c : clients_) c->on_server_crash();
+}
+
+void ClientServerSystem::on_server_restart(bool failover) {
+  if (!server_) return;
+  server_->restart(failover);
+  // Same order on the way back: clients bump their epoch mirror and (grace
+  // rebuild only) send their re-assertion batches.
+  for (auto& c : clients_) c->on_server_restart(failover);
+}
+
 void ClientServerSystem::on_site_declared_dead(std::size_t client_index) {
   if (!server_ || client_index >= clients_.size()) return;
   server_->reclaim_client(
@@ -118,6 +135,13 @@ void ClientServerSystem::sample_gauges() {
   tel_.sample("server.cpu_util", server_->cpu_utilization());
   tel_.sample("server.disk_util", server_->disk_utilization());
   tel_.sample("net.util", net_.utilization());
+  if (faults_active()) {
+    // Recovery gauges exist only on chaos runs so fault-free telemetry
+    // snapshots stay byte-identical.
+    tel_.sample("server.epoch", static_cast<double>(server_->epoch()));
+    tel_.sample("server.standby_mutations",
+                static_cast<double>(server_->standby_mutations()));
+  }
 }
 
 void ClientServerSystem::audit_structures() const {

@@ -77,6 +77,12 @@ class ClientServerSystem final : public System {
   void on_site_recover(std::size_t client_index) override;
   void on_site_declared_dead(std::size_t client_index) override;
 
+  /// Server outage boundaries: the server loses its volatile state (or
+  /// hands over to the warm standby), then every client is told in index
+  /// order — the perfect failure detector the epoch scheme assumes.
+  void on_server_crash() override;
+  void on_server_restart(bool failover) override;
+
  private:
   std::unique_ptr<ServerNode> server_;
   std::vector<std::unique_ptr<ClientNode>> clients_;

@@ -77,6 +77,51 @@ void OptimisticSystem::begin_attempt(TxnId id) {
   const ClientId site = client_of(live->t.origin);
   const std::uint32_t epoch = live->epoch;
 
+  if (faults_active() && injector()->server_down(sim_.now())) {
+    bool needs_server = false;
+    for (const auto& [obj, mode] : live->t.lock_needs()) {
+      (void)mode;
+      if (!cs.cache.contains(obj)) {
+        needs_server = true;
+        break;
+      }
+    }
+    if (needs_server) {
+      // Fetches sent now are guaranteed drops (no fetch retransmit exists:
+      // the attempt would strand until its deadline). Either the deadline
+      // cannot survive the outage — account the miss now — or the attempt
+      // is deferred, jittered, past the projected restart.
+      const fault::FaultPlan& plan = injector()->plan();
+      const sim::SimTime now = sim_.now();
+      const sim::SimTime restart = plan.server_restart_time(now);
+      if (restart.finite() &&
+          live->t.deadline <= restart + plan.request_timeout) {
+        ++injector()->stats().deadline_early_aborts;
+        finish(id, txn::TxnState::kMissed);
+        return;
+      }
+      ++injector()->stats().outage_deferrals;
+      const sim::Duration gap = restart.finite() && restart > now
+                                    ? restart - now
+                                    : plan.request_timeout;
+      const std::uint64_t salt =
+          (std::uint64_t{live->t.origin.value()} << 40) ^
+          (id.value() << 8) ^ 4u;
+      sim_.after(gap + fault::outage_jitter(config_.seed, salt,
+                                            ++live->outage_attempts,
+                                            plan.outage_jitter_bound),
+                 [this, id, epoch] {
+                   Live* l = find(id);
+                   if (!l || l->epoch != epoch ||
+                       !txn::is_live(l->t.state)) {
+                     return;
+                   }
+                   begin_attempt(id);
+                 });
+      return;
+    }
+  }
+
   for (const auto& [obj, mode] : live->t.lock_needs()) {
     (void)mode;
     ++live->cache_ios;
@@ -101,14 +146,19 @@ void OptimisticSystem::begin_attempt(TxnId id) {
     const sim::SimTime fetch_start = sim_.now();
     net_.send<net::MessageKind::kObjectRequest>(
         site, net::kServer, [this, id, obj, site, epoch, fetch_start] {
-                server_cpu_->submit(config_.server_msg_overhead, [this, id,
-                                                                  obj, site,
-                                                                  epoch,
+                // Delivery implies the server is up: pin its incarnation so
+                // the CPU slice and page read below die with a crash.
+                const std::uint64_t inc = server_inc_;
+                server_cpu_->submit(config_.server_msg_overhead, [this, inc,
+                                                                  id, obj,
+                                                                  site, epoch,
                                                                   fetch_start] {
+                  if (inc != server_inc_) return;
                   const sim::SimTime io_start = sim_.now();
-                  pf_->access(obj, /*write=*/false, [this, id, obj, site,
+                  pf_->access(obj, /*write=*/false, [this, inc, id, obj, site,
                                                      epoch, fetch_start,
                                                      io_start] {
+                    if (inc != server_inc_) return;
                     const std::uint64_t v = [&] {
                       return committed_.value_or_default(obj);
                     }();
@@ -213,10 +263,12 @@ void OptimisticSystem::send_validate(Live& live) {
       client_of(site), net::kServer, bytes,
       [this, id, site, epoch = live.epoch, reads = live.read_set, writes,
        deadline = live.t.deadline]() mutable {
+              const std::uint64_t inc = server_inc_;
               server_cpu_->submit(
                   config_.server_msg_overhead,
-                  [this, id, epoch, site, reads = std::move(reads),
+                  [this, inc, id, epoch, site, reads = std::move(reads),
                    writes = std::move(writes), deadline]() mutable {
+                    if (inc != server_inc_) return;
                     server_validate(id, epoch, site, std::move(reads),
                                     std::move(writes), deadline);
                   });
@@ -227,20 +279,41 @@ void OptimisticSystem::send_validate(Live& live) {
   sim_.cancel(live.val_timer);
   const std::uint32_t epoch = live.epoch;
   live.val_timer =
-      sim_.after(injector()->plan().request_timeout, [this, id, epoch] {
-        Live* l = find(id);
-        // Same epoch + still live means the verdict never arrived (an
-        // accept erases the record, a reject bumps the epoch).
-        if (!l || l->epoch != epoch || !txn::is_live(l->t.state)) return;
-        if (l->val_retries >= injector()->plan().max_retransmits) return;
-        ++l->val_retries;
-        ++injector()->stats().retransmits;
-        if (tel_.events_enabled()) {
-          tel_.event(obs::EventKind::kRetransmit, sim_.now(), l->t.origin,
-                     id);
-        }
-        send_validate(*l);
-      });
+      sim_.after(injector()->plan().request_timeout,
+                 [this, id, epoch] { validate_retry_fired(id, epoch); });
+}
+
+void OptimisticSystem::validate_retry_fired(TxnId id, std::uint32_t epoch) {
+  Live* l = find(id);
+  // Same epoch + still live means the verdict never arrived (an accept
+  // erases the record, a reject bumps the epoch).
+  if (!l || l->epoch != epoch || !txn::is_live(l->t.state)) return;
+  const fault::FaultPlan& plan = injector()->plan();
+  const sim::SimTime now = sim_.now();
+  if (injector()->server_down(now)) {
+    // Retransmitting the commit point into a crashed server is a
+    // guaranteed drop: defer past the projected restart (jittered),
+    // without spending the bounded budget.
+    ++injector()->stats().outage_deferrals;
+    const sim::SimTime restart = plan.server_restart_time(now);
+    const sim::Duration gap = restart.finite() && restart > now
+                                  ? restart - now
+                                  : plan.request_timeout;
+    const std::uint64_t salt = (std::uint64_t{l->t.origin.value()} << 40) ^
+                               (id.value() << 8) ^ 5u;
+    l->val_timer = sim_.after(
+        gap + fault::outage_jitter(config_.seed, salt, ++l->outage_attempts,
+                                   plan.outage_jitter_bound),
+        [this, id, epoch] { validate_retry_fired(id, epoch); });
+    return;
+  }
+  if (l->val_retries >= plan.max_retransmits) return;
+  ++l->val_retries;
+  ++injector()->stats().retransmits;
+  if (tel_.events_enabled()) {
+    tel_.event(obs::EventKind::kRetransmit, sim_.now(), l->t.origin, id);
+  }
+  send_validate(*l);
 }
 
 void OptimisticSystem::server_validate(
@@ -417,6 +490,19 @@ void OptimisticSystem::on_site_crash(std::size_t client_index) {
   cs.version.clear();
   cs.ready.clear();
   cs.busy_slots = 0;
+}
+
+void OptimisticSystem::on_server_crash() {
+  ++server_inc_;
+  // The verdict cache lived in server memory. A client whose accept verdict
+  // was lost in the crash re-validates from scratch after the restart; its
+  // installed writes are stable, so the retry sees its own updates as
+  // conflicts and re-runs on fresh copies — the classic uncertain commit
+  // window, resolved pessimistically.
+  validated_ok_.clear();
+  // Everything else the server owns is stable storage (committed_, pf_);
+  // in-flight CPU slices and page reads bail on the incarnation guard, and
+  // in-flight client requests are dropped at delivery by the injector.
 }
 
 void OptimisticSystem::on_measurement_start() {

@@ -53,6 +53,13 @@ class OptimisticSystem final : public System {
   /// server-side client state to reclaim beyond the verdict cache.
   void on_site_crash(std::size_t client_index) override;
 
+  /// Server crash: the OCC server keeps almost nothing volatile — committed
+  /// versions and the paged file are stable — but the verdict cache dies
+  /// (a retransmitted validate after the crash is re-validated from
+  /// scratch) and every in-flight server continuation is neutralized by
+  /// the incarnation guard.
+  void on_server_crash() override;
+
  private:
   /// Per-workstation execution state (no lock manager — that is the point).
   struct ClientState {
@@ -82,6 +89,8 @@ class OptimisticSystem final : public System {
     /// request or verdict would otherwise strand the commit point.
     std::uint32_t val_retries = 0;
     sim::EventId val_timer = sim::kNoEvent;
+    /// Budget-free deferrals taken while the server was down (jitter salt).
+    std::uint32_t outage_attempts = 0;
   };
 
   void begin_attempt(TxnId id);
@@ -91,6 +100,9 @@ class OptimisticSystem final : public System {
   /// Ships the validate request for the current attempt and (faults only)
   /// arms the bounded retransmission timer.
   void send_validate(Live& live);
+  /// Validate-retransmit timer body: defers (budget-free, jittered) while
+  /// the server is down, retransmits within budget otherwise.
+  void validate_retry_fired(TxnId id, std::uint32_t epoch);
   /// Server-side backward validation; runs after the request message and
   /// the server CPU slice. Idempotent per (txn, epoch) while faults are
   /// active: a retransmitted request re-sends the accept verdict without
@@ -117,6 +129,10 @@ class OptimisticSystem final : public System {
   std::unordered_map<TxnId, std::uint32_t> validated_ok_;
   std::uint64_t validations_ = 0;
   std::uint64_t rejections_ = 0;
+  /// Server incarnation guard: continuations queued on the server (CPU
+  /// slices, page reads) capture the value and bail when the server
+  /// crashed underneath them.
+  std::uint64_t server_inc_ = 0;
 };
 
 }  // namespace rtdb::core

@@ -68,6 +68,12 @@ struct Grant {
   bool dirty = false;
   /// Version of the carried data (consistency auditing; see auditor.hpp).
   std::uint64_t version = 0;
+  /// Server recovery epoch the grant was issued under. A grant stamped with
+  /// an older epoch was in flight across a server crash: the receiving
+  /// client discards it (losslessly — the server still has its copy) and
+  /// lets the request retransmission path re-ask the restarted server.
+  /// 0 on fault-free runs (epoch checks are chaos-only).
+  std::uint32_t epoch = 0;
   std::vector<lock::ForwardEntry> forward_list;
 };
 
@@ -113,6 +119,9 @@ struct Recall {
   /// Mode the other client wants: kShared lets an EL holder downgrade and
   /// keep a SL + copy; kExclusive demands full release.
   lock::LockMode wanted = lock::LockMode::kExclusive;
+  /// Issuing server epoch; a recall from a dead incarnation is rejected
+  /// (the restarted server re-derives its recalls from re-assertions).
+  std::uint32_t epoch = 0;
 };
 
 /// Client -> server: object/lock returned (recall response, voluntary
@@ -156,6 +165,35 @@ struct RemoteResult {
   bool success = false;
   /// Speculation copy result: `id` names the origin-side original.
   bool spec = false;
+};
+
+/// One surviving grant a client re-registers after a server restart.
+struct ReassertEntry {
+  ObjectId object{};
+  lock::LockMode mode = lock::LockMode::kShared;
+  bool dirty = false;          ///< the cached copy is newer than the server's
+  std::uint64_t version = 0;   ///< version of the cached copy
+};
+
+/// Client -> server (kLockReassert): the client's full set of surviving
+/// grants, re-asserted during the recovery grace window (or late, when a
+/// stale in-flight forward handed it a copy after the window opened).
+/// Retransmitted until acked; the server dedups on (client, epoch).
+struct ReassertBatch {
+  ClientId client = kInvalidClient;
+  std::uint32_t epoch = 0;     ///< recovery epoch being joined
+  std::vector<ReassertEntry> entries;
+  bool retransmit = false;
+  LoadInfo load;
+};
+
+/// Server -> client (kReassertAck): per-object verdicts. Rejected entries
+/// (grace expired, or a conflicting holder re-asserted first) must be
+/// released by the client; a rejected dirty copy is an accounted loss.
+struct ReassertAck {
+  std::uint32_t epoch = 0;
+  std::vector<ObjectId> accepted;
+  std::vector<ObjectId> rejected;
 };
 
 /// Client -> server: where are these objects, and who should run this

@@ -17,7 +17,56 @@ ServerNode::ServerNode(ClientServerSystem& sys)
           storage::PagedFileConfig{sys.cfg().cs_server_buffer_capacity,
                                    sys.cfg().server_memory_access,
                                    sys.cfg().server_disk}),
-      cpu_(sys.sim()) {}
+      cpu_(sys.sim()) {
+  if (sys_.faults_active() && sys_.injector()->plan().warm_standby) {
+    standby_ = std::make_unique<lock::StandbyReplica>();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mirrored lock-table mutators (warm standby stream)
+// ---------------------------------------------------------------------------
+
+void ServerNode::add_holder_mirrored(ObjectId obj, ClientId client,
+                                     lock::LockMode mode) {
+  glt_.add_holder(obj, client, mode);
+  if (standby_) {
+    standby_->on_add_holder(obj, client, mode);
+    ++sys_.injector()->stats().standby_mutations;
+  }
+}
+
+void ServerNode::remove_holder_mirrored(ObjectId obj, ClientId client) {
+  glt_.remove_holder(obj, client);
+  if (standby_) {
+    standby_->on_remove_holder(obj, client);
+    ++sys_.injector()->stats().standby_mutations;
+  }
+}
+
+void ServerNode::downgrade_holder_mirrored(ObjectId obj, ClientId client) {
+  glt_.downgrade_holder(obj, client);
+  if (standby_) {
+    standby_->on_downgrade(obj, client);
+    ++sys_.injector()->stats().standby_mutations;
+  }
+}
+
+void ServerNode::set_circulating_mirrored(ObjectId obj, ClientId last_client) {
+  glt_.set_circulating(obj, last_client);
+  if (standby_) {
+    standby_->on_set_circulating(obj, last_client);
+    ++sys_.injector()->stats().standby_mutations;
+  }
+}
+
+void ServerNode::clear_circulating_mirrored(ObjectId obj) {
+  glt_.clear_circulating(obj);
+  if (standby_) {
+    standby_->on_clear_circulating(obj);
+    ++sys_.injector()->stats().standby_mutations;
+  }
+}
 
 void ServerNode::validate_invariants() const {
   glt_.validate_invariants();
@@ -58,11 +107,23 @@ void ServerNode::update_load(ClientId client, const LoadInfo& load) {
 
 void ServerNode::on_request_batch(ObjectRequestBatch batch) {
   update_load(batch.client, batch.load);
+  if (in_grace_) {
+    // The lock table is still being rebuilt from re-assertions: granting
+    // now could hand out a lock whose surviving holder has not re-asserted
+    // yet. Park the batch; end_grace() serves it in arrival order.
+    ++sys_.injector()->stats().grace_parked;
+    grace_parked_.push_back(std::move(batch));
+    return;
+  }
   // One CPU slice per carried request message.
   const sim::Duration work =
       sys_.cfg().server_msg_overhead *
       static_cast<double>(std::max<std::size_t>(1, batch.needs.size()));
-  cpu_.submit(work, [this, batch = std::move(batch)] { process_batch(batch); });
+  const std::uint64_t inc = incarnation_;
+  cpu_.submit(work, [this, inc, batch = std::move(batch)] {
+    if (inc != incarnation_) return;
+    process_batch(batch);
+  });
 }
 
 void ServerNode::process_batch(const ObjectRequestBatch& batch) {
@@ -151,7 +212,7 @@ void ServerNode::process_batch(const ObjectRequestBatch& batch) {
 
 void ServerNode::grant_now(TxnId txn, ClientId client, const ObjectNeed& need) {
   const LockMode held = glt_.holder_mode(need.object, client);
-  glt_.add_holder(need.object, client, need.mode);
+  add_holder_mirrored(need.object, client, need.mode);
   Grant g;
   g.txn = txn;
   g.object = need.object;
@@ -245,7 +306,9 @@ bool ServerNode::enqueue_conflicted(const ObjectRequestBatch& batch,
 
 void ServerNode::on_proceed_decision(ProceedDecision decision) {
   update_load(decision.client, decision.load);
-  cpu_.submit(sys_.cfg().server_msg_overhead, [this, decision] {
+  const std::uint64_t inc = incarnation_;
+  cpu_.submit(sys_.cfg().server_msg_overhead, [this, inc, decision] {
+    if (inc != incarnation_) return;
     auto it = parked_.find(decision.txn);
     if (it == parked_.end()) return;  // pruned or never parked
     ObjectRequestBatch batch = std::move(it->second);
@@ -310,7 +373,7 @@ void ServerNode::send_recalls(ObjectId obj) {
                              site_of(hold.client).value(),
                              wanted == LockMode::kExclusive ? 1 : 0);
     }
-    Recall r{obj, wanted};
+    Recall r{obj, wanted, epoch_};
     sys_.net().send<net::MessageKind::kObjectRecall>(
         net::kServer, hold.client,
         [this, client = hold.client, r] { sys_.client(client).on_recall(r); });
@@ -326,8 +389,10 @@ void ServerNode::arm_recall_watchdog(ObjectId obj, ClientId client) {
   // pending forever and the waiters starved. Re-send until the recall
   // clears — normally (answer arrives), by reclamation (holder declared
   // dead), or because nobody waits any more.
+  const std::uint64_t inc = incarnation_;
   sys_.sim().after(sys_.injector()->plan().recall_timeout,
-                   [this, obj, client] {
+                   [this, inc, obj, client] {
+    if (inc != incarnation_) return;
     if (!glt_.recall_pending(obj, client)) return;
     const LockMode wanted = strongest_queued_mode(obj);
     if (wanted == LockMode::kNone) {
@@ -341,7 +406,7 @@ void ServerNode::arm_recall_watchdog(ObjectId obj, ClientId client) {
                              kServerSite, kInvalidTxn, obj,
                              site_of(client).value());
     }
-    Recall r{obj, wanted};
+    Recall r{obj, wanted, epoch_};
     sys_.net().send<net::MessageKind::kObjectRecall>(
         net::kServer, client,
         [this, client, r] { sys_.client(client).on_recall(r); });
@@ -471,17 +536,17 @@ void ServerNode::pump_object(ObjectId obj) {
           for (const auto& e : list) {
             if (e.mode == LockMode::kExclusive &&
                 glt_.holder_mode(obj, e.client) != LockMode::kNone) {
-              glt_.remove_holder(obj, e.client);
+              remove_holder_mirrored(obj, e.client);
             }
           }
           // Shared members are holders from the moment the list ships —
           // their copies will stay cached under a SL.
           for (const auto& e : list) {
             if (e.mode == LockMode::kShared) {
-              glt_.add_holder(obj, e.client, LockMode::kShared);
+              add_holder_mirrored(obj, e.client, LockMode::kShared);
             }
           }
-          glt_.set_circulating(obj, list.back().client);
+          set_circulating_mirrored(obj, list.back().client);
           if (sys_.faults_active()) arm_circulation_watchdog(obj, list);
           if (sys_.trace().enabled(sim::TraceCategory::kWindow)) {
             sys_.trace().emitf(sys_.sim().now(), sim::TraceCategory::kWindow,
@@ -507,7 +572,7 @@ void ServerNode::pump_object(ObjectId obj) {
           return;
         }
         // The group collapsed to one entry (expiries): plain grant.
-        glt_.add_holder(obj, list[0].client, list[0].mode);
+        add_holder_mirrored(obj, list[0].client, list[0].mode);
         Grant g;
         g.txn = list[0].txn;
         g.object = obj;
@@ -531,7 +596,7 @@ void ServerNode::pump_object(ObjectId obj) {
       sys_.telemetry().lock_served(e->txn, obj, sys_.sim().now());
     }
     const LockMode held = glt_.holder_mode(obj, e->client);
-    glt_.add_holder(obj, e->client, e->mode);
+    add_holder_mirrored(obj, e->client, e->mode);
     Grant g;
     g.txn = e->txn;
     g.object = obj;
@@ -545,6 +610,7 @@ void ServerNode::pump_object(ObjectId obj) {
 }
 
 void ServerNode::ship(ClientId to, Grant grant, net::MessageKind kind) {
+  grant.epoch = epoch_;
   if (sys_.trace().enabled(sim::TraceCategory::kLock)) {
     sys_.trace().emitf(sys_.sim().now(), sim::TraceCategory::kLock,
                        kServerSite, "grant obj=%u -> site %d (%s%s)",
@@ -565,8 +631,10 @@ void ServerNode::ship(ClientId to, Grant grant, net::MessageKind kind) {
     // Read the page (buffer hit or disk) before it can leave the server.
     const ObjectId obj = grant.object;
     const sim::SimTime read_start = sys_.sim().now();
+    const std::uint64_t inc = incarnation_;
     pf_.access(obj, /*write=*/false,
-               [this, to, kind, read_start, grant = std::move(grant)] {
+               [this, inc, to, kind, read_start, grant = std::move(grant)] {
+                 if (inc != incarnation_) return;
                  if (sys_.telemetry().spans_enabled()) {
                    sys_.telemetry().server_disk_wait(
                        grant.txn, grant.object,
@@ -600,7 +668,9 @@ void ServerNode::ship_send(ClientId to, net::MessageKind kind, Grant grant) {
 
 void ServerNode::on_object_return(ObjectReturn ret) {
   update_load(ret.client, ret.load);
-  cpu_.submit(sys_.cfg().server_msg_overhead, [this, ret] {
+  const std::uint64_t inc = incarnation_;
+  cpu_.submit(sys_.cfg().server_msg_overhead, [this, inc, ret] {
+    if (inc != incarnation_) return;
     if (sys_.telemetry().events_enabled()) {
       sys_.telemetry().event(obs::EventKind::kLockReturn, sys_.sim().now(),
                              kServerSite, kInvalidTxn, ret.object,
@@ -615,7 +685,7 @@ void ServerNode::on_object_return(ObjectReturn ret) {
       // server's committed version.
       ++sys_.injector()->stats().duplicate_returns_ignored;
       ack_return(ret);
-      if (ret.from_circulation) glt_.clear_circulating(ret.object);
+      if (ret.from_circulation) clear_circulating_mirrored(ret.object);
       glt_.clear_recall(ret.object, ret.client);
       maybe_close_window_early(ret.object);
       pump_object(ret.object);
@@ -633,7 +703,7 @@ void ServerNode::on_object_return(ObjectReturn ret) {
         // Stale clean copy from a repaired circulation: already accounted.
         ++sys_.injector()->stats().duplicate_returns_ignored;
       }
-      glt_.clear_circulating(ret.object);
+      clear_circulating_mirrored(ret.object);
       // A window may have opened for requests that arrived mid-circulation.
       maybe_close_window_early(ret.object);
       pump_object(ret.object);
@@ -641,9 +711,9 @@ void ServerNode::on_object_return(ObjectReturn ret) {
     }
     if (ret.was_held) {
       if (ret.downgraded) {
-        glt_.downgrade_holder(ret.object, ret.client);
+        downgrade_holder_mirrored(ret.object, ret.client);
       } else {
-        glt_.remove_holder(ret.object, ret.client);
+        remove_holder_mirrored(ret.object, ret.client);
       }
       if (chaos) clear_recall_tries(ret.object, ret.client);
       if (ret.dirty) {
@@ -663,7 +733,7 @@ void ServerNode::on_object_return(ObjectReturn ret) {
       // future writer — drop it. (A single "not held" is usually just the
       // small recall frame overtaking its own large data grant; keeping
       // the registration lets the next pump re-recall and resolve it.)
-      glt_.remove_holder(ret.object, ret.client);
+      remove_holder_mirrored(ret.object, ret.client);
       clear_recall_tries(ret.object, ret.client);
       ++sys_.injector()->stats().orphan_locks_reclaimed;
     }
@@ -716,8 +786,10 @@ void ServerNode::arm_circulation_watchdog(
     if (e.expires.finite() && e.expires > last) last = e.expires;
   }
   const std::uint64_t seq = ++circ_seq_.slot(obj);
+  const std::uint64_t inc = incarnation_;
   sys_.sim().at(last + sys_.injector()->plan().circulation_grace,
-                [this, obj, seq] {
+                [this, inc, obj, seq] {
+    if (inc != incarnation_) return;
     if (circ_seq_.value_or_default(obj) != seq) return;
     if (!glt_.is_circulating(obj)) return;
     // The travelling copy never came home: a dropped forward hop or a
@@ -728,7 +800,7 @@ void ServerNode::arm_circulation_watchdog(
       sys_.telemetry().event(obs::EventKind::kFaultRepair, sys_.sim().now(),
                              kServerSite, kInvalidTxn, obj);
     }
-    glt_.clear_circulating(obj);
+    clear_circulating_mirrored(obj);
     sys_.accounted_loss(obj);
     maybe_close_window_early(obj);
     pump_object(obj);
@@ -748,7 +820,7 @@ void ServerNode::reclaim_client(ClientId client) {
   std::vector<ObjectId> touched = glt_.objects_held_by(client);
   std::sort(touched.begin(), touched.end());
   for (ObjectId obj : touched) {
-    glt_.remove_holder(obj, client);
+    remove_holder_mirrored(obj, client);
     glt_.clear_recall(obj, client);
     ++stats.orphan_locks_reclaimed;
   }
@@ -780,12 +852,132 @@ void ServerNode::reclaim_client(ClientId client) {
 }
 
 // ---------------------------------------------------------------------------
+// Server crash / epoch-leased recovery
+// ---------------------------------------------------------------------------
+
+void ServerNode::crash() {
+  // The incarnation bump neutralizes every async continuation (CPU slices,
+  // disk-read completions, recall/circulation watchdogs, window timers)
+  // armed by the dead incarnation.
+  ++incarnation_;
+  for (auto& [obj, id] : windows_) sys_.sim().cancel(id);
+  windows_.clear();
+  glt_.clear();
+  wfg_.clear();
+  queued_.clear();
+  parked_.clear();
+  recall_tries_.clear();
+  loads_.clear();
+  grace_parked_.clear();
+  in_grace_ = false;
+  if (sys_.trace().enabled(sim::TraceCategory::kLock)) {
+    sys_.trace().emitf(sys_.sim().now(), sim::TraceCategory::kLock,
+                       kServerSite, "server crash (epoch %u dies)", epoch_);
+  }
+}
+
+void ServerNode::restart(bool failover) {
+  ++epoch_;
+  const fault::FaultPlan& plan = sys_.injector()->plan();
+  if (sys_.trace().enabled(sim::TraceCategory::kLock)) {
+    sys_.trace().emitf(sys_.sim().now(), sim::TraceCategory::kLock,
+                       kServerSite, "server restart epoch=%u %s", epoch_,
+                       failover ? "(standby promoted)"
+                                : plan.recovery_disabled
+                                      ? "(recovery disabled)"
+                                      : "(grace rebuild)");
+  }
+  if (plan.recovery_disabled) return;  // serve from an empty table (broken)
+  if (failover && standby_) {
+    // Promotion: the mirrored snapshot IS the lock table. Raw glt_ calls —
+    // the standby already holds this state; re-mirroring would double it.
+    for (const auto& h : standby_->snapshot_holds()) {
+      glt_.add_holder(h.object, h.client, h.mode);
+    }
+    for (const auto& c : standby_->snapshot_circulating()) {
+      glt_.set_circulating(c.object, c.last_client);
+      // The chain kept moving while the primary was down; give it a fresh
+      // conservative watchdog in case a hop was lost meanwhile.
+      arm_circulation_watchdog(c.object, {});
+    }
+    return;
+  }
+  // Grace rebuild: surviving holders re-assert; new request batches park
+  // until the window closes.
+  in_grace_ = true;
+  const std::uint64_t inc = incarnation_;
+  sys_.sim().after(plan.server_recovery_grace, [this, inc] {
+    if (inc != incarnation_) return;
+    end_grace();
+  });
+}
+
+void ServerNode::end_grace() {
+  in_grace_ = false;
+  // Unclaimed locks need no sweep: the rebuilt table only ever contained
+  // accepted re-assertions. Serve the parked batches in arrival order.
+  std::vector<ObjectRequestBatch> parked = std::move(grace_parked_);
+  grace_parked_.clear();
+  for (auto& batch : parked) on_request_batch(std::move(batch));
+}
+
+void ServerNode::on_reassert(ReassertBatch batch) {
+  update_load(batch.client, batch.load);
+  const sim::Duration work =
+      sys_.cfg().server_msg_overhead *
+      static_cast<double>(std::max<std::size_t>(1, batch.entries.size()));
+  const std::uint64_t inc = incarnation_;
+  cpu_.submit(work, [this, inc, batch = std::move(batch)] {
+    if (inc != incarnation_) return;
+    auto& stats = sys_.injector()->stats();
+    ReassertAck ack;
+    ack.epoch = batch.epoch;
+    if (batch.epoch != epoch_) {
+      // The batch joined a dead incarnation (a second crash overtook it).
+      // Reject wholesale; the client's current-epoch retry stands alone.
+      ++stats.stale_epoch_rejected;
+      for (const auto& e : batch.entries) ack.rejected.push_back(e.object);
+    } else {
+      for (const auto& e : batch.entries) {
+        const LockMode held = glt_.holder_mode(e.object, batch.client);
+        if (lock::covers(held, e.mode)) {
+          // Re-delivered (retransmit or wire duplicate): already installed.
+          ++stats.duplicate_reasserts_ignored;
+          ack.accepted.push_back(e.object);
+          continue;
+        }
+        const bool compatible =
+            glt_.can_grant(e.object, batch.client, e.mode);
+        if (in_grace_ && compatible) {
+          add_holder_mirrored(e.object, batch.client, e.mode);
+          ++stats.reasserts_accepted;
+          ack.accepted.push_back(e.object);
+        } else {
+          // Grace expired, or a conflicting holder re-asserted first
+          // (first arrival wins deterministically): the lease is gone. The
+          // client releases the copy; a dirty one is an accounted loss.
+          ack.rejected.push_back(e.object);
+        }
+      }
+    }
+    sys_.net().send<net::MessageKind::kReassertAck>(
+        net::kServer, batch.client,
+        [this, client = batch.client, ack = std::move(ack)] {
+          sys_.client(client).on_reassert_ack(ack);
+        });
+  });
+}
+
+// ---------------------------------------------------------------------------
 // Location service (H2 / decomposition)
 // ---------------------------------------------------------------------------
 
 void ServerNode::on_location_query(LocationQuery query) {
   update_load(query.client, query.load);
-  cpu_.submit(sys_.cfg().server_msg_overhead, [this, query = std::move(query)] {
+  const std::uint64_t inc = incarnation_;
+  cpu_.submit(sys_.cfg().server_msg_overhead,
+              [this, inc, query = std::move(query)] {
+    if (inc != incarnation_) return;
     LocationReply reply;
     reply.txn = query.txn;
     std::vector<std::pair<ObjectId, LockMode>> needs;

@@ -1,11 +1,13 @@
 #pragma once
 
+#include <memory>
 #include <unordered_map>
 
 #include "common/dense_map.hpp"
 #include "core/protocol.hpp"
 #include "net/message.hpp"
 #include "lock/global_lock_table.hpp"
+#include "lock/standby.hpp"
 #include "lock/wait_for_graph.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
@@ -60,6 +62,37 @@ class ServerNode {
     return version_of(obj);
   }
 
+  // --- server crash / epoch-leased recovery -------------------------------
+
+  /// Server crash: every piece of volatile state — global lock table,
+  /// forward lists, queued-txn records, parked batches, collection windows,
+  /// load table — is gone. The paged file and the version array survive
+  /// (stable storage). Async continuations of the dead incarnation are
+  /// neutralized by the incarnation guard.
+  void crash();
+
+  /// Server restart: bumps the recovery epoch, then either promotes the
+  /// warm standby (`failover`, lock table rebuilt from the mirrored
+  /// snapshot, serving immediately) or opens the grace window during which
+  /// surviving holders re-assert their grants. With
+  /// FaultPlan::recovery_disabled the server serves straight from an empty
+  /// table — the WILL_FAIL gate's broken build.
+  void restart(bool failover);
+
+  /// A client's kLockReassert batch (epoch-leased re-registration).
+  void on_reassert(ReassertBatch batch);
+
+  /// Current recovery epoch (1 until the first restart).
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+
+  /// True while the post-restart grace window is open.
+  [[nodiscard]] bool in_grace() const { return in_grace_; }
+
+  /// Mutations streamed to the warm standby so far (gauge).
+  [[nodiscard]] std::uint64_t standby_mutations() const {
+    return standby_ ? standby_->mutations() : 0;
+  }
+
   // --- load table -----------------------------------------------------------
 
   /// Piggybacked load refresh (free: rides on every client->server message).
@@ -91,7 +124,7 @@ class ServerNode {
   /// Warm-start bookkeeping: registers `client`'s SL on `obj` without any
   /// protocol traffic (the matching client called warm_insert).
   void warm_register(ObjectId obj, ClientId client) {
-    glt_.add_holder(obj, client, lock::LockMode::kShared);
+    add_holder_mirrored(obj, client, lock::LockMode::kShared);
   }
 
   /// Warm-start: page resident in the server buffer, no timing.
@@ -184,6 +217,20 @@ class ServerNode {
   [[nodiscard]] std::uint32_t recall_tries(ObjectId obj, ClientId client) const;
   void clear_recall_tries(ObjectId obj, ClientId client);
 
+  // --- lock-table mutators with the warm-standby mirror -------------------
+  // Every holder/circulation mutation goes through these so the standby
+  // replica (when armed) sees the identical deterministic stream. The
+  // GlobalLockTable itself stays mirror-free: its grant path is a proven
+  // allocation-free hot region.
+  void add_holder_mirrored(ObjectId obj, ClientId client, lock::LockMode mode);
+  void remove_holder_mirrored(ObjectId obj, ClientId client);
+  void downgrade_holder_mirrored(ObjectId obj, ClientId client);
+  void set_circulating_mirrored(ObjectId obj, ClientId last_client);
+  void clear_circulating_mirrored(ObjectId obj);
+
+  /// Grace-window close: serve the batches parked behind the rebuild.
+  void end_grace();
+
   ClientServerSystem& sys_;
   lock::GlobalLockTable glt_;
   storage::PagedFile pf_;
@@ -220,6 +267,26 @@ class ServerNode {
   /// and the registration is a phantom worth dropping.
   std::unordered_map<ObjectId, std::unordered_map<ClientId, std::uint32_t>>
       recall_tries_;
+
+  // --- crash/recovery state (quiescent on fault-free runs) ----------------
+
+  /// Recovery epoch: bumped on every restart/failover; stamped into grants
+  /// and recalls so clients can reject messages from dead incarnations.
+  std::uint32_t epoch_ = 1;
+
+  /// Incarnation guard for async continuations (CPU slices, disk reads,
+  /// watchdog timers) armed before a crash: they capture the value and
+  /// bail out if the server died in between.
+  std::uint64_t incarnation_ = 0;
+
+  /// Grace-window state: while in_grace_, request batches park here (FIFO)
+  /// and are served at the window's end, after re-assertions rebuilt the
+  /// lock table.
+  bool in_grace_ = false;
+  std::vector<ObjectRequestBatch> grace_parked_;
+
+  /// Warm standby replica (allocated only when the plan arms one).
+  std::unique_ptr<lock::StandbyReplica> standby_;
 
   [[nodiscard]] std::uint64_t version_of(ObjectId obj) const {
     return versions_.value_or_default(obj);

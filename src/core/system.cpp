@@ -67,6 +67,37 @@ void System::arm_fault_schedule() {
       });
     }
   }
+  if (!plan.allow_server_crash) return;
+  for (const auto& w : plan.server_crashes) {
+    sim_.at(w.start, [this] {
+      ++injector_->stats().server_crashes;
+      if (tel_.events_enabled()) {
+        tel_.event(obs::EventKind::kSiteCrash, sim_.now(), kServerSite,
+                   kInvalidTxn);
+      }
+      on_server_crash();
+    });
+    // A warm standby is promoted standby_failover after the crash even when
+    // the scheduled outage runs longer — the injector's server_down() uses
+    // the same effective end, so the promoted server is reachable.
+    const sim::SimTime back = plan.effective_end(w);
+    if (back.finite()) {
+      const bool failover = plan.warm_standby;
+      sim_.at(back, [this, failover] {
+        auto& stats = injector_->stats();
+        if (failover) {
+          ++stats.server_failovers;
+        } else {
+          ++stats.server_recoveries;
+        }
+        if (tel_.events_enabled()) {
+          tel_.event(obs::EventKind::kSiteRecover, sim_.now(), kServerSite,
+                     kInvalidTxn);
+        }
+        on_server_restart(failover);
+      });
+    }
+  }
 }
 
 void System::schedule_next_arrival(std::size_t client_index) {

@@ -110,6 +110,13 @@ class System {
     (void)client_index;
   }
 
+  /// Server-outage hooks (fired only when the plan allows server crashes).
+  /// A crash wipes the server's volatile state (lock table, forward lists,
+  /// queued transactions); the restart either promotes the warm standby
+  /// (`failover == true`) or starts the epoch-leased grace rebuild.
+  virtual void on_server_crash() {}
+  virtual void on_server_restart(bool failover) { (void)failover; }
+
   /// True if the transaction arrived inside the measurement window and its
   /// outcome must be counted.
   [[nodiscard]] bool is_measured(const txn::Transaction& t) const {

@@ -54,6 +54,16 @@ struct CrashWindow {
   sim::SimTime end = sim::kTimeInfinity;
 };
 
+/// One scheduled *server* crash: at `start` the server loses all volatile
+/// state (global lock table, forward lists, queued transactions); at `end`
+/// it restarts and rebuilds via the epoch-leased recovery protocol — or, if
+/// the plan arms a warm standby, the standby is promoted after
+/// FaultPlan::standby_failover and the window effectively ends early.
+struct ServerCrashWindow {
+  sim::SimTime start{};
+  sim::SimTime end = sim::kTimeInfinity;
+};
+
 /// The full, deterministic schedule of everything that will go wrong.
 struct FaultPlan {
   /// Seed of the injector's private random stream (independent of the
@@ -71,6 +81,28 @@ struct FaultPlan {
 
   std::vector<PartitionWindow> partitions;
   std::vector<CrashWindow> crashes;
+
+  /// Capability gate: server crash windows are only honoured when this is
+  /// set. Keeps legacy plans (which never imagined a crashable server)
+  /// byte-identical and makes the blast radius of a schedule explicit.
+  bool allow_server_crash = false;
+  /// Scheduled server outages (sorted, non-overlapping; see validate()).
+  std::vector<ServerCrashWindow> server_crashes;
+  /// Grace window after a cold restart during which surviving lock holders
+  /// re-assert their grants before the server serves new work.
+  sim::Duration server_recovery_grace = sim::msec(600);
+  /// Arm a warm standby replica: lock-table mutations stream to a backup
+  /// which is promoted standby_failover after a crash, skipping the grace
+  /// rebuild entirely (the window's effective end moves up).
+  bool warm_standby = false;
+  sim::Duration standby_failover = sim::msec(50);
+  /// Bound of the seeded jitter added to client retries deferred across a
+  /// server outage (decorrelates the post-restart retry thundering herd).
+  sim::Duration outage_jitter_bound = sim::msec(40);
+  /// Testing hook (rtdb_verify --no-recovery): the restarted server skips
+  /// the epoch bump + grace rebuild and serves from an empty lock table —
+  /// the WILL_FAIL gate proving recovery is what keeps ledgers clean.
+  bool recovery_disabled = false;
 
   /// Treat the plan as active even when it injects nothing. Exercises the
   /// recovery machinery (timers, acks, idempotent handlers) on a healthy
@@ -105,6 +137,18 @@ struct FaultPlan {
   /// Empty string when the plan is well-formed, else the first problem
   /// (probabilities outside [0,1], negative durations, inverted windows).
   [[nodiscard]] std::string validate() const;
+
+  /// When the server actually comes back for window `w`: with a warm
+  /// standby armed, promotion at start + standby_failover can pre-empt the
+  /// scheduled end; without one, the scheduled end.
+  [[nodiscard]] sim::SimTime effective_end(const ServerCrashWindow& w) const;
+
+  /// True while the server is inside one of its (effective) crash windows.
+  [[nodiscard]] bool server_down(sim::SimTime t) const;
+
+  /// Effective end of the window covering `t` (kTimeInfinity when the
+  /// server is up at `t` or never recovers).
+  [[nodiscard]] sim::SimTime server_restart_time(sim::SimTime t) const;
 };
 
 /// Counters for every injected fault and every recovery action. The chaos
@@ -141,10 +185,27 @@ struct FaultStats {
   std::uint64_t candidates_filtered = 0;    ///< H1/H2 skipped dead sites
   std::uint64_t local_fallbacks = 0;        ///< ship/subtask ran locally
 
+  // Server-outage side (windows accounted separately from client windows so
+  // chaos replay digests distinguish them; recovery counters are bumped by
+  // the epoch-leased rebuild protocol).
+  std::uint64_t server_crashes = 0;          ///< server windows entered
+  std::uint64_t server_recoveries = 0;       ///< grace-rebuild restarts
+  std::uint64_t server_failovers = 0;        ///< warm-standby promotions
+  std::uint64_t server_crash_drops = 0;      ///< deliveries to the down server
+  std::uint64_t reasserts_sent = 0;          ///< re-registration batches sent
+  std::uint64_t reasserts_accepted = 0;      ///< holder entries re-installed
+  std::uint64_t duplicate_reasserts_ignored = 0;
+  std::uint64_t stale_epoch_rejected = 0;    ///< pre-epoch grants/recalls
+  std::uint64_t lease_expiries = 0;          ///< holders that missed the grace
+  std::uint64_t outage_deferrals = 0;        ///< retries parked past restart
+  std::uint64_t deadline_early_aborts = 0;   ///< slack < projected recovery
+  std::uint64_t grace_parked = 0;            ///< batches parked during grace
+  std::uint64_t standby_mutations = 0;       ///< ops streamed to the standby
+
   /// Total perturbations injected into the run.
   [[nodiscard]] std::uint64_t injected() const {
     return dropped + partition_drops + crash_drops + duplicates + delays +
-           crashes;
+           crashes + server_crashes + server_crash_drops;
   }
 
   /// FNV-1a over every counter (order-stable).
@@ -163,10 +224,16 @@ class FaultInjector final : public net::FaultHook {
   bool judge_delivery(SiteId dst, sim::SimTime when) override;
   void on_duplicate_suppressed() override { ++stats_.duplicates_suppressed; }
 
-  /// True while `site` is inside one of its crash windows.
+  /// True while `site` is inside one of its crash windows (the server's
+  /// windows count only when the plan allows server crashes).
   [[nodiscard]] bool down(SiteId site, sim::SimTime t) const;
   [[nodiscard]] bool down(ClientId client, sim::SimTime t) const {
     return down(site_of(client), t);
+  }
+
+  /// True while the server is inside one of its (effective) outage windows.
+  [[nodiscard]] bool server_down(sim::SimTime t) const {
+    return plan_.allow_server_crash && plan_.server_down(t);
   }
 
   /// True while messages between `a` and `b` are partitioned away.
@@ -192,6 +259,18 @@ FaultPlan make_chaos_plan(std::string_view name, std::size_t num_clients,
 
 /// The library's schedule names, in a stable order.
 std::vector<std::string_view> chaos_schedule_names();
+
+/// Server-outage schedule names (rtdb_verify --chaos-server), in a stable
+/// order. Kept separate from chaos_schedule_names() so the legacy chaos
+/// digests never move.
+std::vector<std::string_view> server_chaos_schedule_names();
+
+/// Deterministic retry jitter for requests deferred across a server outage:
+/// a pure splitmix64 hash of (seed, salt, attempt) scaled into [0, bound).
+/// Stateless by design — it consumes no RNG stream, so arming it cannot
+/// shift any other seeded draw.
+sim::Duration outage_jitter(std::uint64_t seed, std::uint64_t salt,
+                            std::uint64_t attempt, sim::Duration bound);
 
 /// One-line human description of a plan (schedule dumps in CI artifacts).
 std::string describe(const FaultPlan& plan);

@@ -192,12 +192,17 @@ class ProtocolDispatchRule final : public Rule {
     if (kinds.empty()) return;
 
     // Every `send < ... MessageKind :: kX ... > (` site in the corpus.
+    // send_batch<> routes through the same typed/direction-checked seam
+    // (Network::send_batch -> send_batch_raw), so it dispatches too.
     std::vector<std::string> dispatched;
     bool any_send = false;
     for (const SourceFile& file : corpus.files()) {
       const auto& ts = file.tokens();
       for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
-        if (!is_id(ts[i], "send") || !is_punct(ts[i + 1], "<")) continue;
+        if (!(is_id(ts[i], "send") || is_id(ts[i], "send_batch")) ||
+            !is_punct(ts[i + 1], "<")) {
+          continue;
+        }
         const std::size_t close = detail::match_angle(ts, i + 1);
         if (close == npos) continue;
         any_send = true;

@@ -333,6 +333,11 @@ void GlobalLockTable::compact() {
   }
 }
 
+void GlobalLockTable::clear() {
+  for (std::size_t i = tracked_.size(); i-- > 0;) untrack(tracked_[i]);
+  for (auto& objs : by_client_) objs.clear();
+}
+
 std::size_t GlobalLockTable::total_queued_entries() const {
   std::size_t total = 0;
   for (const std::uint32_t obj : tracked_) total += slots_[obj].queue.size();

@@ -150,6 +150,12 @@ class GlobalLockTable {
   /// Drops empty per-object states (call after bursts of releases).
   void compact();
 
+  /// Wipes the whole table — the server crashed and its volatile lock state
+  /// is gone. Capacity is kept (slots are recycled, not freed) and the
+  /// cumulative expired-drop counter survives, so post-restart telemetry
+  /// stays monotone.
+  void clear();
+
   [[nodiscard]] std::size_t tracked_objects() const {
     return tracked_.size();
   }

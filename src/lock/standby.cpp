@@ -1,0 +1,83 @@
+#include "lock/standby.hpp"
+
+#include <algorithm>
+
+namespace rtdb::lock {
+
+StandbyReplica::Slot& StandbyReplica::slot(ObjectId obj) {
+  const std::size_t i = obj.value();
+  if (i >= slots_.size()) slots_.resize(i + 1);
+  return slots_[i];
+}
+
+void StandbyReplica::on_add_holder(ObjectId obj, ClientId client,
+                                   LockMode mode) {
+  ++mutations_;
+  Slot& st = slot(obj);
+  for (auto& h : st.holders) {
+    if (h.client == client) {
+      h.mode = stronger(mode, h.mode);
+      return;
+    }
+  }
+  st.holders.push_back({obj, client, mode});
+}
+
+void StandbyReplica::on_remove_holder(ObjectId obj, ClientId client) {
+  ++mutations_;
+  Slot& st = slot(obj);
+  std::erase_if(st.holders,
+                [client](const Hold& h) { return h.client == client; });
+}
+
+void StandbyReplica::on_downgrade(ObjectId obj, ClientId client) {
+  ++mutations_;
+  for (auto& h : slot(obj).holders) {
+    if (h.client == client) {
+      h.mode = LockMode::kShared;
+      return;
+    }
+  }
+}
+
+void StandbyReplica::on_set_circulating(ObjectId obj, ClientId last_client) {
+  ++mutations_;
+  Slot& st = slot(obj);
+  st.circulating = true;
+  st.circulating_last = last_client;
+}
+
+void StandbyReplica::on_clear_circulating(ObjectId obj) {
+  ++mutations_;
+  Slot& st = slot(obj);
+  st.circulating = false;
+  st.circulating_last = kInvalidClient;
+}
+
+std::vector<StandbyReplica::Hold> StandbyReplica::snapshot_holds() const {
+  std::vector<Hold> out;
+  for (const Slot& st : slots_) {
+    out.insert(out.end(), st.holders.begin(), st.holders.end());
+  }
+  // Slots are visited in object order; order holders within an object by
+  // client so the rebuild is independent of grant/upgrade interleaving.
+  std::sort(out.begin(), out.end(), [](const Hold& a, const Hold& b) {
+    if (a.object != b.object) return a.object < b.object;
+    return a.client < b.client;
+  });
+  return out;
+}
+
+std::vector<StandbyReplica::Circulation> StandbyReplica::snapshot_circulating()
+    const {
+  std::vector<Circulation> out;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].circulating) {
+      out.push_back({ObjectId{static_cast<ObjectId::Rep>(i)},
+                     slots_[i].circulating_last});
+    }
+  }
+  return out;
+}
+
+}  // namespace rtdb::lock

@@ -239,6 +239,15 @@ void WaitForGraph<NodeT>::remove_node(Node node) {
 }
 
 template <class NodeT>
+void WaitForGraph<NodeT>::clear() {
+  index_.clear();
+  slots_.clear();
+  free_head_ = kNoSlot;
+  active_ = 0;
+  edges_ = 0;
+}
+
+template <class NodeT>
 std::vector<NodeT> WaitForGraph<NodeT>::waits_for(Node waiter) const {
   const std::uint32_t w = slot_of(waiter);
   if (w == kNoSlot) return {};

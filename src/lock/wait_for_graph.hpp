@@ -104,6 +104,10 @@ class WaitForGraph {
   /// Removes a node and all edges touching it (txn finished/aborted).
   void remove_node(Node node);
 
+  /// Drops every node and edge at once — the owning table was wiped
+  /// wholesale (server crash recovery), so per-node teardown is pointless.
+  void clear();
+
   /// Current out-edges of a node (whom it waits for).
   [[nodiscard]] std::vector<Node> waits_for(Node waiter) const;
 

@@ -35,12 +35,22 @@ enum class MessageKind : std::uint8_t {
   kValidateRequest,  ///< client -> server (OCC): read/write sets + updates
   kValidateReply,    ///< server -> client (OCC): verdict (+ fresh copies)
   kControl,          ///< miscellaneous small control traffic
+  kLockReassert,     ///< client -> server: re-register surviving grants
+  kReassertAck,      ///< server -> client: re-registration verdicts
   kKindCount         ///< sentinel: number of kinds
 };
 
 /// Number of distinct message kinds.
 inline constexpr std::size_t kMessageKindCount =
     static_cast<std::size_t>(MessageKind::kKindCount);
+
+/// Number of kinds that existed before the server-recovery protocol. Kinds
+/// below this bound fold into run digests unconditionally (their layout is
+/// pinned by scripts/golden_digests.txt); later kinds fold only when a run
+/// actually sends them, so fault-free goldens never move when the protocol
+/// grows a new recovery message.
+inline constexpr std::size_t kLegacyKindCount =
+    static_cast<std::size_t>(MessageKind::kControl) + 1;
 
 /// Human-readable kind name (stable, used by the table harnesses).
 std::string_view to_string(MessageKind kind);
@@ -78,12 +88,14 @@ constexpr Direction direction_of(MessageKind kind) {
     case MessageKind::kTxnSubmit:
     case MessageKind::kLocationQuery:
     case MessageKind::kValidateRequest:
+    case MessageKind::kLockReassert:
       return {Endpoint::kClient, Endpoint::kServer};
     case MessageKind::kObjectShip:
     case MessageKind::kObjectRecall:
     case MessageKind::kLockGrant:
     case MessageKind::kLocationReply:
     case MessageKind::kValidateReply:
+    case MessageKind::kReassertAck:
       return {Endpoint::kServer, Endpoint::kClient};
     case MessageKind::kObjectForward:
     case MessageKind::kTxnShip:

@@ -25,6 +25,8 @@ std::string_view to_string(MessageKind kind) {
     case MessageKind::kValidateRequest: return "ValidateRequest";
     case MessageKind::kValidateReply: return "ValidateReply";
     case MessageKind::kControl: return "Control";
+    case MessageKind::kLockReassert: return "LockReassert";
+    case MessageKind::kReassertAck: return "ReassertAck";
     case MessageKind::kKindCount: break;
   }
   return "Unknown";
@@ -84,6 +86,8 @@ std::uint64_t Network::default_bytes(MessageKind kind) const {
     case MessageKind::kValidateRequest:
     case MessageKind::kValidateReply:
     case MessageKind::kControl:
+    case MessageKind::kLockReassert:
+    case MessageKind::kReassertAck:
     case MessageKind::kKindCount:
       return config_.control_bytes;
   }

@@ -1,0 +1,79 @@
+/// \file standby_test.cpp
+/// The warm-standby replica: the mutation stream keeps the mirror exact,
+/// and the promotion snapshots come out sorted regardless of arrival order.
+
+#include "lock/standby.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtdb::lock {
+namespace {
+
+TEST(StandbyReplica, MirrorsHoldersAndCountsMutations) {
+  StandbyReplica r;
+  r.on_add_holder(ObjectId{5}, ClientId{2}, LockMode::kExclusive);
+  r.on_add_holder(ObjectId{3}, ClientId{1}, LockMode::kShared);
+  r.on_add_holder(ObjectId{5}, ClientId{1}, LockMode::kShared);
+  EXPECT_EQ(r.mutations(), 3u);
+
+  const auto holds = r.snapshot_holds();
+  ASSERT_EQ(holds.size(), 3u);
+  // Sorted by (object, client), independent of insertion order.
+  EXPECT_EQ(holds[0].object, ObjectId{3});
+  EXPECT_EQ(holds[0].client, ClientId{1});
+  EXPECT_EQ(holds[1].object, ObjectId{5});
+  EXPECT_EQ(holds[1].client, ClientId{1});
+  EXPECT_EQ(holds[2].object, ObjectId{5});
+  EXPECT_EQ(holds[2].client, ClientId{2});
+  EXPECT_EQ(holds[2].mode, LockMode::kExclusive);
+}
+
+TEST(StandbyReplica, RemoveAndDowngradeTrackThePrimary) {
+  StandbyReplica r;
+  r.on_add_holder(ObjectId{7}, ClientId{1}, LockMode::kExclusive);
+  r.on_downgrade(ObjectId{7}, ClientId{1});
+  auto holds = r.snapshot_holds();
+  ASSERT_EQ(holds.size(), 1u);
+  EXPECT_EQ(holds[0].mode, LockMode::kShared);
+
+  r.on_remove_holder(ObjectId{7}, ClientId{1});
+  EXPECT_TRUE(r.snapshot_holds().empty());
+  EXPECT_EQ(r.mutations(), 3u);
+}
+
+TEST(StandbyReplica, ReAddReplacesInsteadOfDuplicating) {
+  StandbyReplica r;
+  r.on_add_holder(ObjectId{7}, ClientId{1}, LockMode::kShared);
+  r.on_add_holder(ObjectId{7}, ClientId{1}, LockMode::kExclusive);
+  const auto holds = r.snapshot_holds();
+  ASSERT_EQ(holds.size(), 1u);
+  EXPECT_EQ(holds[0].mode, LockMode::kExclusive);
+}
+
+TEST(StandbyReplica, CirculationMirror) {
+  StandbyReplica r;
+  r.on_set_circulating(ObjectId{9}, ClientId{4});
+  r.on_set_circulating(ObjectId{2}, ClientId{3});
+  auto circ = r.snapshot_circulating();
+  ASSERT_EQ(circ.size(), 2u);
+  EXPECT_EQ(circ[0].object, ObjectId{2});
+  EXPECT_EQ(circ[0].last_client, ClientId{3});
+  EXPECT_EQ(circ[1].object, ObjectId{9});
+  EXPECT_EQ(circ[1].last_client, ClientId{4});
+
+  r.on_clear_circulating(ObjectId{9});
+  circ = r.snapshot_circulating();
+  ASSERT_EQ(circ.size(), 1u);
+  EXPECT_EQ(circ[0].object, ObjectId{2});
+}
+
+TEST(StandbyReplica, RemovingUnknownEntriesIsIdempotent) {
+  StandbyReplica r;
+  r.on_remove_holder(ObjectId{1}, ClientId{1});
+  r.on_clear_circulating(ObjectId{1});
+  EXPECT_TRUE(r.snapshot_holds().empty());
+  EXPECT_TRUE(r.snapshot_circulating().empty());
+}
+
+}  // namespace
+}  // namespace rtdb::lock

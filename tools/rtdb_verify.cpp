@@ -126,10 +126,25 @@ std::uint64_t run_digest(const core::System& sys, const core::RunMetrics& m) {
   d.f64(m.server_cpu_utilization);
   d.f64(m.server_disk_utilization);
   d.f64(m.network_utilization);
-  for (std::size_t k = 0; k < net::kMessageKindCount; ++k) {
+  for (std::size_t k = 0; k < net::kLegacyKindCount; ++k) {
     const auto kind = static_cast<net::MessageKind>(k);
     d.u64(m.messages.messages(kind));
     d.u64(m.messages.bytes(kind));
+  }
+  // Kinds appended after the digest corpus was pinned (the recovery
+  // protocol's re-assertion traffic) fold in only when they carried
+  // traffic: fault-free runs never send them, so their digests stay
+  // byte-identical to the pinned goldens. The kind index prefixes the
+  // counts so "kind 16 sent N" can never alias "kind 17 sent N".
+  for (std::size_t k = net::kLegacyKindCount; k < net::kMessageKindCount;
+       ++k) {
+    const auto kind = static_cast<net::MessageKind>(k);
+    const std::uint64_t msgs = m.messages.messages(kind);
+    const std::uint64_t bytes = m.messages.bytes(kind);
+    if (msgs == 0 && bytes == 0) continue;
+    d.u64(k);
+    d.u64(msgs);
+    d.u64(bytes);
   }
   // Final database state: the committed version of every object. Catches
   // divergence that happens to cancel out in the aggregates.
@@ -164,6 +179,10 @@ struct Options {
   bool check_telemetry = true;
   bool check_perf = true;
   bool check_chaos = false;
+  bool check_chaos_server = false;
+  /// WILL_FAIL gate: run the server chaos schedules with recovery disabled
+  /// (the restarted server serves from an empty lock table).
+  bool no_recovery = false;
   std::string dump_schedules;  ///< write schedule descriptions here ("" = off)
 };
 
@@ -386,13 +405,16 @@ bool prove_consistency(core::SystemKind kind, const Run& r) {
 /// every transaction exactly once, and (d) actually inject faults (except
 /// the null-active schedule, which must inject none: it proves the armed
 /// recovery machinery is harmless on a healthy network).
-bool prove_chaos(core::SystemKind kind, const core::SystemConfig& cfg) {
+bool prove_chaos(core::SystemKind kind, const core::SystemConfig& cfg,
+                 const std::vector<std::string_view>& schedules,
+                 bool no_recovery) {
   bool all_ok = true;
-  for (const auto name : fault::chaos_schedule_names()) {
+  for (const auto name : schedules) {
     core::SystemConfig ccfg = cfg;
     ccfg.fault = fault::make_chaos_plan(name, cfg.num_clients,
                                         sim::SimTime{} + cfg.warmup,
                                         cfg.horizon());
+    ccfg.fault.recovery_disabled = no_recovery;
     const std::string label =
         core::to_string(kind) + ":" + std::string(name);
     const Run r1 = run_one(kind, ccfg);
@@ -483,6 +505,12 @@ void dump_schedules(const std::string& path, const core::SystemConfig& cfg) {
                                              cfg.horizon());
     os << "## " << name << "\n" << fault::describe(plan) << "\n";
   }
+  for (const auto name : fault::server_chaos_schedule_names()) {
+    const auto plan = fault::make_chaos_plan(name, cfg.num_clients,
+                                             sim::SimTime{} + cfg.warmup,
+                                             cfg.horizon());
+    os << "## " << name << "\n" << fault::describe(plan) << "\n";
+  }
   std::fprintf(stderr, "chaos schedules: %s\n", path.c_str());
 }
 
@@ -506,6 +534,15 @@ void usage() {
       "                              every named fault schedule must replay\n"
       "                              deterministically, keep the consistency\n"
       "                              ledger clean, and account every fault\n"
+      "  --chaos-server              run the server crash/recovery gate:\n"
+      "                              the server-outage schedules (crash,\n"
+      "                              warm standby, mixed) under the same\n"
+      "                              proofs as --chaos\n"
+      "  --no-recovery               with --chaos-server: disable epoch\n"
+      "                              recovery (the restarted server serves\n"
+      "                              from an empty lock table) — the\n"
+      "                              WILL_FAIL gate proving recovery is what\n"
+      "                              keeps the ledgers clean\n"
       "  --dump-schedules FILE       write the chaos schedule library to\n"
       "                              FILE (CI failure artifact)\n"
       "  --help                      this text\n"
@@ -576,6 +613,14 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.check_consistency = false;
       opt.check_telemetry = false;
       opt.check_perf = false;
+    } else if (!std::strcmp(a, "--chaos-server")) {
+      opt.check_chaos_server = true;
+      opt.check_determinism = false;
+      opt.check_consistency = false;
+      opt.check_telemetry = false;
+      opt.check_perf = false;
+    } else if (!std::strcmp(a, "--no-recovery")) {
+      opt.no_recovery = true;
     } else if (!std::strcmp(a, "--dump-schedules")) {
       opt.dump_schedules = need(i);
     } else {
@@ -591,13 +636,20 @@ bool parse(int argc, char** argv, Options& opt) {
 int main(int argc, char** argv) {
   Options opt;
   if (!parse(argc, argv, opt)) return 2;
+  if (opt.no_recovery && !opt.check_chaos_server) {
+    std::fprintf(stderr, "--no-recovery requires --chaos-server\n");
+    return 2;
+  }
 
   const core::SystemConfig cfg = make_config(opt);
   if (!opt.dump_schedules.empty()) dump_schedules(opt.dump_schedules, cfg);
   int failures = 0;
   for (const auto kind : opt.systems) {
-    if (opt.check_chaos) {
-      if (!prove_chaos(kind, cfg)) ++failures;
+    if (opt.check_chaos || opt.check_chaos_server) {
+      const auto schedules = opt.check_chaos_server
+                                 ? fault::server_chaos_schedule_names()
+                                 : fault::chaos_schedule_names();
+      if (!prove_chaos(kind, cfg, schedules, opt.no_recovery)) ++failures;
       continue;
     }
     const Run first = run_one(kind, cfg);

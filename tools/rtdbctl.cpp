@@ -76,6 +76,24 @@ std::uint64_t parse_u64(const char* flag, const char* value) {
   return static_cast<std::uint64_t>(v);
 }
 
+/// Parses a "start:end" server-outage window spec (end may be "inf").
+void parse_server_window(const char* flag, const char* value,
+                         sim::SimTime& start, sim::SimTime& end) {
+  const std::string v = value;
+  const auto colon = v.find(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "rtdbctl: %s wants START:END, got '%s'\n", flag,
+                 value);
+    std::exit(2);
+  }
+  start = sim::SimTime{} +
+          sim::seconds(parse_f64(flag, v.substr(0, colon).c_str()));
+  const std::string tail = v.substr(colon + 1);
+  end = tail == "inf" ? sim::kTimeInfinity
+                      : sim::SimTime{} + sim::seconds(parse_f64(
+                                             flag, tail.c_str()));
+}
+
 /// Parses a "client:start:end" window spec (end may be "inf").
 void parse_window(const char* flag, const char* value, ClientId& client,
                   sim::SimTime& start, sim::SimTime& end) {
@@ -134,6 +152,13 @@ void usage() {
       "                              'inf'; repeatable)\n"
       "  --partition C:T0:T1         client C cut off from the server in\n"
       "                              [T0,T1) (repeatable)\n"
+      "  --fault-server-crash T0:T1  server down in [T0,T1) (T1 may be\n"
+      "                              'inf'; repeatable, windows must be\n"
+      "                              sorted and non-overlapping)\n"
+      "  --fault-server-recover-ms M grace window for the epoch-leased lock\n"
+      "                              rebuild after a cold restart (ms)\n"
+      "  --fault-standby             arm the warm standby: promote a mirror\n"
+      "                              instead of the grace rebuild\n"
       "\n"
       "Observability (see docs/observability.md):\n"
       "  --trace-out FILE            write an execution trace of the last\n"
@@ -286,6 +311,16 @@ bool parse(int argc, char** argv, Options& opt) {
       fault::PartitionWindow w;
       parse_window(a, need(i), w.client, w.start, w.end);
       opt.base.fault.partitions.push_back(w);
+    } else if (!std::strcmp(a, "--fault-server-crash")) {
+      fault::ServerCrashWindow w;
+      parse_server_window(a, need(i), w.start, w.end);
+      opt.base.fault.allow_server_crash = true;
+      opt.base.fault.server_crashes.push_back(w);
+    } else if (!std::strcmp(a, "--fault-server-recover-ms")) {
+      opt.base.fault.server_recovery_grace =
+          sim::msec(parse_f64(a, need(i)));
+    } else if (!std::strcmp(a, "--fault-standby")) {
+      opt.base.fault.warm_standby = true;
     } else {
       std::fprintf(stderr, "unknown flag '%s' (see --help)\n", a);
       return false;
